@@ -1,0 +1,89 @@
+// Ablation A1 (google-benchmark): the §III-C cross-application RCE scheme
+// vs the §III-B basic single-key scheme.
+//
+// Measures the protect (miss path) and recover (hit path) costs of both
+// result-encryption schemes across result sizes. Expected: RCE pays two
+// extra SHA-256 passes over (func, input, r) plus the XOR key wrap; the
+// basic scheme is cheaper but loses cross-application security (single
+// point of compromise — see mle_test.cc). This quantifies the price of the
+// paper's headline key-management design.
+#include <benchmark/benchmark.h>
+
+#include "crypto/drbg.h"
+#include "mle/rce.h"
+
+namespace {
+
+using namespace speed;
+
+mle::FunctionIdentity make_fn() {
+  mle::FunctionIdentity fn;
+  fn.descriptor = {"bench-lib", "1.0", "bytes f(bytes)"};
+  fn.code_measurement =
+      sgx::measure_library("bench-lib", "1.0", as_bytes("bench-code"));
+  return fn;
+}
+
+void BM_RceProtect(benchmark::State& state) {
+  crypto::Drbg drbg(to_bytes("ablation"));
+  const mle::FunctionIdentity fn = make_fn();
+  const Bytes input = drbg.bytes(static_cast<std::size_t>(state.range(0)));
+  const Bytes result = drbg.bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto entry = mle::ResultCipher::protect(fn, input, result, drbg);
+    benchmark::DoNotOptimize(entry);
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+
+void BM_RceRecover(benchmark::State& state) {
+  crypto::Drbg drbg(to_bytes("ablation"));
+  const mle::FunctionIdentity fn = make_fn();
+  const Bytes input = drbg.bytes(static_cast<std::size_t>(state.range(0)));
+  const Bytes result = drbg.bytes(static_cast<std::size_t>(state.range(0)));
+  const auto entry = mle::ResultCipher::protect(fn, input, result, drbg);
+  for (auto _ : state) {
+    auto out = mle::ResultCipher::recover(fn, input, entry);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+
+void BM_BasicProtect(benchmark::State& state) {
+  crypto::Drbg drbg(to_bytes("ablation"));
+  const mle::BasicResultCipher cipher(drbg.bytes(16));
+  const mle::FunctionIdentity fn = make_fn();
+  const Bytes input = drbg.bytes(static_cast<std::size_t>(state.range(0)));
+  const Bytes result = drbg.bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto entry = cipher.protect(fn, input, result, drbg);
+    benchmark::DoNotOptimize(entry);
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+
+void BM_BasicRecover(benchmark::State& state) {
+  crypto::Drbg drbg(to_bytes("ablation"));
+  const mle::BasicResultCipher cipher(drbg.bytes(16));
+  const mle::FunctionIdentity fn = make_fn();
+  const Bytes input = drbg.bytes(static_cast<std::size_t>(state.range(0)));
+  const Bytes result = drbg.bytes(static_cast<std::size_t>(state.range(0)));
+  const auto entry = cipher.protect(fn, input, result, drbg);
+  for (auto _ : state) {
+    auto out = cipher.recover(fn, input, entry);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+
+constexpr std::int64_t kLo = 1 << 10;
+constexpr std::int64_t kHi = 1 << 20;
+
+BENCHMARK(BM_RceProtect)->Range(kLo, kHi);
+BENCHMARK(BM_RceRecover)->Range(kLo, kHi);
+BENCHMARK(BM_BasicProtect)->Range(kLo, kHi);
+BENCHMARK(BM_BasicRecover)->Range(kLo, kHi);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,69 @@
+// Ablation A3: sensitivity of store-operation latency to the enclave
+// transition cost — the knob that system-level fixes (HotCalls, Eleos,
+// switchless calls; paper refs [9], [10], [51], [52]) attack.
+//
+// Sweeps the one-way ECALL/OCALL cost and measures small-payload GETs, the
+// operation Fig. 6 shows is transition-dominated. Expected: latency tracks
+// the transition cost nearly linearly at 1 KB, demonstrating why the paper
+// points to exit-less mechanisms as the complementary optimization.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "crypto/drbg.h"
+
+namespace {
+
+using namespace speed;
+
+constexpr std::uint64_t kTransitionNs[] = {0, 1000, 2000, 4000, 8000, 16000};
+constexpr std::size_t kPayload = 1024;
+constexpr int kOps = 200;
+
+double run_gets(std::uint64_t transition_ns) {
+  sgx::CostModel model;
+  model.enabled = transition_ns > 0;
+  model.ecall_ns = transition_ns;
+  model.ocall_ns = transition_ns;
+  sgx::Platform platform(model);
+  store::ResultStore store(platform);
+  crypto::Drbg drbg(to_bytes("a3"));
+
+  serialize::PutRequest put;
+  put.tag.fill(0x42);
+  put.requester.fill(0x01);
+  put.entry.challenge = drbg.bytes(32);
+  put.entry.wrapped_key = drbg.bytes(16);
+  put.entry.result_ct = drbg.bytes(kPayload);
+  store.handle(serialize::encode_message(put));
+
+  serialize::GetRequest get;
+  get.tag.fill(0x42);
+  get.requester.fill(0x01);
+  const Bytes wire = serialize::encode_message(get);
+
+  Stopwatch sw;
+  for (int i = 0; i < kOps; ++i) store.handle(wire);
+  return sw.elapsed_ms() * 1000.0 / kOps;  // us per GET
+}
+
+}  // namespace
+
+int main() {
+  std::puts("=== Ablation A3: enclave transition-cost sweep (1KB GETs) ===\n");
+
+  TablePrinter table({"One-way transition (us)", "GET latency (us)",
+                      "vs zero-cost"});
+  const double base = run_gets(0);
+  for (const std::uint64_t ns : kTransitionNs) {
+    const double us = run_gets(ns);
+    table.add_row({TablePrinter::fmt(static_cast<double>(ns) / 1000.0, 1),
+                   TablePrinter::fmt(us, 1),
+                   TablePrinter::fmt(us / base, 1) + "x"});
+  }
+  table.print();
+
+  std::puts("\nExpected: small-payload GET latency grows ~linearly with the");
+  std::puts("transition cost (2 transitions per ECALL round trip), matching");
+  std::puts("the Fig. 6 analysis; exit-less call mechanisms would flatten it.");
+  return 0;
+}

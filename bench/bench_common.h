@@ -1,0 +1,61 @@
+// Shared scaffolding for the figure/table regeneration harnesses.
+//
+// Each bench binary wires up the same deployment the paper evaluates: one
+// platform with the realistic SGX cost model, one encrypted ResultStore, and
+// application enclaves talking to it through attested secure channels. The
+// timing helpers below implement the paper's three measurement modes:
+//
+//   Baseline    — the ported function runs inside the app enclave, no SPEED.
+//   Init.Comp.  — first execution through SPEED (miss path, including the
+//                 secure storing of the result, i.e. flush of the async PUT).
+//   Subsq.Comp. — repeated execution through SPEED (hit path).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/clock.h"
+#include "common/table.h"
+#include "runtime/speed.h"
+
+namespace speed::bench {
+
+inline sgx::CostModel realistic_model() {
+  return sgx::CostModel{};  // defaults documented in sgx/cost_model.h
+}
+
+struct Testbed {
+  explicit Testbed(const std::string& app_identity,
+                   sgx::CostModel model = realistic_model(),
+                   runtime::RuntimeConfig config = runtime::RuntimeConfig{})
+      : platform(model),
+        store(platform),
+        enclave(platform.create_enclave(app_identity)),
+        connection(store::connect_app(store, *enclave)),
+        rt(*enclave, connection.session_key, std::move(connection.transport),
+           std::move(config)) {}
+
+  sgx::Platform platform;
+  store::ResultStore store;
+  std::unique_ptr<sgx::Enclave> enclave;
+  store::AppConnection connection;
+  runtime::DedupRuntime rt;
+};
+
+/// Mean wall-clock milliseconds of `fn` over `trials` runs.
+inline double time_ms(int trials, const std::function<void()>& fn) {
+  double total = 0;
+  for (int t = 0; t < trials; ++t) {
+    Stopwatch sw;
+    fn();
+    total += sw.elapsed_ms();
+  }
+  return total / trials;
+}
+
+inline std::string pct(double value, double baseline) {
+  return TablePrinter::fmt(100.0 * value / baseline, 1) + "%";
+}
+
+}  // namespace speed::bench

@@ -1,0 +1,97 @@
+// Fig. 5(a) regeneration: SIFT feature extraction under SPEED.
+//
+// For each image size we report the baseline in-enclave running time, the
+// initial computation through SPEED (miss + secure store), and the
+// subsequent computation (hit), as percentages of the baseline — the three
+// bars of the paper's figure. Expected shape: Init.Comp. within a few
+// percent of baseline (SIFT dwarfs the crypto), Subsq.Comp. a huge win —
+// the paper reports 76-94x speedups.
+#include <cstdio>
+
+#include "apps/sift/sift.h"
+#include "bench_common.h"
+#include "workload/synthetic.h"
+
+namespace {
+
+using namespace speed;
+
+struct SizeCase {
+  int width, height;
+};
+constexpr SizeCase kSizes[] = {{256, 256}, {512, 512}, {768, 768}, {1024, 1024}};
+constexpr int kTrials = 3;
+
+}  // namespace
+
+int main() {
+  std::puts("=== Fig. 5(a): image feature extraction via SIFT ===");
+  std::puts("(relative running time; baseline = ported SIFT without SPEED)\n");
+
+  bench::Testbed bed("sift-bench-app");
+  bed.rt.libraries().register_library(sift::kLibraryFamily,
+                                      sift::kLibraryVersion,
+                                      as_bytes("sift-code-v1"));
+  // The ported function allocates its pyramid on the enclave heap, so it
+  // charges the EPC: big images overflow the usable EPC and pay paging,
+  // exactly like the paper's in-enclave libsiftpp baseline.
+  sgx::Enclave* enclave = bed.enclave.get();
+  const auto enclave_sift = [enclave](const sift::Image& img) {
+    sgx::TrustedCharge pyramid(
+        *enclave, sift::working_set_bytes(img.width(), img.height()));
+    return sift::extract_sift(img);
+  };
+  runtime::Deduplicable<std::vector<sift::Keypoint>(const sift::Image&)>
+      dedup_sift(bed.rt,
+                 {sift::kLibraryFamily, sift::kLibraryVersion,
+                  "vector<Keypoint> sift(Image)"},
+                 enclave_sift);
+
+  TablePrinter table({"Image", "Baseline (ms)", "Init.Comp. (ms)", "Init. %",
+                      "Subsq.Comp. (ms)", "Subsq. %", "Speedup"});
+
+  std::uint64_t seed = 100;
+  for (const auto& size : kSizes) {
+    // Baseline: run the ported function inside the enclave, no dedup.
+    const sift::Image baseline_img =
+        workload::synth_image(size.width, size.height, seed++);
+    const double baseline_ms = bench::time_ms(kTrials, [&] {
+      bed.enclave->ecall([&] {
+        const auto k = enclave_sift(baseline_img);
+        __asm__ volatile("" : : "m"(k) : "memory");
+      });
+    });
+
+    // Init.Comp.: fresh images so every call misses; includes secure store.
+    double init_total = 0;
+    for (int t = 0; t < kTrials; ++t) {
+      const sift::Image img =
+          workload::synth_image(size.width, size.height, seed++);
+      Stopwatch sw;
+      dedup_sift(img);
+      bed.rt.flush();
+      init_total += sw.elapsed_ms();
+    }
+    const double init_ms = init_total / kTrials;
+
+    // Subsq.Comp.: repeat one already-stored image.
+    const sift::Image hot = workload::synth_image(size.width, size.height, seed++);
+    dedup_sift(hot);
+    bed.rt.flush();
+    const double subsq_ms =
+        bench::time_ms(kTrials * 3, [&] { dedup_sift(hot); });
+
+    table.add_row({std::to_string(size.width) + "x" + std::to_string(size.height),
+                   TablePrinter::fmt(baseline_ms, 2),
+                   TablePrinter::fmt(init_ms, 2),
+                   bench::pct(init_ms, baseline_ms),
+                   TablePrinter::fmt(subsq_ms, 3),
+                   bench::pct(subsq_ms, baseline_ms),
+                   TablePrinter::fmt(baseline_ms / subsq_ms, 1) + "x"});
+  }
+  table.print();
+  std::puts("\nShape check vs paper Fig. 5(a): Init.Comp. within a few % of");
+  std::puts("baseline; Subsq.Comp. speedup in the tens-to-hundreds range");
+  std::puts("(paper: 76-94x on their image set).");
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Fig. 5(c) regeneration: pattern matching with a large rule set.
+//
+// The paper scans packet batches against >3,700 Snort rules and reports
+// 316-412x speedups — matching many rules is expensive, the alert list is
+// tiny, so deduplication is maximally favourable. We scan batches of
+// synthetic packets against a synthetic rule set of comparable size and
+// vary the batch size (the paper's input-volume axis).
+#include <cstdio>
+#include <numeric>
+
+#include "apps/match/ruleset.h"
+#include "bench_common.h"
+#include "workload/synthetic.h"
+
+namespace {
+
+using namespace speed;
+
+constexpr std::size_t kRuleCount = 3700;
+constexpr std::size_t kBatchSizes[] = {25, 50, 100, 200};
+constexpr int kTrials = 2;
+
+}  // namespace
+
+int main() {
+  std::puts("=== Fig. 5(c): pattern matching (Aho-Corasick + pcre rules) ===");
+  std::printf("(%zu synthetic Snort-like rules; batches of 512B packets)\n\n",
+              kRuleCount);
+
+  // ~10% of rules carry a pcre after their contents, and ~5% are pcre-only
+  // (no content gate) — those must be regex-executed against every packet,
+  // which is what makes the un-deduplicated baseline so expensive.
+  const auto rules = workload::synth_ruleset(kRuleCount, 42, 0.1, 0.05);
+  const match::RuleSet ruleset(rules);
+
+  bench::Testbed bed("match-bench-app");
+  bed.rt.libraries().register_library(match::kLibraryFamily,
+                                      match::kLibraryVersion,
+                                      as_bytes("pcre-code-v1"));
+  // Paper-faithful computation: per-rule content search + pcre_exec over
+  // every payload, no shared automaton (§V: "the exact functions we are
+  // going to deduplicate are ... pcre_exec(.)").
+  runtime::Deduplicable<std::vector<std::uint64_t>(const std::vector<Bytes>&)>
+      dedup_scan(bed.rt,
+                 {match::kLibraryFamily, match::kLibraryVersion,
+                  "vector<u64> pcre_exec_batch(payloads)"},
+                 [&](const std::vector<Bytes>& batch) {
+                   return ruleset.scan_sequential_batch(batch);
+                 });
+
+  TablePrinter table({"Packets", "Baseline (ms)", "Init.Comp. (ms)", "Init. %",
+                      "Subsq.Comp. (ms)", "Subsq. %", "Speedup"});
+
+  std::uint64_t seed = 300;
+  for (const std::size_t batch_size : kBatchSizes) {
+    const auto make_batch = [&](std::uint64_t s) {
+      const auto trace =
+          workload::synth_packet_trace(batch_size, 512, rules, 0.05, s);
+      std::vector<Bytes> payloads;
+      payloads.reserve(trace.size());
+      for (const auto& p : trace) payloads.push_back(p.payload);
+      return payloads;
+    };
+
+    const auto baseline_batch = make_batch(seed++);
+    const double baseline_ms = bench::time_ms(kTrials, [&] {
+      bed.enclave->ecall([&] {
+        const auto counts = ruleset.scan_sequential_batch(baseline_batch);
+        __asm__ volatile("" : : "m"(counts) : "memory");
+      });
+    });
+
+    double init_total = 0;
+    for (int t = 0; t < kTrials; ++t) {
+      const auto batch = make_batch(seed++);
+      Stopwatch sw;
+      dedup_scan(batch);
+      bed.rt.flush();
+      init_total += sw.elapsed_ms();
+    }
+    const double init_ms = init_total / kTrials;
+
+    const auto hot = make_batch(seed++);
+    dedup_scan(hot);
+    bed.rt.flush();
+    const double subsq_ms = bench::time_ms(kTrials * 3, [&] { dedup_scan(hot); });
+
+    table.add_row({std::to_string(batch_size),
+                   TablePrinter::fmt(baseline_ms, 2),
+                   TablePrinter::fmt(init_ms, 2),
+                   bench::pct(init_ms, baseline_ms),
+                   TablePrinter::fmt(subsq_ms, 3),
+                   bench::pct(subsq_ms, baseline_ms),
+                   TablePrinter::fmt(baseline_ms / subsq_ms, 1) + "x"});
+  }
+  table.print();
+  std::puts("\nShape check vs paper Fig. 5(c): the largest speedups of the");
+  std::puts("four case studies (paper: 316-412x) and negligible Init.Comp.");
+  std::puts("overhead — the scan dominates, the alert list is tiny.");
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Table I regeneration: latency of the DedupRuntime cryptographic
+// operations — Tag Gen., Key Gen. (pick + wrap k), Key Rec., Result Enc.,
+// Result Dec. — for 1 KB / 10 KB / 100 KB / 1 MB inputs.
+//
+// Expected shape (paper Table I): every operation scales linearly with the
+// input size, and result encryption/decryption are roughly an order of
+// magnitude faster than the three hash-bound operations at 100 KB+ (the
+// hash walks func+input; AES-GCM runs on AES-NI).
+#include <cstdio>
+
+#include "bench_common.h"
+#include "crypto/drbg.h"
+#include "mle/rce.h"
+
+namespace {
+
+using namespace speed;
+
+constexpr std::size_t kSizes[] = {1024, 10 * 1024, 100 * 1024, 1024 * 1024};
+constexpr int kTrials = 30;
+
+mle::FunctionIdentity make_fn() {
+  mle::FunctionIdentity fn;
+  fn.descriptor = {"bench-lib", "1.0", "bytes f(bytes)"};
+  fn.code_measurement =
+      sgx::measure_library("bench-lib", "1.0", as_bytes("bench-code"));
+  return fn;
+}
+
+}  // namespace
+
+int main() {
+  std::puts("=== Table I: cryptographic operations in DedupRuntime ===");
+  std::puts("(mean of 30 trials; result size == input size)\n");
+
+  crypto::Drbg drbg(to_bytes("table1-bench"));
+  const mle::FunctionIdentity fn = make_fn();
+
+  TablePrinter table({"Input (KB)", "Tag Gen. (ms)", "Key Gen. (ms)",
+                      "Key Rec. (ms)", "Result Enc. (ms)", "Result Dec. (ms)"});
+
+  for (const std::size_t size : kSizes) {
+    const Bytes input = drbg.bytes(size);
+    const Bytes result = drbg.bytes(size);
+
+    const double tag_ms = bench::time_ms(kTrials, [&] {
+      const auto t = mle::derive_tag(fn, input);
+      __asm__ volatile("" : : "m"(t) : "memory");
+    });
+
+    const auto wrapped = mle::ResultCipher::generate_key(fn, input, drbg);
+    const double keygen_ms = bench::time_ms(kTrials, [&] {
+      auto wk = mle::ResultCipher::generate_key(fn, input, drbg);
+      (void)wk;
+    });
+    const double keyrec_ms = bench::time_ms(kTrials, [&] {
+      auto k = mle::ResultCipher::recover_key(fn, input, wrapped.challenge,
+                                              wrapped.wrapped_key);
+      (void)k;
+    });
+
+    const mle::Tag tag = mle::derive_tag(fn, input);
+    const Bytes ct =
+        mle::ResultCipher::encrypt_result(tag, wrapped.key, result, drbg);
+    const double enc_ms = bench::time_ms(kTrials, [&] {
+      auto c = mle::ResultCipher::encrypt_result(tag, wrapped.key, result, drbg);
+      (void)c;
+    });
+    const double dec_ms = bench::time_ms(kTrials, [&] {
+      auto p = mle::ResultCipher::decrypt_result(tag, wrapped.key, ct);
+      (void)p;
+    });
+
+    table.add_row({std::to_string(size / 1024), TablePrinter::fmt(tag_ms),
+                   TablePrinter::fmt(keygen_ms), TablePrinter::fmt(keyrec_ms),
+                   TablePrinter::fmt(enc_ms), TablePrinter::fmt(dec_ms)});
+  }
+  table.print();
+
+  std::puts("\nShape check vs paper Table I:");
+  std::puts(" - all five columns grow roughly linearly with input size");
+  std::puts(" - Enc/Dec are several times faster than the hash-bound Tag Gen /");
+  std::puts("   Key Gen / Key Rec columns (paper: 1.73/0.26 ms vs ~3-6 ms at 1MB)");
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Image feature-extraction service: two applications, one shared store.
+//
+// Demonstrates the paper's headline property — cross-application
+// deduplication without a shared key (§III-C). An object-recognition
+// service and an image-stitching service both run SIFT on user uploads
+// inside their own enclaves. When the same image reaches both services,
+// the second one decrypts the first one's stored descriptors instead of
+// recomputing, because it owns the same library code and input.
+//
+//   $ ./image_feature_service
+#include <cstdio>
+
+#include "apps/sift/sift.h"
+#include "runtime/speed.h"
+#include "workload/synthetic.h"
+
+using namespace speed;
+
+namespace {
+
+struct Service {
+  Service(sgx::Platform& platform, store::ResultStore& store,
+          const std::string& name)
+      : enclave(platform.create_enclave(name)),
+        connection(store::connect_app(store, *enclave)),
+        rt(*enclave, connection.session_key, std::move(connection.transport)) {
+    // Both services link the same trusted SIFT library build.
+    rt.libraries().register_library(sift::kLibraryFamily, sift::kLibraryVersion,
+                                    as_bytes("siftpp build 2019-03"));
+    extract = std::make_unique<
+        runtime::Deduplicable<std::vector<sift::Keypoint>(const sift::Image&)>>(
+        rt,
+        serialize::FunctionDescriptor{sift::kLibraryFamily, sift::kLibraryVersion,
+                                      "vector<Keypoint> sift(Image)"},
+        [this](const sift::Image& img) {
+          ++executions;
+          return sift::extract_sift(img);
+        });
+  }
+
+  std::unique_ptr<sgx::Enclave> enclave;
+  store::AppConnection connection;
+  runtime::DedupRuntime rt;
+  std::unique_ptr<
+      runtime::Deduplicable<std::vector<sift::Keypoint>(const sift::Image&)>>
+      extract;
+  int executions = 0;
+};
+
+}  // namespace
+
+int main() {
+  sgx::Platform platform;
+  store::ResultStore result_store(platform);
+
+  Service recognition(platform, result_store, "object-recognition");
+  Service stitching(platform, result_store, "image-stitching");
+
+  // Six images; half of them reach both services (shared uploads).
+  std::vector<sift::Image> images;
+  for (int i = 0; i < 6; ++i) {
+    images.push_back(workload::synth_image(256, 256, 500 + static_cast<std::uint64_t>(i)));
+  }
+
+  std::printf("object-recognition processes images 0..5...\n");
+  Stopwatch sw;
+  std::size_t total_keypoints = 0;
+  for (const auto& img : images) {
+    total_keypoints += (*recognition.extract)(img).size();
+  }
+  recognition.rt.flush();
+  std::printf("  %zu keypoints across 6 images, %.0f ms, %d extractions\n",
+              total_keypoints, sw.elapsed_ms(), recognition.executions);
+
+  std::printf("image-stitching processes images 0..2 (already seen) "
+              "and 3 new ones...\n");
+  sw.reset();
+  std::size_t stitch_keypoints = 0;
+  for (int i = 0; i < 3; ++i) {
+    stitch_keypoints += (*stitching.extract)(images[static_cast<std::size_t>(i)]).size();
+  }
+  for (int i = 0; i < 3; ++i) {
+    const auto fresh = workload::synth_image(256, 256, 900 + static_cast<std::uint64_t>(i));
+    stitch_keypoints += (*stitching.extract)(fresh).size();
+  }
+  stitching.rt.flush();
+  std::printf("  %zu keypoints across 6 images, %.0f ms, %d extractions\n",
+              stitch_keypoints, sw.elapsed_ms(), stitching.executions);
+
+  std::printf("\ncross-application reuse: stitching recomputed only %d of 6 "
+              "images\n", stitching.executions);
+  std::printf("(the 3 shared images were decrypted from the store — no "
+              "shared key involved)\n");
+
+  const auto s = result_store.stats();
+  std::printf("store: %llu entries, %llu hits, %llu ciphertext bytes\n",
+              static_cast<unsigned long long>(s.entries),
+              static_cast<unsigned long long>(s.hits),
+              static_cast<unsigned long long>(s.ciphertext_bytes));
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Bit-level I/O for the DEFLATE bitstream (RFC 1951 §3.1.1).
+//
+// Data elements are packed LSB-first into bytes; Huffman codes are the one
+// exception — they are packed starting from the most significant bit of the
+// code, which callers handle by reversing the code bits before write_bits().
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+#include "common/error.h"
+
+namespace speed::deflate {
+
+class BitWriter {
+ public:
+  /// Append the low `count` bits of `bits`, LSB first. count <= 24.
+  void write_bits(std::uint32_t bits, int count) {
+    acc_ |= static_cast<std::uint64_t>(bits & ((1u << count) - 1)) << fill_;
+    fill_ += count;
+    while (fill_ >= 8) {
+      out_.push_back(static_cast<std::uint8_t>(acc_));
+      acc_ >>= 8;
+      fill_ -= 8;
+    }
+  }
+
+  /// Pad with zero bits to the next byte boundary (stored-block alignment).
+  void align_to_byte() {
+    if (fill_ > 0) {
+      out_.push_back(static_cast<std::uint8_t>(acc_));
+      acc_ = 0;
+      fill_ = 0;
+    }
+  }
+
+  /// Append a raw byte (must be byte-aligned).
+  void write_byte(std::uint8_t b) {
+    if (fill_ != 0) throw Error("BitWriter: write_byte while unaligned");
+    out_.push_back(b);
+  }
+
+  Bytes finish() {
+    align_to_byte();
+    return std::move(out_);
+  }
+
+  std::size_t bit_count() const { return out_.size() * 8 + fill_; }
+
+ private:
+  Bytes out_;
+  std::uint64_t acc_ = 0;
+  int fill_ = 0;
+};
+
+class BitReader {
+ public:
+  explicit BitReader(ByteView data) : data_(data) {}
+
+  /// Read `count` bits, LSB first. count <= 24.
+  std::uint32_t read_bits(int count) {
+    while (fill_ < count) {
+      if (pos_ >= data_.size()) {
+        throw SerializationError("BitReader: out of input");
+      }
+      acc_ |= static_cast<std::uint64_t>(data_[pos_++]) << fill_;
+      fill_ += 8;
+    }
+    const std::uint32_t v = static_cast<std::uint32_t>(acc_ & ((1u << count) - 1));
+    acc_ >>= count;
+    fill_ -= count;
+    return v;
+  }
+
+  std::uint32_t read_bit() { return read_bits(1); }
+
+  /// Discard bits up to the next byte boundary.
+  void align_to_byte() {
+    const int drop = fill_ % 8;
+    acc_ >>= drop;
+    fill_ -= drop;
+  }
+
+  /// Read a raw byte (must be byte-aligned — buffered whole bytes are fine).
+  std::uint8_t read_byte() {
+    if (fill_ % 8 != 0) throw SerializationError("BitReader: unaligned byte");
+    return static_cast<std::uint8_t>(read_bits(8));
+  }
+
+  bool exhausted() const { return pos_ >= data_.size() && fill_ == 0; }
+
+ private:
+  ByteView data_;
+  std::size_t pos_ = 0;
+  std::uint64_t acc_ = 0;
+  int fill_ = 0;
+};
+
+/// Reverse the low `count` bits of `code` (Huffman codes are MSB-first).
+inline std::uint32_t reverse_bits(std::uint32_t code, int count) {
+  std::uint32_t out = 0;
+  for (int i = 0; i < count; ++i) {
+    out = (out << 1) | ((code >> i) & 1);
+  }
+  return out;
+}
+
+}  // namespace speed::deflate

@@ -1,0 +1,51 @@
+#include "apps/deflate/checksum.h"
+
+#include <array>
+
+namespace speed::deflate {
+
+std::uint32_t adler32(ByteView data, std::uint32_t seed) {
+  constexpr std::uint32_t kMod = 65521;
+  std::uint32_t a = seed & 0xffff;
+  std::uint32_t b = (seed >> 16) & 0xffff;
+  std::size_t i = 0;
+  while (i < data.size()) {
+    // 5552 is the largest n with n*(n+1)/2*255 + (n+1)*(65520) < 2^32.
+    const std::size_t chunk = std::min<std::size_t>(5552, data.size() - i);
+    for (std::size_t j = 0; j < chunk; ++j) {
+      a += data[i + j];
+      b += a;
+    }
+    a %= kMod;
+    b %= kMod;
+    i += chunk;
+  }
+  return (b << 16) | a;
+}
+
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t n = 0; n < 256; ++n) {
+    std::uint32_t c = n;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+    }
+    table[n] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(ByteView data, std::uint32_t seed) {
+  static const std::array<std::uint32_t, 256> kTable = make_crc_table();
+  std::uint32_t c = seed ^ 0xffffffffu;
+  for (const std::uint8_t byte : data) {
+    c = kTable[(c ^ byte) & 0xff] ^ (c >> 8);
+  }
+  return c ^ 0xffffffffu;
+}
+
+}  // namespace speed::deflate

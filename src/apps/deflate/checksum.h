@@ -1,0 +1,18 @@
+// Checksums for the DEFLATE container formats: Adler-32 (zlib, RFC 1950)
+// and CRC-32 (gzip, RFC 1952 / IEEE 802.3).
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace speed::deflate {
+
+/// Adler-32 of `data`, optionally continuing from a previous value
+/// (initial value 1, per RFC 1950).
+std::uint32_t adler32(ByteView data, std::uint32_t seed = 1);
+
+/// CRC-32 (reflected, polynomial 0xEDB88320), initial value 0.
+std::uint32_t crc32(ByteView data, std::uint32_t seed = 0);
+
+}  // namespace speed::deflate

@@ -1,0 +1,127 @@
+#include "apps/deflate/container.h"
+
+#include "apps/deflate/checksum.h"
+#include "common/error.h"
+
+namespace speed::deflate {
+
+namespace {
+
+void put_be32(Bytes& out, std::uint32_t v) {
+  for (int i = 3; i >= 0; --i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_le32(Bytes& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::uint32_t get_be32(ByteView b) {
+  return (static_cast<std::uint32_t>(b[0]) << 24) |
+         (static_cast<std::uint32_t>(b[1]) << 16) |
+         (static_cast<std::uint32_t>(b[2]) << 8) | b[3];
+}
+
+std::uint32_t get_le32(ByteView b) {
+  return static_cast<std::uint32_t>(b[0]) |
+         (static_cast<std::uint32_t>(b[1]) << 8) |
+         (static_cast<std::uint32_t>(b[2]) << 16) |
+         (static_cast<std::uint32_t>(b[3]) << 24);
+}
+
+}  // namespace
+
+Bytes zlib_compress(ByteView data, const DeflateOptions& options) {
+  Bytes out;
+  // CMF: method 8 (deflate), 32K window (CINFO=7) -> 0x78.
+  const std::uint8_t cmf = 0x78;
+  // FLG: no dictionary, default compression level; FCHECK makes the
+  // 16-bit header a multiple of 31.
+  std::uint8_t flg = 0x80;  // FLEVEL=2 (default)
+  flg = static_cast<std::uint8_t>(flg & 0xe0);
+  const int rem = (cmf * 256 + flg) % 31;
+  if (rem != 0) flg = static_cast<std::uint8_t>(flg + (31 - rem));
+  out.push_back(cmf);
+  out.push_back(flg);
+  append(out, compress(data, options));
+  put_be32(out, adler32(data));
+  return out;
+}
+
+Bytes zlib_decompress(ByteView stream, std::size_t max_output) {
+  if (stream.size() < 6) throw SerializationError("zlib: stream too short");
+  const std::uint8_t cmf = stream[0];
+  const std::uint8_t flg = stream[1];
+  if ((cmf & 0x0f) != 8) throw SerializationError("zlib: method is not deflate");
+  if ((cmf >> 4) > 7) throw SerializationError("zlib: window too large");
+  if ((cmf * 256 + flg) % 31 != 0) throw SerializationError("zlib: bad FCHECK");
+  if (flg & 0x20) throw SerializationError("zlib: preset dictionary unsupported");
+
+  const ByteView body = stream.subspan(2, stream.size() - 6);
+  const Bytes data = decompress(body, max_output);
+  const std::uint32_t expected = get_be32(stream.last(4));
+  if (adler32(data) != expected) {
+    throw SerializationError("zlib: Adler-32 mismatch");
+  }
+  return data;
+}
+
+Bytes gzip_compress(ByteView data, const DeflateOptions& options) {
+  Bytes out = {0x1f, 0x8b,  // magic
+               8,           // CM = deflate
+               0,           // FLG: no extra fields
+               0, 0, 0, 0,  // MTIME = 0
+               0,           // XFL
+               255};        // OS = unknown
+  append(out, compress(data, options));
+  put_le32(out, crc32(data));
+  put_le32(out, static_cast<std::uint32_t>(data.size()));
+  return out;
+}
+
+Bytes gzip_decompress(ByteView stream, std::size_t max_output) {
+  if (stream.size() < 18) throw SerializationError("gzip: stream too short");
+  if (stream[0] != 0x1f || stream[1] != 0x8b) {
+    throw SerializationError("gzip: bad magic");
+  }
+  if (stream[2] != 8) throw SerializationError("gzip: method is not deflate");
+  const std::uint8_t flg = stream[3];
+  if (flg & 0xe0) throw SerializationError("gzip: reserved flag bits set");
+
+  std::size_t off = 10;
+  auto need = [&](std::size_t n) {
+    if (off + n + 8 > stream.size()) {
+      throw SerializationError("gzip: truncated header");
+    }
+  };
+  if (flg & 0x04) {  // FEXTRA
+    need(2);
+    const std::size_t xlen = stream[off] | (stream[off + 1] << 8);
+    off += 2;
+    need(xlen);
+    off += xlen;
+  }
+  for (const std::uint8_t field : {0x08, 0x10}) {  // FNAME, FCOMMENT
+    if (flg & field) {
+      while (true) {
+        need(1);
+        if (stream[off++] == 0) break;
+      }
+    }
+  }
+  if (flg & 0x02) {  // FHCRC
+    need(2);
+    off += 2;
+  }
+
+  const ByteView body = stream.subspan(off, stream.size() - off - 8);
+  const Bytes data = decompress(body, max_output);
+  const std::uint32_t expected_crc = get_le32(stream.subspan(stream.size() - 8, 4));
+  const std::uint32_t expected_size = get_le32(stream.last(4));
+  if (crc32(data) != expected_crc) throw SerializationError("gzip: CRC mismatch");
+  if (static_cast<std::uint32_t>(data.size()) != expected_size) {
+    throw SerializationError("gzip: ISIZE mismatch");
+  }
+  return data;
+}
+
+}  // namespace speed::deflate

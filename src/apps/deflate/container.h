@@ -1,0 +1,25 @@
+// zlib (RFC 1950) and gzip (RFC 1952) containers around raw DEFLATE.
+//
+// The paper's case study deduplicates zlib's deflate(); real deployments
+// ship its output inside one of these containers, so the substrate provides
+// both: header construction/validation plus the trailing checksums.
+#pragma once
+
+#include "apps/deflate/deflate.h"
+
+namespace speed::deflate {
+
+/// data -> zlib stream (CMF/FLG header ‖ deflate ‖ Adler-32).
+Bytes zlib_compress(ByteView data, const DeflateOptions& options = {});
+
+/// zlib stream -> data; throws SerializationError on bad header, bad
+/// checksum, or malformed DEFLATE body.
+Bytes zlib_decompress(ByteView stream, std::size_t max_output = 1u << 30);
+
+/// data -> gzip member (10-byte header ‖ deflate ‖ CRC-32 ‖ ISIZE).
+Bytes gzip_compress(ByteView data, const DeflateOptions& options = {});
+
+/// gzip member -> data; handles the optional FNAME/FEXTRA/FCOMMENT fields.
+Bytes gzip_decompress(ByteView stream, std::size_t max_output = 1u << 30);
+
+}  // namespace speed::deflate

@@ -1,0 +1,441 @@
+#include "apps/deflate/deflate.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "apps/deflate/bitio.h"
+#include "apps/deflate/huffman.h"
+#include "common/error.h"
+
+namespace speed::deflate {
+
+namespace {
+
+// ---------------------------------------------------------- format tables
+
+constexpr int kNumLitLenSymbols = 288;  // 0-255 literals, 256 EOB, 257-285 lengths
+constexpr int kNumDistSymbols = 30;
+constexpr int kNumClSymbols = 19;
+constexpr int kEndOfBlock = 256;
+
+struct RangeCode {
+  std::uint16_t base;
+  std::uint8_t extra_bits;
+};
+
+// Length codes 257..285 (RFC 1951 §3.2.5).
+constexpr RangeCode kLengthCodes[29] = {
+    {3, 0},  {4, 0},  {5, 0},  {6, 0},  {7, 0},  {8, 0},  {9, 0},  {10, 0},
+    {11, 1}, {13, 1}, {15, 1}, {17, 1}, {19, 2}, {23, 2}, {27, 2}, {31, 2},
+    {35, 3}, {43, 3}, {51, 3}, {59, 3}, {67, 4}, {83, 4}, {99, 4}, {115, 4},
+    {131, 5}, {163, 5}, {195, 5}, {227, 5}, {258, 0}};
+
+// Distance codes 0..29.
+constexpr RangeCode kDistCodes[30] = {
+    {1, 0},     {2, 0},     {3, 0},      {4, 0},      {5, 1},     {7, 1},
+    {9, 2},     {13, 2},    {17, 3},     {25, 3},     {33, 4},    {49, 4},
+    {65, 5},    {97, 5},    {129, 6},    {193, 6},    {257, 7},   {385, 7},
+    {513, 8},   {769, 8},   {1025, 9},   {1537, 9},   {2049, 10}, {3073, 10},
+    {4097, 11}, {6145, 11}, {8193, 12},  {12289, 12}, {16385, 13}, {24577, 13}};
+
+// Code-length alphabet transmission order (RFC 1951 §3.2.7).
+constexpr std::uint8_t kClOrder[kNumClSymbols] = {
+    16, 17, 18, 0, 8, 7, 9, 6, 10, 5, 11, 4, 12, 3, 13, 2, 14, 1, 15};
+
+int length_to_code(std::size_t len) {
+  for (int c = 28; c >= 0; --c) {
+    if (len >= kLengthCodes[c].base) {
+      // Code 285 (index 28) is exactly 258; 284 covers 227..257.
+      if (c == 28 && len != 258) continue;
+      return c;
+    }
+  }
+  throw Error("length_to_code: length out of range");
+}
+
+int dist_to_code(std::size_t dist) {
+  for (int c = 29; c >= 0; --c) {
+    if (dist >= kDistCodes[c].base) return c;
+  }
+  throw Error("dist_to_code: distance out of range");
+}
+
+std::vector<std::uint8_t> fixed_litlen_lengths() {
+  std::vector<std::uint8_t> lengths(kNumLitLenSymbols);
+  for (int i = 0; i <= 143; ++i) lengths[static_cast<std::size_t>(i)] = 8;
+  for (int i = 144; i <= 255; ++i) lengths[static_cast<std::size_t>(i)] = 9;
+  for (int i = 256; i <= 279; ++i) lengths[static_cast<std::size_t>(i)] = 7;
+  for (int i = 280; i <= 287; ++i) lengths[static_cast<std::size_t>(i)] = 8;
+  return lengths;
+}
+
+std::vector<std::uint8_t> fixed_dist_lengths() {
+  return std::vector<std::uint8_t>(32, 5);
+}
+
+// --------------------------------------------------------------- encoder
+
+struct BlockFrequencies {
+  std::vector<std::uint64_t> litlen;
+  std::vector<std::uint64_t> dist;
+};
+
+BlockFrequencies count_frequencies(const std::vector<Token>& tokens,
+                                   std::size_t begin, std::size_t end) {
+  BlockFrequencies f;
+  f.litlen.assign(kNumLitLenSymbols, 0);
+  f.dist.assign(kNumDistSymbols, 0);
+  for (std::size_t i = begin; i < end; ++i) {
+    const Token& t = tokens[i];
+    if (t.distance == 0) {
+      ++f.litlen[t.literal];
+    } else {
+      ++f.litlen[static_cast<std::size_t>(257 + length_to_code(t.length))];
+      ++f.dist[static_cast<std::size_t>(dist_to_code(t.distance))];
+    }
+  }
+  ++f.litlen[kEndOfBlock];
+  return f;
+}
+
+void write_tokens(BitWriter& out, const std::vector<Token>& tokens,
+                  std::size_t begin, std::size_t end,
+                  const HuffmanEncoder& litlen, const HuffmanEncoder& dist) {
+  for (std::size_t i = begin; i < end; ++i) {
+    const Token& t = tokens[i];
+    if (t.distance == 0) {
+      litlen.write_symbol(out, t.literal);
+    } else {
+      const int lc = length_to_code(t.length);
+      litlen.write_symbol(out, static_cast<std::size_t>(257 + lc));
+      out.write_bits(
+          static_cast<std::uint32_t>(t.length - kLengthCodes[lc].base),
+          kLengthCodes[lc].extra_bits);
+      const int dc = dist_to_code(t.distance);
+      dist.write_symbol(out, static_cast<std::size_t>(dc));
+      out.write_bits(
+          static_cast<std::uint32_t>(t.distance - kDistCodes[dc].base),
+          kDistCodes[dc].extra_bits);
+    }
+  }
+  litlen.write_symbol(out, kEndOfBlock);
+}
+
+/// Run-length encode the concatenated code-length arrays with symbols
+/// 16 (repeat previous 3-6), 17 (zeros 3-10), 18 (zeros 11-138).
+struct ClToken {
+  std::uint8_t symbol;
+  std::uint8_t extra_value;
+};
+
+std::vector<ClToken> rle_code_lengths(const std::vector<std::uint8_t>& lengths) {
+  std::vector<ClToken> out;
+  std::size_t i = 0;
+  while (i < lengths.size()) {
+    const std::uint8_t len = lengths[i];
+    std::size_t run = 1;
+    while (i + run < lengths.size() && lengths[i + run] == len) ++run;
+    if (len == 0) {
+      std::size_t left = run;
+      while (left >= 11) {
+        const std::size_t take = std::min<std::size_t>(left, 138);
+        out.push_back({18, static_cast<std::uint8_t>(take - 11)});
+        left -= take;
+      }
+      while (left >= 3) {
+        const std::size_t take = std::min<std::size_t>(left, 10);
+        out.push_back({17, static_cast<std::uint8_t>(take - 3)});
+        left -= take;
+      }
+      for (std::size_t k = 0; k < left; ++k) out.push_back({0, 0});
+    } else {
+      out.push_back({len, 0});
+      std::size_t left = run - 1;
+      while (left >= 3) {
+        const std::size_t take = std::min<std::size_t>(left, 6);
+        out.push_back({16, static_cast<std::uint8_t>(take - 3)});
+        left -= take;
+      }
+      for (std::size_t k = 0; k < left; ++k) out.push_back({len, 0});
+    }
+    i += run;
+  }
+  return out;
+}
+
+constexpr int kClExtraBits[19] = {0, 0, 0, 0, 0, 0, 0, 0, 0, 0,
+                                  0, 0, 0, 0, 0, 0, 2, 3, 7};
+
+/// Size in bits of a dynamic block with the given trees and frequencies.
+std::size_t dynamic_block_bits(const std::vector<std::uint8_t>& ll_len,
+                               const std::vector<std::uint8_t>& d_len,
+                               const BlockFrequencies& f,
+                               const std::vector<ClToken>& cl_tokens,
+                               const std::vector<std::uint8_t>& cl_len,
+                               int hclen) {
+  std::size_t bits = 5 + 5 + 4 + static_cast<std::size_t>(hclen) * 3;
+  for (const ClToken& t : cl_tokens) {
+    bits += cl_len[t.symbol] + static_cast<std::size_t>(kClExtraBits[t.symbol]);
+  }
+  for (int s = 0; s < kNumLitLenSymbols; ++s) {
+    const auto su = static_cast<std::size_t>(s);
+    std::size_t sym_bits = ll_len[su];
+    if (s >= 257) sym_bits += kLengthCodes[s - 257].extra_bits;
+    bits += f.litlen[su] * sym_bits;
+  }
+  for (int s = 0; s < kNumDistSymbols; ++s) {
+    const auto su = static_cast<std::size_t>(s);
+    bits += f.dist[su] * (d_len[su] + kDistCodes[su].extra_bits);
+  }
+  return bits;
+}
+
+std::size_t fixed_block_bits(const BlockFrequencies& f) {
+  const auto ll = fixed_litlen_lengths();
+  std::size_t bits = 0;
+  for (int s = 0; s < kNumLitLenSymbols; ++s) {
+    const auto su = static_cast<std::size_t>(s);
+    std::size_t sym_bits = ll[su];
+    if (s >= 257) sym_bits += kLengthCodes[s - 257].extra_bits;
+    bits += f.litlen[su] * sym_bits;
+  }
+  for (int s = 0; s < kNumDistSymbols; ++s) {
+    const auto su = static_cast<std::size_t>(s);
+    bits += f.dist[su] * (5u + kDistCodes[su].extra_bits);
+  }
+  return bits;
+}
+
+void write_stored_block(BitWriter& out, ByteView raw, bool final) {
+  // Stored blocks carry at most 65535 bytes each.
+  std::size_t off = 0;
+  do {
+    const std::size_t take = std::min<std::size_t>(raw.size() - off, 65535);
+    const bool last_piece = final && off + take == raw.size();
+    out.write_bits(last_piece ? 1 : 0, 1);
+    out.write_bits(0, 2);  // BTYPE=00
+    out.align_to_byte();
+    const std::uint16_t len = static_cast<std::uint16_t>(take);
+    out.write_byte(static_cast<std::uint8_t>(len));
+    out.write_byte(static_cast<std::uint8_t>(len >> 8));
+    out.write_byte(static_cast<std::uint8_t>(~len));
+    out.write_byte(static_cast<std::uint8_t>((~len) >> 8));
+    for (std::size_t i = 0; i < take; ++i) out.write_byte(raw[off + i]);
+    off += take;
+  } while (off < raw.size());
+}
+
+void write_block(BitWriter& out, const std::vector<Token>& tokens,
+                 std::size_t begin, std::size_t end, ByteView raw_bytes,
+                 bool final) {
+  const BlockFrequencies f = count_frequencies(tokens, begin, end);
+
+  // Build the dynamic trees.
+  std::vector<std::uint8_t> ll_len = build_code_lengths(f.litlen);
+  std::vector<std::uint8_t> d_len = build_code_lengths(f.dist);
+  // DEFLATE requires at least one distance code to be describable; give the
+  // all-literal case a 1-bit dummy code for distance 0.
+  if (std::all_of(d_len.begin(), d_len.end(), [](std::uint8_t l) { return l == 0; })) {
+    d_len[0] = 1;
+  }
+
+  const int hlit = [&] {
+    int n = kNumLitLenSymbols;
+    while (n > 257 && ll_len[static_cast<std::size_t>(n - 1)] == 0) --n;
+    return n;
+  }();
+  const int hdist = [&] {
+    int n = kNumDistSymbols;
+    while (n > 1 && d_len[static_cast<std::size_t>(n - 1)] == 0) --n;
+    return n;
+  }();
+
+  std::vector<std::uint8_t> combined(ll_len.begin(), ll_len.begin() + hlit);
+  combined.insert(combined.end(), d_len.begin(), d_len.begin() + hdist);
+  const std::vector<ClToken> cl_tokens = rle_code_lengths(combined);
+
+  std::vector<std::uint64_t> cl_freq(kNumClSymbols, 0);
+  for (const ClToken& t : cl_tokens) ++cl_freq[t.symbol];
+  std::vector<std::uint8_t> cl_len = build_code_lengths(cl_freq, 7);
+
+  const int hclen = [&] {
+    int n = kNumClSymbols;
+    while (n > 4 && cl_len[kClOrder[n - 1]] == 0) --n;
+    return n;
+  }();
+
+  // Choose the cheapest representation.
+  const std::size_t dyn_bits =
+      dynamic_block_bits(ll_len, d_len, f, cl_tokens, cl_len, hclen);
+  const std::size_t fix_bits = fixed_block_bits(f);
+  const std::size_t stored_bits = 8 * (raw_bytes.size() + 5) + 7;
+
+  if (stored_bits < dyn_bits && stored_bits < fix_bits) {
+    write_stored_block(out, raw_bytes, final);
+    return;
+  }
+
+  out.write_bits(final ? 1 : 0, 1);
+  if (fix_bits <= dyn_bits) {
+    out.write_bits(1, 2);  // BTYPE=01 fixed
+    const HuffmanEncoder litlen(fixed_litlen_lengths());
+    const HuffmanEncoder dist(fixed_dist_lengths());
+    write_tokens(out, tokens, begin, end, litlen, dist);
+    return;
+  }
+
+  out.write_bits(2, 2);  // BTYPE=10 dynamic
+  out.write_bits(static_cast<std::uint32_t>(hlit - 257), 5);
+  out.write_bits(static_cast<std::uint32_t>(hdist - 1), 5);
+  out.write_bits(static_cast<std::uint32_t>(hclen - 4), 4);
+  const HuffmanEncoder cl_encoder(cl_len);
+  for (int i = 0; i < hclen; ++i) {
+    out.write_bits(cl_len[kClOrder[i]], 3);
+  }
+  for (const ClToken& t : cl_tokens) {
+    cl_encoder.write_symbol(out, t.symbol);
+    if (t.symbol >= 16) {
+      out.write_bits(t.extra_value, kClExtraBits[t.symbol]);
+    }
+  }
+  const HuffmanEncoder litlen(ll_len);
+  const HuffmanEncoder dist(d_len);
+  write_tokens(out, tokens, begin, end, litlen, dist);
+}
+
+}  // namespace
+
+Bytes compress(ByteView data, const DeflateOptions& options) {
+  BitWriter out;
+  if (data.empty()) {
+    write_stored_block(out, data, true);
+    return out.finish();
+  }
+
+  const std::vector<Token> tokens = lz77_parse(data, options.lz77);
+
+  // Partition the token stream into blocks, tracking the raw byte span each
+  // block covers (needed for the stored-block fallback).
+  std::size_t token_begin = 0;
+  std::size_t byte_begin = 0;
+  while (token_begin < tokens.size()) {
+    const std::size_t token_end =
+        std::min(tokens.size(), token_begin + options.block_tokens);
+    std::size_t byte_end = byte_begin;
+    for (std::size_t i = token_begin; i < token_end; ++i) {
+      byte_end += tokens[i].distance == 0 ? 1 : tokens[i].length;
+    }
+    const bool final = token_end == tokens.size();
+    write_block(out, tokens, token_begin, token_end,
+                data.subspan(byte_begin, byte_end - byte_begin), final);
+    token_begin = token_end;
+    byte_begin = byte_end;
+  }
+  return out.finish();
+}
+
+Bytes decompress(ByteView stream, std::size_t max_output) {
+  BitReader in(stream);
+  Bytes out;
+
+  for (;;) {
+    const std::uint32_t final = in.read_bit();
+    const std::uint32_t btype = in.read_bits(2);
+
+    if (btype == 0) {  // stored
+      in.align_to_byte();
+      const std::uint32_t len = in.read_byte() | (in.read_byte() << 8);
+      const std::uint32_t nlen = in.read_byte() | (in.read_byte() << 8);
+      if ((len ^ nlen) != 0xffff) {
+        throw SerializationError("decompress: stored block LEN/NLEN mismatch");
+      }
+      if (out.size() + len > max_output) {
+        throw SerializationError("decompress: output limit exceeded");
+      }
+      for (std::uint32_t i = 0; i < len; ++i) out.push_back(in.read_byte());
+    } else if (btype == 1 || btype == 2) {
+      std::unique_ptr<HuffmanDecoder> litlen;
+      std::unique_ptr<HuffmanDecoder> dist;
+      if (btype == 1) {
+        litlen = std::make_unique<HuffmanDecoder>(fixed_litlen_lengths());
+        dist = std::make_unique<HuffmanDecoder>(fixed_dist_lengths());
+      } else {
+        const int hlit = static_cast<int>(in.read_bits(5)) + 257;
+        const int hdist = static_cast<int>(in.read_bits(5)) + 1;
+        const int hclen = static_cast<int>(in.read_bits(4)) + 4;
+        std::vector<std::uint8_t> cl_len(kNumClSymbols, 0);
+        for (int i = 0; i < hclen; ++i) {
+          cl_len[kClOrder[i]] = static_cast<std::uint8_t>(in.read_bits(3));
+        }
+        const HuffmanDecoder cl_decoder(cl_len);
+
+        std::vector<std::uint8_t> combined;
+        combined.reserve(static_cast<std::size_t>(hlit + hdist));
+        while (combined.size() < static_cast<std::size_t>(hlit + hdist)) {
+          const std::uint32_t sym = cl_decoder.read_symbol(in);
+          if (sym < 16) {
+            combined.push_back(static_cast<std::uint8_t>(sym));
+          } else if (sym == 16) {
+            if (combined.empty()) {
+              throw SerializationError("decompress: repeat with no previous");
+            }
+            const std::uint32_t rep = 3 + in.read_bits(2);
+            combined.insert(combined.end(), rep, combined.back());
+          } else if (sym == 17) {
+            combined.insert(combined.end(), 3 + in.read_bits(3), 0);
+          } else {
+            combined.insert(combined.end(), 11 + in.read_bits(7), 0);
+          }
+        }
+        if (combined.size() != static_cast<std::size_t>(hlit + hdist)) {
+          throw SerializationError("decompress: code length overrun");
+        }
+        std::vector<std::uint8_t> ll(combined.begin(), combined.begin() + hlit);
+        ll.resize(kNumLitLenSymbols, 0);
+        std::vector<std::uint8_t> dd(combined.begin() + hlit, combined.end());
+        dd.resize(kNumDistSymbols, 0);
+        if (ll[kEndOfBlock] == 0) {
+          throw SerializationError("decompress: no end-of-block code");
+        }
+        litlen = std::make_unique<HuffmanDecoder>(ll);
+        dist = std::make_unique<HuffmanDecoder>(dd);
+      }
+
+      for (;;) {
+        const std::uint32_t sym = litlen->read_symbol(in);
+        if (sym < 256) {
+          if (out.size() + 1 > max_output) {
+            throw SerializationError("decompress: output limit exceeded");
+          }
+          out.push_back(static_cast<std::uint8_t>(sym));
+        } else if (sym == kEndOfBlock) {
+          break;
+        } else {
+          const std::uint32_t lc = sym - 257;
+          if (lc >= 29) throw SerializationError("decompress: bad length code");
+          const std::size_t len =
+              kLengthCodes[lc].base + in.read_bits(kLengthCodes[lc].extra_bits);
+          const std::uint32_t dc = dist->read_symbol(in);
+          if (dc >= 30) throw SerializationError("decompress: bad dist code");
+          const std::size_t d =
+              kDistCodes[dc].base + in.read_bits(kDistCodes[dc].extra_bits);
+          if (d > out.size()) {
+            throw SerializationError("decompress: distance before start");
+          }
+          if (out.size() + len > max_output) {
+            throw SerializationError("decompress: output limit exceeded");
+          }
+          const std::size_t start = out.size() - d;
+          for (std::size_t i = 0; i < len; ++i) out.push_back(out[start + i]);
+        }
+      }
+    } else {
+      throw SerializationError("decompress: reserved block type");
+    }
+
+    if (final) break;
+  }
+  return out;
+}
+
+}  // namespace speed::deflate

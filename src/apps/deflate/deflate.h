@@ -1,0 +1,31 @@
+// DEFLATE compressed-data format (RFC 1951), encoder and decoder.
+//
+// This is the reproduction's stand-in for zlib's deflate(), the second
+// SPEED case study (paper Fig. 4/5b). The encoder supports all three block
+// types — stored, fixed-Huffman, dynamic-Huffman — and picks the cheapest
+// per block; the decoder handles arbitrary conforming streams.
+#pragma once
+
+#include "common/bytes.h"
+#include "apps/deflate/lz77.h"
+
+namespace speed::deflate {
+
+struct DeflateOptions {
+  Lz77Params lz77;
+  /// Tokens per block; each block chooses stored/fixed/dynamic independently.
+  std::size_t block_tokens = 1u << 16;
+};
+
+/// Compress `data` into a raw DEFLATE stream.
+Bytes compress(ByteView data, const DeflateOptions& options = {});
+
+/// Decompress a raw DEFLATE stream; throws SerializationError on malformed
+/// input or if the output would exceed `max_output` bytes.
+Bytes decompress(ByteView stream, std::size_t max_output = 1u << 30);
+
+/// The version string SPEED descriptors use for this library.
+inline constexpr const char* kLibraryFamily = "speed-deflate";
+inline constexpr const char* kLibraryVersion = "1.0";
+
+}  // namespace speed::deflate

@@ -1,0 +1,146 @@
+#include "apps/deflate/huffman.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace speed::deflate {
+
+namespace {
+
+/// Package-merge item: a weight plus the multiset of leaf symbols inside.
+struct Item {
+  std::uint64_t weight;
+  std::vector<std::uint16_t> symbols;
+};
+
+bool lighter(const Item& a, const Item& b) { return a.weight < b.weight; }
+
+}  // namespace
+
+std::vector<std::uint8_t> build_code_lengths(
+    const std::vector<std::uint64_t>& freqs, int max_bits) {
+  std::vector<std::uint8_t> lengths(freqs.size(), 0);
+
+  std::vector<std::uint16_t> active;
+  for (std::size_t i = 0; i < freqs.size(); ++i) {
+    if (freqs[i] > 0) active.push_back(static_cast<std::uint16_t>(i));
+  }
+  if (active.empty()) return lengths;
+  if (active.size() == 1) {
+    lengths[active[0]] = 1;  // DEFLATE forbids zero-bit codes
+    return lengths;
+  }
+  if ((static_cast<std::size_t>(1) << max_bits) < active.size()) {
+    throw Error("build_code_lengths: alphabet too large for bit limit");
+  }
+
+  // Leaves sorted by weight, reused at every level.
+  std::vector<Item> leaves;
+  leaves.reserve(active.size());
+  for (const std::uint16_t s : active) {
+    leaves.push_back(Item{freqs[s], {s}});
+  }
+  std::sort(leaves.begin(), leaves.end(), lighter);
+
+  // Package-merge: list_1 = leaves; list_l = merge(leaves, package(list_{l-1})).
+  std::vector<Item> list = leaves;
+  for (int level = 2; level <= max_bits; ++level) {
+    std::vector<Item> packages;
+    packages.reserve(list.size() / 2);
+    for (std::size_t i = 0; i + 1 < list.size(); i += 2) {
+      Item merged;
+      merged.weight = list[i].weight + list[i + 1].weight;
+      merged.symbols = list[i].symbols;
+      merged.symbols.insert(merged.symbols.end(), list[i + 1].symbols.begin(),
+                            list[i + 1].symbols.end());
+      packages.push_back(std::move(merged));
+    }
+    std::vector<Item> next;
+    next.reserve(leaves.size() + packages.size());
+    std::merge(leaves.begin(), leaves.end(),
+               std::make_move_iterator(packages.begin()),
+               std::make_move_iterator(packages.end()),
+               std::back_inserter(next), lighter);
+    list = std::move(next);
+  }
+
+  // Select the cheapest 2n-2 items; each leaf occurrence deepens its symbol.
+  const std::size_t take = 2 * active.size() - 2;
+  for (std::size_t i = 0; i < take && i < list.size(); ++i) {
+    for (const std::uint16_t s : list[i].symbols) ++lengths[s];
+  }
+  return lengths;
+}
+
+std::vector<std::uint16_t> assign_canonical_codes(
+    const std::vector<std::uint8_t>& lengths) {
+  std::uint32_t bl_count[kMaxCodeBits + 1] = {};
+  for (const std::uint8_t len : lengths) {
+    if (len > kMaxCodeBits) throw Error("assign_canonical_codes: length > 15");
+    ++bl_count[len];
+  }
+  bl_count[0] = 0;
+
+  std::uint32_t next_code[kMaxCodeBits + 1] = {};
+  std::uint32_t code = 0;
+  for (int bits = 1; bits <= kMaxCodeBits; ++bits) {
+    code = (code + bl_count[bits - 1]) << 1;
+    next_code[bits] = code;
+  }
+
+  std::vector<std::uint16_t> codes(lengths.size(), 0);
+  for (std::size_t i = 0; i < lengths.size(); ++i) {
+    if (lengths[i] > 0) {
+      codes[i] = static_cast<std::uint16_t>(next_code[lengths[i]]++);
+    }
+  }
+  return codes;
+}
+
+HuffmanDecoder::HuffmanDecoder(const std::vector<std::uint8_t>& lengths) {
+  std::uint64_t kraft = 0;  // in units of 2^-15
+  for (const std::uint8_t len : lengths) {
+    if (len > kMaxCodeBits) {
+      throw SerializationError("HuffmanDecoder: code length > 15");
+    }
+    if (len > 0) {
+      ++count_[len];
+      kraft += 1ull << (kMaxCodeBits - len);
+    }
+  }
+  if (kraft > (1ull << kMaxCodeBits)) {
+    throw SerializationError("HuffmanDecoder: over-subscribed code");
+  }
+
+  // Sort symbols by (length, symbol) — canonical order.
+  std::uint32_t index = 0;
+  std::uint32_t code = 0;
+  for (int len = 1; len <= kMaxCodeBits; ++len) {
+    code = (code + count_[len - 1]) << 1;
+    first_code_[len] = code;
+    first_index_[len] = index;
+    index += count_[len];
+  }
+  sorted_symbols_.resize(index);
+  std::uint32_t cursor[kMaxCodeBits + 1];
+  std::copy(first_index_, first_index_ + kMaxCodeBits + 1, cursor);
+  for (std::size_t s = 0; s < lengths.size(); ++s) {
+    if (lengths[s] > 0) {
+      sorted_symbols_[cursor[lengths[s]]++] = static_cast<std::uint16_t>(s);
+    }
+  }
+}
+
+std::uint32_t HuffmanDecoder::read_symbol(BitReader& in) const {
+  std::uint32_t code = 0;
+  for (int len = 1; len <= kMaxCodeBits; ++len) {
+    code = (code << 1) | in.read_bit();
+    if (count_[len] != 0 && code >= first_code_[len] &&
+        code - first_code_[len] < count_[len]) {
+      return sorted_symbols_[first_index_[len] + (code - first_code_[len])];
+    }
+  }
+  throw SerializationError("HuffmanDecoder: invalid code in stream");
+}
+
+}  // namespace speed::deflate

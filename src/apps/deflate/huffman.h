@@ -1,0 +1,71 @@
+// Canonical Huffman coding for DEFLATE (RFC 1951 §3.2.2).
+//
+// Encoding side: length-limited code lengths via the package-merge
+// algorithm (limit 15), then canonical code assignment. Decoding side: a
+// canonical decoder driven by per-length first-code/offset tables.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/deflate/bitio.h"
+#include "common/bytes.h"
+
+namespace speed::deflate {
+
+inline constexpr int kMaxCodeBits = 15;
+
+/// Compute length-limited Huffman code lengths for symbol frequencies.
+/// Symbols with zero frequency get length 0 (absent). If exactly one symbol
+/// has nonzero frequency it gets length 1 (DEFLATE forbids 0-bit codes for
+/// present symbols). Throws if the limit is infeasible (cannot happen for
+/// alphabet sizes <= 2^limit).
+std::vector<std::uint8_t> build_code_lengths(
+    const std::vector<std::uint64_t>& freqs, int max_bits = kMaxCodeBits);
+
+/// Canonical code values for given lengths (RFC 1951 algorithm). codes[i]
+/// is meaningful only where lengths[i] > 0; codes are in natural MSB-first
+/// order — reverse before writing to the LSB-first bitstream.
+std::vector<std::uint16_t> assign_canonical_codes(
+    const std::vector<std::uint8_t>& lengths);
+
+/// Encoder table: code + length per symbol.
+class HuffmanEncoder {
+ public:
+  explicit HuffmanEncoder(const std::vector<std::uint8_t>& lengths)
+      : lengths_(lengths), codes_(assign_canonical_codes(lengths)) {}
+
+  void write_symbol(BitWriter& out, std::size_t symbol) const {
+    const int len = lengths_[symbol];
+    out.write_bits(reverse_bits(codes_[symbol], len), len);
+  }
+
+  std::uint8_t length(std::size_t symbol) const { return lengths_[symbol]; }
+  const std::vector<std::uint8_t>& lengths() const { return lengths_; }
+
+ private:
+  std::vector<std::uint8_t> lengths_;
+  std::vector<std::uint16_t> codes_;
+};
+
+/// Canonical decoder: reads one symbol by extending the code bit by bit
+/// (MSB-first) and testing it against the per-length ranges.
+class HuffmanDecoder {
+ public:
+  /// Throws SerializationError if `lengths` do not describe a valid
+  /// (complete or single-code) canonical code.
+  explicit HuffmanDecoder(const std::vector<std::uint8_t>& lengths);
+
+  std::uint32_t read_symbol(BitReader& in) const;
+
+ private:
+  // first_code_[l]  : smallest code of length l
+  // first_index_[l] : index into sorted_symbols_ of that code
+  // count_[l]       : number of codes of length l
+  std::uint32_t first_code_[kMaxCodeBits + 1] = {};
+  std::uint32_t first_index_[kMaxCodeBits + 1] = {};
+  std::uint32_t count_[kMaxCodeBits + 1] = {};
+  std::vector<std::uint16_t> sorted_symbols_;
+};
+
+}  // namespace speed::deflate

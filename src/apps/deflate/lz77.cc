@@ -1,0 +1,149 @@
+#include "apps/deflate/lz77.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace speed::deflate {
+
+namespace {
+
+constexpr std::size_t kHashBits = 15;
+constexpr std::size_t kHashSize = 1u << kHashBits;
+
+inline std::uint32_t hash3(const std::uint8_t* p) {
+  const std::uint32_t v = static_cast<std::uint32_t>(p[0]) |
+                          (static_cast<std::uint32_t>(p[1]) << 8) |
+                          (static_cast<std::uint32_t>(p[2]) << 16);
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+/// Match length between data[a..] and data[b..], capped.
+std::size_t match_length(ByteView data, std::size_t a, std::size_t b,
+                         std::size_t cap) {
+  std::size_t len = 0;
+  while (len < cap && data[a + len] == data[b + len]) ++len;
+  return len;
+}
+
+class Matcher {
+ public:
+  Matcher(ByteView data, const Lz77Params& params)
+      : data_(data),
+        params_(params),
+        head_(kHashSize, kAbsent),
+        prev_(std::min<std::size_t>(data.size(), 1u << 26), kAbsent) {}
+
+  /// Best match at `pos`; returns length 0 if none of at least kMinMatch.
+  std::pair<std::size_t, std::size_t> find(std::size_t pos) const {
+    if (pos + kMinMatch > data_.size()) return {0, 0};
+    const std::size_t cap = std::min(kMaxMatch, data_.size() - pos);
+    std::size_t best_len = kMinMatch - 1;
+    std::size_t best_dist = 0;
+    std::uint32_t candidate = head_[hash3(data_.data() + pos)];
+    std::size_t chain = params_.max_chain;
+    while (candidate != kAbsent && chain-- > 0) {
+      const std::size_t cpos = candidate;
+      if (cpos >= pos) {  // self or future position (insertion ran ahead)
+        candidate = prev_[cpos];
+        continue;
+      }
+      if (pos - cpos > kWindowSize) break;
+      const std::size_t len = match_length(data_, cpos, pos, cap);
+      if (len > best_len) {
+        best_len = len;
+        best_dist = pos - cpos;
+        if (len >= params_.nice_length || len == cap) break;
+      }
+      candidate = prev_[cpos];
+    }
+    if (best_dist == 0) return {0, 0};
+    return {best_len, best_dist};
+  }
+
+  /// Register position `pos` in the hash chains.
+  void insert(std::size_t pos) {
+    if (pos + kMinMatch > data_.size()) return;
+    const std::uint32_t h = hash3(data_.data() + pos);
+    prev_[pos] = head_[h];
+    head_[h] = static_cast<std::uint32_t>(pos);
+  }
+
+ private:
+  static constexpr std::uint32_t kAbsent = 0xffffffffu;
+
+  ByteView data_;
+  const Lz77Params& params_;
+  std::vector<std::uint32_t> head_;
+  std::vector<std::uint32_t> prev_;
+};
+
+}  // namespace
+
+std::vector<Token> lz77_parse(ByteView data, const Lz77Params& params) {
+  if (data.size() >= (1u << 26)) {
+    throw Error("lz77_parse: input larger than 64 MB not supported");
+  }
+  std::vector<Token> tokens;
+  tokens.reserve(data.size() / 4 + 16);
+  Matcher matcher(data, params);
+
+  // Every position enters the hash chains exactly once, in order; the
+  // cursor may run ahead of `pos` during lazy lookahead (find() skips
+  // candidates at or after the query position).
+  std::size_t inserted = 0;
+  const auto ensure_inserted = [&](std::size_t up_to) {
+    while (inserted <= up_to && inserted < data.size()) {
+      matcher.insert(inserted++);
+    }
+  };
+
+  std::size_t pos = 0;
+  while (pos < data.size()) {
+    ensure_inserted(pos);
+    auto [len, dist] = matcher.find(pos);
+    if (len >= kMinMatch && params.lazy && pos + 1 < data.size()) {
+      // One-step lazy evaluation: if the match starting at pos+1 is longer,
+      // emit a literal and take the later match (zlib's strategy).
+      ensure_inserted(pos + 1);
+      const auto [next_len, next_dist] = matcher.find(pos + 1);
+      if (next_len > len) {
+        tokens.push_back(Token{0, 0, data[pos]});
+        ++pos;
+        len = next_len;
+        dist = next_dist;
+      }
+    }
+
+    if (len >= kMinMatch) {
+      tokens.push_back(Token{static_cast<std::uint16_t>(len),
+                             static_cast<std::uint16_t>(dist), 0});
+      ensure_inserted(pos + len - 1);
+      pos += len;
+    } else {
+      tokens.push_back(Token{0, 0, data[pos]});
+      ++pos;
+    }
+  }
+  return tokens;
+}
+
+Bytes lz77_reconstruct(const std::vector<Token>& tokens) {
+  Bytes out;
+  for (const Token& t : tokens) {
+    if (t.distance == 0) {
+      out.push_back(t.literal);
+    } else {
+      if (t.distance > out.size()) {
+        throw SerializationError("lz77_reconstruct: distance past start");
+      }
+      const std::size_t start = out.size() - t.distance;
+      for (std::size_t i = 0; i < t.length; ++i) {
+        out.push_back(out[start + i]);  // byte-by-byte: overlaps are legal
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace speed::deflate

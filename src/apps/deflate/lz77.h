@@ -1,0 +1,40 @@
+// LZ77 string matching for DEFLATE (hash chains with lazy evaluation,
+// zlib-style). Produces the token stream the block encoder entropy-codes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace speed::deflate {
+
+inline constexpr std::size_t kWindowSize = 32768;
+inline constexpr std::size_t kMinMatch = 3;
+inline constexpr std::size_t kMaxMatch = 258;
+
+/// One DEFLATE token: a literal byte (distance == 0) or a back-reference
+/// of `length` bytes at `distance`.
+struct Token {
+  std::uint16_t length = 0;
+  std::uint16_t distance = 0;  ///< 0 => literal
+  std::uint8_t literal = 0;
+};
+
+struct Lz77Params {
+  /// Maximum hash-chain positions examined per match attempt; higher finds
+  /// better matches, slower (zlib's good/nice/lazy knobs collapsed to one).
+  std::size_t max_chain = 128;
+  /// Stop searching once a match of at least this length is found.
+  std::size_t nice_length = 128;
+  /// Enable one-step lazy matching.
+  bool lazy = true;
+};
+
+/// Parse `data` into a token stream. Matches never cross the 32 KB window.
+std::vector<Token> lz77_parse(ByteView data, const Lz77Params& params = {});
+
+/// Reconstruct original bytes from tokens (for tests and the decoder oracle).
+Bytes lz77_reconstruct(const std::vector<Token>& tokens);
+
+}  // namespace speed::deflate

@@ -1,0 +1,47 @@
+#include "apps/mapreduce/bow.h"
+
+#include <cctype>
+#include <numeric>
+
+namespace speed::mapreduce {
+
+std::vector<std::string> tokenize(const std::string& text,
+                                  std::size_t min_length) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (const char c : text) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      current.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    } else if (!current.empty()) {
+      if (current.size() >= min_length) tokens.push_back(current);
+      current.clear();
+    }
+  }
+  if (current.size() >= min_length) tokens.push_back(current);
+  return tokens;
+}
+
+WordHistogram bag_of_words(const std::vector<std::string>& documents,
+                           const BowOptions& options) {
+  JobConfig config;
+  config.workers = options.workers;
+
+  const std::function<void(const std::string&, Emitter<std::string, std::uint64_t>&)>
+      bow_mapper = [&options](const std::string& doc,
+                              Emitter<std::string, std::uint64_t>& out) {
+        for (std::string& token : tokenize(doc, options.min_word_length)) {
+          out.emit(std::move(token), 1);
+        }
+      };
+
+  const std::function<std::uint64_t(const std::string&,
+                                    const std::vector<std::uint64_t>&)>
+      bow_reducer = [](const std::string&, const std::vector<std::uint64_t>& v) {
+        return std::accumulate(v.begin(), v.end(), std::uint64_t{0});
+      };
+
+  return run_job<std::string, std::string, std::uint64_t, std::uint64_t>(
+      documents, bow_mapper, bow_reducer, config);
+}
+
+}  // namespace speed::mapreduce

@@ -1,0 +1,32 @@
+// Bag-of-words computation on MapReduce — the fourth SPEED case study.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "apps/mapreduce/mapreduce.h"
+
+namespace speed::mapreduce {
+
+using WordHistogram = std::map<std::string, std::uint64_t>;
+
+struct BowOptions {
+  std::size_t min_word_length = 2;
+  std::size_t workers = 2;
+};
+
+/// Lowercased alphanumeric tokens of `text`.
+std::vector<std::string> tokenize(const std::string& text,
+                                  std::size_t min_length = 2);
+
+/// Bag-of-words over a batch of documents via the bow_mapper/bow_reducer
+/// MapReduce job (the paper's customized Mapper()).
+WordHistogram bag_of_words(const std::vector<std::string>& documents,
+                           const BowOptions& options = {});
+
+inline constexpr const char* kLibraryFamily = "speed-mapreduce";
+inline constexpr const char* kLibraryVersion = "1.0";
+
+}  // namespace speed::mapreduce

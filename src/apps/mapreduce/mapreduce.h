@@ -1,0 +1,103 @@
+// A small in-memory MapReduce framework — the substrate of the BoW case
+// study (paper Fig. 4 case 4 uses a C++ MapReduce library's Mapper()).
+//
+// The classic three phases: map tasks run in parallel over input splits and
+// emit (K, V) pairs into hash partitions; shuffle groups values by key
+// within each partition; reduce tasks fold each key's values. Deterministic
+// output (ordered map) regardless of worker count — required for results to
+// deduplicate.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/error.h"
+
+namespace speed::mapreduce {
+
+template <typename K, typename V>
+class Emitter {
+ public:
+  explicit Emitter(std::size_t partitions) : buckets_(partitions) {}
+
+  void emit(K key, V value) {
+    const std::size_t p = std::hash<K>{}(key) % buckets_.size();
+    buckets_[p].emplace_back(std::move(key), std::move(value));
+  }
+
+  std::vector<std::vector<std::pair<K, V>>>& buckets() { return buckets_; }
+
+ private:
+  std::vector<std::vector<std::pair<K, V>>> buckets_;
+};
+
+struct JobConfig {
+  std::size_t workers = std::thread::hardware_concurrency();
+  std::size_t partitions = 16;
+};
+
+/// Run a MapReduce job over `inputs`.
+///   mapper(input, emitter)            — emit any number of (K, V)
+///   reducer(key, values) -> OutV      — fold one key's values
+template <typename InputT, typename K, typename V, typename OutV>
+std::map<K, OutV> run_job(
+    const std::vector<InputT>& inputs,
+    const std::function<void(const InputT&, Emitter<K, V>&)>& mapper,
+    const std::function<OutV(const K&, const std::vector<V>&)>& reducer,
+    JobConfig config = JobConfig{}) {
+  if (config.workers == 0) config.workers = 1;
+  if (config.partitions == 0) throw Error("run_job: zero partitions");
+
+  // ---- map phase: each worker owns a private emitter (no locking).
+  const std::size_t workers = std::min(config.workers, std::max<std::size_t>(inputs.size(), 1));
+  std::vector<Emitter<K, V>> emitters(workers, Emitter<K, V>(config.partitions));
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+      threads.emplace_back([&, w] {
+        for (std::size_t i = w; i < inputs.size(); i += workers) {
+          mapper(inputs[i], emitters[w]);
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+
+  // ---- shuffle: group values by key within each partition.
+  std::vector<std::map<K, std::vector<V>>> grouped(config.partitions);
+  for (auto& emitter : emitters) {
+    for (std::size_t p = 0; p < config.partitions; ++p) {
+      for (auto& [key, value] : emitter.buckets()[p]) {
+        grouped[p][std::move(key)].push_back(std::move(value));
+      }
+    }
+  }
+
+  // ---- reduce phase: partitions in parallel, merged into an ordered map.
+  std::map<K, OutV> result;
+  std::mutex result_mu;
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+      threads.emplace_back([&, w] {
+        for (std::size_t p = w; p < config.partitions; p += workers) {
+          std::map<K, OutV> local;
+          for (const auto& [key, values] : grouped[p]) {
+            local.emplace(key, reducer(key, values));
+          }
+          std::lock_guard<std::mutex> lock(result_mu);
+          result.merge(local);
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+  return result;
+}
+
+}  // namespace speed::mapreduce

@@ -1,0 +1,87 @@
+#include "apps/match/aho_corasick.h"
+
+#include <deque>
+
+#include "common/error.h"
+
+namespace speed::match {
+
+AhoCorasick::AhoCorasick(const std::vector<Bytes>& patterns)
+    : patterns_(patterns.size()) {
+  // Trie construction.
+  next_.assign(256, 0);  // root, 0 = "no edge yet" is fixed up below
+  output_.emplace_back();
+  std::vector<std::uint32_t> lengths;  // pattern lengths for offsets
+
+  for (std::size_t p = 0; p < patterns.size(); ++p) {
+    const Bytes& pat = patterns[p];
+    if (pat.empty()) throw Error("AhoCorasick: empty pattern");
+    std::uint32_t state = 0;
+    for (const std::uint8_t b : pat) {
+      std::uint32_t nxt = transition(state, b);
+      if (nxt == 0) {
+        nxt = static_cast<std::uint32_t>(output_.size());
+        next_.resize(next_.size() + 256, 0);
+        output_.emplace_back();
+        next_[static_cast<std::size_t>(state) * 256 + b] = nxt;
+      }
+      state = nxt;
+    }
+    output_[state].push_back(static_cast<std::uint32_t>(p));
+  }
+
+  // BFS to compute failure links and convert the trie into a DFA
+  // (goto becomes total: missing edges follow failure transitions).
+  fail_.assign(output_.size(), 0);
+  std::deque<std::uint32_t> queue;
+  for (int b = 0; b < 256; ++b) {
+    const std::uint32_t child = next_[static_cast<std::size_t>(b)];
+    if (child != 0) {
+      fail_[child] = 0;
+      queue.push_back(child);
+    }
+  }
+  while (!queue.empty()) {
+    const std::uint32_t state = queue.front();
+    queue.pop_front();
+    // Merge output of the failure target (suffix matches).
+    for (const std::uint32_t pid : output_[fail_[state]]) {
+      output_[state].push_back(pid);
+    }
+    for (int b = 0; b < 256; ++b) {
+      const std::size_t slot = static_cast<std::size_t>(state) * 256 +
+                               static_cast<std::size_t>(b);
+      const std::uint32_t child = next_[slot];
+      if (child != 0) {
+        fail_[child] = transition(fail_[state], static_cast<std::uint8_t>(b));
+        queue.push_back(child);
+      } else {
+        next_[slot] = transition(fail_[state], static_cast<std::uint8_t>(b));
+      }
+    }
+  }
+}
+
+std::vector<AcMatch> AhoCorasick::find_all(ByteView text) const {
+  std::vector<AcMatch> matches;
+  std::uint32_t state = 0;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    state = transition(state, text[i]);
+    for (const std::uint32_t pid : output_[state]) {
+      matches.push_back(AcMatch{pid, i + 1});
+    }
+  }
+  return matches;
+}
+
+std::vector<bool> AhoCorasick::find_distinct(ByteView text) const {
+  std::vector<bool> seen(patterns_, false);
+  std::uint32_t state = 0;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    state = transition(state, text[i]);
+    for (const std::uint32_t pid : output_[state]) seen[pid] = true;
+  }
+  return seen;
+}
+
+}  // namespace speed::match

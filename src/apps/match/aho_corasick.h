@@ -1,0 +1,48 @@
+// Aho–Corasick multi-pattern string matching.
+//
+// The workhorse of the pattern-matching case study: Snort-style rules carry
+// literal "content" patterns, and scanning a packet against thousands of
+// them must be single-pass. Classic goto/failure/output automaton over full
+// 256-symbol alphabet rows (dense rows; thousands of patterns stay in the
+// tens of MB).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace speed::match {
+
+struct AcMatch {
+  std::size_t pattern_index;  ///< which pattern matched
+  std::size_t end_offset;     ///< offset one past the match's last byte
+};
+
+class AhoCorasick {
+ public:
+  /// Build the automaton; empty patterns are rejected.
+  explicit AhoCorasick(const std::vector<Bytes>& patterns);
+
+  /// All matches (every pattern occurrence, including overlaps).
+  std::vector<AcMatch> find_all(ByteView text) const;
+
+  /// Which distinct patterns occur at least once (bitmap by index).
+  std::vector<bool> find_distinct(ByteView text) const;
+
+  std::size_t pattern_count() const { return patterns_; }
+  std::size_t node_count() const { return next_.size() / 256; }
+
+ private:
+  std::uint32_t transition(std::uint32_t state, std::uint8_t byte) const {
+    return next_[static_cast<std::size_t>(state) * 256 + byte];
+  }
+
+  std::vector<std::uint32_t> next_;      ///< dense goto function
+  std::vector<std::uint32_t> fail_;      ///< failure links
+  std::vector<std::vector<std::uint32_t>> output_;  ///< pattern ids per node
+  std::size_t patterns_ = 0;
+};
+
+}  // namespace speed::match

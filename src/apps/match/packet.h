@@ -1,0 +1,54 @@
+// Network packets for the pattern-matching workload.
+//
+// The paper scans >4M packets from the m57-Patents and 4SICS captures; our
+// substitute traces (src/workload) generate synthetic packets with the same
+// relevant structure: a 5-tuple plus an opaque payload the rules scan.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "serialize/serde.h"
+
+namespace speed::match {
+
+struct Packet {
+  std::uint32_t src_ip = 0;
+  std::uint32_t dst_ip = 0;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint8_t protocol = 6;  ///< 6 = TCP, 17 = UDP
+  Bytes payload;
+
+  friend bool operator==(const Packet&, const Packet&) = default;
+};
+
+using PacketTrace = std::vector<Packet>;
+
+}  // namespace speed::match
+
+namespace speed::serialize {
+
+template <>
+struct Serde<speed::match::Packet> {
+  static void encode(Encoder& enc, const speed::match::Packet& p) {
+    enc.u32(p.src_ip);
+    enc.u32(p.dst_ip);
+    enc.u16(p.src_port);
+    enc.u16(p.dst_port);
+    enc.u8(p.protocol);
+    enc.var_bytes(p.payload);
+  }
+  static speed::match::Packet decode(Decoder& dec) {
+    speed::match::Packet p;
+    p.src_ip = dec.u32();
+    p.dst_ip = dec.u32();
+    p.src_port = dec.u16();
+    p.dst_port = dec.u16();
+    p.protocol = dec.u8();
+    p.payload = dec.var_bytes();
+    return p;
+  }
+};
+
+}  // namespace speed::serialize

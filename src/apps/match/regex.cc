@@ -1,0 +1,403 @@
+#include "apps/match/regex.h"
+
+#include <array>
+#include <functional>
+#include <vector>
+
+namespace speed::match {
+
+namespace detail {
+
+struct CharSet {
+  std::array<std::uint64_t, 4> bits{};
+
+  void add(std::uint8_t c) { bits[c >> 6] |= 1ull << (c & 63); }
+  void add_range(std::uint8_t lo, std::uint8_t hi) {
+    for (int c = lo; c <= hi; ++c) add(static_cast<std::uint8_t>(c));
+  }
+  void negate() {
+    for (auto& w : bits) w = ~w;
+  }
+  bool test(std::uint8_t c) const { return (bits[c >> 6] >> (c & 63)) & 1; }
+};
+
+struct Node {
+  enum class Kind {
+    kClass,       ///< one byte from a character set
+    kConcat,      ///< children in sequence
+    kAlt,         ///< any one child
+    kRepeat,      ///< child repeated [min, max] times (max < 0 = unbounded)
+    kStartAnchor,
+    kEndAnchor,
+  };
+
+  Kind kind;
+  CharSet cls;
+  std::vector<std::shared_ptr<const Node>> children;
+  std::shared_ptr<const Node> child;
+  int min = 0;
+  int max = -1;
+};
+
+using NodePtr = std::shared_ptr<const Node>;
+
+namespace {
+
+// -------------------------------------------------------------- parser
+
+class Parser {
+ public:
+  explicit Parser(std::string_view pattern) : pat_(pattern) {}
+
+  NodePtr parse() {
+    NodePtr n = parse_alt();
+    if (pos_ != pat_.size()) {
+      throw RegexSyntaxError("unexpected ')' or trailing input");
+    }
+    return n;
+  }
+
+ private:
+  bool eof() const { return pos_ >= pat_.size(); }
+  char peek() const { return pat_[pos_]; }
+  char take() { return pat_[pos_++]; }
+
+  NodePtr parse_alt() {
+    std::vector<NodePtr> branches;
+    branches.push_back(parse_concat());
+    while (!eof() && peek() == '|') {
+      take();
+      branches.push_back(parse_concat());
+    }
+    if (branches.size() == 1) return branches[0];
+    auto node = std::make_shared<Node>();
+    node->kind = Node::Kind::kAlt;
+    node->children = std::move(branches);
+    return node;
+  }
+
+  NodePtr parse_concat() {
+    std::vector<NodePtr> parts;
+    while (!eof() && peek() != '|' && peek() != ')') {
+      parts.push_back(parse_repeat());
+    }
+    auto node = std::make_shared<Node>();
+    node->kind = Node::Kind::kConcat;
+    node->children = std::move(parts);
+    return node;
+  }
+
+  NodePtr parse_repeat() {
+    NodePtr atom = parse_atom();
+    while (!eof()) {
+      int min, max;
+      const char c = peek();
+      if (c == '*') {
+        min = 0; max = -1; take();
+      } else if (c == '+') {
+        min = 1; max = -1; take();
+      } else if (c == '?') {
+        min = 0; max = 1; take();
+      } else if (c == '{') {
+        std::size_t save = pos_;
+        take();
+        if (!parse_bound(min, max)) {
+          pos_ = save;  // literal '{'
+          break;
+        }
+      } else {
+        break;
+      }
+      if (atom->kind == Node::Kind::kStartAnchor ||
+          atom->kind == Node::Kind::kEndAnchor) {
+        throw RegexSyntaxError("quantifier on anchor");
+      }
+      auto rep = std::make_shared<Node>();
+      rep->kind = Node::Kind::kRepeat;
+      rep->child = atom;
+      rep->min = min;
+      rep->max = max;
+      atom = rep;
+    }
+    return atom;
+  }
+
+  /// Parse "m}" / "m,}" / "m,n}" after the '{'. Returns false to treat the
+  /// brace as a literal (PCRE behaviour for non-numeric braces).
+  bool parse_bound(int& min, int& max) {
+    if (eof() || !isdigit_(peek())) return false;
+    min = parse_int();
+    if (eof()) return false;
+    if (peek() == '}') {
+      take();
+      max = min;
+      return true;
+    }
+    if (peek() != ',') return false;
+    take();
+    if (!eof() && peek() == '}') {
+      take();
+      max = -1;
+      return true;
+    }
+    if (eof() || !isdigit_(peek())) return false;
+    max = parse_int();
+    if (max < min) throw RegexSyntaxError("{m,n} with n < m");
+    if (eof() || peek() != '}') return false;
+    take();
+    return true;
+  }
+
+  int parse_int() {
+    int v = 0;
+    while (!eof() && isdigit_(peek())) {
+      v = v * 10 + (take() - '0');
+      if (v > 1000) throw RegexSyntaxError("repetition bound too large");
+    }
+    return v;
+  }
+
+  static bool isdigit_(char c) { return c >= '0' && c <= '9'; }
+  static bool ishex_(char c) {
+    return isdigit_(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F');
+  }
+  static int hexval_(char c) {
+    if (isdigit_(c)) return c - '0';
+    if (c >= 'a') return c - 'a' + 10;
+    return c - 'A' + 10;
+  }
+
+  NodePtr parse_atom() {
+    if (eof()) throw RegexSyntaxError("pattern ends where atom expected");
+    const char c = take();
+    auto node = std::make_shared<Node>();
+    switch (c) {
+      case '(': {
+        NodePtr inner = parse_alt();
+        if (eof() || take() != ')') throw RegexSyntaxError("unclosed group");
+        return inner;
+      }
+      case '[':
+        node->kind = Node::Kind::kClass;
+        node->cls = parse_class();
+        return node;
+      case '.':
+        node->kind = Node::Kind::kClass;
+        node->cls.negate();  // everything…
+        node->cls.bits[static_cast<std::uint8_t>('\n') >> 6] &=
+            ~(1ull << (static_cast<std::uint8_t>('\n') & 63));  // …but newline
+        return node;
+      case '^':
+        node->kind = Node::Kind::kStartAnchor;
+        return node;
+      case '$':
+        node->kind = Node::Kind::kEndAnchor;
+        return node;
+      case '\\':
+        node->kind = Node::Kind::kClass;
+        node->cls = parse_escape();
+        return node;
+      case '*':
+      case '+':
+      case '?':
+        throw RegexSyntaxError("quantifier with nothing to repeat");
+      case ')':
+        throw RegexSyntaxError("unmatched ')'");
+      default:
+        node->kind = Node::Kind::kClass;
+        node->cls.add(static_cast<std::uint8_t>(c));
+        return node;
+    }
+  }
+
+  CharSet parse_escape() {
+    if (eof()) throw RegexSyntaxError("dangling backslash");
+    const char c = take();
+    CharSet set;
+    switch (c) {
+      case 'd': set.add_range('0', '9'); return set;
+      case 'D': set.add_range('0', '9'); set.negate(); return set;
+      case 'w':
+        set.add_range('a', 'z'); set.add_range('A', 'Z');
+        set.add_range('0', '9'); set.add('_');
+        return set;
+      case 'W':
+        set.add_range('a', 'z'); set.add_range('A', 'Z');
+        set.add_range('0', '9'); set.add('_'); set.negate();
+        return set;
+      case 's':
+        for (const char ws : {' ', '\t', '\r', '\n', '\f', '\v'}) {
+          set.add(static_cast<std::uint8_t>(ws));
+        }
+        return set;
+      case 'S':
+        for (const char ws : {' ', '\t', '\r', '\n', '\f', '\v'}) {
+          set.add(static_cast<std::uint8_t>(ws));
+        }
+        set.negate();
+        return set;
+      case 'n': set.add('\n'); return set;
+      case 'r': set.add('\r'); return set;
+      case 't': set.add('\t'); return set;
+      case 'f': set.add('\f'); return set;
+      case 'v': set.add('\v'); return set;
+      case '0': set.add(0); return set;
+      case 'x': {
+        if (pos_ + 1 >= pat_.size() || !ishex_(pat_[pos_]) ||
+            !ishex_(pat_[pos_ + 1])) {
+          throw RegexSyntaxError("\\x needs two hex digits");
+        }
+        const int v = hexval_(take()) * 16;
+        set.add(static_cast<std::uint8_t>(v + hexval_(take())));
+        return set;
+      }
+      default:
+        set.add(static_cast<std::uint8_t>(c));  // escaped literal
+        return set;
+    }
+  }
+
+  CharSet parse_class() {
+    CharSet set;
+    bool negate = false;
+    if (!eof() && peek() == '^') {
+      negate = true;
+      take();
+    }
+    bool any = false;
+    while (true) {
+      if (eof()) throw RegexSyntaxError("unclosed character class");
+      char c = take();
+      if (c == ']' && any) break;
+      if (c == ']' && !any) {
+        // ']' as the very first member is a literal (PCRE behaviour).
+        set.add(static_cast<std::uint8_t>(']'));
+        any = true;
+        continue;
+      }
+      CharSet member;
+      if (c == '\\') {
+        member = parse_escape();
+      } else {
+        member.add(static_cast<std::uint8_t>(c));
+      }
+      // Range? Only for single-char members.
+      if (!eof() && peek() == '-' && pos_ + 1 < pat_.size() &&
+          pat_[pos_ + 1] != ']' && c != '\\') {
+        take();  // '-'
+        char hi = take();
+        if (hi == '\\') throw RegexSyntaxError("escape as range end");
+        if (static_cast<std::uint8_t>(hi) < static_cast<std::uint8_t>(c)) {
+          throw RegexSyntaxError("reversed character range");
+        }
+        set.add_range(static_cast<std::uint8_t>(c), static_cast<std::uint8_t>(hi));
+      } else {
+        for (int i = 0; i < 256; ++i) {
+          if (member.test(static_cast<std::uint8_t>(i))) {
+            set.add(static_cast<std::uint8_t>(i));
+          }
+        }
+      }
+      any = true;
+    }
+    if (negate) set.negate();
+    return set;
+  }
+
+  std::string_view pat_;
+  std::size_t pos_ = 0;
+};
+
+// ------------------------------------------------------------- matcher
+
+using Cont = std::function<bool(std::size_t)>;
+
+struct MatchContext {
+  ByteView text;
+  std::size_t steps_left;
+};
+
+bool match_node(const NodePtr& node, MatchContext& ctx, std::size_t pos,
+                const Cont& cont);
+
+bool match_seq(const std::vector<NodePtr>& nodes, std::size_t idx,
+               MatchContext& ctx, std::size_t pos, const Cont& cont) {
+  if (idx == nodes.size()) return cont(pos);
+  return match_node(nodes[idx], ctx, pos, [&](std::size_t p) {
+    return match_seq(nodes, idx + 1, ctx, p, cont);
+  });
+}
+
+bool match_repeat(const NodePtr& child, int min, int max, int count,
+                  MatchContext& ctx, std::size_t pos, const Cont& cont) {
+  // Greedy: try one more repetition first, then yield to the continuation.
+  if (max < 0 || count < max) {
+    const bool more = match_node(child, ctx, pos, [&](std::size_t p) {
+      if (p == pos) {
+        // Empty-width iteration: let it count toward `min`, but never loop
+        // past it (further empty repeats cannot change the outcome).
+        if (count + 1 >= min) return false;
+        return match_repeat(child, min, max, count + 1, ctx, p, cont);
+      }
+      return match_repeat(child, min, max, count + 1, ctx, p, cont);
+    });
+    if (more) return true;
+  }
+  if (count >= min) return cont(pos);
+  return false;
+}
+
+bool match_node(const NodePtr& node, MatchContext& ctx, std::size_t pos,
+                const Cont& cont) {
+  if (ctx.steps_left-- == 0) {
+    throw RegexBudgetError("regex step budget exhausted");
+  }
+  switch (node->kind) {
+    case Node::Kind::kClass:
+      return pos < ctx.text.size() && node->cls.test(ctx.text[pos]) &&
+             cont(pos + 1);
+    case Node::Kind::kConcat:
+      return match_seq(node->children, 0, ctx, pos, cont);
+    case Node::Kind::kAlt:
+      for (const NodePtr& branch : node->children) {
+        if (match_node(branch, ctx, pos, cont)) return true;
+      }
+      return false;
+    case Node::Kind::kRepeat:
+      return match_repeat(node->child, node->min, node->max, 0, ctx, pos, cont);
+    case Node::Kind::kStartAnchor:
+      return pos == 0 && cont(pos);
+    case Node::Kind::kEndAnchor:
+      return pos == ctx.text.size() && cont(pos);
+  }
+  return false;
+}
+
+}  // namespace
+}  // namespace detail
+
+Regex::Regex(std::string_view pattern, std::size_t step_budget)
+    : pattern_(pattern), step_budget_(step_budget) {
+  detail::Parser parser(pattern);
+  root_ = parser.parse();
+  // Start-anchor fast path: only safe when there is no top-level alternation
+  // that could hide an unanchored branch (e.g. "^a|b" matches "b" anywhere).
+  anchored_start_ = !pattern_.empty() && pattern_[0] == '^' &&
+                    pattern_.find('|') == std::string::npos;
+}
+
+Regex::~Regex() = default;
+Regex::Regex(Regex&&) noexcept = default;
+Regex& Regex::operator=(Regex&&) noexcept = default;
+
+bool Regex::search(ByteView text) const {
+  detail::MatchContext ctx{text, step_budget_};
+  const detail::Cont accept = [](std::size_t) { return true; };
+  const std::size_t last_start = anchored_start_ ? 0 : text.size();
+  for (std::size_t start = 0; start <= last_start; ++start) {
+    if (detail::match_node(root_, ctx, start, accept)) return true;
+  }
+  return false;
+}
+
+}  // namespace speed::match

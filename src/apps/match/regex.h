@@ -1,0 +1,65 @@
+// A compact regular-expression engine (PCRE subset) for rule payloads.
+//
+// The paper's third case study deduplicates pcre_exec() calls; this engine
+// is our stand-in for libpcre. Supported syntax:
+//
+//   literals, '.'            any byte except newline
+//   escapes \d \D \w \W \s \S \n \r \t \\ \. etc.
+//   classes  [abc] [a-z0-9] [^...]
+//   quantifiers * + ? {m} {m,} {m,n}   (greedy, with backtracking)
+//   anchors  ^ $
+//   groups   ( ... )  (non-capturing semantics)
+//   alternation a|b
+//
+// Matching is backtracking with a global step budget, so pathological
+// patterns degrade to a thrown RegexBudgetError instead of hanging.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/bytes.h"
+#include "common/error.h"
+
+namespace speed::match {
+
+class RegexSyntaxError : public Error {
+ public:
+  explicit RegexSyntaxError(const std::string& what) : Error(what) {}
+};
+
+class RegexBudgetError : public Error {
+ public:
+  explicit RegexBudgetError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+struct Node;
+}
+
+class Regex {
+ public:
+  /// Compile; throws RegexSyntaxError on malformed patterns.
+  explicit Regex(std::string_view pattern, std::size_t step_budget = 1u << 22);
+  ~Regex();
+
+  Regex(Regex&&) noexcept;
+  Regex& operator=(Regex&&) noexcept;
+  Regex(const Regex&) = delete;
+  Regex& operator=(const Regex&) = delete;
+
+  /// True if the pattern matches anywhere in `text` (pcre_exec semantics).
+  bool search(ByteView text) const;
+  bool search(std::string_view text) const { return search(as_bytes(text)); }
+
+  const std::string& pattern() const { return pattern_; }
+
+ private:
+  std::string pattern_;
+  std::shared_ptr<const detail::Node> root_;
+  bool anchored_start_ = false;
+  std::size_t step_budget_;
+};
+
+}  // namespace speed::match

@@ -1,0 +1,242 @@
+#include "apps/match/ruleset.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace speed::match {
+
+namespace {
+
+std::vector<Bytes> all_contents(const std::vector<Rule>& rules,
+                                std::vector<std::uint32_t>& pattern_rule) {
+  std::vector<Bytes> patterns;
+  for (std::size_t r = 0; r < rules.size(); ++r) {
+    for (const Bytes& c : rules[r].contents) {
+      patterns.push_back(c);
+      pattern_rule.push_back(static_cast<std::uint32_t>(r));
+    }
+  }
+  return patterns;
+}
+
+int hex_nibble(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+/// Decode a quoted Snort-style string with \" \\ escapes and |xx xx| hex.
+Bytes decode_content(std::string_view s) {
+  Bytes out;
+  std::size_t i = 0;
+  while (i < s.size()) {
+    const char c = s[i];
+    if (c == '\\' && i + 1 < s.size()) {
+      out.push_back(static_cast<std::uint8_t>(s[i + 1]));
+      i += 2;
+    } else if (c == '|') {
+      ++i;
+      while (i < s.size() && s[i] != '|') {
+        if (s[i] == ' ') {
+          ++i;
+          continue;
+        }
+        if (i + 1 >= s.size()) throw Error("decode_content: dangling hex byte");
+        const int hi = hex_nibble(s[i]);
+        const int lo = hex_nibble(s[i + 1]);
+        if (hi < 0 || lo < 0) throw Error("decode_content: bad hex digit");
+        out.push_back(static_cast<std::uint8_t>(hi * 16 + lo));
+        i += 2;
+      }
+      if (i >= s.size()) throw Error("decode_content: unterminated hex block");
+      ++i;  // closing '|'
+    } else {
+      out.push_back(static_cast<std::uint8_t>(c));
+      ++i;
+    }
+  }
+  return out;
+}
+
+/// Extract a double-quoted string starting at s[pos] == '"'; advances pos
+/// past the closing quote. Honors backslash escapes.
+std::string take_quoted(std::string_view s, std::size_t& pos) {
+  if (pos >= s.size() || s[pos] != '"') throw Error("rule: expected '\"'");
+  ++pos;
+  std::string out;
+  while (pos < s.size() && s[pos] != '"') {
+    if (s[pos] == '\\' && pos + 1 < s.size()) {
+      out.push_back(s[pos]);
+      out.push_back(s[pos + 1]);
+      pos += 2;
+    } else {
+      out.push_back(s[pos++]);
+    }
+  }
+  if (pos >= s.size()) throw Error("rule: unterminated string");
+  ++pos;
+  return out;
+}
+
+void skip_ws(std::string_view s, std::size_t& pos) {
+  while (pos < s.size() && (s[pos] == ' ' || s[pos] == '\t')) ++pos;
+}
+
+}  // namespace
+
+Rule parse_rule(std::string_view line) {
+  Rule rule;
+  std::size_t pos = 0;
+  skip_ws(line, pos);
+  constexpr std::string_view kAlert = "alert";
+  if (line.substr(pos, kAlert.size()) != kAlert) {
+    throw Error("rule: must start with 'alert'");
+  }
+  pos += kAlert.size();
+  skip_ws(line, pos);
+
+  // Numeric id.
+  std::size_t id_end = pos;
+  while (id_end < line.size() && line[id_end] >= '0' && line[id_end] <= '9') {
+    ++id_end;
+  }
+  if (id_end == pos) throw Error("rule: missing numeric id");
+  rule.id = static_cast<std::uint32_t>(std::stoul(std::string(line.substr(pos, id_end - pos))));
+  pos = id_end;
+  skip_ws(line, pos);
+
+  rule.message = take_quoted(line, pos);
+
+  while (pos < line.size()) {
+    skip_ws(line, pos);
+    if (pos >= line.size()) break;
+    if (line.compare(pos, 9, "content:\"") == 0) {
+      pos += 8;
+      rule.contents.push_back(decode_content(take_quoted(line, pos)));
+    } else if (line.compare(pos, 6, "pcre:\"") == 0) {
+      pos += 5;
+      if (rule.pcre.has_value()) throw Error("rule: multiple pcre options");
+      // Un-escape the rule-file quoting (\" and \\) before compiling.
+      const std::string raw = take_quoted(line, pos);
+      std::string pattern;
+      for (std::size_t i = 0; i < raw.size(); ++i) {
+        if (raw[i] == '\\' && i + 1 < raw.size() &&
+            (raw[i + 1] == '"')) {
+          pattern.push_back('"');
+          ++i;
+        } else {
+          pattern.push_back(raw[i]);
+        }
+      }
+      rule.pcre = pattern;
+    } else if (line[pos] == ';') {
+      ++pos;
+    } else {
+      throw Error("rule: unknown option near '" +
+                  std::string(line.substr(pos, 12)) + "'");
+    }
+  }
+  if (rule.contents.empty() && !rule.pcre.has_value()) {
+    throw Error("rule: needs at least one content or pcre option");
+  }
+  return rule;
+}
+
+RuleSet::RuleSet(std::vector<Rule> rules)
+    : rules_(std::move(rules)),
+      automaton_(all_contents(rules_, pattern_rule_)) {
+  regexes_.reserve(rules_.size());
+  has_regex_.reserve(rules_.size());
+  contents_per_rule_.reserve(rules_.size());
+  for (const Rule& r : rules_) {
+    if (r.pcre.has_value()) {
+      regexes_.emplace_back(*r.pcre);
+      has_regex_.push_back(true);
+    } else {
+      regexes_.emplace_back("");  // placeholder, never used
+      has_regex_.push_back(false);
+    }
+    contents_per_rule_.push_back(static_cast<std::uint32_t>(r.contents.size()));
+  }
+}
+
+std::vector<std::uint32_t> RuleSet::scan(ByteView payload) const {
+  // Phase 1: one multi-pattern pass counts distinct content hits per rule.
+  const std::vector<bool> hit = automaton_.find_distinct(payload);
+  std::vector<std::uint32_t> content_hits(rules_.size(), 0);
+  for (std::size_t p = 0; p < hit.size(); ++p) {
+    if (hit[p]) ++content_hits[pattern_rule_[p]];
+  }
+  // Phase 2: rules whose contents all occurred get regex confirmation.
+  std::vector<std::uint32_t> fired;
+  for (std::size_t r = 0; r < rules_.size(); ++r) {
+    if (content_hits[r] != contents_per_rule_[r]) continue;
+    if (has_regex_[r] && !regexes_[r].search(payload)) continue;
+    fired.push_back(rules_[r].id);
+  }
+  std::sort(fired.begin(), fired.end());
+  return fired;
+}
+
+std::vector<std::uint32_t> RuleSet::scan_sequential(ByteView payload) const {
+  std::vector<std::uint32_t> fired;
+  for (std::size_t r = 0; r < rules_.size(); ++r) {
+    bool all_contents = true;
+    for (const Bytes& content : rules_[r].contents) {
+      const auto it = std::search(payload.begin(), payload.end(),
+                                  content.begin(), content.end());
+      if (it == payload.end()) {
+        all_contents = false;
+        break;
+      }
+    }
+    if (!all_contents) continue;
+    if (has_regex_[r] && !regexes_[r].search(payload)) continue;
+    fired.push_back(rules_[r].id);
+  }
+  std::sort(fired.begin(), fired.end());
+  return fired;
+}
+
+std::vector<std::uint64_t> RuleSet::scan_sequential_batch(
+    const std::vector<Bytes>& payloads) const {
+  std::vector<std::uint64_t> counts(rules_.size(), 0);
+  std::vector<std::pair<std::uint32_t, std::size_t>> id_index;
+  id_index.reserve(rules_.size());
+  for (std::size_t r = 0; r < rules_.size(); ++r) {
+    id_index.emplace_back(rules_[r].id, r);
+  }
+  std::sort(id_index.begin(), id_index.end());
+  for (const Bytes& payload : payloads) {
+    for (const std::uint32_t id : scan_sequential(payload)) {
+      const auto it = std::lower_bound(
+          id_index.begin(), id_index.end(), std::make_pair(id, std::size_t{0}));
+      if (it != id_index.end() && it->first == id) ++counts[it->second];
+    }
+  }
+  return counts;
+}
+
+std::vector<std::uint64_t> RuleSet::scan_batch(
+    const std::vector<Bytes>& payloads) const {
+  std::vector<std::uint64_t> counts(rules_.size(), 0);
+  // Map rule id -> index once (ids are arbitrary).
+  std::vector<std::pair<std::uint32_t, std::size_t>> id_index;
+  id_index.reserve(rules_.size());
+  for (std::size_t r = 0; r < rules_.size(); ++r) {
+    id_index.emplace_back(rules_[r].id, r);
+  }
+  std::sort(id_index.begin(), id_index.end());
+  for (const Bytes& payload : payloads) {
+    for (const std::uint32_t id : scan(payload)) {
+      const auto it = std::lower_bound(
+          id_index.begin(), id_index.end(), std::make_pair(id, std::size_t{0}));
+      if (it != id_index.end() && it->first == id) ++counts[it->second];
+    }
+  }
+  return counts;
+}
+
+}  // namespace speed::match

@@ -1,0 +1,93 @@
+#include "apps/sift/image.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace speed::sift {
+
+Image gaussian_blur(const Image& src, double sigma) {
+  if (sigma <= 0) return src;
+  const int radius = static_cast<int>(std::ceil(3.0 * sigma));
+  std::vector<float> kernel(static_cast<std::size_t>(2 * radius + 1));
+  double sum = 0;
+  for (int i = -radius; i <= radius; ++i) {
+    const double v = std::exp(-(static_cast<double>(i) * i) / (2 * sigma * sigma));
+    kernel[static_cast<std::size_t>(i + radius)] = static_cast<float>(v);
+    sum += v;
+  }
+  for (auto& k : kernel) k = static_cast<float>(k / sum);
+
+  // Horizontal pass.
+  Image tmp(src.width(), src.height());
+  for (int y = 0; y < src.height(); ++y) {
+    for (int x = 0; x < src.width(); ++x) {
+      float acc = 0;
+      for (int i = -radius; i <= radius; ++i) {
+        acc += kernel[static_cast<std::size_t>(i + radius)] * src.at_clamped(x + i, y);
+      }
+      tmp.at(x, y) = acc;
+    }
+  }
+  // Vertical pass.
+  Image out(src.width(), src.height());
+  for (int y = 0; y < src.height(); ++y) {
+    for (int x = 0; x < src.width(); ++x) {
+      float acc = 0;
+      for (int i = -radius; i <= radius; ++i) {
+        acc += kernel[static_cast<std::size_t>(i + radius)] * tmp.at_clamped(x, y + i);
+      }
+      out.at(x, y) = acc;
+    }
+  }
+  return out;
+}
+
+Image downsample_by_2(const Image& src) {
+  const int w = std::max(1, src.width() / 2);
+  const int h = std::max(1, src.height() / 2);
+  Image out(w, h);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      out.at(x, y) = src.at(2 * x, 2 * y);
+    }
+  }
+  return out;
+}
+
+Image upsample_by_2(const Image& src) {
+  const int w = src.width() * 2;
+  const int h = src.height() * 2;
+  Image out(w, h);
+  for (int y = 0; y < h; ++y) {
+    const float sy = static_cast<float>(y) / 2.0f;
+    const int y0 = static_cast<int>(sy);
+    const float fy = sy - static_cast<float>(y0);
+    for (int x = 0; x < w; ++x) {
+      const float sx = static_cast<float>(x) / 2.0f;
+      const int x0 = static_cast<int>(sx);
+      const float fx = sx - static_cast<float>(x0);
+      const float v00 = src.at_clamped(x0, y0);
+      const float v10 = src.at_clamped(x0 + 1, y0);
+      const float v01 = src.at_clamped(x0, y0 + 1);
+      const float v11 = src.at_clamped(x0 + 1, y0 + 1);
+      out.at(x, y) = v00 * (1 - fx) * (1 - fy) + v10 * fx * (1 - fy) +
+                     v01 * (1 - fx) * fy + v11 * fx * fy;
+    }
+  }
+  return out;
+}
+
+Image image_from_gray8(int width, int height, ByteView pixels) {
+  if (static_cast<std::size_t>(width) * static_cast<std::size_t>(height) !=
+      pixels.size()) {
+    throw Error("image_from_gray8: dimensions do not match pixel count");
+  }
+  Image out(width, height);
+  for (std::size_t i = 0; i < pixels.size(); ++i) {
+    out.pixels()[i] = static_cast<float>(pixels[i]) / 255.0f;
+  }
+  return out;
+}
+
+}  // namespace speed::sift

@@ -1,0 +1,92 @@
+// Grayscale float images and the filtering primitives SIFT needs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+#include "serialize/serde.h"
+
+namespace speed::sift {
+
+class Image {
+ public:
+  Image() = default;
+  Image(int width, int height)
+      : width_(width), height_(height),
+        pixels_(static_cast<std::size_t>(width) * static_cast<std::size_t>(height), 0.0f) {}
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+
+  float at(int x, int y) const {
+    return pixels_[static_cast<std::size_t>(y) * static_cast<std::size_t>(width_) +
+                   static_cast<std::size_t>(x)];
+  }
+  float& at(int x, int y) {
+    return pixels_[static_cast<std::size_t>(y) * static_cast<std::size_t>(width_) +
+                   static_cast<std::size_t>(x)];
+  }
+
+  /// Clamped access (border replication).
+  float at_clamped(int x, int y) const {
+    x = x < 0 ? 0 : (x >= width_ ? width_ - 1 : x);
+    y = y < 0 ? 0 : (y >= height_ ? height_ - 1 : y);
+    return at(x, y);
+  }
+
+  const std::vector<float>& pixels() const { return pixels_; }
+  std::vector<float>& pixels() { return pixels_; }
+
+  friend bool operator==(const Image&, const Image&) = default;
+
+ private:
+  int width_ = 0;
+  int height_ = 0;
+  std::vector<float> pixels_;
+};
+
+/// Separable Gaussian blur with kernel radius ceil(3*sigma).
+Image gaussian_blur(const Image& src, double sigma);
+
+/// Decimate by 2 (every other pixel), as between SIFT octaves.
+Image downsample_by_2(const Image& src);
+
+/// Bilinear 2x upsampling, for SIFT's -1 octave (Lowe §3.3: doubling the
+/// input image roughly quadruples the number of stable keypoints).
+Image upsample_by_2(const Image& src);
+
+/// Load from 8-bit grayscale bytes (row-major), normalized to [0,1].
+Image image_from_gray8(int width, int height, ByteView pixels);
+
+}  // namespace speed::sift
+
+namespace speed::serialize {
+
+/// Images serialize as width, height, then the raw little-endian f32 pixel
+/// array — this is the input "m" the DedupRuntime hashes for the SIFT case
+/// study, so the encoding is a straight memcpy, not a per-pixel loop.
+template <>
+struct Serde<speed::sift::Image> {
+  static void encode(Encoder& enc, const speed::sift::Image& img) {
+    enc.u32(static_cast<std::uint32_t>(img.width()));
+    enc.u32(static_cast<std::uint32_t>(img.height()));
+    static_assert(sizeof(float) == 4);
+    enc.raw(ByteView(reinterpret_cast<const std::uint8_t*>(img.pixels().data()),
+                     img.pixels().size() * sizeof(float)));
+  }
+  static speed::sift::Image decode(Decoder& dec) {
+    const int w = static_cast<int>(dec.u32());
+    const int h = static_cast<int>(dec.u32());
+    if (w < 0 || h < 0 ||
+        static_cast<std::uint64_t>(w) * static_cast<std::uint64_t>(h) > (1u << 26)) {
+      throw SerializationError("Image: implausible dimensions");
+    }
+    speed::sift::Image img(w, h);
+    const ByteView raw = dec.raw(img.pixels().size() * sizeof(float));
+    __builtin_memcpy(img.pixels().data(), raw.data(), raw.size());
+    return img;
+  }
+};
+
+}  // namespace speed::serialize

@@ -1,0 +1,404 @@
+#include "apps/sift/sift.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace speed::sift {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+struct Octave {
+  std::vector<Image> gaussians;  ///< S+3 levels
+  std::vector<Image> dogs;       ///< S+2 levels
+};
+
+std::vector<Octave> build_pyramid(const Image& image, const SiftParams& p) {
+  std::vector<Octave> pyramid;
+  const int min_dim = std::min(image.width(), image.height());
+  int octaves = 0;
+  for (int d = min_dim; d >= 16 && octaves < p.max_octaves; d /= 2) ++octaves;
+  if (octaves == 0 && min_dim >= 8) octaves = 1;
+
+  const double k = std::pow(2.0, 1.0 / p.scales_per_octave);
+  Image base = gaussian_blur(image, p.sigma0);
+
+  for (int o = 0; o < octaves; ++o) {
+    Octave oct;
+    oct.gaussians.push_back(base);
+    double sigma_prev = p.sigma0;
+    for (int s = 1; s < p.scales_per_octave + 3; ++s) {
+      const double sigma_total = p.sigma0 * std::pow(k, s);
+      const double sigma_inc =
+          std::sqrt(sigma_total * sigma_total - sigma_prev * sigma_prev);
+      oct.gaussians.push_back(gaussian_blur(oct.gaussians.back(), sigma_inc));
+      sigma_prev = sigma_total;
+    }
+    for (std::size_t s = 0; s + 1 < oct.gaussians.size(); ++s) {
+      const Image& a = oct.gaussians[s];
+      const Image& b = oct.gaussians[s + 1];
+      Image dog(a.width(), a.height());
+      for (std::size_t i = 0; i < dog.pixels().size(); ++i) {
+        dog.pixels()[i] = b.pixels()[i] - a.pixels()[i];
+      }
+      oct.dogs.push_back(std::move(dog));
+    }
+    // The next octave starts from the gaussian with twice the base sigma.
+    base = downsample_by_2(oct.gaussians[static_cast<std::size_t>(p.scales_per_octave)]);
+    pyramid.push_back(std::move(oct));
+  }
+  return pyramid;
+}
+
+bool is_extremum(const Octave& oct, int s, int x, int y) {
+  const float v = oct.dogs[static_cast<std::size_t>(s)].at(x, y);
+  const bool maximum = v > 0;
+  for (int ds = -1; ds <= 1; ++ds) {
+    const Image& layer = oct.dogs[static_cast<std::size_t>(s + ds)];
+    for (int dy = -1; dy <= 1; ++dy) {
+      for (int dx = -1; dx <= 1; ++dx) {
+        if (ds == 0 && dx == 0 && dy == 0) continue;
+        const float n = layer.at(x + dx, y + dy);
+        if (maximum ? (n >= v) : (n <= v)) return false;
+      }
+    }
+  }
+  return true;
+}
+
+/// 3x3 linear solve via Cramer's rule; returns false if near-singular.
+bool solve3(const double a[3][3], const double b[3], double out[3]) {
+  const double det =
+      a[0][0] * (a[1][1] * a[2][2] - a[1][2] * a[2][1]) -
+      a[0][1] * (a[1][0] * a[2][2] - a[1][2] * a[2][0]) +
+      a[0][2] * (a[1][0] * a[2][1] - a[1][1] * a[2][0]);
+  if (std::abs(det) < 1e-12) return false;
+  double m[3][3];
+  for (int col = 0; col < 3; ++col) {
+    for (int i = 0; i < 3; ++i) {
+      for (int j = 0; j < 3; ++j) m[i][j] = a[i][j];
+    }
+    for (int i = 0; i < 3; ++i) m[i][col] = b[i];
+    const double d =
+        m[0][0] * (m[1][1] * m[2][2] - m[1][2] * m[2][1]) -
+        m[0][1] * (m[1][0] * m[2][2] - m[1][2] * m[2][0]) +
+        m[0][2] * (m[1][0] * m[2][1] - m[1][1] * m[2][0]);
+    out[col] = d / det;
+  }
+  return true;
+}
+
+struct RefinedPoint {
+  double x, y, s;   ///< refined (sub-pixel) coordinates within the octave
+  double contrast;  ///< interpolated |D|
+};
+
+/// Quadratic sub-pixel refinement (Brown & Lowe). Returns false when the
+/// point diverges or fails the contrast/edge tests.
+bool refine_extremum(const Octave& oct, int s, int x, int y,
+                     const SiftParams& p, RefinedPoint& out) {
+  const int width = oct.dogs[0].width();
+  const int height = oct.dogs[0].height();
+  const int max_s = static_cast<int>(oct.dogs.size()) - 2;
+
+  double offset[3] = {0, 0, 0};
+  for (int iter = 0; iter < 5; ++iter) {
+    const Image& d0 = oct.dogs[static_cast<std::size_t>(s - 1)];
+    const Image& d1 = oct.dogs[static_cast<std::size_t>(s)];
+    const Image& d2 = oct.dogs[static_cast<std::size_t>(s + 1)];
+
+    const double dx = (d1.at(x + 1, y) - d1.at(x - 1, y)) / 2.0;
+    const double dy = (d1.at(x, y + 1) - d1.at(x, y - 1)) / 2.0;
+    const double ds = (d2.at(x, y) - d0.at(x, y)) / 2.0;
+
+    const double dxx = d1.at(x + 1, y) - 2.0 * d1.at(x, y) + d1.at(x - 1, y);
+    const double dyy = d1.at(x, y + 1) - 2.0 * d1.at(x, y) + d1.at(x, y - 1);
+    const double dss = d2.at(x, y) - 2.0 * d1.at(x, y) + d0.at(x, y);
+    const double dxy = (d1.at(x + 1, y + 1) - d1.at(x - 1, y + 1) -
+                        d1.at(x + 1, y - 1) + d1.at(x - 1, y - 1)) / 4.0;
+    const double dxs = (d2.at(x + 1, y) - d2.at(x - 1, y) -
+                        d0.at(x + 1, y) + d0.at(x - 1, y)) / 4.0;
+    const double dys = (d2.at(x, y + 1) - d2.at(x, y - 1) -
+                        d0.at(x, y + 1) + d0.at(x, y - 1)) / 4.0;
+
+    const double hessian[3][3] = {{dxx, dxy, dxs}, {dxy, dyy, dys}, {dxs, dys, dss}};
+    const double gradient[3] = {-dx, -dy, -ds};
+    if (!solve3(hessian, gradient, offset)) return false;
+
+    if (std::abs(offset[0]) < 0.5 && std::abs(offset[1]) < 0.5 &&
+        std::abs(offset[2]) < 0.5) {
+      // Converged: contrast test on the interpolated value.
+      const double interpolated =
+          d1.at(x, y) + 0.5 * (dx * offset[0] + dy * offset[1] + ds * offset[2]);
+      if (std::abs(interpolated) <
+          p.contrast_threshold / p.scales_per_octave) {
+        return false;
+      }
+      // Edge rejection: ratio of principal curvatures (2x2 spatial Hessian).
+      const double trace = dxx + dyy;
+      const double det = dxx * dyy - dxy * dxy;
+      const double r = p.edge_threshold;
+      if (det <= 0 || trace * trace * r >= det * (r + 1) * (r + 1)) {
+        return false;
+      }
+      out.x = x + offset[0];
+      out.y = y + offset[1];
+      out.s = s + offset[2];
+      out.contrast = std::abs(interpolated);
+      return true;
+    }
+    // Step to the neighbouring sample and retry.
+    x += offset[0] > 0.5 ? 1 : (offset[0] < -0.5 ? -1 : 0);
+    y += offset[1] > 0.5 ? 1 : (offset[1] < -0.5 ? -1 : 0);
+    s += offset[2] > 0.5 ? 1 : (offset[2] < -0.5 ? -1 : 0);
+    if (s < 1 || s > max_s || x < 1 || x >= width - 1 || y < 1 || y >= height - 1) {
+      return false;
+    }
+  }
+  return false;
+}
+
+/// Gradient magnitude/angle at an integer position of a gaussian level.
+void gradient(const Image& img, int x, int y, double& mag, double& angle) {
+  const double gx = img.at_clamped(x + 1, y) - img.at_clamped(x - 1, y);
+  const double gy = img.at_clamped(x, y + 1) - img.at_clamped(x, y - 1);
+  mag = std::sqrt(gx * gx + gy * gy);
+  angle = std::atan2(gy, gx);
+}
+
+std::vector<double> orientation_peaks(const Image& gauss, double x, double y,
+                                      double sigma) {
+  constexpr int kBins = 36;
+  double hist[kBins] = {};
+  const double radius = 3.0 * 1.5 * sigma;
+  const int r = static_cast<int>(std::round(radius));
+  const int cx = static_cast<int>(std::round(x));
+  const int cy = static_cast<int>(std::round(y));
+  const double denom = 2.0 * (1.5 * sigma) * (1.5 * sigma);
+
+  for (int dy = -r; dy <= r; ++dy) {
+    for (int dx = -r; dx <= r; ++dx) {
+      const int px = cx + dx;
+      const int py = cy + dy;
+      if (px < 1 || px >= gauss.width() - 1 || py < 1 || py >= gauss.height() - 1) {
+        continue;
+      }
+      double mag, angle;
+      gradient(gauss, px, py, mag, angle);
+      const double w = std::exp(-(static_cast<double>(dx) * dx + static_cast<double>(dy) * dy) / denom);
+      int bin = static_cast<int>(std::round(kBins * (angle + kPi) / (2 * kPi))) % kBins;
+      if (bin < 0) bin += kBins;
+      hist[bin] += w * mag;
+    }
+  }
+
+  // Smooth the histogram twice with a [1 1 1]/3 box filter (standard).
+  for (int pass = 0; pass < 2; ++pass) {
+    double smoothed[kBins];
+    for (int i = 0; i < kBins; ++i) {
+      smoothed[i] = (hist[(i + kBins - 1) % kBins] + hist[i] +
+                     hist[(i + 1) % kBins]) / 3.0;
+    }
+    std::copy(smoothed, smoothed + kBins, hist);
+  }
+
+  const double max_val = *std::max_element(hist, hist + kBins);
+  std::vector<double> peaks;
+  if (max_val <= 0) return peaks;
+  for (int i = 0; i < kBins; ++i) {
+    const double prev = hist[(i + kBins - 1) % kBins];
+    const double next = hist[(i + 1) % kBins];
+    if (hist[i] > prev && hist[i] > next && hist[i] >= 0.8 * max_val) {
+      // Parabolic interpolation of the peak position.
+      const double delta = 0.5 * (prev - next) / (prev - 2 * hist[i] + next);
+      double bin = i + delta;
+      double angle = (2 * kPi * bin) / kBins - kPi;
+      if (angle >= kPi) angle -= 2 * kPi;
+      if (angle < -kPi) angle += 2 * kPi;
+      peaks.push_back(angle);
+    }
+  }
+  return peaks;
+}
+
+std::array<std::uint8_t, kDescriptorSize> compute_descriptor(
+    const Image& gauss, double x, double y, double sigma, double orientation) {
+  constexpr int kSpatialBins = 4;
+  constexpr int kOrientBins = 8;
+  double raw[kSpatialBins][kSpatialBins][kOrientBins] = {};
+
+  const double bin_width = 3.0 * sigma;
+  const double radius = bin_width * (kSpatialBins + 1) * std::sqrt(2.0) / 2.0;
+  const int r = std::min(static_cast<int>(std::round(radius)),
+                         std::max(gauss.width(), gauss.height()));
+  const double cos_o = std::cos(orientation);
+  const double sin_o = std::sin(orientation);
+  const int cx = static_cast<int>(std::round(x));
+  const int cy = static_cast<int>(std::round(y));
+  const double denom = 2.0 * (0.5 * kSpatialBins * bin_width) *
+                       (0.5 * kSpatialBins * bin_width);
+
+  for (int dy = -r; dy <= r; ++dy) {
+    for (int dx = -r; dx <= r; ++dx) {
+      const int px = cx + dx;
+      const int py = cy + dy;
+      if (px < 1 || px >= gauss.width() - 1 || py < 1 || py >= gauss.height() - 1) {
+        continue;
+      }
+      // Rotate into the keypoint frame.
+      const double rx = (cos_o * dx + sin_o * dy) / bin_width;
+      const double ry = (-sin_o * dx + cos_o * dy) / bin_width;
+      const double bx = rx + kSpatialBins / 2.0 - 0.5;
+      const double by = ry + kSpatialBins / 2.0 - 0.5;
+      if (bx <= -1 || bx >= kSpatialBins || by <= -1 || by >= kSpatialBins) {
+        continue;
+      }
+      double mag, angle;
+      gradient(gauss, px, py, mag, angle);
+      double rel = angle - orientation;
+      while (rel < 0) rel += 2 * kPi;
+      while (rel >= 2 * kPi) rel -= 2 * kPi;
+      const double bo = rel * kOrientBins / (2 * kPi);
+      const double w =
+          mag * std::exp(-(static_cast<double>(dx) * dx + static_cast<double>(dy) * dy) / denom);
+
+      // Trilinear interpolation into (bx, by, bo).
+      const int x0 = static_cast<int>(std::floor(bx));
+      const int y0 = static_cast<int>(std::floor(by));
+      const int o0 = static_cast<int>(std::floor(bo));
+      const double fx = bx - x0;
+      const double fy = by - y0;
+      const double fo = bo - o0;
+      for (int ix = 0; ix <= 1; ++ix) {
+        const int xb = x0 + ix;
+        if (xb < 0 || xb >= kSpatialBins) continue;
+        for (int iy = 0; iy <= 1; ++iy) {
+          const int yb = y0 + iy;
+          if (yb < 0 || yb >= kSpatialBins) continue;
+          for (int io = 0; io <= 1; ++io) {
+            const int ob = (o0 + io) % kOrientBins;
+            const double weight = w * (ix ? fx : 1 - fx) * (iy ? fy : 1 - fy) *
+                                  (io ? fo : 1 - fo);
+            raw[xb][yb][ob] += weight;
+          }
+        }
+      }
+    }
+  }
+
+  // Flatten, normalize, clamp at 0.2, renormalize, quantize.
+  std::array<double, kDescriptorSize> v{};
+  std::size_t idx = 0;
+  for (int ix = 0; ix < kSpatialBins; ++ix) {
+    for (int iy = 0; iy < kSpatialBins; ++iy) {
+      for (int io = 0; io < kOrientBins; ++io) v[idx++] = raw[ix][iy][io];
+    }
+  }
+  auto normalize = [&v] {
+    double norm = 0;
+    for (const double d : v) norm += d * d;
+    norm = std::sqrt(norm);
+    if (norm > 1e-12) {
+      for (double& d : v) d /= norm;
+    }
+  };
+  normalize();
+  for (double& d : v) d = std::min(d, 0.2);
+  normalize();
+
+  std::array<std::uint8_t, kDescriptorSize> out{};
+  for (std::size_t i = 0; i < kDescriptorSize; ++i) {
+    out[i] = static_cast<std::uint8_t>(std::min(255.0, std::round(v[i] * 512.0)));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<Keypoint> extract_sift(const Image& image, const SiftParams& p) {
+  std::vector<Keypoint> keypoints;
+  if (image.width() < 8 || image.height() < 8) return keypoints;
+
+  const int first_octave = p.upsample_first_octave ? -1 : 0;
+  const Image base =
+      p.upsample_first_octave ? upsample_by_2(image) : image;
+  const std::vector<Octave> pyramid = build_pyramid(base, p);
+
+  for (std::size_t o = 0; o < pyramid.size(); ++o) {
+    const Octave& oct = pyramid[o];
+    const double octave_scale =
+        std::pow(2.0, static_cast<double>(o) + first_octave);
+    const int width = oct.dogs[0].width();
+    const int height = oct.dogs[0].height();
+
+    for (int s = 1; s <= p.scales_per_octave; ++s) {
+      const Image& layer = oct.dogs[static_cast<std::size_t>(s)];
+      const float prefilter =
+          static_cast<float>(0.8 * p.contrast_threshold / p.scales_per_octave);
+      for (int y = 1; y < height - 1; ++y) {
+        for (int x = 1; x < width - 1; ++x) {
+          if (std::abs(layer.at(x, y)) < prefilter) continue;
+          if (!is_extremum(oct, s, x, y)) continue;
+          RefinedPoint rp;
+          if (!refine_extremum(oct, s, x, y, p, rp)) continue;
+
+          const double sigma =
+              p.sigma0 * std::pow(2.0, rp.s / p.scales_per_octave);
+          const int gauss_level = static_cast<int>(std::round(rp.s));
+          const Image& gauss =
+              oct.gaussians[static_cast<std::size_t>(std::clamp(
+                  gauss_level, 0, static_cast<int>(oct.gaussians.size()) - 1))];
+
+          for (const double angle :
+               orientation_peaks(gauss, rp.x, rp.y, sigma)) {
+            Keypoint kp;
+            kp.x = static_cast<float>(rp.x * octave_scale);
+            kp.y = static_cast<float>(rp.y * octave_scale);
+            kp.sigma = static_cast<float>(sigma * octave_scale);
+            kp.orientation = static_cast<float>(angle);
+            kp.descriptor = compute_descriptor(gauss, rp.x, rp.y, sigma, angle);
+            keypoints.push_back(kp);
+          }
+        }
+      }
+    }
+  }
+
+  // Deterministic output order regardless of any internal reordering.
+  std::sort(keypoints.begin(), keypoints.end(), [](const Keypoint& a,
+                                                   const Keypoint& b) {
+    if (a.y != b.y) return a.y < b.y;
+    if (a.x != b.x) return a.x < b.x;
+    if (a.sigma != b.sigma) return a.sigma < b.sigma;
+    return a.orientation < b.orientation;
+  });
+  return keypoints;
+}
+
+std::size_t working_set_bytes(int width, int height, const SiftParams& p) {
+  std::size_t w = static_cast<std::size_t>(p.upsample_first_octave ? 2 * width : width);
+  std::size_t h = static_cast<std::size_t>(p.upsample_first_octave ? 2 * height : height);
+  const std::size_t layers =
+      static_cast<std::size_t>(2 * p.scales_per_octave + 5);  // gaussians + DoGs
+  std::size_t total = 0;
+  int octaves = 0;
+  for (std::size_t d = std::min(w, h); d >= 16 && octaves < p.max_octaves;
+       d /= 2, ++octaves) {
+    total += w * h * sizeof(float) * layers;
+    w /= 2;
+    h /= 2;
+  }
+  return total;
+}
+
+double descriptor_distance(const Keypoint& a, const Keypoint& b) {
+  double sum = 0;
+  for (std::size_t i = 0; i < kDescriptorSize; ++i) {
+    const double d = static_cast<double>(a.descriptor[i]) - b.descriptor[i];
+    sum += d * d;
+  }
+  return std::sqrt(sum);
+}
+
+}  // namespace speed::sift

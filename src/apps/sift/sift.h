@@ -1,0 +1,85 @@
+// SIFT feature extraction (Lowe, IJCV 2004) — the first SPEED case study.
+//
+// The full classic pipeline: Gaussian scale-space pyramid, difference-of-
+// Gaussians extrema with sub-pixel refinement, low-contrast and edge
+// rejection, orientation-histogram assignment (multiple orientations per
+// point), and 4x4x8 gradient descriptors with trilinear binning, normalized
+// and quantized to bytes. Deterministic: the same image always produces the
+// same keypoints — the property computation deduplication relies on.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "apps/sift/image.h"
+
+namespace speed::sift {
+
+inline constexpr std::size_t kDescriptorSize = 128;
+
+struct Keypoint {
+  float x = 0;         ///< column in original-image coordinates
+  float y = 0;         ///< row in original-image coordinates
+  float sigma = 0;     ///< absolute scale
+  float orientation = 0;  ///< radians in [-pi, pi)
+  std::array<std::uint8_t, kDescriptorSize> descriptor{};
+
+  friend bool operator==(const Keypoint&, const Keypoint&) = default;
+};
+
+struct SiftParams {
+  int scales_per_octave = 3;       ///< Lowe's S
+  double sigma0 = 1.6;             ///< base blur of each octave
+  double contrast_threshold = 0.04;
+  double edge_threshold = 10.0;    ///< Lowe's r
+  int max_octaves = 8;
+  /// Start from a 2x-upsampled image (Lowe's -1 octave): roughly quadruples
+  /// stable keypoints at 4x the pyramid cost.
+  bool upsample_first_octave = true;
+};
+
+/// Extract SIFT keypoints + descriptors from a grayscale image.
+std::vector<Keypoint> extract_sift(const Image& image,
+                                   const SiftParams& params = {});
+
+/// Approximate peak working set of extract_sift (the Gaussian + DoG pyramid)
+/// in bytes. Enclave-hosted callers charge this against the EPC: large
+/// images overflow the ~90 MB usable EPC and pay paging, which is a big part
+/// of why in-enclave SIFT baselines are slow (and why deduplicating it pays
+/// off so dramatically in the paper's Fig. 5a).
+std::size_t working_set_bytes(int width, int height,
+                              const SiftParams& params = {});
+
+/// Euclidean distance between two descriptors (for matching tests).
+double descriptor_distance(const Keypoint& a, const Keypoint& b);
+
+inline constexpr const char* kLibraryFamily = "speed-siftpp";
+inline constexpr const char* kLibraryVersion = "1.0";
+
+}  // namespace speed::sift
+
+namespace speed::serialize {
+
+template <>
+struct Serde<speed::sift::Keypoint> {
+  static void encode(Encoder& enc, const speed::sift::Keypoint& k) {
+    enc.f64(k.x);
+    enc.f64(k.y);
+    enc.f64(k.sigma);
+    enc.f64(k.orientation);
+    enc.raw(ByteView(k.descriptor.data(), k.descriptor.size()));
+  }
+  static speed::sift::Keypoint decode(Decoder& dec) {
+    speed::sift::Keypoint k;
+    k.x = static_cast<float>(dec.f64());
+    k.y = static_cast<float>(dec.f64());
+    k.sigma = static_cast<float>(dec.f64());
+    k.orientation = static_cast<float>(dec.f64());
+    const ByteView d = dec.raw(k.descriptor.size());
+    std::copy(d.begin(), d.end(), k.descriptor.begin());
+    return k;
+  }
+};
+
+}  // namespace speed::serialize

@@ -1,0 +1,165 @@
+#include "capi/speed_c.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "runtime/speed.h"
+
+namespace {
+
+using namespace speed;
+
+}  // namespace
+
+struct speed_deployment {
+  sgx::Platform platform;
+  std::unique_ptr<store::ResultStore> store;
+  std::unique_ptr<sgx::Enclave> enclave;
+  std::unique_ptr<store::StoreSession> session;  // server side of the channel
+  std::unique_ptr<runtime::DedupRuntime> rt;
+  std::string last_error;
+};
+
+struct speed_function {
+  speed_deployment* dep;
+  mle::FunctionIdentity identity;
+  speed_compute_fn fn;
+  void* user_data;
+  bool last_deduplicated = false;
+};
+
+namespace {
+
+int fail(speed_deployment* dep, int code, const std::string& what) {
+  if (dep != nullptr) dep->last_error = what;
+  return code;
+}
+
+}  // namespace
+
+extern "C" {
+
+speed_deployment* speed_deployment_create(const char* app_identity) {
+  if (app_identity == nullptr) return nullptr;
+  try {
+    auto dep = std::make_unique<speed_deployment>();
+    dep->store = std::make_unique<store::ResultStore>(dep->platform);
+    dep->enclave = dep->platform.create_enclave(app_identity);
+    auto conn = store::connect_app(*dep->store, *dep->enclave);
+    // The server session must outlive the runtime (declaration order in
+    // speed_deployment guarantees destruction order).
+    dep->session = std::move(conn.session);
+    dep->rt = std::make_unique<runtime::DedupRuntime>(
+        *dep->enclave, conn.session_key, std::move(conn.transport));
+    return dep.release();
+  } catch (const std::exception&) {
+    return nullptr;
+  }
+}
+
+void speed_deployment_destroy(speed_deployment* dep) { delete dep; }
+
+int speed_register_library(speed_deployment* dep, const char* family,
+                           const char* version, const uint8_t* code,
+                           size_t code_len) {
+  if (dep == nullptr || family == nullptr || version == nullptr ||
+      (code == nullptr && code_len > 0)) {
+    return fail(dep, SPEED_ERR_INVALID_ARGUMENT, "null argument");
+  }
+  try {
+    dep->rt->libraries().register_library(family, version,
+                                          ByteView(code, code_len));
+    return SPEED_OK;
+  } catch (const std::exception& e) {
+    return fail(dep, SPEED_ERR_INTERNAL, e.what());
+  }
+}
+
+int speed_flush(speed_deployment* dep) {
+  if (dep == nullptr) return SPEED_ERR_INVALID_ARGUMENT;
+  try {
+    dep->rt->flush();
+    return SPEED_OK;
+  } catch (const std::exception& e) {
+    return fail(dep, SPEED_ERR_INTERNAL, e.what());
+  }
+}
+
+const char* speed_last_error(const speed_deployment* dep) {
+  return dep == nullptr ? "null deployment" : dep->last_error.c_str();
+}
+
+speed_function* speed_function_create(speed_deployment* dep,
+                                      const char* family, const char* version,
+                                      const char* signature,
+                                      speed_compute_fn fn, void* user_data) {
+  if (dep == nullptr || family == nullptr || version == nullptr ||
+      signature == nullptr || fn == nullptr) {
+    if (dep != nullptr) dep->last_error = "null argument";
+    return nullptr;
+  }
+  try {
+    auto f = std::make_unique<speed_function>();
+    f->dep = dep;
+    f->identity = dep->rt->resolve({family, version, signature});
+    f->fn = fn;
+    f->user_data = user_data;
+    return f.release();
+  } catch (const std::exception& e) {
+    dep->last_error = e.what();
+    return nullptr;
+  }
+}
+
+void speed_function_destroy(speed_function* f) { delete f; }
+
+int speed_call(speed_function* f, const uint8_t* input, size_t input_len,
+               uint8_t** output, size_t* output_len) {
+  if (f == nullptr || output == nullptr || output_len == nullptr ||
+      (input == nullptr && input_len > 0)) {
+    return fail(f != nullptr ? f->dep : nullptr, SPEED_ERR_INVALID_ARGUMENT,
+                "null argument");
+  }
+  try {
+    const ByteView in(input, input_len);
+    const auto outcome = f->dep->rt->execute(f->identity, in, [&]() -> Bytes {
+      uint8_t* cb_out = nullptr;
+      size_t cb_len = 0;
+      if (f->fn(input, input_len, &cb_out, &cb_len, f->user_data) != 0 ||
+          (cb_out == nullptr && cb_len > 0)) {
+        std::free(cb_out);
+        throw Error("compute callback failed");
+      }
+      Bytes result(cb_out, cb_out + cb_len);
+      std::free(cb_out);
+      return result;
+    });
+    f->last_deduplicated = outcome.deduplicated;
+
+    uint8_t* buffer = static_cast<uint8_t*>(std::malloc(
+        outcome.result.empty() ? 1 : outcome.result.size()));
+    if (buffer == nullptr) {
+      return fail(f->dep, SPEED_ERR_INTERNAL, "out of memory");
+    }
+    std::memcpy(buffer, outcome.result.data(), outcome.result.size());
+    *output = buffer;
+    *output_len = outcome.result.size();
+    return SPEED_OK;
+  } catch (const std::exception& e) {
+    const bool compute_failed =
+        std::string(e.what()).find("compute callback failed") != std::string::npos;
+    return fail(f->dep,
+                compute_failed ? SPEED_ERR_COMPUTE_FAILED : SPEED_ERR_INTERNAL,
+                e.what());
+  }
+}
+
+int speed_last_was_deduplicated(const speed_function* f) {
+  return (f != nullptr && f->last_deduplicated) ? 1 : 0;
+}
+
+void speed_buffer_free(uint8_t* buffer) { std::free(buffer); }
+
+}  // extern "C"

@@ -1,0 +1,91 @@
+/*
+ * C API for SPEED (paper footnote 3: "While the current API is in C++,
+ * SPEED can support C language as well via function pointers. We leave
+ * this feature to future work." — implemented here).
+ *
+ * The C surface exposes byte-oriented deduplicable functions: a compute
+ * callback receives the input buffer and returns a malloc'd output buffer;
+ * speed_call() runs the full Algorithm 1/2 routine around it. A
+ * speed_deployment bundles a simulated platform, an encrypted ResultStore,
+ * one application enclave, and its DedupRuntime (attested channel included).
+ *
+ * All functions return 0 on success and a negative error code on failure;
+ * speed_last_error() describes the most recent failure on the deployment.
+ */
+#ifndef SPEED_CAPI_SPEED_C_H_
+#define SPEED_CAPI_SPEED_C_H_
+
+#include <stddef.h>
+#include <stdint.h>
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+typedef struct speed_deployment speed_deployment;
+typedef struct speed_function speed_function;
+
+enum {
+  SPEED_OK = 0,
+  SPEED_ERR_INVALID_ARGUMENT = -1,
+  SPEED_ERR_UNKNOWN_LIBRARY = -2,
+  SPEED_ERR_COMPUTE_FAILED = -3,
+  SPEED_ERR_INTERNAL = -4,
+};
+
+/*
+ * Compute callback. Must write a malloc(3)-allocated buffer to *output and
+ * its size to *output_len, and return 0. A non-zero return aborts the call
+ * with SPEED_ERR_COMPUTE_FAILED. Must be deterministic (same input bytes =>
+ * same output bytes), like every computation SPEED deduplicates.
+ */
+typedef int (*speed_compute_fn)(const uint8_t* input, size_t input_len,
+                                uint8_t** output, size_t* output_len,
+                                void* user_data);
+
+/* ---- deployment lifecycle ---------------------------------------------- */
+
+/* One platform + store + application enclave named `app_identity`. */
+speed_deployment* speed_deployment_create(const char* app_identity);
+void speed_deployment_destroy(speed_deployment* dep);
+
+/* Register a trusted library the application owns. */
+int speed_register_library(speed_deployment* dep, const char* family,
+                           const char* version, const uint8_t* code,
+                           size_t code_len);
+
+/* Block until all queued asynchronous PUTs reached the store. */
+int speed_flush(speed_deployment* dep);
+
+/* Human-readable description of the last error on this deployment. */
+const char* speed_last_error(const speed_deployment* dep);
+
+/* ---- deduplicable functions -------------------------------------------- */
+
+/*
+ * The C analogue of the 2-line Deduplicable conversion. (family, version)
+ * must have been registered. Returns NULL on error (see speed_last_error).
+ */
+speed_function* speed_function_create(speed_deployment* dep,
+                                      const char* family, const char* version,
+                                      const char* signature,
+                                      speed_compute_fn fn, void* user_data);
+void speed_function_destroy(speed_function* f);
+
+/*
+ * Run the deduplication routine. On success *output is a malloc'd buffer
+ * (free with speed_buffer_free) and *output_len its size.
+ */
+int speed_call(speed_function* f, const uint8_t* input, size_t input_len,
+               uint8_t** output, size_t* output_len);
+
+/* 1 if the most recent speed_call was served from the store, else 0. */
+int speed_last_was_deduplicated(const speed_function* f);
+
+void speed_buffer_free(uint8_t* buffer);
+
+#ifdef __cplusplus
+}  /* extern "C" */
+#endif
+
+#endif  /* SPEED_CAPI_SPEED_C_H_ */

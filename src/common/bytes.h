@@ -1,0 +1,69 @@
+// Byte-buffer primitives shared by every SPEED module.
+//
+// The whole system moves opaque binary blobs around (serialized inputs,
+// ciphertexts, wire frames), so we standardize on std::vector<uint8_t> for
+// owned buffers and std::span<const uint8_t> for borrowed views, plus the
+// small set of helpers (concat, hex, constant-time compare, secure wipe)
+// that otherwise get re-invented per module.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace speed {
+
+using Bytes = std::vector<std::uint8_t>;
+using ByteView = std::span<const std::uint8_t>;
+
+/// Borrow the bytes of a string without copying.
+inline ByteView as_bytes(std::string_view s) {
+  return {reinterpret_cast<const std::uint8_t*>(s.data()), s.size()};
+}
+
+/// Copy a string's bytes into an owned buffer.
+inline Bytes to_bytes(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+/// Copy a byte view into a std::string (for text payloads / test assertions).
+inline std::string to_string(ByteView b) {
+  return std::string(reinterpret_cast<const char*>(b.data()), b.size());
+}
+
+/// Append `src` to `dst`.
+inline void append(Bytes& dst, ByteView src) {
+  dst.insert(dst.end(), src.begin(), src.end());
+}
+
+/// Concatenate any number of byte views into one owned buffer.
+template <typename... Views>
+Bytes concat(const Views&... views) {
+  Bytes out;
+  std::size_t total = (static_cast<std::size_t>(0) + ... + ByteView(views).size());
+  out.reserve(total);
+  (append(out, ByteView(views)), ...);
+  return out;
+}
+
+/// Lowercase hex encoding, e.g. {0xde, 0xad} -> "dead".
+std::string hex_encode(ByteView data);
+
+/// Decode lowercase/uppercase hex; throws std::invalid_argument on bad input.
+Bytes hex_decode(std::string_view hex);
+
+/// Constant-time equality; returns false on length mismatch without leaking
+/// the mismatch position. Used for MACs and tags.
+bool ct_equal(ByteView a, ByteView b);
+
+/// Best-effort secure wipe that the optimizer cannot elide.
+void secure_zero(void* p, std::size_t n);
+
+/// XOR `b` into `a` element-wise; the buffers must be the same length.
+/// Throws std::invalid_argument otherwise. Used by the RCE key wrap.
+Bytes xor_bytes(ByteView a, ByteView b);
+
+}  // namespace speed

@@ -1,0 +1,43 @@
+// Timing utilities used by the SGX cost model and the benchmark harnesses.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace speed {
+
+/// Monotonic stopwatch.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+
+  void reset() { start_ = std::chrono::steady_clock::now(); }
+
+  std::uint64_t elapsed_ns() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start_)
+            .count());
+  }
+
+  double elapsed_ms() const { return static_cast<double>(elapsed_ns()) / 1e6; }
+  double elapsed_us() const { return static_cast<double>(elapsed_ns()) / 1e3; }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Spin for approximately `ns` nanoseconds. The SGX simulator charges
+/// ECALL/OCALL transition and EPC paging costs with real wall-clock time so
+/// that the benchmarks reproduce the paper's with-SGX/without-SGX gap
+/// (Fig. 6) instead of merely accounting for it.
+inline void busy_wait_ns(std::uint64_t ns) {
+  if (ns == 0) return;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::nanoseconds(ns);
+  while (std::chrono::steady_clock::now() < deadline) {
+    // spin
+  }
+}
+
+}  // namespace speed

@@ -1,0 +1,48 @@
+// Exception hierarchy for SPEED.
+//
+// Per the project's error-handling policy (C++ Core Guidelines I.10/E.2),
+// failures to meet a function's postcondition throw. Expected outcomes that
+// callers branch on — e.g. "tag not found in the store", "AEAD verification
+// failed so treat as a miss" — are represented in return types, not thrown.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace speed {
+
+/// Base class for all SPEED errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Malformed wire data, truncated frames, bad serialization.
+class SerializationError : public Error {
+ public:
+  explicit SerializationError(const std::string& what) : Error(what) {}
+};
+
+/// Misuse of or faults inside the simulated enclave runtime
+/// (e.g. EPC exhaustion beyond the paging model, calls into a destroyed
+/// enclave, attestation failures).
+class EnclaveError : public Error {
+ public:
+  explicit EnclaveError(const std::string& what) : Error(what) {}
+};
+
+/// Cryptographic API misuse (bad key/IV lengths). Note: *authentication
+/// failure* on decrypt is an expected outcome, reported via std::optional,
+/// not via this exception.
+class CryptoError : public Error {
+ public:
+  explicit CryptoError(const std::string& what) : Error(what) {}
+};
+
+/// Protocol violations between DedupRuntime and ResultStore.
+class ProtocolError : public Error {
+ public:
+  explicit ProtocolError(const std::string& what) : Error(what) {}
+};
+
+}  // namespace speed

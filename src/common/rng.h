@@ -1,0 +1,61 @@
+// Deterministic (non-cryptographic) randomness for workload generation.
+//
+// Benchmarks and tests need reproducible inputs: the same seed must generate
+// the same synthetic image / packet trace / web page on every run, or the
+// dedup hit-rate of an experiment would not be stable. Cryptographic
+// randomness (key generation, RCE challenges) lives in crypto/drbg.h instead
+// and must NOT use these generators.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace speed {
+
+/// xoshiro256** 1.0 (Blackman & Vigna) seeded via SplitMix64.
+/// Satisfies the C++ UniformRandomBitGenerator concept.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~static_cast<result_type>(0); }
+
+  result_type operator()();
+
+  /// Uniform integer in [0, bound) via Lemire's multiply-shift reduction.
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// `n` random bytes.
+  Bytes bytes(std::size_t n);
+
+  /// Printable ASCII string of length `n` (for text workloads).
+  std::string ascii(std::size_t n);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+/// Zipf(s) sampler over ranks {0, ..., n-1}; rank 0 is the most popular.
+/// Used to model skewed duplicate-request streams (hot computations repeat).
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double skew);
+
+  std::size_t operator()(Xoshiro256& rng) const;
+
+  std::size_t universe() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace speed

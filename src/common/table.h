@@ -1,0 +1,59 @@
+// Minimal fixed-width table printer for the benchmark harnesses.
+//
+// Every bench binary regenerating a paper table/figure prints its rows in a
+// uniform, diff-friendly format so EXPERIMENTS.md can quote them directly.
+#pragma once
+
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace speed {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers,
+                        std::ostream& os = std::cout)
+      : headers_(std::move(headers)), os_(os) {
+    for (const auto& h : headers_) widths_.push_back(h.size());
+  }
+
+  void add_row(std::vector<std::string> cells) {
+    for (std::size_t i = 0; i < cells.size() && i < widths_.size(); ++i) {
+      widths_[i] = std::max(widths_[i], cells[i].size());
+    }
+    rows_.push_back(std::move(cells));
+  }
+
+  void print() const {
+    print_row(headers_);
+    std::string sep;
+    for (std::size_t w : widths_) sep += std::string(w + 2, '-') + "+";
+    os_ << sep << "\n";
+    for (const auto& r : rows_) print_row(r);
+    os_.flush();
+  }
+
+  static std::string fmt(double v, int precision = 3) {
+    std::ostringstream ss;
+    ss << std::fixed << std::setprecision(precision) << v;
+    return ss.str();
+  }
+
+ private:
+  void print_row(const std::vector<std::string>& cells) const {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      os_ << " " << std::setw(static_cast<int>(widths_[i])) << cells[i] << " |";
+    }
+    os_ << "\n";
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<std::size_t> widths_;
+  std::ostream& os_;
+};
+
+}  // namespace speed

@@ -1,0 +1,40 @@
+// AES block cipher (FIPS 197), forward direction.
+//
+// SPEED encrypts results with AES-GCM-128 (§II-D); GCM and CTR need only the
+// forward cipher, so the inverse cipher is deliberately omitted to keep the
+// trusted code base small. AES-256 is supported for the sealing keys of the
+// SGX simulator.
+//
+// This is a straightforward byte-oriented implementation. It uses S-box
+// lookups and is therefore not cache-timing hardened; the paper's threat
+// model explicitly excludes side channels (§II-B), and real deployments
+// would use AES-NI via the SGX SDK crypto library.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace speed::crypto {
+
+inline constexpr std::size_t kAesBlockSize = 16;
+
+class Aes {
+ public:
+  /// `key` must be 16, 24, or 32 bytes; throws CryptoError otherwise.
+  explicit Aes(ByteView key);
+  ~Aes();
+
+  Aes(const Aes&) = delete;
+  Aes& operator=(const Aes&) = delete;
+
+  /// Encrypt one 16-byte block, in-place-safe (`in` may equal `out`).
+  void encrypt_block(const std::uint8_t in[kAesBlockSize],
+                     std::uint8_t out[kAesBlockSize]) const;
+
+ private:
+  std::uint8_t round_keys_[15 * kAesBlockSize];
+  int rounds_;
+};
+
+}  // namespace speed::crypto

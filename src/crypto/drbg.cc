@@ -1,0 +1,102 @@
+#include "crypto/drbg.h"
+
+#include <cstring>
+#include <mutex>
+#include <random>
+
+#include "crypto/sha256.h"
+
+namespace speed::crypto {
+
+namespace {
+
+inline std::uint32_t rotl32(std::uint32_t x, int n) {
+  return (x << n) | (x >> (32 - n));
+}
+
+void quarter_round(std::uint32_t& a, std::uint32_t& b, std::uint32_t& c,
+                   std::uint32_t& d) {
+  a += b; d ^= a; d = rotl32(d, 16);
+  c += d; b ^= c; b = rotl32(b, 12);
+  a += b; d ^= a; d = rotl32(d, 8);
+  c += d; b ^= c; b = rotl32(b, 7);
+}
+
+/// RFC 8439 ChaCha20 block function; nonce fixed to zero, 64-bit counter
+/// split across words 12-13 (the DRBG never reuses a counter per key).
+void chacha20_block(const std::uint32_t key[8], std::uint64_t counter,
+                    std::uint8_t out[64]) {
+  std::uint32_t s[16];
+  s[0] = 0x61707865; s[1] = 0x3320646e; s[2] = 0x79622d32; s[3] = 0x6b206574;
+  std::memcpy(s + 4, key, 32);
+  s[12] = static_cast<std::uint32_t>(counter);
+  s[13] = static_cast<std::uint32_t>(counter >> 32);
+  s[14] = 0;
+  s[15] = 0;
+
+  std::uint32_t w[16];
+  std::memcpy(w, s, sizeof(w));
+  for (int round = 0; round < 10; ++round) {
+    quarter_round(w[0], w[4], w[8], w[12]);
+    quarter_round(w[1], w[5], w[9], w[13]);
+    quarter_round(w[2], w[6], w[10], w[14]);
+    quarter_round(w[3], w[7], w[11], w[15]);
+    quarter_round(w[0], w[5], w[10], w[15]);
+    quarter_round(w[1], w[6], w[11], w[12]);
+    quarter_round(w[2], w[7], w[8], w[13]);
+    quarter_round(w[3], w[4], w[9], w[14]);
+  }
+  for (int i = 0; i < 16; ++i) {
+    const std::uint32_t v = w[i] + s[i];
+    out[4 * i + 0] = static_cast<std::uint8_t>(v);
+    out[4 * i + 1] = static_cast<std::uint8_t>(v >> 8);
+    out[4 * i + 2] = static_cast<std::uint8_t>(v >> 16);
+    out[4 * i + 3] = static_cast<std::uint8_t>(v >> 24);
+  }
+}
+
+}  // namespace
+
+Drbg::Drbg() {
+  std::random_device rd;
+  std::uint8_t entropy[48];
+  for (auto& b : entropy) b = static_cast<std::uint8_t>(rd());
+  const Sha256Digest seed = Sha256::digest(ByteView(entropy, sizeof(entropy)));
+  std::memcpy(key_, seed.data(), 32);
+}
+
+Drbg::Drbg(ByteView seed) {
+  const Sha256Digest k = Sha256::digest(seed);
+  std::memcpy(key_, k.data(), 32);
+}
+
+void Drbg::refill() {
+  chacha20_block(key_, counter_++, buffer_);
+  buffer_pos_ = 0;
+}
+
+void Drbg::fill(std::span<std::uint8_t> out) {
+  std::size_t off = 0;
+  while (off < out.size()) {
+    if (buffer_pos_ == 64) refill();
+    const std::size_t take = std::min(out.size() - off, 64 - buffer_pos_);
+    std::memcpy(out.data() + off, buffer_ + buffer_pos_, take);
+    buffer_pos_ += take;
+    off += take;
+  }
+}
+
+Bytes Drbg::bytes(std::size_t n) {
+  Bytes out(n);
+  fill(out);
+  return out;
+}
+
+Bytes Drbg::system_bytes(std::size_t n) {
+  static std::mutex mu;
+  static Drbg instance;
+  std::lock_guard<std::mutex> lock(mu);
+  return instance.bytes(n);
+}
+
+}  // namespace speed::crypto

@@ -1,0 +1,46 @@
+// ChaCha20-based deterministic random bit generator.
+//
+// This is the cryptographic randomness source of SPEED: AES keys
+// (AES.KeyGen(1^λ) in Algorithm 1), RCE challenge messages r, GCM IVs, and
+// secure-channel nonces all come from here. The generator runs the ChaCha20
+// block function (RFC 8439) in counter mode over a 256-bit seed; production
+// instances seed from std::random_device, tests can seed deterministically.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/bytes.h"
+
+namespace speed::crypto {
+
+class Drbg {
+ public:
+  /// Seed from std::random_device (non-deterministic).
+  Drbg();
+
+  /// Deterministic seeding for reproducible tests. `seed` may be any length;
+  /// it is hashed into the 256-bit ChaCha20 key.
+  explicit Drbg(ByteView seed);
+
+  Drbg(const Drbg&) = delete;
+  Drbg& operator=(const Drbg&) = delete;
+
+  void fill(std::span<std::uint8_t> out);
+
+  Bytes bytes(std::size_t n);
+
+  /// Process-wide generator for callers without an injected Drbg.
+  /// Thread-safe via an internal mutex.
+  static Bytes system_bytes(std::size_t n);
+
+ private:
+  void refill();
+
+  std::uint32_t key_[8];
+  std::uint64_t counter_ = 0;
+  std::uint8_t buffer_[64];
+  std::size_t buffer_pos_ = 64;  // empty
+};
+
+}  // namespace speed::crypto

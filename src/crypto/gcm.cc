@@ -1,0 +1,213 @@
+#include "crypto/gcm.h"
+
+#include <cstring>
+
+#include "common/error.h"
+#include "crypto/drbg.h"
+
+namespace speed::crypto {
+
+namespace {
+
+// ---- Portable scalar GHASH (SP 800-38D, right-shift bitwise method) ----
+//
+// Values are 128-bit GF(2^128) elements in the GCM "reflected" polynomial
+// basis, held as two big-endian 64-bit halves.
+struct U128 {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+};
+
+U128 load_u128(const std::uint8_t b[16]) {
+  U128 v;
+  for (int i = 0; i < 8; ++i) v.hi = (v.hi << 8) | b[i];
+  for (int i = 8; i < 16; ++i) v.lo = (v.lo << 8) | b[i];
+  return v;
+}
+
+void store_u128(const U128& v, std::uint8_t b[16]) {
+  for (int i = 0; i < 8; ++i) b[i] = static_cast<std::uint8_t>(v.hi >> (56 - 8 * i));
+  for (int i = 0; i < 8; ++i) b[8 + i] = static_cast<std::uint8_t>(v.lo >> (56 - 8 * i));
+}
+
+U128 gf_mult(const U128& x, const U128& h) {
+  U128 z;
+  U128 v = h;
+  for (int i = 0; i < 128; ++i) {
+    const std::uint64_t bit =
+        (i < 64) ? (x.hi >> (63 - i)) & 1 : (x.lo >> (127 - i)) & 1;
+    if (bit) {
+      z.hi ^= v.hi;
+      z.lo ^= v.lo;
+    }
+    const std::uint64_t lsb = v.lo & 1;
+    v.lo = (v.lo >> 1) | (v.hi << 63);
+    v.hi >>= 1;
+    if (lsb) v.hi ^= 0xe100000000000000ULL;  // x^128 + x^7 + x^2 + x + 1
+  }
+  return z;
+}
+
+class Ghash {
+ public:
+  explicit Ghash(const std::uint8_t h[16]) : h_(load_u128(h)) {}
+
+  /// Absorb data, zero-padding the final partial block of this segment
+  /// (GCM pads AAD and ciphertext segments independently).
+  void absorb_padded(ByteView data) {
+    std::size_t off = 0;
+    while (off < data.size()) {
+      std::uint8_t block[16] = {0};
+      const std::size_t take = std::min<std::size_t>(16, data.size() - off);
+      std::memcpy(block, data.data() + off, take);
+      absorb_block(block);
+      off += take;
+    }
+  }
+
+  void absorb_lengths(std::uint64_t aad_len, std::uint64_t data_len) {
+    std::uint8_t block[16];
+    const std::uint64_t aad_bits = aad_len * 8;
+    const std::uint64_t data_bits = data_len * 8;
+    for (int i = 0; i < 8; ++i) {
+      block[i] = static_cast<std::uint8_t>(aad_bits >> (56 - 8 * i));
+      block[8 + i] = static_cast<std::uint8_t>(data_bits >> (56 - 8 * i));
+    }
+    absorb_block(block);
+  }
+
+  void digest(std::uint8_t out[16]) const { store_u128(y_, out); }
+
+ private:
+  void absorb_block(const std::uint8_t block[16]) {
+    const U128 b = load_u128(block);
+    y_.hi ^= b.hi;
+    y_.lo ^= b.lo;
+    y_ = gf_mult(y_, h_);
+  }
+
+  U128 h_;
+  U128 y_;
+};
+
+void inc32(std::uint8_t block[16]) {
+  for (int i = 15; i >= 12; --i) {
+    if (++block[i] != 0) break;
+  }
+}
+
+/// CTR-mode keystream application starting from counter block `ctr`
+/// (which is advanced past the processed blocks).
+void ctr_crypt(const Aes& cipher, std::uint8_t ctr[16], ByteView in,
+               std::uint8_t* out) {
+  std::size_t off = 0;
+  std::uint8_t keystream[16];
+  while (off < in.size()) {
+    cipher.encrypt_block(ctr, keystream);
+    inc32(ctr);
+    const std::size_t take = std::min<std::size_t>(16, in.size() - off);
+    for (std::size_t i = 0; i < take; ++i) out[off + i] = in[off + i] ^ keystream[i];
+    off += take;
+  }
+  secure_zero(keystream, sizeof(keystream));
+}
+
+void make_j0(ByteView iv, std::uint8_t j0[16]) {
+  if (iv.size() != kGcmIvSize) throw CryptoError("AesGcm: IV must be 12 bytes");
+  std::memcpy(j0, iv.data(), kGcmIvSize);
+  j0[12] = j0[13] = j0[14] = 0;
+  j0[15] = 1;
+}
+
+void scalar_gcm(ByteView key, ByteView iv, ByteView aad, ByteView data,
+                bool encrypting, std::uint8_t* out, std::uint8_t tag[16]) {
+  const Aes cipher(key);
+
+  std::uint8_t h[16];
+  const std::uint8_t zero[16] = {0};
+  cipher.encrypt_block(zero, h);
+
+  std::uint8_t j0[16];
+  make_j0(iv, j0);
+  std::uint8_t ej0[16];
+  cipher.encrypt_block(j0, ej0);
+
+  std::uint8_t ctr[16];
+  std::memcpy(ctr, j0, 16);
+  inc32(ctr);
+  ctr_crypt(cipher, ctr, data, out);
+
+  // GHASH runs over the *ciphertext*: what we just produced when encrypting,
+  // the input when decrypting.
+  const ByteView ct = encrypting ? ByteView(out, data.size()) : data;
+  Ghash ghash(h);
+  ghash.absorb_padded(aad);
+  ghash.absorb_padded(ct);
+  ghash.absorb_lengths(aad.size(), ct.size());
+  ghash.digest(tag);
+  for (int i = 0; i < 16; ++i) tag[i] ^= ej0[i];
+}
+
+}  // namespace
+
+AesGcm::AesGcm(ByteView key, Impl impl) : key_(key.begin(), key.end()) {
+  if (key.size() != kAes128KeySize && key.size() != kAes256KeySize) {
+    throw CryptoError("AesGcm: key must be 16 or 32 bytes");
+  }
+  use_hw_ = impl == Impl::kAuto && key.size() == kAes128KeySize &&
+            hw::gcm128_available();
+}
+
+Bytes AesGcm::seal(ByteView iv, ByteView aad, ByteView plaintext) const {
+  Bytes out(plaintext.size() + kGcmTagSize);
+  if (use_hw_) {
+    if (iv.size() != kGcmIvSize) throw CryptoError("AesGcm: IV must be 12 bytes");
+    hw::gcm128_encrypt(key_.data(), iv.data(), aad, plaintext, out.data(),
+                       out.data() + plaintext.size());
+  } else {
+    scalar_gcm(key_, iv, aad, plaintext, /*encrypting=*/true, out.data(),
+               out.data() + plaintext.size());
+  }
+  return out;
+}
+
+std::optional<Bytes> AesGcm::open(ByteView iv, ByteView aad,
+                                  ByteView ciphertext_and_tag) const {
+  if (ciphertext_and_tag.size() < kGcmTagSize) return std::nullopt;
+  const ByteView ct = ciphertext_and_tag.first(ciphertext_and_tag.size() - kGcmTagSize);
+  const ByteView tag = ciphertext_and_tag.last(kGcmTagSize);
+
+  Bytes pt(ct.size());
+  if (use_hw_) {
+    if (iv.size() != kGcmIvSize) throw CryptoError("AesGcm: IV must be 12 bytes");
+    if (!hw::gcm128_decrypt(key_.data(), iv.data(), aad, ct, tag.data(),
+                            pt.data())) {
+      return std::nullopt;
+    }
+    return pt;
+  }
+  std::uint8_t expected_tag[16];
+  scalar_gcm(key_, iv, aad, ct, /*encrypting=*/false, pt.data(), expected_tag);
+  if (!ct_equal(ByteView(expected_tag, 16), tag)) {
+    secure_zero(pt.data(), pt.size());
+    return std::nullopt;
+  }
+  return pt;
+}
+
+Bytes gcm_encrypt(ByteView key, ByteView aad, ByteView plaintext, Drbg& drbg) {
+  const AesGcm gcm(key);
+  Bytes envelope = drbg.bytes(kGcmIvSize);
+  Bytes ct = gcm.seal(envelope, aad, plaintext);
+  envelope.insert(envelope.end(), ct.begin(), ct.end());
+  return envelope;
+}
+
+std::optional<Bytes> gcm_decrypt(ByteView key, ByteView aad, ByteView envelope) {
+  if (envelope.size() < kGcmIvSize + kGcmTagSize) return std::nullopt;
+  const AesGcm gcm(key);
+  return gcm.open(envelope.first(kGcmIvSize), aad,
+                  envelope.subspan(kGcmIvSize));
+}
+
+}  // namespace speed::crypto

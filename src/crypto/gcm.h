@@ -1,0 +1,76 @@
+// AES-GCM authenticated encryption (NIST SP 800-38D).
+//
+// SPEED protects every result ciphertext [res] with AES-GCM-128 (§II-D): the
+// GCM tag is what makes the Fig. 3 verification protocol work — decrypting
+// with a wrongly recovered key fails authentication (⊥) instead of yielding
+// garbage. AES-GCM-256 is used by the SGX simulator's sealing facility.
+//
+// Two implementations are provided and selected at runtime:
+//   * a hardware path (AES-NI + PCLMULQDQ) for 128-bit keys, matching the
+//     SGX SDK crypto library the paper used;
+//   * a portable scalar path for any key size.
+// Both are validated against NIST vectors and against each other in tests.
+#pragma once
+
+#include <optional>
+
+#include "common/bytes.h"
+#include "crypto/aes.h"
+
+namespace speed::crypto {
+
+inline constexpr std::size_t kGcmIvSize = 12;
+inline constexpr std::size_t kGcmTagSize = 16;
+inline constexpr std::size_t kAes128KeySize = 16;
+inline constexpr std::size_t kAes256KeySize = 32;
+
+class AesGcm {
+ public:
+  /// Implementation selection. kAuto picks the hardware path when the CPU
+  /// supports it; kPortable forces the scalar path (used by the cross-check
+  /// tests and on machines without AES-NI).
+  enum class Impl { kAuto, kPortable };
+
+  /// `key` must be 16 or 32 bytes.
+  explicit AesGcm(ByteView key, Impl impl = Impl::kAuto);
+
+  /// Encrypt + authenticate. `iv` must be 12 bytes and unique per key.
+  /// Returns ciphertext ‖ 16-byte tag.
+  Bytes seal(ByteView iv, ByteView aad, ByteView plaintext) const;
+
+  /// Verify + decrypt `ciphertext ‖ tag`. Returns nullopt on authentication
+  /// failure (the ⊥ of the paper's verification protocol).
+  std::optional<Bytes> open(ByteView iv, ByteView aad,
+                            ByteView ciphertext_and_tag) const;
+
+ private:
+  Bytes key_;
+  bool use_hw_;
+};
+
+/// Envelope helpers used throughout SPEED: encrypt with a fresh random IV and
+/// return iv ‖ ciphertext ‖ tag (what the paper denotes [res], "covering its
+/// authentication code and initialization vector", §III-B).
+class Drbg;  // fwd
+Bytes gcm_encrypt(ByteView key, ByteView aad, ByteView plaintext, Drbg& drbg);
+std::optional<Bytes> gcm_decrypt(ByteView key, ByteView aad, ByteView envelope);
+
+/// Size of gcm_encrypt's envelope for a given plaintext length.
+inline constexpr std::size_t gcm_envelope_size(std::size_t plaintext_len) {
+  return kGcmIvSize + plaintext_len + kGcmTagSize;
+}
+
+namespace hw {
+/// True when AES-NI + PCLMULQDQ are usable on this CPU.
+bool gcm128_available();
+/// One-shot hardware GCM-128. `ct` must hold pt.size() bytes.
+void gcm128_encrypt(const std::uint8_t key[16], const std::uint8_t iv[12],
+                    ByteView aad, ByteView pt, std::uint8_t* ct,
+                    std::uint8_t tag[16]);
+/// Returns false on tag mismatch; `pt` holds ct.size() bytes on success.
+bool gcm128_decrypt(const std::uint8_t key[16], const std::uint8_t iv[12],
+                    ByteView aad, ByteView ct, const std::uint8_t tag[16],
+                    std::uint8_t* pt);
+}  // namespace hw
+
+}  // namespace speed::crypto

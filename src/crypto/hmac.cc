@@ -1,0 +1,65 @@
+#include "crypto/hmac.h"
+
+#include <cstring>
+
+namespace speed::crypto {
+
+HmacSha256::HmacSha256(ByteView key) {
+  std::uint8_t block_key[64] = {0};
+  if (key.size() > 64) {
+    const Sha256Digest kd = Sha256::digest(key);
+    std::memcpy(block_key, kd.data(), kd.size());
+  } else {
+    std::memcpy(block_key, key.data(), key.size());
+  }
+  std::uint8_t ipad[64];
+  for (int i = 0; i < 64; ++i) {
+    ipad[i] = block_key[i] ^ 0x36;
+    opad_key_[i] = block_key[i] ^ 0x5c;
+  }
+  inner_.update(ByteView(ipad, 64));
+  secure_zero(block_key, sizeof(block_key));
+  secure_zero(ipad, sizeof(ipad));
+}
+
+void HmacSha256::update(ByteView data) { inner_.update(data); }
+
+Sha256Digest HmacSha256::finish() {
+  const Sha256Digest inner_digest = inner_.finish();
+  Sha256 outer;
+  outer.update(ByteView(opad_key_, 64));
+  outer.update(ByteView(inner_digest.data(), inner_digest.size()));
+  return outer.finish();
+}
+
+Sha256Digest HmacSha256::mac(ByteView key, ByteView data) {
+  HmacSha256 h(key);
+  h.update(data);
+  return h.finish();
+}
+
+bool HmacSha256::verify(ByteView key, ByteView data, ByteView expected_mac) {
+  const Sha256Digest m = mac(key, data);
+  return ct_equal(ByteView(m.data(), m.size()), expected_mac);
+}
+
+Bytes derive_key(ByteView key, std::string_view label, ByteView context,
+                 std::size_t out_len) {
+  Bytes out;
+  std::uint8_t counter = 1;
+  while (out.size() < out_len) {
+    HmacSha256 h(key);
+    h.update(ByteView(&counter, 1));
+    h.update(as_bytes(label));
+    const std::uint8_t zero = 0;
+    h.update(ByteView(&zero, 1));
+    h.update(context);
+    const Sha256Digest block = h.finish();
+    const std::size_t take = std::min<std::size_t>(out_len - out.size(), block.size());
+    out.insert(out.end(), block.begin(), block.begin() + static_cast<long>(take));
+    ++counter;
+  }
+  return out;
+}
+
+}  // namespace speed::crypto

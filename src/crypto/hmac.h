@@ -1,0 +1,34 @@
+// HMAC-SHA256 (RFC 2104 / FIPS 198-1).
+//
+// Used by the SGX simulator for sealing-key derivation and local-attestation
+// report MACs, and by the secure channel for key confirmation.
+#pragma once
+
+#include "common/bytes.h"
+#include "crypto/sha256.h"
+
+namespace speed::crypto {
+
+class HmacSha256 {
+ public:
+  explicit HmacSha256(ByteView key);
+
+  void update(ByteView data);
+  Sha256Digest finish();
+
+  static Sha256Digest mac(ByteView key, ByteView data);
+
+  /// Constant-time verification of a MAC over `data`.
+  static bool verify(ByteView key, ByteView data, ByteView expected_mac);
+
+ private:
+  Sha256 inner_;
+  std::uint8_t opad_key_[64];
+};
+
+/// HKDF-style two-step derivation used for labeled subkeys:
+/// derive(key, label, context) = HMAC(key, label ‖ 0x00 ‖ context).
+Bytes derive_key(ByteView key, std::string_view label, ByteView context,
+                 std::size_t out_len = 16);
+
+}  // namespace speed::crypto

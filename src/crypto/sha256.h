@@ -1,0 +1,57 @@
+// SHA-256 (FIPS 180-4), implemented from scratch.
+//
+// SPEED derives computation tags t = H(func, m) and RCE secondary keys
+// h = H(func, m, r) from SHA-256; it is the collision-resistant hash the
+// paper selects (§III-B). Streaming interface so multi-part tag inputs
+// (descriptor ‖ input ‖ challenge) hash without concatenation copies.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace speed::crypto {
+
+inline constexpr std::size_t kSha256DigestSize = 32;
+
+using Sha256Digest = std::array<std::uint8_t, kSha256DigestSize>;
+
+class Sha256 {
+ public:
+  Sha256() { reset(); }
+
+  /// Reset to the initial state; allows object reuse.
+  void reset();
+
+  /// Absorb more input.
+  void update(ByteView data);
+
+  /// Finalize and return the digest. The object must be reset() before reuse.
+  Sha256Digest finish();
+
+  /// One-shot convenience.
+  static Sha256Digest digest(ByteView data);
+
+  /// One-shot over multiple segments, equivalent to hashing their
+  /// concatenation. (Callers that need unambiguous multi-field hashing must
+  /// length-prefix the fields themselves; see mle/tag.cc.)
+  static Sha256Digest digest_parts(std::initializer_list<ByteView> parts);
+
+ private:
+  void compress(const std::uint8_t block[64]);
+
+  std::uint32_t state_[8];
+  std::uint64_t bit_count_;
+  std::uint8_t buffer_[64];
+  std::size_t buffer_len_;
+};
+
+/// Owned-buffer view of a digest (for APIs traveling in Bytes).
+inline Bytes to_bytes(const Sha256Digest& d) { return Bytes(d.begin(), d.end()); }
+
+// Re-expose the speed:: byte helpers so this overload does not hide them for
+// code living inside speed::crypto.
+using speed::to_bytes;
+
+}  // namespace speed::crypto

@@ -1,0 +1,263 @@
+#include "crypto/x25519.h"
+
+#include <cstring>
+
+#include "crypto/drbg.h"
+
+namespace speed::crypto {
+
+namespace {
+
+// ----- GF(2^255 - 19), radix 2^51 (curve25519-donna-c64 style) -----------
+
+struct Fe {
+  std::uint64_t v[5];
+};
+
+constexpr std::uint64_t kMask51 = (1ull << 51) - 1;
+
+Fe fe_load(const std::uint8_t in[32]) {
+  std::uint64_t w[4];
+  for (int i = 0; i < 4; ++i) {
+    w[i] = 0;
+    for (int b = 7; b >= 0; --b) w[i] = (w[i] << 8) | in[8 * i + b];
+  }
+  Fe out;
+  out.v[0] = w[0] & kMask51;
+  out.v[1] = ((w[0] >> 51) | (w[1] << 13)) & kMask51;
+  out.v[2] = ((w[1] >> 38) | (w[2] << 26)) & kMask51;
+  out.v[3] = ((w[2] >> 25) | (w[3] << 39)) & kMask51;
+  out.v[4] = (w[3] >> 12) & kMask51;  // also drops the top bit, per RFC 7748
+  return out;
+}
+
+/// Full reduction mod p, then little-endian serialization.
+void fe_store(const Fe& a, std::uint8_t out[32]) {
+  std::uint64_t t[5];
+  std::memcpy(t, a.v, sizeof(t));
+
+  // Three carry passes guarantee every limb is strictly below 2^51.
+  for (int pass = 0; pass < 3; ++pass) {
+    for (int i = 0; i < 4; ++i) {
+      t[i + 1] += t[i] >> 51;
+      t[i] &= kMask51;
+    }
+    t[0] += 19 * (t[4] >> 51);
+    t[4] &= kMask51;
+  }
+  // Now 0 <= value < 2p; subtract p once if needed, constant-time.
+  std::uint64_t u[5];
+  u[0] = t[0] + 19;
+  for (int i = 1; i < 5; ++i) u[i] = t[i];
+  for (int i = 0; i < 4; ++i) {
+    u[i + 1] += u[i] >> 51;
+    u[i] &= kMask51;
+  }
+  // borrow-free representative of value + 19 - p  == value - (p - 19)
+  const std::uint64_t carry = u[4] >> 51;
+  u[4] &= kMask51;
+  // carry == 1 iff value >= p.
+  const std::uint64_t select = 0 - carry;  // all-ones if subtract
+  for (int i = 0; i < 5; ++i) {
+    t[i] = (u[i] & select) | (t[i] & ~select);
+  }
+
+  std::uint64_t w0 = t[0] | (t[1] << 51);
+  std::uint64_t w1 = (t[1] >> 13) | (t[2] << 38);
+  std::uint64_t w2 = (t[2] >> 26) | (t[3] << 25);
+  std::uint64_t w3 = (t[3] >> 39) | (t[4] << 12);
+  const std::uint64_t words[4] = {w0, w1, w2, w3};
+  for (int i = 0; i < 4; ++i) {
+    for (int b = 0; b < 8; ++b) {
+      out[8 * i + b] = static_cast<std::uint8_t>(words[i] >> (8 * b));
+    }
+  }
+}
+
+Fe fe_add(const Fe& a, const Fe& b) {
+  Fe out;
+  for (int i = 0; i < 5; ++i) out.v[i] = a.v[i] + b.v[i];
+  return out;
+}
+
+/// a - b with a 2p bias so limbs stay non-negative.
+Fe fe_sub(const Fe& a, const Fe& b) {
+  constexpr std::uint64_t kTwoP0 = 0xfffffffffffdaull << 1;  // 2*(2^51-19)... see below
+  constexpr std::uint64_t kTwoPi = 0xffffffffffffeull << 1;
+  Fe out;
+  out.v[0] = a.v[0] + kTwoP0 - b.v[0];
+  for (int i = 1; i < 5; ++i) out.v[i] = a.v[i] + kTwoPi - b.v[i];
+  return out;
+}
+
+Fe fe_mul(const Fe& a, const Fe& b) {
+  using u128 = unsigned __int128;
+  const std::uint64_t a0 = a.v[0], a1 = a.v[1], a2 = a.v[2], a3 = a.v[3], a4 = a.v[4];
+  const std::uint64_t b0 = b.v[0], b1 = b.v[1], b2 = b.v[2], b3 = b.v[3], b4 = b.v[4];
+  const std::uint64_t b1_19 = b1 * 19, b2_19 = b2 * 19, b3_19 = b3 * 19, b4_19 = b4 * 19;
+
+  u128 t0 = (u128)a0 * b0 + (u128)a1 * b4_19 + (u128)a2 * b3_19 + (u128)a3 * b2_19 + (u128)a4 * b1_19;
+  u128 t1 = (u128)a0 * b1 + (u128)a1 * b0 + (u128)a2 * b4_19 + (u128)a3 * b3_19 + (u128)a4 * b2_19;
+  u128 t2 = (u128)a0 * b2 + (u128)a1 * b1 + (u128)a2 * b0 + (u128)a3 * b4_19 + (u128)a4 * b3_19;
+  u128 t3 = (u128)a0 * b3 + (u128)a1 * b2 + (u128)a2 * b1 + (u128)a3 * b0 + (u128)a4 * b4_19;
+  u128 t4 = (u128)a0 * b4 + (u128)a1 * b3 + (u128)a2 * b2 + (u128)a3 * b1 + (u128)a4 * b0;
+
+  Fe out;
+  std::uint64_t c;
+  out.v[0] = static_cast<std::uint64_t>(t0) & kMask51; c = static_cast<std::uint64_t>(t0 >> 51);
+  t1 += c;
+  out.v[1] = static_cast<std::uint64_t>(t1) & kMask51; c = static_cast<std::uint64_t>(t1 >> 51);
+  t2 += c;
+  out.v[2] = static_cast<std::uint64_t>(t2) & kMask51; c = static_cast<std::uint64_t>(t2 >> 51);
+  t3 += c;
+  out.v[3] = static_cast<std::uint64_t>(t3) & kMask51; c = static_cast<std::uint64_t>(t3 >> 51);
+  t4 += c;
+  out.v[4] = static_cast<std::uint64_t>(t4) & kMask51; c = static_cast<std::uint64_t>(t4 >> 51);
+  out.v[0] += c * 19;
+  c = out.v[0] >> 51; out.v[0] &= kMask51;
+  out.v[1] += c;
+  return out;
+}
+
+Fe fe_sq(const Fe& a) { return fe_mul(a, a); }
+
+Fe fe_mul_small(const Fe& a, std::uint64_t s) {
+  using u128 = unsigned __int128;
+  u128 t[5];
+  for (int i = 0; i < 5; ++i) t[i] = (u128)a.v[i] * s;
+  Fe out;
+  std::uint64_t c;
+  out.v[0] = static_cast<std::uint64_t>(t[0]) & kMask51; c = static_cast<std::uint64_t>(t[0] >> 51);
+  for (int i = 1; i < 5; ++i) {
+    t[i] += c;
+    out.v[i] = static_cast<std::uint64_t>(t[i]) & kMask51;
+    c = static_cast<std::uint64_t>(t[i] >> 51);
+  }
+  out.v[0] += c * 19;
+  c = out.v[0] >> 51; out.v[0] &= kMask51;
+  out.v[1] += c;
+  return out;
+}
+
+/// z^(p-2) = z^(2^255 - 21): the standard Curve25519 inversion chain.
+Fe fe_invert(const Fe& z) {
+  Fe z2 = fe_sq(z);                    // 2
+  Fe t = fe_sq(z2);                    // 4
+  t = fe_sq(t);                        // 8
+  Fe z9 = fe_mul(t, z);                // 9
+  Fe z11 = fe_mul(z9, z2);             // 11
+  t = fe_sq(z11);                      // 22
+  Fe z2_5_0 = fe_mul(t, z9);           // 2^5 - 2^0 = 31
+
+  t = fe_sq(z2_5_0);
+  for (int i = 0; i < 4; ++i) t = fe_sq(t);
+  Fe z2_10_0 = fe_mul(t, z2_5_0);      // 2^10 - 2^0
+
+  t = fe_sq(z2_10_0);
+  for (int i = 0; i < 9; ++i) t = fe_sq(t);
+  Fe z2_20_0 = fe_mul(t, z2_10_0);     // 2^20 - 2^0
+
+  t = fe_sq(z2_20_0);
+  for (int i = 0; i < 19; ++i) t = fe_sq(t);
+  t = fe_mul(t, z2_20_0);              // 2^40 - 2^0
+  t = fe_sq(t);
+  for (int i = 0; i < 9; ++i) t = fe_sq(t);
+  Fe z2_50_0 = fe_mul(t, z2_10_0);     // 2^50 - 2^0
+
+  t = fe_sq(z2_50_0);
+  for (int i = 0; i < 49; ++i) t = fe_sq(t);
+  Fe z2_100_0 = fe_mul(t, z2_50_0);    // 2^100 - 2^0
+
+  t = fe_sq(z2_100_0);
+  for (int i = 0; i < 99; ++i) t = fe_sq(t);
+  t = fe_mul(t, z2_100_0);             // 2^200 - 2^0
+  t = fe_sq(t);
+  for (int i = 0; i < 49; ++i) t = fe_sq(t);
+  t = fe_mul(t, z2_50_0);              // 2^250 - 2^0
+
+  t = fe_sq(t);                        // 2^251 - 2^1
+  t = fe_sq(t);                        // 2^252 - 2^2
+  t = fe_sq(t);                        // 2^253 - 2^3
+  t = fe_sq(t);                        // 2^254 - 2^4
+  t = fe_sq(t);                        // 2^255 - 2^5
+  return fe_mul(t, z11);               // 2^255 - 21
+}
+
+void fe_cswap(std::uint64_t swap, Fe& a, Fe& b) {
+  const std::uint64_t mask = 0 - swap;
+  for (int i = 0; i < 5; ++i) {
+    const std::uint64_t x = mask & (a.v[i] ^ b.v[i]);
+    a.v[i] ^= x;
+    b.v[i] ^= x;
+  }
+}
+
+}  // namespace
+
+X25519Key x25519(const X25519Key& scalar, const X25519Key& point) {
+  // Clamp the scalar (RFC 7748 §5).
+  std::uint8_t e[32];
+  std::memcpy(e, scalar.data(), 32);
+  e[0] &= 248;
+  e[31] &= 127;
+  e[31] |= 64;
+
+  const Fe x1 = fe_load(point.data());
+  Fe x2{{1, 0, 0, 0, 0}};
+  Fe z2{{0, 0, 0, 0, 0}};
+  Fe x3 = x1;
+  Fe z3{{1, 0, 0, 0, 0}};
+
+  std::uint64_t swap = 0;
+  for (int t = 254; t >= 0; --t) {
+    const std::uint64_t bit = (e[t >> 3] >> (t & 7)) & 1;
+    swap ^= bit;
+    fe_cswap(swap, x2, x3);
+    fe_cswap(swap, z2, z3);
+    swap = bit;
+
+    const Fe a = fe_add(x2, z2);
+    const Fe aa = fe_sq(a);
+    const Fe b = fe_sub(x2, z2);
+    const Fe bb = fe_sq(b);
+    const Fe e_ = fe_sub(aa, bb);
+    const Fe c = fe_add(x3, z3);
+    const Fe d = fe_sub(x3, z3);
+    const Fe da = fe_mul(d, a);
+    const Fe cb = fe_mul(c, b);
+    x3 = fe_sq(fe_add(da, cb));
+    z3 = fe_mul(x1, fe_sq(fe_sub(da, cb)));
+    x2 = fe_mul(aa, bb);
+    z2 = fe_mul(e_, fe_add(aa, fe_mul_small(e_, 121665)));
+  }
+  fe_cswap(swap, x2, x3);
+  fe_cswap(swap, z2, z3);
+
+  const Fe out = fe_mul(x2, fe_invert(z2));
+  X25519Key result;
+  fe_store(out, result.data());
+  return result;
+}
+
+X25519Key x25519_base(const X25519Key& scalar) {
+  X25519Key base{};
+  base[0] = 9;
+  return x25519(scalar, base);
+}
+
+X25519KeyPair x25519_generate(Drbg& drbg) {
+  X25519KeyPair pair;
+  drbg.fill(pair.private_key);
+  pair.public_key = x25519_base(pair.private_key);
+  return pair;
+}
+
+bool x25519_shared(const X25519Key& own_private, const X25519Key& peer_public,
+                   X25519Key& shared_out) {
+  shared_out = x25519(own_private, peer_public);
+  std::uint8_t acc = 0;
+  for (const std::uint8_t b : shared_out) acc |= b;
+  return acc != 0;
+}
+
+}  // namespace speed::crypto

@@ -1,0 +1,44 @@
+// X25519 Diffie-Hellman (RFC 7748), implemented from scratch.
+//
+// Used by the attested channel establishment (net/handshake.h): each
+// endpoint binds an ephemeral X25519 public key into a local-attestation
+// report, and the session key is derived from the shared secret — the
+// standard SGX local-attestation key-exchange pattern the paper's "secure
+// channel" relies on.
+//
+// Field arithmetic is radix-2^51 (five 51-bit limbs) over 2^255 - 19 with a
+// constant-time Montgomery ladder.
+#pragma once
+
+#include <array>
+
+#include "common/bytes.h"
+
+namespace speed::crypto {
+
+inline constexpr std::size_t kX25519KeySize = 32;
+
+using X25519Key = std::array<std::uint8_t, kX25519KeySize>;
+
+/// scalar * point (u-coordinate form). Implements RFC 7748 §5 including
+/// scalar clamping.
+X25519Key x25519(const X25519Key& scalar, const X25519Key& point);
+
+/// scalar * base point (9).
+X25519Key x25519_base(const X25519Key& scalar);
+
+struct X25519KeyPair {
+  X25519Key private_key;
+  X25519Key public_key;
+};
+
+class Drbg;
+/// Fresh ephemeral key pair from `drbg`.
+X25519KeyPair x25519_generate(Drbg& drbg);
+
+/// Shared secret = x25519(own_private, peer_public). Returns false for the
+/// all-zero output (low-order peer point), which callers must reject.
+bool x25519_shared(const X25519Key& own_private, const X25519Key& peer_public,
+                   X25519Key& shared_out);
+
+}  // namespace speed::crypto

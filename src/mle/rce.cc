@@ -1,0 +1,118 @@
+#include "mle/rce.h"
+
+#include "common/error.h"
+#include "crypto/gcm.h"
+
+namespace speed::mle {
+
+namespace {
+
+/// The result ciphertext is AEAD-bound to the computation tag, so a
+/// malicious store cannot transplant a payload from one tag onto another
+/// without tripping authentication (cache-poisoning defence, §III-D).
+ByteView tag_aad(const Tag& tag) { return ByteView(tag.data(), tag.size()); }
+
+/// [k] = k XOR h[0..16): the wrap mask is the first |k| bytes of the
+/// 32-byte secondary key h.
+Bytes wrap_key(ByteView key, const crypto::Sha256Digest& h) {
+  return xor_bytes(key, ByteView(h.data(), key.size()));
+}
+
+}  // namespace
+
+ResultCipher::WrappedKey ResultCipher::generate_key(const FunctionIdentity& fn,
+                                                    ByteView input,
+                                                    crypto::Drbg& drbg) {
+  WrappedKey out;
+  out.key = drbg.bytes(kResultKeySize);                 // k <- KeyGen(1^λ)
+  out.challenge = drbg.bytes(kChallengeSize);           // r <-R- {0,1}*
+  const auto h = derive_secondary_key(fn, input, out.challenge);
+  out.wrapped_key = wrap_key(out.key, h);               // [k] = k ⊕ h
+  return out;
+}
+
+Bytes ResultCipher::recover_key(const FunctionIdentity& fn, ByteView input,
+                                ByteView challenge, ByteView wrapped_key) {
+  if (wrapped_key.size() != kResultKeySize) {
+    throw CryptoError("recover_key: wrapped key must be 16 bytes");
+  }
+  const auto h = derive_secondary_key(fn, input, challenge);
+  return wrap_key(wrapped_key, h);                      // k = [k] ⊕ h
+}
+
+Bytes ResultCipher::encrypt_result(const Tag& tag, ByteView key,
+                                   ByteView result, crypto::Drbg& drbg) {
+  return crypto::gcm_encrypt(key, tag_aad(tag), result, drbg);
+}
+
+std::optional<Bytes> ResultCipher::decrypt_result(const Tag& tag, ByteView key,
+                                                  ByteView result_ct) {
+  return crypto::gcm_decrypt(key, tag_aad(tag), result_ct);
+}
+
+serialize::EntryPayload ResultCipher::protect(const FunctionIdentity& fn,
+                                              ByteView input, ByteView result,
+                                              crypto::Drbg& drbg) {
+  return protect(derive_tag(fn, input), fn, input, result, drbg);
+}
+
+serialize::EntryPayload ResultCipher::protect(const Tag& tag,
+                                              const FunctionIdentity& fn,
+                                              ByteView input, ByteView result,
+                                              crypto::Drbg& drbg) {
+  WrappedKey wk = generate_key(fn, input, drbg);
+  serialize::EntryPayload entry;
+  entry.challenge = std::move(wk.challenge);
+  entry.wrapped_key = std::move(wk.wrapped_key);
+  entry.result_ct = encrypt_result(tag, wk.key, result, drbg);
+  secure_zero(wk.key.data(), wk.key.size());
+  return entry;
+}
+
+std::optional<Bytes> ResultCipher::recover(const FunctionIdentity& fn,
+                                           ByteView input,
+                                           const serialize::EntryPayload& entry) {
+  return recover(derive_tag(fn, input), fn, input, entry);
+}
+
+std::optional<Bytes> ResultCipher::recover(const Tag& tag,
+                                           const FunctionIdentity& fn,
+                                           ByteView input,
+                                           const serialize::EntryPayload& entry) {
+  if (entry.wrapped_key.size() != kResultKeySize) return std::nullopt;
+  Bytes key = recover_key(fn, input, entry.challenge, entry.wrapped_key);
+  auto result = decrypt_result(tag, key, entry.result_ct);
+  secure_zero(key.data(), key.size());
+  return result;
+}
+
+BasicResultCipher::BasicResultCipher(Bytes system_key)
+    : system_key_(std::move(system_key)) {
+  if (system_key_.size() != kResultKeySize &&
+      system_key_.size() != crypto::kAes256KeySize) {
+    throw CryptoError("BasicResultCipher: key must be 16 or 32 bytes");
+  }
+}
+
+serialize::EntryPayload BasicResultCipher::protect(const FunctionIdentity& fn,
+                                                   ByteView input,
+                                                   ByteView result,
+                                                   crypto::Drbg& drbg) const {
+  serialize::EntryPayload entry;
+  // No challenge / wrapped key in the basic design: the key is implicit.
+  entry.result_ct = crypto::gcm_encrypt(
+      system_key_, tag_aad(derive_tag(fn, input)), result, drbg);
+  return entry;
+}
+
+std::optional<Bytes> BasicResultCipher::recover(
+    const FunctionIdentity& fn, ByteView input,
+    const serialize::EntryPayload& entry) const {
+  if (!entry.challenge.empty() || !entry.wrapped_key.empty()) {
+    return std::nullopt;  // not a basic-scheme payload
+  }
+  return crypto::gcm_decrypt(system_key_, tag_aad(derive_tag(fn, input)),
+                             entry.result_ct);
+}
+
+}  // namespace speed::mle

@@ -1,0 +1,34 @@
+#include "mle/tag.h"
+
+namespace speed::mle {
+
+namespace {
+
+/// Injective multi-part hash: every part is length-prefixed, plus a domain
+/// separation label so tags and secondary keys can never collide.
+crypto::Sha256Digest hash_labeled(std::string_view label,
+                                  std::initializer_list<ByteView> parts) {
+  crypto::Sha256 h;
+  h.update(as_bytes(label));
+  for (ByteView p : parts) {
+    std::uint8_t len[4];
+    const std::uint32_t n = static_cast<std::uint32_t>(p.size());
+    for (int i = 0; i < 4; ++i) len[i] = static_cast<std::uint8_t>(n >> (8 * i));
+    h.update(ByteView(len, 4));
+    h.update(p);
+  }
+  return h.finish();
+}
+
+}  // namespace
+
+Tag derive_tag(const FunctionIdentity& fn, ByteView input) {
+  return hash_labeled("speed-tag-v1", {fn.unique_value(), input});
+}
+
+crypto::Sha256Digest derive_secondary_key(const FunctionIdentity& fn,
+                                          ByteView input, ByteView challenge) {
+  return hash_labeled("speed-skey-v1", {fn.unique_value(), input, challenge});
+}
+
+}  // namespace speed::mle

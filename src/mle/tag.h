@@ -1,0 +1,50 @@
+// Computation tags and key material derivation (paper §III-B/C).
+//
+// A computation is the pair (function, input). Its *tag* t = Hash(func, m)
+// identifies duplicates; its *secondary key* h = Hash(func, m, r) protects
+// the per-result random key in the RCE wrap. "func" is represented by a
+// FunctionIdentity: the developer-supplied descriptor plus the code
+// measurement of the trusted library that provides the function — resolved
+// by DedupRuntime against the enclave's TrustedLibraryRegistry, so that the
+// tag binds actual code, not just a name (§IV-B).
+//
+// All hash inputs go through the canonical length-prefixed codec, making the
+// (descriptor, measurement, input[, challenge]) -> digest mapping injective.
+#pragma once
+
+#include <string_view>
+
+#include "common/bytes.h"
+#include "crypto/sha256.h"
+#include "serialize/function_descriptor.h"
+#include "serialize/wire.h"
+#include "sgx/measurement.h"
+
+namespace speed::mle {
+
+using serialize::Tag;
+
+struct FunctionIdentity {
+  serialize::FunctionDescriptor descriptor;
+  sgx::Measurement code_measurement{};
+
+  /// The "universally unique value for function identification" of §IV-B.
+  Bytes unique_value() const {
+    serialize::Encoder enc;
+    enc.var_bytes(descriptor.canonical());
+    enc.raw(ByteView(code_measurement.data(), code_measurement.size()));
+    return enc.take();
+  }
+
+  friend bool operator==(const FunctionIdentity&,
+                         const FunctionIdentity&) = default;
+};
+
+/// t <- Hash(func, m). Algorithm 1/2, line 1.
+Tag derive_tag(const FunctionIdentity& fn, ByteView input);
+
+/// h <- Hash(func, m, r). Algorithm 1 line 6 / Algorithm 2 line 4.
+crypto::Sha256Digest derive_secondary_key(const FunctionIdentity& fn,
+                                          ByteView input, ByteView challenge);
+
+}  // namespace speed::mle

@@ -1,0 +1,51 @@
+// Transport between DedupRuntime and ResultStore.
+//
+// The paper deploys the store on the same machine as the applications and
+// speaks a synchronous request/response protocol through OCALLs (§IV-B).
+// Transport is that abstraction: round_trip() sends one framed request and
+// blocks for the response. LoopbackTransport is the in-process deployment
+// (with optional injected latency to model a socket hop); it serializes
+// concurrent callers like a single connection would.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+
+#include "common/bytes.h"
+#include "common/clock.h"
+
+namespace speed::net {
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Send `request`, block until the peer's response arrives.
+  virtual Bytes round_trip(ByteView request) = 0;
+};
+
+/// In-process transport delivering requests to a handler function.
+class LoopbackTransport : public Transport {
+ public:
+  using Handler = std::function<Bytes(ByteView)>;
+
+  explicit LoopbackTransport(Handler handler, std::uint64_t one_way_ns = 0)
+      : handler_(std::move(handler)), one_way_ns_(one_way_ns) {}
+
+  Bytes round_trip(ByteView request) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (one_way_ns_ > 0) busy_wait_ns(one_way_ns_);
+    Bytes response = handler_(request);
+    if (one_way_ns_ > 0) busy_wait_ns(one_way_ns_);
+    return response;
+  }
+
+ private:
+  Handler handler_;
+  std::uint64_t one_way_ns_;
+  std::mutex mu_;
+};
+
+}  // namespace speed::net

@@ -1,0 +1,52 @@
+// Authenticated, replay-protected channel between two enclaves.
+//
+// The paper sends tags and entries "via a secure channel" between the
+// application's DedupRuntime and the ResultStore enclave. On real SGX this
+// channel comes from local attestation plus a key exchange bound to the
+// reports. The simulator reaches the same end state — a shared secret bound
+// to both enclaves' measurements and rooted in the platform — by deriving
+// the session key from the platform hardware key over the sorted pair of
+// measurements (see DESIGN.md substitutions; the DH mechanics are elided,
+// the resulting key distribution is the one the protocol needs).
+//
+// Frames are AES-GCM-128 with deterministic per-direction nonces and strictly
+// increasing sequence numbers, so tampering, reordering, and replay are all
+// rejected. Each endpoint owns one SecureChannel per peer and direction pair.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/bytes.h"
+#include "sgx/enclave.h"
+
+namespace speed::net {
+
+/// Derive the session key shared by `self` and an enclave with measurement
+/// `peer` on the same platform (order-independent).
+Bytes derive_channel_key(sgx::Enclave& self, const sgx::Measurement& peer);
+
+class SecureChannel {
+ public:
+  /// `is_initiator` picks which of the two directional nonce spaces this
+  /// endpoint sends on; the two endpoints must disagree on it.
+  SecureChannel(Bytes session_key, bool is_initiator);
+
+  /// Seal a message for the peer. Frames carry an explicit sequence number.
+  Bytes wrap(ByteView plaintext);
+
+  /// Verify + decrypt a frame from the peer. Returns nullopt on tampering,
+  /// replay, or out-of-order delivery.
+  std::optional<Bytes> unwrap(ByteView frame);
+
+  std::uint64_t sent() const { return send_seq_; }
+  std::uint64_t received() const { return recv_seq_; }
+
+ private:
+  Bytes key_;
+  bool is_initiator_;
+  std::uint64_t send_seq_ = 0;
+  std::uint64_t recv_seq_ = 0;
+};
+
+}  // namespace speed::net

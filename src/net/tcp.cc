@@ -1,0 +1,156 @@
+#include "net/tcp.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <optional>
+
+namespace speed::net {
+
+namespace {
+
+constexpr std::size_t kMaxFrame = 256u * 1024 * 1024;
+
+void write_all(int fd, const std::uint8_t* data, std::size_t len) {
+  while (len > 0) {
+    const ssize_t n = ::send(fd, data, len, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw TcpError(std::string("send: ") + std::strerror(errno));
+    }
+    data += n;
+    len -= static_cast<std::size_t>(n);
+  }
+}
+
+/// Returns bytes read; 0 only on immediate EOF.
+std::size_t read_all(int fd, std::uint8_t* data, std::size_t len) {
+  std::size_t got = 0;
+  while (got < len) {
+    const ssize_t n = ::recv(fd, data + got, len - got, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw TcpError(std::string("recv: ") + std::strerror(errno));
+    }
+    if (n == 0) {
+      if (got == 0) return 0;
+      throw TcpError("recv: connection closed mid-frame");
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return got;
+}
+
+}  // namespace
+
+FramedSocket::~FramedSocket() { close(); }
+
+void FramedSocket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void FramedSocket::shutdown() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void FramedSocket::send_frame(ByteView payload) {
+  if (fd_ < 0) throw TcpError("send_frame: socket closed");
+  std::uint8_t header[4];
+  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  for (int i = 0; i < 4; ++i) header[i] = static_cast<std::uint8_t>(len >> (8 * i));
+  write_all(fd_, header, 4);
+  write_all(fd_, payload.data(), payload.size());
+}
+
+std::optional<Bytes> FramedSocket::try_recv_frame() {
+  if (fd_ < 0) throw TcpError("recv_frame: socket closed");
+  std::uint8_t header[4];
+  if (read_all(fd_, header, 4) == 0) return std::nullopt;  // orderly EOF
+  std::uint32_t len = 0;
+  for (int i = 3; i >= 0; --i) len = (len << 8) | header[i];
+  if (len > kMaxFrame) throw TcpError("recv_frame: oversized frame");
+  Bytes payload(len);
+  if (len > 0 && read_all(fd_, payload.data(), len) == 0) {
+    throw TcpError("recv_frame: connection closed mid-frame");
+  }
+  return payload;
+}
+
+Bytes FramedSocket::recv_frame() {
+  auto frame = try_recv_frame();
+  if (!frame.has_value()) throw TcpError("recv_frame: connection closed");
+  return std::move(*frame);
+}
+
+FramedSocket tcp_connect(const std::string& host, std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw TcpError(std::string("socket: ") + std::strerror(errno));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  const std::string resolved = host == "localhost" ? "127.0.0.1" : host;
+  if (::inet_pton(AF_INET, resolved.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    throw TcpError("tcp_connect: bad IPv4 address " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(fd);
+    throw TcpError(std::string("connect: ") + std::strerror(err));
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return FramedSocket(fd);
+}
+
+TcpListener::TcpListener(std::uint16_t port) : fd_(-1), port_(0) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) throw TcpError(std::string("socket: ") + std::strerror(errno));
+  const int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd_, 16) != 0) {
+    const int err = errno;
+    ::close(fd_);
+    throw TcpError(std::string("bind/listen: ") + std::strerror(err));
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
+    port_ = ntohs(addr.sin_port);
+  }
+}
+
+TcpListener::~TcpListener() { close(); }
+
+void TcpListener::close() {
+  if (fd_ >= 0) {
+    ::shutdown(fd_, SHUT_RDWR);
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+FramedSocket TcpListener::accept() {
+  if (fd_ < 0) throw TcpError("accept: listener closed");
+  const int fd = ::accept(fd_, nullptr, nullptr);
+  if (fd < 0) throw TcpError(std::string("accept: ") + std::strerror(errno));
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return FramedSocket(fd);
+}
+
+}  // namespace speed::net

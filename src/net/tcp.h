@@ -1,0 +1,110 @@
+// TCP transport: length-prefixed frames over POSIX sockets.
+//
+// The paper deploys the ResultStore as a separate process reachable over
+// the network (and a master store on a dedicated server). This module
+// provides the socket plumbing: a framed connection, a blocking listener,
+// and a Transport implementation the DedupRuntime can use unchanged —
+// everything above the socket (handshake, secure channel, wire protocol)
+// is identical to the in-process deployment.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <mutex>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/error.h"
+#include "net/channel.h"
+
+namespace speed::net {
+
+class TcpError : public Error {
+ public:
+  explicit TcpError(const std::string& what) : Error(what) {}
+};
+
+/// A connected socket speaking u32-length-prefixed frames. Closes on
+/// destruction. Frames are capped at 256 MB to bound allocation.
+class FramedSocket {
+ public:
+  explicit FramedSocket(int fd) : fd_(fd) {}
+  ~FramedSocket();
+
+  FramedSocket(FramedSocket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  FramedSocket& operator=(FramedSocket&& other) noexcept {
+    if (this != &other) {
+      close();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+  FramedSocket(const FramedSocket&) = delete;
+  FramedSocket& operator=(const FramedSocket&) = delete;
+
+  void send_frame(ByteView payload);
+  /// Blocks for one frame; throws TcpError on EOF or malformed length.
+  Bytes recv_frame();
+  /// Like recv_frame but returns nullopt on orderly EOF before any byte.
+  std::optional<Bytes> try_recv_frame();
+
+  bool valid() const { return fd_ >= 0; }
+  void close();
+
+  /// Half-close both directions without releasing the fd: unblocks a peer
+  /// (or our own other thread) sitting in recv(). Safe to call from a
+  /// different thread than the one using the socket.
+  void shutdown();
+
+ private:
+  int fd_;
+};
+
+/// Connect to host:port (IPv4 dotted or "localhost").
+FramedSocket tcp_connect(const std::string& host, std::uint16_t port);
+
+/// Blocking accept loop owner. Binds to 127.0.0.1.
+class TcpListener {
+ public:
+  /// `port` 0 picks an ephemeral port (see port()).
+  explicit TcpListener(std::uint16_t port);
+  ~TcpListener();
+
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  std::uint16_t port() const { return port_; }
+
+  /// Blocks for the next connection; throws TcpError once closed.
+  FramedSocket accept();
+
+  /// Unblocks pending accept() calls.
+  void close();
+
+ private:
+  int fd_;
+  std::uint16_t port_;
+};
+
+/// Transport over a framed TCP connection: one in-flight request at a time,
+/// like the prototype's synchronous OCALL-driven exchange.
+class TcpTransport : public Transport {
+ public:
+  explicit TcpTransport(FramedSocket socket) : socket_(std::move(socket)) {}
+
+  Bytes round_trip(ByteView request) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    socket_.send_frame(request);
+    return socket_.recv_frame();
+  }
+
+  FramedSocket& socket() { return socket_; }
+
+ private:
+  FramedSocket socket_;
+  std::mutex mu_;
+};
+
+}  // namespace speed::net

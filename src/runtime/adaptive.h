@@ -1,0 +1,161 @@
+// Adaptive deduplication strategy — the paper's future-work direction
+// (§VII: "an automatic extension to enable the application to adjust its
+// deduplication strategy via dynamically analyzing the underlying
+// computations during its runtime").
+//
+// AdaptiveDeduplicable profiles each marked function online:
+//
+//   compute_ns   EMA of the function's own execution time (observed on
+//                misses and on bypassed calls),
+//   overhead_ns  EMA of the dedup machinery's cost (hit-path total, or
+//                miss-path total minus compute),
+//   hit_rate     EMA of store-hit probability.
+//
+// Expected cost with dedup  = overhead + (1 - hit_rate) * compute
+// Expected cost without     = compute
+// => dedup pays off iff overhead < hit_rate * compute.
+//
+// When the inequality fails (with hysteresis), calls bypass the store and
+// run the function directly — the right call for cheap functions or
+// duplicate-free workloads, where Fig. 5(b)/(d) show SPEED's overhead can
+// exceed its benefit. While bypassing, every probe_interval-th call still
+// goes through the dedup path so the profile keeps tracking the workload.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+
+#include "common/clock.h"
+#include "runtime/deduplicable.h"
+
+namespace speed::runtime {
+
+struct AdaptiveConfig {
+  double ema_alpha = 0.2;        ///< smoothing of the online estimates
+  std::size_t min_samples = 8;   ///< dedup unconditionally until then
+  double hysteresis = 1.25;      ///< margin before flipping to bypass
+  std::size_t probe_interval = 16;  ///< dedup probe cadence while bypassing
+};
+
+/// Online profile + policy. Thread-safe.
+class AdaptiveProfile {
+ public:
+  explicit AdaptiveProfile(AdaptiveConfig config = {}) : config_(config) {}
+
+  void record_hit(std::uint64_t total_ns) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++samples_;
+    update(overhead_ns_, static_cast<double>(total_ns));
+    update(hit_rate_, 1.0);
+  }
+
+  void record_miss(std::uint64_t total_ns, std::uint64_t compute_ns) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++samples_;
+    update(compute_ns_, static_cast<double>(compute_ns));
+    const double overhead = total_ns > compute_ns
+                                ? static_cast<double>(total_ns - compute_ns)
+                                : 0.0;
+    update(overhead_ns_, overhead);
+    update(hit_rate_, 0.0);
+  }
+
+  void record_bypass(std::uint64_t compute_ns) {
+    std::lock_guard<std::mutex> lock(mu_);
+    update(compute_ns_, static_cast<double>(compute_ns));
+  }
+
+  /// Policy decision for the next call: true = skip the store entirely
+  /// (unless this call is a probe, see next_is_probe()).
+  bool should_bypass() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (samples_ < config_.min_samples) return false;
+    return overhead_ns_ > config_.hysteresis * hit_rate_ * compute_ns_;
+  }
+
+  /// Call once per bypassed invocation; true on probe turns.
+  bool next_is_probe() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return ++bypass_counter_ % config_.probe_interval == 0;
+  }
+
+  struct Snapshot {
+    double compute_ns = 0;
+    double overhead_ns = 0;
+    double hit_rate = 0;
+    std::size_t samples = 0;
+  };
+  Snapshot snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return {compute_ns_, overhead_ns_, hit_rate_, samples_};
+  }
+
+ private:
+  void update(double& ema, double value) const {
+    ema = ema == 0 ? value : (1 - config_.ema_alpha) * ema + config_.ema_alpha * value;
+  }
+
+  AdaptiveConfig config_;
+  mutable std::mutex mu_;
+  double compute_ns_ = 0;
+  double overhead_ns_ = 0;
+  double hit_rate_ = 0;
+  std::size_t samples_ = 0;
+  std::size_t bypass_counter_ = 0;
+};
+
+template <typename Signature>
+class AdaptiveDeduplicable;
+
+template <typename R, typename... Args>
+class AdaptiveDeduplicable<R(Args...)> {
+ public:
+  AdaptiveDeduplicable(DedupRuntime& rt,
+                       serialize::FunctionDescriptor descriptor,
+                       std::function<R(Args...)> fn,
+                       AdaptiveConfig config = {})
+      : fn_(fn),
+        profile_(config),
+        dedup_(rt, std::move(descriptor), [this, fn](const Args&... args) {
+          // Time the inner computation so the miss path can split
+          // "compute" from "dedup overhead".
+          Stopwatch sw;
+          R result = fn(args...);
+          last_compute_ns_ = sw.elapsed_ns();
+          return result;
+        }) {}
+
+  R operator()(const Args&... args) {
+    if (profile_.should_bypass() && !profile_.next_is_probe()) {
+      Stopwatch sw;
+      R result = fn_(args...);
+      profile_.record_bypass(sw.elapsed_ns());
+      last_action_ = Action::kBypassed;
+      return result;
+    }
+    Stopwatch sw;
+    R result = dedup_(args...);
+    const std::uint64_t total_ns = sw.elapsed_ns();
+    if (dedup_.last_was_deduplicated()) {
+      profile_.record_hit(total_ns);
+      last_action_ = Action::kHit;
+    } else {
+      profile_.record_miss(total_ns, last_compute_ns_);
+      last_action_ = Action::kMiss;
+    }
+    return result;
+  }
+
+  enum class Action { kHit, kMiss, kBypassed };
+  Action last_action() const { return last_action_; }
+  const AdaptiveProfile& profile() const { return profile_; }
+
+ private:
+  std::function<R(Args...)> fn_;
+  AdaptiveProfile profile_;
+  std::uint64_t last_compute_ns_ = 0;
+  Deduplicable<R(Args...)> dedup_;
+  Action last_action_ = Action::kMiss;
+};
+
+}  // namespace speed::runtime

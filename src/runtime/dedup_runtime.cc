@@ -1,0 +1,207 @@
+#include "runtime/dedup_runtime.h"
+
+#include "common/error.h"
+
+namespace speed::runtime {
+
+using serialize::GetRequest;
+using serialize::GetResponse;
+using serialize::Message;
+using serialize::PutRequest;
+using serialize::PutResponse;
+using serialize::PutStatus;
+
+DedupRuntime::DedupRuntime(sgx::Enclave& app_enclave,
+                           const sgx::Measurement& store_measurement,
+                           std::unique_ptr<net::Transport> transport,
+                           RuntimeConfig config)
+    : DedupRuntime(app_enclave,
+                   net::derive_channel_key(app_enclave, store_measurement),
+                   std::move(transport), std::move(config)) {}
+
+DedupRuntime::DedupRuntime(sgx::Enclave& app_enclave, Bytes session_key,
+                           std::unique_ptr<net::Transport> transport,
+                           RuntimeConfig config)
+    : enclave_(app_enclave),
+      transport_(std::move(transport)),
+      config_(std::move(config)),
+      channel_(std::move(session_key), /*is_initiator=*/true) {
+  if (transport_ == nullptr) {
+    throw ProtocolError("DedupRuntime: transport is required");
+  }
+  if (config_.scheme == RuntimeConfig::Scheme::kBasicSingleKey) {
+    basic_cipher_.emplace(config_.system_key);
+  }
+  if (config_.async_put) {
+    put_thread_ = std::thread([this] { put_worker(); });
+  }
+}
+
+DedupRuntime::~DedupRuntime() {
+  if (put_thread_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      shutting_down_ = true;
+    }
+    queue_cv_.notify_all();
+    put_thread_.join();
+  }
+}
+
+mle::FunctionIdentity DedupRuntime::resolve(
+    const serialize::FunctionDescriptor& desc) const {
+  const auto measurement = libraries_.lookup(desc.family, desc.version);
+  if (!measurement.has_value()) {
+    throw EnclaveError("DedupRuntime: application does not own trusted library " +
+                       desc.family + "/" + desc.version);
+  }
+  return mle::FunctionIdentity{desc, *measurement};
+}
+
+Message DedupRuntime::secure_round_trip(const Message& request) {
+  std::lock_guard<std::mutex> lock(channel_mu_);
+  // Wrap inside the enclave, cross to the host to hit the transport (the
+  // prototype's customized OCALL carrying the request), unwrap back inside.
+  const Bytes frame = channel_.wrap(serialize::encode_message(request));
+  const Bytes response_frame =
+      enclave_.ocall([&] { return transport_->round_trip(frame); });
+  const auto plain = channel_.unwrap(response_frame);
+  if (!plain.has_value()) {
+    throw ProtocolError("DedupRuntime: store response failed channel check");
+  }
+  return serialize::decode_message(*plain);
+}
+
+DedupRuntime::Outcome DedupRuntime::execute(
+    const mle::FunctionIdentity& fn, ByteView input,
+    const std::function<Bytes()>& compute) {
+  return enclave_.ecall([&]() -> Outcome {
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.calls;
+    }
+
+    // Algorithm 1/2 line 1-2: derive the tag, query the store.
+    const mle::Tag tag = mle::derive_tag(fn, input);
+    GetRequest get;
+    get.tag = tag;
+    get.requester = enclave_.measurement();
+    const Message response = secure_round_trip(get);
+    const auto* get_resp = std::get_if<GetResponse>(&response);
+    if (get_resp == nullptr) {
+      throw ProtocolError("DedupRuntime: expected GET_RESPONSE");
+    }
+
+    if (get_resp->found) {
+      // Algorithm 2 lines 4-6 + Fig. 3 verification.
+      std::optional<Bytes> result;
+      if (basic_cipher_.has_value()) {
+        result = basic_cipher_->recover(fn, input, get_resp->entry);
+      } else {
+        result = mle::ResultCipher::recover(tag, fn, input, get_resp->entry);
+      }
+      if (result.has_value()) {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.hits;
+        return Outcome{std::move(*result), true};
+      }
+      // ⊥: entry exists but we cannot authenticate/decrypt it (poisoned or
+      // foreign). Fall through to local computation.
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.failed_recoveries;
+    } else {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.misses;
+    }
+
+    // Algorithm 1 lines 4-10: compute, protect, and ship the result.
+    Bytes result = compute();
+
+    if (!get_resp->found) {
+      crypto::Drbg seeded(enclave_.random_bytes(32));
+      serialize::EntryPayload entry;
+      if (basic_cipher_.has_value()) {
+        entry = basic_cipher_->protect(fn, input, result, seeded);
+      } else {
+        entry = mle::ResultCipher::protect(tag, fn, input, result, seeded);
+      }
+      PutRequest put;
+      put.tag = tag;
+      put.requester = enclave_.measurement();
+      put.entry = std::move(entry);
+      enqueue_put(std::move(put));
+    }
+    return Outcome{std::move(result), false};
+  });
+}
+
+void DedupRuntime::enqueue_put(PutRequest put) {
+  if (config_.async_put) {
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      put_queue_.push_back(std::move(put));
+    }
+    queue_cv_.notify_one();
+  } else {
+    send_put(put);
+  }
+}
+
+void DedupRuntime::send_put(const PutRequest& put) {
+  const Message response = secure_round_trip(put);
+  const auto* put_resp = std::get_if<PutResponse>(&response);
+  if (put_resp == nullptr) {
+    throw ProtocolError("DedupRuntime: expected PUT_RESPONSE");
+  }
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ++stats_.puts_sent;
+  if (put_resp->status != PutStatus::kStored &&
+      put_resp->status != PutStatus::kAlreadyPresent) {
+    ++stats_.puts_rejected;
+  }
+}
+
+void DedupRuntime::put_worker() {
+  for (;;) {
+    PutRequest put;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock,
+                     [this] { return shutting_down_ || !put_queue_.empty(); });
+      if (put_queue_.empty()) {
+        if (shutting_down_) return;
+        continue;
+      }
+      put = std::move(put_queue_.front());
+      put_queue_.pop_front();
+      ++puts_in_flight_;
+    }
+    // The worker enters the enclave for the channel crypto, like any other
+    // trusted-thread ECALL.
+    try {
+      enclave_.ecall([&] { send_put(put); });
+    } catch (const Error&) {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.puts_rejected;
+    }
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      --puts_in_flight_;
+    }
+    drained_cv_.notify_all();
+  }
+}
+
+void DedupRuntime::flush() {
+  if (!config_.async_put) return;
+  std::unique_lock<std::mutex> lock(queue_mu_);
+  drained_cv_.wait(lock,
+                   [this] { return put_queue_.empty() && puts_in_flight_ == 0; });
+}
+
+DedupRuntime::Stats DedupRuntime::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+}  // namespace speed::runtime

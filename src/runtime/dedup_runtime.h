@@ -1,0 +1,139 @@
+// Secure deduplication runtime (paper §IV-B).
+//
+// DedupRuntime is the trusted library linked into an application enclave.
+// For every marked computation it runs the paper's main routine:
+//
+//   Algorithm 2 (hit):  t = Hash(func, m) -> GET -> recover k = [k] XOR h
+//                       -> AES-GCM decrypt -> return res
+//   Algorithm 1 (miss): compute res = func(m) -> pick r, k -> wrap, encrypt
+//                       -> asynchronous PUT -> return res
+//
+// The whole routine executes inside the application enclave (one ECALL per
+// marked call); the GET/PUT exchanges leave through OCALLs wrapping the
+// transport, exactly like the prototype's synchronous GET and asynchronous
+// PUT (§IV-B, §V-B). All store traffic travels in an attested secure channel.
+//
+// Failed recoveries — a poisoned or foreign entry that does not authenticate
+// — degrade to a local recompute (the ⊥ branch of Fig. 3), preserving
+// correctness against a malicious store at the cost of the speedup.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+
+#include "mle/rce.h"
+#include "mle/tag.h"
+#include "net/channel.h"
+#include "net/secure_channel.h"
+#include "serialize/function_descriptor.h"
+#include "serialize/wire.h"
+#include "sgx/enclave.h"
+#include "sgx/trusted_library.h"
+
+namespace speed::runtime {
+
+struct RuntimeConfig {
+  /// Ship PUTs from a background thread (§V-B: "the remaining PUT operations
+  /// can be processed in a separated thread for better efficiency").
+  bool async_put = true;
+
+  /// Result-encryption scheme. kRce is the paper's cross-application design
+  /// (§III-C); kBasicSingleKey is the §III-B strawman and requires
+  /// `system_key` (16 bytes). Kept for the scheme ablation.
+  enum class Scheme { kRce, kBasicSingleKey };
+  Scheme scheme = Scheme::kRce;
+  Bytes system_key;
+};
+
+class DedupRuntime {
+ public:
+  /// Pre-provisioned-key mode: `store_measurement` identifies the
+  /// ResultStore enclave and the channel key derives from the platform (see
+  /// net/secure_channel.h); `transport` delivers frames to the store.
+  DedupRuntime(sgx::Enclave& app_enclave,
+               const sgx::Measurement& store_measurement,
+               std::unique_ptr<net::Transport> transport,
+               RuntimeConfig config = RuntimeConfig{});
+
+  /// Attested-handshake mode: `session_key` comes from a completed
+  /// ChannelKeyExchange (see store::connect_app / net/handshake.h).
+  DedupRuntime(sgx::Enclave& app_enclave, Bytes session_key,
+               std::unique_ptr<net::Transport> transport,
+               RuntimeConfig config = RuntimeConfig{});
+  ~DedupRuntime();
+
+  DedupRuntime(const DedupRuntime&) = delete;
+  DedupRuntime& operator=(const DedupRuntime&) = delete;
+
+  /// Trusted libraries available to this application; Deduplicable
+  /// descriptors must resolve against this registry.
+  sgx::TrustedLibraryRegistry& libraries() { return libraries_; }
+
+  /// Resolve a descriptor to a full function identity; throws EnclaveError
+  /// if the application does not own the named library ("verify that the
+  /// application indeed owns the actual code of the function", §IV-B).
+  mle::FunctionIdentity resolve(const serialize::FunctionDescriptor& desc) const;
+
+  struct Outcome {
+    Bytes result;             ///< serialized result bytes
+    bool deduplicated = false;  ///< true iff served from the store
+  };
+
+  /// The main routine on serialized input. `compute` is invoked only on the
+  /// miss path and must return the serialized result.
+  Outcome execute(const mle::FunctionIdentity& fn, ByteView input,
+                  const std::function<Bytes()>& compute);
+
+  /// Block until all queued asynchronous PUTs are delivered.
+  void flush();
+
+  struct Stats {
+    std::uint64_t calls = 0;
+    std::uint64_t hits = 0;             ///< results served from the store
+    std::uint64_t misses = 0;           ///< store had no entry
+    std::uint64_t failed_recoveries = 0;///< entry present but not decryptable
+    std::uint64_t puts_sent = 0;
+    std::uint64_t puts_rejected = 0;
+  };
+  Stats stats() const;
+
+  sgx::Enclave& enclave() { return enclave_; }
+
+ private:
+  /// One request/response over the secure channel. Must be called from
+  /// inside the enclave; takes the channel lock to keep sequence numbers
+  /// aligned with delivery order.
+  serialize::Message secure_round_trip(const serialize::Message& request);
+
+  void enqueue_put(serialize::PutRequest put);
+  void put_worker();
+  void send_put(const serialize::PutRequest& put);
+
+  sgx::Enclave& enclave_;
+  std::unique_ptr<net::Transport> transport_;
+  RuntimeConfig config_;
+  sgx::TrustedLibraryRegistry libraries_;
+  std::optional<mle::BasicResultCipher> basic_cipher_;
+
+  std::mutex channel_mu_;
+  net::SecureChannel channel_;
+
+  mutable std::mutex stats_mu_;
+  Stats stats_;
+
+  // Asynchronous PUT pipeline.
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::condition_variable drained_cv_;
+  std::deque<serialize::PutRequest> put_queue_;
+  std::size_t puts_in_flight_ = 0;
+  bool shutting_down_ = false;
+  std::thread put_thread_;
+};
+
+}  // namespace speed::runtime

@@ -1,0 +1,76 @@
+// Deduplicable<> — the developer-facing API (paper §IV-C, Fig. 4).
+//
+// Making a function deduplicable takes two lines:
+//
+//   speed::runtime::Deduplicable<Bytes(const Bytes&)> dedup_deflate(
+//       rt, {"zlib", "1.2.11", "bytes deflate(bytes)"}, my_deflate);
+//   Bytes out = dedup_deflate(input);   // use as normal
+//
+// The wrapper owns the interaction with the underlying DedupRuntime and the
+// conversion between data formats: arguments are canonically serialized to
+// form the computation input m (parameters "are also viewed as a part of
+// input data", §II-A), and the return value round-trips through Serde so a
+// stored ciphertext decodes to exactly what the function would have
+// returned. Any callable with a Serde-encodable argument/return types is
+// accepted — the template is function-agnostic, like the prototype's
+// "extensive C++ template features ... allowing it to accept, in principle,
+// any functions".
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <utility>
+
+#include "runtime/dedup_runtime.h"
+#include "serialize/serde.h"
+
+namespace speed::runtime {
+
+template <typename Signature>
+class Deduplicable;
+
+template <typename R, typename... Args>
+class Deduplicable<R(Args...)> {
+  static_assert((serialize::Serializable<std::decay_t<Args>> && ...),
+                "every argument type needs a Serde specialization");
+  static_assert(serialize::Serializable<std::decay_t<R>>,
+                "the result type needs a Serde specialization");
+
+ public:
+  /// Wrap `fn` under `descriptor`. The descriptor must resolve against the
+  /// runtime's trusted-library registry (throws EnclaveError otherwise).
+  Deduplicable(DedupRuntime& rt, serialize::FunctionDescriptor descriptor,
+               std::function<R(Args...)> fn)
+      : rt_(&rt), fn_(std::move(fn)), identity_(rt.resolve(descriptor)) {}
+
+  /// Call through the deduplication routine: identical (code, input) pairs
+  /// are served from the encrypted store without re-execution.
+  R operator()(const Args&... args) {
+    const Bytes input = encode_args(args...);
+    auto outcome = rt_->execute(identity_, input, [&]() -> Bytes {
+      return serialize::serialize<std::decay_t<R>>(fn_(args...));
+    });
+    last_was_deduplicated_ = outcome.deduplicated;
+    return serialize::deserialize<std::decay_t<R>>(outcome.result);
+  }
+
+  /// Whether the most recent call was served from the store (for tests and
+  /// instrumentation; not part of the 2-line usage).
+  bool last_was_deduplicated() const { return last_was_deduplicated_; }
+
+  const mle::FunctionIdentity& identity() const { return identity_; }
+
+ private:
+  static Bytes encode_args(const Args&... args) {
+    serialize::Encoder enc;
+    (serialize::Serde<std::decay_t<Args>>::encode(enc, args), ...);
+    return enc.take();
+  }
+
+  DedupRuntime* rt_;
+  std::function<R(Args...)> fn_;
+  mle::FunctionIdentity identity_;
+  std::atomic<bool> last_was_deduplicated_{false};  ///< callable from any thread
+};
+
+}  // namespace speed::runtime

@@ -1,0 +1,37 @@
+// Function descriptors: the developer-supplied identity of a deduplicable
+// computation (paper §IV-B, Fig. 4).
+//
+// A descriptor names the library family, version, and function signature,
+// e.g. ("zlib", "1.2.11", "int deflate(...)"). The DedupRuntime resolves the
+// descriptor against the enclave's TrustedLibraryRegistry to obtain the
+// library's *code measurement*, and the tag is derived from that measurement
+// plus the signature plus the input — so "same computation" means same code,
+// not same name.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "serialize/codec.h"
+
+namespace speed::serialize {
+
+struct FunctionDescriptor {
+  std::string family;     ///< library family, e.g. "zlib"
+  std::string version;    ///< library version, e.g. "1.2.11"
+  std::string signature;  ///< function signature, e.g. "int deflate(bytes)"
+
+  /// Injective canonical encoding, suitable for hashing.
+  Bytes canonical() const {
+    Encoder enc;
+    enc.str(family);
+    enc.str(version);
+    enc.str(signature);
+    return enc.take();
+  }
+
+  friend bool operator==(const FunctionDescriptor&,
+                         const FunctionDescriptor&) = default;
+};
+
+}  // namespace speed::serialize

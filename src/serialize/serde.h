@@ -1,0 +1,138 @@
+// Uniform value-serialization interface — the paper's "function parsers".
+//
+// Deduplicable<> needs to (a) canonically encode a function's input to hash
+// it into the tag, and (b) encode/decode the result for encrypted storage.
+// Serde<T> is that uniform interface: modules specialize it for their own
+// types (images, keypoints, match results, word histograms) and the runtime
+// stays function-agnostic. Built-in specializations cover byte strings,
+// strings, arithmetic types, pairs, vectors, and ordered maps.
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "serialize/codec.h"
+
+namespace speed::serialize {
+
+template <typename T>
+struct Serde;  // specialize: static void encode(Encoder&, const T&);
+               //             static T decode(Decoder&);
+
+/// A type is Serializable when Serde<T> provides the encode/decode pair.
+template <typename T>
+concept Serializable = requires(Encoder& enc, Decoder& dec, const T& value) {
+  { Serde<T>::encode(enc, value) };
+  { Serde<T>::decode(dec) } -> std::same_as<T>;
+};
+
+/// One-shot helpers.
+template <Serializable T>
+Bytes serialize(const T& value) {
+  Encoder enc;
+  Serde<T>::encode(enc, value);
+  return enc.take();
+}
+
+template <Serializable T>
+T deserialize(ByteView data) {
+  Decoder dec(data);
+  T value = Serde<T>::decode(dec);
+  dec.expect_done();
+  return value;
+}
+
+// ------------------------------------------------------- specializations
+
+template <>
+struct Serde<Bytes> {
+  static void encode(Encoder& enc, const Bytes& v) { enc.var_bytes(v); }
+  static Bytes decode(Decoder& dec) { return dec.var_bytes(); }
+};
+
+template <>
+struct Serde<std::string> {
+  static void encode(Encoder& enc, const std::string& v) { enc.str(v); }
+  static std::string decode(Decoder& dec) { return dec.str(); }
+};
+
+template <>
+struct Serde<bool> {
+  static void encode(Encoder& enc, bool v) { enc.boolean(v); }
+  static bool decode(Decoder& dec) { return dec.boolean(); }
+};
+
+template <std::integral T>
+  requires(!std::same_as<T, bool>)
+struct Serde<T> {
+  static void encode(Encoder& enc, T v) {
+    enc.u64(static_cast<std::uint64_t>(static_cast<std::make_unsigned_t<T>>(v)));
+  }
+  static T decode(Decoder& dec) {
+    return static_cast<T>(static_cast<std::make_unsigned_t<T>>(dec.u64()));
+  }
+};
+
+template <std::floating_point T>
+struct Serde<T> {
+  static void encode(Encoder& enc, T v) { enc.f64(static_cast<double>(v)); }
+  static T decode(Decoder& dec) { return static_cast<T>(dec.f64()); }
+};
+
+template <Serializable A, Serializable B>
+struct Serde<std::pair<A, B>> {
+  static void encode(Encoder& enc, const std::pair<A, B>& v) {
+    Serde<A>::encode(enc, v.first);
+    Serde<B>::encode(enc, v.second);
+  }
+  static std::pair<A, B> decode(Decoder& dec) {
+    A a = Serde<A>::decode(dec);
+    B b = Serde<B>::decode(dec);
+    return {std::move(a), std::move(b)};
+  }
+};
+
+template <Serializable T>
+struct Serde<std::vector<T>> {
+  static void encode(Encoder& enc, const std::vector<T>& v) {
+    enc.u32(static_cast<std::uint32_t>(v.size()));
+    for (const T& item : v) Serde<T>::encode(enc, item);
+  }
+  static std::vector<T> decode(Decoder& dec) {
+    const std::uint32_t n = dec.u32();
+    std::vector<T> out;
+    // Cap the speculative reservation: a hostile count must not allocate
+    // ahead of the data that backs it (decode throws on truncation anyway).
+    out.reserve(std::min<std::size_t>(n, dec.remaining()));
+    for (std::uint32_t i = 0; i < n; ++i) out.push_back(Serde<T>::decode(dec));
+    return out;
+  }
+};
+
+template <Serializable K, Serializable V>
+struct Serde<std::map<K, V>> {
+  static void encode(Encoder& enc, const std::map<K, V>& v) {
+    enc.u32(static_cast<std::uint32_t>(v.size()));
+    for (const auto& [key, value] : v) {
+      Serde<K>::encode(enc, key);
+      Serde<V>::encode(enc, value);
+    }
+  }
+  static std::map<K, V> decode(Decoder& dec) {
+    const std::uint32_t n = dec.u32();
+    std::map<K, V> out;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      K key = Serde<K>::decode(dec);
+      V value = Serde<V>::decode(dec);
+      out.emplace(std::move(key), std::move(value));
+    }
+    return out;
+  }
+};
+
+}  // namespace speed::serialize

@@ -1,0 +1,149 @@
+#include "serialize/wire.h"
+
+namespace speed::serialize {
+
+namespace {
+
+void put_array32(Encoder& enc, const std::array<std::uint8_t, 32>& a) {
+  enc.raw(ByteView(a.data(), a.size()));
+}
+
+std::array<std::uint8_t, 32> take_array32(Decoder& dec) {
+  const ByteView b = dec.raw(32);
+  std::array<std::uint8_t, 32> out;
+  std::copy(b.begin(), b.end(), out.begin());
+  return out;
+}
+
+void put_entry(Encoder& enc, const EntryPayload& e) {
+  enc.var_bytes(e.challenge);
+  enc.var_bytes(e.wrapped_key);
+  enc.var_bytes(e.result_ct);
+}
+
+EntryPayload take_entry(Decoder& dec) {
+  EntryPayload e;
+  e.challenge = dec.var_bytes();
+  e.wrapped_key = dec.var_bytes();
+  e.result_ct = dec.var_bytes();
+  return e;
+}
+
+}  // namespace
+
+Bytes encode_message(const Message& msg) {
+  Encoder enc;
+  std::visit(
+      [&enc](const auto& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, GetRequest>) {
+          enc.u8(static_cast<std::uint8_t>(MessageType::kGetRequest));
+          put_array32(enc, m.tag);
+          put_array32(enc, m.requester);
+        } else if constexpr (std::is_same_v<T, GetResponse>) {
+          enc.u8(static_cast<std::uint8_t>(MessageType::kGetResponse));
+          enc.boolean(m.found);
+          if (m.found) put_entry(enc, m.entry);
+        } else if constexpr (std::is_same_v<T, PutRequest>) {
+          enc.u8(static_cast<std::uint8_t>(MessageType::kPutRequest));
+          put_array32(enc, m.tag);
+          put_array32(enc, m.requester);
+          put_entry(enc, m.entry);
+        } else if constexpr (std::is_same_v<T, PutResponse>) {
+          enc.u8(static_cast<std::uint8_t>(MessageType::kPutResponse));
+          enc.u8(static_cast<std::uint8_t>(m.status));
+        } else if constexpr (std::is_same_v<T, SyncRequest>) {
+          enc.u8(static_cast<std::uint8_t>(MessageType::kSyncRequest));
+          enc.u32(m.max_entries);
+        } else if constexpr (std::is_same_v<T, SyncResponse>) {
+          enc.u8(static_cast<std::uint8_t>(MessageType::kSyncResponse));
+          enc.u32(static_cast<std::uint32_t>(m.entries.size()));
+          for (const SyncEntry& s : m.entries) {
+            put_array32(enc, s.tag);
+            put_entry(enc, s.entry);
+            enc.u64(s.hits);
+          }
+        }
+      },
+      msg);
+  return enc.take();
+}
+
+Message decode_message(ByteView data) {
+  Decoder dec(data);
+  const auto type = static_cast<MessageType>(dec.u8());
+  Message out;
+  switch (type) {
+    case MessageType::kGetRequest: {
+      GetRequest m;
+      m.tag = take_array32(dec);
+      m.requester = take_array32(dec);
+      out = m;
+      break;
+    }
+    case MessageType::kGetResponse: {
+      GetResponse m;
+      m.found = dec.boolean();
+      if (m.found) m.entry = take_entry(dec);
+      out = m;
+      break;
+    }
+    case MessageType::kPutRequest: {
+      PutRequest m;
+      m.tag = take_array32(dec);
+      m.requester = take_array32(dec);
+      m.entry = take_entry(dec);
+      out = m;
+      break;
+    }
+    case MessageType::kPutResponse: {
+      PutResponse m;
+      const std::uint8_t status = dec.u8();
+      if (status > static_cast<std::uint8_t>(PutStatus::kRejected)) {
+        throw SerializationError("decode_message: invalid PutStatus");
+      }
+      m.status = static_cast<PutStatus>(status);
+      out = m;
+      break;
+    }
+    case MessageType::kSyncRequest: {
+      SyncRequest m;
+      m.max_entries = dec.u32();
+      out = m;
+      break;
+    }
+    case MessageType::kSyncResponse: {
+      SyncResponse m;
+      const std::uint32_t n = dec.u32();
+      // Every entry occupies at least tag + three length prefixes + hits on
+      // the wire; a count beyond that is hostile — reject before allocating.
+      constexpr std::size_t kMinEntryWire = 32 + 4 + 4 + 4 + 8;
+      if (n > dec.remaining() / kMinEntryWire) {
+        throw SerializationError("decode_message: implausible sync count");
+      }
+      m.entries.reserve(n);
+      for (std::uint32_t i = 0; i < n; ++i) {
+        SyncEntry s;
+        s.tag = take_array32(dec);
+        s.entry = take_entry(dec);
+        s.hits = dec.u64();
+        m.entries.push_back(std::move(s));
+      }
+      out = m;
+      break;
+    }
+    default:
+      throw SerializationError("decode_message: unknown message type");
+  }
+  dec.expect_done();
+  return out;
+}
+
+MessageType peek_type(ByteView data) {
+  if (data.empty()) throw SerializationError("peek_type: empty message");
+  const std::uint8_t t = data[0];
+  if (t < 1 || t > 6) throw SerializationError("peek_type: unknown type");
+  return static_cast<MessageType>(t);
+}
+
+}  // namespace speed::serialize

@@ -1,0 +1,102 @@
+// Wire protocol between DedupRuntime and the encrypted ResultStore.
+//
+// The paper's prototype exchanges GET_REQUEST/GET_RESPONSE and
+// PUT_REQUEST/PUT_RESPONSE messages through OCALLs and a socket (§IV-B);
+// SYNC messages implement the master-store replication discussed in the
+// §IV-B Remark. Every message is encoded with the canonical codec and
+// carried over a Channel (src/net), optionally inside a secure channel.
+//
+// Key sizes: the result key k is an AES-128 key (16 bytes). The RCE wrap
+// mask is the first 16 bytes of h = SHA-256(func, m, r), so |[k]| = 16.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <variant>
+#include <vector>
+
+#include "serialize/codec.h"
+
+namespace speed::serialize {
+
+/// Computation tag t = Hash(func, m); 32 bytes of SHA-256.
+using Tag = std::array<std::uint8_t, 32>;
+
+/// Application identity: the requesting enclave's measurement. Used by the
+/// store for quota accounting (DoS mitigation, §III-D), not for secrecy.
+using AppId = std::array<std::uint8_t, 32>;
+
+enum class MessageType : std::uint8_t {
+  kGetRequest = 1,
+  kGetResponse = 2,
+  kPutRequest = 3,
+  kPutResponse = 4,
+  kSyncRequest = 5,
+  kSyncResponse = 6,
+};
+
+/// The stored triple (r, [k], [res]) of Algorithm 1.
+struct EntryPayload {
+  Bytes challenge;    ///< r — the RCE challenge message
+  Bytes wrapped_key;  ///< [k] = k XOR h[0..16)
+  Bytes result_ct;    ///< [res] — AES-GCM envelope (iv ‖ ct ‖ tag)
+
+  friend bool operator==(const EntryPayload&, const EntryPayload&) = default;
+};
+
+struct GetRequest {
+  Tag tag{};
+  AppId requester{};
+};
+
+struct GetResponse {
+  bool found = false;
+  EntryPayload entry;  ///< valid only when found
+};
+
+struct PutRequest {
+  Tag tag{};
+  AppId requester{};
+  EntryPayload entry;
+};
+
+enum class PutStatus : std::uint8_t {
+  kStored = 0,
+  kAlreadyPresent = 1,  ///< concurrent initial computations; first write wins
+  kQuotaExceeded = 2,   ///< rate-limiting defence of §III-D
+  kRejected = 3,
+};
+
+struct PutResponse {
+  PutStatus status = PutStatus::kRejected;
+};
+
+/// Master-store synchronization (§IV-B Remark): a replica asks the master
+/// for its hottest entries; the master replies with (tag, entry, hits).
+struct SyncRequest {
+  std::uint32_t max_entries = 0;
+};
+
+struct SyncEntry {
+  Tag tag{};
+  EntryPayload entry;
+  std::uint64_t hits = 0;
+};
+
+struct SyncResponse {
+  std::vector<SyncEntry> entries;
+};
+
+using Message = std::variant<GetRequest, GetResponse, PutRequest, PutResponse,
+                             SyncRequest, SyncResponse>;
+
+/// Encode any protocol message with its type byte.
+Bytes encode_message(const Message& msg);
+
+/// Decode a message; throws SerializationError on malformed input.
+Message decode_message(ByteView data);
+
+/// Type of an encoded message without full decoding.
+MessageType peek_type(ByteView data);
+
+}  // namespace speed::serialize

@@ -1,0 +1,45 @@
+// Cost model for the simulated SGX runtime.
+//
+// We do not have SGX hardware, so the simulator charges the latency classes
+// that dominate real enclave execution with calibrated busy-waits:
+//
+//   * ECALL/OCALL world switches (~8,000-14,000 cycles on Skylake; HotCalls
+//     and Eleos [paper refs 9,10,51] measure 8-17 us round trips including
+//     marshalling). Default 4 us per one-way transition.
+//   * EPC paging (EWB/ELD) once the 90 MB usable Enclave Page Cache is
+//     exceeded — hundreds of thousands of cycles per 4 KB page.
+//
+// Charging wall-clock time (rather than bookkeeping counters alone) lets the
+// benchmark harnesses reproduce the *shape* of the paper's Fig. 6, where
+// small-payload store operations are dominated by transition overhead and the
+// SGX/no-SGX gap narrows as payloads grow. All constants are configurable so
+// the ablation bench can sweep them.
+#pragma once
+
+#include <cstdint>
+
+namespace speed::sgx {
+
+struct CostModel {
+  /// Master switch; false = charge nothing (the "w/o SGX" series in Fig. 6).
+  bool enabled = true;
+
+  /// One-way transition costs.
+  std::uint64_t ecall_ns = 4000;
+  std::uint64_t ocall_ns = 4000;
+
+  /// Extra EPC pressure cost per 4 KB page swapped once usage exceeds the
+  /// usable EPC (models EWB/ELD integrity-protected eviction).
+  std::uint64_t epc_page_swap_ns = 40000;
+
+  /// Usable EPC bytes (the paper's machines: 128 MB EPC, ~90 MB usable).
+  std::uint64_t epc_usable_bytes = 90ull * 1024 * 1024;
+
+  static CostModel disabled() {
+    CostModel m;
+    m.enabled = false;
+    return m;
+  }
+};
+
+}  // namespace speed::sgx

@@ -1,0 +1,111 @@
+#include "sgx/enclave.h"
+
+#include <cstring>
+
+#include "crypto/gcm.h"
+#include "crypto/hmac.h"
+
+namespace speed::sgx {
+
+Platform::Platform(CostModel model)
+    : model_(model),
+      epc_(model_),
+      hardware_key_(crypto::Drbg::system_bytes(32)) {}
+
+std::unique_ptr<Enclave> Platform::create_enclave(std::string identity) {
+  return std::make_unique<Enclave>(*this, std::move(identity));
+}
+
+Bytes Platform::seal_key_for(const Measurement& m) const {
+  return crypto::derive_key(hardware_key_, "seal-key",
+                            ByteView(m.data(), m.size()), 32);
+}
+
+Bytes Platform::report_key_for(const Measurement& target) const {
+  return crypto::derive_key(hardware_key_, "report-key",
+                            ByteView(target.data(), target.size()), 32);
+}
+
+Enclave::Enclave(Platform& platform, std::string identity)
+    : platform_(platform),
+      identity_(std::move(identity)),
+      measurement_(measure_identity(identity_)),
+      seal_key_(platform.seal_key_for(measurement_)),
+      drbg_() {
+  // A freshly created enclave occupies a minimal trusted footprint (SECS,
+  // TCS, initial heap); charge a token amount so EPC accounting reflects
+  // enclave count.
+  platform_.epc().allocate(kEpcPageSize * 16);
+}
+
+Enclave::~Enclave() { platform_.epc().release(kEpcPageSize * 16); }
+
+void Enclave::begin_ecall() {
+  ecalls_.fetch_add(1, std::memory_order_relaxed);
+  if (platform_.cost_model().enabled) {
+    busy_wait_ns(platform_.cost_model().ecall_ns);
+  }
+}
+
+void Enclave::end_ecall() {
+  if (platform_.cost_model().enabled) {
+    busy_wait_ns(platform_.cost_model().ecall_ns);
+  }
+}
+
+void Enclave::begin_ocall() {
+  ocalls_.fetch_add(1, std::memory_order_relaxed);
+  if (platform_.cost_model().enabled) {
+    busy_wait_ns(platform_.cost_model().ocall_ns);
+  }
+}
+
+void Enclave::end_ocall() {
+  if (platform_.cost_model().enabled) {
+    busy_wait_ns(platform_.cost_model().ocall_ns);
+  }
+}
+
+Bytes Enclave::seal(ByteView aad, ByteView plaintext) {
+  std::lock_guard<std::mutex> lock(drbg_mu_);
+  return crypto::gcm_encrypt(seal_key_, aad, plaintext, drbg_);
+}
+
+std::optional<Bytes> Enclave::unseal(ByteView aad, ByteView sealed) {
+  return crypto::gcm_decrypt(seal_key_, aad, sealed);
+}
+
+Report Enclave::create_report(const Measurement& target_measurement,
+                              ByteView user_data) const {
+  if (user_data.size() > 64) {
+    throw EnclaveError("create_report: user_data exceeds 64 bytes");
+  }
+  Report r;
+  r.source_measurement = measurement_;
+  std::memcpy(r.user_data.data(), user_data.data(), user_data.size());
+  const Bytes key = platform_.report_key_for(target_measurement);
+  crypto::HmacSha256 mac(key);
+  mac.update(ByteView(r.source_measurement.data(), r.source_measurement.size()));
+  mac.update(ByteView(r.user_data.data(), r.user_data.size()));
+  const auto digest = mac.finish();
+  std::memcpy(r.mac.data(), digest.data(), digest.size());
+  return r;
+}
+
+bool Enclave::verify_report(const Report& report) const {
+  const Bytes key = platform_.report_key_for(measurement_);
+  crypto::HmacSha256 mac(key);
+  mac.update(ByteView(report.source_measurement.data(),
+                      report.source_measurement.size()));
+  mac.update(ByteView(report.user_data.data(), report.user_data.size()));
+  const auto digest = mac.finish();
+  return ct_equal(ByteView(digest.data(), digest.size()),
+                  ByteView(report.mac.data(), report.mac.size()));
+}
+
+Bytes Enclave::random_bytes(std::size_t n) {
+  std::lock_guard<std::mutex> lock(drbg_mu_);
+  return drbg_.bytes(n);
+}
+
+}  // namespace speed::sgx

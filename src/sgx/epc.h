@@ -1,0 +1,62 @@
+// Simulated Enclave Page Cache.
+//
+// All enclaves on a platform share one EPC. Trusted allocations are tracked
+// here; once usage crosses the usable limit, further allocation (and touches
+// of paged-out ranges) pay a per-page swap penalty, modelling SGX's
+// encrypted EWB/ELD eviction path. This is what makes "keep only small
+// metadata inside the enclave, ciphertexts outside" (paper §III-A) a
+// measurable design decision rather than a convention.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/clock.h"
+#include "sgx/cost_model.h"
+
+namespace speed::sgx {
+
+inline constexpr std::uint64_t kEpcPageSize = 4096;
+
+class EpcAllocator {
+ public:
+  explicit EpcAllocator(const CostModel& model) : model_(model) {}
+
+  /// Charge `bytes` of trusted allocation; blocks for the simulated paging
+  /// cost when the allocation pushes usage past the usable EPC.
+  void allocate(std::uint64_t bytes) {
+    const std::uint64_t before = used_.fetch_add(bytes);
+    if (!model_.enabled) return;
+    const std::uint64_t after = before + bytes;
+    if (after > model_.epc_usable_bytes) {
+      const std::uint64_t overflow_begin =
+          before > model_.epc_usable_bytes ? before : model_.epc_usable_bytes;
+      const std::uint64_t overflow_bytes = after - overflow_begin;
+      const std::uint64_t pages =
+          (overflow_bytes + kEpcPageSize - 1) / kEpcPageSize;
+      swapped_pages_.fetch_add(pages);
+      busy_wait_ns(pages * model_.epc_page_swap_ns);
+    }
+  }
+
+  void release(std::uint64_t bytes) {
+    // Saturating subtract: release of untracked memory is a caller bug but
+    // must not wrap the gauge.
+    std::uint64_t cur = used_.load();
+    while (true) {
+      const std::uint64_t next = cur >= bytes ? cur - bytes : 0;
+      if (used_.compare_exchange_weak(cur, next)) return;
+    }
+  }
+
+  std::uint64_t used_bytes() const { return used_.load(); }
+  std::uint64_t swapped_pages() const { return swapped_pages_.load(); }
+  std::uint64_t usable_bytes() const { return model_.epc_usable_bytes; }
+
+ private:
+  const CostModel& model_;
+  std::atomic<std::uint64_t> used_{0};
+  std::atomic<std::uint64_t> swapped_pages_{0};
+};
+
+}  // namespace speed::sgx

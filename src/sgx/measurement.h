@@ -1,0 +1,41 @@
+// Enclave and trusted-library measurements.
+//
+// A measurement is the SHA-256 of a code identity, standing in for SGX's
+// MRENCLAVE. The simulator derives it from a canonical identity string (or
+// real code bytes when available); what matters for SPEED is that identical
+// code yields identical measurements across enclaves and platforms, and that
+// sealing/attestation are bound to it.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/bytes.h"
+#include "crypto/sha256.h"
+
+namespace speed::sgx {
+
+using Measurement = crypto::Sha256Digest;
+
+/// Measurement of an enclave identified by a canonical name (the simulator's
+/// stand-in for hashing the enclave image).
+inline Measurement measure_identity(std::string_view identity) {
+  return crypto::Sha256::digest_parts({as_bytes("sgx-enclave:"), as_bytes(identity)});
+}
+
+/// Measurement of a trusted library's code: family + version + code bytes.
+/// DedupRuntime folds this into computation tags so that "same function"
+/// means same *code*, not just same name (paper §IV-B).
+inline Measurement measure_library(std::string_view family,
+                                   std::string_view version,
+                                   ByteView code) {
+  return crypto::Sha256::digest_parts(
+      {as_bytes("sgx-trusted-lib:"), as_bytes(family), as_bytes("/"),
+       as_bytes(version), as_bytes(":"), code});
+}
+
+inline std::string measurement_hex(const Measurement& m) {
+  return hex_encode(ByteView(m.data(), m.size()));
+}
+
+}  // namespace speed::sgx

@@ -1,0 +1,61 @@
+// Registry of trusted libraries ported into an enclave.
+//
+// The paper's DedupRuntime does not hash raw executable bytes for function
+// identity (the same source compiles to different binaries across tool
+// chains, §IV-B). Instead the developer supplies a *description* — library
+// family, version, function signature — and the runtime "verifies that the
+// application indeed owns the actual code of the function by scanning the
+// underlying trusted library" before deriving a universally unique value.
+//
+// This registry is that scan target: each application enclave registers the
+// trusted libraries linked into it, keyed by (family, version), each with a
+// code measurement. Tag derivation then folds the *code measurement* (not
+// the name alone) into the computation tag, so two applications only
+// deduplicate against each other when they carry identical library code.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "sgx/measurement.h"
+
+namespace speed::sgx {
+
+class TrustedLibraryRegistry {
+ public:
+  /// Register a library by its actual code bytes.
+  void register_library(std::string_view family, std::string_view version,
+                        ByteView code) {
+    libraries_[key(family, version)] = measure_library(family, version, code);
+  }
+
+  /// Register with a precomputed measurement (e.g. shipped by a vendor).
+  void register_measurement(std::string_view family, std::string_view version,
+                            const Measurement& m) {
+    libraries_[key(family, version)] = m;
+  }
+
+  /// Measurement of (family, version) if the enclave owns that library.
+  std::optional<Measurement> lookup(std::string_view family,
+                                    std::string_view version) const {
+    const auto it = libraries_.find(key(family, version));
+    if (it == libraries_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  std::size_t size() const { return libraries_.size(); }
+
+ private:
+  static std::string key(std::string_view family, std::string_view version) {
+    std::string k(family);
+    k.push_back('\x1f');  // unit separator: family/version cannot collide
+    k.append(version);
+    return k;
+  }
+
+  std::map<std::string, Measurement> libraries_;
+};
+
+}  // namespace speed::sgx

@@ -1,0 +1,37 @@
+#include "store/access_control.h"
+
+namespace speed::store {
+
+serialize::Message GatedResultStore::dispatch_trusted(
+    const serialize::Message& request, std::uint64_t now_ns) {
+  // Extract the requester identity (GET/PUT carry it; SYNC is infra-only
+  // and passes through — deployments gate it at the connection layer).
+  const serialize::AppId* requester = nullptr;
+  if (const auto* get = std::get_if<serialize::GetRequest>(&request)) {
+    requester = &get->requester;
+  } else if (const auto* put = std::get_if<serialize::PutRequest>(&request)) {
+    requester = &put->requester;
+  }
+
+  if (requester != nullptr) {
+    if (!policy_.permits(*requester)) {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.denied;
+      if (std::holds_alternative<serialize::GetRequest>(request)) {
+        return serialize::GetResponse{};  // miss
+      }
+      return serialize::PutResponse{serialize::PutStatus::kQuotaExceeded};
+    }
+    if (limiter_ != nullptr && !limiter_->admit(*requester, now_ns)) {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.throttled;
+      if (std::holds_alternative<serialize::GetRequest>(request)) {
+        return serialize::GetResponse{};
+      }
+      return serialize::PutResponse{serialize::PutStatus::kQuotaExceeded};
+    }
+  }
+  return store_.dispatch_trusted(request);
+}
+
+}  // namespace speed::store

@@ -1,0 +1,34 @@
+// Master-store synchronization (paper §IV-B Remark).
+//
+// A dedicated master ResultStore can periodically collect the popular
+// (frequently hit) entries of per-machine stores, and per-machine replicas
+// can pull the master's hottest entries. Entries are self-protecting — the
+// payloads are AEAD ciphertexts whose keys only eligible applications can
+// recover — so replication does not need the per-application secure channel;
+// in a real deployment this link would still run over attested TLS for
+// integrity. Because tags are deterministic, only one ciphertext version per
+// computation ever needs to be stored, and it remains decryptable by every
+// eligible application regardless of which machine computed it.
+#pragma once
+
+#include "store/result_store.h"
+
+namespace speed::store {
+
+/// Pull up to `max_entries` of `master`'s hottest entries into `replica`
+/// through the wire protocol. Returns how many were newly inserted.
+inline std::size_t sync_replica_from_master(ResultStore& replica,
+                                            ResultStore& master,
+                                            std::uint32_t max_entries) {
+  const Bytes request =
+      serialize::encode_message(serialize::SyncRequest{max_entries});
+  const Bytes response = master.handle(request);
+  const auto decoded = serialize::decode_message(response);
+  const auto* batch = std::get_if<serialize::SyncResponse>(&decoded);
+  if (batch == nullptr) {
+    throw ProtocolError("sync_replica_from_master: unexpected response type");
+  }
+  return replica.merge_from_master(*batch);
+}
+
+}  // namespace speed::store

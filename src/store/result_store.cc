@@ -1,0 +1,337 @@
+#include "store/result_store.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "serialize/codec.h"
+
+namespace speed::store {
+
+using serialize::EntryPayload;
+using serialize::GetRequest;
+using serialize::GetResponse;
+using serialize::Message;
+using serialize::PutRequest;
+using serialize::PutResponse;
+using serialize::PutStatus;
+using serialize::SyncEntry;
+using serialize::SyncRequest;
+using serialize::SyncResponse;
+using serialize::Tag;
+
+namespace {
+
+/// Approximate trusted bytes per dictionary entry: challenge + wrapped key +
+/// digest + bookkeeping. Used for EPC accounting.
+std::uint64_t meta_bytes(const Bytes& challenge, const Bytes& wrapped_key) {
+  return challenge.size() + wrapped_key.size() + /*digest*/ 32 +
+         /*tag key + bookkeeping*/ 96;
+}
+
+}  // namespace
+
+ResultStore::ResultStore(sgx::Platform& platform, StoreConfig config)
+    : platform_(platform),
+      enclave_(platform.create_enclave("speed-result-store")),
+      config_(config),
+      trusted_charge_(*enclave_, 0) {}
+
+Bytes ResultStore::handle(ByteView request) {
+  // Host side: preliminary parse happens outside the enclave (only the type
+  // byte is inspected), then one ECALL dispatches into the trusted body.
+  const Message req = serialize::decode_message(request);
+  const Message resp = enclave_->ecall([&] { return dispatch_trusted(req); });
+  return serialize::encode_message(resp);
+}
+
+Message ResultStore::dispatch_trusted(const Message& request) {
+  if (const auto* get_req = std::get_if<GetRequest>(&request)) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return get_locked(*get_req);
+  }
+  if (const auto* put_req = std::get_if<PutRequest>(&request)) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return put_locked(*put_req);
+  }
+  if (const auto* sync_req = std::get_if<SyncRequest>(&request)) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return sync_locked(*sync_req);
+  }
+  throw ProtocolError("ResultStore: request must be GET, PUT, or SYNC");
+}
+
+GetResponse ResultStore::get(const GetRequest& req) {
+  return enclave_->ecall([&] {
+    std::lock_guard<std::mutex> lock(mu_);
+    return get_locked(req);
+  });
+}
+
+PutResponse ResultStore::put(const PutRequest& req) {
+  return enclave_->ecall([&] {
+    std::lock_guard<std::mutex> lock(mu_);
+    return put_locked(req);
+  });
+}
+
+SyncResponse ResultStore::sync(const SyncRequest& req) {
+  return enclave_->ecall([&] {
+    std::lock_guard<std::mutex> lock(mu_);
+    return sync_locked(req);
+  });
+}
+
+GetResponse ResultStore::get_locked(const GetRequest& req) {
+  ++stats_.get_requests;
+  GetResponse resp;
+  const auto it = dict_.find(req.tag);
+  if (it == dict_.end()) return resp;
+
+  MetaEntry& meta = it->second;
+  const auto blob_it = blobs_.find(req.tag);
+  if (blob_it == blobs_.end()) {
+    // Host deleted the ciphertext from under us: degrade to a miss and drop
+    // the orphaned metadata.
+    ++stats_.corrupt_blobs;
+    erase_locked(req.tag);
+    return resp;
+  }
+  // Verify the untrusted blob against the trusted digest before serving it
+  // (the "authentication MAC" kept in the dictionary entry, §IV-B).
+  const auto digest = crypto::Sha256::digest(blob_it->second);
+  if (!ct_equal(ByteView(digest.data(), digest.size()),
+                ByteView(meta.blob_digest.data(), meta.blob_digest.size()))) {
+    ++stats_.corrupt_blobs;
+    erase_locked(req.tag);
+    return resp;
+  }
+
+  ++stats_.hits;
+  ++meta.hits;
+  touch_lru_locked(meta, req.tag);
+  resp.found = true;
+  resp.entry.challenge = meta.challenge;
+  resp.entry.wrapped_key = meta.wrapped_key;
+  resp.entry.result_ct = blob_it->second;
+  return resp;
+}
+
+PutResponse ResultStore::put_locked(const PutRequest& req) {
+  ++stats_.put_requests;
+  return PutResponse{
+      insert_locked(req.tag, req.requester, req.entry, /*enforce_quota=*/true)};
+}
+
+PutStatus ResultStore::insert_locked(const Tag& tag,
+                                     const serialize::AppId& owner,
+                                     const EntryPayload& entry,
+                                     bool enforce_quota) {
+  if (dict_.contains(tag)) {
+    // Concurrent initial computations of the same tag: first write wins; the
+    // stored ciphertext is decryptable by every eligible application anyway
+    // (§IV-B Remark).
+    ++stats_.duplicate_puts;
+    return PutStatus::kAlreadyPresent;
+  }
+  const std::uint64_t blob_bytes = entry.result_ct.size();
+  if (blob_bytes > config_.max_ciphertext_bytes ||
+      dict_.size() >= config_.max_entries) {
+    return PutStatus::kRejected;
+  }
+  if (enforce_quota) {
+    const std::uint64_t used = quota_used_[owner];
+    if (used + blob_bytes > config_.per_app_quota_bytes) {
+      ++stats_.quota_rejections;
+      return PutStatus::kQuotaExceeded;
+    }
+  }
+  evict_for_space_locked(blob_bytes);
+
+  MetaEntry meta;
+  meta.challenge = entry.challenge;
+  meta.wrapped_key = entry.wrapped_key;
+  meta.blob_digest = crypto::Sha256::digest(entry.result_ct);
+  meta.blob_bytes = blob_bytes;
+  meta.owner = owner;
+  lru_.push_front(tag);
+  meta.lru_it = lru_.begin();
+
+  blobs_[tag] = entry.result_ct;
+  dict_.emplace(tag, std::move(meta));
+  quota_used_[owner] += blob_bytes;
+  ++stats_.stored;
+  stats_.ciphertext_bytes += blob_bytes;
+  recharge_trusted_locked();
+  return PutStatus::kStored;
+}
+
+SyncResponse ResultStore::sync_locked(const SyncRequest& req) {
+  // Serve the hottest entries (popularity = hit count), capped at
+  // max_entries; this is what a master store replicates to peers.
+  std::vector<std::pair<std::uint64_t, Tag>> ranked;
+  ranked.reserve(dict_.size());
+  for (const auto& [tag, meta] : dict_) ranked.emplace_back(meta.hits, tag);
+  std::sort(ranked.begin(), ranked.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+
+  SyncResponse resp;
+  const std::size_t limit =
+      std::min<std::size_t>(req.max_entries, ranked.size());
+  resp.entries.reserve(limit);
+  for (std::size_t i = 0; i < limit; ++i) {
+    const Tag& tag = ranked[i].second;
+    const auto blob_it = blobs_.find(tag);
+    if (blob_it == blobs_.end()) continue;
+    const MetaEntry& meta = dict_.at(tag);
+    SyncEntry e;
+    e.tag = tag;
+    e.entry.challenge = meta.challenge;
+    e.entry.wrapped_key = meta.wrapped_key;
+    e.entry.result_ct = blob_it->second;
+    e.hits = meta.hits;
+    resp.entries.push_back(std::move(e));
+  }
+  return resp;
+}
+
+std::size_t ResultStore::merge_from_master(const SyncResponse& batch) {
+  return enclave_->ecall([&] {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::size_t inserted = 0;
+    serialize::AppId master_owner{};
+    master_owner.fill(0xee);  // synthetic owner for replicated entries
+    for (const SyncEntry& e : batch.entries) {
+      if (insert_locked(e.tag, master_owner, e.entry,
+                        /*enforce_quota=*/false) == PutStatus::kStored) {
+        ++inserted;
+      }
+    }
+    return inserted;
+  });
+}
+
+void ResultStore::erase_locked(const Tag& tag) {
+  const auto it = dict_.find(tag);
+  if (it == dict_.end()) return;
+  MetaEntry& meta = it->second;
+  stats_.ciphertext_bytes -= meta.blob_bytes;
+  auto quota_it = quota_used_.find(meta.owner);
+  if (quota_it != quota_used_.end()) {
+    quota_it->second -= std::min(quota_it->second, meta.blob_bytes);
+  }
+  lru_.erase(meta.lru_it);
+  blobs_.erase(tag);
+  dict_.erase(it);
+  recharge_trusted_locked();
+}
+
+void ResultStore::evict_for_space_locked(std::uint64_t incoming_bytes) {
+  while (!lru_.empty() &&
+         stats_.ciphertext_bytes + incoming_bytes > config_.max_ciphertext_bytes) {
+    Tag victim = lru_.back();
+    if (config_.eviction == StoreConfig::Eviction::kLfu) {
+      // Least frequently used, ties broken toward least recently used
+      // (scan backward from the cold end of the recency list).
+      std::uint64_t best_hits = ~0ull;
+      for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+        const std::uint64_t hits = dict_.at(*it).hits;
+        if (hits < best_hits) {
+          best_hits = hits;
+          victim = *it;
+          if (hits == 0) break;  // cannot do better
+        }
+      }
+    }
+    erase_locked(victim);
+    ++stats_.evictions;
+  }
+}
+
+void ResultStore::touch_lru_locked(MetaEntry& entry, const Tag& tag) {
+  lru_.erase(entry.lru_it);
+  lru_.push_front(tag);
+  entry.lru_it = lru_.begin();
+}
+
+std::uint64_t ResultStore::trusted_bytes_locked() const {
+  std::uint64_t total = 0;
+  for (const auto& [tag, meta] : dict_) {
+    total += meta_bytes(meta.challenge, meta.wrapped_key);
+  }
+  return total;
+}
+
+void ResultStore::recharge_trusted_locked() {
+  trusted_charge_.resize(trusted_bytes_locked());
+}
+
+bool ResultStore::corrupt_blob_for_testing(const serialize::Tag& tag) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = blobs_.find(tag);
+  if (it == blobs_.end() || it->second.empty()) return false;
+  it->second[it->second.size() / 2] ^= 0x01;
+  return true;
+}
+
+ResultStore::Stats ResultStore::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s = stats_;
+  s.entries = dict_.size();
+  return s;
+}
+
+// ------------------------------------------------------------- persistence
+
+Bytes ResultStore::seal_snapshot() {
+  return enclave_->ecall([&] {
+    std::lock_guard<std::mutex> lock(mu_);
+    serialize::Encoder enc;
+    enc.u32(static_cast<std::uint32_t>(dict_.size()));
+    for (const auto& [tag, meta] : dict_) {
+      enc.raw(ByteView(tag.data(), tag.size()));
+      enc.var_bytes(meta.challenge);
+      enc.var_bytes(meta.wrapped_key);
+      enc.raw(ByteView(meta.owner.data(), meta.owner.size()));
+      enc.u64(meta.hits);
+      const auto blob_it = blobs_.find(tag);
+      enc.var_bytes(blob_it != blobs_.end() ? blob_it->second : Bytes{});
+    }
+    return enclave_->seal(as_bytes("result-store-snapshot-v1"), enc.view());
+  });
+}
+
+bool ResultStore::restore_snapshot(ByteView sealed) {
+  return enclave_->ecall([&] {
+    const auto plain =
+        enclave_->unseal(as_bytes("result-store-snapshot-v1"), sealed);
+    if (!plain.has_value()) return false;
+    std::lock_guard<std::mutex> lock(mu_);
+    try {
+      serialize::Decoder dec(*plain);
+      const std::uint32_t n = dec.u32();
+      for (std::uint32_t i = 0; i < n; ++i) {
+        Tag tag;
+        const ByteView tb = dec.raw(32);
+        std::copy(tb.begin(), tb.end(), tag.begin());
+        EntryPayload entry;
+        entry.challenge = dec.var_bytes();
+        entry.wrapped_key = dec.var_bytes();
+        serialize::AppId owner;
+        const ByteView ob = dec.raw(32);
+        std::copy(ob.begin(), ob.end(), owner.begin());
+        const std::uint64_t hits = dec.u64();
+        entry.result_ct = dec.var_bytes();
+        if (insert_locked(tag, owner, entry, /*enforce_quota=*/false) ==
+            PutStatus::kStored) {
+          dict_.at(tag).hits = hits;
+        }
+      }
+      dec.expect_done();
+    } catch (const SerializationError&) {
+      return false;
+    }
+    return true;
+  });
+}
+
+}  // namespace speed::store

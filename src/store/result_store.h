@@ -1,0 +1,159 @@
+// Encrypted ResultStore (paper §IV-B).
+//
+// The store is split exactly like the prototype:
+//
+//   * a *trusted* metadata dictionary living in the store enclave, keyed by
+//     the computation tag. Each entry is deliberately small — the challenge
+//     message r, the wrapped key [k], an authentication digest of the
+//     ciphertext, bookkeeping for LRU/quota — and is charged against the
+//     simulated EPC;
+//   * an *untrusted* ciphertext arena holding the actual [res] blobs, which
+//     can grow without pressuring enclave memory. Blobs are AEAD envelopes
+//     the store cannot read; their digest in the trusted entry lets the
+//     store detect host-side corruption on GET and degrade to a miss.
+//
+// The host-side body parses each framed request and dispatches one ECALL
+// (GET or PUT) that marshals data at the boundary and touches the trusted
+// dictionary, mirroring the paper's two customized ECALLs. DoS defence is a
+// per-application byte quota (§III-D); capacity pressure is handled by LRU
+// eviction. SYNC implements the master-store replication of the §IV-B
+// Remark.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/bytes.h"
+#include "crypto/sha256.h"
+#include "serialize/wire.h"
+#include "sgx/enclave.h"
+
+namespace speed::store {
+
+struct StoreConfig {
+  /// Capacity of the untrusted ciphertext arena; eviction beyond this.
+  std::uint64_t max_ciphertext_bytes = 256ull * 1024 * 1024;
+  /// Per-application stored-bytes quota (rate-limiting defence, §III-D).
+  std::uint64_t per_app_quota_bytes = 64ull * 1024 * 1024;
+  /// Upper bound on dictionary entries (trusted memory guard).
+  std::size_t max_entries = 1u << 20;
+
+  /// Which entry to sacrifice when the arena is full. kLru suits shifting
+  /// working sets; kLfu protects long-lived hot computations (the "popular
+  /// results" the §IV-B master store replicates) from scan-like churn.
+  enum class Eviction { kLru, kLfu };
+  Eviction eviction = Eviction::kLru;
+};
+
+class ResultStore {
+ public:
+  /// Creates the store enclave on `platform`.
+  ResultStore(sgx::Platform& platform, StoreConfig config = StoreConfig{});
+
+  ResultStore(const ResultStore&) = delete;
+  ResultStore& operator=(const ResultStore&) = delete;
+
+  /// Host-side entry point for the plaintext protocol: decode one request,
+  /// perform one ECALL, return the encoded response.
+  Bytes handle(ByteView request);
+
+  /// Trusted dispatch: must already execute in the store enclave's context
+  /// (used by handle() and by StoreSession's secure-channel ECALL).
+  serialize::Message dispatch_trusted(const serialize::Message& request);
+
+  // Typed convenience API (each performs its own ECALL).
+  serialize::GetResponse get(const serialize::GetRequest& req);
+  serialize::PutResponse put(const serialize::PutRequest& req);
+  serialize::SyncResponse sync(const serialize::SyncRequest& req);
+
+  /// Replica side of master synchronization: merge entries pulled from a
+  /// master store. Quota-exempt (the master is trusted infrastructure), but
+  /// capacity eviction still applies. Returns the number of newly inserted
+  /// entries.
+  std::size_t merge_from_master(const serialize::SyncResponse& batch);
+
+  /// Persistence: seal the full store state (metadata + blobs) to a blob
+  /// only this store enclave (same measurement, same platform) can restore.
+  Bytes seal_snapshot();
+  bool restore_snapshot(ByteView sealed);
+
+  /// Test hook modelling a compromised host: flips one bit of a blob in the
+  /// untrusted arena (the trusted dictionary is out of the adversary's
+  /// reach). Returns false if the tag has no blob.
+  bool corrupt_blob_for_testing(const serialize::Tag& tag);
+
+  struct Stats {
+    std::uint64_t get_requests = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t put_requests = 0;
+    std::uint64_t stored = 0;
+    std::uint64_t duplicate_puts = 0;
+    std::uint64_t quota_rejections = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t corrupt_blobs = 0;
+    std::uint64_t entries = 0;
+    std::uint64_t ciphertext_bytes = 0;
+  };
+  Stats stats() const;
+
+  sgx::Enclave& enclave() { return *enclave_; }
+  const StoreConfig& config() const { return config_; }
+
+ private:
+  struct TagHash {
+    std::size_t operator()(const serialize::Tag& t) const {
+      std::size_t h;
+      static_assert(sizeof(h) <= 32);
+      __builtin_memcpy(&h, t.data(), sizeof(h));
+      return h;
+    }
+  };
+
+  /// Trusted dictionary entry: small metadata only; the ciphertext lives in
+  /// the untrusted arena and is pinned by `blob_digest`.
+  struct MetaEntry {
+    Bytes challenge;                   ///< r
+    Bytes wrapped_key;                 ///< [k]
+    crypto::Sha256Digest blob_digest;  ///< integrity pin of [res]
+    std::uint64_t blob_bytes = 0;
+    serialize::AppId owner{};  ///< for quota accounting
+    std::uint64_t hits = 0;
+    std::list<serialize::Tag>::iterator lru_it;
+  };
+
+  serialize::GetResponse get_locked(const serialize::GetRequest& req);
+  serialize::PutResponse put_locked(const serialize::PutRequest& req);
+  serialize::SyncResponse sync_locked(const serialize::SyncRequest& req);
+
+  /// Insert helper shared by put and merge. `enforce_quota` distinguishes
+  /// application PUTs from master-sync merges.
+  serialize::PutStatus insert_locked(const serialize::Tag& tag,
+                                     const serialize::AppId& owner,
+                                     const serialize::EntryPayload& entry,
+                                     bool enforce_quota);
+
+  void erase_locked(const serialize::Tag& tag);
+  void evict_for_space_locked(std::uint64_t incoming_bytes);
+  void touch_lru_locked(MetaEntry& entry, const serialize::Tag& tag);
+  void recharge_trusted_locked();
+  std::uint64_t trusted_bytes_locked() const;
+
+  sgx::Platform& platform_;
+  std::unique_ptr<sgx::Enclave> enclave_;
+  StoreConfig config_;
+
+  mutable std::mutex mu_;
+  // ---- trusted state (conceptually inside the store enclave) ----
+  std::unordered_map<serialize::Tag, MetaEntry, TagHash> dict_;
+  std::list<serialize::Tag> lru_;  ///< front = most recently used
+  std::unordered_map<serialize::AppId, std::uint64_t, TagHash> quota_used_;
+  sgx::TrustedCharge trusted_charge_;
+  // ---- untrusted state (outside the enclave) ----
+  std::unordered_map<serialize::Tag, Bytes, TagHash> blobs_;
+
+  Stats stats_;
+};
+
+}  // namespace speed::store

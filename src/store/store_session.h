@@ -1,0 +1,117 @@
+// Server-side secure-channel endpoint of the ResultStore.
+//
+// Each connected application gets one session: the store's end of the
+// attested secure channel. A frame arrives from the host, one ECALL enters
+// the store enclave, the frame is unwrapped, dispatched against the trusted
+// dictionary, and the response is wrapped — mirroring the paper's "the duty
+// of the ECALL is to marshal data at the enclave boundary and access the
+// dictionary inside the trusted enclave".
+//
+// Two establishment modes:
+//   * attested handshake (preferred): construct from the client's
+//     HandshakeMessage; the session verifies the report, derives the X25519
+//     session key, and exposes server_hello() for the client;
+//   * pre-provisioned key: construct from the client measurement using the
+//     platform-derived key (see net/secure_channel.h).
+#pragma once
+
+#include <memory>
+#include <mutex>
+
+#include "net/channel.h"
+#include "net/handshake.h"
+#include "net/secure_channel.h"
+#include "store/result_store.h"
+
+namespace speed::store {
+
+class StoreSession {
+ public:
+  /// Pre-provisioned-key mode.
+  StoreSession(ResultStore& store, const sgx::Measurement& client_measurement)
+      : store_(store),
+        channel_(net::derive_channel_key(store.enclave(), client_measurement),
+                 /*is_initiator=*/false) {}
+
+  /// Attested-handshake mode: verifies `client_hello` inside the store
+  /// enclave and derives the session key. Throws ProtocolError if the hello
+  /// does not authenticate.
+  StoreSession(ResultStore& store, const net::HandshakeMessage& client_hello)
+      : store_(store),
+        key_exchange_(std::in_place, store.enclave()),
+        channel_(store.enclave().ecall([&] {
+          auto key = key_exchange_->derive(client_hello);
+          if (!key.has_value()) {
+            throw ProtocolError("StoreSession: client hello failed attestation");
+          }
+          return net::SecureChannel(std::move(*key), /*is_initiator=*/false);
+        })) {
+    client_hello_ = client_hello;
+  }
+
+  /// The store's half of the handshake (attested-handshake mode only).
+  net::HandshakeMessage server_hello() const {
+    if (!key_exchange_.has_value()) {
+      throw ProtocolError("StoreSession: no handshake in pre-provisioned mode");
+    }
+    return key_exchange_->hello(client_hello_.report.source_measurement);
+  }
+
+  /// Handle one secure frame; throws ProtocolError on channel violations
+  /// (tampering/replay), which a real server would treat as a dead peer.
+  Bytes handle_frame(ByteView frame) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return store_.enclave().ecall([&] {
+      const auto request_plain = channel_.unwrap(frame);
+      if (!request_plain.has_value()) {
+        throw ProtocolError("StoreSession: bad frame (tamper/replay)");
+      }
+      const auto request = serialize::decode_message(*request_plain);
+      const auto response = store_.dispatch_trusted(request);
+      return channel_.wrap(serialize::encode_message(response));
+    });
+  }
+
+  /// Transport a client can hand to its DedupRuntime; optional one-way
+  /// latency models a socket hop.
+  std::unique_ptr<net::Transport> transport(std::uint64_t one_way_ns = 0) {
+    return std::make_unique<net::LoopbackTransport>(
+        [this](ByteView frame) { return handle_frame(frame); }, one_way_ns);
+  }
+
+ private:
+  ResultStore& store_;
+  std::optional<net::ChannelKeyExchange> key_exchange_;
+  net::HandshakeMessage client_hello_;
+  net::SecureChannel channel_;
+  std::mutex mu_;
+};
+
+/// In-process connection bundle: performs the attested handshake between an
+/// application enclave and a store, yielding the client's session key and a
+/// transport bound to the server session.
+struct AppConnection {
+  std::unique_ptr<StoreSession> session;
+  Bytes session_key;
+  std::unique_ptr<net::Transport> transport;
+};
+
+inline AppConnection connect_app(ResultStore& store, sgx::Enclave& app,
+                                 std::uint64_t one_way_ns = 0) {
+  AppConnection conn;
+  const net::ChannelKeyExchange kx(app);
+  const auto client_hello = kx.hello(store.enclave().measurement());
+  conn.session = std::make_unique<StoreSession>(store, client_hello);
+  const auto server_hello = conn.session->server_hello();
+  // The client pins the store's measurement: it will not talk to an
+  // impostor store enclave.
+  auto key = kx.derive(server_hello, store.enclave().measurement());
+  if (!key.has_value()) {
+    throw ProtocolError("connect_app: server hello failed attestation");
+  }
+  conn.session_key = std::move(*key);
+  conn.transport = conn.session->transport(one_way_ns);
+  return conn;
+}
+
+}  // namespace speed::store

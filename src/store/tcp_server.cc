@@ -1,0 +1,101 @@
+#include "store/tcp_server.h"
+
+namespace speed::store {
+
+StoreTcpServer::StoreTcpServer(ResultStore& store, std::uint16_t port)
+    : store_(store), listener_(port) {
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+StoreTcpServer::~StoreTcpServer() { stop(); }
+
+void StoreTcpServer::stop() {
+  if (stopping_.exchange(true)) return;
+  listener_.close();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> workers;
+  {
+    std::lock_guard<std::mutex> lock(workers_mu_);
+    workers.swap(workers_);
+    // Unblock workers parked in recv() on live connections.
+    for (const auto& conn : connections_) conn->shutdown();
+    connections_.clear();
+  }
+  for (auto& w : workers) {
+    if (w.joinable()) w.join();
+  }
+}
+
+void StoreTcpServer::accept_loop() {
+  while (!stopping_.load()) {
+    std::shared_ptr<net::FramedSocket> socket;
+    try {
+      socket = std::make_shared<net::FramedSocket>(listener_.accept());
+    } catch (const net::TcpError&) {
+      break;  // listener closed
+    }
+    std::lock_guard<std::mutex> lock(workers_mu_);
+    if (stopping_.load()) {
+      socket->shutdown();
+      break;
+    }
+    // Prune sockets whose worker already exited (sole remaining reference
+    // is ours) so a long-running server does not accumulate dead entries.
+    std::erase_if(connections_, [](const std::shared_ptr<net::FramedSocket>& c) {
+      return c.use_count() == 1;
+    });
+    connections_.push_back(socket);
+    workers_.emplace_back([this, socket] { serve_connection(socket); });
+  }
+}
+
+void StoreTcpServer::serve_connection(
+    const std::shared_ptr<net::FramedSocket>& socket) {
+  // The registry in stop() holds a second reference, so the socket must be
+  // shut down explicitly when this worker exits — otherwise a client whose
+  // handshake we rejected would block forever waiting for a reply.
+  struct Hangup {
+    net::FramedSocket* s;
+    ~Hangup() { s->shutdown(); }
+  } hangup{socket.get()};
+  try {
+    // Step 1-2: attested handshake.
+    const Bytes hello_wire = socket->recv_frame();
+    const net::HandshakeMessage client_hello =
+        net::decode_handshake(hello_wire);
+    StoreSession session(store_, client_hello);  // throws on bad attestation
+    socket->send_frame(net::encode_handshake(session.server_hello()));
+    ++accepted_;
+
+    // Step 3: request/response frames until the peer hangs up.
+    while (!stopping_.load()) {
+      auto frame = socket->try_recv_frame();
+      if (!frame.has_value()) break;  // orderly disconnect or shutdown()
+      socket->send_frame(session.handle_frame(*frame));
+    }
+  } catch (const Error&) {
+    ++rejected_;  // bad attestation, tampered frame, or protocol violation
+  }
+}
+
+TcpAppConnection connect_tcp_app(sgx::Enclave& app,
+                                 const sgx::Measurement& store_measurement,
+                                 const std::string& host, std::uint16_t port) {
+  net::FramedSocket socket = net::tcp_connect(host, port);
+
+  const net::ChannelKeyExchange kx(app);
+  socket.send_frame(net::encode_handshake(kx.hello(store_measurement)));
+  const net::HandshakeMessage server_hello =
+      net::decode_handshake(socket.recv_frame());
+  auto key = kx.derive(server_hello, store_measurement);
+  if (!key.has_value()) {
+    throw ProtocolError("connect_tcp_app: store failed attestation");
+  }
+
+  TcpAppConnection conn;
+  conn.session_key = std::move(*key);
+  conn.transport = std::make_unique<net::TcpTransport>(std::move(socket));
+  return conn;
+}
+
+}  // namespace speed::store

@@ -1,0 +1,72 @@
+// ResultStore served over TCP (separate-process deployment).
+//
+// Connection protocol:
+//   1. client sends its handshake hello (encoded HandshakeMessage);
+//   2. server verifies it inside the store enclave, replies with its hello;
+//   3. every further frame is a secure-channel frame carrying one wire
+//      request; the server replies with one secure frame per request.
+//
+// Connections that fail attestation or violate the channel (tamper/replay)
+// are dropped. Each connection is served by its own thread; the trusted
+// dictionary is shared (ResultStore is thread-safe).
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/tcp.h"
+#include "store/store_session.h"
+
+namespace speed::store {
+
+class StoreTcpServer {
+ public:
+  /// Binds 127.0.0.1:`port` (0 = ephemeral) and starts accepting.
+  StoreTcpServer(ResultStore& store, std::uint16_t port = 0);
+  ~StoreTcpServer();
+
+  StoreTcpServer(const StoreTcpServer&) = delete;
+  StoreTcpServer& operator=(const StoreTcpServer&) = delete;
+
+  std::uint16_t port() const { return listener_.port(); }
+
+  /// Stop accepting and join all connection threads.
+  void stop();
+
+  std::uint64_t connections_accepted() const { return accepted_.load(); }
+  std::uint64_t connections_rejected() const { return rejected_.load(); }
+
+ private:
+  void accept_loop();
+  void serve_connection(const std::shared_ptr<net::FramedSocket>& socket);
+
+  ResultStore& store_;
+  net::TcpListener listener_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::thread accept_thread_;
+  std::mutex workers_mu_;
+  std::vector<std::thread> workers_;
+  // Live connection sockets, shut down by stop() to unblock workers that
+  // are parked in recv() waiting for a client's next request.
+  std::vector<std::shared_ptr<net::FramedSocket>> connections_;
+};
+
+/// Client side: connect an application enclave to a remote store over TCP,
+/// performing the attested handshake. `store_measurement` pins the store
+/// identity the client is willing to talk to.
+struct TcpAppConnection {
+  Bytes session_key;
+  std::unique_ptr<net::Transport> transport;
+};
+
+TcpAppConnection connect_tcp_app(sgx::Enclave& app,
+                                 const sgx::Measurement& store_measurement,
+                                 const std::string& host, std::uint16_t port);
+
+}  // namespace speed::store

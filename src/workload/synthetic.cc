@@ -1,0 +1,211 @@
+#include "workload/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace speed::workload {
+
+namespace {
+
+/// Small English-like vocabulary; Zipf rank order.
+const char* const kVocabulary[] = {
+    "the", "of", "and", "to", "in", "a", "is", "that", "for", "it",
+    "system", "data", "secure", "enclave", "cloud", "compute", "result",
+    "application", "network", "packet", "memory", "hash", "key", "store",
+    "runtime", "trusted", "hardware", "function", "input", "output",
+    "deduplication", "encryption", "performance", "overhead", "throughput",
+    "latency", "protocol", "library", "developer", "pattern", "matching",
+    "feature", "extraction", "compression", "processing", "analysis",
+    "experiment", "evaluation", "baseline", "speedup", "measurement",
+    "platform", "machine", "server", "client", "request", "response",
+    "channel", "integrity", "confidentiality", "attestation", "isolation"};
+constexpr std::size_t kVocabularySize = sizeof(kVocabulary) / sizeof(char*);
+
+}  // namespace
+
+sift::Image synth_image(int width, int height, std::uint64_t seed) {
+  Xoshiro256 rng(seed ^ 0x1234567890abcdefULL);
+  sift::Image img(width, height);
+
+  // Smooth background gradient.
+  const double gx = rng.uniform() * 0.3;
+  const double gy = rng.uniform() * 0.3;
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      img.at(x, y) = static_cast<float>(0.2 + gx * x / width + gy * y / height);
+    }
+  }
+
+  // Gaussian blobs at random positions/scales (classic SIFT targets);
+  // density scales with image area so larger images carry more features.
+  const int blobs = std::max(10, width * height / 600) +
+                    static_cast<int>(rng.below(8));
+  for (int b = 0; b < blobs; ++b) {
+    const double cx = rng.uniform() * width;
+    const double cy = rng.uniform() * height;
+    const double radius = 2.0 + rng.uniform() * std::min(width, height) / 12.0;
+    const double amplitude = (rng.uniform() < 0.5 ? -0.5 : 0.5) * (0.4 + rng.uniform() * 0.6);
+    const int r = static_cast<int>(radius * 3);
+    for (int dy = -r; dy <= r; ++dy) {
+      for (int dx = -r; dx <= r; ++dx) {
+        const int px = static_cast<int>(cx) + dx;
+        const int py = static_cast<int>(cy) + dy;
+        if (px < 0 || px >= width || py < 0 || py >= height) continue;
+        const double d2 = static_cast<double>(dx) * dx + static_cast<double>(dy) * dy;
+        img.at(px, py) += static_cast<float>(
+            amplitude * std::exp(-d2 / (2 * radius * radius)));
+      }
+    }
+  }
+
+  // High-contrast rectangles (corners).
+  const int rects = 2 + static_cast<int>(rng.below(4));
+  for (int q = 0; q < rects; ++q) {
+    const int x0 = static_cast<int>(rng.below(static_cast<std::uint64_t>(std::max(1, width - 8))));
+    const int y0 = static_cast<int>(rng.below(static_cast<std::uint64_t>(std::max(1, height - 8))));
+    const int w = 4 + static_cast<int>(rng.below(static_cast<std::uint64_t>(width / 4 + 1)));
+    const int h = 4 + static_cast<int>(rng.below(static_cast<std::uint64_t>(height / 4 + 1)));
+    const float level = static_cast<float>(rng.uniform());
+    for (int y = y0; y < std::min(height, y0 + h); ++y) {
+      for (int x = x0; x < std::min(width, x0 + w); ++x) {
+        img.at(x, y) = 0.7f * img.at(x, y) + 0.3f * level;
+      }
+    }
+  }
+
+  // Mild pixel noise.
+  for (float& p : img.pixels()) {
+    p += static_cast<float>((rng.uniform() - 0.5) * 0.02);
+    p = std::clamp(p, 0.0f, 1.0f);
+  }
+  return img;
+}
+
+std::string synth_text(std::size_t bytes, std::uint64_t seed) {
+  Xoshiro256 rng(seed ^ 0xfeedfacecafebeefULL);
+  const ZipfSampler zipf(kVocabularySize, 1.05);
+  std::string out;
+  out.reserve(bytes + 64);
+  std::size_t words_in_sentence = 0;
+  while (out.size() < bytes) {
+    // Occasionally splice in a repeated stock phrase (compressible runs).
+    if (rng.below(20) == 0) {
+      out += "secure deduplication of general computations inside enclaves ";
+    } else {
+      out += kVocabulary[zipf(rng)];
+      out.push_back(' ');
+    }
+    if (++words_in_sentence >= 8 + rng.below(10)) {
+      out.back() = '.';
+      out.push_back(' ');
+      words_in_sentence = 0;
+    }
+  }
+  out.resize(bytes);
+  return out;
+}
+
+std::string synth_web_page(std::size_t approx_bytes, std::uint64_t seed) {
+  Xoshiro256 rng(seed ^ 0x0ddba11deadbea7ULL);
+  std::string page = "title: " + synth_text(40, seed * 31 + 1) + "\n\n";
+  while (page.size() < approx_bytes) {
+    page += synth_text(200 + rng.below(400), rng());
+    // Real crawl documents carry a long tail of unique tokens (names, ids,
+    // urls); they are what make BoW maps big and shuffle phases expensive.
+    const std::size_t rare = 5 + rng.below(15);
+    for (std::size_t i = 0; i < rare; ++i) {
+      page += " tok";
+      page += std::to_string(rng.below(1000000));
+    }
+    page += "\n\n";
+  }
+  return page;
+}
+
+std::vector<match::Rule> synth_ruleset(std::size_t count, std::uint64_t seed,
+                                       double pcre_fraction,
+                                       double pcre_only_fraction) {
+  Xoshiro256 rng(seed ^ 0x5eed5eed5eed5eedULL);
+  std::vector<match::Rule> rules;
+  rules.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    match::Rule rule;
+    rule.id = static_cast<std::uint32_t>(1000 + i);
+    rule.message = "synthetic rule " + std::to_string(rule.id);
+    if (rng.uniform() < pcre_only_fraction) {
+      // Content-free payload regex (distinct per rule via the prefix).
+      rule.pcre = "p" + std::to_string(i) + "_[a-z]{3,}=[0-9]{2,}";
+      rules.push_back(std::move(rule));
+      continue;
+    }
+    const std::size_t contents = 1 + rng.below(2);
+    for (std::size_t c = 0; c < contents; ++c) {
+      // 6-14 byte distinctive literals (like exploit signatures).
+      const std::size_t len = 6 + rng.below(9);
+      std::string pat = "sig" + std::to_string(i) + "_";
+      pat += rng.ascii(len);
+      rule.contents.push_back(to_bytes(pat));
+    }
+    if (rng.uniform() < pcre_fraction) {
+      // Simple payload regexes in the style of Snort web rules.
+      switch (rng.below(4)) {
+        case 0: rule.pcre = "GET /[a-z0-9_]{4,}\\.php"; break;
+        case 1: rule.pcre = "cmd=[a-z]+&id=\\d+"; break;
+        case 2: rule.pcre = "(admin|root|guest):[^\\s]{8,}"; break;
+        default: rule.pcre = "\\x90{8,}"; break;  // NOP sled
+      }
+    }
+    rules.push_back(std::move(rule));
+  }
+  return rules;
+}
+
+match::PacketTrace synth_packet_trace(std::size_t count,
+                                      std::size_t payload_bytes,
+                                      const std::vector<match::Rule>& rules,
+                                      double hit_fraction, std::uint64_t seed) {
+  Xoshiro256 rng(seed ^ 0x9ac4e77e12345678ULL);
+  match::PacketTrace trace;
+  trace.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    match::Packet p;
+    p.src_ip = static_cast<std::uint32_t>(rng());
+    p.dst_ip = static_cast<std::uint32_t>(rng());
+    p.src_port = static_cast<std::uint16_t>(1024 + rng.below(60000));
+    p.dst_port = rng.below(2) ? 80 : 443;
+    p.protocol = rng.below(10) ? 6 : 17;
+    // HTTP-ish payload baseline.
+    std::string body = "GET /index_" + std::to_string(rng.below(1000)) +
+                       ".html HTTP/1.1\r\nHost: example" +
+                       std::to_string(rng.below(100)) + ".com\r\n\r\n";
+    body += rng.ascii(payload_bytes > body.size() ? payload_bytes - body.size() : 0);
+    p.payload = to_bytes(body);
+    // Embed a rule's content(s) with the requested probability.
+    if (!rules.empty() && rng.uniform() < hit_fraction) {
+      const match::Rule& r = rules[rng.below(rules.size())];
+      std::size_t offset = rng.below(std::max<std::size_t>(p.payload.size() / 2, 1));
+      for (const Bytes& content : r.contents) {
+        if (offset + content.size() >= p.payload.size()) {
+          p.payload.resize(offset + content.size() + 1);
+        }
+        std::copy(content.begin(), content.end(), p.payload.begin() + static_cast<long>(offset));
+        offset += content.size() + 3;
+      }
+    }
+    trace.push_back(std::move(p));
+  }
+  return trace;
+}
+
+std::vector<std::size_t> zipf_request_stream(std::size_t universe,
+                                             std::size_t length, double skew,
+                                             std::uint64_t seed) {
+  Xoshiro256 rng(seed ^ 0x21f7a54321f7a543ULL);
+  const ZipfSampler zipf(universe, skew);
+  std::vector<std::size_t> stream;
+  stream.reserve(length);
+  for (std::size_t i = 0; i < length; ++i) stream.push_back(zipf(rng));
+  return stream;
+}
+
+}  // namespace speed::workload

@@ -1,0 +1,58 @@
+// Synthetic workload generation (the reproduction's stand-in for the
+// paper's external datasets — see DESIGN.md substitutions).
+//
+//   * images       ~ "different sized images from the Internet" (Fig. 5a)
+//   * text         ~ Boost library text files (Fig. 5b)
+//   * packet traces~ m57-Patents / 4SICS captures (Fig. 5c)
+//   * rule sets    ~ ~3,700 Snort rules (Fig. 5c)
+//   * web pages    ~ CommonCrawl WET documents (Fig. 5d)
+//
+// All generators are seed-deterministic so experiments are reproducible,
+// and duplicate-request streams are Zipf-skewed to model the hot repeated
+// computations SPEED exploits.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "apps/match/packet.h"
+#include "apps/match/ruleset.h"
+#include "apps/sift/image.h"
+#include "common/rng.h"
+
+namespace speed::workload {
+
+/// Structured grayscale image with blobs, bars, and corner features so SIFT
+/// finds a healthy number of keypoints (plain noise yields almost none).
+sift::Image synth_image(int width, int height, std::uint64_t seed);
+
+/// Natural-language-like text: Zipf-distributed vocabulary plus repeated
+/// phrases, sized to `bytes`. Compresses like real prose (~3-4x).
+std::string synth_text(std::size_t bytes, std::uint64_t seed);
+
+/// Synthetic web page (headline + paragraphs), for the BoW workload.
+std::string synth_web_page(std::size_t approx_bytes, std::uint64_t seed);
+
+/// `count` Snort-like rules: literal contents drawn from a token pool, a
+/// fraction with an additional pcre option, and a fraction that is
+/// pcre-only (no content gate — the expensive kind an IDS without a
+/// prefilter must regex-execute on every packet).
+std::vector<match::Rule> synth_ruleset(std::size_t count, std::uint64_t seed,
+                                       double pcre_fraction = 0.15,
+                                       double pcre_only_fraction = 0.0);
+
+/// Packet trace; roughly `hit_fraction` of payloads embed some rule content
+/// so scans produce alerts (like a real capture scanned with Snort rules).
+match::PacketTrace synth_packet_trace(std::size_t count,
+                                      std::size_t payload_bytes,
+                                      const std::vector<match::Rule>& rules,
+                                      double hit_fraction, std::uint64_t seed);
+
+/// A stream of `length` indices over `universe` distinct items with Zipf
+/// skew: models clients resubmitting popular inputs (dedup opportunities).
+std::vector<std::size_t> zipf_request_stream(std::size_t universe,
+                                             std::size_t length, double skew,
+                                             std::uint64_t seed);
+
+}  // namespace speed::workload

@@ -1,0 +1,170 @@
+// Tests for the §III-D defences: measurement-based authorization and
+// per-identity rate limiting in front of the ResultStore.
+#include <gtest/gtest.h>
+
+#include "store/access_control.h"
+
+namespace speed::store {
+namespace {
+
+sgx::CostModel fast_model() {
+  sgx::CostModel m;
+  m.ecall_ns = 0;
+  m.ocall_ns = 0;
+  return m;
+}
+
+serialize::AppId make_app(std::uint8_t fill) {
+  serialize::AppId a;
+  a.fill(fill);
+  return a;
+}
+
+serialize::PutRequest make_put(std::uint8_t tag_fill, std::uint8_t app_fill) {
+  serialize::PutRequest put;
+  put.tag.fill(tag_fill);
+  put.requester = make_app(app_fill);
+  put.entry.challenge = Bytes(32, 1);
+  put.entry.wrapped_key = Bytes(16, 2);
+  put.entry.result_ct = Bytes(64, 3);
+  return put;
+}
+
+serialize::GetRequest make_get(std::uint8_t tag_fill, std::uint8_t app_fill) {
+  serialize::GetRequest get;
+  get.tag.fill(tag_fill);
+  get.requester = make_app(app_fill);
+  return get;
+}
+
+TEST(AccessPolicyTest, OpenModePermitsEveryone) {
+  AccessPolicy policy;
+  EXPECT_TRUE(policy.permits(make_app(1)));
+  EXPECT_TRUE(policy.permits(make_app(2)));
+}
+
+TEST(AccessPolicyTest, AllowlistFiltersAndRevokes) {
+  AccessPolicy policy;
+  policy.set_mode(AccessPolicy::Mode::kAllowlist);
+  EXPECT_FALSE(policy.permits(make_app(1)));
+  policy.allow(make_app(1));
+  EXPECT_TRUE(policy.permits(make_app(1)));
+  EXPECT_FALSE(policy.permits(make_app(2)));
+  policy.revoke(make_app(1));
+  EXPECT_FALSE(policy.permits(make_app(1)));
+}
+
+TEST(RateLimiterTest, BurstThenThrottle) {
+  RateLimiter limiter(/*tokens_per_second=*/10, /*burst=*/3);
+  const auto app = make_app(1);
+  std::uint64_t now = 1'000'000'000;
+  EXPECT_TRUE(limiter.admit(app, now));
+  EXPECT_TRUE(limiter.admit(app, now));
+  EXPECT_TRUE(limiter.admit(app, now));
+  EXPECT_FALSE(limiter.admit(app, now)) << "burst exhausted";
+  // 100 ms refills exactly one token at 10/s.
+  now += 100'000'000;
+  EXPECT_TRUE(limiter.admit(app, now));
+  EXPECT_FALSE(limiter.admit(app, now));
+}
+
+TEST(RateLimiterTest, PerIdentityBuckets) {
+  RateLimiter limiter(1, 1);
+  const std::uint64_t now = 5'000'000'000;
+  EXPECT_TRUE(limiter.admit(make_app(1), now));
+  EXPECT_TRUE(limiter.admit(make_app(2), now)) << "separate bucket";
+  EXPECT_FALSE(limiter.admit(make_app(1), now));
+}
+
+TEST(RateLimiterTest, RefillCapsAtBurst) {
+  RateLimiter limiter(1000, 2);
+  const auto app = make_app(7);
+  std::uint64_t now = 1'000'000'000;
+  ASSERT_TRUE(limiter.admit(app, now));
+  now += 60'000'000'000ull;  // a minute: far more than burst worth of tokens
+  EXPECT_TRUE(limiter.admit(app, now));
+  EXPECT_TRUE(limiter.admit(app, now));
+  EXPECT_FALSE(limiter.admit(app, now)) << "tokens cap at burst";
+}
+
+class GatedStoreTest : public ::testing::Test {
+ protected:
+  GatedStoreTest() : platform_(fast_model()), store_(platform_) {}
+
+  sgx::Platform platform_;
+  ResultStore store_;
+  AccessPolicy policy_;
+};
+
+TEST_F(GatedStoreTest, UnauthorizedPutRejectedGetMisses) {
+  policy_.set_mode(AccessPolicy::Mode::kAllowlist);
+  policy_.allow(make_app(0x01));
+  GatedResultStore gated(store_, policy_);
+
+  // Authorized app stores.
+  auto resp = gated.dispatch_trusted(make_put(0x10, 0x01), 0);
+  EXPECT_EQ(std::get<serialize::PutResponse>(resp).status,
+            serialize::PutStatus::kStored);
+
+  // Unauthorized app cannot store...
+  resp = gated.dispatch_trusted(make_put(0x20, 0x02), 0);
+  EXPECT_EQ(std::get<serialize::PutResponse>(resp).status,
+            serialize::PutStatus::kQuotaExceeded);
+  // ...and sees misses even for present tags.
+  resp = gated.dispatch_trusted(make_get(0x10, 0x02), 0);
+  EXPECT_FALSE(std::get<serialize::GetResponse>(resp).found);
+
+  // The authorized app still hits.
+  resp = gated.dispatch_trusted(make_get(0x10, 0x01), 0);
+  EXPECT_TRUE(std::get<serialize::GetResponse>(resp).found);
+
+  EXPECT_EQ(gated.stats().denied, 2u);
+}
+
+TEST_F(GatedStoreTest, RateLimiterThrottlesFlood) {
+  RateLimiter limiter(/*tokens_per_second=*/1, /*burst=*/5);
+  GatedResultStore gated(store_, policy_, &limiter);
+
+  int stored = 0, throttled = 0;
+  for (std::uint8_t i = 0; i < 20; ++i) {
+    const auto resp = gated.dispatch_trusted(make_put(i, 0x01), /*now_ns=*/0);
+    const auto status = std::get<serialize::PutResponse>(resp).status;
+    stored += status == serialize::PutStatus::kStored;
+    throttled += status == serialize::PutStatus::kQuotaExceeded;
+  }
+  EXPECT_EQ(stored, 5) << "only the burst lands";
+  EXPECT_EQ(throttled, 15);
+  EXPECT_EQ(gated.stats().throttled, 15u);
+
+  // Another app is unaffected by the flooder's bucket.
+  const auto resp = gated.dispatch_trusted(make_put(0x77, 0x02), 0);
+  EXPECT_EQ(std::get<serialize::PutResponse>(resp).status,
+            serialize::PutStatus::kStored);
+}
+
+TEST_F(GatedStoreTest, SyncPassesThrough) {
+  GatedResultStore gated(store_, policy_, nullptr);
+  const auto resp = gated.dispatch_trusted(serialize::SyncRequest{5}, 0);
+  EXPECT_TRUE(std::holds_alternative<serialize::SyncResponse>(resp));
+}
+
+TEST_F(GatedStoreTest, ThrottledClientRecoversLater) {
+  RateLimiter limiter(2, 1);  // 2 tokens/s, burst 1
+  GatedResultStore gated(store_, policy_, &limiter);
+  ASSERT_EQ(std::get<serialize::PutResponse>(
+                gated.dispatch_trusted(make_put(1, 0x01), 0))
+                .status,
+            serialize::PutStatus::kStored);
+  EXPECT_EQ(std::get<serialize::PutResponse>(
+                gated.dispatch_trusted(make_put(2, 0x01), 0))
+                .status,
+            serialize::PutStatus::kQuotaExceeded);
+  // Half a second later one token has refilled.
+  EXPECT_EQ(std::get<serialize::PutResponse>(
+                gated.dispatch_trusted(make_put(2, 0x01), 500'000'000))
+                .status,
+            serialize::PutStatus::kStored);
+}
+
+}  // namespace
+}  // namespace speed::store

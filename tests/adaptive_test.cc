@@ -1,0 +1,186 @@
+// Tests for the adaptive deduplication strategy (§VII future work):
+// profile bookkeeping, the bypass policy, probing, and end-to-end behaviour
+// on favourable vs pathological workloads.
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+#include "runtime/adaptive.h"
+#include "runtime/speed.h"
+
+namespace speed::runtime {
+namespace {
+
+sgx::CostModel fast_model() {
+  sgx::CostModel m;
+  m.ecall_ns = 0;
+  m.ocall_ns = 0;
+  return m;
+}
+
+TEST(AdaptiveProfileTest, DedupsUntilMinSamples) {
+  AdaptiveConfig cfg;
+  cfg.min_samples = 5;
+  AdaptiveProfile profile(cfg);
+  // Terrible economics (pure overhead, no hits) — but below min_samples the
+  // policy must keep measuring.
+  for (int i = 0; i < 4; ++i) {
+    profile.record_miss(/*total=*/1000, /*compute=*/1);
+    EXPECT_FALSE(profile.should_bypass()) << "sample " << i;
+  }
+  profile.record_miss(1000, 1);
+  EXPECT_TRUE(profile.should_bypass());
+}
+
+TEST(AdaptiveProfileTest, HighHitRateExpensiveComputeKeepsDedup) {
+  AdaptiveConfig cfg;
+  cfg.min_samples = 2;
+  AdaptiveProfile profile(cfg);
+  profile.record_miss(/*total=*/1'100'000, /*compute=*/1'000'000);
+  for (int i = 0; i < 20; ++i) profile.record_hit(/*total=*/100'000);
+  EXPECT_FALSE(profile.should_bypass())
+      << "overhead 0.1ms << hit_rate ~1 * compute 1ms";
+}
+
+TEST(AdaptiveProfileTest, ZeroHitRateBypasses) {
+  AdaptiveConfig cfg;
+  cfg.min_samples = 4;
+  AdaptiveProfile profile(cfg);
+  for (int i = 0; i < 10; ++i) {
+    profile.record_miss(/*total=*/120'000, /*compute=*/100'000);
+  }
+  EXPECT_TRUE(profile.should_bypass()) << "overhead > 0 but hit rate is 0";
+}
+
+TEST(AdaptiveProfileTest, CheapFunctionBypassesDespiteHits) {
+  AdaptiveConfig cfg;
+  cfg.min_samples = 4;
+  AdaptiveProfile profile(cfg);
+  // compute 10us, overhead 100us, hit rate ~50%: 100 > 1.25 * 0.5 * 10.
+  for (int i = 0; i < 10; ++i) {
+    profile.record_miss(/*total=*/110'000, /*compute=*/10'000);
+    profile.record_hit(/*total=*/100'000);
+  }
+  EXPECT_TRUE(profile.should_bypass());
+}
+
+TEST(AdaptiveProfileTest, ProbeCadence) {
+  AdaptiveConfig cfg;
+  cfg.probe_interval = 4;
+  AdaptiveProfile profile(cfg);
+  int probes = 0;
+  for (int i = 0; i < 16; ++i) probes += profile.next_is_probe();
+  EXPECT_EQ(probes, 4);
+}
+
+TEST(AdaptiveProfileTest, SnapshotTracksEma) {
+  AdaptiveProfile profile;
+  profile.record_miss(2000, 1000);
+  const auto s = profile.snapshot();
+  EXPECT_DOUBLE_EQ(s.compute_ns, 1000.0);
+  EXPECT_DOUBLE_EQ(s.overhead_ns, 1000.0);
+  EXPECT_EQ(s.samples, 1u);
+}
+
+// ---------------------------------------------------------- end to end
+
+struct AdaptiveApp {
+  AdaptiveApp(sgx::Platform& platform, store::ResultStore& store)
+      : enclave(platform.create_enclave("adaptive-app")),
+        connection(store::connect_app(store, *enclave)),
+        rt(*enclave, connection.session_key, std::move(connection.transport)) {
+    rt.libraries().register_library("lib", "1", as_bytes("code"));
+  }
+  std::unique_ptr<sgx::Enclave> enclave;
+  store::AppConnection connection;
+  DedupRuntime rt;
+};
+
+TEST(AdaptiveEndToEndTest, UniqueInputCheapFunctionLearnsToBypass) {
+  sgx::Platform platform(fast_model());
+  store::ResultStore store(platform);
+  AdaptiveApp app(platform, store);
+
+  AdaptiveConfig cfg;
+  cfg.min_samples = 6;
+  cfg.probe_interval = 8;
+  // A trivial function fed unique inputs: dedup never pays.
+  AdaptiveDeduplicable<Bytes(const Bytes&)> f(
+      app.rt, {"lib", "1", "cheap"},
+      [](const Bytes& in) { return in; }, cfg);
+
+  int bypassed = 0;
+  for (int i = 0; i < 60; ++i) {
+    f(Bytes{static_cast<std::uint8_t>(i), static_cast<std::uint8_t>(i >> 4)});
+    bypassed += f.last_action() == decltype(f)::Action::kBypassed;
+  }
+  app.rt.flush();
+  EXPECT_GT(bypassed, 30) << "the policy should have switched to bypass";
+  const auto stats = app.rt.stats();
+  EXPECT_LT(stats.calls, 60u) << "bypassed calls never reach the runtime";
+}
+
+TEST(AdaptiveEndToEndTest, ExpensiveRepeatedFunctionKeepsDedup) {
+  sgx::Platform platform(fast_model());
+  store::ResultStore store(platform);
+  AdaptiveApp app(platform, store);
+
+  AdaptiveConfig cfg;
+  cfg.min_samples = 4;
+  AdaptiveDeduplicable<Bytes(const Bytes&)> f(
+      app.rt, {"lib", "1", "slow"},
+      [](const Bytes& in) {
+        busy_wait_ns(3'000'000);  // 3 ms of "work"
+        return in;
+      },
+      cfg);
+
+  const Bytes hot = to_bytes("hot input");
+  int bypassed = 0, hits = 0;
+  for (int i = 0; i < 30; ++i) {
+    f(hot);
+    app.rt.flush();
+    bypassed += f.last_action() == decltype(f)::Action::kBypassed;
+    hits += f.last_action() == decltype(f)::Action::kHit;
+  }
+  EXPECT_EQ(bypassed, 0) << "dedup clearly pays for a 3ms hot function";
+  EXPECT_GE(hits, 25);
+}
+
+TEST(AdaptiveEndToEndTest, ProbingRecoversWhenWorkloadTurnsHot) {
+  sgx::Platform platform(fast_model());
+  store::ResultStore store(platform);
+  AdaptiveApp app(platform, store);
+
+  AdaptiveConfig cfg;
+  cfg.min_samples = 4;
+  cfg.probe_interval = 4;
+  cfg.ema_alpha = 0.5;  // adapt fast for the test
+  AdaptiveDeduplicable<Bytes(const Bytes&)> f(
+      app.rt, {"lib", "1", "shifting"},
+      [](const Bytes& in) {
+        busy_wait_ns(2'000'000);
+        return in;
+      },
+      cfg);
+
+  // Phase 1: unique inputs. Even at 2ms compute, hit rate 0 => bypass.
+  for (int i = 0; i < 30; ++i) {
+    f(Bytes{static_cast<std::uint8_t>(i), 0x01});
+    app.rt.flush();
+  }
+  EXPECT_EQ(f.last_action(), decltype(f)::Action::kBypassed);
+
+  // Phase 2: one hot input repeats; probes hit the store, the hit-rate EMA
+  // climbs, and the policy flips back to dedup.
+  const Bytes hot = to_bytes("suddenly popular");
+  int late_hits = 0;
+  for (int i = 0; i < 60; ++i) {
+    f(hot);
+    app.rt.flush();
+    if (i >= 40) late_hits += f.last_action() == decltype(f)::Action::kHit;
+  }
+  EXPECT_GT(late_hits, 10) << "the policy must rediscover deduplication";
+}
+
+}  // namespace
+}  // namespace speed::runtime

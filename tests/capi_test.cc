@@ -1,0 +1,136 @@
+// Tests for the C API (paper footnote 3): lifecycle, dedup semantics
+// through the C surface, and error reporting.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+
+#include "capi/speed_c.h"
+
+namespace {
+
+int counting_reverse(const uint8_t* input, size_t input_len, uint8_t** output,
+                     size_t* output_len, void* user_data) {
+  int* counter = static_cast<int*>(user_data);
+  if (counter != nullptr) ++*counter;
+  uint8_t* out = static_cast<uint8_t*>(std::malloc(input_len ? input_len : 1));
+  for (size_t i = 0; i < input_len; ++i) out[i] = input[input_len - 1 - i];
+  *output = out;
+  *output_len = input_len;
+  return 0;
+}
+
+int failing_compute(const uint8_t*, size_t, uint8_t**, size_t*, void*) {
+  return -1;
+}
+
+class CapiTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dep_ = speed_deployment_create("capi-test-app");
+    ASSERT_NE(dep_, nullptr);
+    const uint8_t code[] = "library code v1";
+    ASSERT_EQ(speed_register_library(dep_, "clib", "1.0", code, sizeof(code)),
+              SPEED_OK);
+  }
+
+  void TearDown() override { speed_deployment_destroy(dep_); }
+
+  speed_deployment* dep_ = nullptr;
+};
+
+TEST_F(CapiTest, DedupRoundTrip) {
+  int executions = 0;
+  speed_function* f = speed_function_create(
+      dep_, "clib", "1.0", "bytes reverse(bytes)", counting_reverse, &executions);
+  ASSERT_NE(f, nullptr);
+
+  const uint8_t input[] = {'a', 'b', 'c', 'd'};
+  uint8_t* out1 = nullptr;
+  size_t len1 = 0;
+  ASSERT_EQ(speed_call(f, input, sizeof(input), &out1, &len1), SPEED_OK);
+  ASSERT_EQ(len1, sizeof(input));
+  EXPECT_EQ(std::memcmp(out1, "dcba", 4), 0);
+  EXPECT_EQ(speed_last_was_deduplicated(f), 0);
+  ASSERT_EQ(speed_flush(dep_), SPEED_OK);
+
+  uint8_t* out2 = nullptr;
+  size_t len2 = 0;
+  ASSERT_EQ(speed_call(f, input, sizeof(input), &out2, &len2), SPEED_OK);
+  EXPECT_EQ(len2, len1);
+  EXPECT_EQ(std::memcmp(out1, out2, len1), 0);
+  EXPECT_EQ(speed_last_was_deduplicated(f), 1);
+  EXPECT_EQ(executions, 1) << "second call must not re-execute";
+
+  speed_buffer_free(out1);
+  speed_buffer_free(out2);
+  speed_function_destroy(f);
+}
+
+TEST_F(CapiTest, EmptyInputAndOutput) {
+  speed_function* f = speed_function_create(dep_, "clib", "1.0", "id",
+                                            counting_reverse, nullptr);
+  ASSERT_NE(f, nullptr);
+  uint8_t* out = nullptr;
+  size_t len = 99;
+  ASSERT_EQ(speed_call(f, nullptr, 0, &out, &len), SPEED_OK);
+  EXPECT_EQ(len, 0u);
+  speed_buffer_free(out);
+  speed_function_destroy(f);
+}
+
+TEST_F(CapiTest, UnknownLibraryFailsCreation) {
+  speed_function* f = speed_function_create(dep_, "not-registered", "9.9",
+                                            "sig", counting_reverse, nullptr);
+  EXPECT_EQ(f, nullptr);
+  EXPECT_NE(std::strlen(speed_last_error(dep_)), 0u);
+}
+
+TEST_F(CapiTest, ComputeFailurePropagates) {
+  speed_function* f = speed_function_create(dep_, "clib", "1.0", "failing",
+                                            failing_compute, nullptr);
+  ASSERT_NE(f, nullptr);
+  uint8_t* out = nullptr;
+  size_t len = 0;
+  const uint8_t input[] = {1};
+  EXPECT_EQ(speed_call(f, input, 1, &out, &len), SPEED_ERR_COMPUTE_FAILED);
+  speed_function_destroy(f);
+}
+
+TEST_F(CapiTest, NullArgumentHandling) {
+  EXPECT_EQ(speed_deployment_create(nullptr), nullptr);
+  EXPECT_EQ(speed_register_library(nullptr, "a", "b", nullptr, 0),
+            SPEED_ERR_INVALID_ARGUMENT);
+  EXPECT_EQ(speed_function_create(dep_, nullptr, "1", "s", counting_reverse,
+                                  nullptr),
+            nullptr);
+  EXPECT_EQ(speed_flush(nullptr), SPEED_ERR_INVALID_ARGUMENT);
+  EXPECT_EQ(speed_last_was_deduplicated(nullptr), 0);
+  speed_buffer_free(nullptr);  // must be a no-op
+}
+
+TEST_F(CapiTest, TwoFunctionsAreDistinctComputations) {
+  int exec_a = 0, exec_b = 0;
+  speed_function* fa = speed_function_create(dep_, "clib", "1.0", "variant-a",
+                                             counting_reverse, &exec_a);
+  speed_function* fb = speed_function_create(dep_, "clib", "1.0", "variant-b",
+                                             counting_reverse, &exec_b);
+  ASSERT_NE(fa, nullptr);
+  ASSERT_NE(fb, nullptr);
+
+  const uint8_t input[] = {'x', 'y'};
+  uint8_t* out = nullptr;
+  size_t len = 0;
+  ASSERT_EQ(speed_call(fa, input, 2, &out, &len), SPEED_OK);
+  speed_buffer_free(out);
+  speed_flush(dep_);
+  ASSERT_EQ(speed_call(fb, input, 2, &out, &len), SPEED_OK);
+  speed_buffer_free(out);
+  EXPECT_EQ(exec_a, 1);
+  EXPECT_EQ(exec_b, 1) << "different signatures must not share results";
+
+  speed_function_destroy(fa);
+  speed_function_destroy(fb);
+}
+
+}  // namespace

@@ -1,0 +1,121 @@
+// Tests for the common substrate: byte helpers, hex codec, RNG, Zipf.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+
+namespace speed {
+namespace {
+
+TEST(BytesTest, HexRoundTrip) {
+  const Bytes data = {0x00, 0x01, 0xab, 0xff, 0x10};
+  EXPECT_EQ(hex_encode(data), "0001abff10");
+  EXPECT_EQ(hex_decode("0001abff10"), data);
+  EXPECT_EQ(hex_decode("0001ABFF10"), data);
+}
+
+TEST(BytesTest, HexDecodeRejectsBadInput) {
+  EXPECT_THROW(hex_decode("abc"), std::invalid_argument);
+  EXPECT_THROW(hex_decode("zz"), std::invalid_argument);
+}
+
+TEST(BytesTest, ConcatPreservesOrder) {
+  EXPECT_EQ(concat(to_bytes("ab"), to_bytes(""), to_bytes("cd")),
+            to_bytes("abcd"));
+}
+
+TEST(BytesTest, CtEqualBasics) {
+  EXPECT_TRUE(ct_equal(to_bytes("same"), to_bytes("same")));
+  EXPECT_FALSE(ct_equal(to_bytes("same"), to_bytes("sama")));
+  EXPECT_FALSE(ct_equal(to_bytes("short"), to_bytes("longer")));
+  EXPECT_TRUE(ct_equal({}, {}));
+}
+
+TEST(BytesTest, XorBytes) {
+  const Bytes a = {0xff, 0x00, 0xaa};
+  const Bytes b = {0x0f, 0xf0, 0xaa};
+  EXPECT_EQ(xor_bytes(a, b), (Bytes{0xf0, 0xf0, 0x00}));
+  EXPECT_EQ(xor_bytes(xor_bytes(a, b), b), a) << "xor is involutive";
+  EXPECT_THROW(xor_bytes(a, to_bytes("toolonginput")), std::invalid_argument);
+}
+
+TEST(BytesTest, StringViewsShareStorage) {
+  const std::string s = "hello";
+  const ByteView v = as_bytes(s);
+  EXPECT_EQ(v.size(), 5u);
+  EXPECT_EQ(to_string(v), s);
+}
+
+TEST(RngTest, DeterministicPerSeed) {
+  Xoshiro256 a(42), b(42), c(43);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+  bool differs = false;
+  Xoshiro256 a2(42);
+  for (int i = 0; i < 100; ++i) differs |= (a2() != c());
+  EXPECT_TRUE(differs);
+}
+
+TEST(RngTest, BelowStaysInRange) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+  }
+  EXPECT_THROW(rng.below(0), std::invalid_argument);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Xoshiro256 rng(9);
+  double sum = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / kN, 0.5, 0.02);
+}
+
+TEST(RngTest, BytesLengthAndVariety) {
+  Xoshiro256 rng(11);
+  const Bytes b = rng.bytes(1000);
+  EXPECT_EQ(b.size(), 1000u);
+  std::map<std::uint8_t, int> hist;
+  for (auto v : b) hist[v]++;
+  EXPECT_GT(hist.size(), 200u) << "1000 random bytes should hit most values";
+}
+
+TEST(RngTest, AsciiIsPrintable) {
+  Xoshiro256 rng(13);
+  const std::string s = rng.ascii(500);
+  EXPECT_EQ(s.size(), 500u);
+  for (char c : s) EXPECT_TRUE(c >= 32 && c < 127);
+}
+
+TEST(ZipfTest, RankZeroIsMostPopular) {
+  Xoshiro256 rng(17);
+  ZipfSampler zipf(100, 1.0);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 50000; ++i) counts[zipf(rng)]++;
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[10], counts[99]);
+}
+
+TEST(ZipfTest, ZeroSkewIsUniformish) {
+  Xoshiro256 rng(19);
+  ZipfSampler zipf(10, 0.0);
+  std::vector<int> counts(10, 0);
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) counts[zipf(rng)]++;
+  for (int c : counts) EXPECT_NEAR(c, kN / 10, kN / 10 * 0.15);
+}
+
+TEST(ZipfTest, RejectsDegenerateParameters) {
+  EXPECT_THROW(ZipfSampler(0, 1.0), std::invalid_argument);
+  EXPECT_THROW(ZipfSampler(10, -1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace speed

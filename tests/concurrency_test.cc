@@ -1,0 +1,171 @@
+// Concurrency tests: multi-threaded applications sharing one DedupRuntime,
+// many runtimes hammering one store, and async PUTs racing GETs. These are
+// the conditions of the paper's deployment ("a reasonably high request
+// volume", multiple applications per machine).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "common/rng.h"
+#include "runtime/speed.h"
+
+namespace speed::runtime {
+namespace {
+
+sgx::CostModel fast_model() {
+  sgx::CostModel m;
+  m.ecall_ns = 0;
+  m.ocall_ns = 0;
+  m.epc_page_swap_ns = 0;
+  return m;
+}
+
+struct App {
+  App(sgx::Platform& platform, store::ResultStore& store,
+      const std::string& identity)
+      : enclave(platform.create_enclave(identity)),
+        connection(store::connect_app(store, *enclave)),
+        rt(*enclave, connection.session_key, std::move(connection.transport)) {
+    rt.libraries().register_library("lib", "1", as_bytes("code"));
+  }
+  std::unique_ptr<sgx::Enclave> enclave;
+  store::AppConnection connection;
+  DedupRuntime rt;
+};
+
+TEST(ConcurrencyTest, ThreadsShareOneRuntime) {
+  sgx::Platform platform(fast_model());
+  store::ResultStore store(platform);
+  App app(platform, store, "mt-app");
+
+  std::atomic<int> executions{0};
+  Deduplicable<Bytes(const Bytes&)> f(
+      app.rt, {"lib", "1", "f"}, [&](const Bytes& in) {
+        ++executions;
+        Bytes out = in;
+        out.push_back(0x42);
+        return out;
+      });
+
+  constexpr int kThreads = 4;
+  constexpr int kCallsPerThread = 50;
+  constexpr int kDistinctInputs = 10;
+  std::atomic<int> wrong_results{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Xoshiro256 rng(static_cast<std::uint64_t>(t));
+      for (int i = 0; i < kCallsPerThread; ++i) {
+        const std::uint8_t which =
+            static_cast<std::uint8_t>(rng.below(kDistinctInputs));
+        const Bytes input = {which, 0x10};
+        const Bytes expected = {which, 0x10, 0x42};
+        if (f(input) != expected) ++wrong_results;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  app.rt.flush();
+
+  EXPECT_EQ(wrong_results.load(), 0);
+  // Scheduling decides how many duplicates compute before their PUT lands
+  // (on a single-CPU host the async worker can be starved for the whole
+  // burst), but results are always correct, and once the queue drains every
+  // input must be a store hit.
+  const auto stats = app.rt.stats();
+  EXPECT_EQ(stats.calls, static_cast<std::uint64_t>(kThreads * kCallsPerThread));
+  const int exec_before_verify = executions.load();
+  for (std::uint8_t which = 0; which < kDistinctInputs; ++which) {
+    const Bytes input = {which, 0x10};
+    const Bytes expected = {which, 0x10, 0x42};
+    EXPECT_EQ(f(input), expected);
+    EXPECT_TRUE(f.last_was_deduplicated()) << "input " << int(which);
+  }
+  EXPECT_EQ(executions.load(), exec_before_verify)
+      << "after flush, every input is served from the store";
+}
+
+TEST(ConcurrencyTest, ManyRuntimesOneStore) {
+  sgx::Platform platform(fast_model());
+  store::ResultStore store(platform);
+
+  constexpr int kApps = 4;
+  std::vector<std::unique_ptr<App>> apps;
+  for (int a = 0; a < kApps; ++a) {
+    apps.push_back(std::make_unique<App>(platform, store,
+                                         "app-" + std::to_string(a)));
+  }
+
+  std::atomic<int> total_exec{0};
+  std::atomic<int> wrong{0};
+  std::vector<std::thread> threads;
+  for (int a = 0; a < kApps; ++a) {
+    threads.emplace_back([&, a] {
+      Deduplicable<Bytes(const Bytes&)> f(
+          apps[static_cast<std::size_t>(a)]->rt, {"lib", "1", "f"},
+          [&](const Bytes& in) {
+            ++total_exec;
+            return concat(in, as_bytes("!"));
+          });
+      for (int i = 0; i < 40; ++i) {
+        const Bytes input = {static_cast<std::uint8_t>(i % 8)};
+        if (f(input) != concat(input, as_bytes("!"))) ++wrong;
+      }
+      apps[static_cast<std::size_t>(a)]->rt.flush();
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(wrong.load(), 0);
+  EXPECT_EQ(store.stats().entries, 8u)
+      << "8 distinct computations, stored once each (first write wins)";
+  // How many duplicate computations raced ahead of their PUTs is up to the
+  // scheduler; the ceiling is every app computing every input once.
+  EXPECT_LE(total_exec.load(), kApps * 40);
+  EXPECT_GE(total_exec.load(), 8);
+}
+
+TEST(ConcurrencyTest, StoreSurvivesParallelMixedTraffic) {
+  sgx::Platform platform(fast_model());
+  store::StoreConfig cfg;
+  cfg.max_ciphertext_bytes = 50'000;  // force concurrent evictions
+  store::ResultStore store(platform, cfg);
+
+  std::vector<std::thread> threads;
+  std::atomic<bool> failed{false};
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      Xoshiro256 rng(static_cast<std::uint64_t>(100 + t));
+      try {
+        for (int i = 0; i < 300; ++i) {
+          serialize::Tag tag{};
+          tag[0] = static_cast<std::uint8_t>(rng.below(60));
+          tag[1] = static_cast<std::uint8_t>(t);
+          if (rng.below(2) == 0) {
+            serialize::PutRequest put;
+            put.tag = tag;
+            put.requester.fill(static_cast<std::uint8_t>(t));
+            put.entry.challenge = rng.bytes(32);
+            put.entry.wrapped_key = rng.bytes(16);
+            put.entry.result_ct = rng.bytes(500 + rng.below(1000));
+            store.put(put);
+          } else {
+            serialize::GetRequest get;
+            get.tag = tag;
+            get.requester.fill(static_cast<std::uint8_t>(t));
+            store.get(get);
+          }
+        }
+      } catch (...) {
+        failed = true;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_FALSE(failed.load());
+  EXPECT_LE(store.stats().ciphertext_bytes, cfg.max_ciphertext_bytes);
+}
+
+}  // namespace
+}  // namespace speed::runtime

@@ -1,0 +1,160 @@
+// Tests for Adler-32, CRC-32, and the zlib/gzip containers, cross-checked
+// against the system zlib tools where golden values are well known.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstdio>
+
+#include "apps/deflate/checksum.h"
+#include "common/error.h"
+#include "apps/deflate/container.h"
+#include "common/rng.h"
+
+namespace speed::deflate {
+namespace {
+
+TEST(ChecksumTest, Adler32KnownValues) {
+  EXPECT_EQ(adler32({}), 1u);
+  // "Wikipedia" -> 0x11E60398 (the canonical example).
+  EXPECT_EQ(adler32(as_bytes("Wikipedia")), 0x11E60398u);
+}
+
+TEST(ChecksumTest, Adler32Incremental) {
+  const Bytes data = to_bytes("split across two updates");
+  const std::uint32_t whole = adler32(data);
+  const std::uint32_t part1 = adler32(ByteView(data).first(7));
+  const std::uint32_t part2 = adler32(ByteView(data).subspan(7), part1);
+  EXPECT_EQ(part2, whole);
+}
+
+TEST(ChecksumTest, Adler32LargeInputModularity) {
+  // Exercise the deferred-modulo chunking with > 5552 bytes.
+  Xoshiro256 rng(3);
+  const Bytes data = rng.bytes(100000);
+  std::uint32_t a = 1, b = 0;
+  for (const std::uint8_t byte : data) {
+    a = (a + byte) % 65521;
+    b = (b + a) % 65521;
+  }
+  EXPECT_EQ(adler32(data), (b << 16) | a);
+}
+
+TEST(ChecksumTest, Crc32KnownValues) {
+  EXPECT_EQ(crc32({}), 0u);
+  // "123456789" -> 0xCBF43926 (the CRC-32 check value).
+  EXPECT_EQ(crc32(as_bytes("123456789")), 0xCBF43926u);
+  // "The quick brown fox jumps over the lazy dog" -> 0x414FA339.
+  EXPECT_EQ(crc32(as_bytes("The quick brown fox jumps over the lazy dog")),
+            0x414FA339u);
+}
+
+TEST(ChecksumTest, Crc32Incremental) {
+  const Bytes data = to_bytes("incremental crc check");
+  const std::uint32_t whole = crc32(data);
+  const std::uint32_t part1 = crc32(ByteView(data).first(10));
+  const std::uint32_t part2 = crc32(ByteView(data).subspan(10), part1);
+  EXPECT_EQ(part2, whole);
+}
+
+TEST(ZlibTest, RoundTrip) {
+  Xoshiro256 rng(5);
+  for (const std::size_t size : {0u, 1u, 1000u, 100000u}) {
+    const Bytes data = to_bytes(rng.ascii(size));
+    const Bytes stream = zlib_compress(data);
+    EXPECT_EQ(zlib_decompress(stream), data) << "size " << size;
+    // Header sanity: 0x78 CMF and FCHECK validity.
+    ASSERT_GE(stream.size(), 2u);
+    EXPECT_EQ(stream[0], 0x78);
+    EXPECT_EQ((stream[0] * 256 + stream[1]) % 31, 0);
+  }
+}
+
+TEST(ZlibTest, CorruptionDetected) {
+  const Bytes data = to_bytes("zlib integrity check payload zlib zlib");
+  Bytes stream = zlib_compress(data);
+  // Flip a bit in the Adler-32 trailer.
+  stream[stream.size() - 1] ^= 1;
+  EXPECT_THROW(zlib_decompress(stream), SerializationError);
+}
+
+TEST(ZlibTest, HeaderValidation) {
+  const Bytes ok = zlib_compress(to_bytes("x"));
+  Bytes bad_method = ok;
+  bad_method[0] = 0x79;  // method 9
+  EXPECT_THROW(zlib_decompress(bad_method), SerializationError);
+  Bytes bad_check = ok;
+  bad_check[1] ^= 1;
+  EXPECT_THROW(zlib_decompress(bad_check), SerializationError);
+  EXPECT_THROW(zlib_decompress(as_bytes("tiny")), SerializationError);
+}
+
+TEST(GzipTest, RoundTrip) {
+  Xoshiro256 rng(7);
+  for (const std::size_t size : {0u, 1u, 5000u, 200000u}) {
+    const Bytes data = rng.bytes(size);
+    const Bytes stream = gzip_compress(data);
+    EXPECT_EQ(gzip_decompress(stream), data) << "size " << size;
+    EXPECT_EQ(stream[0], 0x1f);
+    EXPECT_EQ(stream[1], 0x8b);
+  }
+}
+
+TEST(GzipTest, CrcAndSizeValidated) {
+  const Bytes data = to_bytes("gzip member payload with some length to it");
+  Bytes stream = gzip_compress(data);
+  Bytes bad_crc = stream;
+  bad_crc[bad_crc.size() - 5] ^= 1;  // inside CRC field
+  EXPECT_THROW(gzip_decompress(bad_crc), SerializationError);
+  Bytes bad_size = stream;
+  bad_size[bad_size.size() - 1] ^= 1;  // inside ISIZE field
+  EXPECT_THROW(gzip_decompress(bad_size), SerializationError);
+}
+
+TEST(GzipTest, OptionalHeaderFields) {
+  // Hand-build a member with FNAME set.
+  const Bytes data = to_bytes("named file content");
+  const Bytes plain = gzip_compress(data);
+  Bytes named = {0x1f, 0x8b, 8, 0x08, 0, 0, 0, 0, 0, 255};
+  append(named, as_bytes("file.txt"));
+  named.push_back(0);  // NUL terminator
+  append(named, ByteView(plain).subspan(10));  // body + trailer
+  EXPECT_EQ(gzip_decompress(named), data);
+}
+
+TEST(GzipTest, MalformedHeadersRejected) {
+  EXPECT_THROW(gzip_decompress(as_bytes("not gzip at all....")),
+               SerializationError);
+  Bytes reserved = gzip_compress(to_bytes("x"));
+  reserved[3] = 0x80;  // reserved flag bit
+  EXPECT_THROW(gzip_decompress(reserved), SerializationError);
+  // FNAME flag set but no terminator before the trailer.
+  Bytes unterminated = {0x1f, 0x8b, 8, 0x08, 0, 0, 0, 0, 0, 255, 'a', 'b'};
+  EXPECT_THROW(gzip_decompress(unterminated), SerializationError);
+}
+
+TEST(SystemInterop, GunzipCanReadOurOutput) {
+  // If the host has gzip installed, our gzip members must interoperate.
+  if (std::system("command -v gzip >/dev/null 2>&1") != 0) {
+    GTEST_SKIP() << "no system gzip";
+  }
+  const Bytes data = to_bytes(
+      "interoperability test: this text round-trips through system gzip\n");
+  const Bytes member = gzip_compress(data);
+  FILE* f = fopen("/tmp/speed_gzip_test.gz", "wb");
+  ASSERT_NE(f, nullptr);
+  fwrite(member.data(), 1, member.size(), f);
+  fclose(f);
+  ASSERT_EQ(std::system("gzip -t /tmp/speed_gzip_test.gz"), 0)
+      << "system gzip must accept our stream";
+  ASSERT_EQ(std::system("gzip -dc /tmp/speed_gzip_test.gz > /tmp/speed_gzip_test.out"), 0);
+  FILE* out = fopen("/tmp/speed_gzip_test.out", "rb");
+  ASSERT_NE(out, nullptr);
+  Bytes recovered(data.size() + 16);
+  const std::size_t n = fread(recovered.data(), 1, recovered.size(), out);
+  fclose(out);
+  recovered.resize(n);
+  EXPECT_EQ(recovered, data);
+}
+
+}  // namespace
+}  // namespace speed::deflate

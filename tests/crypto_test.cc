@@ -1,0 +1,328 @@
+// Crypto substrate tests: NIST/RFC vectors for SHA-256, HMAC, AES, AES-GCM,
+// cross-checks between the hardware and scalar GCM paths, and DRBG sanity.
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+#include "common/error.h"
+#include "crypto/aes.h"
+#include "crypto/drbg.h"
+#include "crypto/gcm.h"
+#include "crypto/hmac.h"
+#include "crypto/sha256.h"
+
+namespace speed::crypto {
+namespace {
+
+std::string sha256_hex(std::string_view msg) {
+  return hex_encode(to_bytes(Sha256::digest(as_bytes(msg))));
+}
+
+// ---------------------------------------------------------------- SHA-256
+
+TEST(Sha256Test, Fips180EmptyString) {
+  EXPECT_EQ(sha256_hex(""),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, Fips180Abc) {
+  EXPECT_EQ(sha256_hex("abc"),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, Fips180TwoBlockMessage) {
+  EXPECT_EQ(sha256_hex("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, MillionAs) {
+  Sha256 h;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(as_bytes(chunk));
+  EXPECT_EQ(hex_encode(to_bytes(h.finish())),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, StreamingMatchesOneShot) {
+  // Chop a message at every possible split point; digests must agree.
+  const std::string msg =
+      "The quick brown fox jumps over the lazy dog, 0123456789, repeatedly "
+      "and at length so that block boundaries are crossed.";
+  const Sha256Digest expected = Sha256::digest(as_bytes(msg));
+  for (std::size_t split = 0; split <= msg.size(); ++split) {
+    Sha256 h;
+    h.update(as_bytes(std::string_view(msg).substr(0, split)));
+    h.update(as_bytes(std::string_view(msg).substr(split)));
+    EXPECT_EQ(h.finish(), expected) << "split at " << split;
+  }
+}
+
+TEST(Sha256Test, DigestPartsEqualsConcatenation) {
+  const Bytes a = to_bytes("hello "), b = to_bytes("enclave "), c = to_bytes("world");
+  EXPECT_EQ(Sha256::digest_parts({a, b, c}),
+            Sha256::digest(concat(a, b, c)));
+}
+
+TEST(Sha256Test, ExactBlockBoundaryLengths) {
+  // 55/56/63/64/65 bytes straddle the padding edge cases.
+  for (std::size_t n : {55u, 56u, 63u, 64u, 65u, 119u, 120u, 128u}) {
+    const std::string msg(n, 'x');
+    Sha256 h;
+    for (char ch : msg) h.update(as_bytes(std::string_view(&ch, 1)));
+    EXPECT_EQ(h.finish(), Sha256::digest(as_bytes(msg))) << "len " << n;
+  }
+}
+
+// ------------------------------------------------------------ HMAC-SHA256
+
+TEST(HmacTest, Rfc4231Case1) {
+  const Bytes key(20, 0x0b);
+  const auto mac = HmacSha256::mac(key, as_bytes("Hi There"));
+  EXPECT_EQ(hex_encode(to_bytes(mac)),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacTest, Rfc4231Case2) {
+  const auto mac = HmacSha256::mac(as_bytes("Jefe"),
+                                   as_bytes("what do ya want for nothing?"));
+  EXPECT_EQ(hex_encode(to_bytes(mac)),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacTest, Rfc4231Case6LongKey) {
+  const Bytes key(131, 0xaa);
+  const auto mac = HmacSha256::mac(
+      key, as_bytes("Test Using Larger Than Block-Size Key - Hash Key First"));
+  EXPECT_EQ(hex_encode(to_bytes(mac)),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(HmacTest, VerifyAcceptsAndRejects) {
+  const Bytes key = to_bytes("some-key");
+  const Bytes msg = to_bytes("some message");
+  auto mac = HmacSha256::mac(key, msg);
+  EXPECT_TRUE(HmacSha256::verify(key, msg, ByteView(mac.data(), mac.size())));
+  mac[0] ^= 1;
+  EXPECT_FALSE(HmacSha256::verify(key, msg, ByteView(mac.data(), mac.size())));
+}
+
+TEST(HmacTest, DeriveKeyIsLabelSeparated) {
+  const Bytes key = to_bytes("master");
+  const Bytes ctx = to_bytes("ctx");
+  EXPECT_NE(derive_key(key, "seal", ctx), derive_key(key, "report", ctx));
+  EXPECT_EQ(derive_key(key, "seal", ctx), derive_key(key, "seal", ctx));
+  EXPECT_EQ(derive_key(key, "seal", ctx, 40).size(), 40u);
+}
+
+// -------------------------------------------------------------------- AES
+
+TEST(AesTest, Fips197Aes128Vector) {
+  // FIPS 197 Appendix C.1.
+  const Bytes key = hex_decode("000102030405060708090a0b0c0d0e0f");
+  const Bytes pt = hex_decode("00112233445566778899aabbccddeeff");
+  const Aes aes(key);
+  std::uint8_t ct[16];
+  aes.encrypt_block(pt.data(), ct);
+  EXPECT_EQ(hex_encode(ByteView(ct, 16)), "69c4e0d86a7b0430d8cdb78070b4c55a");
+}
+
+TEST(AesTest, Fips197Aes256Vector) {
+  // FIPS 197 Appendix C.3.
+  const Bytes key =
+      hex_decode("000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f");
+  const Bytes pt = hex_decode("00112233445566778899aabbccddeeff");
+  const Aes aes(key);
+  std::uint8_t ct[16];
+  aes.encrypt_block(pt.data(), ct);
+  EXPECT_EQ(hex_encode(ByteView(ct, 16)), "8ea2b7ca516745bfeafc49904b496089");
+}
+
+TEST(AesTest, RejectsBadKeySize) {
+  const Bytes key(17, 0);
+  EXPECT_THROW(Aes{key}, CryptoError);
+}
+
+// ---------------------------------------------------------------- AES-GCM
+
+struct GcmVector {
+  const char* name;
+  const char* key;
+  const char* iv;
+  const char* aad;
+  const char* pt;
+  const char* ct;
+  const char* tag;
+};
+
+// McGrew & Viega GCM spec test cases (the ones with 96-bit IVs).
+const GcmVector kGcmVectors[] = {
+    {"tc1_empty", "00000000000000000000000000000000", "000000000000000000000000",
+     "", "", "", "58e2fccefa7e3061367f1d57a4e7455a"},
+    {"tc2_oneblock", "00000000000000000000000000000000",
+     "000000000000000000000000", "", "00000000000000000000000000000000",
+     "0388dace60b6a392f328c2b971b2fe78", "ab6e47d42cec13bdf53a67b21257bddf"},
+    {"tc3_fourblocks", "feffe9928665731c6d6a8f9467308308",
+     "cafebabefacedbaddecaf888", "",
+     "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a721c3c0c9"
+     "5956809532fcf0e2449a6b525b16aedf5aa0de657ba637b391aafd255",
+     "42831ec2217774244b7221b784d0d49ce3aa212f2c02a4e035c17e2329aca12e21d514b"
+     "25466931c7d8f6a5aac84aa051ba30b396a0aac973d58e091473f5985",
+     "4d5c2af327cd64a62cf35abd2ba6fab4"},
+    {"tc4_with_aad", "feffe9928665731c6d6a8f9467308308",
+     "cafebabefacedbaddecaf888", "feedfacedeadbeeffeedfacedeadbeefabaddad2",
+     "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a721c3c0c9"
+     "5956809532fcf0e2449a6b525b16aedf5aa0de657ba637b39",
+     "42831ec2217774244b7221b784d0d49ce3aa212f2c02a4e035c17e2329aca12e21d514b"
+     "25466931c7d8f6a5aac84aa051ba30b396a0aac973d58e091",
+     "5bc94fbc3221a5db94fae95ae7121a47"},
+    // AES-256 case (spec test case 14 variant).
+    {"tc_aes256_empty",
+     "0000000000000000000000000000000000000000000000000000000000000000",
+     "000000000000000000000000", "", "", "",
+     "530f8afbc74536b9a963b4f1c4cb738b"},
+    {"tc_aes256_oneblock",
+     "0000000000000000000000000000000000000000000000000000000000000000",
+     "000000000000000000000000", "", "00000000000000000000000000000000",
+     "cea7403d4d606b6e074ec5d3baf39d18", "d0d1c8a799996bf0265b98b5d48ab919"},
+};
+
+class GcmVectorTest : public ::testing::TestWithParam<GcmVector> {};
+
+TEST_P(GcmVectorTest, SealMatchesVector) {
+  const auto& v = GetParam();
+  const AesGcm gcm(hex_decode(v.key));
+  const Bytes sealed =
+      gcm.seal(hex_decode(v.iv), hex_decode(v.aad), hex_decode(v.pt));
+  const std::string expected = std::string(v.ct) + v.tag;
+  EXPECT_EQ(hex_encode(sealed), expected);
+}
+
+TEST_P(GcmVectorTest, OpenRoundTrips) {
+  const auto& v = GetParam();
+  const AesGcm gcm(hex_decode(v.key));
+  const Bytes sealed = hex_decode(std::string(v.ct) + v.tag);
+  const auto opened = gcm.open(hex_decode(v.iv), hex_decode(v.aad), sealed);
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(*opened, hex_decode(v.pt));
+}
+
+TEST_P(GcmVectorTest, TamperedCiphertextFailsAuth) {
+  const auto& v = GetParam();
+  const AesGcm gcm(hex_decode(v.key));
+  Bytes sealed = hex_decode(std::string(v.ct) + v.tag);
+  sealed[sealed.size() / 2] ^= 0x01;
+  EXPECT_FALSE(gcm.open(hex_decode(v.iv), hex_decode(v.aad), sealed).has_value());
+}
+
+INSTANTIATE_TEST_SUITE_P(McGrewViega, GcmVectorTest,
+                         ::testing::ValuesIn(kGcmVectors),
+                         [](const auto& info) { return info.param.name; });
+
+TEST(GcmTest, HwAndScalarPathsAgree) {
+  if (!hw::gcm128_available()) GTEST_SKIP() << "no AES-NI on this machine";
+  Drbg rng(to_bytes("gcm-crosscheck"));
+  for (std::size_t len : {0u, 1u, 15u, 16u, 17u, 63u, 64u, 100u, 1000u, 65536u}) {
+    const Bytes key = rng.bytes(16);
+    const Bytes iv = rng.bytes(12);
+    const Bytes aad = rng.bytes(len % 37);
+    const Bytes pt = rng.bytes(len);
+
+    std::uint8_t hw_tag[16];
+    Bytes hw_ct(len);
+    hw::gcm128_encrypt(key.data(), iv.data(), aad, pt, hw_ct.data(), hw_tag);
+
+    // The portable implementation must produce byte-identical output.
+    const AesGcm portable(key, AesGcm::Impl::kPortable);
+    Bytes sealed = portable.seal(iv, aad, pt);
+    ASSERT_EQ(sealed.size(), len + 16);
+    EXPECT_EQ(Bytes(sealed.begin(), sealed.begin() + static_cast<long>(len)),
+              hw_ct);
+    EXPECT_TRUE(ct_equal(ByteView(sealed).last(16), ByteView(hw_tag, 16)));
+
+    // And each side must decrypt the other's ciphertext.
+    Bytes recovered(len);
+    ASSERT_TRUE(hw::gcm128_decrypt(key.data(), iv.data(), aad, hw_ct, hw_tag,
+                                   recovered.data()));
+    EXPECT_EQ(recovered, pt);
+    const auto opened = portable.open(iv, aad, sealed);
+    ASSERT_TRUE(opened.has_value());
+    EXPECT_EQ(*opened, pt);
+  }
+}
+
+TEST(GcmTest, EnvelopeHelpersRoundTrip) {
+  Drbg rng(to_bytes("envelope"));
+  const Bytes key = rng.bytes(16);
+  const Bytes aad = to_bytes("associated");
+  const Bytes pt = rng.bytes(777);
+  const Bytes env = gcm_encrypt(key, aad, pt, rng);
+  EXPECT_EQ(env.size(), gcm_envelope_size(pt.size()));
+  const auto out = gcm_decrypt(key, aad, env);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, pt);
+}
+
+TEST(GcmTest, EnvelopeWrongKeyFails) {
+  Drbg rng(to_bytes("envelope2"));
+  const Bytes key = rng.bytes(16);
+  Bytes key2 = key;
+  key2[0] ^= 1;
+  const Bytes env = gcm_encrypt(key, {}, to_bytes("secret"), rng);
+  EXPECT_FALSE(gcm_decrypt(key2, {}, env).has_value());
+}
+
+TEST(GcmTest, EnvelopeWrongAadFails) {
+  Drbg rng(to_bytes("envelope3"));
+  const Bytes key = rng.bytes(16);
+  const Bytes env = gcm_encrypt(key, as_bytes("aad-a"), to_bytes("secret"), rng);
+  EXPECT_FALSE(gcm_decrypt(key, as_bytes("aad-b"), env).has_value());
+}
+
+TEST(GcmTest, TruncatedEnvelopeFailsGracefully) {
+  Drbg rng(to_bytes("envelope4"));
+  const Bytes key = rng.bytes(16);
+  const Bytes env = gcm_encrypt(key, {}, to_bytes("x"), rng);
+  for (std::size_t cut = 0; cut < kGcmIvSize + kGcmTagSize; ++cut) {
+    EXPECT_FALSE(gcm_decrypt(key, {}, ByteView(env).first(cut)).has_value());
+  }
+}
+
+// ------------------------------------------------------------------- DRBG
+
+TEST(DrbgTest, DeterministicWithSameSeed) {
+  Drbg a(to_bytes("seed"));
+  Drbg b(to_bytes("seed"));
+  EXPECT_EQ(a.bytes(1000), b.bytes(1000));
+}
+
+TEST(DrbgTest, DifferentSeedsDiffer) {
+  Drbg a(to_bytes("seed-a"));
+  Drbg b(to_bytes("seed-b"));
+  EXPECT_NE(a.bytes(64), b.bytes(64));
+}
+
+TEST(DrbgTest, StreamIsStateful) {
+  Drbg a(to_bytes("seed"));
+  const Bytes first = a.bytes(32);
+  const Bytes second = a.bytes(32);
+  EXPECT_NE(first, second);
+}
+
+TEST(DrbgTest, OutputLooksBalanced) {
+  // Crude sanity: bit frequency of 64KB should be near 50%.
+  Drbg a(to_bytes("balance"));
+  const Bytes data = a.bytes(64 * 1024);
+  std::size_t ones = 0;
+  for (std::uint8_t b : data) ones += static_cast<std::size_t>(__builtin_popcount(b));
+  const double frac = static_cast<double>(ones) / (data.size() * 8);
+  EXPECT_GT(frac, 0.49);
+  EXPECT_LT(frac, 0.51);
+}
+
+TEST(DrbgTest, SystemBytesProducesRequestedLength) {
+  EXPECT_EQ(Drbg::system_bytes(0).size(), 0u);
+  EXPECT_EQ(Drbg::system_bytes(17).size(), 17u);
+  EXPECT_NE(Drbg::system_bytes(16), Drbg::system_bytes(16));
+}
+
+}  // namespace
+}  // namespace speed::crypto

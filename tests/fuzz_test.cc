@@ -1,0 +1,234 @@
+// Randomized robustness tests ("fuzz-lite", deterministic seeds):
+//  - wire decoder over random bytes and mutated valid messages,
+//  - ResultStore invariants under random operation sequences,
+//  - secure channel frames under random mutation,
+//  - regex engine over generated patterns and binary inputs,
+//  - DEFLATE decoder over mutated valid streams.
+#include <gtest/gtest.h>
+
+#include "apps/deflate/deflate.h"
+#include "apps/match/regex.h"
+#include "common/rng.h"
+#include "net/secure_channel.h"
+#include "serialize/wire.h"
+#include "store/result_store.h"
+
+namespace speed {
+namespace {
+
+sgx::CostModel fast_model() {
+  sgx::CostModel m;
+  m.ecall_ns = 0;
+  m.ocall_ns = 0;
+  m.epc_page_swap_ns = 0;
+  return m;
+}
+
+TEST(WireFuzzTest, RandomBytesNeverCrash) {
+  Xoshiro256 rng(101);
+  int decoded = 0;
+  for (int trial = 0; trial < 3000; ++trial) {
+    const Bytes junk = rng.bytes(rng.below(200));
+    try {
+      (void)serialize::decode_message(junk);
+      ++decoded;  // possible if the junk happens to be well-formed
+    } catch (const SerializationError&) {
+      // expected
+    }
+  }
+  // Random bytes should essentially never parse.
+  EXPECT_LT(decoded, 3);
+}
+
+TEST(WireFuzzTest, MutatedValidMessagesThrowOrParse) {
+  Xoshiro256 rng(103);
+  serialize::PutRequest put;
+  put.tag.fill(0xaa);
+  put.requester.fill(0xbb);
+  put.entry.challenge = rng.bytes(32);
+  put.entry.wrapped_key = rng.bytes(16);
+  put.entry.result_ct = rng.bytes(100);
+  const Bytes valid = serialize::encode_message(put);
+
+  for (int trial = 0; trial < 2000; ++trial) {
+    Bytes mutated = valid;
+    const int mutations = 1 + static_cast<int>(rng.below(4));
+    for (int m = 0; m < mutations; ++m) {
+      const std::size_t pos = rng.below(mutated.size());
+      mutated[pos] = static_cast<std::uint8_t>(rng());
+    }
+    if (rng.below(4) == 0 && !mutated.empty()) {
+      mutated.resize(rng.below(mutated.size()));
+    }
+    try {
+      (void)serialize::decode_message(mutated);  // parsing garbage is fine...
+    } catch (const SerializationError&) {
+      // ...and so is rejecting it. Anything else (crash, bad_alloc from a
+      // wild length) is a bug the length-validation must prevent.
+    }
+  }
+}
+
+TEST(StoreFuzzTest, InvariantsUnderRandomOps) {
+  Xoshiro256 rng(107);
+  store::StoreConfig cfg;
+  cfg.max_ciphertext_bytes = 40'000;
+  cfg.per_app_quota_bytes = 25'000;
+  cfg.max_entries = 64;
+  sgx::Platform platform(fast_model());
+  store::ResultStore store(platform, cfg);
+
+  // Reference map of everything successfully stored (tag -> payload).
+  std::map<std::array<std::uint8_t, 32>, serialize::EntryPayload> stored;
+
+  for (int op = 0; op < 3000; ++op) {
+    serialize::Tag tag{};
+    tag[0] = static_cast<std::uint8_t>(rng.below(40));  // small tag space: collisions
+    serialize::AppId app{};
+    app[0] = static_cast<std::uint8_t>(rng.below(3));
+
+    switch (rng.below(10)) {
+      case 0:
+      case 1:
+      case 2:
+      case 3: {  // PUT
+        serialize::PutRequest put;
+        put.tag = tag;
+        put.requester = app;
+        put.entry.challenge = rng.bytes(32);
+        put.entry.wrapped_key = rng.bytes(16);
+        put.entry.result_ct = rng.bytes(100 + rng.below(3000));
+        const auto resp = store.put(put);
+        if (resp.status == serialize::PutStatus::kStored) {
+          stored[tag] = put.entry;
+        }
+        break;
+      }
+      case 4: {  // corrupt a random blob like a malicious host
+        if (store.corrupt_blob_for_testing(tag)) {
+          stored.erase(tag);
+          // Force the store to notice and drop the entry now; otherwise a
+          // second single-bit corruption could restore the original blob
+          // and legitimately hit again (an artifact of the test's XOR, not
+          // a store defect).
+          serialize::GetRequest probe;
+          probe.tag = tag;
+          probe.requester = app;
+          ASSERT_FALSE(store.get(probe).found)
+              << "corrupted blob served as a hit";
+        }
+        break;
+      }
+      default: {  // GET
+        serialize::GetRequest get;
+        get.tag = tag;
+        get.requester = app;
+        const auto resp = store.get(get);
+        if (resp.found) {
+          const auto it = stored.find(tag);
+          // Eviction may remove entries we remember, but the store must
+          // never serve a payload that was not the one stored (or was
+          // corrupted).
+          ASSERT_NE(it, stored.end())
+              << "hit for a tag that was corrupted or never stored";
+          ASSERT_EQ(resp.entry, it->second) << "payload integrity violated";
+        }
+        break;
+      }
+    }
+
+    // Global invariants after every operation.
+    const auto stats = store.stats();
+    ASSERT_LE(stats.ciphertext_bytes, cfg.max_ciphertext_bytes);
+    ASSERT_LE(stats.entries, cfg.max_entries);
+  }
+  const auto stats = store.stats();
+  EXPECT_GT(stats.stored, 100u) << "the fuzz actually exercised the store";
+  EXPECT_GT(stats.hits, 50u);
+}
+
+TEST(ChannelFuzzTest, MutatedFramesNeverDecryptWrongly) {
+  Xoshiro256 rng(109);
+  sgx::Platform platform(fast_model());
+  auto a = platform.create_enclave("a");
+  auto b = platform.create_enclave("b");
+  net::SecureChannel client(net::derive_channel_key(*a, b->measurement()), true);
+
+  for (int trial = 0; trial < 300; ++trial) {
+    net::SecureChannel server(net::derive_channel_key(*b, a->measurement()),
+                              false);
+    net::SecureChannel fresh_client(
+        net::derive_channel_key(*a, b->measurement()), true);
+    const Bytes plain = rng.bytes(rng.below(300));
+    Bytes frame = fresh_client.wrap(plain);
+    if (rng.below(2) == 0) {
+      // mutate
+      const std::size_t pos = rng.below(frame.size());
+      frame[pos] ^= static_cast<std::uint8_t>(1 + rng.below(255));
+      EXPECT_FALSE(server.unwrap(frame).has_value());
+    } else {
+      const auto out = server.unwrap(frame);
+      ASSERT_TRUE(out.has_value());
+      EXPECT_EQ(*out, plain);
+    }
+  }
+}
+
+TEST(RegexFuzzTest, GeneratedPatternsNeverHang) {
+  Xoshiro256 rng(113);
+  const char* const atoms[] = {"a",   "b",    ".",  "\\d", "\\w",
+                               "[ab]", "[^c]", "x",  "\\x41"};
+  const char* const quants[] = {"", "*", "+", "?", "{2}", "{1,3}"};
+
+  int compiled = 0;
+  for (int trial = 0; trial < 400; ++trial) {
+    std::string pattern;
+    const std::size_t parts = 1 + rng.below(6);
+    for (std::size_t i = 0; i < parts; ++i) {
+      if (rng.below(8) == 0) pattern += "(";
+      pattern += atoms[rng.below(sizeof(atoms) / sizeof(atoms[0]))];
+      if (rng.below(8) == 0) pattern += ")";
+      pattern += quants[rng.below(sizeof(quants) / sizeof(quants[0]))];
+      if (rng.below(6) == 0) pattern += "|";
+    }
+    try {
+      const match::Regex re(pattern, /*step_budget=*/200000);
+      ++compiled;
+      for (int input = 0; input < 5; ++input) {
+        const Bytes text = rng.bytes(rng.below(100));
+        try {
+          (void)re.search(ByteView(text));
+        } catch (const match::RegexBudgetError&) {
+          // pathological but bounded: exactly what the budget is for
+        }
+      }
+    } catch (const match::RegexSyntaxError&) {
+      // generated garbage like "a|*" — rejection is correct
+    }
+  }
+  EXPECT_GT(compiled, 100) << "most generated patterns should compile";
+}
+
+TEST(DeflateFuzzTest, MutatedStreamsThrowCleanly) {
+  Xoshiro256 rng(127);
+  const Bytes data = to_bytes(rng.ascii(20000));
+  const Bytes valid = deflate::compress(data);
+
+  for (int trial = 0; trial < 500; ++trial) {
+    Bytes mutated = valid;
+    for (int m = 0; m < 3; ++m) {
+      mutated[rng.below(mutated.size())] = static_cast<std::uint8_t>(rng());
+    }
+    try {
+      const Bytes out = deflate::decompress(mutated, 1u << 22);
+      // Decoding to *something* is acceptable (the mutation may not break
+      // framing); decoding must just never crash or run away.
+      (void)out;
+    } catch (const SerializationError&) {
+      // expected for most mutations
+    }
+  }
+}
+
+}  // namespace
+}  // namespace speed

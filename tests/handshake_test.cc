@@ -1,0 +1,153 @@
+// Tests for the attested channel establishment (local attestation reports
+// carrying ephemeral X25519 keys) and its integration with StoreSession.
+#include <gtest/gtest.h>
+
+#include "net/handshake.h"
+#include "store/store_session.h"
+
+namespace speed::net {
+namespace {
+
+sgx::CostModel fast_model() {
+  sgx::CostModel m;
+  m.ecall_ns = 0;
+  m.ocall_ns = 0;
+  return m;
+}
+
+class HandshakeTest : public ::testing::Test {
+ protected:
+  HandshakeTest()
+      : platform_(fast_model()),
+        app_(platform_.create_enclave("app")),
+        store_(platform_.create_enclave("store")) {}
+
+  sgx::Platform platform_;
+  std::unique_ptr<sgx::Enclave> app_;
+  std::unique_ptr<sgx::Enclave> store_;
+};
+
+TEST_F(HandshakeTest, BothSidesDeriveSameKey) {
+  ChannelKeyExchange kx_app(*app_);
+  ChannelKeyExchange kx_store(*store_);
+  const auto app_hello = kx_app.hello(store_->measurement());
+  const auto store_hello = kx_store.hello(app_->measurement());
+
+  const auto key_at_store = kx_store.derive(app_hello);
+  const auto key_at_app = kx_app.derive(store_hello);
+  ASSERT_TRUE(key_at_store.has_value());
+  ASSERT_TRUE(key_at_app.has_value());
+  EXPECT_EQ(*key_at_store, *key_at_app);
+  EXPECT_EQ(key_at_app->size(), 16u);
+}
+
+TEST_F(HandshakeTest, FreshKeysPerExchange) {
+  ChannelKeyExchange kx1(*app_);
+  ChannelKeyExchange kx2(*app_);
+  EXPECT_NE(kx1.public_key(), kx2.public_key())
+      << "ephemeral keys must be fresh per exchange";
+}
+
+TEST_F(HandshakeTest, WrongAddresseeRejected) {
+  // A hello addressed to a different enclave must not verify here.
+  ChannelKeyExchange kx_app(*app_);
+  ChannelKeyExchange kx_store(*store_);
+  auto other = platform_.create_enclave("other");
+  const auto hello_for_other = kx_app.hello(other->measurement());
+  EXPECT_FALSE(kx_store.derive(hello_for_other).has_value());
+}
+
+TEST_F(HandshakeTest, SubstitutedPublicKeyRejected) {
+  // Host-in-the-middle: swap the advertised public key after the report was
+  // created. The report binds the original key, so verification fails.
+  ChannelKeyExchange kx_app(*app_);
+  ChannelKeyExchange kx_store(*store_);
+  auto hello = kx_app.hello(store_->measurement());
+  hello.public_key[0] ^= 1;
+  EXPECT_FALSE(kx_store.derive(hello).has_value());
+}
+
+TEST_F(HandshakeTest, ForgedReportRejected) {
+  ChannelKeyExchange kx_app(*app_);
+  ChannelKeyExchange kx_store(*store_);
+  auto hello = kx_app.hello(store_->measurement());
+  hello.report.mac[5] ^= 1;
+  EXPECT_FALSE(kx_store.derive(hello).has_value());
+}
+
+TEST_F(HandshakeTest, MeasurementPinning) {
+  ChannelKeyExchange kx_app(*app_);
+  ChannelKeyExchange kx_store(*store_);
+  const auto store_hello = kx_store.hello(app_->measurement());
+  EXPECT_TRUE(kx_app.derive(store_hello, store_->measurement()).has_value());
+  EXPECT_FALSE(
+      kx_app.derive(store_hello, sgx::measure_identity("impostor-store"))
+          .has_value())
+      << "client must reject a store with the wrong measurement";
+}
+
+TEST_F(HandshakeTest, CrossPlatformHelloRejected) {
+  sgx::Platform other_machine(fast_model());
+  auto remote_app = other_machine.create_enclave("app");
+  ChannelKeyExchange kx_remote(*remote_app);
+  ChannelKeyExchange kx_store(*store_);
+  const auto hello = kx_remote.hello(store_->measurement());
+  EXPECT_FALSE(kx_store.derive(hello).has_value())
+      << "local attestation does not cross machines";
+}
+
+TEST_F(HandshakeTest, WireRoundTrip) {
+  ChannelKeyExchange kx_app(*app_);
+  const auto hello = kx_app.hello(store_->measurement());
+  const Bytes wire = encode_handshake(hello);
+  const auto decoded = decode_handshake(wire);
+  EXPECT_EQ(decoded.report.source_measurement, hello.report.source_measurement);
+  EXPECT_EQ(decoded.report.user_data, hello.report.user_data);
+  EXPECT_EQ(decoded.report.mac, hello.report.mac);
+  EXPECT_EQ(decoded.public_key, hello.public_key);
+
+  EXPECT_THROW(decode_handshake(ByteView(wire).first(wire.size() - 1)),
+               SerializationError);
+  Bytes padded = wire;
+  padded.push_back(0);
+  EXPECT_THROW(decode_handshake(padded), SerializationError);
+}
+
+TEST_F(HandshakeTest, EndToEndThroughStoreSession) {
+  store::ResultStore result_store(platform_);
+  const auto conn = store::connect_app(result_store, *app_);
+  ASSERT_EQ(conn.session_key.size(), 16u);
+
+  // Drive a PUT/GET through the attested session.
+  SecureChannel client(conn.session_key, /*is_initiator=*/true);
+  serialize::PutRequest put;
+  put.tag.fill(0x31);
+  put.requester = app_->measurement();
+  put.entry.challenge = Bytes(32, 1);
+  put.entry.wrapped_key = Bytes(16, 2);
+  put.entry.result_ct = Bytes(64, 3);
+  auto resp =
+      client.unwrap(conn.transport->round_trip(client.wrap(
+          serialize::encode_message(put))));
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(std::get<serialize::PutResponse>(serialize::decode_message(*resp)).status,
+            serialize::PutStatus::kStored);
+
+  serialize::GetRequest get;
+  get.tag.fill(0x31);
+  resp = client.unwrap(conn.transport->round_trip(client.wrap(
+      serialize::encode_message(get))));
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_TRUE(std::get<serialize::GetResponse>(serialize::decode_message(*resp)).found);
+}
+
+TEST_F(HandshakeTest, StoreSessionRejectsBadHello) {
+  store::ResultStore result_store(platform_);
+  ChannelKeyExchange kx(*app_);
+  auto hello = kx.hello(result_store.enclave().measurement());
+  hello.report.mac[0] ^= 1;
+  EXPECT_THROW(store::StoreSession(result_store, hello), ProtocolError);
+}
+
+}  // namespace
+}  // namespace speed::net

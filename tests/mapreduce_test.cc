@@ -1,0 +1,109 @@
+// Tests for the mini-MapReduce framework and the BoW computation.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "apps/mapreduce/bow.h"
+#include "apps/mapreduce/mapreduce.h"
+#include "workload/synthetic.h"
+
+namespace speed::mapreduce {
+namespace {
+
+TEST(MapReduceTest, WordCountBasics) {
+  const std::vector<std::string> inputs = {"a b a", "b c", "a"};
+  const std::function<void(const std::string&, Emitter<std::string, int>&)>
+      mapper = [](const std::string& doc, Emitter<std::string, int>& out) {
+        std::string word;
+        for (const char c : doc + " ") {
+          if (c == ' ') {
+            if (!word.empty()) out.emit(word, 1);
+            word.clear();
+          } else {
+            word.push_back(c);
+          }
+        }
+      };
+  const std::function<int(const std::string&, const std::vector<int>&)>
+      reducer = [](const std::string&, const std::vector<int>& v) {
+        return std::accumulate(v.begin(), v.end(), 0);
+      };
+
+  const auto result = run_job<std::string, std::string, int, int>(
+      inputs, mapper, reducer);
+  EXPECT_EQ(result.at("a"), 3);
+  EXPECT_EQ(result.at("b"), 2);
+  EXPECT_EQ(result.at("c"), 1);
+  EXPECT_EQ(result.size(), 3u);
+}
+
+TEST(MapReduceTest, DeterministicAcrossWorkerCounts) {
+  std::vector<std::string> docs;
+  for (int i = 0; i < 50; ++i) {
+    docs.push_back(workload::synth_text(500, static_cast<std::uint64_t>(i)));
+  }
+  BowOptions one_worker{.min_word_length = 2, .workers = 1};
+  BowOptions four_workers{.min_word_length = 2, .workers = 4};
+  EXPECT_EQ(bag_of_words(docs, one_worker), bag_of_words(docs, four_workers));
+}
+
+TEST(MapReduceTest, EmptyInputs) {
+  const auto result = bag_of_words({});
+  EXPECT_TRUE(result.empty());
+  const auto result2 = bag_of_words({"", "", ""});
+  EXPECT_TRUE(result2.empty());
+}
+
+TEST(MapReduceTest, ReducerSeesAllValuesForKey) {
+  // Max-reduction: checks values are grouped, not pre-folded.
+  const std::vector<int> inputs = {5, 3, 9, 1, 9, 2};
+  const std::function<void(const int&, Emitter<std::string, int>&)> mapper =
+      [](const int& v, Emitter<std::string, int>& out) {
+        out.emit(v % 2 == 0 ? "even" : "odd", v);
+      };
+  const std::function<int(const std::string&, const std::vector<int>&)>
+      reducer = [](const std::string&, const std::vector<int>& v) {
+        int best = 0;
+        for (const int x : v) best = std::max(best, x);
+        return best;
+      };
+  const auto result =
+      run_job<int, std::string, int, int>(inputs, mapper, reducer);
+  EXPECT_EQ(result.at("odd"), 9);
+  EXPECT_EQ(result.at("even"), 2);
+}
+
+TEST(TokenizeTest, LowercasesAndSplits) {
+  const auto tokens = tokenize("Hello, World! API v2 — x", 2);
+  const std::vector<std::string> expected = {"hello", "world", "api", "v2"};
+  EXPECT_EQ(tokens, expected);
+}
+
+TEST(TokenizeTest, MinLengthFilter) {
+  EXPECT_TRUE(tokenize("a b c", 2).empty());
+  EXPECT_EQ(tokenize("a bb c", 1).size(), 3u);
+}
+
+TEST(BowTest, CountsMatchNaiveOracle) {
+  std::vector<std::string> docs;
+  for (int i = 0; i < 10; ++i) {
+    docs.push_back(workload::synth_web_page(800, static_cast<std::uint64_t>(i)));
+  }
+  const WordHistogram hist = bag_of_words(docs);
+
+  WordHistogram oracle;
+  for (const auto& d : docs) {
+    for (const auto& t : tokenize(d, 2)) ++oracle[t];
+  }
+  EXPECT_EQ(hist, oracle);
+  EXPECT_FALSE(hist.empty());
+}
+
+TEST(BowTest, HistogramSerdeRoundTrip) {
+  const WordHistogram hist = bag_of_words({workload::synth_web_page(500, 7)});
+  const Bytes data = serialize::serialize(hist);
+  EXPECT_EQ(serialize::deserialize<WordHistogram>(data), hist);
+}
+
+}  // namespace
+}  // namespace speed::mapreduce

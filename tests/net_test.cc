@@ -1,0 +1,162 @@
+// Tests for the transport and the attested secure channel.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "net/channel.h"
+#include "net/secure_channel.h"
+
+namespace speed::net {
+namespace {
+
+sgx::CostModel fast_model() {
+  sgx::CostModel m;
+  m.ecall_ns = 0;
+  m.ocall_ns = 0;
+  return m;
+}
+
+TEST(LoopbackTransportTest, DeliversAndReturns) {
+  LoopbackTransport transport(
+      [](ByteView req) { return concat(to_bytes("echo:"), req); });
+  const Bytes resp = transport.round_trip(as_bytes("ping"));
+  EXPECT_EQ(resp, to_bytes("echo:ping"));
+}
+
+TEST(LoopbackTransportTest, SerializesConcurrentCallers) {
+  int in_flight = 0;
+  int max_in_flight = 0;
+  LoopbackTransport transport([&](ByteView req) {
+    ++in_flight;
+    max_in_flight = std::max(max_in_flight, in_flight);
+    --in_flight;
+    return Bytes(req.begin(), req.end());
+  });
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 8; ++i) {
+    threads.emplace_back([&] {
+      for (int j = 0; j < 100; ++j) transport.round_trip(as_bytes("x"));
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(max_in_flight, 1) << "handler must never run concurrently";
+}
+
+TEST(LoopbackTransportTest, LatencyInjection) {
+  LoopbackTransport transport([](ByteView) { return Bytes{}; },
+                              /*one_way_ns=*/200000);
+  Stopwatch sw;
+  transport.round_trip({});
+  EXPECT_GE(sw.elapsed_ns(), 350000u);
+}
+
+TEST(ChannelKeyTest, BothEndpointsDeriveSameKey) {
+  sgx::Platform platform(fast_model());
+  auto app = platform.create_enclave("app");
+  auto store = platform.create_enclave("store");
+  const Bytes k1 = derive_channel_key(*app, store->measurement());
+  const Bytes k2 = derive_channel_key(*store, app->measurement());
+  EXPECT_EQ(k1, k2);
+  EXPECT_EQ(k1.size(), 16u);
+}
+
+TEST(ChannelKeyTest, DifferentPairsDifferentKeys) {
+  sgx::Platform platform(fast_model());
+  auto a = platform.create_enclave("a");
+  auto b = platform.create_enclave("b");
+  auto c = platform.create_enclave("c");
+  EXPECT_NE(derive_channel_key(*a, b->measurement()),
+            derive_channel_key(*a, c->measurement()));
+}
+
+TEST(ChannelKeyTest, CrossPlatformKeysDiffer) {
+  sgx::Platform p1(fast_model()), p2(fast_model());
+  auto a1 = p1.create_enclave("app");
+  auto a2 = p2.create_enclave("app");
+  const auto store_meas = sgx::measure_identity("store");
+  EXPECT_NE(derive_channel_key(*a1, store_meas),
+            derive_channel_key(*a2, store_meas))
+      << "channel keys are rooted in the platform";
+}
+
+class SecureChannelTest : public ::testing::Test {
+ protected:
+  SecureChannelTest()
+      : platform_(fast_model()),
+        app_(platform_.create_enclave("app")),
+        store_(platform_.create_enclave("store")),
+        client_(derive_channel_key(*app_, store_->measurement()), true),
+        server_(derive_channel_key(*store_, app_->measurement()), false) {}
+
+  sgx::Platform platform_;
+  std::unique_ptr<sgx::Enclave> app_;
+  std::unique_ptr<sgx::Enclave> store_;
+  SecureChannel client_;
+  SecureChannel server_;
+};
+
+TEST_F(SecureChannelTest, BidirectionalRoundTrip) {
+  const Bytes frame = client_.wrap(as_bytes("GET tag"));
+  const auto req = server_.unwrap(frame);
+  ASSERT_TRUE(req.has_value());
+  EXPECT_EQ(*req, to_bytes("GET tag"));
+
+  const Bytes reply_frame = server_.wrap(as_bytes("FOUND entry"));
+  const auto resp = client_.unwrap(reply_frame);
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(*resp, to_bytes("FOUND entry"));
+}
+
+TEST_F(SecureChannelTest, ManyMessagesKeepOrder) {
+  for (int i = 0; i < 50; ++i) {
+    const std::string msg = "message-" + std::to_string(i);
+    const auto out = server_.unwrap(client_.wrap(as_bytes(msg)));
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(*out, to_bytes(msg));
+  }
+  EXPECT_EQ(client_.sent(), 50u);
+  EXPECT_EQ(server_.received(), 50u);
+}
+
+TEST_F(SecureChannelTest, ReplayRejected) {
+  const Bytes frame = client_.wrap(as_bytes("once"));
+  ASSERT_TRUE(server_.unwrap(frame).has_value());
+  EXPECT_FALSE(server_.unwrap(frame).has_value()) << "replay must fail";
+}
+
+TEST_F(SecureChannelTest, ReorderRejected) {
+  const Bytes f0 = client_.wrap(as_bytes("first"));
+  const Bytes f1 = client_.wrap(as_bytes("second"));
+  EXPECT_FALSE(server_.unwrap(f1).has_value()) << "skipping seq 0 must fail";
+  EXPECT_TRUE(server_.unwrap(f0).has_value());
+  EXPECT_TRUE(server_.unwrap(f1).has_value());
+}
+
+TEST_F(SecureChannelTest, TamperedFrameRejected) {
+  Bytes frame = client_.wrap(as_bytes("payload"));
+  frame[frame.size() - 1] ^= 1;
+  EXPECT_FALSE(server_.unwrap(frame).has_value());
+}
+
+TEST_F(SecureChannelTest, WrongDirectionRejected) {
+  // A frame the client sent cannot be mistaken for a server frame.
+  const Bytes frame = client_.wrap(as_bytes("to-server"));
+  EXPECT_FALSE(client_.unwrap(frame).has_value());
+}
+
+TEST_F(SecureChannelTest, ForeignKeyRejected) {
+  auto other = platform_.create_enclave("other");
+  SecureChannel eavesdropper(derive_channel_key(*other, app_->measurement()),
+                             false);
+  const Bytes frame = client_.wrap(as_bytes("secret"));
+  EXPECT_FALSE(eavesdropper.unwrap(frame).has_value());
+}
+
+TEST_F(SecureChannelTest, GarbageFrameRejected) {
+  EXPECT_FALSE(server_.unwrap(as_bytes("not a frame")).has_value());
+  EXPECT_FALSE(server_.unwrap({}).has_value());
+}
+
+}  // namespace
+}  // namespace speed::net

@@ -1,0 +1,158 @@
+// Parameter-variation tests: non-default configurations of SIFT, LZ77,
+// DEFLATE blocks, MapReduce partitions, and the SGX cost model — guarding
+// the knobs the benches and ablations rely on.
+#include <gtest/gtest.h>
+
+#include "apps/deflate/deflate.h"
+#include "apps/mapreduce/bow.h"
+#include "apps/mapreduce/mapreduce.h"
+#include "apps/sift/sift.h"
+#include "sgx/enclave.h"
+#include "common/error.h"
+#include "common/rng.h"
+#include "workload/synthetic.h"
+
+namespace speed {
+namespace {
+
+// ------------------------------------------------------------------- SIFT
+
+TEST(SiftParamsTest, NoUpsamplingStillWorks) {
+  const sift::Image img = workload::synth_image(128, 128, 33);
+  sift::SiftParams p;
+  p.upsample_first_octave = false;
+  const auto keypoints = sift::extract_sift(img, p);
+  EXPECT_FALSE(keypoints.empty());
+  // Upsampling finds (roughly) more keypoints, at higher cost.
+  const auto upsampled = sift::extract_sift(img);
+  EXPECT_GT(upsampled.size(), keypoints.size() / 2);
+}
+
+TEST(SiftParamsTest, StricterContrastFindsFewer) {
+  const sift::Image img = workload::synth_image(128, 128, 35);
+  sift::SiftParams strict;
+  strict.contrast_threshold = 0.12;
+  EXPECT_LT(sift::extract_sift(img, strict).size(),
+            sift::extract_sift(img).size());
+}
+
+TEST(SiftParamsTest, MoreScalesPerOctave) {
+  const sift::Image img = workload::synth_image(96, 96, 37);
+  sift::SiftParams p;
+  p.scales_per_octave = 5;
+  const auto keypoints = sift::extract_sift(img, p);
+  for (const auto& kp : keypoints) {
+    EXPECT_GT(kp.sigma, 0.0f);
+  }
+}
+
+TEST(SiftParamsTest, WorkingSetScalesWithImageAndParams) {
+  const std::size_t small = sift::working_set_bytes(128, 128);
+  const std::size_t big = sift::working_set_bytes(512, 512);
+  EXPECT_GT(big, small * 10);
+  sift::SiftParams no_up;
+  no_up.upsample_first_octave = false;
+  EXPECT_LT(sift::working_set_bytes(128, 128, no_up), small);
+}
+
+// ------------------------------------------------------------------ LZ77
+
+TEST(Lz77ParamsTest, GreedyVsLazyBothRoundTrip) {
+  const Bytes data = to_bytes(workload::synth_text(50000, 41));
+  deflate::Lz77Params greedy;
+  greedy.lazy = false;
+  const auto greedy_tokens = deflate::lz77_parse(data, greedy);
+  const auto lazy_tokens = deflate::lz77_parse(data);
+  EXPECT_EQ(deflate::lz77_reconstruct(greedy_tokens), data);
+  EXPECT_EQ(deflate::lz77_reconstruct(lazy_tokens), data);
+  // Lazy matching should never parse worse (fewer or equal tokens).
+  EXPECT_LE(lazy_tokens.size(), greedy_tokens.size() + greedy_tokens.size() / 20);
+}
+
+TEST(Lz77ParamsTest, ShortChainsTradeRatioForSpeed) {
+  const Bytes data = to_bytes(workload::synth_text(50000, 43));
+  deflate::Lz77Params weak;
+  weak.max_chain = 1;
+  weak.nice_length = 8;
+  const Bytes strong_out = deflate::compress(data);
+  deflate::DeflateOptions weak_opts;
+  weak_opts.lz77 = weak;
+  const Bytes weak_out = deflate::compress(data, weak_opts);
+  EXPECT_EQ(deflate::decompress(weak_out), data);
+  EXPECT_LE(strong_out.size(), weak_out.size())
+      << "deeper search must not compress worse";
+}
+
+TEST(DeflateParamsTest, TinyBlocksStillDecode) {
+  const Bytes data = to_bytes(workload::synth_text(30000, 47));
+  deflate::DeflateOptions opts;
+  opts.block_tokens = 64;  // many blocks, exercising per-block type choice
+  EXPECT_EQ(deflate::decompress(deflate::compress(data, opts)), data);
+}
+
+// -------------------------------------------------------------- MapReduce
+
+TEST(MapReduceParamsTest, PartitionCountInvariant) {
+  std::vector<std::string> docs;
+  for (int i = 0; i < 20; ++i) {
+    docs.push_back(workload::synth_text(400, static_cast<std::uint64_t>(i)));
+  }
+  const std::function<void(const std::string&, mapreduce::Emitter<std::string, std::uint64_t>&)>
+      mapper = [](const std::string& d,
+                  mapreduce::Emitter<std::string, std::uint64_t>& out) {
+        for (auto& t : mapreduce::tokenize(d, 2)) out.emit(std::move(t), 1);
+      };
+  const std::function<std::uint64_t(const std::string&, const std::vector<std::uint64_t>&)>
+      reducer = [](const std::string&, const std::vector<std::uint64_t>& v) {
+        std::uint64_t sum = 0;
+        for (const auto x : v) sum += x;
+        return sum;
+      };
+
+  mapreduce::JobConfig one_part{.workers = 2, .partitions = 1};
+  mapreduce::JobConfig many_parts{.workers = 2, .partitions = 64};
+  const auto r1 = mapreduce::run_job<std::string, std::string, std::uint64_t,
+                                     std::uint64_t>(docs, mapper, reducer, one_part);
+  const auto r2 = mapreduce::run_job<std::string, std::string, std::uint64_t,
+                                     std::uint64_t>(docs, mapper, reducer, many_parts);
+  EXPECT_EQ(r1, r2) << "partitioning must not change results";
+}
+
+TEST(MapReduceParamsTest, ZeroPartitionsRejected) {
+  mapreduce::JobConfig bad{.workers = 1, .partitions = 0};
+  const std::function<void(const int&, mapreduce::Emitter<int, int>&)> mapper =
+      [](const int&, mapreduce::Emitter<int, int>&) {};
+  const std::function<int(const int&, const std::vector<int>&)> reducer =
+      [](const int&, const std::vector<int>&) { return 0; };
+  EXPECT_THROW((mapreduce::run_job<int, int, int, int>({1}, mapper, reducer, bad)),
+               Error);
+}
+
+// ------------------------------------------------------------- cost model
+
+TEST(CostModelTest, EpcLimitIsConfigurable) {
+  sgx::CostModel tiny;
+  tiny.epc_usable_bytes = 1 << 16;
+  tiny.epc_page_swap_ns = 0;
+  tiny.ecall_ns = 0;
+  tiny.ocall_ns = 0;
+  sgx::Platform platform(tiny);
+  platform.epc().allocate(1 << 20);
+  EXPECT_GT(platform.epc().swapped_pages(), 200u);
+  EXPECT_EQ(platform.epc().usable_bytes(), 1u << 16);
+}
+
+TEST(CostModelTest, DisabledModelNeverWaits) {
+  sgx::Platform platform{sgx::CostModel::disabled()};
+  Stopwatch sw;
+  platform.epc().allocate(1 << 30);
+  platform.epc().release(1 << 30);
+  auto e = platform.create_enclave("fast");
+  for (int i = 0; i < 100; ++i) {
+    e->ecall([&] { e->ocall([] {}); });
+  }
+  EXPECT_LT(sw.elapsed_ms(), 100.0);
+}
+
+}  // namespace
+}  // namespace speed

@@ -1,0 +1,334 @@
+// Tests for DedupRuntime and the Deduplicable<> API: the full Algorithm 1/2
+// routine end-to-end against a live ResultStore, cross-application
+// deduplication, poisoning resilience, async PUT, the basic-scheme ablation,
+// and dedup transparency properties.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "common/rng.h"
+#include "runtime/speed.h"
+
+namespace speed::runtime {
+namespace {
+
+sgx::CostModel fast_model() {
+  sgx::CostModel m;
+  m.ecall_ns = 0;
+  m.ocall_ns = 0;
+  m.epc_page_swap_ns = 0;
+  return m;
+}
+
+/// One application wired to a store through the attested handshake:
+/// enclave + server session + runtime.
+struct App {
+  App(sgx::Platform& platform, store::ResultStore& store,
+      const std::string& identity, RuntimeConfig config = RuntimeConfig{})
+      : enclave(platform.create_enclave(identity)),
+        connection(store::connect_app(store, *enclave)),
+        rt(*enclave, connection.session_key, std::move(connection.transport),
+           std::move(config)) {
+    rt.libraries().register_library("testlib", "1.0", as_bytes("testlib-code"));
+  }
+
+  std::unique_ptr<sgx::Enclave> enclave;
+  store::AppConnection connection;
+  DedupRuntime rt;
+};
+
+class RuntimeTest : public ::testing::Test {
+ protected:
+  RuntimeTest() : platform_(fast_model()), store_(platform_) {}
+
+  sgx::Platform platform_;
+  store::ResultStore store_;
+};
+
+serialize::FunctionDescriptor desc(const std::string& sig = "bytes f(bytes)") {
+  return {"testlib", "1.0", sig};
+}
+
+TEST_F(RuntimeTest, MissComputesHitReuses) {
+  App app(platform_, store_, "app");
+  std::atomic<int> executions{0};
+  Deduplicable<Bytes(const Bytes&)> f(app.rt, desc(),
+                                      [&](const Bytes& in) {
+                                        ++executions;
+                                        Bytes out = in;
+                                        out.push_back(0xff);
+                                        return out;
+                                      });
+  const Bytes input = to_bytes("hello");
+  const Bytes r1 = f(input);
+  EXPECT_FALSE(f.last_was_deduplicated());
+  app.rt.flush();  // let the async PUT land
+
+  const Bytes r2 = f(input);
+  EXPECT_TRUE(f.last_was_deduplicated());
+  EXPECT_EQ(r1, r2);
+  EXPECT_EQ(executions.load(), 1) << "second call must not re-execute";
+
+  const auto s = app.rt.stats();
+  EXPECT_EQ(s.calls, 2u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.hits, 1u);
+}
+
+TEST_F(RuntimeTest, DifferentInputsAreDistinctComputations) {
+  App app(platform_, store_, "app");
+  std::atomic<int> executions{0};
+  Deduplicable<Bytes(const Bytes&)> f(app.rt, desc(), [&](const Bytes& in) {
+    ++executions;
+    return in;
+  });
+  f(to_bytes("a"));
+  app.rt.flush();
+  f(to_bytes("b"));
+  app.rt.flush();
+  EXPECT_EQ(executions.load(), 2);
+  f(to_bytes("a"));
+  f(to_bytes("b"));
+  EXPECT_EQ(executions.load(), 2) << "both now served from the store";
+}
+
+TEST_F(RuntimeTest, CrossApplicationDeduplication) {
+  // The headline feature (§III-C): app B reuses app A's result with no
+  // shared key, because both own the same library code and input.
+  App app_a(platform_, store_, "app-a");
+  App app_b(platform_, store_, "app-b");
+
+  std::atomic<int> exec_a{0}, exec_b{0};
+  auto impl = [](const Bytes& in) {
+    Bytes out = in;
+    out.push_back(0x42);
+    return out;
+  };
+  Deduplicable<Bytes(const Bytes&)> fa(app_a.rt, desc(), [&](const Bytes& in) {
+    ++exec_a;
+    return impl(in);
+  });
+  Deduplicable<Bytes(const Bytes&)> fb(app_b.rt, desc(), [&](const Bytes& in) {
+    ++exec_b;
+    return impl(in);
+  });
+
+  const Bytes input = to_bytes("shared workload");
+  const Bytes ra = fa(input);
+  app_a.rt.flush();
+  const Bytes rb = fb(input);
+
+  EXPECT_EQ(ra, rb);
+  EXPECT_EQ(exec_a.load(), 1);
+  EXPECT_EQ(exec_b.load(), 0) << "app B must reuse app A's result";
+  EXPECT_TRUE(fb.last_was_deduplicated());
+}
+
+TEST_F(RuntimeTest, DifferentLibraryCodeDoesNotDeduplicate) {
+  // Same descriptor *names*, different registered code: tags differ, so no
+  // (incorrect) sharing happens.
+  App app_a(platform_, store_, "app-a");
+  App app_b(platform_, store_, "app-b");
+  app_b.rt.libraries().register_library("testlib", "2.0",
+                                        as_bytes("different-code"));
+
+  std::atomic<int> exec_b{0};
+  Deduplicable<Bytes(const Bytes&)> fa(app_a.rt, desc(),
+                                       [](const Bytes& in) { return in; });
+  Deduplicable<Bytes(const Bytes&)> fb(
+      app_b.rt, {"testlib", "2.0", "bytes f(bytes)"}, [&](const Bytes& in) {
+        ++exec_b;
+        return in;
+      });
+
+  const Bytes input = to_bytes("same input");
+  fa(input);
+  app_a.rt.flush();
+  fb(input);
+  EXPECT_EQ(exec_b.load(), 1) << "different code must not share results";
+}
+
+TEST_F(RuntimeTest, UnownedLibraryRejectedAtWrapTime) {
+  App app(platform_, store_, "app");
+  EXPECT_THROW((Deduplicable<Bytes(const Bytes&)>(
+                   app.rt, {"not-registered", "1.0", "f"},
+                   [](const Bytes& in) { return in; })),
+               EnclaveError);
+}
+
+TEST_F(RuntimeTest, PoisonedEntryDegradesToRecompute) {
+  // A malicious application uploads garbage under the victim's tag before
+  // the victim ever computes. The victim's GCM check fails (Fig. 3 bot) and
+  // it recomputes locally — correctness is preserved.
+  App victim(platform_, store_, "victim");
+  Deduplicable<Bytes(const Bytes&)> f(victim.rt, desc(), [](const Bytes& in) {
+    return concat(in, as_bytes("!"));
+  });
+
+  // Forge the tag the victim will derive and poison the store.
+  const auto fn = victim.rt.resolve(desc());
+  serialize::Encoder enc;
+  serialize::Serde<Bytes>::encode(enc, to_bytes("input"));
+  const auto tag = mle::derive_tag(fn, enc.view());
+  serialize::PutRequest poison;
+  poison.tag = tag;
+  poison.requester.fill(0x66);
+  poison.entry.challenge = Bytes(32, 0xaa);
+  poison.entry.wrapped_key = Bytes(16, 0xbb);
+  poison.entry.result_ct = Bytes(64, 0xcc);
+  ASSERT_EQ(store_.put(poison).status, serialize::PutStatus::kStored);
+
+  const Bytes out = f(to_bytes("input"));
+  EXPECT_EQ(out, to_bytes("input!")) << "victim still gets the right answer";
+  EXPECT_FALSE(f.last_was_deduplicated());
+  EXPECT_EQ(victim.rt.stats().failed_recoveries, 1u);
+}
+
+TEST_F(RuntimeTest, SyncPutMode) {
+  RuntimeConfig cfg;
+  cfg.async_put = false;
+  App app(platform_, store_, "sync-app", cfg);
+  Deduplicable<Bytes(const Bytes&)> f(app.rt, desc(),
+                                      [](const Bytes& in) { return in; });
+  f(to_bytes("x"));
+  // No flush needed: the PUT completed synchronously.
+  EXPECT_EQ(store_.stats().stored, 1u);
+  f(to_bytes("x"));
+  EXPECT_TRUE(f.last_was_deduplicated());
+}
+
+TEST_F(RuntimeTest, AsyncPutsDrainOnDestruction) {
+  {
+    App app(platform_, store_, "drain-app");
+    Deduplicable<Bytes(const Bytes&)> f(app.rt, desc(),
+                                        [](const Bytes& in) { return in; });
+    for (int i = 0; i < 20; ++i) f(Bytes{static_cast<std::uint8_t>(i)});
+    // Destructor must deliver all 20 queued PUTs.
+  }
+  EXPECT_EQ(store_.stats().stored, 20u);
+}
+
+TEST_F(RuntimeTest, BasicSingleKeySchemeWorksWithSharedKey) {
+  RuntimeConfig cfg;
+  cfg.scheme = RuntimeConfig::Scheme::kBasicSingleKey;
+  cfg.system_key = Bytes(16, 0x77);
+  App app_a(platform_, store_, "basic-a", cfg);
+  App app_b(platform_, store_, "basic-b", cfg);
+
+  std::atomic<int> exec_b{0};
+  Deduplicable<Bytes(const Bytes&)> fa(app_a.rt, desc(),
+                                       [](const Bytes& in) { return in; });
+  Deduplicable<Bytes(const Bytes&)> fb(app_b.rt, desc(), [&](const Bytes& in) {
+    ++exec_b;
+    return in;
+  });
+  fa(to_bytes("w"));
+  app_a.rt.flush();
+  fb(to_bytes("w"));
+  EXPECT_EQ(exec_b.load(), 0);
+}
+
+TEST_F(RuntimeTest, BasicAndRceSchemesDoNotInteroperate) {
+  RuntimeConfig basic;
+  basic.scheme = RuntimeConfig::Scheme::kBasicSingleKey;
+  basic.system_key = Bytes(16, 0x77);
+  App app_basic(platform_, store_, "basic", basic);
+  App app_rce(platform_, store_, "rce");
+
+  std::atomic<int> exec_rce{0};
+  Deduplicable<Bytes(const Bytes&)> fb(app_basic.rt, desc(),
+                                       [](const Bytes& in) { return in; });
+  Deduplicable<Bytes(const Bytes&)> fr(app_rce.rt, desc(), [&](const Bytes& in) {
+    ++exec_rce;
+    return in;
+  });
+  fb(to_bytes("v"));
+  app_basic.rt.flush();
+  fr(to_bytes("v"));
+  EXPECT_EQ(exec_rce.load(), 1) << "RCE app cannot decrypt basic-scheme entry";
+  EXPECT_EQ(app_rce.rt.stats().failed_recoveries, 1u);
+}
+
+TEST_F(RuntimeTest, RichArgumentAndResultTypes) {
+  App app(platform_, store_, "typed-app");
+  using Histogram = std::map<std::string, std::uint32_t>;
+  std::atomic<int> executions{0};
+  Deduplicable<Histogram(const std::vector<std::string>&, const std::uint32_t&)>
+      count_words(app.rt, desc("map<str,u32> bow(vector<str>, u32)"),
+                  [&](const std::vector<std::string>& words,
+                      const std::uint32_t& min_len) {
+                    ++executions;
+                    Histogram h;
+                    for (const auto& w : words) {
+                      if (w.size() >= min_len) ++h[w];
+                    }
+                    return h;
+                  });
+
+  const std::vector<std::string> words = {"the", "enclave", "the", "cloud"};
+  const Histogram h1 = count_words(words, 2);
+  app.rt.flush();
+  const Histogram h2 = count_words(words, 2);
+  EXPECT_EQ(h1, h2);
+  EXPECT_EQ(executions.load(), 1);
+  EXPECT_EQ(h1.at("the"), 2u);
+
+  // Different min_len is a different computation (parameters are input).
+  count_words(words, 4);
+  EXPECT_EQ(executions.load(), 2);
+}
+
+TEST_F(RuntimeTest, TransitionAccountingPerCall) {
+  App app(platform_, store_, "count-app");
+  Deduplicable<Bytes(const Bytes&)> f(app.rt, desc(),
+                                      [](const Bytes& in) { return in; });
+  const auto ecalls_before = app.enclave->ecall_count();
+  const auto ocalls_before = app.enclave->ocall_count();
+  f(to_bytes("z"));
+  app.rt.flush();
+  // Miss path: 1 app ECALL (the routine) + 1 OCALL (GET) + 1 worker ECALL
+  // (PUT) + 1 OCALL inside it.
+  EXPECT_EQ(app.enclave->ecall_count(), ecalls_before + 2);
+  EXPECT_EQ(app.enclave->ocall_count(), ocalls_before + 2);
+
+  f(to_bytes("z"));
+  // Hit path adds 1 ECALL + 1 OCALL.
+  EXPECT_EQ(app.enclave->ecall_count(), ecalls_before + 3);
+  EXPECT_EQ(app.enclave->ocall_count(), ocalls_before + 3);
+}
+
+// Transparency property: for random inputs, the deduplicated function is
+// observationally identical to the plain function.
+class TransparencySweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TransparencySweep, DedupEqualsPlain) {
+  sgx::Platform platform(fast_model());
+  store::ResultStore store(platform);
+  App app(platform, store, "sweep-app");
+  auto plain = [](const Bytes& in) {
+    Bytes out;
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      out.push_back(static_cast<std::uint8_t>(in[i] ^ (i & 0xff)));
+    }
+    return out;
+  };
+  Deduplicable<Bytes(const Bytes&)> f(app.rt, desc(), plain);
+
+  Xoshiro256 rng(GetParam());
+  std::vector<Bytes> inputs;
+  for (int i = 0; i < 8; ++i) inputs.push_back(rng.bytes(rng.below(2000)));
+  // Two passes: second pass is all hits; outputs must match the oracle.
+  for (int pass = 0; pass < 2; ++pass) {
+    for (const auto& in : inputs) {
+      EXPECT_EQ(f(in), plain(in));
+    }
+    app.rt.flush();
+  }
+  EXPECT_GE(app.rt.stats().hits, inputs.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TransparencySweep,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace speed::runtime

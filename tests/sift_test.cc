@@ -1,0 +1,200 @@
+// Tests for the SIFT substrate: image primitives and feature-extraction
+// invariants (determinism, localization, descriptor well-formedness,
+// scale/shift behaviour).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/sift/sift.h"
+#include "workload/synthetic.h"
+
+namespace speed::sift {
+namespace {
+
+TEST(ImageTest, BasicAccessAndClamping) {
+  Image img(4, 3);
+  img.at(2, 1) = 0.5f;
+  EXPECT_EQ(img.at(2, 1), 0.5f);
+  EXPECT_EQ(img.at_clamped(-5, 1), img.at(0, 1));
+  EXPECT_EQ(img.at_clamped(100, 2), img.at(3, 2));
+  EXPECT_EQ(img.at_clamped(2, -1), img.at(2, 0));
+}
+
+TEST(ImageTest, GaussianBlurPreservesMeanAndSmooths) {
+  Image img(32, 32);
+  img.at(16, 16) = 1.0f;  // delta impulse
+  const Image blurred = gaussian_blur(img, 2.0);
+
+  double sum = 0, peak = 0;
+  for (const float p : blurred.pixels()) {
+    sum += p;
+    peak = std::max<double>(peak, p);
+  }
+  EXPECT_NEAR(sum, 1.0, 0.02) << "blur is (nearly) mass-preserving";
+  EXPECT_LT(peak, 0.1) << "impulse spreads out";
+  EXPECT_GT(blurred.at(16, 16), blurred.at(20, 16)) << "monotone falloff";
+}
+
+TEST(ImageTest, BlurWithZeroSigmaIsIdentity) {
+  const Image img = workload::synth_image(16, 16, 1);
+  EXPECT_EQ(gaussian_blur(img, 0.0), img);
+}
+
+TEST(ImageTest, DownsampleHalves) {
+  const Image img = workload::synth_image(33, 17, 2);
+  const Image down = downsample_by_2(img);
+  EXPECT_EQ(down.width(), 16);
+  EXPECT_EQ(down.height(), 8);
+  EXPECT_EQ(down.at(3, 2), img.at(6, 4));
+}
+
+TEST(ImageTest, FromGray8NormalizesAndValidates) {
+  const Bytes pixels = {0, 128, 255, 64, 32, 16};
+  const Image img = image_from_gray8(3, 2, pixels);
+  EXPECT_FLOAT_EQ(img.at(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(img.at(2, 0), 1.0f);
+  EXPECT_THROW(image_from_gray8(4, 2, pixels), Error);
+}
+
+TEST(ImageTest, SerdeRoundTrip) {
+  const Image img = workload::synth_image(24, 18, 3);
+  const Bytes data = serialize::serialize(img);
+  EXPECT_EQ(serialize::deserialize<Image>(data), img);
+}
+
+TEST(SiftTest, FindsKeypointsOnStructuredImage) {
+  const Image img = workload::synth_image(128, 128, 42);
+  const auto keypoints = extract_sift(img);
+  EXPECT_GE(keypoints.size(), 10u) << "structured image must yield features";
+  for (const Keypoint& kp : keypoints) {
+    EXPECT_GE(kp.x, 0.0f);
+    EXPECT_LT(kp.x, 128.0f);
+    EXPECT_GE(kp.y, 0.0f);
+    EXPECT_LT(kp.y, 128.0f);
+    EXPECT_GT(kp.sigma, 0.0f);
+    EXPECT_GE(kp.orientation, -3.1416f);
+    EXPECT_LT(kp.orientation, 3.1416f);
+  }
+}
+
+TEST(SiftTest, DeterministicAcrossRuns) {
+  const Image img = workload::synth_image(96, 96, 7);
+  const auto k1 = extract_sift(img);
+  const auto k2 = extract_sift(img);
+  EXPECT_EQ(k1, k2) << "dedup requires bitwise-deterministic extraction";
+}
+
+TEST(SiftTest, DescriptorsAreNormalizedAndNonTrivial) {
+  const Image img = workload::synth_image(128, 128, 9);
+  const auto keypoints = extract_sift(img);
+  ASSERT_FALSE(keypoints.empty());
+  for (const Keypoint& kp : keypoints) {
+    double norm2 = 0;
+    int nonzero = 0;
+    for (const std::uint8_t d : kp.descriptor) {
+      norm2 += (d / 512.0) * (d / 512.0);
+      nonzero += d != 0;
+    }
+    EXPECT_GT(nonzero, 4) << "descriptor must carry structure";
+    EXPECT_GT(norm2, 0.3) << "roughly unit norm after quantization";
+    EXPECT_LT(norm2, 2.0);
+  }
+}
+
+TEST(SiftTest, FlatImageYieldsNothing) {
+  Image flat(64, 64);
+  for (float& p : flat.pixels()) p = 0.5f;
+  EXPECT_TRUE(extract_sift(flat).empty());
+}
+
+TEST(SiftTest, TinyImageYieldsNothingGracefully) {
+  EXPECT_TRUE(extract_sift(Image(4, 4)).empty());
+  EXPECT_TRUE(extract_sift(Image(0, 0)).empty());
+}
+
+TEST(SiftTest, BlobIsLocalized) {
+  // A single bright blob: some keypoint should sit on it.
+  Image img(64, 64);
+  for (float& p : img.pixels()) p = 0.3f;
+  for (int y = 0; y < 64; ++y) {
+    for (int x = 0; x < 64; ++x) {
+      const double d2 = (x - 32.0) * (x - 32.0) + (y - 32.0) * (y - 32.0);
+      img.at(x, y) += static_cast<float>(0.6 * std::exp(-d2 / (2 * 4.0 * 4.0)));
+    }
+  }
+  const auto keypoints = extract_sift(img);
+  ASSERT_FALSE(keypoints.empty());
+  bool near_center = false;
+  for (const Keypoint& kp : keypoints) {
+    if (std::abs(kp.x - 32) < 4 && std::abs(kp.y - 32) < 4) near_center = true;
+  }
+  EXPECT_TRUE(near_center);
+}
+
+TEST(SiftTest, ShiftedImageShiftsKeypoints) {
+  // Translate content by 8 pixels; the keypoint cloud should translate too.
+  Image a(96, 96), b(96, 96);
+  for (float& p : a.pixels()) p = 0.3f;
+  for (float& p : b.pixels()) p = 0.3f;
+  auto add_blob = [](Image& img, double cx, double cy) {
+    for (int y = 0; y < img.height(); ++y) {
+      for (int x = 0; x < img.width(); ++x) {
+        const double d2 = (x - cx) * (x - cx) + (y - cy) * (y - cy);
+        img.at(x, y) += static_cast<float>(0.5 * std::exp(-d2 / (2 * 9.0)));
+      }
+    }
+  };
+  add_blob(a, 40, 40);
+  add_blob(b, 48, 48);
+  const auto ka = extract_sift(a);
+  const auto kb = extract_sift(b);
+  ASSERT_FALSE(ka.empty());
+  ASSERT_FALSE(kb.empty());
+  // Compare the strongest (first) keypoints' offsets.
+  EXPECT_NEAR(kb[0].x - ka[0].x, 8.0, 2.0);
+  EXPECT_NEAR(kb[0].y - ka[0].y, 8.0, 2.0);
+}
+
+TEST(SiftTest, MatchingDescriptorsAcrossNoise) {
+  // The same scene with tiny noise: nearest-descriptor matching should link
+  // keypoints at (almost) the same location.
+  const Image a = workload::synth_image(128, 128, 21);
+  Image b = a;
+  Xoshiro256 rng(99);
+  for (float& p : b.pixels()) {
+    p = std::clamp(p + static_cast<float>((rng.uniform() - 0.5) * 0.01), 0.0f, 1.0f);
+  }
+  const auto ka = extract_sift(a);
+  const auto kb = extract_sift(b);
+  ASSERT_GE(ka.size(), 5u);
+  ASSERT_GE(kb.size(), 5u);
+
+  int good = 0, checked = 0;
+  for (std::size_t i = 0; i < ka.size() && checked < 10; ++i) {
+    double best = 1e18;
+    std::size_t best_j = 0;
+    for (std::size_t j = 0; j < kb.size(); ++j) {
+      const double d = descriptor_distance(ka[i], kb[j]);
+      if (d < best) {
+        best = d;
+        best_j = j;
+      }
+    }
+    ++checked;
+    if (std::abs(ka[i].x - kb[best_j].x) < 3 &&
+        std::abs(ka[i].y - kb[best_j].y) < 3) {
+      ++good;
+    }
+  }
+  EXPECT_GE(good * 2, checked) << "most matches should be spatially correct";
+}
+
+TEST(SiftTest, KeypointSerdeRoundTrip) {
+  const Image img = workload::synth_image(64, 64, 5);
+  const auto keypoints = extract_sift(img);
+  const Bytes data = serialize::serialize(keypoints);
+  EXPECT_EQ(serialize::deserialize<std::vector<Keypoint>>(data), keypoints);
+}
+
+}  // namespace
+}  // namespace speed::sift

@@ -1,0 +1,386 @@
+// Tests for the encrypted ResultStore: GET/PUT semantics, blob integrity,
+// quota enforcement, LRU eviction, wire dispatch, secure sessions, master
+// sync, and sealed snapshots.
+#include <gtest/gtest.h>
+
+#include "crypto/drbg.h"
+#include "store/master_sync.h"
+#include "store/result_store.h"
+#include "store/store_session.h"
+
+namespace speed::store {
+namespace {
+
+using serialize::EntryPayload;
+using serialize::GetRequest;
+using serialize::GetResponse;
+using serialize::PutRequest;
+using serialize::PutResponse;
+using serialize::PutStatus;
+using serialize::SyncRequest;
+using serialize::Tag;
+
+sgx::CostModel fast_model() {
+  sgx::CostModel m;
+  m.ecall_ns = 0;
+  m.ocall_ns = 0;
+  m.epc_page_swap_ns = 0;
+  return m;
+}
+
+Tag make_tag(std::uint64_t n) {
+  Tag t{};
+  for (int i = 0; i < 8; ++i) t[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(n >> (8 * i));
+  return t;
+}
+
+serialize::AppId make_app(std::uint8_t fill) {
+  serialize::AppId a;
+  a.fill(fill);
+  return a;
+}
+
+EntryPayload make_entry(std::size_t ct_size = 64, std::uint8_t fill = 0x5a) {
+  EntryPayload e;
+  e.challenge = Bytes(32, fill);
+  e.wrapped_key = Bytes(16, fill);
+  e.result_ct = Bytes(ct_size, fill);
+  return e;
+}
+
+PutRequest make_put(std::uint64_t tag_n, std::size_t ct_size = 64,
+                    std::uint8_t app = 0x01) {
+  PutRequest put;
+  put.tag = make_tag(tag_n);
+  put.requester = make_app(app);
+  put.entry = make_entry(ct_size, static_cast<std::uint8_t>(tag_n));
+  return put;
+}
+
+class StoreTest : public ::testing::Test {
+ protected:
+  StoreTest() : platform_(fast_model()), store_(platform_) {}
+
+  sgx::Platform platform_;
+  ResultStore store_;
+};
+
+TEST_F(StoreTest, MissThenStoreThenHit) {
+  GetRequest get;
+  get.tag = make_tag(1);
+  EXPECT_FALSE(store_.get(get).found);
+
+  const PutRequest put = make_put(1);
+  EXPECT_EQ(store_.put(put).status, PutStatus::kStored);
+
+  const GetResponse hit = store_.get(get);
+  ASSERT_TRUE(hit.found);
+  EXPECT_EQ(hit.entry, put.entry);
+
+  const auto s = store_.stats();
+  EXPECT_EQ(s.get_requests, 2u);
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.entries, 1u);
+}
+
+TEST_F(StoreTest, DuplicatePutFirstWriteWins) {
+  const PutRequest first = make_put(7, 64);
+  PutRequest second = make_put(7, 64);
+  second.entry.result_ct = Bytes(64, 0x99);  // different payload, same tag
+  EXPECT_EQ(store_.put(first).status, PutStatus::kStored);
+  EXPECT_EQ(store_.put(second).status, PutStatus::kAlreadyPresent);
+
+  GetRequest get;
+  get.tag = make_tag(7);
+  const GetResponse hit = store_.get(get);
+  ASSERT_TRUE(hit.found);
+  EXPECT_EQ(hit.entry, first.entry) << "first write must win";
+}
+
+TEST_F(StoreTest, QuotaEnforcedPerApplication) {
+  StoreConfig cfg;
+  cfg.per_app_quota_bytes = 150;
+  ResultStore store(platform_, cfg);
+
+  EXPECT_EQ(store.put(make_put(1, 100, 0x01)).status, PutStatus::kStored);
+  EXPECT_EQ(store.put(make_put(2, 100, 0x01)).status, PutStatus::kQuotaExceeded)
+      << "app 0x01 exceeded its quota";
+  EXPECT_EQ(store.put(make_put(3, 100, 0x02)).status, PutStatus::kStored)
+      << "app 0x02 has its own quota";
+  EXPECT_EQ(store.stats().quota_rejections, 1u);
+}
+
+TEST_F(StoreTest, LruEvictionUnderCapacity) {
+  StoreConfig cfg;
+  cfg.max_ciphertext_bytes = 300;
+  ResultStore store(platform_, cfg);
+
+  ASSERT_EQ(store.put(make_put(1, 100)).status, PutStatus::kStored);
+  ASSERT_EQ(store.put(make_put(2, 100)).status, PutStatus::kStored);
+  ASSERT_EQ(store.put(make_put(3, 100)).status, PutStatus::kStored);
+
+  // Touch tag 1 so tag 2 becomes the LRU victim.
+  GetRequest get1;
+  get1.tag = make_tag(1);
+  ASSERT_TRUE(store.get(get1).found);
+
+  ASSERT_EQ(store.put(make_put(4, 100)).status, PutStatus::kStored);
+  EXPECT_EQ(store.stats().evictions, 1u);
+
+  GetRequest get2;
+  get2.tag = make_tag(2);
+  EXPECT_FALSE(store.get(get2).found) << "LRU entry evicted";
+  EXPECT_TRUE(store.get(get1).found) << "recently used entry survives";
+}
+
+TEST_F(StoreTest, LfuEvictionProtectsHotEntries) {
+  StoreConfig cfg;
+  cfg.max_ciphertext_bytes = 300;
+  cfg.eviction = StoreConfig::Eviction::kLfu;
+  ResultStore store(platform_, cfg);
+
+  ASSERT_EQ(store.put(make_put(1, 100)).status, PutStatus::kStored);
+  ASSERT_EQ(store.put(make_put(2, 100)).status, PutStatus::kStored);
+  ASSERT_EQ(store.put(make_put(3, 100)).status, PutStatus::kStored);
+
+  // Tag 1 is hot (3 hits); tag 2 was touched once *recently*, tag 3 never.
+  GetRequest get1;
+  get1.tag = make_tag(1);
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(store.get(get1).found);
+  GetRequest get2;
+  get2.tag = make_tag(2);
+  ASSERT_TRUE(store.get(get2).found);
+
+  // Under LRU tag 3 (oldest touch) would go; LFU also picks tag 3 here, but
+  // after touching 3 once and 2 never again, LFU must still protect 1.
+  GetRequest get3;
+  get3.tag = make_tag(3);
+  ASSERT_TRUE(store.get(get3).found);
+
+  ASSERT_EQ(store.put(make_put(4, 100)).status, PutStatus::kStored);
+  EXPECT_TRUE(store.get(get1).found) << "the frequent entry survives LFU";
+  // Exactly one of the cold entries was sacrificed.
+  const bool has2 = store.get(get2).found;
+  const bool has3 = store.get(get3).found;
+  EXPECT_TRUE(has2 ^ has3);
+}
+
+TEST_F(StoreTest, LfuScanResistance) {
+  StoreConfig cfg;
+  cfg.max_ciphertext_bytes = 1000;
+  cfg.eviction = StoreConfig::Eviction::kLfu;
+  ResultStore store(platform_, cfg);
+
+  // One hot entry with many hits.
+  ASSERT_EQ(store.put(make_put(100, 200)).status, PutStatus::kStored);
+  GetRequest hot;
+  hot.tag = make_tag(100);
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(store.get(hot).found);
+
+  // A long scan of one-shot entries churns the cache.
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    store.put(make_put(i, 200));
+  }
+  EXPECT_TRUE(store.get(hot).found)
+      << "LFU keeps the hot entry through a scan; LRU would have evicted it";
+}
+
+TEST_F(StoreTest, EvictionReleasesQuota) {
+  StoreConfig cfg;
+  cfg.max_ciphertext_bytes = 200;
+  cfg.per_app_quota_bytes = 1000;
+  ResultStore store(platform_, cfg);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(store.put(make_put(i, 100, 0x01)).status, PutStatus::kStored)
+        << "eviction must free the evicted entries' quota";
+  }
+  EXPECT_EQ(store.stats().entries, 2u);
+}
+
+TEST_F(StoreTest, OversizedPutRejected) {
+  StoreConfig cfg;
+  cfg.max_ciphertext_bytes = 100;
+  cfg.per_app_quota_bytes = 1u << 30;
+  ResultStore store(platform_, cfg);
+  EXPECT_EQ(store.put(make_put(1, 200)).status, PutStatus::kRejected);
+}
+
+TEST_F(StoreTest, MaxEntriesGuard) {
+  StoreConfig cfg;
+  cfg.max_entries = 2;
+  ResultStore store(platform_, cfg);
+  EXPECT_EQ(store.put(make_put(1)).status, PutStatus::kStored);
+  EXPECT_EQ(store.put(make_put(2)).status, PutStatus::kStored);
+  EXPECT_EQ(store.put(make_put(3)).status, PutStatus::kRejected);
+}
+
+TEST_F(StoreTest, WireDispatchRoundTrip) {
+  const PutRequest put = make_put(9);
+  const Bytes put_resp = store_.handle(serialize::encode_message(put));
+  EXPECT_EQ(std::get<PutResponse>(serialize::decode_message(put_resp)).status,
+            PutStatus::kStored);
+
+  GetRequest get;
+  get.tag = make_tag(9);
+  const Bytes get_resp = store_.handle(serialize::encode_message(get));
+  const auto decoded = std::get<GetResponse>(serialize::decode_message(get_resp));
+  ASSERT_TRUE(decoded.found);
+  EXPECT_EQ(decoded.entry, put.entry);
+}
+
+TEST_F(StoreTest, WireDispatchRejectsResponsesAsRequests) {
+  const Bytes msg = serialize::encode_message(GetResponse{});
+  EXPECT_THROW(store_.handle(msg), ProtocolError);
+  EXPECT_THROW(store_.handle(as_bytes("garbage")), SerializationError);
+}
+
+TEST_F(StoreTest, EcallChargedPerRequest) {
+  const auto before = store_.enclave().ecall_count();
+  store_.put(make_put(1));
+  GetRequest get;
+  get.tag = make_tag(1);
+  store_.get(get);
+  EXPECT_EQ(store_.enclave().ecall_count(), before + 2);
+}
+
+TEST_F(StoreTest, TrustedMemoryTracksDictionaryNotBlobs) {
+  const std::uint64_t before = platform_.epc().used_bytes();
+  // 1 MB ciphertext but tiny metadata: EPC growth must be metadata-sized.
+  ASSERT_EQ(store_.put(make_put(1, 1 << 20)).status, PutStatus::kStored);
+  const std::uint64_t growth = platform_.epc().used_bytes() - before;
+  EXPECT_LT(growth, 4096u) << "ciphertexts must live outside the enclave";
+  EXPECT_GT(growth, 0u) << "metadata must be charged";
+}
+
+// ------------------------------------------------------------ corruption
+
+TEST_F(StoreTest, HostTamperedBlobDegradesToMiss) {
+  // Simulate the host flipping bits in the untrusted arena: the store's
+  // trusted digest check must catch it and drop the entry.
+  ASSERT_EQ(store_.put(make_put(5, 128)).status, PutStatus::kStored);
+
+  // Reach into the untrusted arena the way a malicious OS would: re-PUT is
+  // not possible (first write wins), so corrupt via the snapshot... instead
+  // we model corruption by sealing, restoring into a fresh store, and then
+  // using the public API only. Direct corruption needs a test hook:
+  store_.corrupt_blob_for_testing(make_tag(5));
+
+  GetRequest get;
+  get.tag = make_tag(5);
+  EXPECT_FALSE(store_.get(get).found);
+  EXPECT_EQ(store_.stats().corrupt_blobs, 1u);
+  // The poisoned entry is gone; a fresh PUT re-populates it.
+  EXPECT_EQ(store_.put(make_put(5, 128)).status, PutStatus::kStored);
+}
+
+// ------------------------------------------------------------- sessions
+
+TEST_F(StoreTest, SecureSessionEndToEnd) {
+  auto app = platform_.create_enclave("client-app");
+  StoreSession session(store_, app->measurement());
+  net::SecureChannel client(
+      net::derive_channel_key(*app, store_.enclave().measurement()),
+      /*is_initiator=*/true);
+  auto transport = session.transport();
+
+  const PutRequest put = make_put(11);
+  Bytes frame = client.wrap(serialize::encode_message(put));
+  auto resp = client.unwrap(transport->round_trip(frame));
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(std::get<PutResponse>(serialize::decode_message(*resp)).status,
+            PutStatus::kStored);
+
+  GetRequest get;
+  get.tag = make_tag(11);
+  frame = client.wrap(serialize::encode_message(get));
+  resp = client.unwrap(transport->round_trip(frame));
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_TRUE(std::get<GetResponse>(serialize::decode_message(*resp)).found);
+}
+
+TEST_F(StoreTest, SecureSessionRejectsTamperedFrames) {
+  auto app = platform_.create_enclave("client-app");
+  StoreSession session(store_, app->measurement());
+  net::SecureChannel client(
+      net::derive_channel_key(*app, store_.enclave().measurement()), true);
+  Bytes frame = client.wrap(serialize::encode_message(make_put(1)));
+  frame[frame.size() - 1] ^= 1;
+  EXPECT_THROW(session.handle_frame(frame), ProtocolError);
+}
+
+// ------------------------------------------------------------ master sync
+
+TEST_F(StoreTest, MasterSyncReplicatesHottestEntries) {
+  ResultStore master(platform_);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    ASSERT_EQ(master.put(make_put(i)).status, PutStatus::kStored);
+  }
+  // Heat up tags 3 and 4.
+  for (int round = 0; round < 3; ++round) {
+    for (std::uint64_t i : {3u, 4u}) {
+      GetRequest get;
+      get.tag = make_tag(i);
+      ASSERT_TRUE(master.get(get).found);
+    }
+  }
+
+  ResultStore replica(platform_);
+  const std::size_t inserted = sync_replica_from_master(replica, master, 2);
+  EXPECT_EQ(inserted, 2u);
+  for (std::uint64_t i : {3u, 4u}) {
+    GetRequest get;
+    get.tag = make_tag(i);
+    EXPECT_TRUE(replica.get(get).found) << "hot entry " << i << " replicated";
+  }
+  GetRequest cold;
+  cold.tag = make_tag(0);
+  EXPECT_FALSE(replica.get(cold).found) << "cold entries not replicated";
+
+  // Re-sync is idempotent.
+  EXPECT_EQ(sync_replica_from_master(replica, master, 2), 0u);
+}
+
+TEST_F(StoreTest, MasterSyncIsQuotaExempt) {
+  StoreConfig tight;
+  tight.per_app_quota_bytes = 10;  // no app could PUT anything this size
+  ResultStore replica(platform_, tight);
+  ResultStore master(platform_);
+  ASSERT_EQ(master.put(make_put(1, 64)).status, PutStatus::kStored);
+  EXPECT_EQ(sync_replica_from_master(replica, master, 8), 1u);
+}
+
+// -------------------------------------------------------------- snapshots
+
+TEST_F(StoreTest, SealedSnapshotRestoresIntoSameIdentity) {
+  ASSERT_EQ(store_.put(make_put(21, 80)).status, PutStatus::kStored);
+  ASSERT_EQ(store_.put(make_put(22, 80)).status, PutStatus::kStored);
+  const Bytes snapshot = store_.seal_snapshot();
+
+  ResultStore revived(platform_);  // same measurement, same platform
+  ASSERT_TRUE(revived.restore_snapshot(snapshot));
+  for (std::uint64_t i : {21u, 22u}) {
+    GetRequest get;
+    get.tag = make_tag(i);
+    EXPECT_TRUE(revived.get(get).found);
+  }
+}
+
+TEST_F(StoreTest, SnapshotRejectedOnOtherPlatform) {
+  ASSERT_EQ(store_.put(make_put(31)).status, PutStatus::kStored);
+  const Bytes snapshot = store_.seal_snapshot();
+
+  sgx::Platform other_machine(fast_model());
+  ResultStore foreign(other_machine);
+  EXPECT_FALSE(foreign.restore_snapshot(snapshot));
+}
+
+TEST_F(StoreTest, TamperedSnapshotRejected) {
+  ASSERT_EQ(store_.put(make_put(41)).status, PutStatus::kStored);
+  Bytes snapshot = store_.seal_snapshot();
+  snapshot[snapshot.size() / 2] ^= 1;
+  ResultStore revived(platform_);
+  EXPECT_FALSE(revived.restore_snapshot(snapshot));
+}
+
+}  // namespace
+}  // namespace speed::store

@@ -1,0 +1,95 @@
+// Tests for the synthetic workload generators: determinism, plausibility
+// of the generated data, and the Zipf request streams.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "apps/deflate/deflate.h"
+#include "workload/synthetic.h"
+
+namespace speed::workload {
+namespace {
+
+TEST(WorkloadTest, ImagesAreDeterministicPerSeed) {
+  EXPECT_EQ(synth_image(64, 48, 7), synth_image(64, 48, 7));
+  EXPECT_NE(synth_image(64, 48, 7).pixels(), synth_image(64, 48, 8).pixels());
+}
+
+TEST(WorkloadTest, ImagesHaveContrast) {
+  const auto img = synth_image(96, 96, 3);
+  float lo = 1e9f, hi = -1e9f;
+  for (const float p : img.pixels()) {
+    lo = std::min(lo, p);
+    hi = std::max(hi, p);
+    ASSERT_GE(p, 0.0f);
+    ASSERT_LE(p, 1.0f);
+  }
+  EXPECT_GT(hi - lo, 0.3f) << "images need structure for SIFT";
+}
+
+TEST(WorkloadTest, TextIsCompressibleLikeProse) {
+  const std::string text = synth_text(100000, 5);
+  EXPECT_EQ(text.size(), 100000u);
+  const Bytes compressed = deflate::compress(as_bytes(text));
+  const double ratio = static_cast<double>(text.size()) / compressed.size();
+  EXPECT_GT(ratio, 2.5) << "prose-like text compresses ~3-4x";
+  EXPECT_LT(ratio, 20.0) << "but is not degenerate";
+}
+
+TEST(WorkloadTest, TextDeterministicPerSeed) {
+  EXPECT_EQ(synth_text(1000, 1), synth_text(1000, 1));
+  EXPECT_NE(synth_text(1000, 1), synth_text(1000, 2));
+}
+
+TEST(WorkloadTest, WebPagesHaveWords) {
+  const std::string page = synth_web_page(2000, 9);
+  EXPECT_GE(page.size(), 2000u);
+  EXPECT_NE(page.find("title:"), std::string::npos);
+}
+
+TEST(WorkloadTest, RulesetShapes) {
+  const auto rules = synth_ruleset(500, 21, 0.2);
+  ASSERT_EQ(rules.size(), 500u);
+  std::set<std::uint32_t> ids;
+  std::size_t with_pcre = 0;
+  for (const auto& r : rules) {
+    ids.insert(r.id);
+    EXPECT_FALSE(r.contents.empty());
+    for (const auto& c : r.contents) EXPECT_GE(c.size(), 6u);
+    with_pcre += r.pcre.has_value();
+  }
+  EXPECT_EQ(ids.size(), 500u) << "ids are unique";
+  EXPECT_GT(with_pcre, 50u);
+  EXPECT_LT(with_pcre, 200u);
+}
+
+TEST(WorkloadTest, PacketTraceShapes) {
+  const auto rules = synth_ruleset(20, 23);
+  const auto trace = synth_packet_trace(200, 300, rules, 0.25, 29);
+  ASSERT_EQ(trace.size(), 200u);
+  for (const auto& p : trace) {
+    EXPECT_GE(p.payload.size(), 100u);
+    EXPECT_TRUE(p.protocol == 6 || p.protocol == 17);
+  }
+}
+
+TEST(WorkloadTest, ZipfStreamIsSkewed) {
+  const auto stream = zipf_request_stream(100, 20000, 1.0, 31);
+  ASSERT_EQ(stream.size(), 20000u);
+  std::vector<std::size_t> counts(100, 0);
+  for (const auto i : stream) {
+    ASSERT_LT(i, 100u);
+    ++counts[i];
+  }
+  EXPECT_GT(counts[0], counts[50] + counts[51]) << "head is hot";
+  // Duplicate fraction is what makes dedup worthwhile: >90% of a skewed
+  // stream over 100 items of 20k requests are repeats.
+  const std::size_t distinct =
+      static_cast<std::size_t>(std::count_if(counts.begin(), counts.end(),
+                                             [](std::size_t c) { return c > 0; }));
+  EXPECT_GT(stream.size() - distinct, stream.size() * 9 / 10);
+}
+
+}  // namespace
+}  // namespace speed::workload

@@ -1,0 +1,125 @@
+// X25519 tests: RFC 7748 vectors, the iterated-ladder vector, and
+// Diffie-Hellman properties.
+#include <gtest/gtest.h>
+
+#include "crypto/drbg.h"
+#include "crypto/x25519.h"
+
+namespace speed::crypto {
+namespace {
+
+X25519Key key_from_hex(const std::string& hex) {
+  const Bytes b = hex_decode(hex);
+  X25519Key k{};
+  std::copy(b.begin(), b.end(), k.begin());
+  return k;
+}
+
+std::string key_hex(const X25519Key& k) {
+  return hex_encode(ByteView(k.data(), k.size()));
+}
+
+TEST(X25519Test, Rfc7748Vector1) {
+  const auto scalar = key_from_hex(
+      "a546e36bf0527c9d3b16154b82465edd62144c0ac1fc5a18506a2244ba449ac4");
+  const auto point = key_from_hex(
+      "e6db6867583030db3594c1a424b15f7c726624ec26b3353b10a903a6d0ab1c4c");
+  EXPECT_EQ(key_hex(x25519(scalar, point)),
+            "c3da55379de9c6908e94ea4df28d084f32eccf03491c71f754b4075577a28552");
+}
+
+TEST(X25519Test, Rfc7748Vector2) {
+  const auto scalar = key_from_hex(
+      "4b66e9d4d1b4673c5ad22691957d6af5c11b6421e0ea01d42ca4169e7918ba0d");
+  const auto point = key_from_hex(
+      "e5210f12786811d3f4b7959d0538ae2c31dbe7106fc03c3efc4cd549c715a493");
+  EXPECT_EQ(key_hex(x25519(scalar, point)),
+            "95cbde9476e8907d7aade45cb4b873f88b595a68799fa152e6f8f7647aac7957");
+}
+
+TEST(X25519Test, Rfc7748IteratedLadder) {
+  // RFC 7748 §5.2: k = u = 0900...; iterate k, u = x25519(k, u), k.
+  X25519Key k{};
+  k[0] = 9;
+  X25519Key u = k;
+  X25519Key next = x25519(k, u);
+  EXPECT_EQ(key_hex(next),
+            "422c8e7a6227d7bca1350b3e2bb7279f7897b87bb6854b783c60e80311ae3079")
+      << "after 1 iteration";
+  for (int i = 1; i < 1000; ++i) {
+    u = k;
+    k = next;
+    next = x25519(k, u);
+  }
+  EXPECT_EQ(key_hex(next),
+            "684cf59ba83309552800ef566f2f4d3c1c3887c49360e3875f2eb94d99532c51")
+      << "after 1000 iterations";
+}
+
+TEST(X25519Test, Rfc7748DiffieHellman) {
+  // RFC 7748 §6.1 full DH example.
+  const auto alice_priv = key_from_hex(
+      "77076d0a7318a57d3c16c17251b26645df4c2f87ebc0992ab177fba51db92c2a");
+  const auto bob_priv = key_from_hex(
+      "5dab087e624a8a4b79e17f8b83800ee66f3bb1292618b6fd1c2f8b27ff88e0eb");
+  const auto alice_pub = x25519_base(alice_priv);
+  const auto bob_pub = x25519_base(bob_priv);
+  EXPECT_EQ(key_hex(alice_pub),
+            "8520f0098930a754748b7ddcb43ef75a0dbf3a0d26381af4eba4a98eaa9b4e6a");
+  EXPECT_EQ(key_hex(bob_pub),
+            "de9edb7d7b7dc1b4d35b61c2ece435373f8343c85b78674dadfc7e146f882b4f");
+
+  X25519Key shared_a, shared_b;
+  ASSERT_TRUE(x25519_shared(alice_priv, bob_pub, shared_a));
+  ASSERT_TRUE(x25519_shared(bob_priv, alice_pub, shared_b));
+  EXPECT_EQ(shared_a, shared_b);
+  EXPECT_EQ(key_hex(shared_a),
+            "4a5d9d5ba4ce2de1728e3bf480350f25e07e21c947d19e3376f09b3c1e161742");
+}
+
+TEST(X25519Test, RandomPairsAgree) {
+  Drbg drbg(to_bytes("x25519-dh"));
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto a = x25519_generate(drbg);
+    const auto b = x25519_generate(drbg);
+    X25519Key sa, sb;
+    ASSERT_TRUE(x25519_shared(a.private_key, b.public_key, sa));
+    ASSERT_TRUE(x25519_shared(b.private_key, a.public_key, sb));
+    EXPECT_EQ(sa, sb);
+    EXPECT_NE(a.public_key, b.public_key);
+  }
+}
+
+TEST(X25519Test, LowOrderPointRejected) {
+  Drbg drbg(to_bytes("low-order"));
+  const auto pair = x25519_generate(drbg);
+  X25519Key zero_point{};  // u = 0 is a low-order point
+  X25519Key shared;
+  EXPECT_FALSE(x25519_shared(pair.private_key, zero_point, shared));
+}
+
+TEST(X25519Test, ClampingMakesBitsIrrelevant) {
+  Drbg drbg(to_bytes("clamp"));
+  X25519Key scalar;
+  drbg.fill(scalar);
+  X25519Key variant = scalar;
+  variant[0] |= 7;    // bits cleared by clamping
+  variant[31] |= 128;  // top bit cleared by clamping
+  EXPECT_EQ(x25519_base([&] {
+              X25519Key s = scalar;
+              s[0] &= 248;
+              s[31] &= 127;
+              s[31] |= 64;
+              return s;
+            }()),
+            x25519_base([&] {
+              X25519Key s = variant;
+              s[0] &= 248;
+              s[31] &= 127;
+              s[31] |= 64;
+              return s;
+            }()));
+}
+
+}  // namespace
+}  // namespace speed::crypto
