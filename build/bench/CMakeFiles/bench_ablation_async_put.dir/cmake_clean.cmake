@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_async_put.dir/bench_ablation_async_put.cc.o"
+  "CMakeFiles/bench_ablation_async_put.dir/bench_ablation_async_put.cc.o.d"
+  "bench_ablation_async_put"
+  "bench_ablation_async_put.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_async_put.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5a_sift.dir/bench_fig5a_sift.cc.o"
+  "CMakeFiles/bench_fig5a_sift.dir/bench_fig5a_sift.cc.o.d"
+  "bench_fig5a_sift"
+  "bench_fig5a_sift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5a_sift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

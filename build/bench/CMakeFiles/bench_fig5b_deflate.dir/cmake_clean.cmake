@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5b_deflate.dir/bench_fig5b_deflate.cc.o"
+  "CMakeFiles/bench_fig5b_deflate.dir/bench_fig5b_deflate.cc.o.d"
+  "bench_fig5b_deflate"
+  "bench_fig5b_deflate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5b_deflate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

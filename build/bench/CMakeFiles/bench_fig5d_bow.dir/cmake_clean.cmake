@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5d_bow.dir/bench_fig5d_bow.cc.o"
+  "CMakeFiles/bench_fig5d_bow.dir/bench_fig5d_bow.cc.o.d"
+  "bench_fig5d_bow"
+  "bench_fig5d_bow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5d_bow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

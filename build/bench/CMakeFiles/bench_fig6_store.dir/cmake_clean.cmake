@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_store.dir/bench_fig6_store.cc.o"
+  "CMakeFiles/bench_fig6_store.dir/bench_fig6_store.cc.o.d"
+  "bench_fig6_store"
+  "bench_fig6_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_macro_workflow.dir/bench_macro_workflow.cc.o"
+  "CMakeFiles/bench_macro_workflow.dir/bench_macro_workflow.cc.o.d"
+  "bench_macro_workflow"
+  "bench_macro_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_macro_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

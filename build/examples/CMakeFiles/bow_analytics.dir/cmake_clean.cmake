@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bow_analytics.dir/bow_analytics.cpp.o"
+  "CMakeFiles/bow_analytics.dir/bow_analytics.cpp.o.d"
+  "bow_analytics"
+  "bow_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bow_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

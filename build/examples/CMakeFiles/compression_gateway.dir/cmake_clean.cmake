@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compression_gateway.dir/compression_gateway.cpp.o"
+  "CMakeFiles/compression_gateway.dir/compression_gateway.cpp.o.d"
+  "compression_gateway"
+  "compression_gateway.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compression_gateway.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/image_feature_service.dir/image_feature_service.cpp.o"
+  "CMakeFiles/image_feature_service.dir/image_feature_service.cpp.o.d"
+  "image_feature_service"
+  "image_feature_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/image_feature_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

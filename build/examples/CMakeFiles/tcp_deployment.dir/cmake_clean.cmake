@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcp_deployment.dir/tcp_deployment.cpp.o"
+  "CMakeFiles/tcp_deployment.dir/tcp_deployment.cpp.o.d"
+  "tcp_deployment"
+  "tcp_deployment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcp_deployment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

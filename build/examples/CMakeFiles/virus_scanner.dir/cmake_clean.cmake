@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/virus_scanner.dir/virus_scanner.cpp.o"
+  "CMakeFiles/virus_scanner.dir/virus_scanner.cpp.o.d"
+  "virus_scanner"
+  "virus_scanner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/virus_scanner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

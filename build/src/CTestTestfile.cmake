@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("crypto")
+subdirs("sgx")
+subdirs("serialize")
+subdirs("net")
+subdirs("mle")
+subdirs("store")
+subdirs("runtime")
+subdirs("capi")
+subdirs("apps/deflate")
+subdirs("apps/sift")
+subdirs("apps/match")
+subdirs("apps/mapreduce")
+subdirs("workload")

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/deflate/checksum.cc" "src/apps/deflate/CMakeFiles/speed_deflate.dir/checksum.cc.o" "gcc" "src/apps/deflate/CMakeFiles/speed_deflate.dir/checksum.cc.o.d"
+  "/root/repo/src/apps/deflate/container.cc" "src/apps/deflate/CMakeFiles/speed_deflate.dir/container.cc.o" "gcc" "src/apps/deflate/CMakeFiles/speed_deflate.dir/container.cc.o.d"
+  "/root/repo/src/apps/deflate/deflate.cc" "src/apps/deflate/CMakeFiles/speed_deflate.dir/deflate.cc.o" "gcc" "src/apps/deflate/CMakeFiles/speed_deflate.dir/deflate.cc.o.d"
+  "/root/repo/src/apps/deflate/huffman.cc" "src/apps/deflate/CMakeFiles/speed_deflate.dir/huffman.cc.o" "gcc" "src/apps/deflate/CMakeFiles/speed_deflate.dir/huffman.cc.o.d"
+  "/root/repo/src/apps/deflate/lz77.cc" "src/apps/deflate/CMakeFiles/speed_deflate.dir/lz77.cc.o" "gcc" "src/apps/deflate/CMakeFiles/speed_deflate.dir/lz77.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/speed_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speed_deflate.dir/checksum.cc.o"
+  "CMakeFiles/speed_deflate.dir/checksum.cc.o.d"
+  "CMakeFiles/speed_deflate.dir/container.cc.o"
+  "CMakeFiles/speed_deflate.dir/container.cc.o.d"
+  "CMakeFiles/speed_deflate.dir/deflate.cc.o"
+  "CMakeFiles/speed_deflate.dir/deflate.cc.o.d"
+  "CMakeFiles/speed_deflate.dir/huffman.cc.o"
+  "CMakeFiles/speed_deflate.dir/huffman.cc.o.d"
+  "CMakeFiles/speed_deflate.dir/lz77.cc.o"
+  "CMakeFiles/speed_deflate.dir/lz77.cc.o.d"
+  "libspeed_deflate.a"
+  "libspeed_deflate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speed_deflate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speed_mapreduce.dir/bow.cc.o"
+  "CMakeFiles/speed_mapreduce.dir/bow.cc.o.d"
+  "libspeed_mapreduce.a"
+  "libspeed_mapreduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speed_mapreduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

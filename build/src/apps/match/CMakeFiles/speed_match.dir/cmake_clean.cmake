@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speed_match.dir/aho_corasick.cc.o"
+  "CMakeFiles/speed_match.dir/aho_corasick.cc.o.d"
+  "CMakeFiles/speed_match.dir/regex.cc.o"
+  "CMakeFiles/speed_match.dir/regex.cc.o.d"
+  "CMakeFiles/speed_match.dir/ruleset.cc.o"
+  "CMakeFiles/speed_match.dir/ruleset.cc.o.d"
+  "libspeed_match.a"
+  "libspeed_match.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speed_match.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speed_sift.dir/image.cc.o"
+  "CMakeFiles/speed_sift.dir/image.cc.o.d"
+  "CMakeFiles/speed_sift.dir/sift.cc.o"
+  "CMakeFiles/speed_sift.dir/sift.cc.o.d"
+  "libspeed_sift.a"
+  "libspeed_sift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speed_sift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speed_capi.dir/speed_c.cc.o"
+  "CMakeFiles/speed_capi.dir/speed_c.cc.o.d"
+  "libspeed_capi.a"
+  "libspeed_capi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speed_capi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

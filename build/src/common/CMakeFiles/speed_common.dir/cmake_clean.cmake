@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speed_common.dir/bytes.cc.o"
+  "CMakeFiles/speed_common.dir/bytes.cc.o.d"
+  "CMakeFiles/speed_common.dir/rng.cc.o"
+  "CMakeFiles/speed_common.dir/rng.cc.o.d"
+  "libspeed_common.a"
+  "libspeed_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speed_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

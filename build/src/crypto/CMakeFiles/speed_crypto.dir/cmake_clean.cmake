@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speed_crypto.dir/aes.cc.o"
+  "CMakeFiles/speed_crypto.dir/aes.cc.o.d"
+  "CMakeFiles/speed_crypto.dir/aesni.cc.o"
+  "CMakeFiles/speed_crypto.dir/aesni.cc.o.d"
+  "CMakeFiles/speed_crypto.dir/drbg.cc.o"
+  "CMakeFiles/speed_crypto.dir/drbg.cc.o.d"
+  "CMakeFiles/speed_crypto.dir/gcm.cc.o"
+  "CMakeFiles/speed_crypto.dir/gcm.cc.o.d"
+  "CMakeFiles/speed_crypto.dir/hmac.cc.o"
+  "CMakeFiles/speed_crypto.dir/hmac.cc.o.d"
+  "CMakeFiles/speed_crypto.dir/sha256.cc.o"
+  "CMakeFiles/speed_crypto.dir/sha256.cc.o.d"
+  "CMakeFiles/speed_crypto.dir/x25519.cc.o"
+  "CMakeFiles/speed_crypto.dir/x25519.cc.o.d"
+  "libspeed_crypto.a"
+  "libspeed_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speed_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

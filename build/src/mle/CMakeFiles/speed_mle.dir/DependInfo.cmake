@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mle/rce.cc" "src/mle/CMakeFiles/speed_mle.dir/rce.cc.o" "gcc" "src/mle/CMakeFiles/speed_mle.dir/rce.cc.o.d"
+  "/root/repo/src/mle/tag.cc" "src/mle/CMakeFiles/speed_mle.dir/tag.cc.o" "gcc" "src/mle/CMakeFiles/speed_mle.dir/tag.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/speed_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/speed_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/serialize/CMakeFiles/speed_serialize.dir/DependInfo.cmake"
+  "/root/repo/build/src/sgx/CMakeFiles/speed_sgx.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

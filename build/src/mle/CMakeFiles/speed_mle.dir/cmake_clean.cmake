@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speed_mle.dir/rce.cc.o"
+  "CMakeFiles/speed_mle.dir/rce.cc.o.d"
+  "CMakeFiles/speed_mle.dir/tag.cc.o"
+  "CMakeFiles/speed_mle.dir/tag.cc.o.d"
+  "libspeed_mle.a"
+  "libspeed_mle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speed_mle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/handshake.cc" "src/net/CMakeFiles/speed_net.dir/handshake.cc.o" "gcc" "src/net/CMakeFiles/speed_net.dir/handshake.cc.o.d"
+  "/root/repo/src/net/secure_channel.cc" "src/net/CMakeFiles/speed_net.dir/secure_channel.cc.o" "gcc" "src/net/CMakeFiles/speed_net.dir/secure_channel.cc.o.d"
+  "/root/repo/src/net/tcp.cc" "src/net/CMakeFiles/speed_net.dir/tcp.cc.o" "gcc" "src/net/CMakeFiles/speed_net.dir/tcp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/speed_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/speed_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sgx/CMakeFiles/speed_sgx.dir/DependInfo.cmake"
+  "/root/repo/build/src/serialize/CMakeFiles/speed_serialize.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speed_net.dir/handshake.cc.o"
+  "CMakeFiles/speed_net.dir/handshake.cc.o.d"
+  "CMakeFiles/speed_net.dir/secure_channel.cc.o"
+  "CMakeFiles/speed_net.dir/secure_channel.cc.o.d"
+  "CMakeFiles/speed_net.dir/tcp.cc.o"
+  "CMakeFiles/speed_net.dir/tcp.cc.o.d"
+  "libspeed_net.a"
+  "libspeed_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speed_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speed_runtime.dir/dedup_runtime.cc.o"
+  "CMakeFiles/speed_runtime.dir/dedup_runtime.cc.o.d"
+  "libspeed_runtime.a"
+  "libspeed_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speed_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speed_serialize.dir/wire.cc.o"
+  "CMakeFiles/speed_serialize.dir/wire.cc.o.d"
+  "libspeed_serialize.a"
+  "libspeed_serialize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speed_serialize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

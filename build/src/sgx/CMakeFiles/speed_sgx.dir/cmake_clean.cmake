@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speed_sgx.dir/enclave.cc.o"
+  "CMakeFiles/speed_sgx.dir/enclave.cc.o.d"
+  "libspeed_sgx.a"
+  "libspeed_sgx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speed_sgx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

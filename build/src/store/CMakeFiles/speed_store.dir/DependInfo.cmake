@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/store/access_control.cc" "src/store/CMakeFiles/speed_store.dir/access_control.cc.o" "gcc" "src/store/CMakeFiles/speed_store.dir/access_control.cc.o.d"
+  "/root/repo/src/store/result_store.cc" "src/store/CMakeFiles/speed_store.dir/result_store.cc.o" "gcc" "src/store/CMakeFiles/speed_store.dir/result_store.cc.o.d"
+  "/root/repo/src/store/tcp_server.cc" "src/store/CMakeFiles/speed_store.dir/tcp_server.cc.o" "gcc" "src/store/CMakeFiles/speed_store.dir/tcp_server.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/speed_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/speed_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/serialize/CMakeFiles/speed_serialize.dir/DependInfo.cmake"
+  "/root/repo/build/src/sgx/CMakeFiles/speed_sgx.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/speed_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

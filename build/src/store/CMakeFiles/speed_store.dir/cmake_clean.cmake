@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speed_store.dir/access_control.cc.o"
+  "CMakeFiles/speed_store.dir/access_control.cc.o.d"
+  "CMakeFiles/speed_store.dir/result_store.cc.o"
+  "CMakeFiles/speed_store.dir/result_store.cc.o.d"
+  "CMakeFiles/speed_store.dir/tcp_server.cc.o"
+  "CMakeFiles/speed_store.dir/tcp_server.cc.o.d"
+  "libspeed_store.a"
+  "libspeed_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speed_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speed_workload.dir/synthetic.cc.o"
+  "CMakeFiles/speed_workload.dir/synthetic.cc.o.d"
+  "libspeed_workload.a"
+  "libspeed_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speed_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

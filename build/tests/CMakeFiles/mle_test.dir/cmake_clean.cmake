@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mle_test.dir/mle_test.cc.o"
+  "CMakeFiles/mle_test.dir/mle_test.cc.o.d"
+  "mle_test"
+  "mle_test.pdb"
+  "mle_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/params_test.cc" "tests/CMakeFiles/params_test.dir/params_test.cc.o" "gcc" "tests/CMakeFiles/params_test.dir/params_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/sift/CMakeFiles/speed_sift.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/deflate/CMakeFiles/speed_deflate.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/mapreduce/CMakeFiles/speed_mapreduce.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/speed_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sgx/CMakeFiles/speed_sgx.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/match/CMakeFiles/speed_match.dir/DependInfo.cmake"
+  "/root/repo/build/src/serialize/CMakeFiles/speed_serialize.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/speed_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/speed_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
