@@ -236,12 +236,13 @@ bench/CMakeFiles/bench_fig5b_deflate.dir/bench_fig5b_deflate.cc.o: \
  /root/repo/src/serialize/wire.h /usr/include/c++/12/variant \
  /root/repo/src/sgx/measurement.h /root/repo/src/net/channel.h \
  /usr/include/c++/12/mutex /usr/include/c++/12/bits/unique_lock.h \
- /root/repo/src/net/handshake.h /root/repo/src/crypto/x25519.h \
- /root/repo/src/net/secure_channel.h /root/repo/src/sgx/enclave.h \
- /usr/include/c++/12/atomic /root/repo/src/sgx/cost_model.h \
- /root/repo/src/sgx/epc.h /root/repo/src/runtime/adaptive.h \
- /root/repo/src/runtime/deduplicable.h /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/net/fault.h /usr/include/c++/12/atomic \
+ /root/repo/src/net/tcp.h /root/repo/src/net/handshake.h \
+ /root/repo/src/crypto/x25519.h /root/repo/src/net/secure_channel.h \
+ /root/repo/src/sgx/enclave.h /root/repo/src/sgx/cost_model.h \
+ /root/repo/src/sgx/epc.h /root/repo/src/net/resilient.h \
+ /root/repo/src/runtime/adaptive.h /root/repo/src/runtime/deduplicable.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/runtime/dedup_runtime.h \
  /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
  /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \

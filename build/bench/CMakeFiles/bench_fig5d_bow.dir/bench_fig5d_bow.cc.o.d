@@ -246,12 +246,13 @@ bench/CMakeFiles/bench_fig5d_bow.dir/bench_fig5d_bow.cc.o: \
  /root/repo/src/serialize/function_descriptor.h \
  /root/repo/src/serialize/codec.h /root/repo/src/serialize/wire.h \
  /usr/include/c++/12/variant /root/repo/src/sgx/measurement.h \
- /root/repo/src/net/channel.h /root/repo/src/net/handshake.h \
+ /root/repo/src/net/channel.h /root/repo/src/net/fault.h \
+ /root/repo/src/net/tcp.h /root/repo/src/net/handshake.h \
  /root/repo/src/crypto/x25519.h /root/repo/src/net/secure_channel.h \
  /root/repo/src/sgx/enclave.h /root/repo/src/sgx/cost_model.h \
- /root/repo/src/sgx/epc.h /root/repo/src/runtime/adaptive.h \
- /root/repo/src/runtime/deduplicable.h /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/sgx/epc.h /root/repo/src/net/resilient.h \
+ /root/repo/src/runtime/adaptive.h /root/repo/src/runtime/deduplicable.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/runtime/dedup_runtime.h \
  /usr/include/c++/12/condition_variable /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \

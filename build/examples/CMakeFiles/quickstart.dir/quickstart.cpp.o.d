@@ -232,11 +232,13 @@ examples/CMakeFiles/quickstart.dir/quickstart.cpp.o: \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/mutex \
  /usr/include/c++/12/bits/unique_lock.h /root/repo/src/common/clock.h \
+ /root/repo/src/net/fault.h /root/repo/src/net/tcp.h \
  /root/repo/src/net/handshake.h /root/repo/src/crypto/x25519.h \
  /root/repo/src/net/secure_channel.h /root/repo/src/sgx/enclave.h \
  /root/repo/src/sgx/cost_model.h /root/repo/src/sgx/epc.h \
- /root/repo/src/runtime/adaptive.h /root/repo/src/runtime/deduplicable.h \
- /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/net/resilient.h /root/repo/src/runtime/adaptive.h \
+ /root/repo/src/runtime/deduplicable.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/runtime/dedup_runtime.h \
  /usr/include/c++/12/condition_variable /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \

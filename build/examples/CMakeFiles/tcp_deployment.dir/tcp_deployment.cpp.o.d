@@ -228,12 +228,14 @@ examples/CMakeFiles/tcp_deployment.dir/tcp_deployment.cpp.o: \
  /usr/include/c++/12/bits/unique_lock.h /root/repo/src/common/clock.h \
  /usr/include/c++/12/chrono /usr/include/c++/12/sstream \
  /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc /root/repo/src/net/handshake.h \
- /root/repo/src/crypto/x25519.h /root/repo/src/net/secure_channel.h \
- /root/repo/src/sgx/enclave.h /usr/include/c++/12/atomic \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/net/fault.h \
+ /usr/include/c++/12/atomic /root/repo/src/net/tcp.h \
+ /root/repo/src/net/handshake.h /root/repo/src/crypto/x25519.h \
+ /root/repo/src/net/secure_channel.h /root/repo/src/sgx/enclave.h \
  /root/repo/src/sgx/cost_model.h /root/repo/src/sgx/epc.h \
- /root/repo/src/runtime/adaptive.h /root/repo/src/runtime/deduplicable.h \
- /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/net/resilient.h /root/repo/src/runtime/adaptive.h \
+ /root/repo/src/runtime/deduplicable.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/runtime/dedup_runtime.h \
  /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
  /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
@@ -253,9 +255,8 @@ examples/CMakeFiles/tcp_deployment.dir/tcp_deployment.cpp.o: \
  /root/repo/src/store/result_store.h /usr/include/c++/12/list \
  /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
  /root/repo/src/store/master_sync.h /root/repo/src/store/store_session.h \
- /root/repo/src/store/tcp_server.h /root/repo/src/net/tcp.h \
- /root/repo/src/workload/synthetic.h /root/repo/src/apps/match/packet.h \
- /root/repo/src/apps/match/ruleset.h \
+ /root/repo/src/store/tcp_server.h /root/repo/src/workload/synthetic.h \
+ /root/repo/src/apps/match/packet.h /root/repo/src/apps/match/ruleset.h \
  /root/repo/src/apps/match/aho_corasick.h \
  /root/repo/src/apps/match/regex.h /root/repo/src/apps/sift/image.h \
  /root/repo/src/common/rng.h

@@ -232,11 +232,13 @@ examples/CMakeFiles/virus_scanner.dir/virus_scanner.cpp.o: \
  /usr/include/c++/12/bits/unique_lock.h /root/repo/src/common/clock.h \
  /usr/include/c++/12/chrono /usr/include/c++/12/sstream \
  /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc /root/repo/src/net/handshake.h \
- /root/repo/src/crypto/x25519.h /root/repo/src/net/secure_channel.h \
- /root/repo/src/sgx/enclave.h /usr/include/c++/12/atomic \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/net/fault.h \
+ /usr/include/c++/12/atomic /root/repo/src/net/tcp.h \
+ /root/repo/src/net/handshake.h /root/repo/src/crypto/x25519.h \
+ /root/repo/src/net/secure_channel.h /root/repo/src/sgx/enclave.h \
  /root/repo/src/sgx/cost_model.h /root/repo/src/sgx/epc.h \
- /root/repo/src/runtime/adaptive.h /root/repo/src/runtime/deduplicable.h \
+ /root/repo/src/net/resilient.h /root/repo/src/runtime/adaptive.h \
+ /root/repo/src/runtime/deduplicable.h \
  /root/repo/src/runtime/dedup_runtime.h \
  /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
  /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \

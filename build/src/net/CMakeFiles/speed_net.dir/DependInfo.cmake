@@ -9,6 +9,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/net/handshake.cc" "src/net/CMakeFiles/speed_net.dir/handshake.cc.o" "gcc" "src/net/CMakeFiles/speed_net.dir/handshake.cc.o.d"
+  "/root/repo/src/net/resilient.cc" "src/net/CMakeFiles/speed_net.dir/resilient.cc.o" "gcc" "src/net/CMakeFiles/speed_net.dir/resilient.cc.o.d"
   "/root/repo/src/net/secure_channel.cc" "src/net/CMakeFiles/speed_net.dir/secure_channel.cc.o" "gcc" "src/net/CMakeFiles/speed_net.dir/secure_channel.cc.o.d"
   "/root/repo/src/net/tcp.cc" "src/net/CMakeFiles/speed_net.dir/tcp.cc.o" "gcc" "src/net/CMakeFiles/speed_net.dir/tcp.cc.o.d"
   )

@@ -1,6 +1,8 @@
 file(REMOVE_RECURSE
   "CMakeFiles/speed_net.dir/handshake.cc.o"
   "CMakeFiles/speed_net.dir/handshake.cc.o.d"
+  "CMakeFiles/speed_net.dir/resilient.cc.o"
+  "CMakeFiles/speed_net.dir/resilient.cc.o.d"
   "CMakeFiles/speed_net.dir/secure_channel.cc.o"
   "CMakeFiles/speed_net.dir/secure_channel.cc.o.d"
   "CMakeFiles/speed_net.dir/tcp.cc.o"

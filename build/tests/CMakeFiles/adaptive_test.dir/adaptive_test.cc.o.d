@@ -318,8 +318,9 @@ tests/CMakeFiles/adaptive_test.dir/adaptive_test.cc.o: \
  /root/repo/src/sgx/enclave.h /root/repo/src/sgx/cost_model.h \
  /root/repo/src/sgx/epc.h /root/repo/src/sgx/trusted_library.h \
  /root/repo/src/serialize/serde.h /root/repo/src/runtime/speed.h \
+ /root/repo/src/net/fault.h /root/repo/src/net/tcp.h \
  /root/repo/src/net/handshake.h /root/repo/src/crypto/x25519.h \
- /root/repo/src/store/access_control.h \
+ /root/repo/src/net/resilient.h /root/repo/src/store/access_control.h \
  /root/repo/src/store/result_store.h /usr/include/c++/12/list \
  /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
  /root/repo/src/store/master_sync.h /root/repo/src/store/store_session.h

@@ -311,11 +311,12 @@ tests/CMakeFiles/concurrency_test.dir/concurrency_test.cc.o: \
  /root/repo/src/serialize/wire.h /root/repo/src/sgx/measurement.h \
  /root/repo/src/net/channel.h /usr/include/c++/12/mutex \
  /usr/include/c++/12/bits/unique_lock.h /root/repo/src/common/clock.h \
- /usr/include/c++/12/chrono /root/repo/src/net/handshake.h \
+ /usr/include/c++/12/chrono /root/repo/src/net/fault.h \
+ /root/repo/src/net/tcp.h /root/repo/src/net/handshake.h \
  /root/repo/src/crypto/x25519.h /root/repo/src/net/secure_channel.h \
  /root/repo/src/sgx/enclave.h /root/repo/src/sgx/cost_model.h \
- /root/repo/src/sgx/epc.h /root/repo/src/runtime/adaptive.h \
- /root/repo/src/runtime/deduplicable.h \
+ /root/repo/src/sgx/epc.h /root/repo/src/net/resilient.h \
+ /root/repo/src/runtime/adaptive.h /root/repo/src/runtime/deduplicable.h \
  /root/repo/src/runtime/dedup_runtime.h \
  /usr/include/c++/12/condition_variable /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \

@@ -305,7 +305,7 @@ tests/CMakeFiles/net_test.dir/net_test.cc.o: /root/repo/tests/net_test.cc \
  /usr/include/c++/12/bits/unique_lock.h /root/repo/src/common/bytes.h \
  /usr/include/c++/12/cstring /usr/include/c++/12/span \
  /root/repo/src/common/clock.h /usr/include/c++/12/chrono \
- /root/repo/src/net/secure_channel.h /root/repo/src/sgx/enclave.h \
- /root/repo/src/common/error.h /root/repo/src/crypto/drbg.h \
+ /root/repo/src/common/error.h /root/repo/src/net/secure_channel.h \
+ /root/repo/src/sgx/enclave.h /root/repo/src/crypto/drbg.h \
  /root/repo/src/sgx/cost_model.h /root/repo/src/sgx/epc.h \
  /root/repo/src/sgx/measurement.h /root/repo/src/crypto/sha256.h

@@ -28,3 +28,4 @@ include("/root/repo/build/tests/container_test[1]_include.cmake")
 include("/root/repo/build/tests/fuzz_test[1]_include.cmake")
 include("/root/repo/build/tests/concurrency_test[1]_include.cmake")
 include("/root/repo/build/tests/params_test[1]_include.cmake")
+include("/root/repo/build/tests/fault_injection_test[1]_include.cmake")

@@ -7,6 +7,12 @@
 // frames carrying the GET/PUT protocol. The dedup semantics are identical
 // to the in-process deployment.
 //
+// The clients connect through connect_tcp_app_resilient — the production
+// posture: round trips are deadline-bounded and a ResilientTransport
+// redials + re-attests on failure, so when the store goes down the
+// applications keep answering from local compute (fail-open) instead of
+// surfacing socket errors.
+//
 //   $ ./tcp_deployment
 #include <cstdio>
 
@@ -25,9 +31,9 @@ int main() {
 
   auto make_client = [&](const char* name) {
     auto enclave = platform.create_enclave(name);
-    auto conn = store::connect_tcp_app(*enclave,
-                                       result_store.enclave().measurement(),
-                                       "127.0.0.1", server.port());
+    auto conn = store::connect_tcp_app_resilient(
+        *enclave, result_store.enclave().measurement(), "127.0.0.1",
+        server.port(), net::ResilienceConfig{}, /*deadline_ms=*/2000);
     auto rt = std::make_unique<runtime::DedupRuntime>(
         *enclave, conn.session_key, std::move(conn.transport));
     rt->libraries().register_library(deflate::kLibraryFamily,
@@ -85,6 +91,15 @@ int main() {
               static_cast<unsigned long long>(stats.hits),
               static_cast<unsigned long long>(stats.put_requests),
               static_cast<unsigned long long>(server.connections_accepted()));
+
+  // Fail-open: kill the store and keep serving. The edge node's calls
+  // degrade to local compute — no exception ever reaches the application.
   server.stop();
+  std::printf("store stopped; edge keeps serving...\n");
+  const Bytes fresh = to_bytes(workload::synth_text(100 * 1024, 99));
+  const Bytes degraded = gzip_b(fresh);
+  std::printf("degraded gzip stream is valid: %s (%llu degraded calls)\n",
+              deflate::gzip_decompress(degraded) == fresh ? "yes" : "NO",
+              static_cast<unsigned long long>(rt_b->stats().degraded_calls));
   return 0;
 }

@@ -15,15 +15,38 @@
 
 #include "common/bytes.h"
 #include "common/clock.h"
+#include "common/error.h"
 
 namespace speed::net {
 
+/// The transport cannot currently reach the store: connection dead, circuit
+/// breaker open, or reconnection failed. The DedupRuntime treats this as a
+/// degrade-to-compute signal, never as an application error.
+class StoreUnavailableError : public Error {
+ public:
+  explicit StoreUnavailableError(const std::string& what) : Error(what) {}
+};
+
 class Transport {
  public:
+  /// Invoked with the fresh session key after a transport re-ran the
+  /// attested handshake, so the client can rebuild its SecureChannel.
+  using RekeyCallback = std::function<void(Bytes session_key)>;
+
   virtual ~Transport() = default;
 
   /// Send `request`, block until the peer's response arrives.
   virtual Bytes round_trip(ByteView request) = 0;
+
+  /// Called by a client whose secure channel over this transport has become
+  /// unusable (failed round trip, MAC failure, stale sequence numbers).
+  /// A recovering transport re-establishes the connection, re-runs the
+  /// attested handshake, reports the new key through the rekey callback, and
+  /// returns true. The default transport cannot recover.
+  virtual bool recover() { return false; }
+
+  /// Register the rekey callback (no-op for transports that never rekey).
+  virtual void set_rekey_callback(RekeyCallback) {}
 };
 
 /// In-process transport delivering requests to a handler function.

@@ -1,0 +1,139 @@
+#include "net/resilient.h"
+
+#include <thread>
+
+namespace speed::net {
+
+ResilientTransport::ResilientTransport(std::unique_ptr<Transport> initial,
+                                       ReconnectFn reconnect,
+                                       ResilienceConfig config)
+    : inner_(std::move(initial)),
+      reconnect_(std::move(reconnect)),
+      config_(config),
+      jitter_state_(config.jitter_seed | 1u) {
+  if (inner_ == nullptr) {
+    throw StoreUnavailableError("ResilientTransport: initial transport is null");
+  }
+}
+
+void ResilientTransport::set_rekey_callback(RekeyCallback cb) {
+  std::lock_guard<std::mutex> lock(mu_);
+  rekey_ = std::move(cb);
+}
+
+ResilientTransport::BreakerState ResilientTransport::breaker_state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_;
+}
+
+ResilientTransport::Stats ResilientTransport::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+Bytes ResilientTransport::round_trip(ByteView request) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!admit_locked()) {
+    ++stats_.short_circuits;
+    throw StoreUnavailableError("ResilientTransport: circuit breaker open");
+  }
+  if (!inner_healthy_) {
+    // The frame was wrapped for a connection that has since died; a fresh
+    // connection carries a fresh key, so this frame can never be delivered.
+    on_failure_locked();
+    throw StoreUnavailableError(
+        "ResilientTransport: connection dead, frame bound to stale channel");
+  }
+  try {
+    Bytes response = inner_->round_trip(request);
+    ++stats_.round_trips;
+    consecutive_failures_ = 0;
+    state_ = BreakerState::kClosed;
+    return response;
+  } catch (const Error& e) {
+    inner_healthy_ = false;
+    on_failure_locked();
+    throw StoreUnavailableError(std::string("ResilientTransport: ") + e.what());
+  }
+}
+
+bool ResilientTransport::recover() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!admit_locked()) {
+    ++stats_.short_circuits;
+    return false;
+  }
+  // The caller's channel is unusable even if the socket still looks alive
+  // (e.g. the store answered garbage): only a re-handshake restores service.
+  inner_healthy_ = false;
+  if (try_reconnect_locked()) return true;
+  on_failure_locked();
+  return false;
+}
+
+bool ResilientTransport::admit_locked() {
+  if (state_ != BreakerState::kOpen) return true;
+  const auto cooldown = std::chrono::milliseconds(config_.breaker_cooldown_ms);
+  if (std::chrono::steady_clock::now() - opened_at_ < cooldown) return false;
+  state_ = BreakerState::kHalfOpen;
+  return true;
+}
+
+bool ResilientTransport::try_reconnect_locked() {
+  if (!reconnect_) return false;
+  std::uint64_t delay_ms = config_.backoff_initial_ms;
+  for (int attempt = 0; attempt < config_.reconnect_attempts; ++attempt) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(jittered_locked(delay_ms)));
+      delay_ms = std::min(delay_ms * 2, config_.backoff_max_ms);
+    }
+    try {
+      Connection fresh = reconnect_();
+      if (fresh.transport == nullptr) {
+        ++stats_.reconnect_failures;
+        continue;
+      }
+      inner_ = std::move(fresh.transport);
+      inner_healthy_ = true;
+      consecutive_failures_ = 0;
+      state_ = BreakerState::kClosed;
+      ++stats_.reconnects;
+      if (rekey_ && !fresh.session_key.empty()) {
+        rekey_(std::move(fresh.session_key));
+      }
+      return true;
+    } catch (const Error&) {
+      ++stats_.reconnect_failures;
+    }
+  }
+  return false;
+}
+
+void ResilientTransport::on_failure_locked() {
+  ++stats_.failures;
+  ++consecutive_failures_;
+  const bool trip = state_ == BreakerState::kHalfOpen ||
+                    consecutive_failures_ >= config_.breaker_threshold;
+  if (trip) {
+    if (state_ != BreakerState::kOpen) ++stats_.breaker_opens;
+    state_ = BreakerState::kOpen;
+    opened_at_ = std::chrono::steady_clock::now();
+  }
+}
+
+std::uint64_t ResilientTransport::jittered_locked(std::uint64_t ms) {
+  // xorshift64: deterministic jitter, reproducible across runs.
+  jitter_state_ ^= jitter_state_ << 13;
+  jitter_state_ ^= jitter_state_ >> 7;
+  jitter_state_ ^= jitter_state_ << 17;
+  if (ms == 0 || config_.backoff_jitter <= 0.0) return ms;
+  const auto span = static_cast<std::uint64_t>(
+      static_cast<double>(ms) * config_.backoff_jitter);
+  if (span == 0) return ms;
+  // ms +/- span, never below zero.
+  const std::uint64_t offset = jitter_state_ % (2 * span + 1);
+  return ms - span + offset;
+}
+
+}  // namespace speed::net

@@ -1,0 +1,112 @@
+// Fault-tolerant Transport decorator: reconnect, backoff, circuit breaker.
+//
+// SPEED's dedup store is an accelerator, never a correctness dependency, so
+// the transport to it must fail fast and recover quietly instead of
+// propagating socket errors into application calls. ResilientTransport wraps
+// any Transport with the three standard resilience mechanisms:
+//
+//   * bounded reconnection with exponential backoff + deterministic jitter —
+//     the reconnect hook re-runs the attested handshake, so every recovered
+//     connection carries a *fresh* channel key (stale sequence numbers from
+//     the dead connection can never collide with the new channel);
+//   * a circuit breaker: after `breaker_threshold` consecutive failures the
+//     store is bypassed entirely (round_trip/recover fail immediately,
+//     letting the runtime go straight to local compute) until
+//     `breaker_cooldown_ms` elapses, when one half-open probe is admitted;
+//   * failure classification: all underlying errors surface as
+//     StoreUnavailableError, the single degrade-to-compute signal.
+//
+// Division of labor with DedupRuntime: the runtime wraps frames under its
+// SecureChannel key *before* they reach the transport, so a frame in flight
+// is bound to the connection that existed when it was wrapped. A failed
+// round trip therefore fails the *current* call (the runtime degrades to
+// local compute and poisons its channel); recovery happens on the *next*
+// call, when the runtime sees the poisoned channel and asks the transport to
+// recover() — which reconnects, re-handshakes, and stages the fresh session
+// key through the rekey callback.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+
+#include "common/bytes.h"
+#include "net/channel.h"
+
+namespace speed::net {
+
+struct ResilienceConfig {
+  /// Reconnect attempts per recovery before reporting failure.
+  int reconnect_attempts = 3;
+  /// Backoff between reconnect attempts: initial delay, doubled per attempt
+  /// up to the max, with +/- `backoff_jitter` fractional jitter.
+  std::uint64_t backoff_initial_ms = 2;
+  std::uint64_t backoff_max_ms = 100;
+  double backoff_jitter = 0.2;
+  /// Consecutive failed round trips / recoveries that open the breaker.
+  int breaker_threshold = 5;
+  /// How long an open breaker rejects immediately before half-opening.
+  std::uint64_t breaker_cooldown_ms = 250;
+  /// Seed for the deterministic jitter stream (reproducible tests).
+  std::uint64_t jitter_seed = 0x5eedu;
+};
+
+class ResilientTransport : public Transport {
+ public:
+  /// What a successful reconnect yields: a live transport and the fresh
+  /// session key from the re-run attested handshake.
+  struct Connection {
+    std::unique_ptr<Transport> transport;
+    Bytes session_key;
+  };
+  /// Re-establishes the connection (e.g. re-runs store::connect_tcp_app).
+  /// Throws or returns a null transport on failure.
+  using ReconnectFn = std::function<Connection()>;
+
+  ResilientTransport(std::unique_ptr<Transport> initial, ReconnectFn reconnect,
+                     ResilienceConfig config = ResilienceConfig{});
+
+  Bytes round_trip(ByteView request) override;
+  bool recover() override;
+  void set_rekey_callback(RekeyCallback cb) override;
+
+  enum class BreakerState { kClosed, kOpen, kHalfOpen };
+  BreakerState breaker_state() const;
+
+  struct Stats {
+    std::uint64_t round_trips = 0;        ///< successful round trips
+    std::uint64_t failures = 0;           ///< failed round trips + recoveries
+    std::uint64_t short_circuits = 0;     ///< rejected by an open breaker
+    std::uint64_t reconnects = 0;         ///< successful reconnections
+    std::uint64_t reconnect_failures = 0; ///< individual failed attempts
+    std::uint64_t breaker_opens = 0;
+  };
+  Stats stats() const;
+
+  const ResilienceConfig& config() const { return config_; }
+
+ private:
+  /// True if the breaker admits traffic now (may flip open -> half-open).
+  bool admit_locked();
+  /// One bounded reconnect cycle; on success swaps in the new transport,
+  /// stages the fresh key, closes the breaker.
+  bool try_reconnect_locked();
+  void on_failure_locked();
+  std::uint64_t jittered_locked(std::uint64_t ms);
+
+  mutable std::mutex mu_;
+  std::unique_ptr<Transport> inner_;
+  bool inner_healthy_ = true;
+  ReconnectFn reconnect_;
+  RekeyCallback rekey_;
+  ResilienceConfig config_;
+  int consecutive_failures_ = 0;
+  BreakerState state_ = BreakerState::kClosed;
+  std::chrono::steady_clock::time_point opened_at_{};
+  std::uint64_t jitter_state_;
+  Stats stats_;
+};
+
+}  // namespace speed::net

@@ -3,10 +3,12 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <optional>
 
@@ -16,8 +18,36 @@ namespace {
 
 constexpr std::size_t kMaxFrame = 256u * 1024 * 1024;
 
-void write_all(int fd, const std::uint8_t* data, std::size_t len) {
+using OptDeadline = std::optional<FramedSocket::TimePoint>;
+
+/// Poll `fd` for `events` until ready or `deadline` passes.
+void wait_ready(int fd, short events, const OptDeadline& deadline,
+                const char* op) {
+  for (;;) {
+    int timeout_ms = -1;
+    if (deadline.has_value()) {
+      const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+          *deadline - std::chrono::steady_clock::now());
+      // An expired deadline still gets one zero-timeout poll: data that is
+      // already buffered is delivered (this also makes a 0 ms timeout a
+      // clean non-blocking check).
+      timeout_ms = remaining.count() > 0 ? static_cast<int>(remaining.count()) : 0;
+    }
+    pollfd p{fd, events, 0};
+    const int r = ::poll(&p, 1, timeout_ms);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      throw TcpError(std::string("poll: ") + std::strerror(errno));
+    }
+    if (r == 0) throw TcpTimeout(std::string(op) + ": deadline exceeded");
+    return;  // readable/writable — or HUP/ERR, which the syscall will report
+  }
+}
+
+void write_all(int fd, const std::uint8_t* data, std::size_t len,
+               const OptDeadline& deadline) {
   while (len > 0) {
+    if (deadline.has_value()) wait_ready(fd, POLLOUT, deadline, "send");
     const ssize_t n = ::send(fd, data, len, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
@@ -29,9 +59,11 @@ void write_all(int fd, const std::uint8_t* data, std::size_t len) {
 }
 
 /// Returns bytes read; 0 only on immediate EOF.
-std::size_t read_all(int fd, std::uint8_t* data, std::size_t len) {
+std::size_t read_all(int fd, std::uint8_t* data, std::size_t len,
+                     const OptDeadline& deadline) {
   std::size_t got = 0;
   while (got < len) {
+    if (deadline.has_value()) wait_ready(fd, POLLIN, deadline, "recv");
     const ssize_t n = ::recv(fd, data + got, len - got, 0);
     if (n < 0) {
       if (errno == EINTR) continue;
@@ -44,6 +76,11 @@ std::size_t read_all(int fd, std::uint8_t* data, std::size_t len) {
     got += static_cast<std::size_t>(n);
   }
   return got;
+}
+
+OptDeadline deadline_from_ms(std::int64_t ms) {
+  if (ms < 0) return std::nullopt;
+  return std::chrono::steady_clock::now() + std::chrono::milliseconds(ms);
 }
 
 }  // namespace
@@ -62,23 +99,41 @@ void FramedSocket::shutdown() {
 }
 
 void FramedSocket::send_frame(ByteView payload) {
+  send_frame_impl(payload, deadline_from_ms(send_timeout_ms_));
+}
+
+void FramedSocket::send_frame(ByteView payload, TimePoint deadline) {
+  send_frame_impl(payload, deadline);
+}
+
+void FramedSocket::send_frame_impl(ByteView payload,
+                                   const std::optional<TimePoint>& deadline) {
   if (fd_ < 0) throw TcpError("send_frame: socket closed");
   std::uint8_t header[4];
   const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
   for (int i = 0; i < 4; ++i) header[i] = static_cast<std::uint8_t>(len >> (8 * i));
-  write_all(fd_, header, 4);
-  write_all(fd_, payload.data(), payload.size());
+  write_all(fd_, header, 4, deadline);
+  write_all(fd_, payload.data(), payload.size(), deadline);
 }
 
 std::optional<Bytes> FramedSocket::try_recv_frame() {
+  return try_recv_frame_impl(deadline_from_ms(recv_timeout_ms_));
+}
+
+std::optional<Bytes> FramedSocket::try_recv_frame(TimePoint deadline) {
+  return try_recv_frame_impl(deadline);
+}
+
+std::optional<Bytes> FramedSocket::try_recv_frame_impl(
+    const std::optional<TimePoint>& deadline) {
   if (fd_ < 0) throw TcpError("recv_frame: socket closed");
   std::uint8_t header[4];
-  if (read_all(fd_, header, 4) == 0) return std::nullopt;  // orderly EOF
+  if (read_all(fd_, header, 4, deadline) == 0) return std::nullopt;  // orderly EOF
   std::uint32_t len = 0;
   for (int i = 3; i >= 0; --i) len = (len << 8) | header[i];
   if (len > kMaxFrame) throw TcpError("recv_frame: oversized frame");
   Bytes payload(len);
-  if (len > 0 && read_all(fd_, payload.data(), len) == 0) {
+  if (len > 0 && read_all(fd_, payload.data(), len, deadline) == 0) {
     throw TcpError("recv_frame: connection closed mid-frame");
   }
   return payload;
@@ -86,6 +141,12 @@ std::optional<Bytes> FramedSocket::try_recv_frame() {
 
 Bytes FramedSocket::recv_frame() {
   auto frame = try_recv_frame();
+  if (!frame.has_value()) throw TcpError("recv_frame: connection closed");
+  return std::move(*frame);
+}
+
+Bytes FramedSocket::recv_frame(TimePoint deadline) {
+  auto frame = try_recv_frame(deadline);
   if (!frame.has_value()) throw TcpError("recv_frame: connection closed");
   return std::move(*frame);
 }
@@ -137,16 +198,19 @@ TcpListener::TcpListener(std::uint16_t port) : fd_(-1), port_(0) {
 TcpListener::~TcpListener() { close(); }
 
 void TcpListener::close() {
-  if (fd_ >= 0) {
-    ::shutdown(fd_, SHUT_RDWR);
-    ::close(fd_);
-    fd_ = -1;
+  // close() races with a blocked accept() by design: claim the fd exactly
+  // once, then shutdown() to kick the accepting thread out of the syscall.
+  const int fd = fd_.exchange(-1);
+  if (fd >= 0) {
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
   }
 }
 
 FramedSocket TcpListener::accept() {
-  if (fd_ < 0) throw TcpError("accept: listener closed");
-  const int fd = ::accept(fd_, nullptr, nullptr);
+  const int listen_fd = fd_.load();
+  if (listen_fd < 0) throw TcpError("accept: listener closed");
+  const int fd = ::accept(listen_fd, nullptr, nullptr);
   if (fd < 0) throw TcpError(std::string("accept: ") + std::strerror(errno));
   const int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));

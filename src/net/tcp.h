@@ -8,6 +8,8 @@
 // is identical to the in-process deployment.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -25,18 +27,40 @@ class TcpError : public Error {
   explicit TcpError(const std::string& what) : Error(what) {}
 };
 
+/// A send or receive deadline expired. After a timeout the byte stream is in
+/// an unknown state (a late response would misalign every following frame),
+/// so callers must treat the connection as dead and reconnect.
+class TcpTimeout : public TcpError {
+ public:
+  explicit TcpTimeout(const std::string& what) : TcpError(what) {}
+};
+
 /// A connected socket speaking u32-length-prefixed frames. Closes on
 /// destruction. Frames are capped at 256 MB to bound allocation.
+///
+/// Deadlines: every frame operation polls the fd before each syscall, so a
+/// peer that stops draining (send) or stops talking (recv) raises TcpTimeout
+/// instead of parking the thread forever. Timeouts apply per frame; -1
+/// blocks indefinitely (the historical behavior and the default).
 class FramedSocket {
  public:
+  using TimePoint = std::chrono::steady_clock::time_point;
+
   explicit FramedSocket(int fd) : fd_(fd) {}
   ~FramedSocket();
 
-  FramedSocket(FramedSocket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  FramedSocket(FramedSocket&& other) noexcept
+      : fd_(other.fd_),
+        send_timeout_ms_(other.send_timeout_ms_),
+        recv_timeout_ms_(other.recv_timeout_ms_) {
+    other.fd_ = -1;
+  }
   FramedSocket& operator=(FramedSocket&& other) noexcept {
     if (this != &other) {
       close();
       fd_ = other.fd_;
+      send_timeout_ms_ = other.send_timeout_ms_;
+      recv_timeout_ms_ = other.recv_timeout_ms_;
       other.fd_ = -1;
     }
     return *this;
@@ -44,11 +68,25 @@ class FramedSocket {
   FramedSocket(const FramedSocket&) = delete;
   FramedSocket& operator=(const FramedSocket&) = delete;
 
+  /// Per-frame timeouts in milliseconds; -1 = block forever.
+  void set_timeouts(std::int64_t send_ms, std::int64_t recv_ms) {
+    send_timeout_ms_ = send_ms;
+    recv_timeout_ms_ = recv_ms;
+  }
+  std::int64_t send_timeout_ms() const { return send_timeout_ms_; }
+  std::int64_t recv_timeout_ms() const { return recv_timeout_ms_; }
+
   void send_frame(ByteView payload);
   /// Blocks for one frame; throws TcpError on EOF or malformed length.
   Bytes recv_frame();
   /// Like recv_frame but returns nullopt on orderly EOF before any byte.
   std::optional<Bytes> try_recv_frame();
+
+  /// Deadline-bound variants sharing one absolute budget across the header
+  /// and payload (used by TcpTransport's per-round-trip deadline).
+  void send_frame(ByteView payload, TimePoint deadline);
+  Bytes recv_frame(TimePoint deadline);
+  std::optional<Bytes> try_recv_frame(TimePoint deadline);
 
   bool valid() const { return fd_ >= 0; }
   void close();
@@ -59,7 +97,14 @@ class FramedSocket {
   void shutdown();
 
  private:
+  void send_frame_impl(ByteView payload,
+                       const std::optional<TimePoint>& deadline);
+  std::optional<Bytes> try_recv_frame_impl(
+      const std::optional<TimePoint>& deadline);
+
   int fd_;
+  std::int64_t send_timeout_ms_ = -1;
+  std::int64_t recv_timeout_ms_ = -1;
 };
 
 /// Connect to host:port (IPv4 dotted or "localhost").
@@ -80,30 +125,50 @@ class TcpListener {
   /// Blocks for the next connection; throws TcpError once closed.
   FramedSocket accept();
 
-  /// Unblocks pending accept() calls.
+  /// Unblocks pending accept() calls. Safe to call from another thread
+  /// while accept() is blocked (the usual server-shutdown shape).
   void close();
 
  private:
-  int fd_;
+  std::atomic<int> fd_;
   std::uint16_t port_;
 };
 
 /// Transport over a framed TCP connection: one in-flight request at a time,
 /// like the prototype's synchronous OCALL-driven exchange.
+///
+/// `deadline_ms` bounds one whole round trip (request out + response in);
+/// -1 keeps the historical block-forever behavior. A round trip that blows
+/// its deadline throws TcpTimeout, and the connection must then be
+/// abandoned: the response may still arrive later and would misalign the
+/// frame stream (wrap in ResilientTransport to get reconnection).
 class TcpTransport : public Transport {
  public:
-  explicit TcpTransport(FramedSocket socket) : socket_(std::move(socket)) {}
+  explicit TcpTransport(FramedSocket socket, std::int64_t deadline_ms = -1)
+      : socket_(std::move(socket)), deadline_ms_(deadline_ms) {}
+
+  void set_deadline_ms(std::int64_t ms) {
+    std::lock_guard<std::mutex> lock(mu_);
+    deadline_ms_ = ms;
+  }
 
   Bytes round_trip(ByteView request) override {
     std::lock_guard<std::mutex> lock(mu_);
-    socket_.send_frame(request);
-    return socket_.recv_frame();
+    if (deadline_ms_ < 0) {
+      socket_.send_frame(request);
+      return socket_.recv_frame();
+    }
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(deadline_ms_);
+    socket_.send_frame(request, deadline);
+    return socket_.recv_frame(deadline);
   }
 
   FramedSocket& socket() { return socket_; }
 
  private:
   FramedSocket socket_;
+  std::int64_t deadline_ms_;
   std::mutex mu_;
 };
 

@@ -1,5 +1,7 @@
 #include "runtime/dedup_runtime.h"
 
+#include <chrono>
+
 #include "common/error.h"
 
 namespace speed::runtime {
@@ -32,6 +34,12 @@ DedupRuntime::DedupRuntime(sgx::Enclave& app_enclave, Bytes session_key,
   if (config_.scheme == RuntimeConfig::Scheme::kBasicSingleKey) {
     basic_cipher_.emplace(config_.system_key);
   }
+  // A recovering transport (net/resilient.h) re-runs the attested handshake
+  // after a reconnect; stage the fresh key for the next round trip.
+  transport_->set_rekey_callback([this](Bytes key) {
+    std::lock_guard<std::mutex> lock(rekey_mu_);
+    pending_rekey_ = std::move(key);
+  });
   if (config_.async_put) {
     put_thread_ = std::thread([this] { put_worker(); });
   }
@@ -58,15 +66,46 @@ mle::FunctionIdentity DedupRuntime::resolve(
   return mle::FunctionIdentity{desc, *measurement};
 }
 
+void DedupRuntime::install_rekey_locked() {
+  std::lock_guard<std::mutex> lock(rekey_mu_);
+  if (!pending_rekey_.has_value()) return;
+  channel_ = net::SecureChannel(std::move(*pending_rekey_), /*is_initiator=*/true);
+  pending_rekey_.reset();
+  channel_poisoned_ = false;
+}
+
 Message DedupRuntime::secure_round_trip(const Message& request) {
   std::lock_guard<std::mutex> lock(channel_mu_);
+  install_rekey_locked();
+  if (channel_poisoned_) {
+    // The old key must never wrap another frame. Ask the transport for a
+    // fresh connection + key (ResilientTransport re-runs the handshake and
+    // stages the key through the rekey callback; plain transports cannot).
+    enclave_.ocall([&] { return transport_->recover(); });
+    install_rekey_locked();
+    if (channel_poisoned_) {
+      throw net::StoreUnavailableError(
+          "DedupRuntime: secure channel poisoned and transport cannot rekey");
+    }
+  }
   // Wrap inside the enclave, cross to the host to hit the transport (the
   // prototype's customized OCALL carrying the request), unwrap back inside.
   const Bytes frame = channel_.wrap(serialize::encode_message(request));
-  const Bytes response_frame =
-      enclave_.ocall([&] { return transport_->round_trip(frame); });
+  Bytes response_frame;
+  try {
+    response_frame =
+        enclave_.ocall([&] { return transport_->round_trip(frame); });
+  } catch (...) {
+    // Request possibly consumed, response never seen: sequence numbers are
+    // out of sync with the store's session for good.
+    channel_poisoned_ = true;
+    throw;
+  }
   const auto plain = channel_.unwrap(response_frame);
   if (!plain.has_value()) {
+    // Tampered/garbled response (or a response under a stale server
+    // session). Either way the channel state is no longer trustworthy.
+    channel_poisoned_ = true;
     throw ProtocolError("DedupRuntime: store response failed channel check");
   }
   return serialize::decode_message(*plain);
@@ -86,10 +125,36 @@ DedupRuntime::Outcome DedupRuntime::execute(
     GetRequest get;
     get.tag = tag;
     get.requester = enclave_.measurement();
-    const Message response = secure_round_trip(get);
-    const auto* get_resp = std::get_if<GetResponse>(&response);
+
+    // Fail-open: the store is an accelerator, not a dependency. Any
+    // transport/channel/protocol failure on the GET path degrades this call
+    // to a local compute; the breaker/reconnect machinery (if present)
+    // restores service for later calls.
+    Message response;
+    const GetResponse* get_resp = nullptr;
+    if (config_.fail_open) {
+      try {
+        response = secure_round_trip(get);
+        get_resp = std::get_if<GetResponse>(&response);
+      } catch (const Error&) {
+        get_resp = nullptr;
+      }
+    } else {
+      response = secure_round_trip(get);
+      get_resp = std::get_if<GetResponse>(&response);
+      if (get_resp == nullptr) {
+        throw ProtocolError("DedupRuntime: expected GET_RESPONSE");
+      }
+    }
     if (get_resp == nullptr) {
-      throw ProtocolError("DedupRuntime: expected GET_RESPONSE");
+      // Store unreachable or talking nonsense: compute locally and skip the
+      // PUT (we cannot know whether the entry exists, and the connection is
+      // being re-established anyway).
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.degraded_calls;
+      }
+      return Outcome{compute(), false};
     }
 
     if (get_resp->found) {
@@ -137,11 +202,30 @@ DedupRuntime::Outcome DedupRuntime::execute(
 
 void DedupRuntime::enqueue_put(PutRequest put) {
   if (config_.async_put) {
+    bool dropped = false;
     {
       std::lock_guard<std::mutex> lock(queue_mu_);
+      if (config_.put_queue_capacity > 0 &&
+          put_queue_.size() >= config_.put_queue_capacity) {
+        // Drop-oldest: newer results are likelier to be re-requested soon,
+        // and a dead store must not grow this queue without bound.
+        put_queue_.pop_front();
+        dropped = true;
+      }
       put_queue_.push_back(std::move(put));
     }
+    if (dropped) {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.puts_dropped;
+    }
     queue_cv_.notify_one();
+  } else if (config_.fail_open) {
+    try {
+      send_put(put);
+    } catch (const Error&) {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.puts_rejected;
+    }
   } else {
     send_put(put);
   }
@@ -192,11 +276,18 @@ void DedupRuntime::put_worker() {
   }
 }
 
-void DedupRuntime::flush() {
-  if (!config_.async_put) return;
+bool DedupRuntime::flush(std::int64_t timeout_ms) {
+  if (!config_.async_put) return true;
   std::unique_lock<std::mutex> lock(queue_mu_);
-  drained_cv_.wait(lock,
-                   [this] { return put_queue_.empty() && puts_in_flight_ == 0; });
+  const auto drained = [this] {
+    return put_queue_.empty() && puts_in_flight_ == 0;
+  };
+  if (timeout_ms < 0) {
+    drained_cv_.wait(lock, drained);
+    return true;
+  }
+  return drained_cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                              drained);
 }
 
 DedupRuntime::Stats DedupRuntime::stats() const {

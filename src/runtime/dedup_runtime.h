@@ -16,6 +16,17 @@
 // Failed recoveries — a poisoned or foreign entry that does not authenticate
 // — degrade to a local recompute (the ⊥ branch of Fig. 3), preserving
 // correctness against a malicious store at the cost of the speedup.
+//
+// The same fail-open posture extends to the transport: with
+// `RuntimeConfig::fail_open` (the default), a crashed store, dropped
+// connection, timeout, or malformed frame on the GET path degrades the call
+// to `compute()` (counted in `Stats::degraded_calls`) instead of throwing
+// into the application. A failed round trip poisons the SecureChannel —
+// its sequence numbers are in an unknown state and are never reused — and
+// the runtime asks the transport to recover() on the next call, installing
+// the fresh session key a ResilientTransport reports after re-running the
+// attested handshake (see net/resilient.h, docs/PROTOCOL.md §"Failure
+// semantics").
 #pragma once
 
 #include <condition_variable>
@@ -41,6 +52,18 @@ struct RuntimeConfig {
   /// Ship PUTs from a background thread (§V-B: "the remaining PUT operations
   /// can be processed in a separated thread for better efficiency").
   bool async_put = true;
+
+  /// Upper bound on queued asynchronous PUTs. When the store falls behind
+  /// (or dies), the oldest queued PUT is dropped — counted in
+  /// `Stats::puts_dropped` — so a dead store cannot grow memory without
+  /// bound. PUTs are an optimization (the result is already computed), so
+  /// dropping them costs only future dedup opportunities. 0 = unbounded.
+  std::size_t put_queue_capacity = 1024;
+
+  /// Fail-open mode: store/transport/channel failures on the GET path
+  /// degrade to local compute instead of throwing into the application.
+  /// Disable only in tests that assert on raw failure propagation.
+  bool fail_open = true;
 
   /// Result-encryption scheme. kRce is the paper's cross-application design
   /// (§III-C); kBasicSingleKey is the §III-B strawman and requires
@@ -89,16 +112,20 @@ class DedupRuntime {
   Outcome execute(const mle::FunctionIdentity& fn, ByteView input,
                   const std::function<Bytes()>& compute);
 
-  /// Block until all queued asynchronous PUTs are delivered.
-  void flush();
+  /// Block until all queued asynchronous PUTs are delivered (or failed).
+  /// `timeout_ms` bounds the wait so shutdown cannot hang on a dead store;
+  /// -1 waits forever. Returns true iff the queue fully drained.
+  bool flush(std::int64_t timeout_ms = -1);
 
   struct Stats {
     std::uint64_t calls = 0;
     std::uint64_t hits = 0;             ///< results served from the store
     std::uint64_t misses = 0;           ///< store had no entry
     std::uint64_t failed_recoveries = 0;///< entry present but not decryptable
+    std::uint64_t degraded_calls = 0;   ///< store unreachable; served locally
     std::uint64_t puts_sent = 0;
     std::uint64_t puts_rejected = 0;
+    std::uint64_t puts_dropped = 0;     ///< evicted from a full PUT queue
   };
   Stats stats() const;
 
@@ -107,8 +134,14 @@ class DedupRuntime {
  private:
   /// One request/response over the secure channel. Must be called from
   /// inside the enclave; takes the channel lock to keep sequence numbers
-  /// aligned with delivery order.
+  /// aligned with delivery order. If the channel is poisoned, first asks
+  /// the transport to recover() and installs any staged fresh key; throws
+  /// StoreUnavailableError when the store cannot be reached.
   serialize::Message secure_round_trip(const serialize::Message& request);
+
+  /// Swap in a SecureChannel under a freshly negotiated key, if the
+  /// transport staged one. Caller holds channel_mu_.
+  void install_rekey_locked();
 
   void enqueue_put(serialize::PutRequest put);
   void put_worker();
@@ -122,6 +155,15 @@ class DedupRuntime {
 
   std::mutex channel_mu_;
   net::SecureChannel channel_;
+  /// A failed round trip leaves the channel's sequence numbers in an
+  /// unknown state; the key must never wrap another frame (guarded by
+  /// channel_mu_).
+  bool channel_poisoned_ = false;
+  /// Fresh session key staged by the transport's rekey callback, installed
+  /// at the next secure_round_trip (own lock: the callback runs while
+  /// channel_mu_ is already held by this thread).
+  std::mutex rekey_mu_;
+  std::optional<Bytes> pending_rekey_;
 
   mutable std::mutex stats_mu_;
   Stats stats_;

@@ -18,7 +18,9 @@
 #include "mle/rce.h"
 #include "mle/tag.h"
 #include "net/channel.h"
+#include "net/fault.h"
 #include "net/handshake.h"
+#include "net/resilient.h"
 #include "net/secure_channel.h"
 #include "runtime/adaptive.h"
 #include "runtime/dedup_runtime.h"

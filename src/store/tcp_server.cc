@@ -1,5 +1,9 @@
 #include "store/tcp_server.h"
 
+#include <chrono>
+#include <optional>
+#include <thread>
+
 namespace speed::store {
 
 StoreTcpServer::StoreTcpServer(ResultStore& store, std::uint16_t port)
@@ -32,7 +36,11 @@ void StoreTcpServer::accept_loop() {
     try {
       socket = std::make_shared<net::FramedSocket>(listener_.accept());
     } catch (const net::TcpError&) {
-      break;  // listener closed
+      if (stopping_.load()) break;  // listener closed by stop()
+      // Transient accept failure (e.g. fd pressure): keep serving. Back off
+      // briefly so a persistent failure cannot spin the loop hot.
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      continue;
     }
     std::lock_guard<std::mutex> lock(workers_mu_);
     if (stopping_.load()) {
@@ -58,23 +66,32 @@ void StoreTcpServer::serve_connection(
     net::FramedSocket* s;
     ~Hangup() { s->shutdown(); }
   } hangup{socket.get()};
+
+  // Step 1-2: attested handshake.
+  std::optional<StoreSession> session;
   try {
-    // Step 1-2: attested handshake.
     const Bytes hello_wire = socket->recv_frame();
     const net::HandshakeMessage client_hello =
         net::decode_handshake(hello_wire);
-    StoreSession session(store_, client_hello);  // throws on bad attestation
-    socket->send_frame(net::encode_handshake(session.server_hello()));
+    session.emplace(store_, client_hello);  // throws on bad attestation
+    socket->send_frame(net::encode_handshake(session->server_hello()));
     ++accepted_;
+  } catch (const Error&) {
+    ++rejected_;  // bad attestation or malformed hello
+    return;
+  }
 
-    // Step 3: request/response frames until the peer hangs up.
+  // Step 3: request/response frames until the peer hangs up. A client that
+  // dies mid-frame (or violates the channel) costs exactly this session —
+  // never the accept loop or any other connection.
+  try {
     while (!stopping_.load()) {
       auto frame = socket->try_recv_frame();
       if (!frame.has_value()) break;  // orderly disconnect or shutdown()
-      socket->send_frame(session.handle_frame(*frame));
+      socket->send_frame(session->handle_frame(*frame));
     }
   } catch (const Error&) {
-    ++rejected_;  // bad attestation, tampered frame, or protocol violation
+    ++session_errors_;  // half-closed peer, truncated frame, tamper/replay
   }
 }
 
@@ -95,6 +112,32 @@ TcpAppConnection connect_tcp_app(sgx::Enclave& app,
   TcpAppConnection conn;
   conn.session_key = std::move(*key);
   conn.transport = std::make_unique<net::TcpTransport>(std::move(socket));
+  return conn;
+}
+
+TcpAppConnection connect_tcp_app_resilient(
+    sgx::Enclave& app, const sgx::Measurement& store_measurement,
+    const std::string& host, std::uint16_t port,
+    net::ResilienceConfig resilience, std::int64_t deadline_ms) {
+  const auto dial = [&app, store_measurement, host, port, deadline_ms] {
+    TcpAppConnection fresh = connect_tcp_app(app, store_measurement, host, port);
+    if (deadline_ms >= 0) {
+      static_cast<net::TcpTransport*>(fresh.transport.get())
+          ->set_deadline_ms(deadline_ms);
+    }
+    return fresh;
+  };
+
+  TcpAppConnection initial = dial();
+  TcpAppConnection conn;
+  conn.session_key = std::move(initial.session_key);
+  conn.transport = std::make_unique<net::ResilientTransport>(
+      std::move(initial.transport),
+      [dial]() -> net::ResilientTransport::Connection {
+        TcpAppConnection fresh = dial();
+        return {std::move(fresh.transport), std::move(fresh.session_key)};
+      },
+      resilience);
   return conn;
 }
 

@@ -18,6 +18,7 @@
 #include <thread>
 #include <vector>
 
+#include "net/resilient.h"
 #include "net/tcp.h"
 #include "store/store_session.h"
 
@@ -39,6 +40,10 @@ class StoreTcpServer {
 
   std::uint64_t connections_accepted() const { return accepted_.load(); }
   std::uint64_t connections_rejected() const { return rejected_.load(); }
+  /// Sessions that died after a successful handshake: client gone mid-frame,
+  /// channel violation, or a send to a half-closed peer. Each costs only its
+  /// own connection; the accept loop and other sessions are unaffected.
+  std::uint64_t session_errors() const { return session_errors_.load(); }
 
  private:
   void accept_loop();
@@ -49,6 +54,7 @@ class StoreTcpServer {
   std::atomic<bool> stopping_{false};
   std::atomic<std::uint64_t> accepted_{0};
   std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> session_errors_{0};
   std::thread accept_thread_;
   std::mutex workers_mu_;
   std::vector<std::thread> workers_;
@@ -68,5 +74,17 @@ struct TcpAppConnection {
 TcpAppConnection connect_tcp_app(sgx::Enclave& app,
                                  const sgx::Measurement& store_measurement,
                                  const std::string& host, std::uint16_t port);
+
+/// Like connect_tcp_app, but the transport is wrapped in a
+/// ResilientTransport whose reconnect hook re-dials host:port and re-runs
+/// the attested handshake (yielding a fresh channel key each time), and
+/// every round trip is bounded by `deadline_ms` (-1 = no deadline). This is
+/// the production-posture client: store crashes, restarts, and network
+/// faults degrade calls to local compute instead of failing them.
+TcpAppConnection connect_tcp_app_resilient(
+    sgx::Enclave& app, const sgx::Measurement& store_measurement,
+    const std::string& host, std::uint16_t port,
+    net::ResilienceConfig resilience = net::ResilienceConfig{},
+    std::int64_t deadline_ms = -1);
 
 }  // namespace speed::store

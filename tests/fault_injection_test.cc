@@ -1,0 +1,517 @@
+// Fault-tolerance tests: every store failure mode must degrade a marked
+// call to local compute (fail-open), never throw into the application, and
+// the ResilientTransport must reconnect with a fresh channel key and trip /
+// recover its circuit breaker as the store dies and comes back.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "net/fault.h"
+#include "net/resilient.h"
+#include "runtime/speed.h"
+#include "store/tcp_server.h"
+
+namespace speed {
+namespace {
+
+using net::FaultInjectingTransport;
+using net::ResilienceConfig;
+using net::ResilientTransport;
+using Fault = net::FaultInjectingTransport::Fault;
+
+sgx::CostModel fast_model() {
+  sgx::CostModel m;
+  m.ecall_ns = 0;
+  m.ocall_ns = 0;
+  m.epc_page_swap_ns = 0;
+  return m;
+}
+
+ResilienceConfig fast_resilience() {
+  ResilienceConfig rc;
+  rc.reconnect_attempts = 2;
+  rc.backoff_initial_ms = 1;
+  rc.backoff_max_ms = 2;
+  rc.breaker_threshold = 3;
+  rc.breaker_cooldown_ms = 30;
+  return rc;
+}
+
+/// An application whose transport chain is
+///   DedupRuntime -> ResilientTransport -> FaultInjectingTransport -> store,
+/// with a reconnect hook that re-runs the in-process attested handshake
+/// (refusing while `store_up` is false), mirroring a TCP redial.
+struct FaultyApp {
+  FaultyApp(sgx::Platform& platform, store::ResultStore& store,
+            const std::string& identity,
+            FaultInjectingTransport::Schedule schedule,
+            std::shared_ptr<std::atomic<bool>> store_up,
+            ResilienceConfig rc = fast_resilience(),
+            runtime::RuntimeConfig config = runtime::RuntimeConfig{})
+      : enclave(platform.create_enclave(identity)) {
+    // Reconnects build fresh FaultInjectingTransports whose per-instance
+    // counters restart at 0; rebase the schedule on a shared counter so a
+    // call index means "round trips since the app started", not "since the
+    // last reconnect".
+    auto counter = std::make_shared<std::atomic<std::uint64_t>>(0);
+    FaultInjectingTransport::Schedule global_schedule =
+        [schedule, counter](std::uint64_t) {
+          return schedule(counter->fetch_add(1));
+        };
+    auto conn = store::connect_app(store, *enclave);
+    sessions.push_back(std::move(conn.session));
+    auto faulty = std::make_unique<FaultInjectingTransport>(
+        std::move(conn.transport), global_schedule);
+    auto reconnect = [this, &store, store_up, global_schedule]()
+        -> ResilientTransport::Connection {
+      if (!store_up->load()) throw net::TcpError("injected: store down");
+      auto fresh = store::connect_app(store, *enclave);
+      sessions.push_back(std::move(fresh.session));
+      return {std::make_unique<FaultInjectingTransport>(
+                  std::move(fresh.transport), global_schedule),
+              std::move(fresh.session_key)};
+    };
+    auto resilient = std::make_unique<ResilientTransport>(
+        std::move(faulty), std::move(reconnect), rc);
+    transport = resilient.get();
+    rt.emplace(*enclave, conn.session_key, std::move(resilient),
+               std::move(config));
+    rt->libraries().register_library("lib", "1", as_bytes("code"));
+  }
+
+  std::unique_ptr<sgx::Enclave> enclave;
+  std::vector<std::unique_ptr<store::StoreSession>> sessions;
+  ResilientTransport* transport = nullptr;
+  std::optional<runtime::DedupRuntime> rt;
+};
+
+Bytes expected_result(const Bytes& in) { return concat(in, as_bytes("+out")); }
+
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  FaultInjectionTest() : platform_(fast_model()), store_(platform_) {}
+
+  runtime::Deduplicable<Bytes(const Bytes&)> make_fn(FaultyApp& app,
+                                                     std::atomic<int>& execs) {
+    return runtime::Deduplicable<Bytes(const Bytes&)>(
+        *app.rt, {"lib", "1", "f"}, [&execs](const Bytes& in) {
+          ++execs;
+          return expected_result(in);
+        });
+  }
+
+  sgx::Platform platform_;
+  store::ResultStore store_;
+};
+
+// --------------------------------------------------------------- degrade
+
+TEST_F(FaultInjectionTest, GarbageResponsesDegradeEveryCall) {
+  auto up = std::make_shared<std::atomic<bool>>(true);
+  FaultyApp app(platform_, store_, "garbage-app",
+                FaultInjectingTransport::always(Fault::kGarbage), up);
+  std::atomic<int> execs{0};
+  auto f = make_fn(app, execs);
+
+  for (int i = 0; i < 8; ++i) {
+    const Bytes in{static_cast<std::uint8_t>(i)};
+    EXPECT_EQ(f(in), expected_result(in));
+  }
+  EXPECT_EQ(execs.load(), 8);
+  const auto s = app.rt->stats();
+  EXPECT_EQ(s.degraded_calls, 8u) << "every call served locally";
+  EXPECT_EQ(s.hits, 0u);
+}
+
+TEST_F(FaultInjectionTest, TruncatedResponseDegradesOnceThenRecovers) {
+  auto up = std::make_shared<std::atomic<bool>>(true);
+  FaultyApp app(platform_, store_, "trunc-app",
+                FaultInjectingTransport::fail_window(0, 1, Fault::kTruncate),
+                up);
+  std::atomic<int> execs{0};
+  auto f = make_fn(app, execs);
+
+  const Bytes in = to_bytes("payload");
+  EXPECT_EQ(f(in), expected_result(in));  // truncated frame -> local compute
+  EXPECT_EQ(app.rt->stats().degraded_calls, 1u);
+
+  EXPECT_EQ(f(in), expected_result(in));  // reconnected: miss, async PUT
+  app.rt->flush();
+  EXPECT_EQ(f(in), expected_result(in));  // hit
+  const auto s = app.rt->stats();
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(execs.load(), 2);
+  EXPECT_GE(app.transport->stats().reconnects, 1u)
+      << "fresh channel key after the bad frame";
+}
+
+TEST_F(FaultInjectionTest, TimeoutDegradesWithoutException) {
+  auto up = std::make_shared<std::atomic<bool>>(true);
+  FaultyApp app(platform_, store_, "timeout-app",
+                FaultInjectingTransport::fail_window(0, 2, Fault::kTimeout),
+                up);
+  std::atomic<int> execs{0};
+  auto f = make_fn(app, execs);
+
+  const Bytes in = to_bytes("slow");
+  EXPECT_EQ(f(in), expected_result(in));
+  EXPECT_EQ(f(in), expected_result(in));
+  EXPECT_GE(app.rt->stats().degraded_calls, 1u);
+  EXPECT_EQ(execs.load(), 2);
+}
+
+TEST_F(FaultInjectionTest, PlainTransportWithoutReconnectStillFailsOpen) {
+  // No ResilientTransport at all: a FaultInjectingTransport straight over
+  // the loopback. After the first failure the channel stays poisoned (no
+  // way to rekey), so every call degrades — but none ever throws.
+  auto enclave = platform_.create_enclave("bare-app");
+  auto conn = store::connect_app(store_, *enclave);
+  runtime::DedupRuntime rt(
+      *enclave, conn.session_key,
+      std::make_unique<FaultInjectingTransport>(
+          std::move(conn.transport),
+          FaultInjectingTransport::fail_window(1, 2, Fault::kDisconnect)));
+  rt.libraries().register_library("lib", "1", as_bytes("code"));
+  std::atomic<int> execs{0};
+  runtime::Deduplicable<Bytes(const Bytes&)> f(
+      rt, {"lib", "1", "f"}, [&execs](const Bytes& in) {
+        ++execs;
+        return expected_result(in);
+      });
+
+  const Bytes a = to_bytes("a"), b = to_bytes("b");
+  EXPECT_EQ(f(a), expected_result(a));  // call 0 healthy (miss)
+  EXPECT_EQ(f(b), expected_result(b));  // call fails -> degrade + poison
+  EXPECT_EQ(f(a), expected_result(a));  // poisoned forever -> degrade
+  const auto s = rt.stats();
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_GE(s.degraded_calls, 2u);
+  EXPECT_EQ(execs.load(), 3);
+}
+
+TEST_F(FaultInjectionTest, SyncPutFailureIsSwallowedAndCounted) {
+  // Synchronous-PUT mode: the PUT round trip dies but the call still
+  // returns the computed result; later calls degrade on the poisoned
+  // channel instead of throwing.
+  auto enclave = platform_.create_enclave("sync-app");
+  auto conn = store::connect_app(store_, *enclave);
+  runtime::RuntimeConfig cfg;
+  cfg.async_put = false;
+  runtime::DedupRuntime rt(
+      *enclave, conn.session_key,
+      std::make_unique<FaultInjectingTransport>(
+          std::move(conn.transport),
+          // call 0 = GET (healthy), call 1 = PUT (killed)
+          FaultInjectingTransport::fail_window(1, 2, Fault::kDisconnect)),
+      cfg);
+  rt.libraries().register_library("lib", "1", as_bytes("code"));
+  std::atomic<int> execs{0};
+  runtime::Deduplicable<Bytes(const Bytes&)> f(
+      rt, {"lib", "1", "f"}, [&execs](const Bytes& in) {
+        ++execs;
+        return expected_result(in);
+      });
+
+  const Bytes in = to_bytes("x");
+  EXPECT_EQ(f(in), expected_result(in));
+  const auto s = rt.stats();
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.puts_rejected, 1u);
+  EXPECT_EQ(execs.load(), 1);
+}
+
+// ------------------------------------------------- breaker state machine
+
+TEST_F(FaultInjectionTest, BreakerOpensHalfOpensAndCloses) {
+  auto up = std::make_shared<std::atomic<bool>>(true);
+  const auto schedule = [up](std::uint64_t) {
+    return up->load() ? Fault::kNone : Fault::kDisconnect;
+  };
+  FaultyApp app(platform_, store_, "breaker-app", schedule, up);
+  std::atomic<int> execs{0};
+  auto f = make_fn(app, execs);
+
+  const Bytes in = to_bytes("popular");
+  EXPECT_EQ(f(in), expected_result(in));
+  app.rt->flush();
+  EXPECT_EQ(f(in), expected_result(in));
+  EXPECT_EQ(app.rt->stats().hits, 1u) << "healthy baseline";
+
+  up->store(false);  // store dies: round trips and redials both fail
+  const auto rc = app.transport->config();
+  for (int i = 0; i < rc.breaker_threshold + 4; ++i) {
+    EXPECT_EQ(f(in), expected_result(in)) << "degraded call " << i;
+  }
+  EXPECT_EQ(app.transport->breaker_state(),
+            ResilientTransport::BreakerState::kOpen);
+  const auto mid = app.transport->stats();
+  EXPECT_GE(mid.breaker_opens, 1u);
+  EXPECT_GE(mid.short_circuits, 1u) << "open breaker bypasses the store";
+
+  up->store(true);  // store recovers; wait out the cooldown
+  std::this_thread::sleep_for(
+      std::chrono::milliseconds(rc.breaker_cooldown_ms + 20));
+  EXPECT_EQ(f(in), expected_result(in));  // half-open probe: reconnect+GET
+  EXPECT_EQ(app.transport->breaker_state(),
+            ResilientTransport::BreakerState::kClosed);
+  const auto before_hits = app.rt->stats().hits;
+  EXPECT_EQ(f(in), expected_result(in));
+  EXPECT_GT(app.rt->stats().hits, before_hits) << "hits resume after recovery";
+}
+
+// ------------------------------------------------ acceptance: 10k calls
+
+TEST_F(FaultInjectionTest, TenThousandCallsSurviveStoreOutage) {
+  auto up = std::make_shared<std::atomic<bool>>(true);
+  const auto schedule = [up](std::uint64_t) {
+    return up->load() ? Fault::kNone : Fault::kDisconnect;
+  };
+  ResilienceConfig rc = fast_resilience();
+  rc.breaker_cooldown_ms = 5;  // recover quickly once the fault clears
+  FaultyApp app(platform_, store_, "workload-app", schedule, up, rc);
+  std::atomic<int> execs{0};
+  auto f = make_fn(app, execs);
+
+  constexpr int kCalls = 10000;
+  constexpr int kKillAt = 2000;    // store dies after K calls...
+  constexpr int kReviveAt = 6000;  // ...and comes back here
+  constexpr int kDistinct = 64;
+
+  std::uint64_t hits_after_revival = 0;
+  for (int i = 0; i < kCalls; ++i) {
+    if (i == kKillAt) up->store(false);
+    if (i == kReviveAt) {
+      up->store(true);
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(rc.breaker_cooldown_ms + 5));
+    }
+    const Bytes in{static_cast<std::uint8_t>(i % kDistinct)};
+    Bytes out;
+    ASSERT_NO_THROW(out = f(in)) << "call " << i;
+    ASSERT_EQ(out, expected_result(in)) << "call " << i;
+    if (i >= kReviveAt && f.last_was_deduplicated()) ++hits_after_revival;
+  }
+
+  const auto s = app.rt->stats();
+  EXPECT_EQ(s.calls, static_cast<std::uint64_t>(kCalls));
+  EXPECT_GT(s.degraded_calls, 0u);
+  EXPECT_LT(s.degraded_calls, static_cast<std::uint64_t>(kCalls));
+  EXPECT_GT(hits_after_revival, 0u) << "dedup service resumed";
+  EXPECT_GE(app.transport->stats().breaker_opens, 1u);
+  EXPECT_EQ(app.transport->breaker_state(),
+            ResilientTransport::BreakerState::kClosed);
+  // Fail-open invariant: every single call produced the right bytes, and
+  // compute ran exactly once per miss/degrade (never for a hit).
+  EXPECT_EQ(static_cast<std::uint64_t>(execs.load()),
+            s.misses + s.degraded_calls + s.failed_recoveries);
+}
+
+// ------------------------------------------------------ PUT queue bounds
+
+TEST_F(FaultInjectionTest, PutQueueDropsOldestWhenOverCapacity) {
+  // Several producer threads race one PUT worker over a transport with real
+  // latency: the queue must stay bounded, dropping the oldest PUTs.
+  auto enclave = platform_.create_enclave("queue-app");
+  auto conn = store::connect_app(store_, *enclave, /*one_way_ns=*/100000);
+  runtime::RuntimeConfig cfg;
+  cfg.put_queue_capacity = 1;
+  runtime::DedupRuntime rt(*enclave, conn.session_key,
+                           std::move(conn.transport), cfg);
+  rt.libraries().register_library("lib", "1", as_bytes("code"));
+  std::atomic<int> execs{0};
+  runtime::Deduplicable<Bytes(const Bytes&)> f(
+      rt, {"lib", "1", "f"}, [&execs](const Bytes& in) {
+        ++execs;
+        return expected_result(in);
+      });
+
+  constexpr int kThreads = 3;
+  constexpr int kPerThread = 60;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&f, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const Bytes in{static_cast<std::uint8_t>(t), static_cast<std::uint8_t>(i)};
+        EXPECT_EQ(f(in), expected_result(in));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_TRUE(rt.flush(10000));
+
+  const auto s = rt.stats();
+  EXPECT_EQ(s.misses, static_cast<std::uint64_t>(kThreads * kPerThread));
+  // Conservation: every enqueued PUT was either delivered or dropped.
+  EXPECT_EQ(s.puts_sent + s.puts_dropped,
+            static_cast<std::uint64_t>(kThreads * kPerThread));
+  EXPECT_GT(s.puts_dropped, 0u) << "capacity bound enforced under pressure";
+  EXPECT_EQ(store_.stats().stored, s.puts_sent);
+}
+
+TEST_F(FaultInjectionTest, FlushDeadlineBoundsShutdownOnSlowStore) {
+  // A transport that answers, slowly: flush with a deadline returns false
+  // promptly instead of hanging for the store's convenience.
+  class SlowTransport : public net::Transport {
+   public:
+    SlowTransport(std::unique_ptr<net::Transport> inner, int delay_ms)
+        : inner_(std::move(inner)), delay_ms_(delay_ms) {}
+    Bytes round_trip(ByteView request) override {
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms_));
+      return inner_->round_trip(request);
+    }
+
+   private:
+    std::unique_ptr<net::Transport> inner_;
+    int delay_ms_;
+  };
+
+  auto enclave = platform_.create_enclave("slow-app");
+  auto conn = store::connect_app(store_, *enclave);
+  runtime::DedupRuntime rt(
+      *enclave, conn.session_key,
+      std::make_unique<SlowTransport>(std::move(conn.transport), 150));
+  rt.libraries().register_library("lib", "1", as_bytes("code"));
+  runtime::Deduplicable<Bytes(const Bytes&)> f(
+      rt, {"lib", "1", "f"}, [](const Bytes& in) { return expected_result(in); });
+
+  f(to_bytes("x"));  // miss: enqueues one async PUT (150 ms on the wire)
+  EXPECT_FALSE(rt.flush(10)) << "deadline expires before the PUT lands";
+  EXPECT_TRUE(rt.flush(-1)) << "unbounded flush still drains";
+  EXPECT_EQ(rt.stats().puts_sent, 1u);
+}
+
+// ------------------------------------------------------- socket deadlines
+
+TEST(SocketTimeoutTest, RecvFrameTimesOutOnSilentPeer) {
+  net::TcpListener listener(0);
+  net::FramedSocket client = net::tcp_connect("127.0.0.1", listener.port());
+  net::FramedSocket server = listener.accept();
+
+  client.set_timeouts(/*send_ms=*/-1, /*recv_ms=*/50);
+  Stopwatch sw;
+  EXPECT_THROW(client.recv_frame(), net::TcpTimeout);
+  EXPECT_LT(sw.elapsed_ms(), 5000.0);
+  (void)server;
+}
+
+TEST(SocketTimeoutTest, TcpTransportRoundTripDeadline) {
+  net::TcpListener listener(0);
+  net::FramedSocket client = net::tcp_connect("127.0.0.1", listener.port());
+  net::FramedSocket server = listener.accept();
+
+  net::TcpTransport transport(std::move(client), /*deadline_ms=*/50);
+  EXPECT_THROW(transport.round_trip(as_bytes("ping")), net::TcpTimeout);
+  // The request did arrive; only the response is missing.
+  EXPECT_EQ(server.recv_frame(), to_bytes("ping"));
+}
+
+TEST(SocketTimeoutTest, DeadlineZeroStillDeliversReadyData) {
+  net::TcpListener listener(0);
+  net::FramedSocket client = net::tcp_connect("127.0.0.1", listener.port());
+  net::FramedSocket server = listener.accept();
+
+  server.send_frame(as_bytes("already here"));
+  // Give the loopback a moment to make the bytes readable.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  client.set_timeouts(-1, 0);
+  EXPECT_EQ(client.recv_frame(), to_bytes("already here"));
+}
+
+// --------------------------------------------------- store session errors
+
+TEST(StoreSessionErrorTest, BadFrameCostsOneSessionNotTheServer) {
+  sgx::Platform platform(fast_model());
+  store::ResultStore result_store(platform);
+  store::StoreTcpServer server(result_store, 0);
+
+  // Client A: real handshake, then a frame that is not a channel frame.
+  auto enclave_a = platform.create_enclave("rowdy-client");
+  auto conn_a = store::connect_tcp_app(*enclave_a,
+                                       result_store.enclave().measurement(),
+                                       "127.0.0.1", server.port());
+  auto* tcp_a = static_cast<net::TcpTransport*>(conn_a.transport.get());
+  tcp_a->socket().send_frame(as_bytes("definitely not a secure frame"));
+  // Server drops only this session; our next read sees EOF.
+  EXPECT_FALSE(tcp_a->socket().try_recv_frame().has_value());
+  for (int i = 0; i < 200 && server.session_errors() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(server.session_errors(), 1u);
+  EXPECT_EQ(server.connections_rejected(), 0u)
+      << "post-handshake death is a session error, not a rejection";
+
+  // Client B connects afterwards and gets full service.
+  auto enclave_b = platform.create_enclave("polite-client");
+  auto conn_b = store::connect_tcp_app(*enclave_b,
+                                       result_store.enclave().measurement(),
+                                       "127.0.0.1", server.port());
+  runtime::DedupRuntime rt(*enclave_b, conn_b.session_key,
+                           std::move(conn_b.transport));
+  rt.libraries().register_library("lib", "1", as_bytes("code"));
+  runtime::Deduplicable<Bytes(const Bytes&)> f(
+      rt, {"lib", "1", "f"}, [](const Bytes& in) { return expected_result(in); });
+  EXPECT_EQ(f(to_bytes("svc")), expected_result(to_bytes("svc")));
+  EXPECT_EQ(server.connections_accepted(), 2u);
+}
+
+// ------------------------------------------- resilient TCP client helper
+
+TEST(ResilientTcpTest, ClientSurvivesStoreRestart) {
+  sgx::Platform platform(fast_model());
+  store::ResultStore result_store(platform);
+  auto server = std::make_unique<store::StoreTcpServer>(result_store, 0);
+  const std::uint16_t port = server->port();
+
+  net::ResilienceConfig rc;
+  rc.reconnect_attempts = 1;
+  rc.backoff_initial_ms = 1;
+  rc.breaker_threshold = 100;  // keep probing: we restart on a fixed port
+  auto enclave = platform.create_enclave("resilient-client");
+  auto conn = store::connect_tcp_app_resilient(
+      *enclave, result_store.enclave().measurement(), "127.0.0.1", port, rc,
+      /*deadline_ms=*/2000);
+  runtime::DedupRuntime rt(*enclave, conn.session_key,
+                           std::move(conn.transport));
+  rt.libraries().register_library("lib", "1", as_bytes("code"));
+  std::atomic<int> execs{0};
+  runtime::Deduplicable<Bytes(const Bytes&)> f(
+      rt, {"lib", "1", "f"}, [&execs](const Bytes& in) {
+        ++execs;
+        return expected_result(in);
+      });
+
+  const Bytes in = to_bytes("asset");
+  EXPECT_EQ(f(in), expected_result(in));
+  rt.flush();
+  EXPECT_EQ(f(in), expected_result(in));
+  EXPECT_EQ(rt.stats().hits, 1u);
+
+  // Store process "restarts": the old server dies mid-session, a new one
+  // binds the same port against the same trusted dictionary.
+  server->stop();
+  server.reset();
+  const Bytes other = to_bytes("during-outage");
+  EXPECT_EQ(f(other), expected_result(other)) << "degrades while down";
+  EXPECT_GE(rt.stats().degraded_calls, 1u);
+
+  server = std::make_unique<store::StoreTcpServer>(result_store, port);
+  // Reconnect + fresh handshake on the next calls; hits resume.
+  Bytes out;
+  std::uint64_t hits = 0;
+  for (int i = 0; i < 50 && hits == 0; ++i) {
+    ASSERT_NO_THROW(out = f(in));
+    ASSERT_EQ(out, expected_result(in));
+    hits = rt.stats().hits - 1;  // beyond the pre-restart hit
+    if (hits == 0) std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GT(hits, 0u) << "dedup hits resume against the restarted store";
+  EXPECT_EQ(execs.load(), 2) << "only the miss and the degraded call computed";
+}
+
+}  // namespace
+}  // namespace speed
