@@ -1,0 +1,19 @@
+#!/bin/sh
+# Run the Fig. 6 store benchmark and drop its machine-readable results at
+# the repo root as BENCH_fig6.json (the committed reference numbers).
+#
+# Usage: bench/run_benches.sh [build-dir]
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build"}
+bench="$build_dir/bench/bench_fig6_store"
+
+if [ ! -x "$bench" ]; then
+  echo "building $bench ..."
+  cmake -B "$build_dir" -S "$repo_root"
+  cmake --build "$build_dir" --target bench_fig6_store -j
+fi
+
+"$bench" "$repo_root/BENCH_fig6.json"
+echo "results: $repo_root/BENCH_fig6.json"

@@ -56,14 +56,20 @@ int main() {
   std::printf("second call (deduplicated): %7.1f ms\n", second.elapsed_ms());
 
   std::printf("results identical: %s\n", r1 == r2 ? "yes" : "NO (bug!)");
-  std::printf("served from store: %s\n",
+  std::printf("deduplicated:      %s\n",
               dedup_checksum.last_was_deduplicated() ? "yes" : "no");
 
+  // With the default config the repeat is served straight from the
+  // runtime's in-enclave result cache (local hit, zero store round trips);
+  // set RuntimeConfig::local_cache = false to see a store hit instead.
   const auto stats = rt.stats();
-  std::printf("runtime stats: %llu calls, %llu hits, %llu misses\n",
-              static_cast<unsigned long long>(stats.calls),
-              static_cast<unsigned long long>(stats.hits),
-              static_cast<unsigned long long>(stats.misses));
+  std::printf(
+      "runtime stats: %llu calls, %llu local hits, %llu store hits, "
+      "%llu misses\n",
+      static_cast<unsigned long long>(stats.calls),
+      static_cast<unsigned long long>(stats.local_hits),
+      static_cast<unsigned long long>(stats.hits),
+      static_cast<unsigned long long>(stats.misses));
   const auto sstats = result_store.stats();
   std::printf("store stats:   %llu entries, %llu ciphertext bytes\n",
               static_cast<unsigned long long>(sstats.entries),

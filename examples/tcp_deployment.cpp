@@ -25,7 +25,12 @@ using namespace speed;
 
 int main() {
   sgx::Platform platform;
-  store::ResultStore result_store(platform);
+  // Concurrent deployment posture: the TCP server runs one thread per
+  // connection, so stripe the store's dictionary across 8 tag-addressed
+  // shards and let those threads GET/PUT in parallel.
+  store::StoreConfig store_cfg;
+  store_cfg.shards = 8;
+  store::ResultStore result_store(platform, store_cfg);
   store::StoreTcpServer server(result_store, /*port=*/0);
   std::printf("ResultStore listening on 127.0.0.1:%u\n", server.port());
 

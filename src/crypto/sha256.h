@@ -17,6 +17,10 @@ inline constexpr std::size_t kSha256DigestSize = 32;
 
 using Sha256Digest = std::array<std::uint8_t, kSha256DigestSize>;
 
+// Copying a Sha256 forks its midstate: absorb a common prefix once, then
+// copy the object and finish each copy with a different suffix (see
+// mle::ComputationContext, which derives the tag and the RCE secondary key
+// from one pass over the input).
 class Sha256 {
  public:
   Sha256() { reset(); }

@@ -69,6 +69,30 @@ serialize::EntryPayload ResultCipher::protect(const Tag& tag,
   return entry;
 }
 
+serialize::EntryPayload ResultCipher::protect(const ComputationContext& ctx,
+                                              ByteView result,
+                                              crypto::Drbg& drbg) {
+  Bytes key = drbg.bytes(kResultKeySize);         // k <- KeyGen(1^λ)
+  Bytes challenge = drbg.bytes(kChallengeSize);   // r <-R- {0,1}*
+  const auto h = ctx.secondary_key(challenge);    // midstate + r: m not rehashed
+  serialize::EntryPayload entry;
+  entry.wrapped_key = wrap_key(key, h);           // [k] = k ⊕ h
+  entry.result_ct = encrypt_result(ctx.tag(), key, result, drbg);
+  entry.challenge = std::move(challenge);
+  secure_zero(key.data(), key.size());
+  return entry;
+}
+
+std::optional<Bytes> ResultCipher::recover(const ComputationContext& ctx,
+                                           const serialize::EntryPayload& entry) {
+  if (entry.wrapped_key.size() != kResultKeySize) return std::nullopt;
+  const auto h = ctx.secondary_key(entry.challenge);
+  Bytes key = wrap_key(entry.wrapped_key, h);     // k = [k] ⊕ h
+  auto result = decrypt_result(ctx.tag(), key, entry.result_ct);
+  secure_zero(key.data(), key.size());
+  return result;
+}
+
 std::optional<Bytes> ResultCipher::recover(const FunctionIdentity& fn,
                                            ByteView input,
                                            const serialize::EntryPayload& entry) {

@@ -39,6 +39,10 @@ class ResultCipher {
                                          const FunctionIdentity& fn,
                                          ByteView input, ByteView result,
                                          crypto::Drbg& drbg);
+  /// Same, from a (func, m) midstate: the secondary key reuses the hash work
+  /// already spent deriving the tag, so `input` is never hashed twice.
+  static serialize::EntryPayload protect(const ComputationContext& ctx,
+                                         ByteView result, crypto::Drbg& drbg);
 
   /// Algorithm 2, lines 4-6 + the Fig. 3 verification: recover the result
   /// from a stored payload. Returns nullopt iff the caller's (func, m) does
@@ -50,6 +54,9 @@ class ResultCipher {
   static std::optional<Bytes> recover(const Tag& tag,
                                       const FunctionIdentity& fn,
                                       ByteView input,
+                                      const serialize::EntryPayload& entry);
+  /// Same, from a (func, m) midstate (see protect above).
+  static std::optional<Bytes> recover(const ComputationContext& ctx,
                                       const serialize::EntryPayload& entry);
 
   // Split-phase helpers used by the Table I microbenchmarks, which time

@@ -4,31 +4,49 @@ namespace speed::mle {
 
 namespace {
 
-/// Injective multi-part hash: every part is length-prefixed, plus a domain
-/// separation label so tags and secondary keys can never collide.
-crypto::Sha256Digest hash_labeled(std::string_view label,
-                                  std::initializer_list<ByteView> parts) {
-  crypto::Sha256 h;
-  h.update(as_bytes(label));
-  for (ByteView p : parts) {
-    std::uint8_t len[4];
-    const std::uint32_t n = static_cast<std::uint32_t>(p.size());
-    for (int i = 0; i < 4; ++i) len[i] = static_cast<std::uint8_t>(n >> (8 * i));
-    h.update(ByteView(len, 4));
-    h.update(p);
-  }
-  return h.finish();
+/// Absorb one length-prefixed part, keeping the multi-part encoding
+/// injective regardless of how the parts are split.
+void absorb_part(crypto::Sha256& h, ByteView part) {
+  std::uint8_t len[4];
+  const std::uint32_t n = static_cast<std::uint32_t>(part.size());
+  for (int i = 0; i < 4; ++i) len[i] = static_cast<std::uint8_t>(n >> (8 * i));
+  h.update(ByteView(len, 4));
+  h.update(part);
 }
 
 }  // namespace
 
+ComputationContext::ComputationContext(const FunctionIdentity& fn,
+                                       ByteView input) {
+  // Shared prefix of both derivations. Domain separation between the tag and
+  // the secondary key happens in the (length-prefixed) suffix labels below,
+  // so the expensive part — hashing a potentially huge m — runs once.
+  midstate_.update(as_bytes("speed-comp-v2"));
+  absorb_part(midstate_, fn.unique_value());
+  absorb_part(midstate_, input);
+}
+
+Tag ComputationContext::tag() const {
+  crypto::Sha256 h = midstate_;  // fork the midstate; the member stays reusable
+  absorb_part(h, as_bytes("tag"));
+  return h.finish();
+}
+
+crypto::Sha256Digest ComputationContext::secondary_key(
+    ByteView challenge) const {
+  crypto::Sha256 h = midstate_;
+  absorb_part(h, as_bytes("skey"));
+  absorb_part(h, challenge);
+  return h.finish();
+}
+
 Tag derive_tag(const FunctionIdentity& fn, ByteView input) {
-  return hash_labeled("speed-tag-v1", {fn.unique_value(), input});
+  return ComputationContext(fn, input).tag();
 }
 
 crypto::Sha256Digest derive_secondary_key(const FunctionIdentity& fn,
                                           ByteView input, ByteView challenge) {
-  return hash_labeled("speed-skey-v1", {fn.unique_value(), input, challenge});
+  return ComputationContext(fn, input).secondary_key(challenge);
 }
 
 }  // namespace speed::mle

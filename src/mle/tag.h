@@ -10,6 +10,12 @@
 //
 // All hash inputs go through the canonical length-prefixed codec, making the
 // (descriptor, measurement, input[, challenge]) -> digest mapping injective.
+//
+// Both digests share the prefix (func, m); ComputationContext absorbs that
+// prefix into a SHA-256 midstate once, then forks the midstate per
+// derivation (domain separation moves to a length-prefixed *suffix* label),
+// so a large input m is hashed exactly once per call instead of once for t
+// and again for h.
 #pragma once
 
 #include <string_view>
@@ -38,6 +44,26 @@ struct FunctionIdentity {
 
   friend bool operator==(const FunctionIdentity&,
                          const FunctionIdentity&) = default;
+};
+
+/// SHA-256 midstate over the common (func, m) prefix of both derivations.
+/// The runtime builds one context per call and derives the tag plus any
+/// number of secondary keys from it; each derivation copies the midstate
+/// and absorbs only its own small suffix. The secondary key still requires
+/// knowing (func, m) — the midstate never leaves the enclave, and the tag
+/// alone (which the store learns) does not determine it.
+class ComputationContext {
+ public:
+  ComputationContext(const FunctionIdentity& fn, ByteView input);
+
+  /// t <- Hash(func, m). Algorithm 1/2, line 1.
+  Tag tag() const;
+
+  /// h <- Hash(func, m, r). Algorithm 1 line 6 / Algorithm 2 line 4.
+  crypto::Sha256Digest secondary_key(ByteView challenge) const;
+
+ private:
+  crypto::Sha256 midstate_;  ///< absorbed: label ‖ len(uv) ‖ uv ‖ len(m) ‖ m
 };
 
 /// t <- Hash(func, m). Algorithm 1/2, line 1.

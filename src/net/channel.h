@@ -8,6 +8,7 @@
 // concurrent callers like a single connection would.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -58,6 +59,7 @@ class LoopbackTransport : public Transport {
       : handler_(std::move(handler)), one_way_ns_(one_way_ns) {}
 
   Bytes round_trip(ByteView request) override {
+    round_trips_.fetch_add(1, std::memory_order_relaxed);
     std::lock_guard<std::mutex> lock(mu_);
     if (one_way_ns_ > 0) busy_wait_ns(one_way_ns_);
     Bytes response = handler_(request);
@@ -65,10 +67,17 @@ class LoopbackTransport : public Transport {
     return response;
   }
 
+  /// Frames that actually crossed this transport — the runtime's local
+  /// result cache is asserted against this staying flat on repeated calls.
+  std::uint64_t round_trips() const {
+    return round_trips_.load(std::memory_order_relaxed);
+  }
+
  private:
   Handler handler_;
   std::uint64_t one_way_ns_;
   std::mutex mu_;
+  std::atomic<std::uint64_t> round_trips_{0};
 };
 
 }  // namespace speed::net

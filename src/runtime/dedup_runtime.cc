@@ -27,7 +27,8 @@ DedupRuntime::DedupRuntime(sgx::Enclave& app_enclave, Bytes session_key,
     : enclave_(app_enclave),
       transport_(std::move(transport)),
       config_(std::move(config)),
-      channel_(std::move(session_key), /*is_initiator=*/true) {
+      channel_(std::move(session_key), /*is_initiator=*/true),
+      cache_charge_(app_enclave, 0) {
   if (transport_ == nullptr) {
     throw ProtocolError("DedupRuntime: transport is required");
   }
@@ -120,8 +121,22 @@ DedupRuntime::Outcome DedupRuntime::execute(
       ++stats_.calls;
     }
 
-    // Algorithm 1/2 line 1-2: derive the tag, query the store.
-    const mle::Tag tag = mle::derive_tag(fn, input);
+    // Algorithm 1/2 line 1-2: derive the tag, query the store. The context
+    // absorbs (func, m) once; tag and (on the RCE paths below) the secondary
+    // key h fork off the shared SHA-256 midstate.
+    const mle::ComputationContext ctx(fn, input);
+    const mle::Tag tag = ctx.tag();
+
+    // Hot path: a result this runtime already saw is served straight from
+    // the in-enclave cache — no round trip, no decryption.
+    if (config_.local_cache) {
+      if (auto cached = cache_lookup(tag)) {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.local_hits;
+        return Outcome{std::move(*cached), true};
+      }
+    }
+
     GetRequest get;
     get.tag = tag;
     get.requester = enclave_.measurement();
@@ -154,7 +169,11 @@ DedupRuntime::Outcome DedupRuntime::execute(
         std::lock_guard<std::mutex> lock(stats_mu_);
         ++stats_.degraded_calls;
       }
-      return Outcome{compute(), false};
+      Bytes local = compute();
+      // Still worth caching: repeats of this call ride out the outage
+      // without recomputing (or waiting on the broken transport).
+      if (config_.local_cache) cache_insert(tag, local);
+      return Outcome{std::move(local), false};
     }
 
     if (get_resp->found) {
@@ -163,11 +182,14 @@ DedupRuntime::Outcome DedupRuntime::execute(
       if (basic_cipher_.has_value()) {
         result = basic_cipher_->recover(fn, input, get_resp->entry);
       } else {
-        result = mle::ResultCipher::recover(tag, fn, input, get_resp->entry);
+        result = mle::ResultCipher::recover(ctx, get_resp->entry);
       }
       if (result.has_value()) {
-        std::lock_guard<std::mutex> lock(stats_mu_);
-        ++stats_.hits;
+        if (config_.local_cache) cache_insert(tag, *result);
+        {
+          std::lock_guard<std::mutex> lock(stats_mu_);
+          ++stats_.hits;
+        }
         return Outcome{std::move(*result), true};
       }
       // ⊥: entry exists but we cannot authenticate/decrypt it (poisoned or
@@ -181,6 +203,7 @@ DedupRuntime::Outcome DedupRuntime::execute(
 
     // Algorithm 1 lines 4-10: compute, protect, and ship the result.
     Bytes result = compute();
+    if (config_.local_cache) cache_insert(tag, result);
 
     if (!get_resp->found) {
       crypto::Drbg seeded(enclave_.random_bytes(32));
@@ -188,7 +211,7 @@ DedupRuntime::Outcome DedupRuntime::execute(
       if (basic_cipher_.has_value()) {
         entry = basic_cipher_->protect(fn, input, result, seeded);
       } else {
-        entry = mle::ResultCipher::protect(tag, fn, input, result, seeded);
+        entry = mle::ResultCipher::protect(ctx, result, seeded);
       }
       PutRequest put;
       put.tag = tag;
@@ -288,6 +311,46 @@ bool DedupRuntime::flush(std::int64_t timeout_ms) {
   }
   return drained_cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
                               drained);
+}
+
+namespace {
+/// Trusted-memory footprint of one cache entry: the plaintext plus the tag
+/// key, LRU node, and hash-map slot.
+std::size_t cache_entry_footprint(std::size_t result_bytes) {
+  return result_bytes + sizeof(mle::Tag) + 3 * sizeof(void*) + 16;
+}
+}  // namespace
+
+std::optional<Bytes> DedupRuntime::cache_lookup(const mle::Tag& tag) {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  auto it = cache_.find(tag);
+  if (it == cache_.end()) return std::nullopt;
+  cache_lru_.splice(cache_lru_.begin(), cache_lru_, it->second.lru_it);
+  return it->second.result;
+}
+
+void DedupRuntime::cache_insert(const mle::Tag& tag, const Bytes& result) {
+  const std::size_t footprint = cache_entry_footprint(result.size());
+  if (footprint > config_.local_cache_bytes) return;  // never cacheable
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  auto it = cache_.find(tag);
+  if (it != cache_.end()) {
+    // Raced insert of the same tag: keep the existing copy, refresh recency.
+    cache_lru_.splice(cache_lru_.begin(), cache_lru_, it->second.lru_it);
+    return;
+  }
+  while (cache_bytes_ + footprint > config_.local_cache_bytes &&
+         !cache_lru_.empty()) {
+    const mle::Tag victim = cache_lru_.back();
+    auto vit = cache_.find(victim);
+    cache_bytes_ -= cache_entry_footprint(vit->second.result.size());
+    cache_.erase(vit);
+    cache_lru_.pop_back();
+  }
+  cache_lru_.push_front(tag);
+  cache_.emplace(tag, CacheEntry{result, cache_lru_.begin()});
+  cache_bytes_ += footprint;
+  cache_charge_.resize(cache_bytes_);
 }
 
 DedupRuntime::Stats DedupRuntime::stats() const {

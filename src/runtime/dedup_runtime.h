@@ -32,10 +32,12 @@
 #include <condition_variable>
 #include <deque>
 #include <functional>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <thread>
+#include <unordered_map>
 
 #include "mle/rce.h"
 #include "mle/tag.h"
@@ -71,6 +73,17 @@ struct RuntimeConfig {
   enum class Scheme { kRce, kBasicSingleKey };
   Scheme scheme = Scheme::kRce;
   Bytes system_key;
+
+  /// In-enclave hot-result cache: a tag-keyed LRU of plaintext results kept
+  /// inside the application enclave, so a repeated marked call is served
+  /// with zero store round trips (counted in `Stats::local_hits`). The
+  /// cached plaintext never leaves the enclave and is charged against the
+  /// app enclave's trusted memory. Disabling restores the pre-cache
+  /// behavior exactly: every call goes to the store.
+  bool local_cache = true;
+  /// Byte cap on cached plaintext (plus per-entry bookkeeping). Results
+  /// larger than the cap are never cached.
+  std::size_t local_cache_bytes = 4ull * 1024 * 1024;
 };
 
 class DedupRuntime {
@@ -119,6 +132,7 @@ class DedupRuntime {
 
   struct Stats {
     std::uint64_t calls = 0;
+    std::uint64_t local_hits = 0;       ///< served from the in-enclave cache
     std::uint64_t hits = 0;             ///< results served from the store
     std::uint64_t misses = 0;           ///< store had no entry
     std::uint64_t failed_recoveries = 0;///< entry present but not decryptable
@@ -147,6 +161,12 @@ class DedupRuntime {
   void put_worker();
   void send_put(const serialize::PutRequest& put);
 
+  /// Hot-result cache (guarded by cache_mu_; only touched inside ECALLs).
+  /// Lookup copies the plaintext out and refreshes recency; insert evicts
+  /// from the LRU tail until the new entry fits under the byte cap.
+  std::optional<Bytes> cache_lookup(const mle::Tag& tag);
+  void cache_insert(const mle::Tag& tag, const Bytes& result);
+
   sgx::Enclave& enclave_;
   std::unique_ptr<net::Transport> transport_;
   RuntimeConfig config_;
@@ -167,6 +187,26 @@ class DedupRuntime {
 
   mutable std::mutex stats_mu_;
   Stats stats_;
+
+  // Hot-result cache state. Tags are SHA-256 outputs, so the first 8 bytes
+  // hash them perfectly well.
+  struct TagHash {
+    std::size_t operator()(const mle::Tag& t) const {
+      std::size_t h;
+      static_assert(sizeof(h) <= 32);
+      __builtin_memcpy(&h, t.data(), sizeof(h));
+      return h;
+    }
+  };
+  struct CacheEntry {
+    Bytes result;
+    std::list<mle::Tag>::iterator lru_it;
+  };
+  std::mutex cache_mu_;
+  std::unordered_map<mle::Tag, CacheEntry, TagHash> cache_;
+  std::list<mle::Tag> cache_lru_;  ///< front = most recently used
+  std::size_t cache_bytes_ = 0;    ///< plaintext + bookkeeping footprint
+  sgx::TrustedCharge cache_charge_;
 
   // Asynchronous PUT pipeline.
   std::mutex queue_mu_;

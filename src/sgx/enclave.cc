@@ -42,28 +42,20 @@ Enclave::~Enclave() { platform_.epc().release(kEpcPageSize * 16); }
 
 void Enclave::begin_ecall() {
   ecalls_.fetch_add(1, std::memory_order_relaxed);
-  if (platform_.cost_model().enabled) {
-    busy_wait_ns(platform_.cost_model().ecall_ns);
-  }
+  charge_wait(platform_.cost_model(), platform_.cost_model().ecall_ns);
 }
 
 void Enclave::end_ecall() {
-  if (platform_.cost_model().enabled) {
-    busy_wait_ns(platform_.cost_model().ecall_ns);
-  }
+  charge_wait(platform_.cost_model(), platform_.cost_model().ecall_ns);
 }
 
 void Enclave::begin_ocall() {
   ocalls_.fetch_add(1, std::memory_order_relaxed);
-  if (platform_.cost_model().enabled) {
-    busy_wait_ns(platform_.cost_model().ocall_ns);
-  }
+  charge_wait(platform_.cost_model(), platform_.cost_model().ocall_ns);
 }
 
 void Enclave::end_ocall() {
-  if (platform_.cost_model().enabled) {
-    busy_wait_ns(platform_.cost_model().ocall_ns);
-  }
+  charge_wait(platform_.cost_model(), platform_.cost_model().ocall_ns);
 }
 
 Bytes Enclave::seal(ByteView aad, ByteView plaintext) {

@@ -35,7 +35,7 @@ class EpcAllocator {
       const std::uint64_t pages =
           (overflow_bytes + kEpcPageSize - 1) / kEpcPageSize;
       swapped_pages_.fetch_add(pages);
-      busy_wait_ns(pages * model_.epc_page_swap_ns);
+      charge_wait(model_, pages * model_.epc_page_swap_ns);
     }
   }
 

@@ -28,13 +28,83 @@ std::uint64_t meta_bytes(const Bytes& challenge, const Bytes& wrapped_key) {
          /*tag key + bookkeeping*/ 96;
 }
 
+std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) {
+  return (a + b - 1) / b;
+}
+
 }  // namespace
+
+// ------------------------------------------------------------ QuotaLedger
+
+ResultStore::QuotaLedger::QuotaLedger(std::uint64_t limit, std::size_t stripes)
+    : limit_(limit) {
+  stripes_.reserve(stripes);
+  for (std::size_t i = 0; i < stripes; ++i) {
+    stripes_.push_back(std::make_unique<Stripe>());
+  }
+}
+
+ResultStore::QuotaLedger::Stripe& ResultStore::QuotaLedger::stripe_for(
+    const serialize::AppId& app) {
+  return *stripes_[AppIdHash{}(app) % stripes_.size()];
+}
+
+bool ResultStore::QuotaLedger::try_charge(const serialize::AppId& app,
+                                          std::uint64_t bytes) {
+  Stripe& s = stripe_for(app);
+  std::lock_guard<std::mutex> lock(s.mu);
+  std::uint64_t& used = s.used[app];
+  if (used + bytes > limit_) return false;
+  used += bytes;
+  return true;
+}
+
+void ResultStore::QuotaLedger::charge(const serialize::AppId& app,
+                                      std::uint64_t bytes) {
+  Stripe& s = stripe_for(app);
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.used[app] += bytes;
+}
+
+void ResultStore::QuotaLedger::release(const serialize::AppId& app,
+                                       std::uint64_t bytes) {
+  Stripe& s = stripe_for(app);
+  std::lock_guard<std::mutex> lock(s.mu);
+  const auto it = s.used.find(app);
+  if (it == s.used.end()) return;
+  it->second -= std::min(it->second, bytes);
+}
+
+// ------------------------------------------------------------- ResultStore
 
 ResultStore::ResultStore(sgx::Platform& platform, StoreConfig config)
     : platform_(platform),
       enclave_(platform.create_enclave("speed-result-store")),
       config_(config),
-      trusted_charge_(*enclave_, 0) {}
+      quota_(config_.per_app_quota_bytes,
+             std::max<std::size_t>(config_.shards, 8)) {
+  if (config_.shards == 0) {
+    throw ProtocolError("ResultStore: shards must be >= 1");
+  }
+  shard_capacity_bytes_ =
+      std::max<std::uint64_t>(1, ceil_div(config_.max_ciphertext_bytes,
+                                          config_.shards));
+  shard_max_entries_ = static_cast<std::size_t>(
+      std::max<std::uint64_t>(1, ceil_div(config_.max_entries, config_.shards)));
+  shards_.reserve(config_.shards);
+  for (std::size_t i = 0; i < config_.shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>(*enclave_));
+  }
+}
+
+ResultStore::Shard& ResultStore::shard_for(const Tag& tag) {
+  // Bytes [8, 16) of the tag — disjoint from the bytes TagHash feeds the
+  // per-shard dictionaries — so shard choice and bucket choice stay
+  // independent. Tags are SHA-256 outputs, hence uniform.
+  std::uint64_t v;
+  __builtin_memcpy(&v, tag.data() + 8, sizeof(v));
+  return *shards_[v % shards_.size()];
+}
 
 Bytes ResultStore::handle(ByteView request) {
   // Host side: preliminary parse happens outside the enclave (only the type
@@ -46,54 +116,49 @@ Bytes ResultStore::handle(ByteView request) {
 
 Message ResultStore::dispatch_trusted(const Message& request) {
   if (const auto* get_req = std::get_if<GetRequest>(&request)) {
-    std::lock_guard<std::mutex> lock(mu_);
-    return get_locked(*get_req);
+    return get_trusted(*get_req);
   }
   if (const auto* put_req = std::get_if<PutRequest>(&request)) {
-    std::lock_guard<std::mutex> lock(mu_);
-    return put_locked(*put_req);
+    return put_trusted(*put_req);
   }
   if (const auto* sync_req = std::get_if<SyncRequest>(&request)) {
-    std::lock_guard<std::mutex> lock(mu_);
-    return sync_locked(*sync_req);
+    return sync_trusted(*sync_req);
   }
   throw ProtocolError("ResultStore: request must be GET, PUT, or SYNC");
 }
 
 GetResponse ResultStore::get(const GetRequest& req) {
-  return enclave_->ecall([&] {
-    std::lock_guard<std::mutex> lock(mu_);
-    return get_locked(req);
-  });
+  return enclave_->ecall([&] { return get_trusted(req); });
 }
 
 PutResponse ResultStore::put(const PutRequest& req) {
-  return enclave_->ecall([&] {
-    std::lock_guard<std::mutex> lock(mu_);
-    return put_locked(req);
-  });
+  return enclave_->ecall([&] { return put_trusted(req); });
 }
 
 SyncResponse ResultStore::sync(const SyncRequest& req) {
-  return enclave_->ecall([&] {
-    std::lock_guard<std::mutex> lock(mu_);
-    return sync_locked(req);
-  });
+  return enclave_->ecall([&] { return sync_trusted(req); });
 }
 
-GetResponse ResultStore::get_locked(const GetRequest& req) {
-  ++stats_.get_requests;
+GetResponse ResultStore::get_trusted(const GetRequest& req) {
+  Shard& shard = shard_for(req.tag);
+  shard.get_requests.fetch_add(1, std::memory_order_relaxed);
   GetResponse resp;
-  const auto it = dict_.find(req.tag);
-  if (it == dict_.end()) return resp;
+  std::lock_guard<std::mutex> lock(shard.mu);
+  // Simulated in-enclave service time (marshalling + verification under
+  // load); 0 outside throughput benches. Deliberately inside the critical
+  // section — that is the work the lock protects.
+  sgx::charge_wait(platform_.cost_model(),
+                   platform_.cost_model().store_service_ns);
+  const auto it = shard.dict.find(req.tag);
+  if (it == shard.dict.end()) return resp;
 
   MetaEntry& meta = it->second;
-  const auto blob_it = blobs_.find(req.tag);
-  if (blob_it == blobs_.end()) {
+  const auto blob_it = shard.blobs.find(req.tag);
+  if (blob_it == shard.blobs.end()) {
     // Host deleted the ciphertext from under us: degrade to a miss and drop
     // the orphaned metadata.
-    ++stats_.corrupt_blobs;
-    erase_locked(req.tag);
+    shard.corrupt_blobs.fetch_add(1, std::memory_order_relaxed);
+    erase_locked(shard, req.tag);
     return resp;
   }
   // Verify the untrusted blob against the trusted digest before serving it
@@ -101,14 +166,14 @@ GetResponse ResultStore::get_locked(const GetRequest& req) {
   const auto digest = crypto::Sha256::digest(blob_it->second);
   if (!ct_equal(ByteView(digest.data(), digest.size()),
                 ByteView(meta.blob_digest.data(), meta.blob_digest.size()))) {
-    ++stats_.corrupt_blobs;
-    erase_locked(req.tag);
+    shard.corrupt_blobs.fetch_add(1, std::memory_order_relaxed);
+    erase_locked(shard, req.tag);
     return resp;
   }
 
-  ++stats_.hits;
+  shard.hits.fetch_add(1, std::memory_order_relaxed);
   ++meta.hits;
-  touch_lru_locked(meta, req.tag);
+  touch_lru_locked(shard, meta, req.tag);
   resp.found = true;
   resp.entry.challenge = meta.challenge;
   resp.entry.wrapped_key = meta.wrapped_key;
@@ -116,36 +181,41 @@ GetResponse ResultStore::get_locked(const GetRequest& req) {
   return resp;
 }
 
-PutResponse ResultStore::put_locked(const PutRequest& req) {
-  ++stats_.put_requests;
+PutResponse ResultStore::put_trusted(const PutRequest& req) {
+  shard_for(req.tag).put_requests.fetch_add(1, std::memory_order_relaxed);
   return PutResponse{
-      insert_locked(req.tag, req.requester, req.entry, /*enforce_quota=*/true)};
+      insert_trusted(req.tag, req.requester, req.entry, /*enforce_quota=*/true)};
 }
 
-PutStatus ResultStore::insert_locked(const Tag& tag,
-                                     const serialize::AppId& owner,
-                                     const EntryPayload& entry,
-                                     bool enforce_quota) {
-  if (dict_.contains(tag)) {
+PutStatus ResultStore::insert_trusted(const Tag& tag,
+                                      const serialize::AppId& owner,
+                                      const EntryPayload& entry,
+                                      bool enforce_quota) {
+  Shard& shard = shard_for(tag);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  sgx::charge_wait(platform_.cost_model(),
+                   platform_.cost_model().store_service_ns);
+  if (shard.dict.contains(tag)) {
     // Concurrent initial computations of the same tag: first write wins; the
     // stored ciphertext is decryptable by every eligible application anyway
     // (§IV-B Remark).
-    ++stats_.duplicate_puts;
+    shard.duplicate_puts.fetch_add(1, std::memory_order_relaxed);
     return PutStatus::kAlreadyPresent;
   }
   const std::uint64_t blob_bytes = entry.result_ct.size();
-  if (blob_bytes > config_.max_ciphertext_bytes ||
-      dict_.size() >= config_.max_entries) {
+  if (blob_bytes > shard_capacity_bytes_ ||
+      shard.dict.size() >= shard_max_entries_) {
     return PutStatus::kRejected;
   }
   if (enforce_quota) {
-    const std::uint64_t used = quota_used_[owner];
-    if (used + blob_bytes > config_.per_app_quota_bytes) {
-      ++stats_.quota_rejections;
+    if (!quota_.try_charge(owner, blob_bytes)) {
+      shard.quota_rejections.fetch_add(1, std::memory_order_relaxed);
       return PutStatus::kQuotaExceeded;
     }
+  } else {
+    quota_.charge(owner, blob_bytes);
   }
-  evict_for_space_locked(blob_bytes);
+  evict_for_space_locked(shard, blob_bytes);
 
   MetaEntry meta;
   meta.challenge = entry.challenge;
@@ -153,24 +223,33 @@ PutStatus ResultStore::insert_locked(const Tag& tag,
   meta.blob_digest = crypto::Sha256::digest(entry.result_ct);
   meta.blob_bytes = blob_bytes;
   meta.owner = owner;
-  lru_.push_front(tag);
-  meta.lru_it = lru_.begin();
+  shard.lru.push_front(tag);
+  meta.lru_it = shard.lru.begin();
 
-  blobs_[tag] = entry.result_ct;
-  dict_.emplace(tag, std::move(meta));
-  quota_used_[owner] += blob_bytes;
-  ++stats_.stored;
-  stats_.ciphertext_bytes += blob_bytes;
-  recharge_trusted_locked();
+  shard.trusted_bytes += meta_bytes(meta.challenge, meta.wrapped_key);
+  shard.blobs[tag] = entry.result_ct;
+  shard.dict.emplace(tag, std::move(meta));
+  shard.stored.fetch_add(1, std::memory_order_relaxed);
+  shard.entries.fetch_add(1, std::memory_order_relaxed);
+  shard.ciphertext_bytes.fetch_add(blob_bytes, std::memory_order_relaxed);
+  shard.trusted_charge.resize(shard.trusted_bytes);
   return PutStatus::kStored;
 }
 
-SyncResponse ResultStore::sync_locked(const SyncRequest& req) {
+SyncResponse ResultStore::sync_trusted(const SyncRequest& req) {
   // Serve the hottest entries (popularity = hit count), capped at
-  // max_entries; this is what a master store replicates to peers.
+  // max_entries; this is what a master store replicates to peers. Two-phase
+  // across shards: rank a point-in-time (hits, tag) census taken one shard
+  // at a time, then re-fetch the winners — entries evicted between phases
+  // are simply skipped, like entries whose blob vanished.
   std::vector<std::pair<std::uint64_t, Tag>> ranked;
-  ranked.reserve(dict_.size());
-  for (const auto& [tag, meta] : dict_) ranked.emplace_back(meta.hits, tag);
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    ranked.reserve(ranked.size() + shard->dict.size());
+    for (const auto& [tag, meta] : shard->dict) {
+      ranked.emplace_back(meta.hits, tag);
+    }
+  }
   std::sort(ranked.begin(), ranked.end(),
             [](const auto& a, const auto& b) { return a.first > b.first; });
 
@@ -180,9 +259,13 @@ SyncResponse ResultStore::sync_locked(const SyncRequest& req) {
   resp.entries.reserve(limit);
   for (std::size_t i = 0; i < limit; ++i) {
     const Tag& tag = ranked[i].second;
-    const auto blob_it = blobs_.find(tag);
-    if (blob_it == blobs_.end()) continue;
-    const MetaEntry& meta = dict_.at(tag);
+    Shard& shard = shard_for(tag);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const auto it = shard.dict.find(tag);
+    if (it == shard.dict.end()) continue;
+    const auto blob_it = shard.blobs.find(tag);
+    if (blob_it == shard.blobs.end()) continue;
+    const MetaEntry& meta = it->second;
     SyncEntry e;
     e.tag = tag;
     e.entry.challenge = meta.challenge;
@@ -196,13 +279,12 @@ SyncResponse ResultStore::sync_locked(const SyncRequest& req) {
 
 std::size_t ResultStore::merge_from_master(const SyncResponse& batch) {
   return enclave_->ecall([&] {
-    std::lock_guard<std::mutex> lock(mu_);
     std::size_t inserted = 0;
     serialize::AppId master_owner{};
     master_owner.fill(0xee);  // synthetic owner for replicated entries
     for (const SyncEntry& e : batch.entries) {
-      if (insert_locked(e.tag, master_owner, e.entry,
-                        /*enforce_quota=*/false) == PutStatus::kStored) {
+      if (insert_trusted(e.tag, master_owner, e.entry,
+                         /*enforce_quota=*/false) == PutStatus::kStored) {
         ++inserted;
       }
     }
@@ -210,31 +292,33 @@ std::size_t ResultStore::merge_from_master(const SyncResponse& batch) {
   });
 }
 
-void ResultStore::erase_locked(const Tag& tag) {
-  const auto it = dict_.find(tag);
-  if (it == dict_.end()) return;
+void ResultStore::erase_locked(Shard& shard, const Tag& tag) {
+  const auto it = shard.dict.find(tag);
+  if (it == shard.dict.end()) return;
   MetaEntry& meta = it->second;
-  stats_.ciphertext_bytes -= meta.blob_bytes;
-  auto quota_it = quota_used_.find(meta.owner);
-  if (quota_it != quota_used_.end()) {
-    quota_it->second -= std::min(quota_it->second, meta.blob_bytes);
-  }
-  lru_.erase(meta.lru_it);
-  blobs_.erase(tag);
-  dict_.erase(it);
-  recharge_trusted_locked();
+  shard.ciphertext_bytes.fetch_sub(meta.blob_bytes, std::memory_order_relaxed);
+  quota_.release(meta.owner, meta.blob_bytes);
+  shard.trusted_bytes -= meta_bytes(meta.challenge, meta.wrapped_key);
+  shard.lru.erase(meta.lru_it);
+  shard.blobs.erase(tag);
+  shard.dict.erase(it);
+  shard.entries.fetch_sub(1, std::memory_order_relaxed);
+  shard.trusted_charge.resize(shard.trusted_bytes);
 }
 
-void ResultStore::evict_for_space_locked(std::uint64_t incoming_bytes) {
-  while (!lru_.empty() &&
-         stats_.ciphertext_bytes + incoming_bytes > config_.max_ciphertext_bytes) {
-    Tag victim = lru_.back();
+void ResultStore::evict_for_space_locked(Shard& shard,
+                                         std::uint64_t incoming_bytes) {
+  while (!shard.lru.empty() &&
+         shard.ciphertext_bytes.load(std::memory_order_relaxed) +
+                 incoming_bytes >
+             shard_capacity_bytes_) {
+    Tag victim = shard.lru.back();
     if (config_.eviction == StoreConfig::Eviction::kLfu) {
       // Least frequently used, ties broken toward least recently used
       // (scan backward from the cold end of the recency list).
       std::uint64_t best_hits = ~0ull;
-      for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
-        const std::uint64_t hits = dict_.at(*it).hits;
+      for (auto it = shard.lru.rbegin(); it != shard.lru.rend(); ++it) {
+        const std::uint64_t hits = shard.dict.at(*it).hits;
         if (hits < best_hits) {
           best_hits = hits;
           victim = *it;
@@ -242,41 +326,43 @@ void ResultStore::evict_for_space_locked(std::uint64_t incoming_bytes) {
         }
       }
     }
-    erase_locked(victim);
-    ++stats_.evictions;
+    erase_locked(shard, victim);
+    shard.evictions.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
-void ResultStore::touch_lru_locked(MetaEntry& entry, const Tag& tag) {
-  lru_.erase(entry.lru_it);
-  lru_.push_front(tag);
-  entry.lru_it = lru_.begin();
-}
-
-std::uint64_t ResultStore::trusted_bytes_locked() const {
-  std::uint64_t total = 0;
-  for (const auto& [tag, meta] : dict_) {
-    total += meta_bytes(meta.challenge, meta.wrapped_key);
-  }
-  return total;
-}
-
-void ResultStore::recharge_trusted_locked() {
-  trusted_charge_.resize(trusted_bytes_locked());
+void ResultStore::touch_lru_locked(Shard& shard, MetaEntry& entry,
+                                   const Tag& tag) {
+  shard.lru.erase(entry.lru_it);
+  shard.lru.push_front(tag);
+  entry.lru_it = shard.lru.begin();
 }
 
 bool ResultStore::corrupt_blob_for_testing(const serialize::Tag& tag) {
-  std::lock_guard<std::mutex> lock(mu_);
-  const auto it = blobs_.find(tag);
-  if (it == blobs_.end() || it->second.empty()) return false;
+  Shard& shard = shard_for(tag);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.blobs.find(tag);
+  if (it == shard.blobs.end() || it->second.empty()) return false;
   it->second[it->second.size() / 2] ^= 0x01;
   return true;
 }
 
 ResultStore::Stats ResultStore::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  Stats s = stats_;
-  s.entries = dict_.size();
+  Stats s;
+  for (const auto& shard : shards_) {
+    s.get_requests += shard->get_requests.load(std::memory_order_relaxed);
+    s.hits += shard->hits.load(std::memory_order_relaxed);
+    s.put_requests += shard->put_requests.load(std::memory_order_relaxed);
+    s.stored += shard->stored.load(std::memory_order_relaxed);
+    s.duplicate_puts += shard->duplicate_puts.load(std::memory_order_relaxed);
+    s.quota_rejections +=
+        shard->quota_rejections.load(std::memory_order_relaxed);
+    s.evictions += shard->evictions.load(std::memory_order_relaxed);
+    s.corrupt_blobs += shard->corrupt_blobs.load(std::memory_order_relaxed);
+    s.entries += shard->entries.load(std::memory_order_relaxed);
+    s.ciphertext_bytes +=
+        shard->ciphertext_bytes.load(std::memory_order_relaxed);
+  }
   return s;
 }
 
@@ -284,17 +370,26 @@ ResultStore::Stats ResultStore::stats() const {
 
 Bytes ResultStore::seal_snapshot() {
   return enclave_->ecall([&] {
-    std::lock_guard<std::mutex> lock(mu_);
+    // All shard locks, in index order (the only multi-lock path besides
+    // restore; single-tag operations only ever hold one).
+    std::vector<std::unique_lock<std::mutex>> locks;
+    locks.reserve(shards_.size());
+    for (const auto& shard : shards_) locks.emplace_back(shard->mu);
+
     serialize::Encoder enc;
-    enc.u32(static_cast<std::uint32_t>(dict_.size()));
-    for (const auto& [tag, meta] : dict_) {
-      enc.raw(ByteView(tag.data(), tag.size()));
-      enc.var_bytes(meta.challenge);
-      enc.var_bytes(meta.wrapped_key);
-      enc.raw(ByteView(meta.owner.data(), meta.owner.size()));
-      enc.u64(meta.hits);
-      const auto blob_it = blobs_.find(tag);
-      enc.var_bytes(blob_it != blobs_.end() ? blob_it->second : Bytes{});
+    std::size_t total = 0;
+    for (const auto& shard : shards_) total += shard->dict.size();
+    enc.u32(static_cast<std::uint32_t>(total));
+    for (const auto& shard : shards_) {
+      for (const auto& [tag, meta] : shard->dict) {
+        enc.raw(ByteView(tag.data(), tag.size()));
+        enc.var_bytes(meta.challenge);
+        enc.var_bytes(meta.wrapped_key);
+        enc.raw(ByteView(meta.owner.data(), meta.owner.size()));
+        enc.u64(meta.hits);
+        const auto blob_it = shard->blobs.find(tag);
+        enc.var_bytes(blob_it != shard->blobs.end() ? blob_it->second : Bytes{});
+      }
     }
     return enclave_->seal(as_bytes("result-store-snapshot-v1"), enc.view());
   });
@@ -305,7 +400,6 @@ bool ResultStore::restore_snapshot(ByteView sealed) {
     const auto plain =
         enclave_->unseal(as_bytes("result-store-snapshot-v1"), sealed);
     if (!plain.has_value()) return false;
-    std::lock_guard<std::mutex> lock(mu_);
     try {
       serialize::Decoder dec(*plain);
       const std::uint32_t n = dec.u32();
@@ -321,9 +415,11 @@ bool ResultStore::restore_snapshot(ByteView sealed) {
         std::copy(ob.begin(), ob.end(), owner.begin());
         const std::uint64_t hits = dec.u64();
         entry.result_ct = dec.var_bytes();
-        if (insert_locked(tag, owner, entry, /*enforce_quota=*/false) ==
+        if (insert_trusted(tag, owner, entry, /*enforce_quota=*/false) ==
             PutStatus::kStored) {
-          dict_.at(tag).hits = hits;
+          Shard& shard = shard_for(tag);
+          std::lock_guard<std::mutex> lock(shard.mu);
+          shard.dict.at(tag).hits = hits;
         }
       }
       dec.expect_done();

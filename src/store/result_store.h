@@ -12,6 +12,18 @@
 //     the store cannot read; their digest in the trusted entry lets the
 //     store detect host-side corruption on GET and degrade to a miss.
 //
+// Concurrency: the dictionary, recency/frequency lists, blob arena, and
+// capacity accounting are partitioned into `StoreConfig::shards`
+// tag-addressed shards, memcached-style. A tag maps to exactly one shard
+// (an entry is never split), each shard has its own mutex and eviction
+// state, and GET/PUT for different shards proceed in parallel — which is
+// what lets the per-connection worker threads of StoreTcpServer scale.
+// Per-application quotas stay globally exact through a lock-striped ledger
+// keyed by AppId, and stats() aggregates per-shard atomic counters without
+// taking any shard lock. `shards = 1` (the default) reproduces the original
+// single-mutex store bit-for-bit, and is the baseline the Fig. 6 throughput
+// bench compares against.
+//
 // The host-side body parses each framed request and dispatches one ECALL
 // (GET or PUT) that marshals data at the boundary and touches the trusted
 // dictionary, mirroring the paper's two customized ECALLs. DoS defence is a
@@ -20,10 +32,13 @@
 // Remark.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <list>
+#include <memory>
 #include <mutex>
 #include <unordered_map>
+#include <vector>
 
 #include "common/bytes.h"
 #include "crypto/sha256.h"
@@ -33,11 +48,14 @@
 namespace speed::store {
 
 struct StoreConfig {
-  /// Capacity of the untrusted ciphertext arena; eviction beyond this.
+  /// Capacity of the untrusted ciphertext arena across all shards; each
+  /// shard owns an equal slice and evicts within it.
   std::uint64_t max_ciphertext_bytes = 256ull * 1024 * 1024;
   /// Per-application stored-bytes quota (rate-limiting defence, §III-D).
+  /// Enforced exactly across shards.
   std::uint64_t per_app_quota_bytes = 64ull * 1024 * 1024;
-  /// Upper bound on dictionary entries (trusted memory guard).
+  /// Upper bound on dictionary entries (trusted memory guard), split across
+  /// shards like the arena capacity.
   std::size_t max_entries = 1u << 20;
 
   /// Which entry to sacrifice when the arena is full. kLru suits shifting
@@ -45,6 +63,12 @@ struct StoreConfig {
   /// results" the §IV-B master store replicates) from scan-like churn.
   enum class Eviction { kLru, kLfu };
   Eviction eviction = Eviction::kLru;
+
+  /// Lock-striping factor. 1 (the default) is the original single-mutex
+  /// store; concurrent deployments (StoreTcpServer) want a small power of
+  /// two, e.g. 8. Real tags are SHA-256 outputs, so shard assignment (taken
+  /// from tag bytes disjoint from the dictionary's hash bytes) is uniform.
+  std::size_t shards = 1;
 };
 
 class ResultStore {
@@ -60,7 +84,9 @@ class ResultStore {
   Bytes handle(ByteView request);
 
   /// Trusted dispatch: must already execute in the store enclave's context
-  /// (used by handle() and by StoreSession's secure-channel ECALL).
+  /// (used by handle() and by StoreSession's secure-channel ECALL). Takes
+  /// only the target shard's lock, so concurrent sessions proceed in
+  /// parallel when their tags hash to different shards.
   serialize::Message dispatch_trusted(const serialize::Message& request);
 
   // Typed convenience API (each performs its own ECALL).
@@ -96,10 +122,12 @@ class ResultStore {
     std::uint64_t entries = 0;
     std::uint64_t ciphertext_bytes = 0;
   };
+  /// Aggregated over shards from atomic counters — never blocks a GET/PUT.
   Stats stats() const;
 
   sgx::Enclave& enclave() { return *enclave_; }
   const StoreConfig& config() const { return config_; }
+  std::size_t shard_count() const { return shards_.size(); }
 
  private:
   struct TagHash {
@@ -108,6 +136,20 @@ class ResultStore {
       static_assert(sizeof(h) <= 32);
       __builtin_memcpy(&h, t.data(), sizeof(h));
       return h;
+    }
+  };
+
+  /// AppIds are enclave measurements, not SHA tags; they get their own
+  /// hasher (FNV-1a over the full 32 bytes) instead of borrowing TagHash
+  /// through the layout coincidence that both are 32-byte arrays.
+  struct AppIdHash {
+    std::size_t operator()(const serialize::AppId& a) const {
+      std::uint64_t h = 14695981039346656037ull;
+      for (const std::uint8_t b : a) {
+        h ^= b;
+        h *= 1099511628211ull;
+      }
+      return static_cast<std::size_t>(h);
     }
   };
 
@@ -123,37 +165,85 @@ class ResultStore {
     std::list<serialize::Tag>::iterator lru_it;
   };
 
-  serialize::GetResponse get_locked(const serialize::GetRequest& req);
-  serialize::PutResponse put_locked(const serialize::PutRequest& req);
-  serialize::SyncResponse sync_locked(const serialize::SyncRequest& req);
+  /// One lock's worth of store: dictionary + recency list + blob arena +
+  /// eviction state + its slice of the trusted-memory charge. Counters the
+  /// lock-free stats() reads are atomics; everything else is guarded by mu.
+  struct Shard {
+    explicit Shard(sgx::Enclave& enclave) : trusted_charge(enclave, 0) {}
 
-  /// Insert helper shared by put and merge. `enforce_quota` distinguishes
-  /// application PUTs from master-sync merges.
-  serialize::PutStatus insert_locked(const serialize::Tag& tag,
-                                     const serialize::AppId& owner,
-                                     const serialize::EntryPayload& entry,
-                                     bool enforce_quota);
+    mutable std::mutex mu;
+    std::unordered_map<serialize::Tag, MetaEntry, TagHash> dict;
+    std::list<serialize::Tag> lru;  ///< front = most recently used
+    std::unordered_map<serialize::Tag, Bytes, TagHash> blobs;
+    /// Incrementally maintained metadata footprint (the old store re-walked
+    /// the whole dictionary on every insert/erase to recompute it).
+    std::uint64_t trusted_bytes = 0;
+    sgx::TrustedCharge trusted_charge;
 
-  void erase_locked(const serialize::Tag& tag);
-  void evict_for_space_locked(std::uint64_t incoming_bytes);
-  void touch_lru_locked(MetaEntry& entry, const serialize::Tag& tag);
-  void recharge_trusted_locked();
-  std::uint64_t trusted_bytes_locked() const;
+    std::atomic<std::uint64_t> get_requests{0};
+    std::atomic<std::uint64_t> hits{0};
+    std::atomic<std::uint64_t> put_requests{0};
+    std::atomic<std::uint64_t> stored{0};
+    std::atomic<std::uint64_t> duplicate_puts{0};
+    std::atomic<std::uint64_t> quota_rejections{0};
+    std::atomic<std::uint64_t> evictions{0};
+    std::atomic<std::uint64_t> corrupt_blobs{0};
+    std::atomic<std::uint64_t> entries{0};
+    std::atomic<std::uint64_t> ciphertext_bytes{0};
+  };
+
+  /// Globally exact per-application quota accounting, lock-striped by AppId
+  /// so it never serializes two shards. Stripe locks nest inside shard locks
+  /// and acquire nothing themselves.
+  class QuotaLedger {
+   public:
+    QuotaLedger(std::uint64_t limit, std::size_t stripes);
+
+    /// Atomically check-and-charge; false (and no charge) if `bytes` would
+    /// push `app` past the limit.
+    bool try_charge(const serialize::AppId& app, std::uint64_t bytes);
+    /// Unchecked charge (quota-exempt inserts still account their usage).
+    void charge(const serialize::AppId& app, std::uint64_t bytes);
+    void release(const serialize::AppId& app, std::uint64_t bytes);
+
+   private:
+    struct Stripe {
+      std::mutex mu;
+      std::unordered_map<serialize::AppId, std::uint64_t, AppIdHash> used;
+    };
+    Stripe& stripe_for(const serialize::AppId& app);
+
+    std::uint64_t limit_;
+    std::vector<std::unique_ptr<Stripe>> stripes_;
+  };
+
+  Shard& shard_for(const serialize::Tag& tag);
+
+  serialize::GetResponse get_trusted(const serialize::GetRequest& req);
+  serialize::PutResponse put_trusted(const serialize::PutRequest& req);
+  serialize::SyncResponse sync_trusted(const serialize::SyncRequest& req);
+
+  /// Insert helper shared by put and merge; takes `shard.mu` itself.
+  /// `enforce_quota` distinguishes application PUTs from master-sync merges.
+  serialize::PutStatus insert_trusted(const serialize::Tag& tag,
+                                      const serialize::AppId& owner,
+                                      const serialize::EntryPayload& entry,
+                                      bool enforce_quota);
+
+  void erase_locked(Shard& shard, const serialize::Tag& tag);
+  void evict_for_space_locked(Shard& shard, std::uint64_t incoming_bytes);
+  void touch_lru_locked(Shard& shard, MetaEntry& entry,
+                        const serialize::Tag& tag);
 
   sgx::Platform& platform_;
   std::unique_ptr<sgx::Enclave> enclave_;
   StoreConfig config_;
+  /// Per-shard slices of the global capacity limits.
+  std::uint64_t shard_capacity_bytes_;
+  std::size_t shard_max_entries_;
 
-  mutable std::mutex mu_;
-  // ---- trusted state (conceptually inside the store enclave) ----
-  std::unordered_map<serialize::Tag, MetaEntry, TagHash> dict_;
-  std::list<serialize::Tag> lru_;  ///< front = most recently used
-  std::unordered_map<serialize::AppId, std::uint64_t, TagHash> quota_used_;
-  sgx::TrustedCharge trusted_charge_;
-  // ---- untrusted state (outside the enclave) ----
-  std::unordered_map<serialize::Tag, Bytes, TagHash> blobs_;
-
-  Stats stats_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  QuotaLedger quota_;
 };
 
 }  // namespace speed::store

@@ -8,7 +8,10 @@
 //
 // Connections that fail attestation or violate the channel (tamper/replay)
 // are dropped. Each connection is served by its own thread; the trusted
-// dictionary is shared (ResultStore is thread-safe).
+// dictionary is shared (ResultStore is thread-safe). With
+// StoreConfig::shards > 1 those per-connection threads execute GET/PUT
+// against different tag shards in parallel — only requests that land on
+// the same shard serialize on its mutex.
 #pragma once
 
 #include <atomic>

@@ -167,5 +167,98 @@ TEST(ConcurrencyTest, StoreSurvivesParallelMixedTraffic) {
   EXPECT_LE(store.stats().ciphertext_bytes, cfg.max_ciphertext_bytes);
 }
 
+TEST(ConcurrencyTest, ShardedStoreParallelStress) {
+  // 8 worker threads hammer GET/PUT across an 8-shard store sized so every
+  // shard keeps evicting, with per-app quotas in play and stats() polled
+  // concurrently — the TSan acceptance workload for the lock-striped store.
+  sgx::Platform platform(fast_model());
+  store::StoreConfig cfg;
+  cfg.shards = 8;
+  cfg.max_ciphertext_bytes = 200'000;  // 25 KB per shard: constant eviction
+  cfg.per_app_quota_bytes = 120'000;   // ledger contention across shards
+  store::ResultStore store(platform, cfg);
+
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 400;
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Xoshiro256 rng(static_cast<std::uint64_t>(7 + t));
+      try {
+        for (int i = 0; i < kOpsPerThread; ++i) {
+          serialize::Tag tag{};
+          tag[0] = static_cast<std::uint8_t>(rng.below(100));  // dict key
+          tag[8] = static_cast<std::uint8_t>(rng.below(64));   // shard pick
+          if (rng.below(3) == 0) {
+            serialize::PutRequest put;
+            put.tag = tag;
+            put.requester.fill(static_cast<std::uint8_t>(t % 3));
+            put.entry.challenge = rng.bytes(32);
+            put.entry.wrapped_key = rng.bytes(16);
+            put.entry.result_ct = rng.bytes(500 + rng.below(1000));
+            store.put(put);
+          } else {
+            serialize::GetRequest get;
+            get.tag = tag;
+            get.requester.fill(static_cast<std::uint8_t>(t % 3));
+            store.get(get);
+          }
+          if (i % 97 == 0) (void)store.stats();  // lock-free reader in the mix
+        }
+      } catch (...) {
+        failed = true;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_FALSE(failed.load());
+  const auto s = store.stats();
+  EXPECT_EQ(s.get_requests + s.put_requests,
+            static_cast<std::uint64_t>(kThreads * kOpsPerThread));
+  EXPECT_LE(s.ciphertext_bytes, cfg.max_ciphertext_bytes);
+  EXPECT_GT(s.evictions, 0u) << "the stress must actually exercise eviction";
+}
+
+TEST(ConcurrencyTest, ThreadsRaceTheLocalCache) {
+  // Many threads repeat a small set of inputs through one runtime with the
+  // in-enclave cache on: after the first round, calls are pure cache traffic
+  // racing insert/evict/lookup on the cache lock.
+  sgx::Platform platform(fast_model());
+  store::ResultStore store(platform);
+  App app(platform, store, "cache-race-app");
+
+  std::atomic<int> executions{0};
+  Deduplicable<Bytes(const Bytes&)> f(
+      app.rt, {"lib", "1", "f"}, [&](const Bytes& in) {
+        ++executions;
+        return concat(in, as_bytes("#"));
+      });
+
+  constexpr int kThreads = 4;
+  std::atomic<int> wrong{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Xoshiro256 rng(static_cast<std::uint64_t>(31 + t));
+      for (int i = 0; i < 100; ++i) {
+        const Bytes input = {static_cast<std::uint8_t>(rng.below(6))};
+        if (f(input) != concat(input, as_bytes("#"))) ++wrong;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  app.rt.flush();
+
+  EXPECT_EQ(wrong.load(), 0);
+  const auto s = app.rt.stats();
+  EXPECT_EQ(s.calls, static_cast<std::uint64_t>(kThreads * 100));
+  EXPECT_GT(s.local_hits, 0u) << "repeats were served from the cache";
+  // Every call either computed or was deduplicated (store or local).
+  EXPECT_EQ(s.calls, static_cast<std::uint64_t>(executions.load()) + s.hits +
+                         s.local_hits);
+}
+
 }  // namespace
 }  // namespace speed::runtime

@@ -42,6 +42,15 @@ ResilienceConfig fast_resilience() {
   return rc;
 }
 
+/// This file exercises the transport/degrade path: repeated calls must
+/// actually reach the (faulty) store, so the runtime's in-enclave result
+/// cache — which would serve the repeats locally — stays off.
+runtime::RuntimeConfig no_local_cache() {
+  runtime::RuntimeConfig cfg;
+  cfg.local_cache = false;
+  return cfg;
+}
+
 /// An application whose transport chain is
 ///   DedupRuntime -> ResilientTransport -> FaultInjectingTransport -> store,
 /// with a reconnect hook that re-runs the in-process attested handshake
@@ -52,7 +61,7 @@ struct FaultyApp {
             FaultInjectingTransport::Schedule schedule,
             std::shared_ptr<std::atomic<bool>> store_up,
             ResilienceConfig rc = fast_resilience(),
-            runtime::RuntimeConfig config = runtime::RuntimeConfig{})
+            runtime::RuntimeConfig config = no_local_cache())
       : enclave(platform.create_enclave(identity)) {
     // Reconnects build fresh FaultInjectingTransports whose per-instance
     // counters restart at 0; rebase the schedule on a shared counter so a
@@ -175,7 +184,8 @@ TEST_F(FaultInjectionTest, PlainTransportWithoutReconnectStillFailsOpen) {
       *enclave, conn.session_key,
       std::make_unique<FaultInjectingTransport>(
           std::move(conn.transport),
-          FaultInjectingTransport::fail_window(1, 2, Fault::kDisconnect)));
+          FaultInjectingTransport::fail_window(1, 2, Fault::kDisconnect)),
+      no_local_cache());
   rt.libraries().register_library("lib", "1", as_bytes("code"));
   std::atomic<int> execs{0};
   runtime::Deduplicable<Bytes(const Bytes&)> f(
@@ -476,7 +486,7 @@ TEST(ResilientTcpTest, ClientSurvivesStoreRestart) {
       *enclave, result_store.enclave().measurement(), "127.0.0.1", port, rc,
       /*deadline_ms=*/2000);
   runtime::DedupRuntime rt(*enclave, conn.session_key,
-                           std::move(conn.transport));
+                           std::move(conn.transport), no_local_cache());
   rt.libraries().register_library("lib", "1", as_bytes("code"));
   std::atomic<int> execs{0};
   runtime::Deduplicable<Bytes(const Bytes&)> f(

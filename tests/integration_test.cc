@@ -28,10 +28,11 @@ sgx::CostModel fast_model() {
 
 struct App {
   App(sgx::Platform& platform, store::ResultStore& store,
-      const std::string& identity)
+      const std::string& identity, RuntimeConfig config = RuntimeConfig{})
       : enclave(platform.create_enclave(identity)),
         connection(store::connect_app(store, *enclave)),
-        rt(*enclave, connection.session_key, std::move(connection.transport)) {}
+        rt(*enclave, connection.session_key, std::move(connection.transport),
+           std::move(config)) {}
 
   std::unique_ptr<sgx::Enclave> enclave;
   store::AppConnection connection;
@@ -141,7 +142,10 @@ TEST_F(IntegrationTest, VirusScannerOnRepeatedTraffic) {
   EXPECT_LE(executions, 40) << "each distinct payload scanned at most once";
   const auto stats = scanner.rt.stats();
   EXPECT_EQ(stats.calls, 200u);
-  EXPECT_EQ(stats.hits, 200u - static_cast<std::uint64_t>(executions));
+  // Repeats are deduplicated either by the store or by the runtime's
+  // in-enclave result cache; every non-computed call is one or the other.
+  EXPECT_EQ(stats.hits + stats.local_hits,
+            200u - static_cast<std::uint64_t>(executions));
   (void)alerts;
 }
 
@@ -282,7 +286,12 @@ TEST_F(IntegrationTest, StoreRestartWithSealedSnapshot) {
 }
 
 TEST_F(IntegrationTest, EpcStaysSmallWhileCiphertextsGrow) {
-  App app(platform_, store_, "bulk-app");
+  // The trusted-footprint bound below is about the *store*; disable the
+  // app-side result cache so its (legitimate, byte-capped) EPC charge does
+  // not drown the measurement.
+  RuntimeConfig no_cache;
+  no_cache.local_cache = false;
+  App app(platform_, store_, "bulk-app", std::move(no_cache));
   app.rt.libraries().register_library("lib", "1", as_bytes("code"));
   Deduplicable<Bytes(const Bytes&)> f(
       app.rt, {"lib", "1", "expand"}, [](const Bytes& in) {
@@ -304,7 +313,11 @@ TEST_F(IntegrationTest, EpcStaysSmallWhileCiphertextsGrow) {
 }
 
 TEST_F(IntegrationTest, HostCorruptionDegradesGracefully) {
-  App app(platform_, store_, "resilient-app");
+  // Exercises the store's corrupt-blob detection on a repeated call; the
+  // local cache would serve the repeat without ever touching the bad blob.
+  RuntimeConfig no_cache;
+  no_cache.local_cache = false;
+  App app(platform_, store_, "resilient-app", std::move(no_cache));
   app.rt.libraries().register_library("lib", "1", as_bytes("code"));
   int executions = 0;
   Deduplicable<Bytes(const Bytes&)> f(

@@ -53,6 +53,70 @@ TEST(TagTest, FieldBoundariesAreUnambiguous) {
       << "tags and secondary keys are domain-separated";
 }
 
+TEST(TagTest, MidstateMatchesNaiveDoubleHash) {
+  // ComputationContext absorbs (func, m) once and forks the SHA-256 midstate
+  // for t and h. The result must be identical to hashing everything from
+  // scratch per derivation — with the same length-prefixed encoding.
+  const FunctionIdentity fn = make_fn();
+  crypto::Drbg drbg(to_bytes("midstate"));
+  for (const std::size_t size : {std::size_t{0}, std::size_t{1},
+                                 std::size_t{55}, std::size_t{64},
+                                 std::size_t{1000}, std::size_t{1 << 16}}) {
+    const Bytes input = drbg.bytes(size);
+    const Bytes challenge = drbg.bytes(kChallengeSize);
+
+    const auto absorb = [](crypto::Sha256& h, ByteView part) {
+      std::uint8_t len[4];
+      const auto n = static_cast<std::uint32_t>(part.size());
+      for (int i = 0; i < 4; ++i) {
+        len[i] = static_cast<std::uint8_t>(n >> (8 * i));
+      }
+      h.update(ByteView(len, 4));
+      h.update(part);
+    };
+    crypto::Sha256 naive_tag;
+    naive_tag.update(as_bytes("speed-comp-v2"));
+    absorb(naive_tag, fn.unique_value());
+    absorb(naive_tag, input);
+    absorb(naive_tag, as_bytes("tag"));
+    crypto::Sha256 naive_skey;
+    naive_skey.update(as_bytes("speed-comp-v2"));
+    absorb(naive_skey, fn.unique_value());
+    absorb(naive_skey, input);
+    absorb(naive_skey, as_bytes("skey"));
+    absorb(naive_skey, challenge);
+
+    const ComputationContext ctx(fn, input);
+    EXPECT_EQ(ctx.tag(), naive_tag.finish()) << "input size " << size;
+    EXPECT_EQ(ctx.secondary_key(challenge), naive_skey.finish())
+        << "input size " << size;
+    // Forking must not consume the midstate: derive repeatedly.
+    EXPECT_EQ(ctx.tag(), derive_tag(fn, input));
+    EXPECT_EQ(ctx.secondary_key(challenge),
+              derive_secondary_key(fn, input, challenge));
+  }
+}
+
+TEST(RceTest, ContextPathMatchesFreeFunctions) {
+  // The ctx-based protect/recover (one pass over m) interoperates with the
+  // derive-internally overloads both ways.
+  crypto::Drbg drbg(to_bytes("ctx"));
+  const FunctionIdentity fn = make_fn();
+  const Bytes input = to_bytes("shared input");
+  const Bytes result = to_bytes("shared result");
+  const ComputationContext ctx(fn, input);
+
+  const auto from_ctx = ResultCipher::protect(ctx, result, drbg);
+  const auto via_free = ResultCipher::recover(fn, input, from_ctx);
+  ASSERT_TRUE(via_free.has_value());
+  EXPECT_EQ(*via_free, result);
+
+  const auto from_free = ResultCipher::protect(fn, input, result, drbg);
+  const auto via_ctx = ResultCipher::recover(ctx, from_free);
+  ASSERT_TRUE(via_ctx.has_value());
+  EXPECT_EQ(*via_ctx, result);
+}
+
 TEST(TagTest, SecondaryKeyDependsOnChallenge) {
   const FunctionIdentity fn = make_fn();
   const Bytes input = to_bytes("m");

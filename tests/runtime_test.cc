@@ -49,8 +49,17 @@ serialize::FunctionDescriptor desc(const std::string& sig = "bytes f(bytes)") {
   return {"testlib", "1.0", sig};
 }
 
+/// Config for tests that assert on per-call store traffic (hit counters,
+/// transition counts): the in-enclave result cache would serve the repeats
+/// locally and starve those assertions.
+RuntimeConfig store_path_config() {
+  RuntimeConfig cfg;
+  cfg.local_cache = false;
+  return cfg;
+}
+
 TEST_F(RuntimeTest, MissComputesHitReuses) {
-  App app(platform_, store_, "app");
+  App app(platform_, store_, "app", store_path_config());
   std::atomic<int> executions{0};
   Deduplicable<Bytes(const Bytes&)> f(app.rt, desc(),
                                       [&](const Bytes& in) {
@@ -279,7 +288,7 @@ TEST_F(RuntimeTest, RichArgumentAndResultTypes) {
 }
 
 TEST_F(RuntimeTest, TransitionAccountingPerCall) {
-  App app(platform_, store_, "count-app");
+  App app(platform_, store_, "count-app", store_path_config());
   Deduplicable<Bytes(const Bytes&)> f(app.rt, desc(),
                                       [](const Bytes& in) { return in; });
   const auto ecalls_before = app.enclave->ecall_count();
@@ -295,6 +304,102 @@ TEST_F(RuntimeTest, TransitionAccountingPerCall) {
   // Hit path adds 1 ECALL + 1 OCALL.
   EXPECT_EQ(app.enclave->ecall_count(), ecalls_before + 3);
   EXPECT_EQ(app.enclave->ocall_count(), ocalls_before + 3);
+}
+
+// ------------------------------------------------ in-enclave result cache
+
+TEST_F(RuntimeTest, LocalCacheServesRepeatsWithZeroRoundTrips) {
+  auto enclave = platform_.create_enclave("cache-app");
+  auto conn = store::connect_app(store_, *enclave);
+  auto* wire = static_cast<net::LoopbackTransport*>(conn.transport.get());
+  DedupRuntime rt(*enclave, conn.session_key, std::move(conn.transport));
+  rt.libraries().register_library("testlib", "1.0", as_bytes("testlib-code"));
+  std::atomic<int> executions{0};
+  Deduplicable<Bytes(const Bytes&)> f(rt, desc(), [&](const Bytes& in) {
+    ++executions;
+    return in;
+  });
+
+  const Bytes input = to_bytes("hot value");
+  EXPECT_EQ(f(input), input);  // miss: compute + async PUT
+  rt.flush();
+  const auto frames_after_miss = wire->round_trips();
+
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(f(input), input);
+    EXPECT_TRUE(f.last_was_deduplicated());
+  }
+  EXPECT_EQ(wire->round_trips(), frames_after_miss)
+      << "repeats must not cross the transport at all";
+  EXPECT_EQ(executions.load(), 1);
+  const auto s = rt.stats();
+  EXPECT_EQ(s.local_hits, 5u);
+  EXPECT_EQ(s.hits, 0u) << "the store never saw the repeats";
+}
+
+TEST_F(RuntimeTest, DisabledLocalCacheKeepsEveryCallOnTheStorePath) {
+  auto enclave = platform_.create_enclave("no-cache-app");
+  auto conn = store::connect_app(store_, *enclave);
+  auto* wire = static_cast<net::LoopbackTransport*>(conn.transport.get());
+  DedupRuntime rt(*enclave, conn.session_key, std::move(conn.transport),
+                  store_path_config());
+  rt.libraries().register_library("testlib", "1.0", as_bytes("testlib-code"));
+  Deduplicable<Bytes(const Bytes&)> f(rt, desc(),
+                                      [](const Bytes& in) { return in; });
+
+  const Bytes input = to_bytes("hot value");
+  f(input);
+  rt.flush();
+  const auto frames_after_miss = wire->round_trips();
+  f(input);
+  f(input);
+  EXPECT_EQ(wire->round_trips(), frames_after_miss + 2)
+      << "with the cache off every repeat is one GET round trip";
+  const auto s = rt.stats();
+  EXPECT_EQ(s.hits, 2u);
+  EXPECT_EQ(s.local_hits, 0u);
+}
+
+TEST_F(RuntimeTest, LocalCacheEvictsToItsByteCap) {
+  RuntimeConfig cfg;
+  cfg.local_cache_bytes = 2048;  // fits two ~700-byte results, not three
+  App app(platform_, store_, "small-cache", cfg);
+  Deduplicable<Bytes(const Bytes&)> f(
+      app.rt, desc(), [](const Bytes& in) { return Bytes(700, in.at(0)); });
+
+  const Bytes a = to_bytes("a"), b = to_bytes("b"), c = to_bytes("c");
+  f(a);
+  f(b);
+  f(c);  // evicts a (LRU tail)
+  app.rt.flush();
+
+  f(a);  // not cached any more: served by the store
+  f(c);  // still cached: served locally
+  const auto s = app.rt.stats();
+  EXPECT_EQ(s.hits, 1u) << "evicted entry fell back to the store";
+  EXPECT_EQ(s.local_hits, 1u) << "resident entry stayed local";
+}
+
+TEST_F(RuntimeTest, LocalCacheChargesTrustedMemory) {
+  const Bytes big(100 * 1024, 0x7f);
+  std::uint64_t before = 0;
+  {
+    App app(platform_, store_, "charged-app");
+    Deduplicable<Bytes(const Bytes&)> f(app.rt, desc(),
+                                        [&](const Bytes&) { return big; });
+    before = platform_.epc().used_bytes();
+    f(to_bytes("x"));
+    app.rt.flush();
+    const std::uint64_t growth = platform_.epc().used_bytes() - before;
+    EXPECT_GE(growth, big.size())
+        << "cached plaintext must be charged against the app enclave's EPC";
+    EXPECT_LT(growth, big.size() + 8 * 1024)
+        << "the [res] ciphertext itself stays untrusted";
+  }
+  // The store keeps its (small) dictionary entry; the cache's 100 KB charge
+  // must be gone with the runtime.
+  EXPECT_LT(platform_.epc().used_bytes(), before + 4 * 1024)
+      << "cache charge released with the runtime";
 }
 
 // Transparency property: for random inputs, the deduplicated function is
@@ -324,7 +429,10 @@ TEST_P(TransparencySweep, DedupEqualsPlain) {
     }
     app.rt.flush();
   }
-  EXPECT_GE(app.rt.stats().hits, inputs.size());
+  // The second pass is served by store hits and/or the in-enclave cache;
+  // either way every repeat must be a dedup, and outputs matched the oracle.
+  const auto s = app.rt.stats();
+  EXPECT_GE(s.hits + s.local_hits, inputs.size());
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, TransparencySweep,

@@ -382,5 +382,135 @@ TEST_F(StoreTest, TamperedSnapshotRejected) {
   EXPECT_FALSE(revived.restore_snapshot(snapshot));
 }
 
+// ------------------------------------------------------- sharded store
+
+/// Tag aimed at one shard: shard assignment reads bytes [8, 16), the
+/// dictionary hash reads bytes [0, 8) — set both independently.
+Tag sharded_tag(std::uint8_t shard, std::uint64_t n) {
+  Tag t = make_tag(n);
+  t[8] = shard;
+  return t;
+}
+
+TEST_F(StoreTest, ShardedCrossShardGetPut) {
+  StoreConfig cfg;
+  cfg.shards = 8;
+  ResultStore store(platform_, cfg);
+  ASSERT_EQ(store.shard_count(), 8u);
+
+  for (std::uint64_t n = 0; n < 64; ++n) {
+    PutRequest put = make_put(n);
+    put.tag = sharded_tag(static_cast<std::uint8_t>(n % 8), n);
+    ASSERT_EQ(store.put(put).status, PutStatus::kStored) << "tag " << n;
+  }
+  for (std::uint64_t n = 0; n < 64; ++n) {
+    GetRequest get;
+    get.tag = sharded_tag(static_cast<std::uint8_t>(n % 8), n);
+    EXPECT_TRUE(store.get(get).found) << "tag " << n;
+  }
+  const auto s = store.stats();
+  EXPECT_EQ(s.stored, 64u);
+  EXPECT_EQ(s.entries, 64u);
+  EXPECT_EQ(s.hits, 64u);
+  EXPECT_EQ(s.ciphertext_bytes, 64u * 64u);
+}
+
+TEST_F(StoreTest, ShardedEvictionIsPerShard) {
+  // Global capacity 800 over 2 shards = 400 per shard. Overflowing shard 0
+  // must evict only within shard 0; shard 1's entries are untouched.
+  StoreConfig cfg;
+  cfg.max_ciphertext_bytes = 800;
+  cfg.shards = 2;
+  ResultStore store(platform_, cfg);
+
+  for (std::uint64_t n = 0; n < 4; ++n) {
+    PutRequest put = make_put(n, 100);
+    put.tag = sharded_tag(1, n);
+    ASSERT_EQ(store.put(put).status, PutStatus::kStored);
+  }
+  for (std::uint64_t n = 10; n < 14; ++n) {
+    PutRequest put = make_put(n, 100);
+    put.tag = sharded_tag(0, n);
+    ASSERT_EQ(store.put(put).status, PutStatus::kStored);
+  }
+  // Shard 0 is now at its 400-byte slice; one more PUT there evicts there.
+  PutRequest put = make_put(20, 100);
+  put.tag = sharded_tag(0, 20);
+  ASSERT_EQ(store.put(put).status, PutStatus::kStored);
+  EXPECT_EQ(store.stats().evictions, 1u);
+  for (std::uint64_t n = 0; n < 4; ++n) {
+    GetRequest get;
+    get.tag = sharded_tag(1, n);
+    EXPECT_TRUE(store.get(get).found) << "shard 1 must not pay shard 0's rent";
+  }
+}
+
+TEST_F(StoreTest, ShardedLfuProtectsHotEntriesWithinShard) {
+  StoreConfig cfg;
+  cfg.max_ciphertext_bytes = 600;  // 300 per shard
+  cfg.eviction = StoreConfig::Eviction::kLfu;
+  cfg.shards = 2;
+  ResultStore store(platform_, cfg);
+
+  for (std::uint64_t n = 0; n < 3; ++n) {
+    PutRequest put = make_put(n, 100);
+    put.tag = sharded_tag(0, n);
+    ASSERT_EQ(store.put(put).status, PutStatus::kStored);
+  }
+  GetRequest hot;
+  hot.tag = sharded_tag(0, 0);
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(store.get(hot).found);
+
+  PutRequest put = make_put(9, 100);
+  put.tag = sharded_tag(0, 9);
+  ASSERT_EQ(store.put(put).status, PutStatus::kStored);
+  EXPECT_EQ(store.stats().evictions, 1u);
+  EXPECT_TRUE(store.get(hot).found) << "LFU keeps the hot entry in its shard";
+}
+
+TEST_F(StoreTest, ShardedQuotaStaysGloballyExact) {
+  // An app spreading PUTs over all shards must still be capped at its one
+  // global quota, not shards * quota.
+  StoreConfig cfg;
+  cfg.per_app_quota_bytes = 350;
+  cfg.shards = 8;
+  ResultStore store(platform_, cfg);
+
+  for (std::uint64_t n = 0; n < 3; ++n) {
+    PutRequest put = make_put(n, 100, 0x01);
+    put.tag = sharded_tag(static_cast<std::uint8_t>(n), n);
+    ASSERT_EQ(store.put(put).status, PutStatus::kStored);
+  }
+  PutRequest fourth = make_put(3, 100, 0x01);
+  fourth.tag = sharded_tag(3, 3);
+  EXPECT_EQ(store.put(fourth).status, PutStatus::kQuotaExceeded)
+      << "350-byte quota admits 3x100, not 4x100, regardless of shard spread";
+  PutRequest other_app = make_put(4, 100, 0x02);
+  other_app.tag = sharded_tag(3, 4);
+  EXPECT_EQ(store.put(other_app).status, PutStatus::kStored);
+}
+
+TEST_F(StoreTest, SnapshotRestoresAcrossShardCounts) {
+  // Snapshots are shard-layout independent: entries re-shard on restore.
+  StoreConfig cfg8;
+  cfg8.shards = 8;
+  ResultStore sharded(platform_, cfg8);
+  for (std::uint64_t n = 0; n < 16; ++n) {
+    PutRequest put = make_put(n);
+    put.tag = sharded_tag(static_cast<std::uint8_t>(n % 8), n);
+    ASSERT_EQ(sharded.put(put).status, PutStatus::kStored);
+  }
+  const Bytes snapshot = sharded.seal_snapshot();
+
+  ResultStore single(platform_);  // shards = 1
+  ASSERT_TRUE(single.restore_snapshot(snapshot));
+  EXPECT_EQ(single.stats().entries, 16u);
+  for (std::uint64_t n = 0; n < 16; ++n) {
+    GetRequest get;
+    get.tag = sharded_tag(static_cast<std::uint8_t>(n % 8), n);
+    EXPECT_TRUE(single.get(get).found) << "tag " << n;
+  }
+}
+
 }  // namespace
 }  // namespace speed::store
