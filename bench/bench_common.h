@@ -11,6 +11,7 @@
 //   Subsq.Comp. — repeated execution through SPEED (hit path).
 #pragma once
 
+#include <cstdio>
 #include <functional>
 #include <memory>
 #include <string>
@@ -18,6 +19,8 @@
 #include "common/clock.h"
 #include "common/table.h"
 #include "runtime/speed.h"
+#include "telemetry/exposition.h"
+#include "telemetry/metrics.h"
 
 namespace speed::bench {
 
@@ -56,6 +59,84 @@ inline double time_ms(int trials, const std::function<void()>& fn) {
 
 inline std::string pct(double value, double baseline) {
   return TablePrinter::fmt(100.0 * value / baseline, 1) + "%";
+}
+
+/// Per-sample latency summary backed by the production telemetry histogram,
+/// so benches and the exported speed_* metrics report percentiles from one
+/// implementation. One recorder per worker thread, merged at the end —
+/// merging is exact (see telemetry/metrics.h), so the merged quantiles are
+/// identical to single-recorder quantiles over the union of samples.
+class LatencyRecorder {
+ public:
+  void record_ns(std::uint64_t ns) { hist_.record(ns); }
+
+  /// Time one call and record it.
+  template <typename Fn>
+  void time(Fn&& fn) {
+    Stopwatch sw;
+    fn();
+    record_ns(sw.elapsed_ns());
+  }
+
+  telemetry::HistogramSnapshot snapshot() const { return hist_.snapshot(); }
+
+ private:
+  telemetry::Histogram hist_;
+};
+
+struct LatencySummary {
+  std::uint64_t count = 0;
+  double mean_us = 0;
+  double p50_us = 0;
+  double p95_us = 0;
+  double p99_us = 0;
+  double max_us = 0;
+
+  std::string json() const {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"count\": %llu, \"mean_us\": %.2f, \"p50_us\": %.2f, "
+                  "\"p95_us\": %.2f, \"p99_us\": %.2f, \"max_us\": %.2f}",
+                  static_cast<unsigned long long>(count), mean_us, p50_us,
+                  p95_us, p99_us, max_us);
+    return buf;
+  }
+};
+
+inline LatencySummary summarize(const telemetry::HistogramSnapshot& s) {
+  LatencySummary out;
+  out.count = s.count;
+  out.mean_us = s.mean() / 1000.0;
+  out.p50_us = static_cast<double>(s.quantile(0.50)) / 1000.0;
+  out.p95_us = static_cast<double>(s.quantile(0.95)) / 1000.0;
+  out.p99_us = static_cast<double>(s.quantile(0.99)) / 1000.0;
+  out.max_us = static_cast<double>(s.max) / 1000.0;
+  return out;
+}
+
+/// Merge per-thread recorders and summarize the union.
+inline LatencySummary summarize(const std::vector<LatencyRecorder>& recorders) {
+  telemetry::HistogramSnapshot merged;
+  for (const auto& r : recorders) merged.merge(r.snapshot());
+  return summarize(merged);
+}
+
+/// Write the process-wide telemetry snapshot next to a bench's JSON output
+/// (e.g. BENCH_fig6.json -> BENCH_fig6.telemetry.json). Returns the path.
+inline std::string write_telemetry_snapshot(const std::string& results_path) {
+  std::string path = results_path;
+  const auto dot = path.rfind(".json");
+  if (dot != std::string::npos && dot == path.size() - 5) {
+    path.replace(dot, 5, ".telemetry.json");
+  } else {
+    path += ".telemetry.json";
+  }
+  const std::string json = telemetry::snapshot_json();
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) return {};
+  std::fwrite(json.data(), 1, json.size(), out);
+  std::fclose(out);
+  return path;
 }
 
 }  // namespace speed::bench

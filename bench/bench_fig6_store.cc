@@ -104,6 +104,7 @@ struct ThroughputPoint {
   std::size_t ops;
   double wall_ms;
   double ops_per_sec;
+  bench::LatencySummary latency;  ///< per-GET client-observed latency
 };
 
 /// Closed loop: `threads` clients each issue kOpsPerThread GETs from their
@@ -135,15 +136,22 @@ ThroughputPoint run_throughput(const sgx::CostModel& model, int threads,
         /*seed=*/42 + static_cast<std::uint64_t>(t)));
   }
 
+  // One recorder per thread, merged after the run: the telemetry histogram
+  // merge is exact, so the union quantiles are identical to recording every
+  // sample into a single histogram.
+  std::vector<bench::LatencyRecorder> recorders(
+      static_cast<std::size_t>(threads));
+
   std::vector<std::thread> workers;
   Stopwatch sw;
   for (int t = 0; t < threads; ++t) {
-    workers.emplace_back([&store, &streams, t] {
+    workers.emplace_back([&store, &streams, &recorders, t] {
+      auto& rec = recorders[static_cast<std::size_t>(t)];
       for (const std::size_t idx : streams[static_cast<std::size_t>(t)]) {
         serialize::GetRequest get;
         get.tag = nth_tag(0xbeef, idx);
         get.requester.fill(0x01);
-        store.get(get);
+        rec.time([&] { store.get(get); });
       }
     });
   }
@@ -156,6 +164,7 @@ ThroughputPoint run_throughput(const sgx::CostModel& model, int threads,
   p.ops = static_cast<std::size_t>(threads) * kOpsPerThread;
   p.wall_ms = wall_ms;
   p.ops_per_sec = 1000.0 * static_cast<double>(p.ops) / wall_ms;
+  p.latency = bench::summarize(recorders);
   return p;
 }
 
@@ -175,10 +184,12 @@ void json_points(std::string& out, const std::vector<ThroughputPoint>& pts) {
     char buf[256];
     std::snprintf(buf, sizeof(buf),
                   "%s{\"threads\": %d, \"shards\": %zu, \"ops\": %zu, "
-                  "\"wall_ms\": %.3f, \"ops_per_sec\": %.1f}",
+                  "\"wall_ms\": %.3f, \"ops_per_sec\": %.1f, \"get_latency\": ",
                   i ? ", " : "", pts[i].threads, pts[i].shards, pts[i].ops,
                   pts[i].wall_ms, pts[i].ops_per_sec);
     out += buf;
+    out += pts[i].latency.json();
+    out += "}";
   }
   out += "]";
 }
@@ -238,7 +249,8 @@ int main(int argc, char** argv) {
 
   const sgx::CostModel emulated = emulated_store_model();
   std::vector<ThroughputPoint> emu_points;
-  TablePrinter tp({"Threads", "1 shard (op/s)", "8 shards (op/s)", "Speedup"});
+  TablePrinter tp({"Threads", "1 shard (op/s)", "8 shards (op/s)", "Speedup",
+                   "8sh p50 (us)", "8sh p99 (us)"});
   for (const int threads : {1, 2, 4, 8}) {
     const ThroughputPoint single = run_throughput(emulated, threads, 1);
     const ThroughputPoint sharded = run_throughput(emulated, threads, 8);
@@ -248,7 +260,9 @@ int main(int argc, char** argv) {
                 TablePrinter::fmt(single.ops_per_sec, 0),
                 TablePrinter::fmt(sharded.ops_per_sec, 0),
                 TablePrinter::fmt(sharded.ops_per_sec / single.ops_per_sec, 2) +
-                    "x"});
+                    "x",
+                TablePrinter::fmt(sharded.latency.p50_us, 1),
+                TablePrinter::fmt(sharded.latency.p99_us, 1)});
   }
   tp.print();
   const double ratio_8t = emu_points[7].ops_per_sec / emu_points[6].ops_per_sec;
@@ -303,5 +317,28 @@ int main(int argc, char** argv) {
   std::fwrite(json.data(), 1, json.size(), out);
   std::fclose(out);
   std::printf("\nWrote %s\n", json_path.c_str());
+
+  // Telemetry snapshot next to the results. Collectors deregister when
+  // their component dies, so scrape while a full deployment is live: the
+  // snapshot then covers runtime, per-shard store, channel, and enclave
+  // families on top of the process-cumulative transition counters from the
+  // runs above.
+  {
+    bench::Testbed bed("fig6-telemetry");
+    bed.rt.libraries().register_library("fig6", "1", to_bytes("fig6-code"));
+    const auto fn = bed.rt.resolve({"fig6", "1", "echo"});
+    const Bytes input = to_bytes("telemetry-sample");
+    for (int i = 0; i < 3; ++i) {
+      bed.rt.execute(fn, input, [&] { return input; });
+    }
+    bed.rt.flush();
+    const std::string telemetry_path =
+        bench::write_telemetry_snapshot(json_path);
+    if (telemetry_path.empty()) {
+      std::fprintf(stderr, "cannot write telemetry snapshot\n");
+      return 1;
+    }
+    std::printf("Wrote %s\n", telemetry_path.c_str());
+  }
   return 0;
 }

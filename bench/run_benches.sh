@@ -1,11 +1,13 @@
-#!/bin/sh
+#!/usr/bin/env bash
 # Run the Fig. 6 store benchmark and drop its machine-readable results at
-# the repo root as BENCH_fig6.json (the committed reference numbers).
+# the repo root as BENCH_fig6.json (the committed reference numbers). The
+# bench also writes BENCH_fig6.telemetry.json — the process-wide telemetry
+# snapshot (speed_* metric families) captured at the end of the run.
 #
 # Usage: bench/run_benches.sh [build-dir]
-set -eu
+set -euo pipefail
 
-repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+repo_root=$(CDPATH='' cd -- "$(dirname -- "$0")/.." && pwd)
 build_dir=${1:-"$repo_root/build"}
 bench="$build_dir/bench/bench_fig6_store"
 
@@ -15,5 +17,11 @@ if [ ! -x "$bench" ]; then
   cmake --build "$build_dir" --target bench_fig6_store -j
 fi
 
+if [ ! -x "$bench" ]; then
+  echo "error: bench binary missing after build: $bench" >&2
+  exit 1
+fi
+
 "$bench" "$repo_root/BENCH_fig6.json"
-echo "results: $repo_root/BENCH_fig6.json"
+echo "results:   $repo_root/BENCH_fig6.json"
+echo "telemetry: $repo_root/BENCH_fig6.telemetry.json"

@@ -19,6 +19,7 @@
 #include "apps/deflate/container.h"
 #include "runtime/speed.h"
 #include "store/tcp_server.h"
+#include "telemetry/exposition.h"
 #include "workload/synthetic.h"
 
 using namespace speed;
@@ -31,8 +32,12 @@ int main() {
   store::StoreConfig store_cfg;
   store_cfg.shards = 8;
   store::ResultStore result_store(platform, store_cfg);
-  store::StoreTcpServer server(result_store, /*port=*/0);
+  // Admin port 0 = ephemeral; serves /metrics (Prometheus), /snapshot.json,
+  // /traces.json, and /healthz for the whole process.
+  store::StoreTcpServer server(result_store, /*port=*/0, /*admin_port=*/0);
   std::printf("ResultStore listening on 127.0.0.1:%u\n", server.port());
+  std::printf("telemetry:   curl http://127.0.0.1:%u/metrics\n",
+              server.admin_port());
 
   auto make_client = [&](const char* name) {
     auto enclave = platform.create_enclave(name);
@@ -96,6 +101,15 @@ int main() {
               static_cast<unsigned long long>(stats.hits),
               static_cast<unsigned long long>(stats.put_requests),
               static_cast<unsigned long long>(server.connections_accepted()));
+
+  // A scrape of the admin endpoint sees every instrumented component in
+  // the process: runtime outcomes, per-shard store series, channel frame
+  // counts, enclave transitions/EPC.
+  const std::string page = telemetry::render_prometheus();
+  int series = 0;
+  for (const char c : page) series += c == '\n' ? 1 : 0;
+  std::printf("admin /metrics: %d lines (runtime/store/channel/enclave)\n",
+              series);
 
   // Fail-open: kill the store and keep serving. The edge node's calls
   // degrade to local compute — no exception ever reaches the application.

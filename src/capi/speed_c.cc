@@ -6,6 +6,7 @@
 #include <string>
 
 #include "runtime/speed.h"
+#include "telemetry/exposition.h"
 
 namespace {
 
@@ -161,5 +162,17 @@ int speed_last_was_deduplicated(const speed_function* f) {
 }
 
 void speed_buffer_free(uint8_t* buffer) { std::free(buffer); }
+
+char* speed_metrics_snapshot(void) {
+  try {
+    const std::string json = telemetry::snapshot_json();
+    char* out = static_cast<char*>(std::malloc(json.size() + 1));
+    if (out == nullptr) return nullptr;
+    std::memcpy(out, json.c_str(), json.size() + 1);
+    return out;
+  } catch (const std::exception&) {
+    return nullptr;
+  }
+}
 
 }  // extern "C"

@@ -84,6 +84,17 @@ int speed_last_was_deduplicated(const speed_function* f);
 
 void speed_buffer_free(uint8_t* buffer);
 
+/* ---- telemetry --------------------------------------------------------- */
+
+/*
+ * JSON snapshot of the process-wide telemetry registry (the same document
+ * the admin endpoint serves at /snapshot.json): every metric family with
+ * its samples, labels, and histogram quantiles. Returns a NUL-terminated
+ * malloc'd string to free with speed_buffer_free, or NULL on allocation
+ * failure.
+ */
+char* speed_metrics_snapshot(void);
+
 #ifdef __cplusplus
 }  /* extern "C" */
 #endif

@@ -2,6 +2,8 @@
 
 #include <thread>
 
+#include "common/clock.h"
+
 namespace speed::net {
 
 ResilientTransport::ResilientTransport(std::unique_ptr<Transport> initial,
@@ -14,6 +16,31 @@ ResilientTransport::ResilientTransport(std::unique_ptr<Transport> initial,
   if (inner_ == nullptr) {
     throw StoreUnavailableError("ResilientTransport: initial transport is null");
   }
+  telemetry_handle_ = telemetry::Registry::global().add_collector(
+      [this](telemetry::SampleSink& sink) {
+        sink.counter("speed_transport_round_trips_total",
+                     "Successful store round trips", {}, round_trips_.value());
+        sink.counter("speed_transport_failures_total",
+                     "Failed round trips and recoveries", {},
+                     failures_.value());
+        sink.counter("speed_transport_short_circuits_total",
+                     "Calls rejected immediately by an open breaker", {},
+                     short_circuits_.value());
+        sink.counter("speed_transport_reconnects_total",
+                     "Successful reconnect + re-handshake cycles", {},
+                     reconnects_.value());
+        sink.counter("speed_transport_reconnect_failures_total",
+                     "Individual failed reconnect attempts", {},
+                     reconnect_failures_.value());
+        sink.counter("speed_transport_breaker_opens_total",
+                     "Closed/half-open to open breaker transitions", {},
+                     breaker_opens_.value());
+        sink.gauge("speed_transport_breaker_open",
+                   "Transports whose circuit breaker is currently open", {},
+                   breaker_state() == BreakerState::kOpen ? 1 : 0);
+        sink.histogram("speed_transport_round_trip_ns",
+                       "Latency of successful store round trips", {}, rtt_ns_);
+      });
 }
 
 void ResilientTransport::set_rekey_callback(RekeyCallback cb) {
@@ -27,14 +54,20 @@ ResilientTransport::BreakerState ResilientTransport::breaker_state() const {
 }
 
 ResilientTransport::Stats ResilientTransport::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  Stats s;
+  s.round_trips = round_trips_.value();
+  s.failures = failures_.value();
+  s.short_circuits = short_circuits_.value();
+  s.reconnects = reconnects_.value();
+  s.reconnect_failures = reconnect_failures_.value();
+  s.breaker_opens = breaker_opens_.value();
+  return s;
 }
 
 Bytes ResilientTransport::round_trip(ByteView request) {
   std::lock_guard<std::mutex> lock(mu_);
   if (!admit_locked()) {
-    ++stats_.short_circuits;
+    short_circuits_.inc();
     throw StoreUnavailableError("ResilientTransport: circuit breaker open");
   }
   if (!inner_healthy_) {
@@ -45,8 +78,10 @@ Bytes ResilientTransport::round_trip(ByteView request) {
         "ResilientTransport: connection dead, frame bound to stale channel");
   }
   try {
+    Stopwatch sw;
     Bytes response = inner_->round_trip(request);
-    ++stats_.round_trips;
+    rtt_ns_.record(sw.elapsed_ns());
+    round_trips_.inc();
     consecutive_failures_ = 0;
     state_ = BreakerState::kClosed;
     return response;
@@ -60,7 +95,7 @@ Bytes ResilientTransport::round_trip(ByteView request) {
 bool ResilientTransport::recover() {
   std::lock_guard<std::mutex> lock(mu_);
   if (!admit_locked()) {
-    ++stats_.short_circuits;
+    short_circuits_.inc();
     return false;
   }
   // The caller's channel is unusable even if the socket still looks alive
@@ -91,32 +126,32 @@ bool ResilientTransport::try_reconnect_locked() {
     try {
       Connection fresh = reconnect_();
       if (fresh.transport == nullptr) {
-        ++stats_.reconnect_failures;
+        reconnect_failures_.inc();
         continue;
       }
       inner_ = std::move(fresh.transport);
       inner_healthy_ = true;
       consecutive_failures_ = 0;
       state_ = BreakerState::kClosed;
-      ++stats_.reconnects;
+      reconnects_.inc();
       if (rekey_ && !fresh.session_key.empty()) {
         rekey_(std::move(fresh.session_key));
       }
       return true;
     } catch (const Error&) {
-      ++stats_.reconnect_failures;
+      reconnect_failures_.inc();
     }
   }
   return false;
 }
 
 void ResilientTransport::on_failure_locked() {
-  ++stats_.failures;
+  failures_.inc();
   ++consecutive_failures_;
   const bool trip = state_ == BreakerState::kHalfOpen ||
                     consecutive_failures_ >= config_.breaker_threshold;
   if (trip) {
-    if (state_ != BreakerState::kOpen) ++stats_.breaker_opens;
+    if (state_ != BreakerState::kOpen) breaker_opens_.inc();
     state_ = BreakerState::kOpen;
     opened_at_ = std::chrono::steady_clock::now();
   }

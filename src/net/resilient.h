@@ -34,6 +34,7 @@
 
 #include "common/bytes.h"
 #include "net/channel.h"
+#include "telemetry/registry.h"
 
 namespace speed::net {
 
@@ -75,6 +76,8 @@ class ResilientTransport : public Transport {
   enum class BreakerState { kClosed, kOpen, kHalfOpen };
   BreakerState breaker_state() const;
 
+  /// Point-in-time view over this instance's telemetry cells (the cells are
+  /// also exported process-wide as speed_transport_* via the registry).
   struct Stats {
     std::uint64_t round_trips = 0;        ///< successful round trips
     std::uint64_t failures = 0;           ///< failed round trips + recoveries
@@ -106,7 +109,16 @@ class ResilientTransport : public Transport {
   BreakerState state_ = BreakerState::kClosed;
   std::chrono::steady_clock::time_point opened_at_{};
   std::uint64_t jitter_state_;
-  Stats stats_;
+
+  telemetry::Counter round_trips_;
+  telemetry::Counter failures_;
+  telemetry::Counter short_circuits_;
+  telemetry::Counter reconnects_;
+  telemetry::Counter reconnect_failures_;
+  telemetry::Counter breaker_opens_;
+  telemetry::Histogram rtt_ns_;
+  // Declared after the cells it reads (destroyed, i.e. deregistered, first).
+  telemetry::Registry::Handle telemetry_handle_;
 };
 
 }  // namespace speed::net

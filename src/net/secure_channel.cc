@@ -4,10 +4,54 @@
 #include "crypto/gcm.h"
 #include "crypto/hmac.h"
 #include "serialize/codec.h"
+#include "telemetry/registry.h"
 
 namespace speed::net {
 
 namespace {
+
+/// Process-wide secure-channel frame accounting. Channels are short-lived
+/// value types (one per peer/direction, replaced on rekey), so the totals
+/// live here; per-channel sequence numbers stay on the channel.
+struct ChannelMetrics {
+  telemetry::Counter frames_sent;
+  telemetry::Counter frames_received;
+  telemetry::Counter unwrap_failures;
+  telemetry::Counter bytes_sealed;
+  telemetry::Counter bytes_opened;
+  telemetry::Registry::Handle handle;
+};
+
+ChannelMetrics& channel_metrics() {
+  static ChannelMetrics* m = [] {
+    auto* t = new ChannelMetrics;
+    t->handle = telemetry::Registry::global().add_collector(
+        [t](telemetry::SampleSink& sink) {
+          constexpr auto kDir = telemetry::LabelKey::of("direction");
+          sink.counter("speed_channel_frames_total",
+                       "Secure-channel frames wrapped/unwrapped",
+                       {{kDir, telemetry::LabelValue::lit("sent")}},
+                       t->frames_sent.value());
+          sink.counter("speed_channel_frames_total",
+                       "Secure-channel frames wrapped/unwrapped",
+                       {{kDir, telemetry::LabelValue::lit("received")}},
+                       t->frames_received.value());
+          sink.counter("speed_channel_unwrap_failures_total",
+                       "Frames rejected for tampering, replay, or reordering",
+                       {}, t->unwrap_failures.value());
+          sink.counter("speed_channel_bytes_total",
+                       "Plaintext bytes through the secure channel",
+                       {{kDir, telemetry::LabelValue::lit("sent")}},
+                       t->bytes_sealed.value());
+          sink.counter("speed_channel_bytes_total",
+                       "Plaintext bytes through the secure channel",
+                       {{kDir, telemetry::LabelValue::lit("received")}},
+                       t->bytes_opened.value());
+        });
+    return t;
+  }();
+  return *m;
+}
 
 /// Deterministic 12-byte nonce: 4-byte direction ‖ 8-byte sequence number.
 /// Unique per key because each direction owns its own counter.
@@ -62,22 +106,30 @@ Bytes SecureChannel::wrap(ByteView plaintext) {
   serialize::Encoder frame;
   frame.u64(seq);
   frame.var_bytes(sealed);
+  ChannelMetrics& cm = channel_metrics();
+  cm.frames_sent.inc();
+  cm.bytes_sealed.inc(plaintext.size());
   return frame.take();
 }
 
 std::optional<Bytes> SecureChannel::unwrap(ByteView frame) {
   std::uint64_t seq;
   Bytes sealed;
+  ChannelMetrics& cm = channel_metrics();
   try {
     serialize::Decoder dec(frame);
     seq = dec.u64();
     sealed = dec.var_bytes();
     dec.expect_done();
   } catch (const SerializationError&) {
+    cm.unwrap_failures.inc();
     return std::nullopt;
   }
   // Strict ordering: the peer's next frame must carry exactly recv_seq_.
-  if (seq != recv_seq_) return std::nullopt;
+  if (seq != recv_seq_) {
+    cm.unwrap_failures.inc();
+    return std::nullopt;
+  }
 
   const Bytes nonce = make_nonce(!is_initiator_, seq);
   serialize::Encoder aad;
@@ -85,8 +137,13 @@ std::optional<Bytes> SecureChannel::unwrap(ByteView frame) {
   aad.u64(seq);
   const crypto::AesGcm gcm(key_);
   auto plain = gcm.open(nonce, aad.view(), sealed);
-  if (!plain.has_value()) return std::nullopt;
+  if (!plain.has_value()) {
+    cm.unwrap_failures.inc();
+    return std::nullopt;
+  }
   ++recv_seq_;
+  cm.frames_received.inc();
+  cm.bytes_opened.inc(plain->size());
   return plain;
 }
 

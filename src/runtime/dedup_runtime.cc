@@ -13,6 +13,22 @@ using serialize::PutRequest;
 using serialize::PutResponse;
 using serialize::PutStatus;
 
+namespace {
+
+/// Exported label per CallOutcome, in enum order. Literals, not runtime
+/// strings: the label whitelist (telemetry/label.h) is compile-time.
+constexpr std::array<telemetry::LabelValue,
+                     static_cast<std::size_t>(telemetry::CallOutcome::kCount)>
+    kOutcomeLabels{
+        telemetry::LabelValue::lit("local_hit"),
+        telemetry::LabelValue::lit("store_hit"),
+        telemetry::LabelValue::lit("miss"),
+        telemetry::LabelValue::lit("failed_recovery"),
+        telemetry::LabelValue::lit("degraded"),
+    };
+
+}  // namespace
+
 DedupRuntime::DedupRuntime(sgx::Enclave& app_enclave,
                            const sgx::Measurement& store_measurement,
                            std::unique_ptr<net::Transport> transport,
@@ -44,6 +60,51 @@ DedupRuntime::DedupRuntime(sgx::Enclave& app_enclave, Bytes session_key,
   if (config_.async_put) {
     put_thread_ = std::thread([this] { put_worker(); });
   }
+  telemetry_handle_ = telemetry::Registry::global().add_collector(
+      [this](telemetry::SampleSink& sink) {
+        constexpr auto kOutcome = telemetry::LabelKey::of("outcome");
+        sink.counter("speed_runtime_calls_total", "Marked calls executed", {},
+                     metrics_.calls.value());
+        const std::array<std::uint64_t, 5> outcome_counts{
+            metrics_.local_hits.value(),       metrics_.hits.value(),
+            metrics_.misses.value(),           metrics_.failed_recoveries.value(),
+            metrics_.degraded_calls.value()};
+        for (std::size_t i = 0; i < outcome_counts.size(); ++i) {
+          sink.counter("speed_runtime_outcomes_total",
+                       "Marked calls by how they were served",
+                       {{kOutcome, kOutcomeLabels[i]}}, outcome_counts[i]);
+          sink.histogram("speed_runtime_call_ns",
+                         "Whole-call latency of marked calls by outcome",
+                         {{kOutcome, kOutcomeLabels[i]}}, metrics_.call_ns[i]);
+        }
+        sink.counter("speed_runtime_puts_sent_total",
+                     "PUT round trips completed", {},
+                     metrics_.puts_sent.value());
+        sink.counter("speed_runtime_puts_rejected_total",
+                     "PUTs refused by the store or failed in flight", {},
+                     metrics_.puts_rejected.value());
+        sink.counter("speed_runtime_puts_dropped_total",
+                     "PUTs evicted from a full async queue", {},
+                     metrics_.puts_dropped.value());
+        sink.histogram("speed_runtime_round_trip_ns",
+                       "Secure-channel round trips issued by the runtime", {},
+                       metrics_.round_trip_ns);
+        {
+          std::lock_guard<std::mutex> lock(cache_mu_);
+          sink.gauge("speed_runtime_cache_bytes",
+                     "In-enclave hot-result cache footprint", {},
+                     static_cast<std::int64_t>(cache_bytes_));
+          sink.gauge("speed_runtime_cache_entries",
+                     "In-enclave hot-result cache entries", {},
+                     static_cast<std::int64_t>(cache_.size()));
+        }
+        {
+          std::lock_guard<std::mutex> lock(queue_mu_);
+          sink.gauge("speed_runtime_put_queue_depth",
+                     "Asynchronous PUTs waiting to ship", {},
+                     static_cast<std::int64_t>(put_queue_.size()));
+        }
+      });
 }
 
 DedupRuntime::~DedupRuntime() {
@@ -93,9 +154,11 @@ Message DedupRuntime::secure_round_trip(const Message& request) {
   // prototype's customized OCALL carrying the request), unwrap back inside.
   const Bytes frame = channel_.wrap(serialize::encode_message(request));
   Bytes response_frame;
+  const Stopwatch rtt_sw;
   try {
     response_frame =
         enclave_.ocall([&] { return transport_->round_trip(frame); });
+    metrics_.round_trip_ns.record(rtt_sw.elapsed_ns());
   } catch (...) {
     // Request possibly consumed, response never seen: sequence numbers are
     // out of sync with the store's session for good.
@@ -116,23 +179,58 @@ DedupRuntime::Outcome DedupRuntime::execute(
     const mle::FunctionIdentity& fn, ByteView input,
     const std::function<Bytes()>& compute) {
   return enclave_.ecall([&]() -> Outcome {
-    {
-      std::lock_guard<std::mutex> lock(stats_mu_);
-      ++stats_.calls;
+    metrics_.calls.inc();
+
+    telemetry::TraceRing* ring = nullptr;
+    if (config_.tracing) {
+      ring = config_.trace_ring != nullptr ? config_.trace_ring
+                                           : &telemetry::TraceRing::global();
     }
+    telemetry::TraceSpan span(ring);
+    telemetry::CallOutcome outcome = telemetry::CallOutcome::kMiss;
+    std::uint64_t result_bytes = 0;
+    const Stopwatch call_sw;
+    // Runs on every exit path, before `span` pushes into the ring.
+    struct Finish {
+      Metrics& m;
+      telemetry::TraceSpan& span;
+      telemetry::CallOutcome& outcome;
+      std::uint64_t& result_bytes;
+      const Stopwatch& sw;
+      ~Finish() {
+        span.set_outcome(outcome);
+        span.set_result_bytes(result_bytes);
+        m.call_ns[static_cast<std::size_t>(outcome)].record(sw.elapsed_ns());
+      }
+    } finish{metrics_, span, outcome, result_bytes, call_sw};
 
     // Algorithm 1/2 line 1-2: derive the tag, query the store. The context
     // absorbs (func, m) once; tag and (on the RCE paths below) the secondary
     // key h fork off the shared SHA-256 midstate.
-    const mle::ComputationContext ctx(fn, input);
-    const mle::Tag tag = ctx.tag();
+    std::optional<mle::ComputationContext> ctx_storage;
+    std::optional<mle::Tag> tag_storage;
+    {
+      const telemetry::TraceSpan::StageTimer t(span,
+                                               telemetry::Stage::kTagDerive);
+      ctx_storage.emplace(fn, input);
+      tag_storage.emplace(ctx_storage->tag());
+    }
+    const mle::ComputationContext& ctx = *ctx_storage;
+    const mle::Tag& tag = *tag_storage;
 
     // Hot path: a result this runtime already saw is served straight from
     // the in-enclave cache — no round trip, no decryption.
     if (config_.local_cache) {
-      if (auto cached = cache_lookup(tag)) {
-        std::lock_guard<std::mutex> lock(stats_mu_);
-        ++stats_.local_hits;
+      std::optional<Bytes> cached;
+      {
+        const telemetry::TraceSpan::StageTimer t(
+            span, telemetry::Stage::kCacheLookup);
+        cached = cache_lookup(tag);
+      }
+      if (cached.has_value()) {
+        metrics_.local_hits.inc();
+        outcome = telemetry::CallOutcome::kLocalHit;
+        result_bytes = cached->size();
         return Outcome{std::move(*cached), true};
       }
     }
@@ -147,65 +245,84 @@ DedupRuntime::Outcome DedupRuntime::execute(
     // restores service for later calls.
     Message response;
     const GetResponse* get_resp = nullptr;
-    if (config_.fail_open) {
-      try {
+    {
+      const telemetry::TraceSpan::StageTimer t(span,
+                                               telemetry::Stage::kStoreGet);
+      if (config_.fail_open) {
+        try {
+          response = secure_round_trip(get);
+          get_resp = std::get_if<GetResponse>(&response);
+        } catch (const Error&) {
+          get_resp = nullptr;
+        }
+      } else {
         response = secure_round_trip(get);
         get_resp = std::get_if<GetResponse>(&response);
-      } catch (const Error&) {
-        get_resp = nullptr;
-      }
-    } else {
-      response = secure_round_trip(get);
-      get_resp = std::get_if<GetResponse>(&response);
-      if (get_resp == nullptr) {
-        throw ProtocolError("DedupRuntime: expected GET_RESPONSE");
+        if (get_resp == nullptr) {
+          throw ProtocolError("DedupRuntime: expected GET_RESPONSE");
+        }
       }
     }
     if (get_resp == nullptr) {
       // Store unreachable or talking nonsense: compute locally and skip the
       // PUT (we cannot know whether the entry exists, and the connection is
       // being re-established anyway).
+      metrics_.degraded_calls.inc();
+      outcome = telemetry::CallOutcome::kDegraded;
+      Bytes local;
       {
-        std::lock_guard<std::mutex> lock(stats_mu_);
-        ++stats_.degraded_calls;
+        const telemetry::TraceSpan::StageTimer t(span,
+                                                 telemetry::Stage::kCompute);
+        local = compute();
       }
-      Bytes local = compute();
       // Still worth caching: repeats of this call ride out the outage
       // without recomputing (or waiting on the broken transport).
       if (config_.local_cache) cache_insert(tag, local);
+      result_bytes = local.size();
       return Outcome{std::move(local), false};
     }
 
     if (get_resp->found) {
       // Algorithm 2 lines 4-6 + Fig. 3 verification.
       std::optional<Bytes> result;
-      if (basic_cipher_.has_value()) {
-        result = basic_cipher_->recover(fn, input, get_resp->entry);
-      } else {
-        result = mle::ResultCipher::recover(ctx, get_resp->entry);
+      {
+        const telemetry::TraceSpan::StageTimer t(span,
+                                                 telemetry::Stage::kRecover);
+        if (basic_cipher_.has_value()) {
+          result = basic_cipher_->recover(fn, input, get_resp->entry);
+        } else {
+          result = mle::ResultCipher::recover(ctx, get_resp->entry);
+        }
       }
       if (result.has_value()) {
         if (config_.local_cache) cache_insert(tag, *result);
-        {
-          std::lock_guard<std::mutex> lock(stats_mu_);
-          ++stats_.hits;
-        }
+        metrics_.hits.inc();
+        outcome = telemetry::CallOutcome::kStoreHit;
+        result_bytes = result->size();
         return Outcome{std::move(*result), true};
       }
       // ⊥: entry exists but we cannot authenticate/decrypt it (poisoned or
       // foreign). Fall through to local computation.
-      std::lock_guard<std::mutex> lock(stats_mu_);
-      ++stats_.failed_recoveries;
+      metrics_.failed_recoveries.inc();
+      outcome = telemetry::CallOutcome::kFailedRecovery;
     } else {
-      std::lock_guard<std::mutex> lock(stats_mu_);
-      ++stats_.misses;
+      metrics_.misses.inc();
+      outcome = telemetry::CallOutcome::kMiss;
     }
 
     // Algorithm 1 lines 4-10: compute, protect, and ship the result.
-    Bytes result = compute();
+    Bytes result;
+    {
+      const telemetry::TraceSpan::StageTimer t(span,
+                                               telemetry::Stage::kCompute);
+      result = compute();
+    }
     if (config_.local_cache) cache_insert(tag, result);
+    result_bytes = result.size();
 
     if (!get_resp->found) {
+      const telemetry::TraceSpan::StageTimer t(span,
+                                               telemetry::Stage::kPutEnqueue);
       crypto::Drbg seeded(enclave_.random_bytes(32));
       serialize::EntryPayload entry;
       if (basic_cipher_.has_value()) {
@@ -237,17 +354,13 @@ void DedupRuntime::enqueue_put(PutRequest put) {
       }
       put_queue_.push_back(std::move(put));
     }
-    if (dropped) {
-      std::lock_guard<std::mutex> lock(stats_mu_);
-      ++stats_.puts_dropped;
-    }
+    if (dropped) metrics_.puts_dropped.inc();
     queue_cv_.notify_one();
   } else if (config_.fail_open) {
     try {
       send_put(put);
     } catch (const Error&) {
-      std::lock_guard<std::mutex> lock(stats_mu_);
-      ++stats_.puts_rejected;
+      metrics_.puts_rejected.inc();
     }
   } else {
     send_put(put);
@@ -260,11 +373,10 @@ void DedupRuntime::send_put(const PutRequest& put) {
   if (put_resp == nullptr) {
     throw ProtocolError("DedupRuntime: expected PUT_RESPONSE");
   }
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  ++stats_.puts_sent;
+  metrics_.puts_sent.inc();
   if (put_resp->status != PutStatus::kStored &&
       put_resp->status != PutStatus::kAlreadyPresent) {
-    ++stats_.puts_rejected;
+    metrics_.puts_rejected.inc();
   }
 }
 
@@ -288,8 +400,7 @@ void DedupRuntime::put_worker() {
     try {
       enclave_.ecall([&] { send_put(put); });
     } catch (const Error&) {
-      std::lock_guard<std::mutex> lock(stats_mu_);
-      ++stats_.puts_rejected;
+      metrics_.puts_rejected.inc();
     }
     {
       std::lock_guard<std::mutex> lock(queue_mu_);
@@ -354,8 +465,17 @@ void DedupRuntime::cache_insert(const mle::Tag& tag, const Bytes& result) {
 }
 
 DedupRuntime::Stats DedupRuntime::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  return stats_;
+  Stats s;
+  s.calls = metrics_.calls.value();
+  s.local_hits = metrics_.local_hits.value();
+  s.hits = metrics_.hits.value();
+  s.misses = metrics_.misses.value();
+  s.failed_recoveries = metrics_.failed_recoveries.value();
+  s.degraded_calls = metrics_.degraded_calls.value();
+  s.puts_sent = metrics_.puts_sent.value();
+  s.puts_rejected = metrics_.puts_rejected.value();
+  s.puts_dropped = metrics_.puts_dropped.value();
+  return s;
 }
 
 }  // namespace speed::runtime

@@ -29,6 +29,7 @@
 // semantics").
 #pragma once
 
+#include <array>
 #include <condition_variable>
 #include <deque>
 #include <functional>
@@ -47,6 +48,8 @@
 #include "serialize/wire.h"
 #include "sgx/enclave.h"
 #include "sgx/trusted_library.h"
+#include "telemetry/registry.h"
+#include "telemetry/trace.h"
 
 namespace speed::runtime {
 
@@ -84,6 +87,13 @@ struct RuntimeConfig {
   /// Byte cap on cached plaintext (plus per-entry bookkeeping). Results
   /// larger than the cap are never cached.
   std::size_t local_cache_bytes = 4ull * 1024 * 1024;
+
+  /// Per-call request tracing: each marked call pushes a TraceRecord (stage
+  /// timings, outcome, result size — never tags/keys/inputs) into a bounded
+  /// ring exported via the admin endpoint's /traces.json.
+  bool tracing = true;
+  /// Ring receiving completed spans; nullptr = the process-global ring.
+  telemetry::TraceRing* trace_ring = nullptr;
 };
 
 class DedupRuntime {
@@ -130,6 +140,8 @@ class DedupRuntime {
   /// -1 waits forever. Returns true iff the queue fully drained.
   bool flush(std::int64_t timeout_ms = -1);
 
+  /// Point-in-time view over this runtime's telemetry cells (also exported
+  /// process-wide as speed_runtime_* via the registry).
   struct Stats {
     std::uint64_t calls = 0;
     std::uint64_t local_hits = 0;       ///< served from the in-enclave cache
@@ -185,8 +197,26 @@ class DedupRuntime {
   std::mutex rekey_mu_;
   std::optional<Bytes> pending_rekey_;
 
-  mutable std::mutex stats_mu_;
-  Stats stats_;
+  /// Lock-free metric cells; execute()'s hot path bumps these instead of
+  /// taking a stats mutex.
+  struct Metrics {
+    telemetry::Counter calls;
+    telemetry::Counter local_hits;
+    telemetry::Counter hits;
+    telemetry::Counter misses;
+    telemetry::Counter failed_recoveries;
+    telemetry::Counter degraded_calls;
+    telemetry::Counter puts_sent;
+    telemetry::Counter puts_rejected;
+    telemetry::Counter puts_dropped;
+    /// Whole-call latency, one histogram per outcome.
+    std::array<telemetry::Histogram,
+               static_cast<std::size_t>(telemetry::CallOutcome::kCount)>
+        call_ns;
+    /// Secure-channel round trips issued by this runtime (GET + PUT).
+    telemetry::Histogram round_trip_ns;
+  };
+  Metrics metrics_;
 
   // Hot-result cache state. Tags are SHA-256 outputs, so the first 8 bytes
   // hash them perfectly well.
@@ -216,6 +246,10 @@ class DedupRuntime {
   std::size_t puts_in_flight_ = 0;
   bool shutting_down_ = false;
   std::thread put_thread_;
+
+  // Declared last: the collector reads metrics_, cache, and queue state, so
+  // it must deregister before any of them is destroyed.
+  telemetry::Registry::Handle telemetry_handle_;
 };
 
 }  // namespace speed::runtime

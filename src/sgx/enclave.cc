@@ -7,10 +7,58 @@
 
 namespace speed::sgx {
 
+namespace {
+
+/// Process-wide transition counters. Enclaves come and go (per runtime, per
+/// store), so totals live here rather than in any one instance; per-enclave
+/// counts stay on the Enclave for the tests that assert them exactly.
+struct TransitionMetrics {
+  telemetry::Counter ecalls;
+  telemetry::Counter ocalls;
+  telemetry::Registry::Handle handle;
+};
+
+TransitionMetrics& transition_metrics() {
+  // Heap-allocated and never freed: collectors must outlive any scrape that
+  // could still run during static destruction.
+  static TransitionMetrics* m = [] {
+    auto* t = new TransitionMetrics;
+    t->handle = telemetry::Registry::global().add_collector(
+        [t](telemetry::SampleSink& sink) {
+          constexpr auto kKind = telemetry::LabelKey::of("kind");
+          sink.counter("speed_enclave_transitions_total",
+                       "Simulated SGX world switches (EENTER / OCALL exits)",
+                       {{kKind, telemetry::LabelValue::lit("ecall")}},
+                       t->ecalls.value());
+          sink.counter("speed_enclave_transitions_total",
+                       "Simulated SGX world switches (EENTER / OCALL exits)",
+                       {{kKind, telemetry::LabelValue::lit("ocall")}},
+                       t->ocalls.value());
+        });
+    return t;
+  }();
+  return *m;
+}
+
+}  // namespace
+
 Platform::Platform(CostModel model)
     : model_(model),
       epc_(model_),
-      hardware_key_(crypto::Drbg::system_bytes(32)) {}
+      hardware_key_(crypto::Drbg::system_bytes(32)) {
+  telemetry_handle_ = telemetry::Registry::global().add_collector(
+      [this](telemetry::SampleSink& sink) {
+        sink.gauge("speed_epc_used_bytes",
+                   "Trusted memory charged against the EPC (all platforms)", {},
+                   static_cast<std::int64_t>(epc_.used_bytes()));
+        sink.gauge("speed_epc_usable_bytes",
+                   "EPC capacity before paging kicks in (all platforms)", {},
+                   static_cast<std::int64_t>(epc_.usable_bytes()));
+        sink.counter("speed_epc_swapped_pages_total",
+                     "Simulated EPC page swaps (EWB/ELD round trips)", {},
+                     epc_.swapped_pages());
+      });
+}
 
 std::unique_ptr<Enclave> Platform::create_enclave(std::string identity) {
   return std::make_unique<Enclave>(*this, std::move(identity));
@@ -42,6 +90,7 @@ Enclave::~Enclave() { platform_.epc().release(kEpcPageSize * 16); }
 
 void Enclave::begin_ecall() {
   ecalls_.fetch_add(1, std::memory_order_relaxed);
+  transition_metrics().ecalls.inc();
   charge_wait(platform_.cost_model(), platform_.cost_model().ecall_ns);
 }
 
@@ -51,6 +100,7 @@ void Enclave::end_ecall() {
 
 void Enclave::begin_ocall() {
   ocalls_.fetch_add(1, std::memory_order_relaxed);
+  transition_metrics().ocalls.inc();
   charge_wait(platform_.cost_model(), platform_.cost_model().ocall_ns);
 }
 

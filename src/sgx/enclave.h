@@ -33,6 +33,7 @@
 #include "sgx/cost_model.h"
 #include "sgx/epc.h"
 #include "sgx/measurement.h"
+#include "telemetry/registry.h"
 
 namespace speed::sgx {
 
@@ -70,6 +71,8 @@ class Platform {
   CostModel model_;
   EpcAllocator epc_;
   Bytes hardware_key_;
+  // Declared after epc_: deregistration must precede the allocator's death.
+  telemetry::Registry::Handle telemetry_handle_;
 };
 
 class Enclave {

@@ -32,6 +32,15 @@ std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) {
   return (a + b - 1) / b;
 }
 
+/// Records the enclosing scope's duration into a shard histogram on every
+/// exit path (get/insert have several).
+struct LatencyScope {
+  explicit LatencyScope(telemetry::Histogram& h) : hist(h) {}
+  ~LatencyScope() { hist.record(sw.elapsed_ns()); }
+  telemetry::Histogram& hist;
+  Stopwatch sw;
+};
+
 }  // namespace
 
 // ------------------------------------------------------------ QuotaLedger
@@ -95,6 +104,48 @@ ResultStore::ResultStore(sgx::Platform& platform, StoreConfig config)
   for (std::size_t i = 0; i < config_.shards; ++i) {
     shards_.push_back(std::make_unique<Shard>(*enclave_));
   }
+  telemetry_handle_ = telemetry::Registry::global().add_collector(
+      [this](telemetry::SampleSink& sink) {
+        constexpr auto kShard = telemetry::LabelKey::of("shard");
+        for (std::size_t i = 0; i < shards_.size(); ++i) {
+          const Shard& s = *shards_[i];
+          const telemetry::LabelSet labels{
+              {kShard, telemetry::LabelValue::index(i)}};
+          sink.counter("speed_store_get_requests_total",
+                       "GET requests dispatched into the store enclave",
+                       labels, s.get_requests.value());
+          sink.counter("speed_store_hits_total",
+                       "GETs served from the dedup dictionary", labels,
+                       s.hits.value());
+          sink.counter("speed_store_put_requests_total",
+                       "PUT requests dispatched into the store enclave",
+                       labels, s.put_requests.value());
+          sink.counter("speed_store_stored_total", "Entries newly inserted",
+                       labels, s.stored.value());
+          sink.counter("speed_store_duplicate_puts_total",
+                       "PUTs that lost the first-write race", labels,
+                       s.duplicate_puts.value());
+          sink.counter("speed_store_quota_rejections_total",
+                       "PUTs rejected by the per-app byte quota", labels,
+                       s.quota_rejections.value());
+          sink.counter("speed_store_evictions_total",
+                       "Entries evicted for arena capacity", labels,
+                       s.evictions.value());
+          sink.counter("speed_store_corrupt_blobs_total",
+                       "Host-side blob corruption detected on GET", labels,
+                       s.corrupt_blobs.value());
+          sink.gauge("speed_store_entries", "Live dictionary entries", labels,
+                     s.entries.value());
+          sink.gauge("speed_store_ciphertext_bytes",
+                     "Untrusted arena bytes in use", labels,
+                     s.ciphertext_bytes.value());
+          sink.histogram("speed_store_get_ns",
+                         "In-enclave GET service latency", labels, s.get_ns);
+          sink.histogram("speed_store_put_ns",
+                         "In-enclave PUT/insert service latency", labels,
+                         s.put_ns);
+        }
+      });
 }
 
 ResultStore::Shard& ResultStore::shard_for(const Tag& tag) {
@@ -141,7 +192,8 @@ SyncResponse ResultStore::sync(const SyncRequest& req) {
 
 GetResponse ResultStore::get_trusted(const GetRequest& req) {
   Shard& shard = shard_for(req.tag);
-  shard.get_requests.fetch_add(1, std::memory_order_relaxed);
+  shard.get_requests.inc();
+  const LatencyScope timer(shard.get_ns);
   GetResponse resp;
   std::lock_guard<std::mutex> lock(shard.mu);
   // Simulated in-enclave service time (marshalling + verification under
@@ -157,7 +209,7 @@ GetResponse ResultStore::get_trusted(const GetRequest& req) {
   if (blob_it == shard.blobs.end()) {
     // Host deleted the ciphertext from under us: degrade to a miss and drop
     // the orphaned metadata.
-    shard.corrupt_blobs.fetch_add(1, std::memory_order_relaxed);
+    shard.corrupt_blobs.inc();
     erase_locked(shard, req.tag);
     return resp;
   }
@@ -166,12 +218,12 @@ GetResponse ResultStore::get_trusted(const GetRequest& req) {
   const auto digest = crypto::Sha256::digest(blob_it->second);
   if (!ct_equal(ByteView(digest.data(), digest.size()),
                 ByteView(meta.blob_digest.data(), meta.blob_digest.size()))) {
-    shard.corrupt_blobs.fetch_add(1, std::memory_order_relaxed);
+    shard.corrupt_blobs.inc();
     erase_locked(shard, req.tag);
     return resp;
   }
 
-  shard.hits.fetch_add(1, std::memory_order_relaxed);
+  shard.hits.inc();
   ++meta.hits;
   touch_lru_locked(shard, meta, req.tag);
   resp.found = true;
@@ -182,7 +234,7 @@ GetResponse ResultStore::get_trusted(const GetRequest& req) {
 }
 
 PutResponse ResultStore::put_trusted(const PutRequest& req) {
-  shard_for(req.tag).put_requests.fetch_add(1, std::memory_order_relaxed);
+  shard_for(req.tag).put_requests.inc();
   return PutResponse{
       insert_trusted(req.tag, req.requester, req.entry, /*enforce_quota=*/true)};
 }
@@ -192,6 +244,7 @@ PutStatus ResultStore::insert_trusted(const Tag& tag,
                                       const EntryPayload& entry,
                                       bool enforce_quota) {
   Shard& shard = shard_for(tag);
+  const LatencyScope timer(shard.put_ns);
   std::lock_guard<std::mutex> lock(shard.mu);
   sgx::charge_wait(platform_.cost_model(),
                    platform_.cost_model().store_service_ns);
@@ -199,7 +252,7 @@ PutStatus ResultStore::insert_trusted(const Tag& tag,
     // Concurrent initial computations of the same tag: first write wins; the
     // stored ciphertext is decryptable by every eligible application anyway
     // (§IV-B Remark).
-    shard.duplicate_puts.fetch_add(1, std::memory_order_relaxed);
+    shard.duplicate_puts.inc();
     return PutStatus::kAlreadyPresent;
   }
   const std::uint64_t blob_bytes = entry.result_ct.size();
@@ -209,7 +262,7 @@ PutStatus ResultStore::insert_trusted(const Tag& tag,
   }
   if (enforce_quota) {
     if (!quota_.try_charge(owner, blob_bytes)) {
-      shard.quota_rejections.fetch_add(1, std::memory_order_relaxed);
+      shard.quota_rejections.inc();
       return PutStatus::kQuotaExceeded;
     }
   } else {
@@ -229,9 +282,9 @@ PutStatus ResultStore::insert_trusted(const Tag& tag,
   shard.trusted_bytes += meta_bytes(meta.challenge, meta.wrapped_key);
   shard.blobs[tag] = entry.result_ct;
   shard.dict.emplace(tag, std::move(meta));
-  shard.stored.fetch_add(1, std::memory_order_relaxed);
-  shard.entries.fetch_add(1, std::memory_order_relaxed);
-  shard.ciphertext_bytes.fetch_add(blob_bytes, std::memory_order_relaxed);
+  shard.stored.inc();
+  shard.entries.add(1);
+  shard.ciphertext_bytes.add(static_cast<std::int64_t>(blob_bytes));
   shard.trusted_charge.resize(shard.trusted_bytes);
   return PutStatus::kStored;
 }
@@ -296,20 +349,20 @@ void ResultStore::erase_locked(Shard& shard, const Tag& tag) {
   const auto it = shard.dict.find(tag);
   if (it == shard.dict.end()) return;
   MetaEntry& meta = it->second;
-  shard.ciphertext_bytes.fetch_sub(meta.blob_bytes, std::memory_order_relaxed);
+  shard.ciphertext_bytes.sub(static_cast<std::int64_t>(meta.blob_bytes));
   quota_.release(meta.owner, meta.blob_bytes);
   shard.trusted_bytes -= meta_bytes(meta.challenge, meta.wrapped_key);
   shard.lru.erase(meta.lru_it);
   shard.blobs.erase(tag);
   shard.dict.erase(it);
-  shard.entries.fetch_sub(1, std::memory_order_relaxed);
+  shard.entries.sub(1);
   shard.trusted_charge.resize(shard.trusted_bytes);
 }
 
 void ResultStore::evict_for_space_locked(Shard& shard,
                                          std::uint64_t incoming_bytes) {
   while (!shard.lru.empty() &&
-         shard.ciphertext_bytes.load(std::memory_order_relaxed) +
+         static_cast<std::uint64_t>(shard.ciphertext_bytes.value()) +
                  incoming_bytes >
              shard_capacity_bytes_) {
     Tag victim = shard.lru.back();
@@ -327,7 +380,7 @@ void ResultStore::evict_for_space_locked(Shard& shard,
       }
     }
     erase_locked(shard, victim);
-    shard.evictions.fetch_add(1, std::memory_order_relaxed);
+    shard.evictions.inc();
   }
 }
 
@@ -350,18 +403,17 @@ bool ResultStore::corrupt_blob_for_testing(const serialize::Tag& tag) {
 ResultStore::Stats ResultStore::stats() const {
   Stats s;
   for (const auto& shard : shards_) {
-    s.get_requests += shard->get_requests.load(std::memory_order_relaxed);
-    s.hits += shard->hits.load(std::memory_order_relaxed);
-    s.put_requests += shard->put_requests.load(std::memory_order_relaxed);
-    s.stored += shard->stored.load(std::memory_order_relaxed);
-    s.duplicate_puts += shard->duplicate_puts.load(std::memory_order_relaxed);
-    s.quota_rejections +=
-        shard->quota_rejections.load(std::memory_order_relaxed);
-    s.evictions += shard->evictions.load(std::memory_order_relaxed);
-    s.corrupt_blobs += shard->corrupt_blobs.load(std::memory_order_relaxed);
-    s.entries += shard->entries.load(std::memory_order_relaxed);
+    s.get_requests += shard->get_requests.value();
+    s.hits += shard->hits.value();
+    s.put_requests += shard->put_requests.value();
+    s.stored += shard->stored.value();
+    s.duplicate_puts += shard->duplicate_puts.value();
+    s.quota_rejections += shard->quota_rejections.value();
+    s.evictions += shard->evictions.value();
+    s.corrupt_blobs += shard->corrupt_blobs.value();
+    s.entries += static_cast<std::uint64_t>(shard->entries.value());
     s.ciphertext_bytes +=
-        shard->ciphertext_bytes.load(std::memory_order_relaxed);
+        static_cast<std::uint64_t>(shard->ciphertext_bytes.value());
   }
   return s;
 }

@@ -44,6 +44,7 @@
 #include "crypto/sha256.h"
 #include "serialize/wire.h"
 #include "sgx/enclave.h"
+#include "telemetry/registry.h"
 
 namespace speed::store {
 
@@ -166,8 +167,10 @@ class ResultStore {
   };
 
   /// One lock's worth of store: dictionary + recency list + blob arena +
-  /// eviction state + its slice of the trusted-memory charge. Counters the
-  /// lock-free stats() reads are atomics; everything else is guarded by mu.
+  /// eviction state + its slice of the trusted-memory charge. The telemetry
+  /// cells (lock-free relaxed atomics under the hood) feed both the
+  /// lock-free stats() aggregate and the registry's per-shard speed_store_*
+  /// series; everything else is guarded by mu.
   struct Shard {
     explicit Shard(sgx::Enclave& enclave) : trusted_charge(enclave, 0) {}
 
@@ -180,16 +183,18 @@ class ResultStore {
     std::uint64_t trusted_bytes = 0;
     sgx::TrustedCharge trusted_charge;
 
-    std::atomic<std::uint64_t> get_requests{0};
-    std::atomic<std::uint64_t> hits{0};
-    std::atomic<std::uint64_t> put_requests{0};
-    std::atomic<std::uint64_t> stored{0};
-    std::atomic<std::uint64_t> duplicate_puts{0};
-    std::atomic<std::uint64_t> quota_rejections{0};
-    std::atomic<std::uint64_t> evictions{0};
-    std::atomic<std::uint64_t> corrupt_blobs{0};
-    std::atomic<std::uint64_t> entries{0};
-    std::atomic<std::uint64_t> ciphertext_bytes{0};
+    telemetry::Counter get_requests;
+    telemetry::Counter hits;
+    telemetry::Counter put_requests;
+    telemetry::Counter stored;
+    telemetry::Counter duplicate_puts;
+    telemetry::Counter quota_rejections;
+    telemetry::Counter evictions;
+    telemetry::Counter corrupt_blobs;
+    telemetry::Gauge entries;
+    telemetry::Gauge ciphertext_bytes;
+    telemetry::Histogram get_ns;  ///< in-enclave GET service latency
+    telemetry::Histogram put_ns;  ///< in-enclave PUT/insert service latency
   };
 
   /// Globally exact per-application quota accounting, lock-striped by AppId
@@ -244,6 +249,9 @@ class ResultStore {
 
   std::vector<std::unique_ptr<Shard>> shards_;
   QuotaLedger quota_;
+  // Declared after shards_: the collector reads their cells, so it must
+  // deregister before they are destroyed.
+  telemetry::Registry::Handle telemetry_handle_;
 };
 
 }  // namespace speed::store

@@ -6,8 +6,27 @@
 
 namespace speed::store {
 
-StoreTcpServer::StoreTcpServer(ResultStore& store, std::uint16_t port)
+StoreTcpServer::StoreTcpServer(ResultStore& store, std::uint16_t port,
+                               std::optional<std::uint16_t> admin_port)
     : store_(store), listener_(port) {
+  if (admin_port.has_value()) {
+    admin_ = std::make_unique<telemetry::AdminServer>(*admin_port);
+  }
+  telemetry_handle_ = telemetry::Registry::global().add_collector(
+      [this](telemetry::SampleSink& sink) {
+        constexpr auto kResult = telemetry::LabelKey::of("result");
+        sink.counter("speed_server_connections_total",
+                     "Store TCP connections by handshake result",
+                     {{kResult, telemetry::LabelValue::lit("accepted")}},
+                     accepted_.load(std::memory_order_relaxed));
+        sink.counter("speed_server_connections_total",
+                     "Store TCP connections by handshake result",
+                     {{kResult, telemetry::LabelValue::lit("rejected")}},
+                     rejected_.load(std::memory_order_relaxed));
+        sink.counter("speed_server_session_errors_total",
+                     "Sessions that died after a successful handshake", {},
+                     session_errors_.load(std::memory_order_relaxed));
+      });
   accept_thread_ = std::thread([this] { accept_loop(); });
 }
 

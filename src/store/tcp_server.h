@@ -17,6 +17,7 @@
 #include <atomic>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -24,19 +25,28 @@
 #include "net/resilient.h"
 #include "net/tcp.h"
 #include "store/store_session.h"
+#include "telemetry/admin_server.h"
 
 namespace speed::store {
 
 class StoreTcpServer {
  public:
-  /// Binds 127.0.0.1:`port` (0 = ephemeral) and starts accepting.
-  StoreTcpServer(ResultStore& store, std::uint16_t port = 0);
+  /// Binds 127.0.0.1:`port` (0 = ephemeral) and starts accepting. When
+  /// `admin_port` is set, also serves the plaintext telemetry endpoint
+  /// (telemetry::AdminServer — /metrics, /snapshot.json, /traces.json) on
+  /// 127.0.0.1:*admin_port (0 = ephemeral, read back with admin_port()).
+  StoreTcpServer(ResultStore& store, std::uint16_t port = 0,
+                 std::optional<std::uint16_t> admin_port = std::nullopt);
   ~StoreTcpServer();
 
   StoreTcpServer(const StoreTcpServer&) = delete;
   StoreTcpServer& operator=(const StoreTcpServer&) = delete;
 
   std::uint16_t port() const { return listener_.port(); }
+  /// 0 when the server was started without an admin endpoint.
+  std::uint16_t admin_port() const {
+    return admin_ != nullptr ? admin_->port() : 0;
+  }
 
   /// Stop accepting and join all connection threads.
   void stop();
@@ -64,6 +74,9 @@ class StoreTcpServer {
   // Live connection sockets, shut down by stop() to unblock workers that
   // are parked in recv() waiting for a client's next request.
   std::vector<std::shared_ptr<net::FramedSocket>> connections_;
+  std::unique_ptr<telemetry::AdminServer> admin_;
+  // Declared after the counters it reads (deregisters first).
+  telemetry::Registry::Handle telemetry_handle_;
 };
 
 /// Client side: connect an application enclave to a remote store over TCP,

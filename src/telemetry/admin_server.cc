@@ -1,0 +1,156 @@
+#include "telemetry/admin_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "telemetry/exposition.h"
+
+namespace speed::telemetry {
+
+namespace {
+
+void send_all(int fd, const std::string& data) {
+  const char* p = data.data();
+  std::size_t left = data.size();
+  while (left > 0) {
+    const ssize_t n = ::send(fd, p, left, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;  // client went away; nothing to do
+    }
+    p += n;
+    left -= static_cast<std::size_t>(n);
+  }
+}
+
+std::string http_response(const char* status, const char* content_type,
+                          const std::string& body) {
+  std::string out = "HTTP/1.0 ";
+  out += status;
+  out += "\r\nContent-Type: ";
+  out += content_type;
+  out += "\r\nContent-Length: " + std::to_string(body.size());
+  out += "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+}  // namespace
+
+AdminServer::AdminServer(std::uint16_t port, const Registry* registry,
+                         const TraceRing* traces)
+    : registry_(registry), traces_(traces) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw std::runtime_error(std::string("admin socket: ") +
+                             std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  // Loopback only: the page is redacted, but there is no reason to serve
+  // plaintext metrics off-host by default.
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, 8) != 0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error(std::string("admin bind/listen: ") +
+                             std::strerror(err));
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
+    port_ = ntohs(addr.sin_port);
+  }
+  thread_ = std::thread([this] { serve_loop(); });
+}
+
+AdminServer::~AdminServer() {
+  stop_.store(true, std::memory_order_relaxed);
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+  }
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void AdminServer::serve_loop() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener shut down (or unrecoverable) — exit the loop
+    }
+    handle_connection(fd);
+    ::close(fd);
+  }
+}
+
+void AdminServer::handle_connection(int fd) {
+  // A scrape request fits comfortably in one read; don't linger on clients
+  // that trickle bytes.
+  timeval tv{};
+  tv.tv_sec = 2;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+
+  char buf[2048];
+  std::string request;
+  while (request.find("\r\n") == std::string::npos &&
+         request.size() < sizeof(buf)) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      break;
+    }
+    request.append(buf, static_cast<std::size_t>(n));
+  }
+  const std::size_t eol = request.find("\r\n");
+  if (eol == std::string::npos) return;  // no request line — drop silently
+
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  send_all(fd, respond(request.substr(0, eol)));
+  ::shutdown(fd, SHUT_WR);
+}
+
+std::string AdminServer::respond(const std::string& request_line) const {
+  const std::size_t sp1 = request_line.find(' ');
+  const std::size_t sp2 =
+      sp1 == std::string::npos ? std::string::npos
+                               : request_line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos ||
+      request_line.substr(0, sp1) != "GET") {
+    return http_response("405 Method Not Allowed", "text/plain",
+                         "only GET is supported\n");
+  }
+  const std::string path = request_line.substr(sp1 + 1, sp2 - sp1 - 1);
+  if (path == "/metrics") {
+    return http_response("200 OK", "text/plain; version=0.0.4",
+                         render_prometheus(*registry_));
+  }
+  if (path == "/snapshot.json") {
+    return http_response("200 OK", "application/json",
+                         snapshot_json(*registry_));
+  }
+  if (path == "/traces.json") {
+    return http_response("200 OK", "application/json", traces_json(*traces_));
+  }
+  if (path == "/healthz" || path == "/") {
+    return http_response("200 OK", "text/plain", "ok\n");
+  }
+  return http_response("404 Not Found", "text/plain", "not found\n");
+}
+
+}  // namespace speed::telemetry

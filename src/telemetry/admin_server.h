@@ -1,0 +1,59 @@
+// Admin exposition endpoint.
+//
+// A tiny HTTP/1.0 server (one short-lived connection at a time, loopback by
+// default) serving the telemetry surface:
+//
+//   GET /metrics        Prometheus text format 0.0.4
+//   GET /snapshot.json  full registry snapshot (buckets summarized)
+//   GET /traces.json    the recent-trace ring
+//   GET /healthz        "ok"
+//
+// Deliberately self-contained over raw POSIX sockets rather than reusing
+// src/net: the secure channel stack is itself instrumented, so telemetry
+// must sit below it in the dependency order. The admin port speaks
+// plaintext and therefore must never expose anything beyond the redacted
+// registry/trace surface (telemetry/label.h, telemetry/trace.h).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include "telemetry/registry.h"
+#include "telemetry/trace.h"
+
+namespace speed::telemetry {
+
+/// Starts serving on construction, joins its thread on destruction.
+/// Port 0 binds an ephemeral port; read it back with port().
+class AdminServer {
+ public:
+  explicit AdminServer(std::uint16_t port = 0,
+                       const Registry* registry = &Registry::global(),
+                       const TraceRing* traces = &TraceRing::global());
+  ~AdminServer();
+
+  AdminServer(const AdminServer&) = delete;
+  AdminServer& operator=(const AdminServer&) = delete;
+
+  std::uint16_t port() const { return port_; }
+  std::uint64_t requests_served() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void serve_loop();
+  void handle_connection(int fd);
+  std::string respond(const std::string& request_line) const;
+
+  const Registry* registry_;
+  const TraceRing* traces_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> requests_{0};
+  std::thread thread_;
+};
+
+}  // namespace speed::telemetry

@@ -1,0 +1,206 @@
+#include "telemetry/exposition.h"
+
+#include <cstdio>
+
+namespace speed::telemetry {
+
+namespace {
+
+constexpr double kQuantiles[] = {0.5, 0.95, 0.99};
+constexpr const char* kQuantileNames[] = {"0.5", "0.95", "0.99"};
+
+/// Label values are whitelisted to [a-z0-9_.] so escaping is a formality,
+/// but render defensively anyway.
+std::string escape_label_value(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (const char c : v) {
+    if (c == '\\' || c == '"') out += '\\';
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out += c;
+  }
+  return out;
+}
+
+std::string prom_labels(const LabelSet& labels, const char* extra_key = nullptr,
+                        const char* extra_value = nullptr) {
+  if (labels.empty() && extra_key == nullptr) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const Label& l : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += l.key.str();
+    out += "=\"";
+    out += escape_label_value(l.value.str());
+    out += '"';
+  }
+  if (extra_key != nullptr) {
+    if (!first) out += ',';
+    out += extra_key;
+    out += "=\"";
+    out += extra_value;
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+void append_line(std::string& out, const std::string& name,
+                 const std::string& labels, std::int64_t value) {
+  out += name;
+  out += labels;
+  out += ' ';
+  out += std::to_string(value);
+  out += '\n';
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string render_prometheus(const Registry& registry) {
+  const std::vector<Family> families = registry.collect();
+  std::string out;
+  for (const Family& f : families) {
+    out += "# HELP " + f.name + " " + f.help + "\n";
+    switch (f.type) {
+      case MetricType::kCounter:
+        out += "# TYPE " + f.name + " counter\n";
+        for (const Sample& s : f.samples) {
+          append_line(out, f.name, prom_labels(s.labels), s.value);
+        }
+        break;
+      case MetricType::kGauge:
+        out += "# TYPE " + f.name + " gauge\n";
+        for (const Sample& s : f.samples) {
+          append_line(out, f.name, prom_labels(s.labels), s.value);
+        }
+        break;
+      case MetricType::kHistogram: {
+        out += "# TYPE " + f.name + " summary\n";
+        for (const Sample& s : f.samples) {
+          for (std::size_t q = 0; q < std::size(kQuantiles); ++q) {
+            append_line(out, f.name,
+                        prom_labels(s.labels, "quantile", kQuantileNames[q]),
+                        static_cast<std::int64_t>(s.hist.quantile(kQuantiles[q])));
+          }
+          append_line(out, f.name + "_sum", prom_labels(s.labels),
+                      static_cast<std::int64_t>(s.hist.sum));
+          append_line(out, f.name + "_count", prom_labels(s.labels),
+                      static_cast<std::int64_t>(s.hist.count));
+        }
+        out += "# HELP " + f.name + "_max " + f.help + " (max)\n";
+        out += "# TYPE " + f.name + "_max gauge\n";
+        for (const Sample& s : f.samples) {
+          append_line(out, f.name + "_max", prom_labels(s.labels),
+                      static_cast<std::int64_t>(s.hist.max));
+        }
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string snapshot_json(const Registry& registry) {
+  const std::vector<Family> families = registry.collect();
+  std::string out = "{\"families\": [";
+  bool first_family = true;
+  for (const Family& f : families) {
+    if (!first_family) out += ", ";
+    first_family = false;
+    const char* type = f.type == MetricType::kCounter   ? "counter"
+                       : f.type == MetricType::kGauge   ? "gauge"
+                                                        : "histogram";
+    out += "{\"name\": \"" + json_escape(f.name) + "\", \"type\": \"" + type +
+           "\", \"help\": \"" + json_escape(f.help) + "\", \"samples\": [";
+    bool first_sample = true;
+    for (const Sample& s : f.samples) {
+      if (!first_sample) out += ", ";
+      first_sample = false;
+      out += "{\"labels\": {";
+      bool first_label = true;
+      for (const Label& l : s.labels) {
+        if (!first_label) out += ", ";
+        first_label = false;
+        out += '"';
+        out += json_escape(l.key.str());
+        out += "\": \"";
+        out += json_escape(l.value.str());
+        out += '"';
+      }
+      out += "}";
+      if (f.type == MetricType::kHistogram) {
+        out += ", \"count\": " + std::to_string(s.hist.count);
+        out += ", \"sum\": " + std::to_string(s.hist.sum);
+        out += ", \"max\": " + std::to_string(s.hist.max);
+        out += ", \"p50\": " + std::to_string(s.hist.quantile(0.5));
+        out += ", \"p95\": " + std::to_string(s.hist.quantile(0.95));
+        out += ", \"p99\": " + std::to_string(s.hist.quantile(0.99));
+      } else {
+        out += ", \"value\": " + std::to_string(s.value);
+      }
+      out += "}";
+    }
+    out += "]}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string traces_json(const TraceRing& ring) {
+  const std::vector<TraceRecord> records = ring.snapshot();
+  std::string out = "{\"capacity\": " + std::to_string(ring.capacity()) +
+                    ", \"pushed\": " + std::to_string(ring.pushed()) +
+                    ", \"traces\": [";
+  bool first = true;
+  for (const TraceRecord& r : records) {
+    if (!first) out += ", ";
+    first = false;
+    out += "{\"id\": " + std::to_string(r.id);
+    out += ", \"outcome\": \"";
+    out += call_outcome_name(r.outcome);
+    out += "\", \"total_ns\": " + std::to_string(r.total_ns);
+    out += ", \"result_bytes\": " + std::to_string(r.result_bytes);
+    out += ", \"stages\": {";
+    bool first_stage = true;
+    for (std::size_t s = 0; s < r.stage_ns.size(); ++s) {
+      if (r.stage_ns[s] == 0) continue;  // only stages the call went through
+      if (!first_stage) out += ", ";
+      first_stage = false;
+      out += "\"";
+      out += stage_name(static_cast<Stage>(s));
+      out += "\": " + std::to_string(r.stage_ns[s]);
+    }
+    out += "}}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace speed::telemetry

@@ -1,0 +1,29 @@
+// Rendering the registry and trace ring for export.
+//
+//   * render_prometheus — Prometheus text exposition format 0.0.4.
+//     Counters and gauges render as-is; histograms render as summaries
+//     (p50/p95/p99 quantile series + _sum/_count) plus a companion
+//     `<name>_max` gauge family, which keeps the page compact while the
+//     full log-linear buckets stay available through snapshot_json.
+//   * snapshot_json — machine-readable snapshot for benches and tooling
+//     (bench/run_benches.sh drops one next to each BENCH_*.json).
+//   * traces_json — the recent-trace ring for /traces.json.
+//
+// Everything rendered here has passed the label whitelist (telemetry/
+// label.h); these functions add no data of their own.
+#pragma once
+
+#include <string>
+
+#include "telemetry/registry.h"
+#include "telemetry/trace.h"
+
+namespace speed::telemetry {
+
+std::string render_prometheus(const Registry& registry = Registry::global());
+
+std::string snapshot_json(const Registry& registry = Registry::global());
+
+std::string traces_json(const TraceRing& ring = TraceRing::global());
+
+}  // namespace speed::telemetry

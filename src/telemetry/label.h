@@ -1,0 +1,104 @@
+// Telemetry labels with a compile-time redaction whitelist.
+//
+// SPEED's security argument (PROTOCOL.md §5) depends on nothing derived
+// from tags, wrapped keys, or application inputs ever leaving the trust
+// boundary except as AEAD ciphertext. An observability layer is the easiest
+// place to violate that by accident — one `labels({"tag", hex(tag)})` and a
+// /metrics scrape leaks the dedup index to anyone on the admin port.
+//
+// The whitelist is therefore structural, not reviewed-by-convention:
+//
+//   * label KEYS and literal VALUES can only be built through consteval
+//     factories, so they must be compile-time string constants drawn from a
+//     restricted charset — runtime bytes (tags, keys, inputs, peer data)
+//     cannot reach them by construction;
+//   * the only runtime-valued labels are small unsigned integers
+//     (LabelValue::index — shard numbers, thread counts), which cannot
+//     encode a 32-byte secret.
+//
+// A scrape-side test (tests/telemetry_test.cc) re-checks the rendered page
+// against the same charset, so even a future bypass of these types would be
+// caught at the boundary.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace speed::telemetry {
+
+namespace detail {
+/// Charset for exported names and literal label values. Deliberately has no
+/// room for hex blobs of secrets to look "normal": reviewers see any
+/// whitelisted literal in the source next to its consteval call site.
+consteval bool whitelisted_char(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_' ||
+         c == '.';
+}
+
+consteval const char* checked_literal(const char* s) {
+  if (s == nullptr || *s == '\0') throw "telemetry label: empty literal";
+  for (const char* p = s; *p != '\0'; ++p) {
+    if (!whitelisted_char(*p)) {
+      throw "telemetry label: character outside [a-z0-9_.]";
+    }
+  }
+  return s;
+}
+}  // namespace detail
+
+/// A label key. Only constructible from a compile-time literal.
+class LabelKey {
+ public:
+  static consteval LabelKey of(const char* key) {
+    return LabelKey(detail::checked_literal(key));
+  }
+  const char* str() const { return key_; }
+
+ private:
+  constexpr explicit LabelKey(const char* key) : key_(key) {}
+  const char* key_;
+};
+
+/// A label value: either a compile-time literal (app-visible enum names,
+/// outcome names, scheme names) or a small runtime integer (shard index).
+class LabelValue {
+ public:
+  static consteval LabelValue lit(const char* value) {
+    return LabelValue(detail::checked_literal(value), 0);
+  }
+  static constexpr LabelValue index(std::uint64_t value) {
+    return LabelValue(nullptr, value);
+  }
+
+  std::string str() const {
+    return literal_ != nullptr ? std::string(literal_)
+                               : std::to_string(index_);
+  }
+
+ private:
+  constexpr LabelValue(const char* literal, std::uint64_t index)
+      : literal_(literal), index_(index) {}
+  const char* literal_;
+  std::uint64_t index_;
+};
+
+struct Label {
+  LabelKey key;
+  LabelValue value;
+};
+
+using LabelSet = std::vector<Label>;
+
+/// Metric (family) name; same compile-time charset guarantee as labels.
+class MetricName {
+ public:
+  consteval MetricName(const char* name)  // NOLINT: implicit by design
+      : name_(detail::checked_literal(name)) {}
+  const char* str() const { return name_; }
+
+ private:
+  const char* name_;
+};
+
+}  // namespace speed::telemetry

@@ -1,0 +1,113 @@
+#include "telemetry/registry.h"
+
+#include <algorithm>
+
+namespace speed::telemetry {
+
+namespace {
+
+/// Canonical key for sample merging: rendered labels in emission order.
+/// Collectors emit a given metric with a fixed label ordering, so this is
+/// stable without sorting.
+std::string label_fingerprint(const LabelSet& labels) {
+  std::string key;
+  for (const Label& l : labels) {
+    key += l.key.str();
+    key += '=';
+    key += l.value.str();
+    key += ';';
+  }
+  return key;
+}
+
+}  // namespace
+
+Sample& SampleSink::upsert(MetricName name, const char* help, MetricType type,
+                           LabelSet&& labels) {
+  const auto [it, inserted] = index_.try_emplace(name.str(), families_.size());
+  if (inserted) {
+    Family f;
+    f.name = name.str();
+    f.help = help;
+    f.type = type;
+    families_.push_back(std::move(f));
+  }
+  Family& family = families_[it->second];
+  const std::string fp = label_fingerprint(labels);
+  for (Sample& s : family.samples) {
+    if (label_fingerprint(s.labels) == fp) return s;
+  }
+  Sample s;
+  s.labels = std::move(labels);
+  family.samples.push_back(std::move(s));
+  return family.samples.back();
+}
+
+void SampleSink::counter(MetricName name, const char* help, LabelSet labels,
+                         std::uint64_t value) {
+  upsert(name, help, MetricType::kCounter, std::move(labels)).value +=
+      static_cast<std::int64_t>(value);
+}
+
+void SampleSink::gauge(MetricName name, const char* help, LabelSet labels,
+                       std::int64_t value) {
+  upsert(name, help, MetricType::kGauge, std::move(labels)).value += value;
+}
+
+void SampleSink::histogram(MetricName name, const char* help, LabelSet labels,
+                           const Histogram& h) {
+  upsert(name, help, MetricType::kHistogram, std::move(labels))
+      .hist.merge(h.snapshot());
+}
+
+std::vector<Family> SampleSink::take_families() {
+  std::sort(families_.begin(), families_.end(),
+            [](const Family& a, const Family& b) { return a.name < b.name; });
+  index_.clear();
+  return std::move(families_);
+}
+
+Registry& Registry::global() {
+  static Registry registry;
+  return registry;
+}
+
+Registry::Handle& Registry::Handle::operator=(Handle&& other) noexcept {
+  if (this != &other) {
+    reset();
+    registry_ = other.registry_;
+    id_ = other.id_;
+    other.registry_ = nullptr;
+    other.id_ = 0;
+  }
+  return *this;
+}
+
+void Registry::Handle::reset() {
+  if (registry_ != nullptr) {
+    registry_->remove_collector(id_);
+    registry_ = nullptr;
+    id_ = 0;
+  }
+}
+
+Registry::Handle Registry::add_collector(Collector collector) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t id = next_id_++;
+  collectors_.emplace(id, std::move(collector));
+  return Handle(this, id);
+}
+
+void Registry::remove_collector(std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  collectors_.erase(id);
+}
+
+std::vector<Family> Registry::collect() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  SampleSink sink;
+  for (const auto& [id, collector] : collectors_) collector(sink);
+  return sink.take_families();
+}
+
+}  // namespace speed::telemetry

@@ -1,0 +1,73 @@
+#include "telemetry/trace.h"
+
+namespace speed::telemetry {
+
+const char* call_outcome_name(CallOutcome o) {
+  switch (o) {
+    case CallOutcome::kLocalHit: return "local_hit";
+    case CallOutcome::kStoreHit: return "store_hit";
+    case CallOutcome::kMiss: return "miss";
+    case CallOutcome::kFailedRecovery: return "failed_recovery";
+    case CallOutcome::kDegraded: return "degraded";
+    case CallOutcome::kCount: break;
+  }
+  return "unknown";
+}
+
+const char* stage_name(Stage s) {
+  switch (s) {
+    case Stage::kTagDerive: return "tag_derive";
+    case Stage::kCacheLookup: return "cache_lookup";
+    case Stage::kStoreGet: return "store_get";
+    case Stage::kRecover: return "recover";
+    case Stage::kCompute: return "compute";
+    case Stage::kPutEnqueue: return "put_enqueue";
+    case Stage::kCount: break;
+  }
+  return "unknown";
+}
+
+TraceRing::TraceRing(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.reserve(capacity_);
+}
+
+TraceRing& TraceRing::global() {
+  static TraceRing ring;
+  return ring;
+}
+
+void TraceRing::push(TraceRecord record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t n = pushed_.load(std::memory_order_relaxed);
+  record.id = n;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(record);
+  } else {
+    ring_[n % capacity_] = record;
+  }
+  pushed_.store(n + 1, std::memory_order_relaxed);
+}
+
+std::vector<TraceRecord> TraceRing::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceRecord> out;
+  out.reserve(ring_.size());
+  const std::uint64_t n = pushed_.load(std::memory_order_relaxed);
+  if (ring_.size() < capacity_) {
+    out = ring_;
+  } else {
+    for (std::size_t i = 0; i < capacity_; ++i) {
+      out.push_back(ring_[(n + i) % capacity_]);
+    }
+  }
+  return out;
+}
+
+TraceSpan::~TraceSpan() {
+  if (ring_ == nullptr) return;
+  record_.total_ns = sw_.elapsed_ns();
+  ring_->push(record_);
+}
+
+}  // namespace speed::telemetry

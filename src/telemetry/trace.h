@@ -1,0 +1,122 @@
+// Lightweight per-call request tracing.
+//
+// A TraceSpan follows one marked call through the runtime's pipeline —
+// tag derivation, in-enclave cache lookup, the secure GET round trip,
+// recovery/decryption, local compute, PUT enqueue — and records stage
+// wall-clock timings plus the call's outcome. Completed spans land in a
+// bounded in-memory ring of recent traces (oldest evicted first), exported
+// as JSON by the admin endpoint (/traces.json).
+//
+// Redaction: a trace carries ONLY stage durations, the outcome enum, and
+// the result size. No tag, key, input, or identity bytes exist in the
+// record type, so the ring cannot leak them (see telemetry/label.h for the
+// matching label-side guarantee).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace speed::telemetry {
+
+/// How a marked call was ultimately served (app-visible classification).
+enum class CallOutcome : std::uint8_t {
+  kLocalHit = 0,       ///< served from the in-enclave result cache
+  kStoreHit,           ///< served from the dedup store
+  kMiss,               ///< store had no entry; computed + PUT
+  kFailedRecovery,     ///< entry present but not decryptable; recomputed
+  kDegraded,           ///< store unreachable; computed locally
+  kCount,
+};
+
+const char* call_outcome_name(CallOutcome o);
+
+/// Pipeline stages a span can time.
+enum class Stage : std::uint8_t {
+  kTagDerive = 0,
+  kCacheLookup,
+  kStoreGet,     ///< the secure GET round trip
+  kRecover,      ///< unwrap + decrypt of a store hit
+  kCompute,      ///< local computation (miss/degrade/failed-recovery)
+  kPutEnqueue,
+  kCount,
+};
+
+const char* stage_name(Stage s);
+
+struct TraceRecord {
+  std::uint64_t id = 0;  ///< monotonically increasing per ring
+  CallOutcome outcome = CallOutcome::kMiss;
+  std::uint64_t total_ns = 0;
+  std::array<std::uint64_t, static_cast<std::size_t>(Stage::kCount)> stage_ns{};
+  std::uint64_t result_bytes = 0;
+};
+
+/// Bounded ring of recent traces. push() is one short mutex hold per
+/// completed call; snapshot() copies out oldest-to-newest.
+class TraceRing {
+ public:
+  explicit TraceRing(std::size_t capacity = 512);
+
+  /// The process-wide ring the runtime feeds by default.
+  static TraceRing& global();
+
+  void push(TraceRecord record);
+  std::vector<TraceRecord> snapshot() const;
+
+  std::size_t capacity() const { return capacity_; }
+  /// Total spans ever pushed (ring position of the newest record).
+  std::uint64_t pushed() const { return pushed_.load(std::memory_order_relaxed); }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<TraceRecord> ring_;  ///< ring_[pushed_ % capacity_] = next slot
+  std::atomic<std::uint64_t> pushed_{0};
+};
+
+/// RAII span: construct at call entry, stamp stages/outcome along the way;
+/// the destructor finalizes the total and pushes into the ring. A null ring
+/// disables the span (no clock reads beyond construction).
+class TraceSpan {
+ public:
+  explicit TraceSpan(TraceRing* ring) : ring_(ring) {}
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  bool enabled() const { return ring_ != nullptr; }
+  void add_stage_ns(Stage stage, std::uint64_t ns) {
+    record_.stage_ns[static_cast<std::size_t>(stage)] += ns;
+  }
+  void set_outcome(CallOutcome outcome) { record_.outcome = outcome; }
+  void set_result_bytes(std::uint64_t bytes) { record_.result_bytes = bytes; }
+
+  /// Times one stage over its scope (no-op when the span is disabled).
+  class StageTimer {
+   public:
+    StageTimer(TraceSpan& span, Stage stage) : span_(span), stage_(stage) {}
+    ~StageTimer() {
+      if (span_.enabled()) span_.add_stage_ns(stage_, sw_.elapsed_ns());
+    }
+    StageTimer(const StageTimer&) = delete;
+    StageTimer& operator=(const StageTimer&) = delete;
+
+   private:
+    TraceSpan& span_;
+    Stage stage_;
+    Stopwatch sw_;
+  };
+
+ private:
+  TraceRing* ring_;
+  TraceRecord record_;
+  Stopwatch sw_;
+};
+
+}  // namespace speed::telemetry

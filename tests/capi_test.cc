@@ -109,6 +109,31 @@ TEST_F(CapiTest, NullArgumentHandling) {
   speed_buffer_free(nullptr);  // must be a no-op
 }
 
+TEST_F(CapiTest, MetricsSnapshotReflectsCalls) {
+  speed_function* f = speed_function_create(dep_, "clib", "1.0", "snap",
+                                            counting_reverse, nullptr);
+  ASSERT_NE(f, nullptr);
+  const uint8_t input[] = {'m'};
+  uint8_t* out = nullptr;
+  size_t len = 0;
+  ASSERT_EQ(speed_call(f, input, 1, &out, &len), SPEED_OK);
+  speed_buffer_free(out);
+  speed_function_destroy(f);
+
+  char* snapshot = speed_metrics_snapshot();
+  ASSERT_NE(snapshot, nullptr);
+  const std::string json(snapshot);
+  speed_buffer_free(reinterpret_cast<uint8_t*>(snapshot));
+
+  // Valid-looking JSON carrying the instrumented families the deployment
+  // in this fixture keeps alive (runtime, per-shard store, enclave EPC).
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back() == '\n' ? json[json.size() - 2] : json.back(), '}');
+  EXPECT_NE(json.find("\"speed_runtime_calls_total\""), std::string::npos);
+  EXPECT_NE(json.find("\"speed_store_get_requests_total\""), std::string::npos);
+  EXPECT_NE(json.find("\"speed_epc_used_bytes\""), std::string::npos);
+}
+
 TEST_F(CapiTest, TwoFunctionsAreDistinctComputations) {
   int exec_a = 0, exec_b = 0;
   speed_function* fa = speed_function_create(dep_, "clib", "1.0", "variant-a",

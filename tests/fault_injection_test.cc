@@ -15,6 +15,7 @@
 #include "net/resilient.h"
 #include "runtime/speed.h"
 #include "store/tcp_server.h"
+#include "telemetry/registry.h"
 
 namespace speed {
 namespace {
@@ -272,6 +273,78 @@ TEST_F(FaultInjectionTest, BreakerOpensHalfOpensAndCloses) {
   const auto before_hits = app.rt->stats().hits;
   EXPECT_EQ(f(in), expected_result(in));
   EXPECT_GT(app.rt->stats().hits, before_hits) << "hits resume after recovery";
+}
+
+// ------------------------------------------------- resilience telemetry
+
+/// Sum the exported value of `name` across all samples in the process-wide
+/// registry (other live transports may contribute; callers assert >=).
+std::uint64_t exported_total(const std::string& name) {
+  std::uint64_t total = 0;
+  for (const auto& family : telemetry::Registry::global().collect()) {
+    if (family.name != name) continue;
+    for (const auto& sample : family.samples) {
+      total += static_cast<std::uint64_t>(sample.value);
+    }
+  }
+  return total;
+}
+
+TEST_F(FaultInjectionTest, ReconnectAndBreakerMetricsExportThroughRegistry) {
+  // Drive the transport through failure -> open breaker -> short circuits
+  // -> recovery and assert the story is visible both in the per-instance
+  // Stats view and in the process-wide speed_transport_* export.
+  const std::uint64_t base_reconnects =
+      exported_total("speed_transport_reconnects_total");
+  const std::uint64_t base_opens =
+      exported_total("speed_transport_breaker_opens_total");
+  const std::uint64_t base_shorts =
+      exported_total("speed_transport_short_circuits_total");
+  const std::uint64_t base_failures =
+      exported_total("speed_transport_failures_total");
+
+  auto up = std::make_shared<std::atomic<bool>>(true);
+  const auto schedule = [up](std::uint64_t) {
+    return up->load() ? Fault::kNone : Fault::kDisconnect;
+  };
+  FaultyApp app(platform_, store_, "metrics-app", schedule, up);
+  std::atomic<int> execs{0};
+  auto f = make_fn(app, execs);
+
+  const Bytes in = to_bytes("observed");
+  EXPECT_EQ(f(in), expected_result(in));  // healthy miss
+  app.rt->flush();
+
+  up->store(false);
+  const auto rc = app.transport->config();
+  for (int i = 0; i < rc.breaker_threshold + 3; ++i) {
+    EXPECT_EQ(f(in), expected_result(in));
+  }
+  const auto mid = app.transport->stats();
+  EXPECT_GE(mid.failures, static_cast<std::uint64_t>(rc.breaker_threshold));
+  EXPECT_GE(mid.reconnect_failures, 1u) << "redials refused while down";
+  EXPECT_GE(mid.breaker_opens, 1u);
+  EXPECT_GE(mid.short_circuits, 1u);
+
+  // The registry exports the same cells the Stats view reads.
+  EXPECT_GE(exported_total("speed_transport_failures_total"),
+            base_failures + mid.failures);
+  EXPECT_GE(exported_total("speed_transport_breaker_opens_total"),
+            base_opens + mid.breaker_opens);
+  EXPECT_GE(exported_total("speed_transport_short_circuits_total"),
+            base_shorts + mid.short_circuits);
+  EXPECT_GE(exported_total("speed_transport_breaker_open"), 1u)
+      << "open-breaker gauge raised while the store is down";
+
+  up->store(true);
+  std::this_thread::sleep_for(
+      std::chrono::milliseconds(rc.breaker_cooldown_ms + 20));
+  EXPECT_EQ(f(in), expected_result(in));  // half-open probe reconnects
+  const auto after = app.transport->stats();
+  EXPECT_GE(after.reconnects, 1u);
+  EXPECT_GE(exported_total("speed_transport_reconnects_total"),
+            base_reconnects + after.reconnects);
+  EXPECT_GE(exported_total("speed_transport_round_trips_total"), 1u);
 }
 
 // ------------------------------------------------ acceptance: 10k calls

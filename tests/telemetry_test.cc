@@ -1,0 +1,523 @@
+// Telemetry subsystem tests: histogram bucketing and exact merge, registry
+// collection/merging, Prometheus/JSON rendering, the redaction boundary
+// (nothing tag/key/input-shaped may appear in an exported label), per-call
+// trace spans through the runtime pipeline, and the admin HTTP endpoint.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <random>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runtime/speed.h"
+#include "telemetry/admin_server.h"
+#include "telemetry/exposition.h"
+#include "telemetry/label.h"
+#include "telemetry/metrics.h"
+#include "telemetry/registry.h"
+#include "telemetry/trace.h"
+
+namespace speed {
+namespace {
+
+using telemetry::CallOutcome;
+using telemetry::Counter;
+using telemetry::Family;
+using telemetry::Gauge;
+using telemetry::Histogram;
+using telemetry::HistogramSnapshot;
+using telemetry::LabelKey;
+using telemetry::LabelValue;
+using telemetry::MetricType;
+using telemetry::Registry;
+using telemetry::Stage;
+using telemetry::TraceRing;
+using telemetry::TraceSpan;
+
+// ------------------------------------------------------------- histogram
+
+TEST(HistogramTest, SmallValuesAreExact) {
+  Histogram h;
+  for (std::uint64_t v = 0; v < Histogram::kSub; ++v) h.record(v);
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.count, Histogram::kSub);
+  for (std::uint64_t v = 0; v < Histogram::kSub; ++v) {
+    EXPECT_EQ(s.buckets[v], 1u) << "value " << v << " maps to its own bucket";
+    EXPECT_EQ(Histogram::bucket_upper_bound(v), v);
+  }
+}
+
+TEST(HistogramTest, BucketBoundsContainTheirValues) {
+  // Every recorded value must land in a bucket whose upper bound is >= the
+  // value and whose relative error is bounded by 1/kSub.
+  std::mt19937_64 rng(7);
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint64_t v = rng() >> (rng() % 40);  // span many magnitudes
+    const std::size_t idx = Histogram::bucket_index(v);
+    const std::uint64_t ub = Histogram::bucket_upper_bound(idx);
+    if (idx < Histogram::kBuckets - 1) {
+      ASSERT_GE(ub, v);
+      ASSERT_LE(static_cast<double>(ub - v),
+                static_cast<double>(v) / Histogram::kSub + 1.0)
+          << "relative error bound at v=" << v;
+    }
+    if (idx > 0) {
+      ASSERT_LT(Histogram::bucket_upper_bound(idx - 1), v == 0 ? 1 : v)
+          << "previous bucket must end below v=" << v;
+    }
+  }
+}
+
+TEST(HistogramTest, QuantilesAreOrderedAndClamped) {
+  Histogram h;
+  for (std::uint64_t v = 1; v <= 1000; ++v) h.record(v * 1000);
+  const auto s = h.snapshot();
+  const auto p50 = s.quantile(0.50);
+  const auto p95 = s.quantile(0.95);
+  const auto p99 = s.quantile(0.99);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_LE(p99, s.max);
+  // p50 of a uniform 1k..1000k ns stream is ~500k ns, within bucket error.
+  EXPECT_NEAR(static_cast<double>(p50), 500'000.0, 500'000.0 / 16 + 1000);
+  EXPECT_EQ(s.max, 1'000'000u);
+  EXPECT_EQ(HistogramSnapshot{}.quantile(0.5), 0u) << "empty histogram";
+}
+
+TEST(HistogramTest, MergeAcrossThreadsIsExact) {
+  // The property the whole design leans on: per-thread histograms merged
+  // bucket-wise are bit-identical to one histogram that saw every sample.
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50000;
+  Histogram combined;
+  std::vector<Histogram> per_thread(kThreads);
+
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      std::mt19937_64 rng(static_cast<std::uint64_t>(t) * 7919 + 1);
+      for (int i = 0; i < kPerThread; ++i) {
+        const std::uint64_t v = rng() >> (rng() % 45);
+        per_thread[static_cast<std::size_t>(t)].record(v);
+        combined.record(v);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  HistogramSnapshot merged;
+  for (const auto& h : per_thread) merged.merge(h.snapshot());
+  const HistogramSnapshot reference = combined.snapshot();
+
+  EXPECT_EQ(merged.count, reference.count);
+  EXPECT_EQ(merged.sum, reference.sum);
+  EXPECT_EQ(merged.max, reference.max);
+  ASSERT_EQ(merged.buckets.size(), reference.buckets.size());
+  EXPECT_EQ(merged.buckets, reference.buckets) << "bucket-wise bit-identical";
+  for (const double q : {0.5, 0.9, 0.95, 0.99, 0.999}) {
+    EXPECT_EQ(merged.quantile(q), reference.quantile(q)) << "q=" << q;
+  }
+}
+
+// --------------------------------------------------------------- registry
+
+TEST(RegistryTest, MergesSamplesSharingNameAndLabels) {
+  Registry reg;
+  constexpr auto kShard = LabelKey::of("shard");
+  Counter a, b, c;
+  a.inc(3);
+  b.inc(4);
+  c.inc(10);
+  auto h1 = reg.add_collector([&](telemetry::SampleSink& sink) {
+    sink.counter("test_requests_total", "help", {{kShard, LabelValue::index(0)}},
+                 a.value());
+  });
+  auto h2 = reg.add_collector([&](telemetry::SampleSink& sink) {
+    sink.counter("test_requests_total", "help", {{kShard, LabelValue::index(0)}},
+                 b.value());
+    sink.counter("test_requests_total", "help", {{kShard, LabelValue::index(1)}},
+                 c.value());
+  });
+
+  const auto families = reg.collect();
+  ASSERT_EQ(families.size(), 1u);
+  EXPECT_EQ(families[0].name, "test_requests_total");
+  ASSERT_EQ(families[0].samples.size(), 2u) << "one series per label set";
+  std::uint64_t shard0 = 0, shard1 = 0;
+  for (const auto& s : families[0].samples) {
+    ASSERT_EQ(s.labels.size(), 1u);
+    if (s.labels[0].value.str() == "0") shard0 = static_cast<std::uint64_t>(s.value);
+    if (s.labels[0].value.str() == "1") shard1 = static_cast<std::uint64_t>(s.value);
+  }
+  EXPECT_EQ(shard0, 7u) << "same (name, labels) from two collectors adds";
+  EXPECT_EQ(shard1, 10u);
+}
+
+TEST(RegistryTest, HistogramsMergeAtScrape) {
+  Registry reg;
+  Histogram h1, h2;
+  h1.record(100);
+  h1.record(200);
+  h2.record(300);
+  auto c1 = reg.add_collector([&](telemetry::SampleSink& sink) {
+    sink.histogram("test_latency_ns", "help", {}, h1);
+  });
+  auto c2 = reg.add_collector([&](telemetry::SampleSink& sink) {
+    sink.histogram("test_latency_ns", "help", {}, h2);
+  });
+  const auto families = reg.collect();
+  ASSERT_EQ(families.size(), 1u);
+  ASSERT_EQ(families[0].samples.size(), 1u);
+  EXPECT_EQ(families[0].samples[0].hist.count, 3u);
+  EXPECT_EQ(families[0].samples[0].hist.sum, 600u);
+  EXPECT_EQ(families[0].samples[0].hist.max, 300u);
+}
+
+TEST(RegistryTest, HandleDeregistersCollector) {
+  Registry reg;
+  Counter c;
+  c.inc(1);
+  {
+    auto handle = reg.add_collector([&](telemetry::SampleSink& sink) {
+      sink.counter("test_scoped_total", "help", {}, c.value());
+    });
+    EXPECT_EQ(reg.collect().size(), 1u);
+  }
+  EXPECT_TRUE(reg.collect().empty()) << "destroyed handle removed collector";
+}
+
+// ------------------------------------------------------------- exposition
+
+TEST(ExpositionTest, PrometheusRenderIsWellFormed) {
+  Registry reg;
+  constexpr auto kShard = LabelKey::of("shard");
+  Counter hits;
+  hits.inc(42);
+  Gauge depth;
+  depth.set(-3);
+  Histogram lat;
+  lat.record(1000);
+  lat.record(2000);
+  auto h = reg.add_collector([&](telemetry::SampleSink& sink) {
+    sink.counter("test_hits_total", "hits", {{kShard, LabelValue::index(2)}},
+                 hits.value());
+    sink.gauge("test_queue_depth", "depth", {}, depth.value());
+    sink.histogram("test_call_ns", "latency", {}, lat);
+  });
+
+  const std::string page = telemetry::render_prometheus(reg);
+  EXPECT_NE(page.find("# TYPE test_hits_total counter"), std::string::npos);
+  EXPECT_NE(page.find("test_hits_total{shard=\"2\"} 42"), std::string::npos);
+  EXPECT_NE(page.find("# TYPE test_queue_depth gauge"), std::string::npos);
+  EXPECT_NE(page.find("test_queue_depth -3"), std::string::npos);
+  EXPECT_NE(page.find("# TYPE test_call_ns summary"), std::string::npos);
+  EXPECT_NE(page.find("test_call_ns{quantile=\"0.5\"}"), std::string::npos);
+  EXPECT_NE(page.find("test_call_ns_count 2"), std::string::npos);
+  EXPECT_NE(page.find("test_call_ns_sum 3000"), std::string::npos);
+  EXPECT_NE(page.find("test_call_ns_max 2000"), std::string::npos);
+  // Every non-comment line is "name{...} value" or "name value".
+  std::size_t pos = 0;
+  while (pos < page.size()) {
+    const std::size_t eol = page.find('\n', pos);
+    ASSERT_NE(eol, std::string::npos) << "page must end with a newline";
+    const std::string line = page.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty() || line[0] == '#') continue;
+    const std::size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    ASSERT_FALSE(line.substr(space + 1).empty()) << line;
+  }
+}
+
+TEST(ExpositionTest, SnapshotJsonContainsFamiliesAndQuantiles) {
+  Registry reg;
+  Histogram lat;
+  for (int i = 1; i <= 100; ++i) lat.record(static_cast<std::uint64_t>(i));
+  auto h = reg.add_collector([&](telemetry::SampleSink& sink) {
+    sink.histogram("test_json_ns", "latency", {}, lat);
+  });
+  const std::string json = telemetry::snapshot_json(reg);
+  EXPECT_NE(json.find("\"test_json_ns\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\": 100"), std::string::npos);
+}
+
+// ---------------------------------------------------- redaction boundary
+
+/// Pull every label value out of a rendered Prometheus page.
+std::vector<std::string> exported_label_values(const std::string& page) {
+  std::vector<std::string> values;
+  std::size_t pos = 0;
+  while ((pos = page.find('"', pos)) != std::string::npos) {
+    const std::size_t end = page.find('"', pos + 1);
+    if (end == std::string::npos) break;
+    values.push_back(page.substr(pos + 1, end - pos - 1));
+    pos = end + 1;
+  }
+  return values;
+}
+
+bool looks_redacted(const std::string& v) {
+  // App-visible enums, shard/thread indices, and quantile floats only: the
+  // whitelist charset plus a length cap no 16/32-byte secret hex fits under.
+  if (v.size() > 20) return false;
+  return std::all_of(v.begin(), v.end(), [](unsigned char c) {
+    return (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_' ||
+           c == '.';
+  });
+}
+
+TEST(RedactionTest, ExportedLabelsNeverCarrySecretShapedBytes) {
+  // Exercise a full deployment so every instrumented component (runtime,
+  // store shards, channel, enclave) has registered and exported samples,
+  // then re-check the rendered boundary against the whitelist charset.
+  sgx::Platform platform;
+  store::ResultStore store(platform);
+  auto enclave = platform.create_enclave("redaction-app");
+  auto conn = store::connect_app(store, *enclave);
+  auto session = std::move(conn.session);
+  runtime::DedupRuntime rt(*enclave, conn.session_key,
+                           std::move(conn.transport));
+  rt.libraries().register_library("lib", "1", as_bytes("code"));
+  runtime::Deduplicable<Bytes(const Bytes&)> f(
+      rt, {"lib", "1", "f"},
+      [](const Bytes& in) { return concat(in, as_bytes("+out")); });
+  for (int i = 0; i < 4; ++i) {
+    const Bytes in{static_cast<std::uint8_t>(i)};
+    f(in);
+    f(in);
+  }
+  rt.flush();
+
+  const std::string page = telemetry::render_prometheus();
+  ASSERT_NE(page.find("speed_runtime_calls_total"), std::string::npos);
+  ASSERT_NE(page.find("speed_store_get_requests_total"), std::string::npos);
+  ASSERT_NE(page.find("speed_channel_frames_total"), std::string::npos);
+  ASSERT_NE(page.find("speed_epc_used_bytes"), std::string::npos);
+
+  const auto values = exported_label_values(page);
+  ASSERT_FALSE(values.empty());
+  for (const auto& v : values) {
+    EXPECT_TRUE(looks_redacted(v))
+        << "label value escaped the redaction whitelist: \"" << v << "\"";
+  }
+  // Belt and braces: no exported label may be long enough to smuggle even
+  // half a tag (tags are 32 bytes, 64 hex chars).
+  for (const auto& v : values) EXPECT_LE(v.size(), 20u);
+}
+
+// ----------------------------------------------------------------- traces
+
+TEST(TraceRingTest, RingIsBoundedAndKeepsNewest) {
+  TraceRing ring(4);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    telemetry::TraceRecord r;
+    r.result_bytes = i;
+    ring.push(r);
+  }
+  EXPECT_EQ(ring.pushed(), 10u);
+  const auto records = ring.snapshot();
+  ASSERT_EQ(records.size(), 4u);
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(records[i].id, 6 + i) << "oldest-to-newest order";
+    EXPECT_EQ(records[i].result_bytes, 6 + i);
+  }
+}
+
+TEST(TraceRingTest, DisabledSpanRecordsNothing) {
+  TraceRing ring(4);
+  { TraceSpan span(nullptr); }
+  EXPECT_EQ(ring.pushed(), 0u);
+}
+
+TEST(TraceTest, RuntimePipelinePushesSpansWithStagesAndOutcomes) {
+  TraceRing ring(64);
+  sgx::Platform platform;
+  store::ResultStore store(platform);
+  auto enclave = platform.create_enclave("trace-app");
+  auto conn = store::connect_app(store, *enclave);
+  auto session = std::move(conn.session);
+  runtime::RuntimeConfig cfg;
+  cfg.trace_ring = &ring;
+  cfg.local_cache = false;  // force the second call through the store
+  runtime::DedupRuntime rt(*enclave, conn.session_key,
+                           std::move(conn.transport), cfg);
+  rt.libraries().register_library("lib", "1", as_bytes("code"));
+  runtime::Deduplicable<Bytes(const Bytes&)> f(
+      rt, {"lib", "1", "f"},
+      [](const Bytes& in) { return concat(in, as_bytes("+out")); });
+
+  const Bytes in = to_bytes("traced");
+  const Bytes out = f(in);
+  rt.flush();
+  f(in);
+
+  const auto records = ring.snapshot();
+  ASSERT_EQ(records.size(), 2u);
+  const auto& miss = records[0];
+  const auto& hit = records[1];
+
+  EXPECT_EQ(miss.outcome, CallOutcome::kMiss);
+  // result_bytes is the size of the *serialized* result (what the store
+  // round trips carry), not the app-level payload.
+  EXPECT_GE(miss.result_bytes, out.size());
+  EXPECT_GT(miss.total_ns, 0u);
+  EXPECT_GT(miss.stage_ns[static_cast<std::size_t>(Stage::kCompute)], 0u);
+  EXPECT_GT(miss.stage_ns[static_cast<std::size_t>(Stage::kStoreGet)], 0u);
+
+  EXPECT_EQ(hit.outcome, CallOutcome::kStoreHit);
+  EXPECT_EQ(hit.result_bytes, miss.result_bytes)
+      << "hit and miss serve the same serialized result";
+  EXPECT_GT(hit.stage_ns[static_cast<std::size_t>(Stage::kStoreGet)], 0u);
+  EXPECT_GT(hit.stage_ns[static_cast<std::size_t>(Stage::kRecover)], 0u);
+  EXPECT_EQ(hit.stage_ns[static_cast<std::size_t>(Stage::kCompute)], 0u)
+      << "a store hit never runs the computation";
+}
+
+TEST(TraceTest, LocalCacheHitIsTracedAsLocalHit) {
+  TraceRing ring(64);
+  sgx::Platform platform;
+  store::ResultStore store(platform);
+  auto enclave = platform.create_enclave("trace-cache-app");
+  auto conn = store::connect_app(store, *enclave);
+  auto session = std::move(conn.session);
+  runtime::RuntimeConfig cfg;
+  cfg.trace_ring = &ring;
+  runtime::DedupRuntime rt(*enclave, conn.session_key,
+                           std::move(conn.transport), cfg);
+  rt.libraries().register_library("lib", "1", as_bytes("code"));
+  runtime::Deduplicable<Bytes(const Bytes&)> f(
+      rt, {"lib", "1", "f"},
+      [](const Bytes& in) { return concat(in, as_bytes("+out")); });
+
+  const Bytes in = to_bytes("cached");
+  f(in);
+  f(in);
+
+  const auto records = ring.snapshot();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].outcome, CallOutcome::kMiss);
+  EXPECT_EQ(records[1].outcome, CallOutcome::kLocalHit);
+  EXPECT_EQ(records[1].stage_ns[static_cast<std::size_t>(Stage::kStoreGet)], 0u)
+      << "a local hit never leaves the enclave";
+}
+
+TEST(TraceTest, TracesJsonRendersTheRing) {
+  TraceRing ring(8);
+  telemetry::TraceRecord r;
+  r.outcome = CallOutcome::kStoreHit;
+  r.total_ns = 12345;
+  r.stage_ns[static_cast<std::size_t>(Stage::kStoreGet)] = 9999;
+  r.result_bytes = 77;
+  ring.push(r);
+  const std::string json = telemetry::traces_json(ring);
+  EXPECT_NE(json.find("\"store_hit\""), std::string::npos);
+  EXPECT_NE(json.find("\"store_get\""), std::string::npos);
+  EXPECT_NE(json.find("12345"), std::string::npos);
+  EXPECT_NE(json.find("77"), std::string::npos);
+}
+
+// ----------------------------------------------------------- admin server
+
+std::string http_get(std::uint16_t port, const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  const std::string request = "GET " + path + " HTTP/1.0\r\n\r\n";
+  EXPECT_EQ(::send(fd, request.data(), request.size(), 0),
+            static_cast<ssize_t>(request.size()));
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+TEST(AdminServerTest, ServesMetricsSnapshotTracesAndHealth) {
+  Registry reg;
+  Counter c;
+  c.inc(5);
+  auto handle = reg.add_collector([&](telemetry::SampleSink& sink) {
+    sink.counter("test_admin_total", "help", {}, c.value());
+  });
+  TraceRing ring(4);
+  telemetry::AdminServer server(0, &reg, &ring);
+  ASSERT_NE(server.port(), 0) << "ephemeral port bound";
+
+  const std::string metrics = http_get(server.port(), "/metrics");
+  EXPECT_NE(metrics.find("200 OK"), std::string::npos);
+  EXPECT_NE(metrics.find("text/plain; version=0.0.4"), std::string::npos);
+  EXPECT_NE(metrics.find("# TYPE test_admin_total counter"), std::string::npos);
+  EXPECT_NE(metrics.find("test_admin_total 5"), std::string::npos);
+
+  const std::string json = http_get(server.port(), "/snapshot.json");
+  EXPECT_NE(json.find("200 OK"), std::string::npos);
+  EXPECT_NE(json.find("application/json"), std::string::npos);
+  EXPECT_NE(json.find("test_admin_total"), std::string::npos);
+
+  const std::string traces = http_get(server.port(), "/traces.json");
+  EXPECT_NE(traces.find("200 OK"), std::string::npos);
+
+  const std::string health = http_get(server.port(), "/healthz");
+  EXPECT_NE(health.find("200 OK"), std::string::npos);
+  EXPECT_NE(health.find("ok"), std::string::npos);
+
+  const std::string missing = http_get(server.port(), "/nope");
+  EXPECT_NE(missing.find("404"), std::string::npos);
+
+  EXPECT_GE(server.requests_served(), 5u);
+}
+
+// --------------------------------------------------- stats views vs cells
+
+TEST(StatsViewTest, RuntimeStatsViewMatchesRegistryExport) {
+  sgx::Platform platform;
+  store::ResultStore store(platform);
+  auto enclave = platform.create_enclave("view-app");
+  auto conn = store::connect_app(store, *enclave);
+  auto session = std::move(conn.session);
+  runtime::DedupRuntime rt(*enclave, conn.session_key,
+                           std::move(conn.transport));
+  rt.libraries().register_library("lib", "1", as_bytes("code"));
+  runtime::Deduplicable<Bytes(const Bytes&)> f(
+      rt, {"lib", "1", "f"},
+      [](const Bytes& in) { return concat(in, as_bytes("+out")); });
+  f(to_bytes("a"));
+  f(to_bytes("a"));
+  f(to_bytes("b"));
+  rt.flush();
+
+  const auto s = rt.stats();
+  EXPECT_EQ(s.calls, 3u);
+  EXPECT_EQ(s.misses, 2u);
+  EXPECT_EQ(s.local_hits, 1u);
+
+  // The same cells export through the global registry; this runtime's
+  // counts are a lower bound (other live components may add).
+  std::uint64_t exported_calls = 0;
+  for (const auto& family : Registry::global().collect()) {
+    if (family.name != "speed_runtime_calls_total") continue;
+    for (const auto& sample : family.samples) {
+      exported_calls += static_cast<std::uint64_t>(sample.value);
+    }
+  }
+  EXPECT_GE(exported_calls, 3u);
+}
+
+}  // namespace
+}  // namespace speed
