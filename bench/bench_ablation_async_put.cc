@@ -83,7 +83,7 @@ double run_resilience(Layer layer, std::uint64_t seed) {
     transport = std::make_unique<net::ResilientTransport>(
         std::move(transport), net::ResilientTransport::ReconnectFn{});
   }
-  runtime::DedupRuntime rt(*enclave, conn.session_key, std::move(transport));
+  runtime::DedupRuntime rt(*enclave, std::move(conn.session_key), std::move(transport));
   rt.libraries().register_library("ablation-lib", "1.0", as_bytes("ablation-code"));
   runtime::Deduplicable<std::vector<std::string>(const std::string&)> dedup(
       rt, {"ablation-lib", "1.0", "vector<str> tokenize(str)"},

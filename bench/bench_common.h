@@ -36,7 +36,7 @@ struct Testbed {
         store(platform),
         enclave(platform.create_enclave(app_identity)),
         connection(store::connect_app(store, *enclave)),
-        rt(*enclave, connection.session_key, std::move(connection.transport),
+        rt(*enclave, std::move(connection.session_key), std::move(connection.transport),
            std::move(config)) {}
 
   sgx::Platform platform;

@@ -69,7 +69,7 @@ int main() {
       a.enclave = platform.create_enclave(name);
       a.conn = store::connect_app(store, *a.enclave);
       a.rt = std::make_unique<runtime::DedupRuntime>(
-          *a.enclave, a.conn.session_key, std::move(a.conn.transport));
+          *a.enclave, std::move(a.conn.session_key), std::move(a.conn.transport));
       a.rt->libraries().register_library("macro-lib", "1.0", as_bytes("code"));
       return a;
     };

@@ -25,7 +25,7 @@ int main() {
   store::ResultStore result_store(platform);
   auto enclave = platform.create_enclave("bow-analytics");
   auto connection = store::connect_app(result_store, *enclave);
-  runtime::DedupRuntime rt(*enclave, connection.session_key,
+  runtime::DedupRuntime rt(*enclave, std::move(connection.session_key),
                            std::move(connection.transport));
   rt.libraries().register_library(mapreduce::kLibraryFamily,
                                   mapreduce::kLibraryVersion,

@@ -23,7 +23,7 @@ struct Gateway {
           const std::string& name)
       : enclave(platform.create_enclave(name)),
         connection(store::connect_app(store, *enclave)),
-        rt(*enclave, connection.session_key, std::move(connection.transport)) {
+        rt(*enclave, std::move(connection.session_key), std::move(connection.transport)) {
     rt.libraries().register_library(deflate::kLibraryFamily,
                                     deflate::kLibraryVersion,
                                     as_bytes("zlib-compatible deflate v1"));

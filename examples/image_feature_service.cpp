@@ -23,7 +23,7 @@ struct Service {
           const std::string& name)
       : enclave(platform.create_enclave(name)),
         connection(store::connect_app(store, *enclave)),
-        rt(*enclave, connection.session_key, std::move(connection.transport)) {
+        rt(*enclave, std::move(connection.session_key), std::move(connection.transport)) {
     // Both services link the same trusted SIFT library build.
     rt.libraries().register_library(sift::kLibraryFamily, sift::kLibraryVersion,
                                     as_bytes("siftpp build 2019-03"));

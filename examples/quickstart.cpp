@@ -32,7 +32,7 @@ int main() {
   store::ResultStore result_store(platform);    // encrypted ResultStore
   auto enclave = platform.create_enclave("quickstart-app");
   auto connection = store::connect_app(result_store, *enclave);
-  runtime::DedupRuntime rt(*enclave, connection.session_key,
+  runtime::DedupRuntime rt(*enclave, std::move(connection.session_key),
                            std::move(connection.transport));
 
   // The application must own the trusted library providing the function.

@@ -45,7 +45,7 @@ int main() {
         *enclave, result_store.enclave().measurement(), "127.0.0.1",
         server.port(), net::ResilienceConfig{}, /*deadline_ms=*/2000);
     auto rt = std::make_unique<runtime::DedupRuntime>(
-        *enclave, conn.session_key, std::move(conn.transport));
+        *enclave, std::move(conn.session_key), std::move(conn.transport));
     rt->libraries().register_library(deflate::kLibraryFamily,
                                      deflate::kLibraryVersion,
                                      as_bytes("gzip-capable deflate v1"));

@@ -26,7 +26,7 @@ int main() {
   store::ResultStore result_store(platform);
   auto enclave = platform.create_enclave("virus-scanner");
   auto connection = store::connect_app(result_store, *enclave);
-  runtime::DedupRuntime rt(*enclave, connection.session_key,
+  runtime::DedupRuntime rt(*enclave, std::move(connection.session_key),
                            std::move(connection.transport));
   rt.libraries().register_library(match::kLibraryFamily, match::kLibraryVersion,
                                   as_bytes("pcre 8.41-compatible engine"));

@@ -180,7 +180,8 @@ std::size_t dynamic_block_bits(const std::vector<std::uint8_t>& ll_len,
   for (int s = 0; s < kNumLitLenSymbols; ++s) {
     const auto su = static_cast<std::size_t>(s);
     std::size_t sym_bits = ll_len[su];
-    if (s >= 257) sym_bits += kLengthCodes[s - 257].extra_bits;
+    // 286-287 exist in the fixed code space but never occur (RFC 1951 §3.2.6).
+    if (s >= 257 && s <= 285) sym_bits += kLengthCodes[s - 257].extra_bits;
     bits += f.litlen[su] * sym_bits;
   }
   for (int s = 0; s < kNumDistSymbols; ++s) {
@@ -196,7 +197,8 @@ std::size_t fixed_block_bits(const BlockFrequencies& f) {
   for (int s = 0; s < kNumLitLenSymbols; ++s) {
     const auto su = static_cast<std::size_t>(s);
     std::size_t sym_bits = ll[su];
-    if (s >= 257) sym_bits += kLengthCodes[s - 257].extra_bits;
+    // 286-287 exist in the fixed code space but never occur (RFC 1951 §3.2.6).
+    if (s >= 257 && s <= 285) sym_bits += kLengthCodes[s - 257].extra_bits;
     bits += f.litlen[su] * sym_bits;
   }
   for (int s = 0; s < kNumDistSymbols; ++s) {

@@ -53,7 +53,7 @@ speed_deployment* speed_deployment_create(const char* app_identity) {
     // speed_deployment guarantees destruction order).
     dep->session = std::move(conn.session);
     dep->rt = std::make_unique<runtime::DedupRuntime>(
-        *dep->enclave, conn.session_key, std::move(conn.transport));
+        *dep->enclave, std::move(conn.session_key), std::move(conn.transport));
     return dep.release();
   } catch (const std::exception&) {
     return nullptr;
@@ -144,7 +144,9 @@ int speed_call(speed_function* f, const uint8_t* input, size_t input_len,
     if (buffer == nullptr) {
       return fail(f->dep, SPEED_ERR_INTERNAL, "out of memory");
     }
-    std::memcpy(buffer, outcome.result.data(), outcome.result.size());
+    if (!outcome.result.empty()) {
+      std::memcpy(buffer, outcome.result.data(), outcome.result.size());
+    }
     *output = buffer;
     *output_len = outcome.result.size();
     return SPEED_OK;

@@ -1,0 +1,221 @@
+// Taint types for key material.
+//
+// SPEED's security argument (PROTOCOL.md §5, DESIGN.md) requires that the
+// per-result key k, the secondary key h, session keys, X25519 private keys,
+// and recovered plaintext never escape the trusted boundary except through
+// deliberate, reviewed protocol steps. The telemetry label whitelist
+// (telemetry/label.h) already enforces "labels can't leak" structurally;
+// these types generalize that to "secrets can't leak":
+//
+//   * secret::Bytes<N> (fixed size) and secret::Buffer (dynamic) are the
+//     only containers key material flows through;
+//   * they are non-copyable (clone() is explicit), non-streamable, and
+//     non-formattable — a secret cannot reach a log line, a metric label,
+//     or an ostream by construction;
+//   * operator== is deleted in favor of the constant-time ct_equal, so a
+//     timing-leaky comparison of two secrets does not compile;
+//   * contents are securely wiped on destruction, move-out, and wipe(),
+//     covering early-return and exception paths without manual secure_zero;
+//   * raw bytes escape only via reveal_for(Purpose) / release_for(Purpose),
+//     where Purpose is a compile-time literal audit tag. Every escape site
+//     in src/ must be listed in docs/SECRET_AUDIT.md; the secret-flow
+//     linter (tools/lint/secretflow.py) fails CI on unaudited escapes.
+//
+// The types deliberately have no implicit conversion to ByteView: passing a
+// secret to hex_encode, concat, a serializer, or an OCALL signature is a
+// compile error unless routed through an audited reveal.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <ostream>
+#include <span>
+#include <stdexcept>
+#include <utility>
+
+#include "common/bytes.h"
+
+namespace speed::secret {
+
+namespace detail {
+/// Charset for audit purpose tags: [a-z0-9_], same spirit as the telemetry
+/// label whitelist — no room for runtime data to masquerade as a tag.
+consteval bool purpose_char(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_';
+}
+
+consteval const char* checked_purpose(const char* s) {
+  if (s == nullptr || *s == '\0') throw "secret purpose: empty tag";
+  for (const char* p = s; *p != '\0'; ++p) {
+    if (!purpose_char(*p)) throw "secret purpose: character outside [a-z0-9_]";
+  }
+  return s;
+}
+}  // namespace detail
+
+/// Audit tag naming why a secret's raw bytes are being exposed. Only
+/// constructible from a compile-time literal, so every reveal site carries a
+/// greppable, linter-checkable purpose next to it in the source.
+class Purpose {
+ public:
+  static consteval Purpose of(const char* tag) {
+    return Purpose(detail::checked_purpose(tag));
+  }
+  const char* tag() const { return tag_; }
+
+ private:
+  consteval explicit Purpose(const char* tag) : tag_(tag) {}
+  const char* tag_;
+};
+
+/// Fixed-size secret (X25519 scalars, shared secrets, secondary keys h).
+template <std::size_t N>
+class Bytes {
+ public:
+  Bytes() = default;  ///< zero-initialized
+
+  /// Copy `b` (which must be exactly N bytes) into a fresh secret.
+  static Bytes copy_of(ByteView b) {
+    if (b.size() != N) {
+      throw std::invalid_argument("secret::Bytes: size mismatch");
+    }
+    Bytes out;
+    std::copy(b.begin(), b.end(), out.data_.begin());
+    return out;
+  }
+
+  ~Bytes() { wipe(); }
+
+  Bytes(Bytes&& other) noexcept : data_(other.data_) { other.wipe(); }
+  Bytes& operator=(Bytes&& other) noexcept {
+    if (this != &other) {
+      data_ = other.data_;
+      other.wipe();
+    }
+    return *this;
+  }
+
+  Bytes(const Bytes&) = delete;
+  Bytes& operator=(const Bytes&) = delete;
+
+  /// Explicit duplicate — the only way to copy a secret.
+  Bytes clone() const {
+    Bytes out;
+    out.data_ = data_;
+    return out;
+  }
+
+  static constexpr std::size_t size() { return N; }
+
+  /// In-place fill target for trusted randomness / key derivation. Writing
+  /// into a secret is always allowed; only reading out is audited.
+  std::span<std::uint8_t, N> writable() { return data_; }
+
+  /// Zero the contents now (also runs on destruction and move-out).
+  void wipe() { secure_zero(data_.data(), N); }
+
+  /// Timing-leaky comparison is a compile error; use ct_equal.
+  bool operator==(const Bytes&) const = delete;
+
+  /// Audited escape: expose the raw bytes for `purpose`. The (file, purpose)
+  /// pair must be listed in docs/SECRET_AUDIT.md for files under src/.
+  ByteView reveal_for([[maybe_unused]] Purpose purpose) const {
+    return ByteView(data_.data(), N);
+  }
+
+  friend bool ct_equal(const Bytes& a, const Bytes& b) {
+    return speed::ct_equal(ByteView(a.data_.data(), N),
+                           ByteView(b.data_.data(), N));
+  }
+  friend bool ct_equal(const Bytes& a, ByteView b) {
+    return speed::ct_equal(ByteView(a.data_.data(), N), b);
+  }
+
+  template <typename C, typename T>
+  friend std::basic_ostream<C, T>& operator<<(std::basic_ostream<C, T>&,
+                                              const Bytes&) = delete;
+
+ private:
+  std::array<std::uint8_t, N> data_{};
+};
+
+/// Dynamic-size secret (AES keys, session keys, recovered plaintext).
+class Buffer {
+ public:
+  Buffer() = default;
+  explicit Buffer(std::size_t n) : data_(n, 0) {}
+
+  static Buffer copy_of(ByteView b) {
+    Buffer out;
+    out.data_.assign(b.begin(), b.end());
+    return out;
+  }
+
+  /// Take ownership of already-materialized plain bytes, pulling them into
+  /// the secret domain (plain -> secret needs no audit; only the reverse
+  /// direction does). The source is left empty.
+  static Buffer absorb(speed::Bytes&& b) {
+    Buffer out;
+    out.data_ = std::move(b);
+    b.clear();
+    return out;
+  }
+
+  ~Buffer() { wipe(); }
+
+  Buffer(Buffer&& other) noexcept : data_(std::move(other.data_)) {
+    other.data_.clear();
+  }
+  Buffer& operator=(Buffer&& other) noexcept {
+    if (this != &other) {
+      wipe();
+      data_ = std::move(other.data_);
+      other.data_.clear();
+    }
+    return *this;
+  }
+
+  Buffer(const Buffer&) = delete;
+  Buffer& operator=(const Buffer&) = delete;
+
+  Buffer clone() const { return copy_of(ByteView(data_.data(), data_.size())); }
+
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  std::span<std::uint8_t> writable() { return data_; }
+
+  void wipe() { secure_zero(data_.data(), data_.size()); }
+
+  bool operator==(const Buffer&) const = delete;
+
+  ByteView reveal_for([[maybe_unused]] Purpose purpose) const {
+    return ByteView(data_.data(), data_.size());
+  }
+
+  /// Audited consuming escape: move the bytes out of the secret domain
+  /// without a copy (ownership transfers, so nothing is left to wipe).
+  /// Used where the protocol deliberately hands bytes onward — e.g. the
+  /// recovered result returned to the application inside its enclave.
+  speed::Bytes release_for([[maybe_unused]] Purpose purpose) && {
+    return std::move(data_);
+  }
+
+  friend bool ct_equal(const Buffer& a, const Buffer& b) {
+    return speed::ct_equal(ByteView(a.data_.data(), a.data_.size()),
+                           ByteView(b.data_.data(), b.data_.size()));
+  }
+  friend bool ct_equal(const Buffer& a, ByteView b) {
+    return speed::ct_equal(ByteView(a.data_.data(), a.data_.size()), b);
+  }
+
+  template <typename C, typename T>
+  friend std::basic_ostream<C, T>& operator<<(std::basic_ostream<C, T>&,
+                                              const Buffer&) = delete;
+
+ private:
+  speed::Bytes data_;
+};
+
+}  // namespace speed::secret

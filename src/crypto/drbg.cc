@@ -61,13 +61,16 @@ Drbg::Drbg() {
   std::random_device rd;
   std::uint8_t entropy[48];
   for (auto& b : entropy) b = static_cast<std::uint8_t>(rd());
-  const Sha256Digest seed = Sha256::digest(ByteView(entropy, sizeof(entropy)));
+  Sha256Digest seed = Sha256::digest(ByteView(entropy, sizeof(entropy)));
   std::memcpy(key_, seed.data(), 32);
+  secure_zero(entropy, sizeof(entropy));
+  secure_zero(seed.data(), seed.size());
 }
 
 Drbg::Drbg(ByteView seed) {
-  const Sha256Digest k = Sha256::digest(seed);
+  Sha256Digest k = Sha256::digest(seed);
   std::memcpy(key_, k.data(), 32);
+  secure_zero(k.data(), k.size());
 }
 
 void Drbg::refill() {
@@ -86,9 +89,20 @@ void Drbg::fill(std::span<std::uint8_t> out) {
   }
 }
 
+Drbg::~Drbg() {
+  secure_zero(key_, sizeof(key_));
+  secure_zero(buffer_, sizeof(buffer_));
+}
+
 Bytes Drbg::bytes(std::size_t n) {
   Bytes out(n);
   fill(out);
+  return out;
+}
+
+secret::Buffer Drbg::secret_bytes(std::size_t n) {
+  secret::Buffer out(n);
+  fill(out.writable());
   return out;
 }
 

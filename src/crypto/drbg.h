@@ -11,6 +11,7 @@
 #include <span>
 
 #include "common/bytes.h"
+#include "common/secret.h"
 
 namespace speed::crypto {
 
@@ -23,12 +24,19 @@ class Drbg {
   /// it is hashed into the 256-bit ChaCha20 key.
   explicit Drbg(ByteView seed);
 
+  /// Wipes the ChaCha20 key and any buffered keystream.
+  ~Drbg();
+
   Drbg(const Drbg&) = delete;
   Drbg& operator=(const Drbg&) = delete;
 
   void fill(std::span<std::uint8_t> out);
 
   Bytes bytes(std::size_t n);
+
+  /// Draw `n` bytes directly into the secret domain (keys, challenges);
+  /// the result only escapes through an audited reveal.
+  secret::Buffer secret_bytes(std::size_t n);
 
   /// Process-wide generator for callers without an injected Drbg.
   /// Thread-safe via an internal mutex.

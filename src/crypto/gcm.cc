@@ -146,11 +146,17 @@ void scalar_gcm(ByteView key, ByteView iv, ByteView aad, ByteView data,
   ghash.absorb_lengths(aad.size(), ct.size());
   ghash.digest(tag);
   for (int i = 0; i < 16; ++i) tag[i] ^= ej0[i];
+
+  // h, E(j0), and the counter chain are all key-derived; scrub them.
+  secure_zero(h, sizeof(h));
+  secure_zero(j0, sizeof(j0));
+  secure_zero(ej0, sizeof(ej0));
+  secure_zero(ctr, sizeof(ctr));
 }
 
 }  // namespace
 
-AesGcm::AesGcm(ByteView key, Impl impl) : key_(key.begin(), key.end()) {
+AesGcm::AesGcm(ByteView key, Impl impl) : key_(secret::Buffer::copy_of(key)) {
   if (key.size() != kAes128KeySize && key.size() != kAes256KeySize) {
     throw CryptoError("AesGcm: key must be 16 or 32 bytes");
   }
@@ -158,14 +164,18 @@ AesGcm::AesGcm(ByteView key, Impl impl) : key_(key.begin(), key.end()) {
             hw::gcm128_available();
 }
 
+AesGcm::AesGcm(const secret::Buffer& key, Impl impl)
+    : AesGcm(key.reveal_for(secret::Purpose::of("aes_key_schedule")), impl) {}
+
 Bytes AesGcm::seal(ByteView iv, ByteView aad, ByteView plaintext) const {
+  const ByteView key = key_.reveal_for(secret::Purpose::of("aes_key_schedule"));
   Bytes out(plaintext.size() + kGcmTagSize);
   if (use_hw_) {
     if (iv.size() != kGcmIvSize) throw CryptoError("AesGcm: IV must be 12 bytes");
-    hw::gcm128_encrypt(key_.data(), iv.data(), aad, plaintext, out.data(),
+    hw::gcm128_encrypt(key.data(), iv.data(), aad, plaintext, out.data(),
                        out.data() + plaintext.size());
   } else {
-    scalar_gcm(key_, iv, aad, plaintext, /*encrypting=*/true, out.data(),
+    scalar_gcm(key, iv, aad, plaintext, /*encrypting=*/true, out.data(),
                out.data() + plaintext.size());
   }
   return out;
@@ -177,17 +187,19 @@ std::optional<Bytes> AesGcm::open(ByteView iv, ByteView aad,
   const ByteView ct = ciphertext_and_tag.first(ciphertext_and_tag.size() - kGcmTagSize);
   const ByteView tag = ciphertext_and_tag.last(kGcmTagSize);
 
+  const ByteView key = key_.reveal_for(secret::Purpose::of("aes_key_schedule"));
   Bytes pt(ct.size());
   if (use_hw_) {
     if (iv.size() != kGcmIvSize) throw CryptoError("AesGcm: IV must be 12 bytes");
-    if (!hw::gcm128_decrypt(key_.data(), iv.data(), aad, ct, tag.data(),
+    if (!hw::gcm128_decrypt(key.data(), iv.data(), aad, ct, tag.data(),
                             pt.data())) {
+      secure_zero(pt.data(), pt.size());
       return std::nullopt;
     }
     return pt;
   }
   std::uint8_t expected_tag[16];
-  scalar_gcm(key_, iv, aad, ct, /*encrypting=*/false, pt.data(), expected_tag);
+  scalar_gcm(key, iv, aad, ct, /*encrypting=*/false, pt.data(), expected_tag);
   if (!ct_equal(ByteView(expected_tag, 16), tag)) {
     secure_zero(pt.data(), pt.size());
     return std::nullopt;
@@ -204,6 +216,23 @@ Bytes gcm_encrypt(ByteView key, ByteView aad, ByteView plaintext, Drbg& drbg) {
 }
 
 std::optional<Bytes> gcm_decrypt(ByteView key, ByteView aad, ByteView envelope) {
+  if (envelope.size() < kGcmIvSize + kGcmTagSize) return std::nullopt;
+  const AesGcm gcm(key);
+  return gcm.open(envelope.first(kGcmIvSize), aad,
+                  envelope.subspan(kGcmIvSize));
+}
+
+Bytes gcm_encrypt(const secret::Buffer& key, ByteView aad, ByteView plaintext,
+                  Drbg& drbg) {
+  const AesGcm gcm(key);
+  Bytes envelope = drbg.bytes(kGcmIvSize);
+  Bytes ct = gcm.seal(envelope, aad, plaintext);
+  envelope.insert(envelope.end(), ct.begin(), ct.end());
+  return envelope;
+}
+
+std::optional<Bytes> gcm_decrypt(const secret::Buffer& key, ByteView aad,
+                                 ByteView envelope) {
   if (envelope.size() < kGcmIvSize + kGcmTagSize) return std::nullopt;
   const AesGcm gcm(key);
   return gcm.open(envelope.first(kGcmIvSize), aad,

@@ -15,6 +15,7 @@
 #include <optional>
 
 #include "common/bytes.h"
+#include "common/secret.h"
 #include "crypto/aes.h"
 
 namespace speed::crypto {
@@ -33,6 +34,9 @@ class AesGcm {
 
   /// `key` must be 16 or 32 bytes.
   explicit AesGcm(ByteView key, Impl impl = Impl::kAuto);
+  /// GCM keys are key material; this overload keeps the reveal inside the
+  /// crypto core (audited in gcm.cc) and wipes the copy on destruction.
+  explicit AesGcm(const secret::Buffer& key, Impl impl = Impl::kAuto);
 
   /// Encrypt + authenticate. `iv` must be 12 bytes and unique per key.
   /// Returns ciphertext ‖ 16-byte tag.
@@ -44,7 +48,7 @@ class AesGcm {
                             ByteView ciphertext_and_tag) const;
 
  private:
-  Bytes key_;
+  secret::Buffer key_;
   bool use_hw_;
 };
 
@@ -53,7 +57,11 @@ class AesGcm {
 /// authentication code and initialization vector", §III-B).
 class Drbg;  // fwd
 Bytes gcm_encrypt(ByteView key, ByteView aad, ByteView plaintext, Drbg& drbg);
+Bytes gcm_encrypt(const secret::Buffer& key, ByteView aad, ByteView plaintext,
+                  Drbg& drbg);
 std::optional<Bytes> gcm_decrypt(ByteView key, ByteView aad, ByteView envelope);
+std::optional<Bytes> gcm_decrypt(const secret::Buffer& key, ByteView aad,
+                                 ByteView envelope);
 
 /// Size of gcm_encrypt's envelope for a given plaintext length.
 inline constexpr std::size_t gcm_envelope_size(std::size_t plaintext_len) {

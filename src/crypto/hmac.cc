@@ -22,6 +22,11 @@ HmacSha256::HmacSha256(ByteView key) {
   secure_zero(ipad, sizeof(ipad));
 }
 
+HmacSha256::HmacSha256(const secret::Buffer& key)
+    : HmacSha256(key.reveal_for(secret::Purpose::of("hmac_key_schedule"))) {}
+
+HmacSha256::~HmacSha256() { secure_zero(opad_key_, sizeof(opad_key_)); }
+
 void HmacSha256::update(ByteView data) { inner_.update(data); }
 
 Sha256Digest HmacSha256::finish() {
@@ -38,28 +43,53 @@ Sha256Digest HmacSha256::mac(ByteView key, ByteView data) {
   return h.finish();
 }
 
-bool HmacSha256::verify(ByteView key, ByteView data, ByteView expected_mac) {
-  const Sha256Digest m = mac(key, data);
-  return ct_equal(ByteView(m.data(), m.size()), expected_mac);
+Sha256Digest HmacSha256::mac(const secret::Buffer& key, ByteView data) {
+  HmacSha256 h(key);
+  h.update(data);
+  return h.finish();
 }
 
-Bytes derive_key(ByteView key, std::string_view label, ByteView context,
-                 std::size_t out_len) {
-  Bytes out;
+bool HmacSha256::verify(ByteView key, ByteView data, ByteView expected_mac) {
+  Sha256Digest m = mac(key, data);
+  const bool ok = ct_equal(ByteView(m.data(), m.size()), expected_mac);
+  secure_zero(m.data(), m.size());
+  return ok;
+}
+
+bool HmacSha256::verify(const secret::Buffer& key, ByteView data,
+                        ByteView expected_mac) {
+  return verify(key.reveal_for(secret::Purpose::of("hmac_key_schedule")), data,
+                expected_mac);
+}
+
+secret::Buffer derive_key(ByteView key, std::string_view label,
+                          ByteView context, std::size_t out_len) {
+  secret::Buffer out(out_len);
+  const std::span<std::uint8_t> dst = out.writable();
+  std::size_t produced = 0;
   std::uint8_t counter = 1;
-  while (out.size() < out_len) {
+  while (produced < out_len) {
     HmacSha256 h(key);
     h.update(ByteView(&counter, 1));
     h.update(as_bytes(label));
     const std::uint8_t zero = 0;
     h.update(ByteView(&zero, 1));
     h.update(context);
-    const Sha256Digest block = h.finish();
-    const std::size_t take = std::min<std::size_t>(out_len - out.size(), block.size());
-    out.insert(out.end(), block.begin(), block.begin() + static_cast<long>(take));
+    Sha256Digest block = h.finish();
+    const std::size_t take =
+        std::min<std::size_t>(out_len - produced, block.size());
+    std::memcpy(dst.data() + produced, block.data(), take);
+    secure_zero(block.data(), block.size());
+    produced += take;
     ++counter;
   }
   return out;
+}
+
+secret::Buffer derive_key(const secret::Buffer& key, std::string_view label,
+                          ByteView context, std::size_t out_len) {
+  return derive_key(key.reveal_for(secret::Purpose::of("hkdf_input")), label,
+                    context, out_len);
 }
 
 }  // namespace speed::crypto

@@ -5,6 +5,7 @@
 #pragma once
 
 #include "common/bytes.h"
+#include "common/secret.h"
 #include "crypto/sha256.h"
 
 namespace speed::crypto {
@@ -12,14 +13,23 @@ namespace speed::crypto {
 class HmacSha256 {
  public:
   explicit HmacSha256(ByteView key);
+  /// MAC keys live in the secret domain; this overload keeps the reveal
+  /// inside the crypto core (audited in hmac.cc).
+  explicit HmacSha256(const secret::Buffer& key);
+
+  /// Wipes the opad key schedule.
+  ~HmacSha256();
 
   void update(ByteView data);
   Sha256Digest finish();
 
   static Sha256Digest mac(ByteView key, ByteView data);
+  static Sha256Digest mac(const secret::Buffer& key, ByteView data);
 
   /// Constant-time verification of a MAC over `data`.
   static bool verify(ByteView key, ByteView data, ByteView expected_mac);
+  static bool verify(const secret::Buffer& key, ByteView data,
+                     ByteView expected_mac);
 
  private:
   Sha256 inner_;
@@ -28,7 +38,10 @@ class HmacSha256 {
 
 /// HKDF-style two-step derivation used for labeled subkeys:
 /// derive(key, label, context) = HMAC(key, label ‖ 0x00 ‖ context).
-Bytes derive_key(ByteView key, std::string_view label, ByteView context,
-                 std::size_t out_len = 16);
+/// Derived keys are key material by definition, so they are born secret.
+secret::Buffer derive_key(ByteView key, std::string_view label,
+                          ByteView context, std::size_t out_len = 16);
+secret::Buffer derive_key(const secret::Buffer& key, std::string_view label,
+                          ByteView context, std::size_t out_len = 16);
 
 }  // namespace speed::crypto

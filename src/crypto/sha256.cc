@@ -94,6 +94,7 @@ void Sha256::compress(const std::uint8_t block[64]) {
 }
 
 void Sha256::update(ByteView data) {
+  if (data.empty()) return;  // an empty span may carry a null data()
   bit_count_ += static_cast<std::uint64_t>(data.size()) * 8;
   std::size_t off = 0;
   if (buffer_len_ > 0) {

@@ -245,18 +245,39 @@ X25519Key x25519_base(const X25519Key& scalar) {
   return x25519(scalar, base);
 }
 
+namespace {
+
+/// Bridge a secret scalar into the raw ladder; the only reveal sites for
+/// X25519 private material live here.
+const X25519Key& as_raw_scalar(const secret::Bytes<kX25519KeySize>& scalar,
+                               X25519Key& storage) {
+  const ByteView raw =
+      scalar.reveal_for(secret::Purpose::of("x25519_scalarmult"));
+  std::memcpy(storage.data(), raw.data(), raw.size());
+  return storage;
+}
+
+}  // namespace
+
 X25519KeyPair x25519_generate(Drbg& drbg) {
   X25519KeyPair pair;
-  drbg.fill(pair.private_key);
-  pair.public_key = x25519_base(pair.private_key);
+  drbg.fill(pair.private_key.writable());
+  X25519Key raw;
+  pair.public_key = x25519_base(as_raw_scalar(pair.private_key, raw));
+  secure_zero(raw.data(), raw.size());
   return pair;
 }
 
-bool x25519_shared(const X25519Key& own_private, const X25519Key& peer_public,
-                   X25519Key& shared_out) {
-  shared_out = x25519(own_private, peer_public);
+bool x25519_shared(const secret::Bytes<kX25519KeySize>& own_private,
+                   const X25519Key& peer_public,
+                   secret::Bytes<kX25519KeySize>& shared_out) {
+  X25519Key raw;
+  X25519Key shared = x25519(as_raw_scalar(own_private, raw), peer_public);
+  secure_zero(raw.data(), raw.size());
+  std::memcpy(shared_out.writable().data(), shared.data(), shared.size());
   std::uint8_t acc = 0;
-  for (const std::uint8_t b : shared_out) acc |= b;
+  for (const std::uint8_t b : shared) acc |= b;
+  secure_zero(shared.data(), shared.size());
   return acc != 0;
 }
 

@@ -13,6 +13,7 @@
 #include <array>
 
 #include "common/bytes.h"
+#include "common/secret.h"
 
 namespace speed::crypto {
 
@@ -27,8 +28,11 @@ X25519Key x25519(const X25519Key& scalar, const X25519Key& point);
 /// scalar * base point (9).
 X25519Key x25519_base(const X25519Key& scalar);
 
+/// The private scalar lives in the secret domain: it only reaches the ladder
+/// through the audited reveal inside x25519.cc, and is wiped when the pair
+/// goes out of scope. The struct is therefore move-only.
 struct X25519KeyPair {
-  X25519Key private_key;
+  secret::Bytes<kX25519KeySize> private_key;
   X25519Key public_key;
 };
 
@@ -36,9 +40,11 @@ class Drbg;
 /// Fresh ephemeral key pair from `drbg`.
 X25519KeyPair x25519_generate(Drbg& drbg);
 
-/// Shared secret = x25519(own_private, peer_public). Returns false for the
-/// all-zero output (low-order peer point), which callers must reject.
-bool x25519_shared(const X25519Key& own_private, const X25519Key& peer_public,
-                   X25519Key& shared_out);
+/// Shared secret = x25519(own_private, peer_public), written into the secret
+/// domain. Returns false for the all-zero output (low-order peer point),
+/// which callers must reject.
+bool x25519_shared(const secret::Bytes<kX25519KeySize>& own_private,
+                   const X25519Key& peer_public,
+                   secret::Bytes<kX25519KeySize>& shared_out);
 
 }  // namespace speed::crypto

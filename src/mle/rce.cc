@@ -7,15 +7,36 @@ namespace speed::mle {
 
 namespace {
 
+using SecondaryKey = secret::Bytes<crypto::kSha256DigestSize>;
+
 /// The result ciphertext is AEAD-bound to the computation tag, so a
 /// malicious store cannot transplant a payload from one tag onto another
 /// without tripping authentication (cache-poisoning defence, §III-D).
 ByteView tag_aad(const Tag& tag) { return ByteView(tag.data(), tag.size()); }
 
 /// [k] = k XOR h[0..16): the wrap mask is the first |k| bytes of the
-/// 32-byte secondary key h.
-Bytes wrap_key(ByteView key, const crypto::Sha256Digest& h) {
-  return xor_bytes(key, ByteView(h.data(), key.size()));
+/// 32-byte secondary key h. Both operands are secret; the XOR itself is the
+/// deliberate protocol step that makes [k] publishable, hence the audited
+/// reveals.
+Bytes wrap_key(const secret::Buffer& key, const SecondaryKey& h) {
+  const ByteView k = key.reveal_for(secret::Purpose::of("rce_key_wrap"));
+  const ByteView mask = h.reveal_for(secret::Purpose::of("rce_key_wrap"));
+  return xor_bytes(k, mask.first(k.size()));
+}
+
+/// k = [k] XOR h[0..16): the unwrap direction lands back in the secret
+/// domain without an intermediate plain copy surviving (absorb moves the
+/// vector).
+secret::Buffer unwrap_key(ByteView wrapped_key, const SecondaryKey& h) {
+  const ByteView mask = h.reveal_for(secret::Purpose::of("rce_key_wrap"));
+  return secret::Buffer::absorb(
+      xor_bytes(wrapped_key, mask.first(wrapped_key.size())));
+}
+
+/// r feeds h = Hash(func, m, r); r itself is published alongside the payload
+/// (§III-C), so exposing it to the hash is a deliberate protocol step.
+ByteView challenge_view(const secret::Buffer& challenge) {
+  return challenge.reveal_for(secret::Purpose::of("rce_skey_input"));
 }
 
 }  // namespace
@@ -24,30 +45,33 @@ ResultCipher::WrappedKey ResultCipher::generate_key(const FunctionIdentity& fn,
                                                     ByteView input,
                                                     crypto::Drbg& drbg) {
   WrappedKey out;
-  out.key = drbg.bytes(kResultKeySize);                 // k <- KeyGen(1^λ)
-  out.challenge = drbg.bytes(kChallengeSize);           // r <-R- {0,1}*
-  const auto h = derive_secondary_key(fn, input, out.challenge);
-  out.wrapped_key = wrap_key(out.key, h);               // [k] = k ⊕ h
+  out.key = drbg.secret_bytes(kResultKeySize);        // k <- KeyGen(1^λ)
+  out.challenge = drbg.secret_bytes(kChallengeSize);  // r <-R- {0,1}*
+  const auto h = derive_secondary_key(fn, input, challenge_view(out.challenge));
+  out.wrapped_key = wrap_key(out.key, h);             // [k] = k ⊕ h
   return out;
 }
 
-Bytes ResultCipher::recover_key(const FunctionIdentity& fn, ByteView input,
-                                ByteView challenge, ByteView wrapped_key) {
+secret::Buffer ResultCipher::recover_key(const FunctionIdentity& fn,
+                                         ByteView input, ByteView challenge,
+                                         ByteView wrapped_key) {
   if (wrapped_key.size() != kResultKeySize) {
     throw CryptoError("recover_key: wrapped key must be 16 bytes");
   }
   const auto h = derive_secondary_key(fn, input, challenge);
-  return wrap_key(wrapped_key, h);                      // k = [k] ⊕ h
+  return unwrap_key(wrapped_key, h);                  // k = [k] ⊕ h
 }
 
-Bytes ResultCipher::encrypt_result(const Tag& tag, ByteView key,
+Bytes ResultCipher::encrypt_result(const Tag& tag, const secret::Buffer& key,
                                    ByteView result, crypto::Drbg& drbg) {
   return crypto::gcm_encrypt(key, tag_aad(tag), result, drbg);
 }
 
-std::optional<Bytes> ResultCipher::decrypt_result(const Tag& tag, ByteView key,
-                                                  ByteView result_ct) {
-  return crypto::gcm_decrypt(key, tag_aad(tag), result_ct);
+std::optional<secret::Buffer> ResultCipher::decrypt_result(
+    const Tag& tag, const secret::Buffer& key, ByteView result_ct) {
+  auto pt = crypto::gcm_decrypt(key, tag_aad(tag), result_ct);
+  if (!pt) return std::nullopt;
+  return secret::Buffer::absorb(std::move(*pt));
 }
 
 serialize::EntryPayload ResultCipher::protect(const FunctionIdentity& fn,
@@ -62,56 +86,52 @@ serialize::EntryPayload ResultCipher::protect(const Tag& tag,
                                               crypto::Drbg& drbg) {
   WrappedKey wk = generate_key(fn, input, drbg);
   serialize::EntryPayload entry;
-  entry.challenge = std::move(wk.challenge);
   entry.wrapped_key = std::move(wk.wrapped_key);
   entry.result_ct = encrypt_result(tag, wk.key, result, drbg);
-  secure_zero(wk.key.data(), wk.key.size());
-  return entry;
+  entry.challenge = std::move(wk.challenge)
+                        .release_for(secret::Purpose::of("rce_challenge_publish"));
+  return entry;  // wk.key wipes itself on scope exit
 }
 
 serialize::EntryPayload ResultCipher::protect(const ComputationContext& ctx,
                                               ByteView result,
                                               crypto::Drbg& drbg) {
-  Bytes key = drbg.bytes(kResultKeySize);         // k <- KeyGen(1^λ)
-  Bytes challenge = drbg.bytes(kChallengeSize);   // r <-R- {0,1}*
-  const auto h = ctx.secondary_key(challenge);    // midstate + r: m not rehashed
+  secret::Buffer key = drbg.secret_bytes(kResultKeySize);        // k
+  secret::Buffer challenge = drbg.secret_bytes(kChallengeSize);  // r
+  const auto h = ctx.secondary_key(challenge_view(challenge));
   serialize::EntryPayload entry;
   entry.wrapped_key = wrap_key(key, h);           // [k] = k ⊕ h
   entry.result_ct = encrypt_result(ctx.tag(), key, result, drbg);
-  entry.challenge = std::move(challenge);
-  secure_zero(key.data(), key.size());
-  return entry;
+  entry.challenge = std::move(challenge).release_for(
+      secret::Purpose::of("rce_challenge_publish"));
+  return entry;  // key wipes itself on scope exit
 }
 
-std::optional<Bytes> ResultCipher::recover(const ComputationContext& ctx,
-                                           const serialize::EntryPayload& entry) {
+std::optional<secret::Buffer> ResultCipher::recover(
+    const ComputationContext& ctx, const serialize::EntryPayload& entry) {
   if (entry.wrapped_key.size() != kResultKeySize) return std::nullopt;
   const auto h = ctx.secondary_key(entry.challenge);
-  Bytes key = wrap_key(entry.wrapped_key, h);     // k = [k] ⊕ h
-  auto result = decrypt_result(ctx.tag(), key, entry.result_ct);
-  secure_zero(key.data(), key.size());
-  return result;
+  const secret::Buffer key = unwrap_key(entry.wrapped_key, h);  // k = [k] ⊕ h
+  return decrypt_result(ctx.tag(), key, entry.result_ct);
 }
 
-std::optional<Bytes> ResultCipher::recover(const FunctionIdentity& fn,
-                                           ByteView input,
-                                           const serialize::EntryPayload& entry) {
+std::optional<secret::Buffer> ResultCipher::recover(
+    const FunctionIdentity& fn, ByteView input,
+    const serialize::EntryPayload& entry) {
   return recover(derive_tag(fn, input), fn, input, entry);
 }
 
-std::optional<Bytes> ResultCipher::recover(const Tag& tag,
-                                           const FunctionIdentity& fn,
-                                           ByteView input,
-                                           const serialize::EntryPayload& entry) {
+std::optional<secret::Buffer> ResultCipher::recover(
+    const Tag& tag, const FunctionIdentity& fn, ByteView input,
+    const serialize::EntryPayload& entry) {
   if (entry.wrapped_key.size() != kResultKeySize) return std::nullopt;
-  Bytes key = recover_key(fn, input, entry.challenge, entry.wrapped_key);
-  auto result = decrypt_result(tag, key, entry.result_ct);
-  secure_zero(key.data(), key.size());
-  return result;
+  const secret::Buffer key =
+      recover_key(fn, input, entry.challenge, entry.wrapped_key);
+  return decrypt_result(tag, key, entry.result_ct);
 }
 
 BasicResultCipher::BasicResultCipher(Bytes system_key)
-    : system_key_(std::move(system_key)) {
+    : system_key_(secret::Buffer::absorb(std::move(system_key))) {
   if (system_key_.size() != kResultKeySize &&
       system_key_.size() != crypto::kAes256KeySize) {
     throw CryptoError("BasicResultCipher: key must be 16 or 32 bytes");
@@ -129,14 +149,16 @@ serialize::EntryPayload BasicResultCipher::protect(const FunctionIdentity& fn,
   return entry;
 }
 
-std::optional<Bytes> BasicResultCipher::recover(
+std::optional<secret::Buffer> BasicResultCipher::recover(
     const FunctionIdentity& fn, ByteView input,
     const serialize::EntryPayload& entry) const {
   if (!entry.challenge.empty() || !entry.wrapped_key.empty()) {
     return std::nullopt;  // not a basic-scheme payload
   }
-  return crypto::gcm_decrypt(system_key_, tag_aad(derive_tag(fn, input)),
-                             entry.result_ct);
+  auto pt = crypto::gcm_decrypt(system_key_, tag_aad(derive_tag(fn, input)),
+                                entry.result_ct);
+  if (!pt) return std::nullopt;
+  return secret::Buffer::absorb(std::move(*pt));
 }
 
 }  // namespace speed::mle

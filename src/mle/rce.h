@@ -16,6 +16,7 @@
 #include <optional>
 
 #include "common/bytes.h"
+#include "common/secret.h"
 #include "crypto/drbg.h"
 #include "mle/tag.h"
 #include "serialize/wire.h"
@@ -46,52 +47,56 @@ class ResultCipher {
 
   /// Algorithm 2, lines 4-6 + the Fig. 3 verification: recover the result
   /// from a stored payload. Returns nullopt iff the caller's (func, m) does
-  /// not match the payload's — or the payload was tampered with.
-  static std::optional<Bytes> recover(const FunctionIdentity& fn,
-                                      ByteView input,
-                                      const serialize::EntryPayload& entry);
+  /// not match the payload's — or the payload was tampered with. The
+  /// recovered plaintext is secret until the runtime deliberately releases
+  /// it to the application (an audited escape in dedup_runtime.cc).
+  static std::optional<secret::Buffer> recover(
+      const FunctionIdentity& fn, ByteView input,
+      const serialize::EntryPayload& entry);
   /// Same, with the tag already derived.
-  static std::optional<Bytes> recover(const Tag& tag,
-                                      const FunctionIdentity& fn,
-                                      ByteView input,
-                                      const serialize::EntryPayload& entry);
+  static std::optional<secret::Buffer> recover(
+      const Tag& tag, const FunctionIdentity& fn, ByteView input,
+      const serialize::EntryPayload& entry);
   /// Same, from a (func, m) midstate (see protect above).
-  static std::optional<Bytes> recover(const ComputationContext& ctx,
-                                      const serialize::EntryPayload& entry);
+  static std::optional<secret::Buffer> recover(
+      const ComputationContext& ctx, const serialize::EntryPayload& entry);
 
   // Split-phase helpers used by the Table I microbenchmarks, which time
   // "Key Gen." (pick + wrap k) and "Key Rec." (recover k) separately from
   // result encryption/decryption.
   struct WrappedKey {
-    Bytes key;          ///< k (kept inside the enclave)
-    Bytes challenge;    ///< r
-    Bytes wrapped_key;  ///< [k]
+    secret::Buffer key;        ///< k (kept inside the enclave)
+    secret::Buffer challenge;  ///< r (published only via an audited release)
+    Bytes wrapped_key;         ///< [k] — protocol-public
   };
   static WrappedKey generate_key(const FunctionIdentity& fn, ByteView input,
                                  crypto::Drbg& drbg);
-  static Bytes recover_key(const FunctionIdentity& fn, ByteView input,
-                           ByteView challenge, ByteView wrapped_key);
+  static secret::Buffer recover_key(const FunctionIdentity& fn, ByteView input,
+                                    ByteView challenge, ByteView wrapped_key);
   // Result encryption is AEAD-bound to the computation tag (already derived
   // on the runtime's hot path — Algorithm 1/2 line 1 — so it is passed in
   // rather than re-derived from the full input).
-  static Bytes encrypt_result(const Tag& tag, ByteView key, ByteView result,
-                              crypto::Drbg& drbg);
-  static std::optional<Bytes> decrypt_result(const Tag& tag, ByteView key,
-                                             ByteView result_ct);
+  static Bytes encrypt_result(const Tag& tag, const secret::Buffer& key,
+                              ByteView result, crypto::Drbg& drbg);
+  static std::optional<secret::Buffer> decrypt_result(const Tag& tag,
+                                                      const secret::Buffer& key,
+                                                      ByteView result_ct);
 };
 
 /// §III-B basic design: every application shares `system_key`.
 class BasicResultCipher {
  public:
+  /// Absorbs `system_key` into the secret domain (the source is emptied).
   explicit BasicResultCipher(Bytes system_key);
 
   serialize::EntryPayload protect(const FunctionIdentity& fn, ByteView input,
                                   ByteView result, crypto::Drbg& drbg) const;
-  std::optional<Bytes> recover(const FunctionIdentity& fn, ByteView input,
-                               const serialize::EntryPayload& entry) const;
+  std::optional<secret::Buffer> recover(
+      const FunctionIdentity& fn, ByteView input,
+      const serialize::EntryPayload& entry) const;
 
  private:
-  Bytes system_key_;
+  secret::Buffer system_key_;
 };
 
 }  // namespace speed::mle

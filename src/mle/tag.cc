@@ -32,20 +32,24 @@ Tag ComputationContext::tag() const {
   return h.finish();
 }
 
-crypto::Sha256Digest ComputationContext::secondary_key(
+secret::Bytes<crypto::kSha256DigestSize> ComputationContext::secondary_key(
     ByteView challenge) const {
   crypto::Sha256 h = midstate_;
   absorb_part(h, as_bytes("skey"));
   absorb_part(h, challenge);
-  return h.finish();
+  crypto::Sha256Digest d = h.finish();
+  auto out = secret::Bytes<crypto::kSha256DigestSize>::copy_of(
+      ByteView(d.data(), d.size()));
+  secure_zero(d.data(), d.size());
+  return out;
 }
 
 Tag derive_tag(const FunctionIdentity& fn, ByteView input) {
   return ComputationContext(fn, input).tag();
 }
 
-crypto::Sha256Digest derive_secondary_key(const FunctionIdentity& fn,
-                                          ByteView input, ByteView challenge) {
+secret::Bytes<crypto::kSha256DigestSize> derive_secondary_key(
+    const FunctionIdentity& fn, ByteView input, ByteView challenge) {
   return ComputationContext(fn, input).secondary_key(challenge);
 }
 

@@ -21,6 +21,7 @@
 #include <string_view>
 
 #include "common/bytes.h"
+#include "common/secret.h"
 #include "crypto/sha256.h"
 #include "serialize/function_descriptor.h"
 #include "serialize/wire.h"
@@ -60,7 +61,10 @@ class ComputationContext {
   Tag tag() const;
 
   /// h <- Hash(func, m, r). Algorithm 1 line 6 / Algorithm 2 line 4.
-  crypto::Sha256Digest secondary_key(ByteView challenge) const;
+  /// h wraps the per-result key k, so it is born secret and only meets k
+  /// inside the audited RCE XOR (mle/rce.cc).
+  secret::Bytes<crypto::kSha256DigestSize> secondary_key(
+      ByteView challenge) const;
 
  private:
   crypto::Sha256 midstate_;  ///< absorbed: label ‖ len(uv) ‖ uv ‖ len(m) ‖ m
@@ -70,7 +74,7 @@ class ComputationContext {
 Tag derive_tag(const FunctionIdentity& fn, ByteView input);
 
 /// h <- Hash(func, m, r). Algorithm 1 line 6 / Algorithm 2 line 4.
-crypto::Sha256Digest derive_secondary_key(const FunctionIdentity& fn,
-                                          ByteView input, ByteView challenge);
+secret::Bytes<crypto::kSha256DigestSize> derive_secondary_key(
+    const FunctionIdentity& fn, ByteView input, ByteView challenge);
 
 }  // namespace speed::mle

@@ -17,6 +17,7 @@
 #include "common/bytes.h"
 #include "common/clock.h"
 #include "common/error.h"
+#include "common/secret.h"
 
 namespace speed::net {
 
@@ -31,8 +32,9 @@ class StoreUnavailableError : public Error {
 class Transport {
  public:
   /// Invoked with the fresh session key after a transport re-ran the
-  /// attested handshake, so the client can rebuild its SecureChannel.
-  using RekeyCallback = std::function<void(Bytes session_key)>;
+  /// attested handshake, so the client can rebuild its SecureChannel. The
+  /// key stays in the secret domain end to end.
+  using RekeyCallback = std::function<void(secret::Buffer session_key)>;
 
   virtual ~Transport() = default;
 

@@ -46,7 +46,7 @@ HandshakeMessage ChannelKeyExchange::hello(const sgx::Measurement& peer) const {
   return msg;
 }
 
-std::optional<Bytes> ChannelKeyExchange::derive(
+std::optional<secret::Buffer> ChannelKeyExchange::derive(
     const HandshakeMessage& peer_msg,
     const std::optional<sgx::Measurement>& expected_peer) const {
   if (!self_.verify_report(peer_msg.report)) return std::nullopt;
@@ -60,7 +60,9 @@ std::optional<Bytes> ChannelKeyExchange::derive(
     return std::nullopt;
   }
 
-  crypto::X25519Key shared;
+  // The shared secret lives in the secret domain and wipes itself on every
+  // exit path (including the low-order-point early return below).
+  secret::Bytes<crypto::kX25519KeySize> shared;
   if (!crypto::x25519_shared(pair_.private_key, peer_msg.public_key, shared)) {
     return std::nullopt;  // low-order point
   }
@@ -73,10 +75,9 @@ std::optional<Bytes> ChannelKeyExchange::derive(
                                    first.end())) {
     std::swap(first, second);
   }
-  Bytes key = crypto::derive_key(ByteView(shared.data(), shared.size()),
-                                 "speed-channel-v1", concat(first, second), 16);
-  secure_zero(shared.data(), shared.size());
-  return key;
+  return crypto::derive_key(
+      shared.reveal_for(secret::Purpose::of("channel_kdf_input")),
+      "speed-channel-v1", concat(first, second), 16);
 }
 
 }  // namespace speed::net

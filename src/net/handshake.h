@@ -40,10 +40,11 @@ class ChannelKeyExchange {
   HandshakeMessage hello(const sgx::Measurement& peer) const;
 
   /// Verify the peer's hello (which must be addressed to *this* enclave) and
-  /// derive the 16-byte session key. Returns nullopt on report forgery,
-  /// user-data/public-key mismatch, or a low-order peer point. When
-  /// `expected_peer` is set, the peer's measurement is pinned too.
-  std::optional<Bytes> derive(
+  /// derive the 16-byte session key (kept in the secret domain). Returns
+  /// nullopt on report forgery, user-data/public-key mismatch, or a
+  /// low-order peer point. When `expected_peer` is set, the peer's
+  /// measurement is pinned too.
+  std::optional<secret::Buffer> derive(
       const HandshakeMessage& peer_msg,
       const std::optional<sgx::Measurement>& expected_peer = std::nullopt) const;
 

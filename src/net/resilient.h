@@ -60,7 +60,7 @@ class ResilientTransport : public Transport {
   /// session key from the re-run attested handshake.
   struct Connection {
     std::unique_ptr<Transport> transport;
-    Bytes session_key;
+    secret::Buffer session_key;
   };
   /// Re-establishes the connection (e.g. re-runs store::connect_tcp_app).
   /// Throws or returns a null transport on failure.

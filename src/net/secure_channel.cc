@@ -66,7 +66,8 @@ Bytes make_nonce(bool initiator_to_responder, std::uint64_t seq) {
 
 }  // namespace
 
-Bytes derive_channel_key(sgx::Enclave& self, const sgx::Measurement& peer) {
+secret::Buffer derive_channel_key(sgx::Enclave& self,
+                                  const sgx::Measurement& peer) {
   const auto& a = self.measurement();
   // Order-independent: hash the lexicographically sorted measurement pair.
   ByteView first(a.data(), a.size());
@@ -86,12 +87,16 @@ Bytes derive_channel_key(sgx::Enclave& self, const sgx::Measurement& peer) {
                             "channel-key", context, 16);
 }
 
-SecureChannel::SecureChannel(Bytes session_key, bool is_initiator)
+SecureChannel::SecureChannel(secret::Buffer session_key, bool is_initiator)
     : key_(std::move(session_key)), is_initiator_(is_initiator) {
   if (key_.size() != 16 && key_.size() != 32) {
     throw CryptoError("SecureChannel: session key must be 16 or 32 bytes");
   }
 }
+
+SecureChannel::SecureChannel(Bytes session_key, bool is_initiator)
+    : SecureChannel(secret::Buffer::absorb(std::move(session_key)),
+                    is_initiator) {}
 
 Bytes SecureChannel::wrap(ByteView plaintext) {
   const std::uint64_t seq = send_seq_++;

@@ -18,18 +18,24 @@
 #include <optional>
 
 #include "common/bytes.h"
+#include "common/secret.h"
 #include "sgx/enclave.h"
 
 namespace speed::net {
 
 /// Derive the session key shared by `self` and an enclave with measurement
-/// `peer` on the same platform (order-independent).
-Bytes derive_channel_key(sgx::Enclave& self, const sgx::Measurement& peer);
+/// `peer` on the same platform (order-independent). Session keys are key
+/// material, so they are born secret.
+secret::Buffer derive_channel_key(sgx::Enclave& self,
+                                  const sgx::Measurement& peer);
 
 class SecureChannel {
  public:
   /// `is_initiator` picks which of the two directional nonce spaces this
   /// endpoint sends on; the two endpoints must disagree on it.
+  SecureChannel(secret::Buffer session_key, bool is_initiator);
+  /// Convenience for callers holding a plain key (tests, fixed vectors):
+  /// absorbs it into the secret domain, emptying the source.
   SecureChannel(Bytes session_key, bool is_initiator);
 
   /// Seal a message for the peer. Frames carry an explicit sequence number.
@@ -43,7 +49,7 @@ class SecureChannel {
   std::uint64_t received() const { return recv_seq_; }
 
  private:
-  Bytes key_;
+  secret::Buffer key_;
   bool is_initiator_;
   std::uint64_t send_seq_ = 0;
   std::uint64_t recv_seq_ = 0;

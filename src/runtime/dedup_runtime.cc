@@ -40,6 +40,13 @@ DedupRuntime::DedupRuntime(sgx::Enclave& app_enclave,
 DedupRuntime::DedupRuntime(sgx::Enclave& app_enclave, Bytes session_key,
                            std::unique_ptr<net::Transport> transport,
                            RuntimeConfig config)
+    : DedupRuntime(app_enclave, secret::Buffer::absorb(std::move(session_key)),
+                   std::move(transport), std::move(config)) {}
+
+DedupRuntime::DedupRuntime(sgx::Enclave& app_enclave,
+                           secret::Buffer session_key,
+                           std::unique_ptr<net::Transport> transport,
+                           RuntimeConfig config)
     : enclave_(app_enclave),
       transport_(std::move(transport)),
       config_(std::move(config)),
@@ -49,11 +56,13 @@ DedupRuntime::DedupRuntime(sgx::Enclave& app_enclave, Bytes session_key,
     throw ProtocolError("DedupRuntime: transport is required");
   }
   if (config_.scheme == RuntimeConfig::Scheme::kBasicSingleKey) {
-    basic_cipher_.emplace(config_.system_key);
+    // Move the key into the cipher's secret domain; no plain copy stays
+    // behind in the stored config.
+    basic_cipher_.emplace(std::move(config_.system_key));
   }
   // A recovering transport (net/resilient.h) re-runs the attested handshake
   // after a reconnect; stage the fresh key for the next round trip.
-  transport_->set_rekey_callback([this](Bytes key) {
+  transport_->set_rekey_callback([this](secret::Buffer key) {
     std::lock_guard<std::mutex> lock(rekey_mu_);
     pending_rekey_ = std::move(key);
   });
@@ -284,7 +293,7 @@ DedupRuntime::Outcome DedupRuntime::execute(
 
     if (get_resp->found) {
       // Algorithm 2 lines 4-6 + Fig. 3 verification.
-      std::optional<Bytes> result;
+      std::optional<secret::Buffer> result;
       {
         const telemetry::TraceSpan::StageTimer t(span,
                                                  telemetry::Stage::kRecover);
@@ -295,11 +304,17 @@ DedupRuntime::Outcome DedupRuntime::execute(
         }
       }
       if (result.has_value()) {
-        if (config_.local_cache) cache_insert(tag, *result);
+        // Deliberate protocol step: the recovered plaintext leaves the
+        // secret domain exactly here, handed back to the application that
+        // proved it could have computed it (Fig. 3). Move, not copy — the
+        // store-hit hot path stays copy-free.
+        Bytes plain = std::move(*result).release_for(
+            secret::Purpose::of("app_result_release"));
+        if (config_.local_cache) cache_insert(tag, plain);
         metrics_.hits.inc();
         outcome = telemetry::CallOutcome::kStoreHit;
-        result_bytes = result->size();
-        return Outcome{std::move(*result), true};
+        result_bytes = plain.size();
+        return Outcome{std::move(plain), true};
       }
       // ⊥: entry exists but we cannot authenticate/decrypt it (poisoned or
       // foreign). Fall through to local computation.

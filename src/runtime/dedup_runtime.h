@@ -108,6 +108,11 @@ class DedupRuntime {
 
   /// Attested-handshake mode: `session_key` comes from a completed
   /// ChannelKeyExchange (see store::connect_app / net/handshake.h).
+  DedupRuntime(sgx::Enclave& app_enclave, secret::Buffer session_key,
+               std::unique_ptr<net::Transport> transport,
+               RuntimeConfig config = RuntimeConfig{});
+  /// Convenience for callers holding a plain key (tests, fixed vectors):
+  /// absorbs it into the secret domain, emptying the source.
   DedupRuntime(sgx::Enclave& app_enclave, Bytes session_key,
                std::unique_ptr<net::Transport> transport,
                RuntimeConfig config = RuntimeConfig{});
@@ -195,7 +200,7 @@ class DedupRuntime {
   /// at the next secure_round_trip (own lock: the callback runs while
   /// channel_mu_ is already held by this thread).
   std::mutex rekey_mu_;
-  std::optional<Bytes> pending_rekey_;
+  std::optional<secret::Buffer> pending_rekey_;
 
   /// Lock-free metric cells; execute()'s hot path bumps these instead of
   /// taking a stats mutex.

@@ -45,7 +45,8 @@ TransitionMetrics& transition_metrics() {
 Platform::Platform(CostModel model)
     : model_(model),
       epc_(model_),
-      hardware_key_(crypto::Drbg::system_bytes(32)) {
+      hardware_key_(
+          secret::Buffer::absorb(crypto::Drbg::system_bytes(32))) {
   telemetry_handle_ = telemetry::Registry::global().add_collector(
       [this](telemetry::SampleSink& sink) {
         sink.gauge("speed_epc_used_bytes",
@@ -64,12 +65,12 @@ std::unique_ptr<Enclave> Platform::create_enclave(std::string identity) {
   return std::make_unique<Enclave>(*this, std::move(identity));
 }
 
-Bytes Platform::seal_key_for(const Measurement& m) const {
+secret::Buffer Platform::seal_key_for(const Measurement& m) const {
   return crypto::derive_key(hardware_key_, "seal-key",
                             ByteView(m.data(), m.size()), 32);
 }
 
-Bytes Platform::report_key_for(const Measurement& target) const {
+secret::Buffer Platform::report_key_for(const Measurement& target) const {
   return crypto::derive_key(hardware_key_, "report-key",
                             ByteView(target.data(), target.size()), 32);
 }
@@ -124,8 +125,10 @@ Report Enclave::create_report(const Measurement& target_measurement,
   }
   Report r;
   r.source_measurement = measurement_;
-  std::memcpy(r.user_data.data(), user_data.data(), user_data.size());
-  const Bytes key = platform_.report_key_for(target_measurement);
+  if (!user_data.empty()) {
+    std::memcpy(r.user_data.data(), user_data.data(), user_data.size());
+  }
+  const secret::Buffer key = platform_.report_key_for(target_measurement);
   crypto::HmacSha256 mac(key);
   mac.update(ByteView(r.source_measurement.data(), r.source_measurement.size()));
   mac.update(ByteView(r.user_data.data(), r.user_data.size()));
@@ -135,7 +138,7 @@ Report Enclave::create_report(const Measurement& target_measurement,
 }
 
 bool Enclave::verify_report(const Report& report) const {
-  const Bytes key = platform_.report_key_for(measurement_);
+  const secret::Buffer key = platform_.report_key_for(measurement_);
   crypto::HmacSha256 mac(key);
   mac.update(ByteView(report.source_measurement.data(),
                       report.source_measurement.size()));

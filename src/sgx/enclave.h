@@ -29,6 +29,7 @@
 #include "common/bytes.h"
 #include "common/clock.h"
 #include "common/error.h"
+#include "common/secret.h"
 #include "crypto/drbg.h"
 #include "sgx/cost_model.h"
 #include "sgx/epc.h"
@@ -64,13 +65,14 @@ class Platform {
 
   /// Hardware-derived keys; private to the platform (enclaves reach them
   /// through their own seal()/report APIs, the untrusted world cannot).
-  Bytes seal_key_for(const Measurement& m) const;
-  Bytes report_key_for(const Measurement& target) const;
+  /// Returned in the secret domain — they never cross the trusted boundary.
+  secret::Buffer seal_key_for(const Measurement& m) const;
+  secret::Buffer report_key_for(const Measurement& target) const;
 
  private:
   CostModel model_;
   EpcAllocator epc_;
-  Bytes hardware_key_;
+  secret::Buffer hardware_key_;
   // Declared after epc_: deregistration must precede the allocator's death.
   telemetry::Registry::Handle telemetry_handle_;
 };
@@ -152,7 +154,7 @@ class Enclave {
   Platform& platform_;
   std::string identity_;
   Measurement measurement_;
-  Bytes seal_key_;
+  secret::Buffer seal_key_;
 
   std::atomic<std::uint64_t> ecalls_{0};
   std::atomic<std::uint64_t> ocalls_{0};

@@ -92,7 +92,7 @@ class StoreSession {
 /// transport bound to the server session.
 struct AppConnection {
   std::unique_ptr<StoreSession> session;
-  Bytes session_key;
+  secret::Buffer session_key;
   std::unique_ptr<net::Transport> transport;
 };
 

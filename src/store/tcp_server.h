@@ -83,7 +83,7 @@ class StoreTcpServer {
 /// performing the attested handshake. `store_measurement` pins the store
 /// identity the client is willing to talk to.
 struct TcpAppConnection {
-  Bytes session_key;
+  secret::Buffer session_key;
   std::unique_ptr<net::Transport> transport;
 };
 

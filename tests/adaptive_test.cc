@@ -87,7 +87,7 @@ struct AdaptiveApp {
   AdaptiveApp(sgx::Platform& platform, store::ResultStore& store)
       : enclave(platform.create_enclave("adaptive-app")),
         connection(store::connect_app(store, *enclave)),
-        rt(*enclave, connection.session_key, std::move(connection.transport)) {
+        rt(*enclave, std::move(connection.session_key), std::move(connection.transport)) {
     rt.libraries().register_library("lib", "1", as_bytes("code"));
   }
   std::unique_ptr<sgx::Enclave> enclave;

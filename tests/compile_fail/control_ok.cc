@@ -1,0 +1,15 @@
+// Positive control for the compile-fail suite: exercises the same headers
+// and types as the negative cases, through the sanctioned APIs. If this file
+// stops compiling, the WILL_FAIL cases below it prove nothing.
+#include "common/secret.h"
+
+int main() {
+  const auto a = speed::secret::Bytes<16>::copy_of(speed::Bytes(16, 1));
+  const auto b = a.clone();
+  const bool same = ct_equal(a, b);
+
+  speed::secret::Buffer buf = speed::secret::Buffer::copy_of(speed::Bytes(8, 2));
+  const speed::ByteView view =
+      buf.reveal_for(speed::secret::Purpose::of("test_vector_check"));
+  return (same && view.size() == 8) ? 0 : 1;
+}

@@ -1,0 +1,9 @@
+// MUST NOT COMPILE: operator== on secrets is deleted — a timing-leaky
+// comparison of key material is a compile error; use ct_equal instead.
+#include "common/secret.h"
+
+int main() {
+  const auto a = speed::secret::Bytes<16>::copy_of(speed::Bytes(16, 1));
+  const auto b = speed::secret::Bytes<16>::copy_of(speed::Bytes(16, 1));
+  return a == b ? 0 : 1;  // deleted operator==
+}

@@ -1,0 +1,10 @@
+// MUST NOT COMPILE: no implicit conversion to ByteView — a secret cannot be
+// handed to hex_encode, a serializer, or an OCALL without an audited reveal.
+#include "common/secret.h"
+
+int main() {
+  const speed::secret::Buffer key =
+      speed::secret::Buffer::copy_of(speed::Bytes(16, 1));
+  const std::string hex = speed::hex_encode(key);  // no implicit ByteView
+  return hex.empty() ? 1 : 0;
+}

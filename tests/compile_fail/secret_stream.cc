@@ -1,0 +1,12 @@
+// MUST NOT COMPILE: secrets are not streamable — key material cannot reach
+// a log line or an ostream by construction.
+#include <iostream>
+
+#include "common/secret.h"
+
+int main() {
+  const speed::secret::Buffer key =
+      speed::secret::Buffer::copy_of(speed::Bytes(16, 1));
+  std::cout << key;  // deleted operator<<
+  return 0;
+}

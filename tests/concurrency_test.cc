@@ -26,7 +26,7 @@ struct App {
       const std::string& identity)
       : enclave(platform.create_enclave(identity)),
         connection(store::connect_app(store, *enclave)),
-        rt(*enclave, connection.session_key, std::move(connection.transport)) {
+        rt(*enclave, std::move(connection.session_key), std::move(connection.transport)) {
     rt.libraries().register_library("lib", "1", as_bytes("code"));
   }
   std::unique_ptr<sgx::Enclave> enclave;

@@ -108,8 +108,12 @@ TEST(HmacTest, VerifyAcceptsAndRejects) {
 TEST(HmacTest, DeriveKeyIsLabelSeparated) {
   const Bytes key = to_bytes("master");
   const Bytes ctx = to_bytes("ctx");
-  EXPECT_NE(derive_key(key, "seal", ctx), derive_key(key, "report", ctx));
-  EXPECT_EQ(derive_key(key, "seal", ctx), derive_key(key, "seal", ctx));
+  // Derived keys are secret-typed: operator== is deleted, so compare with
+  // the constant-time helper.
+  EXPECT_FALSE(ct_equal(derive_key(key, "seal", ctx),
+                        derive_key(key, "report", ctx)));
+  EXPECT_TRUE(ct_equal(derive_key(key, "seal", ctx),
+                       derive_key(key, "seal", ctx)));
   EXPECT_EQ(derive_key(key, "seal", ctx, 40).size(), 40u);
 }
 

@@ -89,7 +89,7 @@ struct FaultyApp {
     auto resilient = std::make_unique<ResilientTransport>(
         std::move(faulty), std::move(reconnect), rc);
     transport = resilient.get();
-    rt.emplace(*enclave, conn.session_key, std::move(resilient),
+    rt.emplace(*enclave, std::move(conn.session_key), std::move(resilient),
                std::move(config));
     rt->libraries().register_library("lib", "1", as_bytes("code"));
   }
@@ -182,7 +182,7 @@ TEST_F(FaultInjectionTest, PlainTransportWithoutReconnectStillFailsOpen) {
   auto enclave = platform_.create_enclave("bare-app");
   auto conn = store::connect_app(store_, *enclave);
   runtime::DedupRuntime rt(
-      *enclave, conn.session_key,
+      *enclave, std::move(conn.session_key),
       std::make_unique<FaultInjectingTransport>(
           std::move(conn.transport),
           FaultInjectingTransport::fail_window(1, 2, Fault::kDisconnect)),
@@ -214,7 +214,7 @@ TEST_F(FaultInjectionTest, SyncPutFailureIsSwallowedAndCounted) {
   runtime::RuntimeConfig cfg;
   cfg.async_put = false;
   runtime::DedupRuntime rt(
-      *enclave, conn.session_key,
+      *enclave, std::move(conn.session_key),
       std::make_unique<FaultInjectingTransport>(
           std::move(conn.transport),
           // call 0 = GET (healthy), call 1 = PUT (killed)
@@ -403,7 +403,7 @@ TEST_F(FaultInjectionTest, PutQueueDropsOldestWhenOverCapacity) {
   auto conn = store::connect_app(store_, *enclave, /*one_way_ns=*/100000);
   runtime::RuntimeConfig cfg;
   cfg.put_queue_capacity = 1;
-  runtime::DedupRuntime rt(*enclave, conn.session_key,
+  runtime::DedupRuntime rt(*enclave, std::move(conn.session_key),
                            std::move(conn.transport), cfg);
   rt.libraries().register_library("lib", "1", as_bytes("code"));
   std::atomic<int> execs{0};
@@ -456,7 +456,7 @@ TEST_F(FaultInjectionTest, FlushDeadlineBoundsShutdownOnSlowStore) {
   auto enclave = platform_.create_enclave("slow-app");
   auto conn = store::connect_app(store_, *enclave);
   runtime::DedupRuntime rt(
-      *enclave, conn.session_key,
+      *enclave, std::move(conn.session_key),
       std::make_unique<SlowTransport>(std::move(conn.transport), 150));
   rt.libraries().register_library("lib", "1", as_bytes("code"));
   runtime::Deduplicable<Bytes(const Bytes&)> f(
@@ -533,7 +533,7 @@ TEST(StoreSessionErrorTest, BadFrameCostsOneSessionNotTheServer) {
   auto conn_b = store::connect_tcp_app(*enclave_b,
                                        result_store.enclave().measurement(),
                                        "127.0.0.1", server.port());
-  runtime::DedupRuntime rt(*enclave_b, conn_b.session_key,
+  runtime::DedupRuntime rt(*enclave_b, std::move(conn_b.session_key),
                            std::move(conn_b.transport));
   rt.libraries().register_library("lib", "1", as_bytes("code"));
   runtime::Deduplicable<Bytes(const Bytes&)> f(
@@ -558,7 +558,7 @@ TEST(ResilientTcpTest, ClientSurvivesStoreRestart) {
   auto conn = store::connect_tcp_app_resilient(
       *enclave, result_store.enclave().measurement(), "127.0.0.1", port, rc,
       /*deadline_ms=*/2000);
-  runtime::DedupRuntime rt(*enclave, conn.session_key,
+  runtime::DedupRuntime rt(*enclave, std::move(conn.session_key),
                            std::move(conn.transport), no_local_cache());
   rt.libraries().register_library("lib", "1", as_bytes("code"));
   std::atomic<int> execs{0};

@@ -37,7 +37,7 @@ TEST_F(HandshakeTest, BothSidesDeriveSameKey) {
   const auto key_at_app = kx_app.derive(store_hello);
   ASSERT_TRUE(key_at_store.has_value());
   ASSERT_TRUE(key_at_app.has_value());
-  EXPECT_EQ(*key_at_store, *key_at_app);
+  EXPECT_TRUE(ct_equal(*key_at_store, *key_at_app));
   EXPECT_EQ(key_at_app->size(), 16u);
 }
 
@@ -115,11 +115,11 @@ TEST_F(HandshakeTest, WireRoundTrip) {
 
 TEST_F(HandshakeTest, EndToEndThroughStoreSession) {
   store::ResultStore result_store(platform_);
-  const auto conn = store::connect_app(result_store, *app_);
+  auto conn = store::connect_app(result_store, *app_);
   ASSERT_EQ(conn.session_key.size(), 16u);
 
   // Drive a PUT/GET through the attested session.
-  SecureChannel client(conn.session_key, /*is_initiator=*/true);
+  SecureChannel client(std::move(conn.session_key), /*is_initiator=*/true);
   serialize::PutRequest put;
   put.tag.fill(0x31);
   put.requester = app_->measurement();

@@ -31,7 +31,7 @@ struct App {
       const std::string& identity, RuntimeConfig config = RuntimeConfig{})
       : enclave(platform.create_enclave(identity)),
         connection(store::connect_app(store, *enclave)),
-        rt(*enclave, connection.session_key, std::move(connection.transport),
+        rt(*enclave, std::move(connection.session_key), std::move(connection.transport),
            std::move(config)) {}
 
   std::unique_ptr<sgx::Enclave> enclave;

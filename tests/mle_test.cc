@@ -48,8 +48,9 @@ TEST(TagTest, DiffersBySignature) {
 TEST(TagTest, FieldBoundariesAreUnambiguous) {
   // (func="ab", input="c") vs (func="a", input="bc") style splits.
   FunctionIdentity f1 = make_fn("lib", "1", "sig");
-  EXPECT_NE(derive_tag(f1, as_bytes("ab")),
-            derive_secondary_key(f1, as_bytes("a"), as_bytes("b")))
+  const Tag t = derive_tag(f1, as_bytes("ab"));
+  EXPECT_FALSE(ct_equal(derive_secondary_key(f1, as_bytes("a"), as_bytes("b")),
+                        ByteView(t.data(), t.size())))
       << "tags and secondary keys are domain-separated";
 }
 
@@ -88,12 +89,14 @@ TEST(TagTest, MidstateMatchesNaiveDoubleHash) {
 
     const ComputationContext ctx(fn, input);
     EXPECT_EQ(ctx.tag(), naive_tag.finish()) << "input size " << size;
-    EXPECT_EQ(ctx.secondary_key(challenge), naive_skey.finish())
+    const auto naive_h = naive_skey.finish();
+    EXPECT_TRUE(ct_equal(ctx.secondary_key(challenge),
+                         ByteView(naive_h.data(), naive_h.size())))
         << "input size " << size;
     // Forking must not consume the midstate: derive repeatedly.
     EXPECT_EQ(ctx.tag(), derive_tag(fn, input));
-    EXPECT_EQ(ctx.secondary_key(challenge),
-              derive_secondary_key(fn, input, challenge));
+    EXPECT_TRUE(ct_equal(ctx.secondary_key(challenge),
+                         derive_secondary_key(fn, input, challenge)));
   }
 }
 
@@ -109,21 +112,21 @@ TEST(RceTest, ContextPathMatchesFreeFunctions) {
   const auto from_ctx = ResultCipher::protect(ctx, result, drbg);
   const auto via_free = ResultCipher::recover(fn, input, from_ctx);
   ASSERT_TRUE(via_free.has_value());
-  EXPECT_EQ(*via_free, result);
+  EXPECT_TRUE(ct_equal(*via_free, ByteView(result)));
 
   const auto from_free = ResultCipher::protect(fn, input, result, drbg);
   const auto via_ctx = ResultCipher::recover(ctx, from_free);
   ASSERT_TRUE(via_ctx.has_value());
-  EXPECT_EQ(*via_ctx, result);
+  EXPECT_TRUE(ct_equal(*via_ctx, ByteView(result)));
 }
 
 TEST(TagTest, SecondaryKeyDependsOnChallenge) {
   const FunctionIdentity fn = make_fn();
   const Bytes input = to_bytes("m");
-  EXPECT_NE(derive_secondary_key(fn, input, as_bytes("r1")),
-            derive_secondary_key(fn, input, as_bytes("r2")));
-  EXPECT_EQ(derive_secondary_key(fn, input, as_bytes("r1")),
-            derive_secondary_key(fn, input, as_bytes("r1")));
+  EXPECT_FALSE(ct_equal(derive_secondary_key(fn, input, as_bytes("r1")),
+                        derive_secondary_key(fn, input, as_bytes("r2"))));
+  EXPECT_TRUE(ct_equal(derive_secondary_key(fn, input, as_bytes("r1")),
+                       derive_secondary_key(fn, input, as_bytes("r1"))));
 }
 
 // ------------------------------------------------------------- ResultCipher
@@ -136,7 +139,7 @@ TEST(RceTest, ProtectRecoverRoundTrip) {
   const auto entry = ResultCipher::protect(fn, input, result, drbg);
   const auto recovered = ResultCipher::recover(fn, input, entry);
   ASSERT_TRUE(recovered.has_value());
-  EXPECT_EQ(*recovered, result);
+  EXPECT_TRUE(ct_equal(*recovered, ByteView(result)));
 }
 
 TEST(RceTest, CrossApplicationRecovery) {
@@ -152,7 +155,7 @@ TEST(RceTest, CrossApplicationRecovery) {
   const FunctionIdentity fn_b = make_fn();
   const auto recovered = ResultCipher::recover(fn_b, input, entry);
   ASSERT_TRUE(recovered.has_value());
-  EXPECT_EQ(*recovered, result);
+  EXPECT_TRUE(ct_equal(*recovered, ByteView(result)));
 }
 
 TEST(RceTest, WrongInputCannotDecrypt) {
@@ -222,22 +225,28 @@ TEST(RceTest, SplitPhaseMatchesOneShot) {
   EXPECT_EQ(wk.key.size(), kResultKeySize);
   EXPECT_EQ(wk.challenge.size(), kChallengeSize);
 
-  const Bytes recovered_key =
-      ResultCipher::recover_key(fn, input, wk.challenge, wk.wrapped_key);
-  EXPECT_EQ(recovered_key, wk.key) << "k = [k] XOR h round-trips";
+  // The split-phase helpers speak secret types end to end; the test reveals
+  // the challenge like the runtime's payload boundary would.
+  const secret::Buffer recovered_key = ResultCipher::recover_key(
+      fn, input,
+      wk.challenge.reveal_for(secret::Purpose::of("test_vector_check")),
+      wk.wrapped_key);
+  EXPECT_TRUE(ct_equal(recovered_key, wk.key)) << "k = [k] XOR h round-trips";
 
   const Tag tag = derive_tag(fn, input);
   const Bytes ct = ResultCipher::encrypt_result(tag, wk.key, result, drbg);
   const auto pt = ResultCipher::decrypt_result(tag, recovered_key, ct);
   ASSERT_TRUE(pt.has_value());
-  EXPECT_EQ(*pt, result);
+  EXPECT_TRUE(ct_equal(*pt, ByteView(result)));
 
   // The tag-aware one-shot paths agree with the derive-internally ones.
   const auto entry = ResultCipher::protect(tag, fn, input, result, drbg);
   const auto rec = ResultCipher::recover(tag, fn, input, entry);
   ASSERT_TRUE(rec.has_value());
-  EXPECT_EQ(*rec, result);
-  EXPECT_EQ(ResultCipher::recover(fn, input, entry), rec);
+  EXPECT_TRUE(ct_equal(*rec, ByteView(result)));
+  const auto rec2 = ResultCipher::recover(fn, input, entry);
+  ASSERT_TRUE(rec2.has_value());
+  EXPECT_TRUE(ct_equal(*rec2, *rec));
 }
 
 TEST(RceTest, EntryBoundToTagNotTransplantable) {
@@ -262,7 +271,7 @@ TEST_P(RceSizeSweep, RoundTripsAtSize) {
   const auto entry = ResultCipher::protect(fn, input, result, drbg);
   const auto recovered = ResultCipher::recover(fn, input, entry);
   ASSERT_TRUE(recovered.has_value());
-  EXPECT_EQ(*recovered, result);
+  EXPECT_TRUE(ct_equal(*recovered, ByteView(result)));
 }
 
 INSTANTIATE_TEST_SUITE_P(Sizes, RceSizeSweep,
@@ -279,7 +288,7 @@ TEST(BasicSchemeTest, RoundTripWithSharedKey) {
   EXPECT_TRUE(entry.challenge.empty());
   const auto recovered = cipher.recover(fn, input, entry);
   ASSERT_TRUE(recovered.has_value());
-  EXPECT_EQ(*recovered, result);
+  EXPECT_TRUE(ct_equal(*recovered, ByteView(result)));
 }
 
 TEST(BasicSchemeTest, SinglePointOfCompromise) {

@@ -55,9 +55,9 @@ TEST(ChannelKeyTest, BothEndpointsDeriveSameKey) {
   sgx::Platform platform(fast_model());
   auto app = platform.create_enclave("app");
   auto store = platform.create_enclave("store");
-  const Bytes k1 = derive_channel_key(*app, store->measurement());
-  const Bytes k2 = derive_channel_key(*store, app->measurement());
-  EXPECT_EQ(k1, k2);
+  const secret::Buffer k1 = derive_channel_key(*app, store->measurement());
+  const secret::Buffer k2 = derive_channel_key(*store, app->measurement());
+  EXPECT_TRUE(ct_equal(k1, k2));
   EXPECT_EQ(k1.size(), 16u);
 }
 
@@ -66,8 +66,8 @@ TEST(ChannelKeyTest, DifferentPairsDifferentKeys) {
   auto a = platform.create_enclave("a");
   auto b = platform.create_enclave("b");
   auto c = platform.create_enclave("c");
-  EXPECT_NE(derive_channel_key(*a, b->measurement()),
-            derive_channel_key(*a, c->measurement()));
+  EXPECT_FALSE(ct_equal(derive_channel_key(*a, b->measurement()),
+                        derive_channel_key(*a, c->measurement())));
 }
 
 TEST(ChannelKeyTest, CrossPlatformKeysDiffer) {
@@ -75,8 +75,8 @@ TEST(ChannelKeyTest, CrossPlatformKeysDiffer) {
   auto a1 = p1.create_enclave("app");
   auto a2 = p2.create_enclave("app");
   const auto store_meas = sgx::measure_identity("store");
-  EXPECT_NE(derive_channel_key(*a1, store_meas),
-            derive_channel_key(*a2, store_meas))
+  EXPECT_FALSE(ct_equal(derive_channel_key(*a1, store_meas),
+                        derive_channel_key(*a2, store_meas)))
       << "channel keys are rooted in the platform";
 }
 

@@ -27,7 +27,7 @@ struct App {
       const std::string& identity, RuntimeConfig config = RuntimeConfig{})
       : enclave(platform.create_enclave(identity)),
         connection(store::connect_app(store, *enclave)),
-        rt(*enclave, connection.session_key, std::move(connection.transport),
+        rt(*enclave, std::move(connection.session_key), std::move(connection.transport),
            std::move(config)) {
     rt.libraries().register_library("testlib", "1.0", as_bytes("testlib-code"));
   }
@@ -312,7 +312,7 @@ TEST_F(RuntimeTest, LocalCacheServesRepeatsWithZeroRoundTrips) {
   auto enclave = platform_.create_enclave("cache-app");
   auto conn = store::connect_app(store_, *enclave);
   auto* wire = static_cast<net::LoopbackTransport*>(conn.transport.get());
-  DedupRuntime rt(*enclave, conn.session_key, std::move(conn.transport));
+  DedupRuntime rt(*enclave, std::move(conn.session_key), std::move(conn.transport));
   rt.libraries().register_library("testlib", "1.0", as_bytes("testlib-code"));
   std::atomic<int> executions{0};
   Deduplicable<Bytes(const Bytes&)> f(rt, desc(), [&](const Bytes& in) {
@@ -341,7 +341,7 @@ TEST_F(RuntimeTest, DisabledLocalCacheKeepsEveryCallOnTheStorePath) {
   auto enclave = platform_.create_enclave("no-cache-app");
   auto conn = store::connect_app(store_, *enclave);
   auto* wire = static_cast<net::LoopbackTransport*>(conn.transport.get());
-  DedupRuntime rt(*enclave, conn.session_key, std::move(conn.transport),
+  DedupRuntime rt(*enclave, std::move(conn.session_key), std::move(conn.transport),
                   store_path_config());
   rt.libraries().register_library("testlib", "1.0", as_bytes("testlib-code"));
   Deduplicable<Bytes(const Bytes&)> f(rt, desc(),

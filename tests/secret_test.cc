@@ -1,0 +1,155 @@
+// Tests for the secret taint types: wipe-on-destruction (the death-to-leak
+// regression test for the PR's wipe-gap fixes), move semantics, audited
+// escapes, and constant-time comparison.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <new>
+
+#include "common/secret.h"
+
+namespace speed::secret {
+namespace {
+
+ByteView peek(const Bytes<16>& b) {
+  return b.reveal_for(Purpose::of("test_vector_check"));
+}
+
+ByteView peek(const Buffer& b) {
+  return b.reveal_for(Purpose::of("test_vector_check"));
+}
+
+bool all_zero(ByteView v) {
+  for (const auto byte : v) {
+    if (byte != 0) return false;
+  }
+  return true;
+}
+
+TEST(SecretBytesTest, DefaultIsZero) {
+  const Bytes<16> b;
+  EXPECT_TRUE(all_zero(peek(b)));
+  EXPECT_EQ(b.size(), 16u);
+}
+
+TEST(SecretBytesTest, CopyOfChecksSize) {
+  const speed::Bytes raw(16, 0xAB);
+  const auto b = Bytes<16>::copy_of(raw);
+  EXPECT_TRUE(ct_equal(b, ByteView(raw)));
+  EXPECT_THROW(Bytes<16>::copy_of(ByteView(raw.data(), 15)),
+               std::invalid_argument);
+}
+
+TEST(SecretBytesTest, DestructionWipesStorage) {
+  // The death-to-leak regression test: construct a secret in caller-owned
+  // storage, destroy it, and assert the key bytes are gone. This is exactly
+  // the early-return/exception path the runtime relies on — stack temporaries
+  // holding k/h/session keys must not outlive their scope legibly.
+  alignas(Bytes<16>) unsigned char storage[sizeof(Bytes<16>)] = {};
+  auto* secret = new (storage) Bytes<16>(
+      Bytes<16>::copy_of(speed::Bytes(16, 0x5E)));
+  ASSERT_FALSE(all_zero(peek(*secret)));
+  std::destroy_at(secret);
+  // The barrier keeps the optimizer from reasoning about post-destruction
+  // contents (it otherwise flags the read as use-after-lifetime).
+  __asm__ volatile("" : : "r"(storage) : "memory");
+  EXPECT_TRUE(all_zero(ByteView(storage, sizeof(storage))))
+      << "destructor must securely wipe the key bytes";
+}
+
+TEST(SecretBytesTest, MoveWipesSource) {
+  auto a = Bytes<16>::copy_of(speed::Bytes(16, 0x77));
+  const Bytes<16> b = std::move(a);
+  EXPECT_TRUE(all_zero(peek(a))) << "moved-from secret must be wiped";
+  EXPECT_FALSE(all_zero(peek(b)));
+}
+
+TEST(SecretBytesTest, CloneIsExplicitAndIndependent) {
+  auto a = Bytes<16>::copy_of(speed::Bytes(16, 0x42));
+  const Bytes<16> b = a.clone();
+  EXPECT_TRUE(ct_equal(a, b));
+  a.wipe();
+  EXPECT_FALSE(ct_equal(a, b)) << "clone must not alias the original";
+}
+
+TEST(SecretBytesTest, WritableFillsInPlace) {
+  Bytes<16> b;
+  for (auto& byte : b.writable()) byte = 0x11;
+  EXPECT_TRUE(ct_equal(b, ByteView(speed::Bytes(16, 0x11))));
+}
+
+TEST(SecretBytesTest, CtEqualMatchesContent) {
+  const auto a = Bytes<16>::copy_of(speed::Bytes(16, 1));
+  const auto b = Bytes<16>::copy_of(speed::Bytes(16, 1));
+  const auto c = Bytes<16>::copy_of(speed::Bytes(16, 2));
+  EXPECT_TRUE(ct_equal(a, b));
+  EXPECT_FALSE(ct_equal(a, c));
+}
+
+TEST(SecretBufferTest, SizedConstructorZeroFills) {
+  const Buffer b(24);
+  EXPECT_EQ(b.size(), 24u);
+  EXPECT_FALSE(b.empty());
+  EXPECT_TRUE(all_zero(peek(b)));
+}
+
+TEST(SecretBufferTest, AbsorbTakesOwnershipAndClearsSource) {
+  speed::Bytes plain(16, 0x9C);
+  const Buffer b = Buffer::absorb(std::move(plain));
+  EXPECT_TRUE(plain.empty()) << "absorbed source must be left empty";
+  EXPECT_TRUE(ct_equal(b, ByteView(speed::Bytes(16, 0x9C))));
+}
+
+TEST(SecretBufferTest, WipeZeroesContents) {
+  Buffer b = Buffer::copy_of(speed::Bytes(32, 0xEE));
+  ASSERT_FALSE(all_zero(peek(b)));
+  b.wipe();
+  EXPECT_TRUE(all_zero(peek(b)));
+  EXPECT_EQ(b.size(), 32u) << "wipe zeroes in place, it does not shrink";
+}
+
+TEST(SecretBufferTest, MoveLeavesSourceEmpty) {
+  Buffer a = Buffer::copy_of(speed::Bytes(16, 0x31));
+  const Buffer b = std::move(a);
+  EXPECT_TRUE(a.empty());
+  EXPECT_EQ(b.size(), 16u);
+}
+
+TEST(SecretBufferTest, MoveAssignmentWipesPreviousContents) {
+  // The rekey path: an old session key replaced by a fresh one must not
+  // linger. The old buffer's bytes are wiped before being released.
+  Buffer key = Buffer::copy_of(speed::Bytes(16, 0xAA));
+  const std::uint8_t* old_data = peek(key).data();
+  const std::size_t old_size = key.size();
+  key = Buffer::copy_of(speed::Bytes(16, 0xBB));
+  // The old allocation was wiped in-place before the vector replaced it; we
+  // can only assert the observable part: the new contents are correct.
+  (void)old_data;
+  (void)old_size;
+  EXPECT_TRUE(ct_equal(key, ByteView(speed::Bytes(16, 0xBB))));
+}
+
+TEST(SecretBufferTest, ReleaseForMovesBytesOut) {
+  Buffer b = Buffer::copy_of(speed::Bytes(16, 0x66));
+  const speed::Bytes out =
+      std::move(b).release_for(Purpose::of("test_vector_check"));
+  EXPECT_EQ(out, speed::Bytes(16, 0x66));
+  EXPECT_TRUE(b.empty()) << "release transfers ownership";
+}
+
+TEST(SecretBufferTest, CtEqualHandlesSizeMismatch) {
+  const Buffer a = Buffer::copy_of(speed::Bytes(16, 1));
+  const Buffer b = Buffer::copy_of(speed::Bytes(8, 1));
+  EXPECT_FALSE(ct_equal(a, b));
+}
+
+TEST(SecretPurposeTest, TagIsPreserved) {
+  constexpr auto p = Purpose::of("rce_key_wrap");
+  EXPECT_STREQ(p.tag(), "rce_key_wrap");
+  // Illegal tags ("RCE", "has space", "") fail at compile time via consteval;
+  // the compile-fail suite covers the negative cases for equality/streaming.
+}
+
+}  // namespace
+}  // namespace speed::secret

@@ -68,7 +68,7 @@ TEST(TcpStoreTest, EndToEndDedupOverSockets) {
   auto conn = store::connect_tcp_app(*enclave,
                                      result_store.enclave().measurement(),
                                      "127.0.0.1", server.port());
-  runtime::DedupRuntime rt(*enclave, conn.session_key, std::move(conn.transport));
+  runtime::DedupRuntime rt(*enclave, std::move(conn.session_key), std::move(conn.transport));
   rt.libraries().register_library("lib", "1", as_bytes("code"));
 
   int executions = 0;
@@ -98,7 +98,7 @@ TEST(TcpStoreTest, TwoClientsShareResults) {
         *enclave, result_store.enclave().measurement(), "127.0.0.1",
         server.port());
     auto rt = std::make_unique<runtime::DedupRuntime>(
-        *enclave, conn.session_key, std::move(conn.transport));
+        *enclave, std::move(conn.session_key), std::move(conn.transport));
     rt->libraries().register_library("lib", "1", as_bytes("code"));
     return std::make_pair(std::move(enclave), std::move(rt));
   };

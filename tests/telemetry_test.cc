@@ -284,7 +284,7 @@ TEST(RedactionTest, ExportedLabelsNeverCarrySecretShapedBytes) {
   auto enclave = platform.create_enclave("redaction-app");
   auto conn = store::connect_app(store, *enclave);
   auto session = std::move(conn.session);
-  runtime::DedupRuntime rt(*enclave, conn.session_key,
+  runtime::DedupRuntime rt(*enclave, std::move(conn.session_key),
                            std::move(conn.transport));
   rt.libraries().register_library("lib", "1", as_bytes("code"));
   runtime::Deduplicable<Bytes(const Bytes&)> f(
@@ -348,7 +348,7 @@ TEST(TraceTest, RuntimePipelinePushesSpansWithStagesAndOutcomes) {
   runtime::RuntimeConfig cfg;
   cfg.trace_ring = &ring;
   cfg.local_cache = false;  // force the second call through the store
-  runtime::DedupRuntime rt(*enclave, conn.session_key,
+  runtime::DedupRuntime rt(*enclave, std::move(conn.session_key),
                            std::move(conn.transport), cfg);
   rt.libraries().register_library("lib", "1", as_bytes("code"));
   runtime::Deduplicable<Bytes(const Bytes&)> f(
@@ -391,7 +391,7 @@ TEST(TraceTest, LocalCacheHitIsTracedAsLocalHit) {
   auto session = std::move(conn.session);
   runtime::RuntimeConfig cfg;
   cfg.trace_ring = &ring;
-  runtime::DedupRuntime rt(*enclave, conn.session_key,
+  runtime::DedupRuntime rt(*enclave, std::move(conn.session_key),
                            std::move(conn.transport), cfg);
   rt.libraries().register_library("lib", "1", as_bytes("code"));
   runtime::Deduplicable<Bytes(const Bytes&)> f(
@@ -491,7 +491,7 @@ TEST(StatsViewTest, RuntimeStatsViewMatchesRegistryExport) {
   auto enclave = platform.create_enclave("view-app");
   auto conn = store::connect_app(store, *enclave);
   auto session = std::move(conn.session);
-  runtime::DedupRuntime rt(*enclave, conn.session_key,
+  runtime::DedupRuntime rt(*enclave, std::move(conn.session_key),
                            std::move(conn.transport));
   rt.libraries().register_library("lib", "1", as_bytes("code"));
   runtime::Deduplicable<Bytes(const Bytes&)> f(

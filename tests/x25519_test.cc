@@ -69,12 +69,17 @@ TEST(X25519Test, Rfc7748DiffieHellman) {
   EXPECT_EQ(key_hex(bob_pub),
             "de9edb7d7b7dc1b4d35b61c2ece435373f8343c85b78674dadfc7e146f882b4f");
 
-  X25519Key shared_a, shared_b;
-  ASSERT_TRUE(x25519_shared(alice_priv, bob_pub, shared_a));
-  ASSERT_TRUE(x25519_shared(bob_priv, alice_pub, shared_b));
-  EXPECT_EQ(shared_a, shared_b);
-  EXPECT_EQ(key_hex(shared_a),
-            "4a5d9d5ba4ce2de1728e3bf480350f25e07e21c947d19e3376f09b3c1e161742");
+  const auto alice_scalar = secret::Bytes<kX25519KeySize>::copy_of(
+      ByteView(alice_priv.data(), alice_priv.size()));
+  const auto bob_scalar = secret::Bytes<kX25519KeySize>::copy_of(
+      ByteView(bob_priv.data(), bob_priv.size()));
+  secret::Bytes<kX25519KeySize> shared_a, shared_b;
+  ASSERT_TRUE(x25519_shared(alice_scalar, bob_pub, shared_a));
+  ASSERT_TRUE(x25519_shared(bob_scalar, alice_pub, shared_b));
+  EXPECT_TRUE(ct_equal(shared_a, shared_b));
+  EXPECT_EQ(
+      hex_encode(shared_a.reveal_for(secret::Purpose::of("test_vector_check"))),
+      "4a5d9d5ba4ce2de1728e3bf480350f25e07e21c947d19e3376f09b3c1e161742");
 }
 
 TEST(X25519Test, RandomPairsAgree) {
@@ -82,10 +87,10 @@ TEST(X25519Test, RandomPairsAgree) {
   for (int trial = 0; trial < 10; ++trial) {
     const auto a = x25519_generate(drbg);
     const auto b = x25519_generate(drbg);
-    X25519Key sa, sb;
+    secret::Bytes<kX25519KeySize> sa, sb;
     ASSERT_TRUE(x25519_shared(a.private_key, b.public_key, sa));
     ASSERT_TRUE(x25519_shared(b.private_key, a.public_key, sb));
-    EXPECT_EQ(sa, sb);
+    EXPECT_TRUE(ct_equal(sa, sb));
     EXPECT_NE(a.public_key, b.public_key);
   }
 }
@@ -94,7 +99,7 @@ TEST(X25519Test, LowOrderPointRejected) {
   Drbg drbg(to_bytes("low-order"));
   const auto pair = x25519_generate(drbg);
   X25519Key zero_point{};  // u = 0 is a low-order point
-  X25519Key shared;
+  secret::Bytes<kX25519KeySize> shared;
   EXPECT_FALSE(x25519_shared(pair.private_key, zero_point, shared));
 }
 

@@ -1,0 +1,34 @@
+// lint-as: src/store/entry_check.cc
+// Fixture: non-constant-time equality on authenticator bytes (SF002) and
+// libc RNG (SF005), plus a deliberate suppression to pin the escape hatch.
+#include <array>
+#include <cstdlib>
+
+namespace speed::store {
+
+struct Entry {
+  std::array<unsigned char, 32> mac;
+  std::array<unsigned char, 16> session_key;
+  int flags = 0;
+};
+
+bool same_entry(const Entry& a, const Entry& b) {
+  if (a.mac == b.mac) return true;                  // EXPECT: SF002
+  return a.session_key != b.session_key;            // EXPECT: SF002
+}
+
+int jitter() {
+  std::srand(42);                                   // EXPECT: SF005
+  return std::rand() % 7;                           // EXPECT: SF005
+}
+
+bool same_flags(const Entry& a, const Entry& b) {
+  return a.flags == b.flags;  // plain int compare: no finding
+}
+
+bool suppressed(const Entry& a, const Entry& b) {
+  // secretflow-allow: SF002 fixture proves suppressions work
+  return a.mac == b.mac;
+}
+
+}  // namespace speed::store

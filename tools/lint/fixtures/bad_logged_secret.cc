@@ -1,0 +1,30 @@
+// lint-as: src/telemetry/exposition_extra.cc
+// Fixture: telemetry/exposition code must never see secret types or revealed
+// bytes (SF004) — the label whitelist keeps cardinality bounded, and this
+// rule keeps key material out of the exporter entirely.
+#include <sstream>
+
+#include "common/secret.h"
+
+namespace speed::telemetry {
+
+class KeyDumper {
+ public:
+  explicit KeyDumper(secret::Buffer key) : key_(std::move(key)) {}  // EXPECT: SF004
+
+  std::string dump() const {
+    std::ostringstream os;
+    os << "key=" << hexify(key_.reveal_for(  // EXPECT: SF004 // EXPECT: SF006
+        secret::Purpose::of("metrics_debug")));  // EXPECT: SF004
+    return os.str();
+  }
+
+ private:
+  static std::string hexify(ByteView);
+  secret::Buffer key_;  // EXPECT: SF004
+};
+
+// Plain counters are what telemetry is for: no finding.
+inline long add(long a, long b) { return a + b; }
+
+}  // namespace speed::telemetry

@@ -1,0 +1,20 @@
+// lint-as: src/sgx/enclave_verify.cc
+// Fixture: verifying a report MAC with memcmp is a timing oracle (SF001).
+#include <cstring>
+
+namespace speed::sgx {
+
+struct Report {
+  unsigned char mac[32];
+};
+
+bool verify_bad(const Report& report, const Report& expected) {
+  return std::memcmp(report.mac, expected.mac, 32) == 0;  // EXPECT: SF001
+}
+
+bool verify_ok(const unsigned char* a, const unsigned char* b);
+bool verify_good(const Report& report, const Report& expected) {
+  return verify_ok(report.mac, expected.mac);  // ct_equal wrapper: no finding
+}
+
+}  // namespace speed::sgx

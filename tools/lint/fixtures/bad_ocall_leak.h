@@ -1,0 +1,22 @@
+// lint-as: src/capi/speed_debug.h
+// Fixture: secret types must never appear on the C API / OCALL surface
+// (SF003). The boundary traffics in plain bytes that were deliberately
+// released, never in live secret handles.
+#pragma once
+
+#include "common/secret.h"
+
+extern "C" {
+
+// A debugging hook that hands the session key to untrusted host code.
+void speed_debug_session_key(speed::secret::Buffer* out);  // EXPECT: SF003
+
+// Returning revealed bytes through the boundary is just as bad.
+const unsigned char* speed_debug_key_bytes(const speed::secret::Buffer& key) {  // EXPECT: SF003
+  return key.reveal_for(speed::secret::Purpose::of("host_debug")).data();  // EXPECT: SF003 // EXPECT: SF006
+}
+
+// Plain, already-released bytes are fine: no finding.
+void speed_result_copy(const unsigned char* data, unsigned long len);
+
+}  // extern "C"

@@ -1,0 +1,22 @@
+// lint-as: src/mle/rce_extra.cc
+// Fixture: every reveal needs a literal Purpose::of tag whose (file, purpose)
+// pair is listed in docs/SECRET_AUDIT.md (SF006).
+#include "common/secret.h"
+
+namespace speed::mle {
+
+ByteView unaudited(const secret::Buffer& key) {
+  return key.reveal_for(secret::Purpose::of("totally_unaudited"));  // EXPECT: SF006
+}
+
+ByteView non_literal(const secret::Buffer& key, secret::Purpose why) {
+  return key.reveal_for(why);  // EXPECT: SF006
+}
+
+// An audited pair from the manifest (src/mle/rce.cc owns rce_key_wrap, not
+// this file) is still a finding here: the manifest is per-file.
+ByteView wrong_file(const secret::Buffer& key) {
+  return key.reveal_for(secret::Purpose::of("rce_key_wrap"));  // EXPECT: SF006
+}
+
+}  // namespace speed::mle

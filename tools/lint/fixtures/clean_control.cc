@@ -1,0 +1,22 @@
+// lint-as: src/mle/rce.cc
+// Fixture: the clean control. Audited reveals, ct_equal comparisons, and
+// Drbg randomness produce zero findings; if this file starts failing, the
+// rules regressed, not the code under test.
+#include "common/secret.h"
+#include "crypto/drbg.h"
+
+namespace speed::mle {
+
+ByteView audited(const secret::Buffer& key) {
+  return key.reveal_for(secret::Purpose::of("rce_key_wrap"));
+}
+
+bool compare(const secret::Buffer& a, const secret::Buffer& b) {
+  return ct_equal(a, b);
+}
+
+secret::Buffer fresh_key(crypto::Drbg& drbg) {
+  return drbg.secret_bytes(16);
+}
+
+}  // namespace speed::mle

@@ -1,0 +1,393 @@
+#!/usr/bin/env python3
+"""secretflow: the SPEED secret-flow boundary linter.
+
+Enforces the taint-typing contract of src/common/secret.h at the places the
+type system cannot reach (C boundary headers, logging macros, the audit
+manifest):
+
+  SF001  memcmp over tag/MAC/key byte ranges (use speed::ct_equal)
+  SF002  operator==/!= on tag/MAC/digest byte ranges (use speed::ct_equal)
+  SF003  secret types or raw escapes in untrusted-boundary surfaces
+         (src/capi/*, the sgx Report struct)
+  SF004  secret types or reveals in telemetry/exposition or on logging lines
+  SF005  libc rand()/srand() (use crypto::Drbg)
+  SF006  reveal_for/release_for without a literal Purpose::of, or with a
+         (file, purpose) pair missing from docs/SECRET_AUDIT.md; also stale
+         manifest entries that no longer match any reveal site
+
+Suppression: append `// secretflow-allow: SFNNN <reason>` to the offending
+line (or the line above it). Suppressions are deliberate, greppable, and
+should be rare.
+
+Engines: the default `regex` engine needs only the standard library and is
+what CI and local hooks run. `--engine clang` uses libclang's token stream
+for exact comment/string classification when the Python bindings are
+installed; it applies the same rules and is never required.
+
+Usage:
+  tools/lint/secretflow.py --check src/            # lint the tree, exit 1 on findings
+  tools/lint/secretflow.py --fixtures tools/lint/fixtures   # self-test
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+DEFAULT_MANIFEST = REPO_ROOT / "docs" / "SECRET_AUDIT.md"
+
+SOURCE_SUFFIXES = {".h", ".cc", ".cpp", ".hpp"}
+
+# Identifier fragments that mark a byte range as authenticator/key material.
+SECRETISH = r"(?:mac|auth_tag|digest|session_key|seal_key|private_key|wrapped_key|secret|hmac)"
+
+ALLOW_RE = re.compile(r"//\s*secretflow-allow:\s*(SF\d{3})")
+EXPECT_RE = re.compile(r"//\s*EXPECT:\s*(SF\d{3})")
+LINT_AS_RE = re.compile(r"//\s*lint-as:\s*(\S+)")
+
+REVEAL_RE = re.compile(
+    r"\b(?:reveal_for|release_for)\s*\(\s*(?:speed::)?(?:secret::)?Purpose::of\(\s*\"([a-z0-9_]+)\"",
+    re.S,
+)
+REVEAL_ANY_RE = re.compile(r"\b(reveal_for|release_for)\s*\(")
+# Parameter declarations inside secret.h itself, not call sites.
+REVEAL_DECL_RE = re.compile(r"^\s*(?:\[\[maybe_unused\]\]\s*)?Purpose\s+\w*\s*\)")
+
+MANIFEST_ROW_RE = re.compile(r"`(src/[\w./-]+)`\s*\|\s*`([a-z0-9_]+)`")
+
+
+@dataclass
+class Finding:
+    path: str       # repo-relative (or lint-as) path
+    line: int       # 1-based
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule}: {self.message}"
+
+
+def strip_comments_and_strings(line: str) -> tuple[str, str]:
+    """Return (code, full) where `code` has comments and string/char literal
+    contents blanked out (delimiters kept) so rules don't fire on prose."""
+    out = []
+    i, n = 0, len(line)
+    state = None  # None | '"' | "'"
+    while i < n:
+        c = line[i]
+        if state is None:
+            if c == '/' and i + 1 < n and line[i + 1] == '/':
+                break  # rest of line is a comment
+            if c == '/' and i + 1 < n and line[i + 1] == '*':
+                # Blank until close (single-line handling; multi-line block
+                # comments are rare in this codebase and caught by review).
+                end = line.find("*/", i + 2)
+                if end < 0:
+                    break
+                i = end + 2
+                continue
+            if c in ('"', "'"):
+                state = c
+                out.append(c)
+                i += 1
+                continue
+            out.append(c)
+            i += 1
+        else:
+            if c == '\\':
+                i += 2
+                continue
+            if c == state:
+                state = None
+                out.append(c)
+            i += 1
+    return "".join(out), line
+
+
+def collect_allows(lines: list[str]) -> dict[int, set[str]]:
+    """Map line number -> rules suppressed there (same line or line above)."""
+    allows: dict[int, set[str]] = {}
+    for idx, line in enumerate(lines, start=1):
+        for m in ALLOW_RE.finditer(line):
+            allows.setdefault(idx, set()).add(m.group(1))
+            allows.setdefault(idx + 1, set()).add(m.group(1))
+    return allows
+
+
+def report_struct_extent(lines: list[str]) -> tuple[int, int] | None:
+    """1-based [start, end] of `struct Report { ... };` if present."""
+    depth = 0
+    start = None
+    for idx, line in enumerate(lines, start=1):
+        code, _ = strip_comments_and_strings(line)
+        if start is None:
+            if re.search(r"\bstruct\s+Report\b", code):
+                start = idx
+                depth = 0
+        if start is not None:
+            depth += code.count("{") - code.count("}")
+            if "{" in code or idx > start:
+                if depth <= 0 and ("}" in code):
+                    return (start, idx)
+    return None
+
+
+CMP_LHS_RE = re.compile(
+    rf"(?:\.|\b){SECRETISH}\b(?:\s*\.\s*(?:data|bytes)\s*\(\s*\))?\s*[=!]="
+)
+CMP_RHS_RE = re.compile(rf"[=!]=\s*[\w.>-]*(?:\.|\b){SECRETISH}\b")
+CMP_EXCLUDE_RE = re.compile(
+    r"operator\s*==|=\s*delete|nullptr|\.size\s*\(|\.empty\s*\(|ct_equal"
+)
+
+
+def lint_file(pretend_path: str, text: str, manifest: set[tuple[str, str]],
+              reveal_sites: list[tuple[str, str]] | None = None) -> list[Finding]:
+    """Run all rules over one file. `pretend_path` is repo-relative."""
+    findings: list[Finding] = []
+    lines = text.splitlines()
+    allows = collect_allows(lines)
+    in_src = pretend_path.startswith("src/")
+    is_boundary_capi = pretend_path.startswith("src/capi/")
+    is_telemetry = pretend_path.startswith("src/telemetry/")
+    is_secret_header = pretend_path == "src/common/secret.h"
+    report_extent = (
+        report_struct_extent(lines) if pretend_path == "src/sgx/enclave.h"
+        or "enclave" in Path(pretend_path).name else None
+    )
+
+    def add(lineno: int, rule: str, message: str) -> None:
+        if rule in allows.get(lineno, set()):
+            return
+        findings.append(Finding(pretend_path, lineno, rule, message))
+
+    crypto_module = any(
+        pretend_path.startswith(p)
+        for p in ("src/crypto/", "src/mle/", "src/net/", "src/sgx/")
+    )
+
+    for idx, raw in enumerate(lines, start=1):
+        code, _ = strip_comments_and_strings(raw)
+        if not code.strip():
+            continue
+
+        # SF001: memcmp over authenticator/key material.
+        if re.search(r"\bmemcmp\s*\(", code):
+            if re.search(rf"(?:\.|\b){SECRETISH}\b", code) or crypto_module:
+                add(idx, "SF001",
+                    "memcmp over tag/MAC/key bytes is not constant-time; "
+                    "use speed::ct_equal")
+
+        # SF002: ==/!= over authenticator byte ranges.
+        if ("==" in code or "!=" in code) and not CMP_EXCLUDE_RE.search(code):
+            if CMP_LHS_RE.search(code) or CMP_RHS_RE.search(code):
+                add(idx, "SF002",
+                    "operator==/!= over tag/MAC/key bytes is not "
+                    "constant-time; use speed::ct_equal")
+
+        # SF003: secrets must not appear on untrusted-boundary surfaces.
+        if is_boundary_capi and re.search(r"\bsecret::|reveal_for|release_for",
+                                          code):
+            add(idx, "SF003",
+                "secret types/escapes must not cross the C API boundary; "
+                "convert via an audited release before src/capi/")
+        if report_extent and report_extent[0] <= idx <= report_extent[1]:
+            if re.search(r"\bsecret::", code):
+                add(idx, "SF003",
+                    "struct Report crosses to the untrusted host; it must "
+                    "carry only plain bytes")
+
+        # SF004: secrets must not reach telemetry or logging sinks.
+        if is_telemetry and re.search(r"\bsecret::|reveal_for|release_for",
+                                      code):
+            add(idx, "SF004",
+                "telemetry/exposition must never see secret types or "
+                "revealed bytes")
+        if re.search(r"reveal_for|release_for", code) and re.search(
+                r"<<|\bprintf\s*\(|\bfprintf\s*\(|\bsnprintf\s*\(|\bLOG\b|std::format\s*\(",
+                code):
+            add(idx, "SF004",
+                "revealed secret bytes on a logging/stream line")
+
+        # SF005: libc RNG.
+        if re.search(r"(?<![\w.>])s?rand\s*\(", code):
+            add(idx, "SF005",
+                "libc rand()/srand() is not a CSPRNG; use crypto::Drbg")
+
+    # SF006: audited escapes. Scan the whole text so call sites split across
+    # lines (release_for(\n  Purpose::of("..."))) are still attributed.
+    if in_src and not is_secret_header:
+        audited_spans: list[tuple[int, int, str]] = []
+        for m in REVEAL_RE.finditer(text):
+            lineno = text.count("\n", 0, m.start()) + 1
+            purpose = m.group(1)
+            audited_spans.append((m.start(), m.end(), purpose))
+            if reveal_sites is not None:
+                reveal_sites.append((pretend_path, purpose))
+            if (pretend_path, purpose) not in manifest:
+                if "SF006" not in allows.get(lineno, set()):
+                    findings.append(Finding(
+                        pretend_path, lineno, "SF006",
+                        f"reveal purpose '{purpose}' is not listed for this "
+                        f"file in docs/SECRET_AUDIT.md"))
+        for m in REVEAL_ANY_RE.finditer(text):
+            if any(s <= m.start() < e for s, e, _ in audited_spans):
+                continue
+            tail = text[m.end():m.end() + 160]
+            if REVEAL_DECL_RE.match(tail.strip()) or tail.lstrip().startswith(
+                    "[[maybe_unused]]"):
+                continue  # declaration, not a call
+            if re.match(r"\s*(?:speed::)?(?:secret::)?Purpose::of\(", tail):
+                continue  # literal purpose handled above (bad charset fails consteval)
+            lineno = text.count("\n", 0, m.start()) + 1
+            code_line, _ = strip_comments_and_strings(lines[lineno - 1])
+            if m.group(1) not in code_line:
+                continue  # the match sits in a comment
+            if "SF006" not in allows.get(lineno, set()):
+                findings.append(Finding(
+                    pretend_path, lineno, "SF006",
+                    f"{m.group(1)} without a literal Purpose::of(...) tag "
+                    f"cannot be audited"))
+    return findings
+
+
+def load_manifest(path: Path) -> set[tuple[str, str]]:
+    if not path.is_file():
+        return set()
+    entries = set()
+    for line in path.read_text(encoding="utf-8").splitlines():
+        for m in MANIFEST_ROW_RE.finditer(line):
+            entries.add((m.group(1), m.group(2)))
+    return entries
+
+
+def iter_sources(paths: list[str]) -> list[Path]:
+    out: list[Path] = []
+    for p in paths:
+        path = Path(p)
+        if path.is_file():
+            out.append(path)
+        elif path.is_dir():
+            out.extend(sorted(
+                f for f in path.rglob("*")
+                if f.suffix in SOURCE_SUFFIXES and f.is_file()))
+        else:
+            print(f"secretflow: no such path: {p}", file=sys.stderr)
+            sys.exit(2)
+    return out
+
+
+def relpath(path: Path) -> str:
+    try:
+        return path.resolve().relative_to(REPO_ROOT).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def try_clang_engine() -> bool:
+    try:
+        import clang.cindex  # noqa: F401
+        return True
+    except Exception:
+        return False
+
+
+def run_check(paths: list[str], manifest_path: Path, engine: str) -> int:
+    if engine == "clang" and not try_clang_engine():
+        print("secretflow: --engine clang requested but libclang Python "
+              "bindings are unavailable", file=sys.stderr)
+        return 2
+    if engine == "auto":
+        engine = "clang" if try_clang_engine() else "regex"
+
+    manifest = load_manifest(manifest_path)
+    findings: list[Finding] = []
+    reveal_sites: list[tuple[str, str]] = []
+    scanned_src = False
+    for f in iter_sources(paths):
+        rel = relpath(f)
+        scanned_src |= rel.startswith("src/")
+        findings.extend(lint_file(rel, f.read_text(encoding="utf-8"),
+                                  manifest, reveal_sites))
+
+    # Stale manifest entries: only meaningful when the whole src/ tree (or at
+    # least the manifest's files) was scanned.
+    if scanned_src:
+        scanned = {relpath(f) for f in iter_sources(paths)}
+        live = set(reveal_sites)
+        for entry in sorted(manifest):
+            if entry[0] in scanned and entry not in live:
+                findings.append(Finding(
+                    entry[0], 1, "SF006",
+                    f"stale docs/SECRET_AUDIT.md entry: no "
+                    f"reveal_for/release_for with purpose '{entry[1]}'"))
+
+    for f in findings:
+        print(f.render())
+    n = len(findings)
+    print(f"secretflow ({engine} engine): {n} finding(s) in "
+          f"{len(iter_sources(paths))} file(s)")
+    return 1 if findings else 0
+
+
+def run_fixtures(fixture_dir: str, manifest_path: Path) -> int:
+    manifest = load_manifest(manifest_path)
+    failures = 0
+    files = iter_sources([fixture_dir])
+    if not files:
+        print(f"secretflow: no fixtures found in {fixture_dir}",
+              file=sys.stderr)
+        return 2
+    for f in files:
+        text = f.read_text(encoding="utf-8")
+        lines = text.splitlines()
+        m = LINT_AS_RE.search(lines[0]) if lines else None
+        pretend = m.group(1) if m else relpath(f)
+        expected = set()
+        for idx, line in enumerate(lines, start=1):
+            for em in EXPECT_RE.finditer(line):
+                expected.add((idx, em.group(1)))
+        actual = {(fi.line, fi.rule)
+                  for fi in lint_file(pretend, text, manifest)}
+        if actual == expected:
+            print(f"PASS {f.name}: {len(expected)} expected finding(s)")
+        else:
+            failures += 1
+            print(f"FAIL {f.name} (lint-as {pretend})")
+            for line, rule in sorted(expected - actual):
+                print(f"  missing expected {rule} at line {line}")
+            for line, rule in sorted(actual - expected):
+                print(f"  unexpected {rule} at line {line}")
+    print(f"secretflow fixtures: {len(files) - failures}/{len(files)} passed")
+    return 1 if failures else 0
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(prog="secretflow.py", description=__doc__)
+    ap.add_argument("--check", action="store_true",
+                    help="lint the given paths; exit 1 on findings")
+    ap.add_argument("--fixtures", metavar="DIR",
+                    help="run the fixture self-test against DIR")
+    ap.add_argument("--engine", choices=["auto", "regex", "clang"],
+                    default="regex",
+                    help="analysis engine (default: regex; clang needs "
+                         "libclang Python bindings)")
+    ap.add_argument("--manifest", type=Path, default=DEFAULT_MANIFEST,
+                    help="audit manifest (default: docs/SECRET_AUDIT.md)")
+    ap.add_argument("paths", nargs="*", help="files or directories to lint")
+    args = ap.parse_args()
+
+    if args.fixtures:
+        return run_fixtures(args.fixtures, args.manifest)
+    if not args.paths:
+        ap.error("no paths given (try: --check src/)")
+    return run_check(args.paths, args.manifest, args.engine)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
