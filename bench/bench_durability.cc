@@ -1,0 +1,273 @@
+// Durability overhead: the file-backed ResultStore vs the in-memory arena.
+//
+// Part 1 (throughput matrix): closed-loop PUT and GET throughput on the
+// Fig. 6 concurrency matrix — (1 thread, 1 shard) and (8 threads, 8
+// shards) — for three backends: the in-memory arena, the file backend with
+// fsync on every WAL append (strict durability), and the file backend with
+// fsync batching (fsync_every = 64). PUTs write distinct tags (each paying
+// blob append + sealed WAL append); GETs replay a Zipf-skewed stream over
+// the stored universe (each paying a pread from the blob segment). The
+// acceptance bar for this harness: file-backed GET throughput within 2x of
+// the in-memory arena at 8 threads / 8 shards.
+//
+// Part 2 (cold-start recovery): each file-backed store is closed and
+// reopened; the reopen replays the sealed WAL, verifies the MAC chain and
+// rebuilds the trusted dictionaries. Reported as total recovery time and
+// per-entry replay cost.
+//
+// Output: human-readable tables on stdout, machine-readable JSON to the
+// path given as argv[1] (default: BENCH_durability.json in the working
+// dir).
+#include <cstdio>
+#include <filesystem>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "crypto/drbg.h"
+#include "store/file_backend.h"
+#include "workload/synthetic.h"
+
+namespace {
+
+using namespace speed;
+
+constexpr std::size_t kPutsPerThread = 500;
+constexpr std::size_t kGetsPerThread = 2000;
+constexpr std::size_t kPayloadBytes = 512;
+constexpr double kZipfSkew = 0.99;
+
+serialize::Tag nth_tag(std::uint64_t n) {
+  serialize::Tag t{};
+  for (int i = 0; i < 8; ++i) {
+    t[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(n >> (8 * i));
+  }
+  return t;
+}
+
+/// Zero switch/paging costs: the measured variable is the persistence
+/// backend's real I/O, not the simulated enclave transitions.
+sgx::CostModel io_model() {
+  sgx::CostModel m;
+  m.ecall_ns = 0;
+  m.ocall_ns = 0;
+  m.epc_page_swap_ns = 0;
+  return m;
+}
+
+struct BackendSpec {
+  std::string name;
+  bool durable;
+  std::size_t fsync_every;  ///< ignored for the in-memory arena
+};
+
+struct Point {
+  std::string backend;
+  int threads;
+  std::size_t shards;
+  double put_ops_per_sec;
+  double get_ops_per_sec;
+  bench::LatencySummary get_latency;
+  // Cold-start recovery (durable backends only; zero otherwise).
+  std::uint64_t recovered_entries = 0;
+  std::uint64_t recovery_ms = 0;
+};
+
+std::string bench_dir(const BackendSpec& spec, int threads,
+                      std::size_t shards) {
+  return (std::filesystem::temp_directory_path() /
+          ("speed-bench-dur-" + spec.name + "-" + std::to_string(threads) +
+           "t" + std::to_string(shards) + "s"))
+      .string();
+}
+
+std::unique_ptr<store::ResultStore> make_store(sgx::Platform& platform,
+                                               const BackendSpec& spec,
+                                               const std::string& dir,
+                                               std::size_t shards) {
+  store::StoreConfig cfg;
+  cfg.shards = shards;
+  if (!spec.durable) {
+    return std::make_unique<store::ResultStore>(platform, cfg);
+  }
+  store::FileBackendConfig fcfg;
+  fcfg.fsync_every = spec.fsync_every;
+  return store::open_result_store(platform, dir, cfg, fcfg);
+}
+
+Point run_point(const BackendSpec& spec, int threads, std::size_t shards) {
+  const std::string dir = bench_dir(spec, threads, shards);
+  std::filesystem::remove_all(dir);
+  if (spec.durable) std::filesystem::create_directories(dir);
+
+  sgx::Platform platform(io_model(), as_bytes(dir));
+  auto store = make_store(platform, spec, dir, shards);
+
+  // Pre-generate all requests so generation stays out of the timed regions.
+  const std::size_t universe =
+      static_cast<std::size_t>(threads) * kPutsPerThread;
+  crypto::Drbg drbg(to_bytes("durability-bench"));
+  std::vector<serialize::PutRequest> puts;
+  puts.reserve(universe);
+  for (std::uint64_t n = 0; n < universe; ++n) {
+    serialize::PutRequest put;
+    put.tag = nth_tag(n);
+    put.requester.fill(0x01);
+    put.entry.challenge = drbg.bytes(32);
+    put.entry.wrapped_key = drbg.bytes(16);
+    put.entry.result_ct = drbg.bytes(kPayloadBytes);
+    puts.push_back(std::move(put));
+  }
+  std::vector<std::vector<std::size_t>> streams;
+  for (int t = 0; t < threads; ++t) {
+    streams.push_back(workload::zipf_request_stream(
+        universe, kGetsPerThread, kZipfSkew,
+        /*seed=*/42 + static_cast<std::uint64_t>(t)));
+  }
+
+  Point p{};
+  p.backend = spec.name;
+  p.threads = threads;
+  p.shards = shards;
+
+  // ---- PUT phase: distinct tags, disjoint per-thread ranges.
+  {
+    std::vector<std::thread> workers;
+    Stopwatch sw;
+    for (int t = 0; t < threads; ++t) {
+      workers.emplace_back([&, t] {
+        const std::size_t begin =
+            static_cast<std::size_t>(t) * kPutsPerThread;
+        for (std::size_t i = begin; i < begin + kPutsPerThread; ++i) {
+          store->put(puts[i]);
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+    store->flush_backend();
+    const double wall_ms = sw.elapsed_ms();
+    p.put_ops_per_sec = 1000.0 * static_cast<double>(universe) / wall_ms;
+  }
+
+  // ---- GET phase: Zipf stream over the stored universe.
+  std::vector<bench::LatencyRecorder> recorders(
+      static_cast<std::size_t>(threads));
+  {
+    std::vector<std::thread> workers;
+    Stopwatch sw;
+    for (int t = 0; t < threads; ++t) {
+      workers.emplace_back([&, t] {
+        auto& rec = recorders[static_cast<std::size_t>(t)];
+        for (const std::size_t idx : streams[static_cast<std::size_t>(t)]) {
+          serialize::GetRequest get;
+          get.tag = nth_tag(idx);
+          get.requester.fill(0x01);
+          rec.time([&] { store->get(get); });
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+    const double wall_ms = sw.elapsed_ms();
+    p.get_ops_per_sec = 1000.0 *
+                        static_cast<double>(static_cast<std::size_t>(threads) *
+                                            kGetsPerThread) /
+                        wall_ms;
+  }
+  p.get_latency = bench::summarize(recorders);
+
+  // ---- Cold-start recovery: reopen and replay the sealed WAL.
+  if (spec.durable) {
+    store.reset();
+    sgx::Platform platform2(io_model(), as_bytes(dir));
+    auto reopened = make_store(platform2, spec, dir, shards);
+    p.recovered_entries = reopened->recovery_info().inserts;
+    p.recovery_ms = reopened->recovery_info().recovery_ms;
+  }
+  std::filesystem::remove_all(dir);
+  return p;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path = argc > 1 ? argv[1] : "BENCH_durability.json";
+
+  const std::vector<BackendSpec> specs = {
+      {"memory", false, 0},
+      {"file-fsync1", true, 1},
+      {"file-fsync64", true, 64},
+  };
+  const std::vector<std::pair<int, std::size_t>> matrix = {{1, 1}, {8, 8}};
+
+  std::printf(
+      "=== Durability overhead: file backend vs in-memory arena ===\n"
+      "(%zu-byte payloads; PUT = blob append + sealed WAL append; GET = "
+      "segment pread; Zipf skew %.2f)\n\n",
+      kPayloadBytes, kZipfSkew);
+
+  TablePrinter table({"Backend", "Threads", "Shards", "PUT ops/s",
+                      "GET ops/s", "GET p99 (us)", "Recovered", "Recovery ms"});
+  std::vector<Point> points;
+  for (const auto& [threads, shards] : matrix) {
+    for (const auto& spec : specs) {
+      Point p = run_point(spec, threads, shards);
+      table.add_row({p.backend, std::to_string(p.threads),
+                     std::to_string(p.shards),
+                     TablePrinter::fmt(p.put_ops_per_sec, 0),
+                     TablePrinter::fmt(p.get_ops_per_sec, 0),
+                     TablePrinter::fmt(p.get_latency.p99_us, 1),
+                     std::to_string(p.recovered_entries),
+                     std::to_string(p.recovery_ms)});
+      points.push_back(std::move(p));
+    }
+  }
+  table.print();
+
+  // GET overhead at the largest cell — the acceptance bar for the durable
+  // backend is within 2x of the in-memory arena here.
+  const auto find = [&](const std::string& name) -> const Point* {
+    for (const auto& p : points) {
+      if (p.backend == name && p.threads == 8) return &p;
+    }
+    return nullptr;
+  };
+  const Point* mem = find("memory");
+  const Point* strict = find("file-fsync1");
+  if (mem != nullptr && strict != nullptr && strict->get_ops_per_sec > 0) {
+    std::printf("\nGET overhead at 8t/8s: in-memory is %.2fx the strict "
+                "file backend\n",
+                mem->get_ops_per_sec / strict->get_ops_per_sec);
+  }
+
+  std::string json = "{\"points\": [";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const Point& p = points[i];
+    char buf[384];
+    std::snprintf(
+        buf, sizeof(buf),
+        "%s{\"backend\": \"%s\", \"threads\": %d, \"shards\": %zu, "
+        "\"put_ops_per_sec\": %.1f, \"get_ops_per_sec\": %.1f, "
+        "\"recovered_entries\": %llu, \"recovery_ms\": %llu, "
+        "\"get_latency\": ",
+        i ? ", " : "", p.backend.c_str(), p.threads, p.shards,
+        p.put_ops_per_sec, p.get_ops_per_sec,
+        static_cast<unsigned long long>(p.recovered_entries),
+        static_cast<unsigned long long>(p.recovery_ms));
+    json += buf;
+    json += p.get_latency.json();
+    json += "}";
+  }
+  json += "]}";
+
+  if (FILE* f = std::fopen(json_path.c_str(), "w")) {
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("\nJSON written to %s\n", json_path.c_str());
+  } else {
+    std::fprintf(stderr, "warning: could not write %s\n", json_path.c_str());
+  }
+  return 0;
+}

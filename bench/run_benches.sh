@@ -25,3 +25,13 @@ fi
 "$bench" "$repo_root/BENCH_fig6.json"
 echo "results:   $repo_root/BENCH_fig6.json"
 echo "telemetry: $repo_root/BENCH_fig6.telemetry.json"
+
+# Durability overhead: file-backed store (sealed WAL + blob segments) vs the
+# in-memory arena, plus cold-start WAL replay times.
+dur_bench="$build_dir/bench/bench_durability"
+if [ ! -x "$dur_bench" ]; then
+  echo "building $dur_bench ..."
+  cmake --build "$build_dir" --target bench_durability -j
+fi
+"$dur_bench" "$repo_root/BENCH_durability.json"
+echo "results:   $repo_root/BENCH_durability.json"

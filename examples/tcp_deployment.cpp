@@ -13,25 +13,50 @@
 // applications keep answering from local compute (fail-open) instead of
 // surfacing socket errors.
 //
-//   $ ./tcp_deployment
+//   $ ./tcp_deployment              # in-memory store, restarts start cold
+//   $ ./tcp_deployment /var/speed   # durable store, restarts replay the WAL
 #include <cstdio>
+#include <memory>
+#include <string>
 
 #include "apps/deflate/container.h"
 #include "runtime/speed.h"
+#include "store/file_backend.h"
 #include "store/tcp_server.h"
 #include "telemetry/exposition.h"
 #include "workload/synthetic.h"
 
 using namespace speed;
 
-int main() {
-  sgx::Platform platform;
+int main(int argc, char** argv) {
+  // Optional durable deployment: a directory argument persists the store
+  // (blob segments + sealed metadata WAL, docs/PROTOCOL.md §7). The
+  // platform's hardware key is derived from the directory so sealed WAL
+  // records written before a restart stay readable after it.
+  const std::string store_dir = argc > 1 ? argv[1] : "";
+  auto platform_ptr =
+      store_dir.empty()
+          ? std::make_unique<sgx::Platform>()
+          : std::make_unique<sgx::Platform>(sgx::CostModel{},
+                                            as_bytes(store_dir));
+  sgx::Platform& platform = *platform_ptr;
   // Concurrent deployment posture: the TCP server runs one thread per
   // connection, so stripe the store's dictionary across 8 tag-addressed
   // shards and let those threads GET/PUT in parallel.
   store::StoreConfig store_cfg;
   store_cfg.shards = 8;
-  store::ResultStore result_store(platform, store_cfg);
+  std::unique_ptr<store::ResultStore> store_ptr =
+      store_dir.empty()
+          ? std::make_unique<store::ResultStore>(platform, store_cfg)
+          : store::open_result_store(platform, store_dir, store_cfg);
+  store::ResultStore& result_store = *store_ptr;
+  if (!store_dir.empty()) {
+    const auto& rec = result_store.recovery_info();
+    std::printf("durable store at %s: recovered %llu entries in %llu ms\n",
+                store_dir.c_str(),
+                static_cast<unsigned long long>(rec.inserts),
+                static_cast<unsigned long long>(rec.recovery_ms));
+  }
   // Admin port 0 = ephemeral; serves /metrics (Prometheus), /snapshot.json,
   // /traces.json, and /healthz for the whole process.
   store::StoreTcpServer server(result_store, /*port=*/0, /*admin_port=*/0);

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "runtime/speed.h"
+#include "store/file_backend.h"
 #include "telemetry/exposition.h"
 
 namespace {
@@ -15,6 +16,13 @@ using namespace speed;
 }  // namespace
 
 struct speed_deployment {
+  speed_deployment() = default;
+  /// Durable form: a hardware root key derived from `seed` (the store
+  /// directory), so sealed WAL records written before a process restart
+  /// stay readable after it.
+  explicit speed_deployment(ByteView seed)
+      : platform(sgx::CostModel{}, seed) {}
+
   sgx::Platform platform;
   std::unique_ptr<store::ResultStore> store;
   std::unique_ptr<sgx::Enclave> enclave;
@@ -38,6 +46,18 @@ int fail(speed_deployment* dep, int code, const std::string& what) {
   return code;
 }
 
+/// Shared tail of both deployment constructors: application enclave,
+/// attested channel, runtime.
+void wire_runtime(speed_deployment& dep, const char* app_identity) {
+  dep.enclave = dep.platform.create_enclave(app_identity);
+  auto conn = store::connect_app(*dep.store, *dep.enclave);
+  // The server session must outlive the runtime (declaration order in
+  // speed_deployment guarantees destruction order).
+  dep.session = std::move(conn.session);
+  dep.rt = std::make_unique<runtime::DedupRuntime>(
+      *dep.enclave, std::move(conn.session_key), std::move(conn.transport));
+}
+
 }  // namespace
 
 extern "C" {
@@ -47,17 +67,40 @@ speed_deployment* speed_deployment_create(const char* app_identity) {
   try {
     auto dep = std::make_unique<speed_deployment>();
     dep->store = std::make_unique<store::ResultStore>(dep->platform);
-    dep->enclave = dep->platform.create_enclave(app_identity);
-    auto conn = store::connect_app(*dep->store, *dep->enclave);
-    // The server session must outlive the runtime (declaration order in
-    // speed_deployment guarantees destruction order).
-    dep->session = std::move(conn.session);
-    dep->rt = std::make_unique<runtime::DedupRuntime>(
-        *dep->enclave, std::move(conn.session_key), std::move(conn.transport));
+    wire_runtime(*dep, app_identity);
     return dep.release();
   } catch (const std::exception&) {
     return nullptr;
   }
+}
+
+speed_deployment* speed_deployment_create_durable(const char* app_identity,
+                                                  const char* store_dir,
+                                                  size_t fsync_every) {
+  if (app_identity == nullptr || store_dir == nullptr ||
+      store_dir[0] == '\0') {
+    return nullptr;
+  }
+  try {
+    const std::string dir(store_dir);
+    auto dep = std::make_unique<speed_deployment>(
+        ByteView(reinterpret_cast<const std::uint8_t*>(dir.data()),
+                 dir.size()));
+    store::FileBackendConfig file_config;
+    file_config.fsync_every = fsync_every == 0 ? 1 : fsync_every;
+    dep->store = store::open_result_store(dep->platform, dir,
+                                          store::StoreConfig{}, file_config);
+    wire_runtime(*dep, app_identity);
+    return dep.release();
+  } catch (const std::exception&) {
+    return nullptr;
+  }
+}
+
+int speed_store_degraded(const speed_deployment* dep) {
+  return (dep != nullptr && dep->store != nullptr && dep->store->degraded())
+             ? 1
+             : 0;
 }
 
 void speed_deployment_destroy(speed_deployment* dep) { delete dep; }
@@ -82,6 +125,7 @@ int speed_flush(speed_deployment* dep) {
   if (dep == nullptr) return SPEED_ERR_INVALID_ARGUMENT;
   try {
     dep->rt->flush();
+    dep->store->flush_backend();
     return SPEED_OK;
   } catch (const std::exception& e) {
     return fail(dep, SPEED_ERR_INTERNAL, e.what());

@@ -49,12 +49,35 @@ typedef int (*speed_compute_fn)(const uint8_t* input, size_t input_len,
 speed_deployment* speed_deployment_create(const char* app_identity);
 void speed_deployment_destroy(speed_deployment* dep);
 
+/*
+ * Like speed_deployment_create, but the store persists to `store_dir`
+ * (created if missing): ciphertext blobs in append-only segments plus a
+ * sealed, MAC-chained metadata log, replayed on create so deduplicated
+ * results survive a restart. The platform's sealing root is derived
+ * deterministically from `store_dir`, modelling the same machine reopening
+ * its store (real SGX gets this from the fused hardware key).
+ * `fsync_every` batches group commits: 0 or 1 syncs before every PUT
+ * acknowledgment, N > 1 trades a window of N-1 acknowledged-but-unsynced
+ * PUTs for throughput (speed_flush closes the window).
+ */
+speed_deployment* speed_deployment_create_durable(const char* app_identity,
+                                                  const char* store_dir,
+                                                  size_t fsync_every);
+
+/*
+ * 1 once the deployment's store has rejected writes after a storage
+ * failure (disk full, I/O error): reads keep working, new results stop
+ * being shared. Recreate the deployment to leave degraded mode.
+ */
+int speed_store_degraded(const speed_deployment* dep);
+
 /* Register a trusted library the application owns. */
 int speed_register_library(speed_deployment* dep, const char* family,
                            const char* version, const uint8_t* code,
                            size_t code_len);
 
-/* Block until all queued asynchronous PUTs reached the store. */
+/* Block until all queued asynchronous PUTs reached the store — and, for a
+ * durable deployment, stable storage. */
 int speed_flush(speed_deployment* dep);
 
 /* Human-readable description of the last error on this deployment. */

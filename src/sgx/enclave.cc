@@ -47,6 +47,20 @@ Platform::Platform(CostModel model)
       epc_(model_),
       hardware_key_(
           secret::Buffer::absorb(crypto::Drbg::system_bytes(32))) {
+  register_telemetry();
+}
+
+Platform::Platform(CostModel model, ByteView stable_key_seed)
+    : model_(model),
+      epc_(model_),
+      hardware_key_(secret::Buffer::absorb([&] {
+        const auto digest = crypto::Sha256::digest(stable_key_seed);
+        return Bytes(digest.begin(), digest.end());
+      }())) {
+  register_telemetry();
+}
+
+void Platform::register_telemetry() {
   telemetry_handle_ = telemetry::Registry::global().add_collector(
       [this](telemetry::SampleSink& sink) {
         sink.gauge("speed_epc_used_bytes",

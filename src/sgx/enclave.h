@@ -54,6 +54,15 @@ class Platform {
  public:
   explicit Platform(CostModel model = CostModel{});
 
+  /// Like the default constructor, but the hardware root key is derived
+  /// deterministically from `stable_key_seed` instead of fresh randomness.
+  /// This models the *same physical machine* across simulated process
+  /// restarts: data sealed before a restart (the ResultStore's metadata WAL,
+  /// sealed snapshots) stays unsealable after it — on real SGX the fused
+  /// hardware key provides this for free. The seed is hashed into the key,
+  /// never stored.
+  Platform(CostModel model, ByteView stable_key_seed);
+
   Platform(const Platform&) = delete;
   Platform& operator=(const Platform&) = delete;
 
@@ -70,6 +79,8 @@ class Platform {
   secret::Buffer report_key_for(const Measurement& target) const;
 
  private:
+  void register_telemetry();
+
   CostModel model_;
   EpcAllocator epc_;
   secret::Buffer hardware_key_;

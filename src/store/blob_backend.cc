@@ -1,0 +1,97 @@
+#include "store/blob_backend.h"
+
+namespace speed::store {
+
+BlobRef MemoryBackend::put_blob(ByteView blob) {
+  BlobRef ref;
+  ref.segment = 0;
+  ref.offset = next_id_.fetch_add(1, std::memory_order_relaxed);
+  ref.length = blob.size();
+  Stripe& s = stripe_for(ref);
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.blobs.emplace(ref.offset, Bytes(blob.begin(), blob.end()));
+  }
+  live_bytes_.fetch_add(blob.size(), std::memory_order_relaxed);
+  return ref;
+}
+
+std::optional<Bytes> MemoryBackend::get_blob(const BlobRef& ref) const {
+  Stripe& s = stripe_for(ref);
+  std::lock_guard<std::mutex> lock(s.mu);
+  const auto it = s.blobs.find(ref.offset);
+  if (it == s.blobs.end()) return std::nullopt;
+  return it->second;
+}
+
+void MemoryBackend::delete_blob(const BlobRef& ref) {
+  Stripe& s = stripe_for(ref);
+  std::lock_guard<std::mutex> lock(s.mu);
+  const auto it = s.blobs.find(ref.offset);
+  if (it == s.blobs.end()) return;
+  live_bytes_.fetch_sub(it->second.size(), std::memory_order_relaxed);
+  // RAM is reclaimed immediately; nothing accrues for compaction.
+  s.blobs.erase(it);
+}
+
+bool MemoryBackend::note_blob(const BlobRef& ref) {
+  Stripe& s = stripe_for(ref);
+  std::lock_guard<std::mutex> lock(s.mu);
+  const auto it = s.blobs.find(ref.offset);
+  return it != s.blobs.end() && it->second.size() == ref.length;
+}
+
+bool MemoryBackend::corrupt_blob(const BlobRef& ref) {
+  Stripe& s = stripe_for(ref);
+  std::lock_guard<std::mutex> lock(s.mu);
+  const auto it = s.blobs.find(ref.offset);
+  if (it == s.blobs.end() || it->second.empty()) return false;
+  it->second[it->second.size() / 2] ^= 0x01;
+  return true;
+}
+
+void MemoryBackend::wal_append(ByteView record) {
+  if (!record_wal_) return;
+  std::lock_guard<std::mutex> lock(wal_mu_);
+  wal_.emplace_back(record.begin(), record.end());
+  ++wal_appends_;
+  wal_bytes_ += record.size();
+}
+
+void MemoryBackend::wal_sync() {
+  if (!record_wal_) return;
+  std::lock_guard<std::mutex> lock(wal_mu_);
+  ++wal_syncs_;  // RAM is "stable" for this backend; only the count matters.
+}
+
+void MemoryBackend::wal_replay(
+    const std::function<bool(ByteView, std::uint64_t)>& fn) {
+  std::vector<Bytes> records;
+  {
+    std::lock_guard<std::mutex> lock(wal_mu_);
+    records = wal_;
+  }
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    if (!fn(ByteView(records[i].data(), records[i].size()), i)) return;
+  }
+}
+
+void MemoryBackend::wal_truncate(std::uint64_t offset) {
+  std::lock_guard<std::mutex> lock(wal_mu_);
+  if (offset < wal_.size()) {
+    wal_.resize(static_cast<std::size_t>(offset));
+  }
+}
+
+BackendStats MemoryBackend::stats() const {
+  BackendStats s;
+  s.live_blob_bytes = live_bytes_.load(std::memory_order_relaxed);
+  s.dead_blob_bytes = dead_bytes_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(wal_mu_);
+  s.wal_appends = wal_appends_;
+  s.wal_fsyncs = wal_syncs_;
+  s.wal_bytes = wal_bytes_;
+  return s;
+}
+
+}  // namespace speed::store

@@ -1,0 +1,120 @@
+// Crash/fault injection for BlobBackends (tests and the torture harness),
+// mirroring net/fault.h for transports.
+//
+// The wrapper meters every byte the store writes (blob payloads and WAL
+// records, in order) against a budget. The write that would exceed the
+// budget is *torn*: only the bytes that fit are forwarded to the inner
+// backend, then BackendWriteError is thrown — exactly what a crash mid-
+// pwrite leaves on disk. Subsequent writes fail outright. Reads are never
+// affected, so a degraded store keeps serving GETs.
+//
+// Recording mode (budget = kNoLimit) lets a harness capture the clean run's
+// write boundaries first, then replay the same workload with a crash
+// planted at every interesting byte position (see tests/recovery_test.cc).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "store/blob_backend.h"
+
+namespace speed::store {
+
+class FaultInjectingBackend : public BlobBackend {
+ public:
+  static constexpr std::uint64_t kNoLimit =
+      std::numeric_limits<std::uint64_t>::max();
+
+  explicit FaultInjectingBackend(std::shared_ptr<BlobBackend> inner)
+      : inner_(std::move(inner)) {}
+
+  /// Total bytes of writes (blobs + WAL records) allowed before the crash.
+  void fail_after_bytes(std::uint64_t budget) {
+    std::lock_guard<std::mutex> lock(mu_);
+    budget_ = budget;
+  }
+
+  /// Size of every write attempted so far, in order (recorded even when a
+  /// write was allowed through) — the crash-point schedule for a torture run.
+  std::vector<std::uint64_t> write_sizes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return write_sizes_;
+  }
+
+  std::uint64_t bytes_written() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return written_;
+  }
+
+  BlobRef put_blob(ByteView blob) override {
+    const std::uint64_t allowed = admit(blob.size());
+    if (allowed < blob.size()) {
+      if (allowed > 0) inner_->put_blob(blob.first(allowed));  // torn tail
+      throw BackendWriteError("injected crash during blob write");
+    }
+    return inner_->put_blob(blob);
+  }
+
+  std::optional<Bytes> get_blob(const BlobRef& ref) const override {
+    return inner_->get_blob(ref);
+  }
+  void delete_blob(const BlobRef& ref) override { inner_->delete_blob(ref); }
+  bool note_blob(const BlobRef& ref) override {
+    return inner_->note_blob(ref);
+  }
+  std::size_t compact() override { return inner_->compact(); }
+  bool corrupt_blob(const BlobRef& ref) override {
+    return inner_->corrupt_blob(ref);
+  }
+
+  bool durable() const override { return inner_->durable(); }
+
+  void wal_append(ByteView record) override {
+    const std::uint64_t allowed = admit(record.size());
+    if (allowed < record.size()) {
+      // Forward a truncated record: the backend frames it as a complete
+      // frame of garbage-suffixed bytes, which is what a torn pwrite inside
+      // a framed record decays to — the enclave's MAC chain rejects it.
+      if (allowed > 0) inner_->wal_append(record.first(allowed));
+      throw BackendWriteError("injected crash during wal append");
+    }
+    inner_->wal_append(record);
+  }
+
+  void wal_sync() override { inner_->wal_sync(); }
+  void wal_replay(const std::function<bool(ByteView, std::uint64_t)>& fn)
+      override {
+    inner_->wal_replay(fn);
+  }
+  void wal_truncate(std::uint64_t offset) override {
+    inner_->wal_truncate(offset);
+  }
+
+  BackendStats stats() const override { return inner_->stats(); }
+
+  BlobBackend& inner() { return *inner_; }
+
+ private:
+  /// Records the write and returns how many of `size` bytes may proceed.
+  std::uint64_t admit(std::uint64_t size) {
+    std::lock_guard<std::mutex> lock(mu_);
+    write_sizes_.push_back(size);
+    const std::uint64_t remaining =
+        budget_ == kNoLimit ? size
+                            : (budget_ > written_ ? budget_ - written_ : 0);
+    const std::uint64_t allowed = std::min(size, remaining);
+    written_ += allowed;
+    return allowed;
+  }
+
+  std::shared_ptr<BlobBackend> inner_;
+  mutable std::mutex mu_;
+  std::uint64_t budget_ = kNoLimit;
+  std::uint64_t written_ = 0;
+  std::vector<std::uint64_t> write_sizes_;
+};
+
+}  // namespace speed::store

@@ -1,0 +1,396 @@
+#include "store/file_backend.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+#include "serialize/codec.h"
+
+namespace speed::store {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+// On-disk format constants. Bumping either version orphans existing
+// directories loudly (the constructor refuses to open them).
+constexpr char kWalMagic[5] = {'S', 'P', 'W', 'A', 'L'};
+constexpr char kSegMagic[5] = {'S', 'P', 'S', 'E', 'G'};
+constexpr std::uint8_t kFileFormatVersion = 1;
+constexpr std::uint64_t kHeaderBytes = 8;  // magic[5] + version + 2 reserved
+constexpr std::uint32_t kMaxWalRecordBytes = 1u << 20;
+
+std::array<std::uint8_t, kHeaderBytes> make_header(const char magic[5]) {
+  std::array<std::uint8_t, kHeaderBytes> h{};
+  std::memcpy(h.data(), magic, 5);
+  h[5] = kFileFormatVersion;
+  return h;
+}
+
+/// Full write or BackendWriteError; a short write leaves a torn tail, which
+/// is exactly what replay-side truncation handles.
+void write_all(int fd, std::uint64_t offset, ByteView data,
+               const char* what) {
+  std::size_t done = 0;
+  while (done < data.size()) {
+    const ssize_t n =
+        ::pwrite(fd, data.data() + done, data.size() - done,
+                 static_cast<off_t>(offset + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw BackendWriteError(std::string(what) + ": pwrite: " +
+                              std::strerror(errno));
+    }
+    done += static_cast<std::size_t>(n);
+  }
+}
+
+std::optional<Bytes> read_exact(int fd, std::uint64_t offset,
+                                std::uint64_t length) {
+  Bytes out(length);
+  std::size_t done = 0;
+  while (done < length) {
+    const ssize_t n = ::pread(fd, out.data() + done, length - done,
+                              static_cast<off_t>(offset + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return std::nullopt;
+    }
+    if (n == 0) return std::nullopt;  // ref reaches past EOF: torn segment
+    done += static_cast<std::size_t>(n);
+  }
+  return out;
+}
+
+void check_header(ByteView header, const char magic[5], const char* what) {
+  if (std::memcmp(header.data(), magic, 5) != 0) {
+    throw Error(std::string(what) + ": bad magic (not a SPEED store file)");
+  }
+  if (header[5] != kFileFormatVersion) {
+    throw Error(std::string(what) + ": unsupported on-disk format version " +
+                std::to_string(header[5]) + " (this build reads version " +
+                std::to_string(kFileFormatVersion) + ")");
+  }
+}
+
+}  // namespace
+
+FileBackend::Segment::~Segment() {
+  if (fd >= 0) ::close(fd);
+}
+
+FileBackend::FileBackend(std::string dir, FileBackendConfig config)
+    : dir_(std::move(dir)), config_(config) {
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec) {
+    throw Error("FileBackend: cannot create " + dir_ + ": " + ec.message());
+  }
+
+  // Adopt existing segments (sealed; liveness is rebuilt by the store's WAL
+  // replay through note_blob).
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    const std::string name = entry.path().filename().string();
+    unsigned id = 0;
+    if (std::sscanf(name.c_str(), "seg-%08u.blob", &id) != 1) continue;
+    auto seg = std::make_shared<Segment>();
+    seg->fd = ::open(entry.path().c_str(), O_RDWR | O_CLOEXEC);
+    if (seg->fd < 0) {
+      throw Error("FileBackend: cannot open " + name + ": " +
+                  std::strerror(errno));
+    }
+    struct stat st{};
+    if (::fstat(seg->fd, &st) != 0) {
+      throw Error("FileBackend: fstat " + name + ": " + std::strerror(errno));
+    }
+    seg->size = static_cast<std::uint64_t>(st.st_size);
+    if (seg->size >= kHeaderBytes) {
+      const auto header = read_exact(seg->fd, 0, kHeaderBytes);
+      if (header.has_value()) check_header(*header, kSegMagic, name.c_str());
+    }
+    segments_.emplace(static_cast<std::uint32_t>(id), std::move(seg));
+    next_segment_id_ = std::max(next_segment_id_, id + 1);
+  }
+
+  const std::string wal_path = dir_ + "/wal.log";
+  wal_fd_ = ::open(wal_path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (wal_fd_ < 0) {
+    throw Error("FileBackend: cannot open " + wal_path + ": " +
+                std::strerror(errno));
+  }
+  struct stat st{};
+  if (::fstat(wal_fd_, &st) != 0) {
+    throw Error("FileBackend: fstat wal.log: " + std::string(std::strerror(errno)));
+  }
+  wal_size_ = static_cast<std::uint64_t>(st.st_size);
+  if (wal_size_ < kHeaderBytes) {
+    // Fresh (or torn during creation, before anything could be
+    // acknowledged): start the log over.
+    const auto header = make_header(kWalMagic);
+    if (::ftruncate(wal_fd_, 0) != 0) {
+      throw Error("FileBackend: ftruncate wal.log: " + std::string(std::strerror(errno)));
+    }
+    write_all(wal_fd_, 0, ByteView(header.data(), header.size()), "wal.log");
+    if (::fsync(wal_fd_) != 0) {
+      throw Error("FileBackend: fsync wal.log: " + std::string(std::strerror(errno)));
+    }
+    wal_size_ = kHeaderBytes;
+  } else {
+    const auto header = read_exact(wal_fd_, 0, kHeaderBytes);
+    if (!header.has_value()) {
+      throw Error("FileBackend: cannot read wal.log header");
+    }
+    check_header(*header, kWalMagic, "wal.log");
+  }
+}
+
+FileBackend::~FileBackend() {
+  if (wal_fd_ >= 0) ::close(wal_fd_);
+}
+
+std::string FileBackend::segment_path(std::uint32_t id) const {
+  char name[32];
+  std::snprintf(name, sizeof(name), "seg-%08u.blob", id);
+  return dir_ + "/" + name;
+}
+
+std::shared_ptr<FileBackend::Segment> FileBackend::segment_for_locked(
+    std::uint32_t id) const {
+  const auto it = segments_.find(id);
+  return it == segments_.end() ? nullptr : it->second;
+}
+
+void FileBackend::roll_segment_locked() {
+  const std::uint32_t id = next_segment_id_++;
+  auto seg = std::make_shared<Segment>();
+  const std::string path = segment_path(id);
+  seg->fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_EXCL | O_CLOEXEC, 0644);
+  if (seg->fd < 0) {
+    ++stats_.write_errors;
+    throw BackendWriteError("FileBackend: cannot create " + path + ": " +
+                            std::strerror(errno));
+  }
+  const auto header = make_header(kSegMagic);
+  try {
+    write_all(seg->fd, 0, ByteView(header.data(), header.size()),
+              path.c_str());
+  } catch (const BackendWriteError&) {
+    ++stats_.write_errors;
+    ::unlink(path.c_str());
+    throw;
+  }
+  seg->size = kHeaderBytes;
+  seg->dirty = true;
+  segments_.emplace(id, std::move(seg));
+  active_segment_ = id;
+  ++stats_.segments_created;
+}
+
+BlobRef FileBackend::put_blob(ByteView blob) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (active_segment_ == 0 ||
+      segments_.at(active_segment_)->size + blob.size() >
+          config_.segment_bytes + kHeaderBytes) {
+    roll_segment_locked();
+  }
+  Segment& seg = *segments_.at(active_segment_);
+  BlobRef ref;
+  ref.segment = active_segment_;
+  ref.offset = seg.size;
+  ref.length = blob.size();
+  try {
+    write_all(seg.fd, seg.size, blob, "segment");
+  } catch (const BackendWriteError&) {
+    ++stats_.write_errors;
+    throw;
+  }
+  seg.size += blob.size();
+  seg.dirty = true;
+  ++seg.live_blobs;
+  seg.live_bytes += blob.size();
+  stats_.live_blob_bytes += blob.size();
+  return ref;
+}
+
+std::optional<Bytes> FileBackend::get_blob(const BlobRef& ref) const {
+  std::shared_ptr<Segment> seg;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    seg = segment_for_locked(ref.segment);
+  }
+  if (seg == nullptr || ref.offset + ref.length > seg->size) {
+    return std::nullopt;
+  }
+  // pread outside the lock: sealed segment bytes are immutable, and the
+  // shared_ptr keeps the fd alive even if compaction unlinks the file.
+  return read_exact(seg->fd, ref.offset, ref.length);
+}
+
+void FileBackend::delete_blob(const BlobRef& ref) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto seg = segment_for_locked(ref.segment);
+  if (seg == nullptr) return;
+  if (seg->live_blobs > 0) --seg->live_blobs;
+  seg->live_bytes -= std::min(seg->live_bytes, ref.length);
+  seg->dead_bytes += ref.length;
+  stats_.live_blob_bytes -= std::min(stats_.live_blob_bytes, ref.length);
+  stats_.dead_blob_bytes += ref.length;
+  if (config_.auto_compact) try_compact_locked(ref.segment);
+}
+
+bool FileBackend::note_blob(const BlobRef& ref) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto seg = segment_for_locked(ref.segment);
+  if (seg == nullptr || ref.offset + ref.length > seg->size) return false;
+  ++seg->live_blobs;
+  seg->live_bytes += ref.length;
+  stats_.live_blob_bytes += ref.length;
+  return true;
+}
+
+bool FileBackend::try_compact_locked(std::uint32_t id) {
+  const auto it = segments_.find(id);
+  if (it == segments_.end()) return false;
+  if (id == active_segment_ || it->second->live_blobs != 0) return false;
+  stats_.dead_blob_bytes -=
+      std::min(stats_.dead_blob_bytes, it->second->dead_bytes);
+  ::unlink(segment_path(id).c_str());
+  segments_.erase(it);  // fd closes once in-flight get_blob readers drop it
+  ++stats_.segments_compacted;
+  return true;
+}
+
+std::size_t FileBackend::compact() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t reclaimed = 0;
+  std::vector<std::uint32_t> ids;
+  ids.reserve(segments_.size());
+  for (const auto& [id, seg] : segments_) ids.push_back(id);
+  for (const std::uint32_t id : ids) {
+    if (try_compact_locked(id)) ++reclaimed;
+  }
+  return reclaimed;
+}
+
+bool FileBackend::corrupt_blob(const BlobRef& ref) {
+  std::shared_ptr<Segment> seg;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    seg = segment_for_locked(ref.segment);
+  }
+  if (seg == nullptr || ref.length == 0 ||
+      ref.offset + ref.length > seg->size) {
+    return false;
+  }
+  const std::uint64_t at = ref.offset + ref.length / 2;
+  std::uint8_t b = 0;
+  if (::pread(seg->fd, &b, 1, static_cast<off_t>(at)) != 1) return false;
+  b ^= 0x01;
+  return ::pwrite(seg->fd, &b, 1, static_cast<off_t>(at)) == 1;
+}
+
+void FileBackend::wal_append(ByteView record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (record.size() > kMaxWalRecordBytes) {
+    ++stats_.write_errors;
+    throw BackendWriteError("FileBackend: wal record exceeds frame cap");
+  }
+  serialize::Encoder frame;
+  frame.u32(static_cast<std::uint32_t>(record.size()));
+  frame.raw(record);
+  try {
+    write_all(wal_fd_, wal_size_, frame.view(), "wal.log");
+  } catch (const BackendWriteError&) {
+    ++stats_.write_errors;
+    throw;
+  }
+  wal_size_ += frame.size();
+  ++stats_.wal_appends;
+  stats_.wal_bytes += frame.size();
+  if (++appends_since_sync_ >= config_.fsync_every) sync_locked();
+}
+
+void FileBackend::sync_locked() {
+  // Order matters: blob bytes reach stable storage before the log records
+  // that reference them, so a replayed record never points at torn data.
+  for (auto& [id, seg] : segments_) {
+    if (!seg->dirty) continue;
+    if (::fsync(seg->fd) != 0) {
+      ++stats_.write_errors;
+      throw BackendWriteError("FileBackend: fsync segment: " +
+                              std::string(std::strerror(errno)));
+    }
+    seg->dirty = false;
+  }
+  if (::fsync(wal_fd_) != 0) {
+    ++stats_.write_errors;
+    throw BackendWriteError("FileBackend: fsync wal.log: " +
+                            std::string(std::strerror(errno)));
+  }
+  ++stats_.wal_fsyncs;
+  appends_since_sync_ = 0;
+}
+
+void FileBackend::wal_sync() {
+  std::lock_guard<std::mutex> lock(mu_);
+  sync_locked();
+}
+
+void FileBackend::wal_replay(
+    const std::function<bool(ByteView, std::uint64_t)>& fn) {
+  Bytes log;
+  std::uint64_t size = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    size = wal_size_;
+    const auto data = read_exact(wal_fd_, 0, size);
+    if (!data.has_value()) {
+      throw Error("FileBackend: cannot read wal.log for replay");
+    }
+    log = std::move(*data);
+  }
+  std::uint64_t pos = kHeaderBytes;
+  while (pos < size) {
+    // Frame = u32 length + payload; anything short of a full frame is a
+    // torn tail and is truncated away right here.
+    if (size - pos < 4) break;
+    std::uint32_t len = 0;
+    for (int i = 3; i >= 0; --i) {
+      len = (len << 8) | log[static_cast<std::size_t>(pos) + static_cast<std::size_t>(i)];
+    }
+    if (len > kMaxWalRecordBytes || size - pos - 4 < len) break;
+    if (!fn(ByteView(log.data() + pos + 4, len), pos)) return;
+    pos += 4 + len;
+  }
+  if (pos < size) wal_truncate(pos);
+}
+
+void FileBackend::wal_truncate(std::uint64_t offset) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (offset >= wal_size_) return;
+  if (::ftruncate(wal_fd_, static_cast<off_t>(offset)) != 0) {
+    throw Error("FileBackend: ftruncate wal.log: " +
+                std::string(std::strerror(errno)));
+  }
+  wal_size_ = offset;
+}
+
+BackendStats FileBackend::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::unique_ptr<ResultStore> open_result_store(sgx::Platform& platform,
+                                               const std::string& dir,
+                                               StoreConfig config,
+                                               FileBackendConfig file_config) {
+  config.backend = std::make_shared<FileBackend>(dir, file_config);
+  return std::make_unique<ResultStore>(platform, std::move(config));
+}
+
+}  // namespace speed::store

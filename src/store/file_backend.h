@@ -1,0 +1,126 @@
+// File-backed BlobBackend: append-only blob segments + a framed, fsync-
+// batched metadata WAL.
+//
+// Directory layout:
+//
+//   <dir>/wal.log            framed sealed records: 8-byte header
+//                            ("SPWAL", format version), then per record a
+//                            u32 length prefix + the sealed bytes
+//   <dir>/seg-XXXXXXXX.blob  8-byte header ("SPSEG", version), then raw
+//                            concatenated [res] envelopes; BlobRefs index
+//                            (segment id, byte offset, length)
+//
+// Segments roll over at segment_bytes and are immutable once sealed; a
+// sealed segment whose blobs are all dead is unlink()ed (compaction — the
+// only reclamation, so BlobRefs never move and the WAL never needs
+// rewriting for it). The WAL is the authority on which blobs are live:
+// after a crash, segment liveness is rebuilt from the store's replay via
+// note_blob()/delete_blob().
+//
+// Torn-write semantics: a record is on disk only up to its last completed
+// write, and on stable storage only up to the last fsync (batched every
+// fsync_every appends; wal_sync() forces one, ordering segment data before
+// the log so a synced record never references unsynced blob bytes). Replay
+// truncates framing-level torn tails itself; cryptographic verification of
+// record integrity and ordering is the store enclave's job (wal_codec.h).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "store/blob_backend.h"
+#include "store/result_store.h"
+
+namespace speed::store {
+
+struct FileBackendConfig {
+  /// Roll the active segment once it would exceed this many payload bytes
+  /// (a single larger blob still gets its own segment).
+  std::uint64_t segment_bytes = 64ull * 1024 * 1024;
+  /// Group-commit factor: fsync the WAL (and the segments it references)
+  /// every N appends. 1 = sync before every PUT acknowledgment (strongest
+  /// durability, the default); larger values trade a bounded window of
+  /// acknowledged-but-unsynced PUTs for throughput — wal_sync() closes the
+  /// window at any batching level.
+  std::size_t fsync_every = 1;
+  /// Unlink a sealed segment as soon as its last live blob dies. Off only
+  /// for tests that want to inspect dead segments before compact().
+  bool auto_compact = true;
+};
+
+class FileBackend : public BlobBackend {
+ public:
+  /// Opens (creating if needed) the backend directory. Throws Error on an
+  /// unreadable directory or an incompatible on-disk format version.
+  explicit FileBackend(std::string dir,
+                       FileBackendConfig config = FileBackendConfig{});
+  ~FileBackend() override;
+
+  FileBackend(const FileBackend&) = delete;
+  FileBackend& operator=(const FileBackend&) = delete;
+
+  BlobRef put_blob(ByteView blob) override;
+  std::optional<Bytes> get_blob(const BlobRef& ref) const override;
+  void delete_blob(const BlobRef& ref) override;
+  bool note_blob(const BlobRef& ref) override;
+  std::size_t compact() override;
+  bool corrupt_blob(const BlobRef& ref) override;
+
+  bool durable() const override { return true; }
+  void wal_append(ByteView record) override;
+  void wal_sync() override;
+  void wal_replay(const std::function<bool(ByteView, std::uint64_t)>& fn)
+      override;
+  void wal_truncate(std::uint64_t offset) override;
+
+  BackendStats stats() const override;
+
+  const std::string& dir() const { return dir_; }
+
+ private:
+  struct Segment {
+    ~Segment();
+    int fd = -1;
+    std::uint64_t size = 0;  ///< bytes written, header included
+    std::uint64_t live_blobs = 0;
+    std::uint64_t live_bytes = 0;
+    std::uint64_t dead_bytes = 0;
+    bool dirty = false;  ///< written since last fsync
+  };
+
+  std::string segment_path(std::uint32_t id) const;
+  std::shared_ptr<Segment> segment_for_locked(std::uint32_t id) const;
+  /// Opens a fresh active segment (header written) under mu_.
+  void roll_segment_locked();
+  /// fsyncs dirty segments then the WAL; resets the batch counter.
+  void sync_locked();
+  /// Unlinks `id` if sealed and fully dead; true when reclaimed.
+  bool try_compact_locked(std::uint32_t id);
+
+  const std::string dir_;
+  const FileBackendConfig config_;
+
+  mutable std::mutex mu_;
+  std::map<std::uint32_t, std::shared_ptr<Segment>> segments_;
+  std::uint32_t active_segment_ = 0;  ///< 0 = none yet
+  std::uint32_t next_segment_id_ = 1;
+
+  int wal_fd_ = -1;
+  std::uint64_t wal_size_ = 0;      ///< valid bytes (append position)
+  std::size_t appends_since_sync_ = 0;
+
+  // Accounting (guarded by mu_; stats() snapshots under the lock).
+  BackendStats stats_;
+};
+
+/// One-call file-backed store: equivalent to setting
+/// `config.backend = std::make_shared<FileBackend>(dir, file_config)` —
+/// the constructor replays whatever WAL the directory already holds.
+std::unique_ptr<ResultStore> open_result_store(
+    sgx::Platform& platform, const std::string& dir,
+    StoreConfig config = StoreConfig{},
+    FileBackendConfig file_config = FileBackendConfig{});
+
+}  // namespace speed::store

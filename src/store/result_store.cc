@@ -53,6 +53,11 @@ ResultStore::QuotaLedger::QuotaLedger(std::uint64_t limit, std::size_t stripes)
   }
 }
 
+const ResultStore::QuotaLedger::Stripe& ResultStore::QuotaLedger::stripe_for(
+    const serialize::AppId& app) const {
+  return *stripes_[AppIdHash{}(app) % stripes_.size()];
+}
+
 ResultStore::QuotaLedger::Stripe& ResultStore::QuotaLedger::stripe_for(
     const serialize::AppId& app) {
   return *stripes_[AppIdHash{}(app) % stripes_.size()];
@@ -63,7 +68,10 @@ bool ResultStore::QuotaLedger::try_charge(const serialize::AppId& app,
   Stripe& s = stripe_for(app);
   std::lock_guard<std::mutex> lock(s.mu);
   std::uint64_t& used = s.used[app];
-  if (used + bytes > limit_) return false;
+  if (used + bytes > limit_) {
+    if (used == 0) s.used.erase(app);
+    return false;
+  }
   used += bytes;
   return true;
 }
@@ -82,6 +90,18 @@ void ResultStore::QuotaLedger::release(const serialize::AppId& app,
   const auto it = s.used.find(app);
   if (it == s.used.end()) return;
   it->second -= std::min(it->second, bytes);
+  // Erase emptied entries: an adversary cycling through app identities must
+  // not be able to grow the ledger without bound, and the leak-check tests
+  // assert a fully drained app leaves no residue.
+  if (it->second == 0) s.used.erase(it);
+}
+
+std::uint64_t ResultStore::QuotaLedger::used(
+    const serialize::AppId& app) const {
+  const Stripe& s = stripe_for(app);
+  std::lock_guard<std::mutex> lock(s.mu);
+  const auto it = s.used.find(app);
+  return it == s.used.end() ? 0 : it->second;
 }
 
 // ------------------------------------------------------------- ResultStore
@@ -89,7 +109,9 @@ void ResultStore::QuotaLedger::release(const serialize::AppId& app,
 ResultStore::ResultStore(sgx::Platform& platform, StoreConfig config)
     : platform_(platform),
       enclave_(platform.create_enclave("speed-result-store")),
-      config_(config),
+      config_(std::move(config)),
+      backend_(config_.backend ? config_.backend
+                               : std::make_shared<MemoryBackend>()),
       quota_(config_.per_app_quota_bytes,
              std::max<std::size_t>(config_.shards, 8)) {
   if (config_.shards == 0) {
@@ -104,6 +126,7 @@ ResultStore::ResultStore(sgx::Platform& platform, StoreConfig config)
   for (std::size_t i = 0; i < config_.shards; ++i) {
     shards_.push_back(std::make_unique<Shard>(*enclave_));
   }
+  recover_from_backend();
   telemetry_handle_ = telemetry::Registry::global().add_collector(
       [this](telemetry::SampleSink& sink) {
         constexpr auto kShard = telemetry::LabelKey::of("shard");
@@ -145,6 +168,43 @@ ResultStore::ResultStore(sgx::Platform& platform, StoreConfig config)
                          "In-enclave PUT/insert service latency", labels,
                          s.put_ns);
         }
+        const BackendStats b = backend_->stats();
+        sink.counter("speed_store_wal_appends_total",
+                     "Sealed metadata WAL records appended", {},
+                     b.wal_appends);
+        sink.counter("speed_store_wal_fsyncs_total",
+                     "WAL fsync batches forced to stable storage", {},
+                     b.wal_fsyncs);
+        sink.counter("speed_store_wal_bytes_total",
+                     "Framed bytes appended to the metadata WAL", {},
+                     b.wal_bytes);
+        sink.counter("speed_store_segments_created_total",
+                     "Blob segments created by the backend", {},
+                     b.segments_created);
+        sink.counter("speed_store_segments_compacted_total",
+                     "Fully-dead blob segments reclaimed", {},
+                     b.segments_compacted);
+        sink.counter("speed_store_backend_write_errors_total",
+                     "Backend writes that failed (disk full, torn)", {},
+                     backend_write_errors_.value());
+        sink.counter("speed_store_recovered_entries_total",
+                     "Dictionary entries rebuilt by WAL replay", {},
+                     recovered_entries_.value());
+        sink.counter("speed_store_wal_torn_tails_total",
+                     "WAL tails truncated during recovery", {},
+                     wal_torn_tails_.value());
+        sink.gauge("speed_store_recovery_ms",
+                   "Wall time of the last constructor-time WAL replay", {},
+                   recovery_ms_.value());
+        sink.gauge("speed_store_degraded",
+                   "1 after a backend write failure (PUTs rejected)", {},
+                   degraded() ? 1 : 0);
+        sink.gauge("speed_store_backend_live_blob_bytes",
+                   "Blob bytes reachable from the trusted dictionary", {},
+                   static_cast<std::int64_t>(b.live_blob_bytes));
+        sink.gauge("speed_store_backend_dead_blob_bytes",
+                   "Deleted blob bytes awaiting compaction", {},
+                   static_cast<std::int64_t>(b.dead_blob_bytes));
       });
 }
 
@@ -205,8 +265,8 @@ GetResponse ResultStore::get_trusted(const GetRequest& req) {
   if (it == shard.dict.end()) return resp;
 
   MetaEntry& meta = it->second;
-  const auto blob_it = shard.blobs.find(req.tag);
-  if (blob_it == shard.blobs.end()) {
+  std::optional<Bytes> blob = backend_->get_blob(meta.ref);
+  if (!blob.has_value()) {
     // Host deleted the ciphertext from under us: degrade to a miss and drop
     // the orphaned metadata.
     shard.corrupt_blobs.inc();
@@ -215,7 +275,7 @@ GetResponse ResultStore::get_trusted(const GetRequest& req) {
   }
   // Verify the untrusted blob against the trusted digest before serving it
   // (the "authentication MAC" kept in the dictionary entry, §IV-B).
-  const auto digest = crypto::Sha256::digest(blob_it->second);
+  const auto digest = crypto::Sha256::digest(*blob);
   if (!ct_equal(ByteView(digest.data(), digest.size()),
                 ByteView(meta.blob_digest.data(), meta.blob_digest.size()))) {
     shard.corrupt_blobs.inc();
@@ -229,7 +289,7 @@ GetResponse ResultStore::get_trusted(const GetRequest& req) {
   resp.found = true;
   resp.entry.challenge = meta.challenge;
   resp.entry.wrapped_key = meta.wrapped_key;
-  resp.entry.result_ct = blob_it->second;
+  resp.entry.result_ct = std::move(*blob);
   return resp;
 }
 
@@ -257,7 +317,8 @@ PutStatus ResultStore::insert_trusted(const Tag& tag,
   }
   const std::uint64_t blob_bytes = entry.result_ct.size();
   if (blob_bytes > shard_capacity_bytes_ ||
-      shard.dict.size() >= shard_max_entries_) {
+      shard.dict.size() >= shard_max_entries_ ||
+      degraded_.load(std::memory_order_relaxed)) {
     return PutStatus::kRejected;
   }
   if (enforce_quota) {
@@ -269,6 +330,12 @@ PutStatus ResultStore::insert_trusted(const Tag& tag,
     quota_.charge(owner, blob_bytes);
   }
   evict_for_space_locked(shard, blob_bytes);
+  if (degraded_.load(std::memory_order_relaxed)) {
+    // An eviction's erase record tore the log; nothing may be acknowledged
+    // past that point.
+    quota_.release(owner, blob_bytes);
+    return PutStatus::kRejected;
+  }
 
   MetaEntry meta;
   meta.challenge = entry.challenge;
@@ -276,11 +343,37 @@ PutStatus ResultStore::insert_trusted(const Tag& tag,
   meta.blob_digest = crypto::Sha256::digest(entry.result_ct);
   meta.blob_bytes = blob_bytes;
   meta.owner = owner;
+
+  // Blob first, WAL record second: a crash between the two leaves an
+  // unreferenced blob (reclaimed by compaction), never a record whose blob
+  // is missing. The backend syncs segments before the log for the same
+  // reason (file_backend.cc).
+  bool blob_placed = false;
+  try {
+    meta.ref = backend_->put_blob(entry.result_ct);
+    blob_placed = true;
+    if (backend_->durable()) {
+      WalRecord rec;
+      rec.op = WalRecord::Op::kInsert;
+      rec.tag = tag;
+      rec.owner = owner;
+      rec.challenge = meta.challenge;
+      rec.wrapped_key = meta.wrapped_key;
+      rec.blob_digest = meta.blob_digest;
+      rec.blob_bytes = blob_bytes;
+      rec.ref = meta.ref;
+      wal_append_record(rec);
+    }
+  } catch (const BackendWriteError&) {
+    enter_degraded();
+    if (blob_placed) backend_->delete_blob(meta.ref);
+    quota_.release(owner, blob_bytes);
+    return PutStatus::kRejected;
+  }
+
   shard.lru.push_front(tag);
   meta.lru_it = shard.lru.begin();
-
   shard.trusted_bytes += meta_bytes(meta.challenge, meta.wrapped_key);
-  shard.blobs[tag] = entry.result_ct;
   shard.dict.emplace(tag, std::move(meta));
   shard.stored.inc();
   shard.entries.add(1);
@@ -316,14 +409,14 @@ SyncResponse ResultStore::sync_trusted(const SyncRequest& req) {
     std::lock_guard<std::mutex> lock(shard.mu);
     const auto it = shard.dict.find(tag);
     if (it == shard.dict.end()) continue;
-    const auto blob_it = shard.blobs.find(tag);
-    if (blob_it == shard.blobs.end()) continue;
     const MetaEntry& meta = it->second;
+    std::optional<Bytes> blob = backend_->get_blob(meta.ref);
+    if (!blob.has_value()) continue;
     SyncEntry e;
     e.tag = tag;
     e.entry.challenge = meta.challenge;
     e.entry.wrapped_key = meta.wrapped_key;
-    e.entry.result_ct = blob_it->second;
+    e.entry.result_ct = std::move(*blob);
     e.hits = meta.hits;
     resp.entries.push_back(std::move(e));
   }
@@ -345,15 +438,28 @@ std::size_t ResultStore::merge_from_master(const SyncResponse& batch) {
   });
 }
 
-void ResultStore::erase_locked(Shard& shard, const Tag& tag) {
+void ResultStore::erase_locked(Shard& shard, const Tag& tag, bool log_wal) {
   const auto it = shard.dict.find(tag);
   if (it == shard.dict.end()) return;
   MetaEntry& meta = it->second;
+  if (log_wal && backend_->durable() &&
+      !degraded_.load(std::memory_order_relaxed)) {
+    try {
+      WalRecord rec;
+      rec.op = WalRecord::Op::kErase;
+      rec.tag = tag;
+      wal_append_record(rec);
+    } catch (const BackendWriteError&) {
+      // The in-memory erase still proceeds. A recovered store may resurrect
+      // the entry; if its blob is gone by then, note_blob() drops it.
+      enter_degraded();
+    }
+  }
+  backend_->delete_blob(meta.ref);
   shard.ciphertext_bytes.sub(static_cast<std::int64_t>(meta.blob_bytes));
   quota_.release(meta.owner, meta.blob_bytes);
   shard.trusted_bytes -= meta_bytes(meta.challenge, meta.wrapped_key);
   shard.lru.erase(meta.lru_it);
-  shard.blobs.erase(tag);
   shard.dict.erase(it);
   shard.entries.sub(1);
   shard.trusted_charge.resize(shard.trusted_bytes);
@@ -391,13 +497,128 @@ void ResultStore::touch_lru_locked(Shard& shard, MetaEntry& entry,
   entry.lru_it = shard.lru.begin();
 }
 
+// -------------------------------------------------------------- durability
+
+void ResultStore::wal_append_record(const WalRecord& rec) {
+  const Bytes plain = encode_wal_record(rec);
+  std::lock_guard<std::mutex> lock(wal_mu_);
+  const Bytes aad = chain_aad(wal_seq_, wal_prev_);
+  const Bytes sealed = enclave_->seal(aad, plain);
+  backend_->wal_append(sealed);  // may throw BackendWriteError
+  // Only an append the backend accepted extends the chain; a torn one leaves
+  // (seq, prev) pointing at the last good record for the reopened store.
+  wal_prev_ = chain_tag_of(sealed);
+  ++wal_seq_;
+}
+
+void ResultStore::enter_degraded() {
+  degraded_.store(true, std::memory_order_relaxed);
+  backend_write_errors_.inc();
+}
+
+void ResultStore::recover_from_backend() {
+  if (!backend_->durable()) return;
+  const Stopwatch sw;
+  bool torn = false;
+  std::uint64_t truncate_at = 0;
+  // One ECALL for the whole replay, mirroring the batched-transition style
+  // of the paper's customized ECALLs.
+  enclave_->ecall([&] {
+    backend_->wal_replay([&](ByteView record, std::uint64_t offset) {
+      const Bytes aad = chain_aad(wal_seq_, wal_prev_);
+      const auto plain = enclave_->unseal(aad, record);
+      if (!plain.has_value()) {
+        // Torn, tampered, reordered, or spliced from another log: the chain
+        // breaks here and everything from this record on is discarded.
+        torn = true;
+        truncate_at = offset;
+        return false;
+      }
+      apply_recovered(decode_wal_record(*plain));
+      wal_prev_ = chain_tag_of(record);
+      ++wal_seq_;
+      ++recovery_info_.replayed_records;
+      return true;
+    });
+  });
+  if (torn) {
+    backend_->wal_truncate(truncate_at);
+    recovery_info_.torn_tail = true;
+    wal_torn_tails_.inc();
+  }
+  // Re-apply capacity limits: this store may be configured smaller than the
+  // one that wrote the log. Evictions here append fresh erase records,
+  // extending the (possibly truncated) chain.
+  enclave_->ecall([&] {
+    for (const auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      evict_for_space_locked(*shard, 0);
+      while (shard->dict.size() > shard_max_entries_ && !shard->lru.empty()) {
+        erase_locked(*shard, shard->lru.back());
+        shard->evictions.inc();
+      }
+    }
+  });
+  backend_->compact();
+  recovery_info_.recovery_ms =
+      static_cast<double>(sw.elapsed_ns()) / 1e6;
+  recovery_ms_.set(static_cast<std::int64_t>(recovery_info_.recovery_ms));
+}
+
+void ResultStore::apply_recovered(const WalRecord& rec) {
+  Shard& shard = shard_for(rec.tag);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (rec.op == WalRecord::Op::kErase) {
+    erase_locked(shard, rec.tag, /*log_wal=*/false);
+    ++recovery_info_.erases;
+    return;
+  }
+  if (shard.dict.contains(rec.tag)) return;  // first write wins, as live
+  if (!backend_->note_blob(rec.ref)) {
+    // The record survived but its blob did not (compaction raced a lost
+    // erase record): drop the entry rather than recover a guaranteed miss.
+    ++recovery_info_.dropped_blobs;
+    return;
+  }
+  MetaEntry meta;
+  meta.challenge = rec.challenge;
+  meta.wrapped_key = rec.wrapped_key;
+  meta.blob_digest = rec.blob_digest;
+  meta.blob_bytes = rec.blob_bytes;
+  meta.ref = rec.ref;
+  meta.owner = rec.owner;
+  meta.hits = rec.hits;
+  shard.lru.push_front(rec.tag);
+  meta.lru_it = shard.lru.begin();
+  quota_.charge(rec.owner, rec.blob_bytes);
+  shard.trusted_bytes += meta_bytes(meta.challenge, meta.wrapped_key);
+  shard.ciphertext_bytes.add(static_cast<std::int64_t>(rec.blob_bytes));
+  shard.dict.emplace(rec.tag, std::move(meta));
+  shard.entries.add(1);
+  shard.trusted_charge.resize(shard.trusted_bytes);
+  recovered_entries_.inc();
+  ++recovery_info_.inserts;
+}
+
+void ResultStore::flush_backend() {
+  if (!backend_->durable() || degraded()) return;
+  try {
+    backend_->wal_sync();
+  } catch (const BackendWriteError&) {
+    enter_degraded();
+  }
+}
+
+std::uint64_t ResultStore::quota_used(const serialize::AppId& app) const {
+  return quota_.used(app);
+}
+
 bool ResultStore::corrupt_blob_for_testing(const serialize::Tag& tag) {
   Shard& shard = shard_for(tag);
   std::lock_guard<std::mutex> lock(shard.mu);
-  const auto it = shard.blobs.find(tag);
-  if (it == shard.blobs.end() || it->second.empty()) return false;
-  it->second[it->second.size() / 2] ^= 0x01;
-  return true;
+  const auto it = shard.dict.find(tag);
+  if (it == shard.dict.end()) return false;
+  return backend_->corrupt_blob(it->second.ref);
 }
 
 ResultStore::Stats ResultStore::stats() const {
@@ -415,6 +636,7 @@ ResultStore::Stats ResultStore::stats() const {
     s.ciphertext_bytes +=
         static_cast<std::uint64_t>(shard->ciphertext_bytes.value());
   }
+  s.backend_write_errors = backend_write_errors_.value();
   return s;
 }
 
@@ -439,8 +661,8 @@ Bytes ResultStore::seal_snapshot() {
         enc.var_bytes(meta.wrapped_key);
         enc.raw(ByteView(meta.owner.data(), meta.owner.size()));
         enc.u64(meta.hits);
-        const auto blob_it = shard->blobs.find(tag);
-        enc.var_bytes(blob_it != shard->blobs.end() ? blob_it->second : Bytes{});
+        const auto blob = backend_->get_blob(meta.ref);
+        enc.var_bytes(blob.has_value() ? *blob : Bytes{});
       }
     }
     return enclave_->seal(as_bytes("result-store-snapshot-v1"), enc.view());

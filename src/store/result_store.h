@@ -12,6 +12,20 @@
 //     the store cannot read; their digest in the trusted entry lets the
 //     store detect host-side corruption on GET and degrade to a miss.
 //
+// Persistence: the untrusted half lives behind a BlobBackend
+// (store/blob_backend.h). The default is the original in-RAM arena; a
+// durable backend (store/file_backend.h) additionally receives, for every
+// accepted mutation, a metadata WAL record the enclave has sealed and
+// MAC-chained under its sealing key (store/wal_codec.h). A new ResultStore
+// constructed over the same backend replays that log — verifying the chain,
+// truncating any torn tail, and rebuilding the per-shard dictionaries, the
+// QuotaLedger, and the EPC charges — so deduplicated computations survive a
+// store restart without weakening the trust argument: the host only ever
+// holds ciphertext blobs (already AEAD envelopes) and sealed metadata.
+// After the first failed backend write the store goes *degraded*: GETs keep
+// serving, PUTs are rejected (the on-disk log tail can no longer be
+// extended safely), and speed_store_backend_write_errors_total increments.
+//
 // Concurrency: the dictionary, recency/frequency lists, blob arena, and
 // capacity accounting are partitioned into `StoreConfig::shards`
 // tag-addressed shards, memcached-style. A tag maps to exactly one shard
@@ -22,7 +36,8 @@
 // keyed by AppId, and stats() aggregates per-shard atomic counters without
 // taking any shard lock. `shards = 1` (the default) reproduces the original
 // single-mutex store bit-for-bit, and is the baseline the Fig. 6 throughput
-// bench compares against.
+// bench compares against. WAL appends serialize on their own mutex (nested
+// inside at most one shard lock) because the chain orders them anyway.
 //
 // The host-side body parses each framed request and dispatches one ECALL
 // (GET or PUT) that marshals data at the boundary and touches the trusted
@@ -44,6 +59,8 @@
 #include "crypto/sha256.h"
 #include "serialize/wire.h"
 #include "sgx/enclave.h"
+#include "store/blob_backend.h"
+#include "store/wal_codec.h"
 #include "telemetry/registry.h"
 
 namespace speed::store {
@@ -70,11 +87,21 @@ struct StoreConfig {
   /// two, e.g. 8. Real tags are SHA-256 outputs, so shard assignment (taken
   /// from tag bytes disjoint from the dictionary's hash bytes) is uniform.
   std::size_t shards = 1;
+
+  /// Persistence backend for the untrusted half. Null (the default) gives
+  /// the store a private, non-durable in-memory arena — the original
+  /// behavior, with zero WAL/sealing work on the PUT path. A durable
+  /// backend (FileBackend, or MemoryBackend(record_wal=true) for tests)
+  /// turns on WAL logging, and the constructor replays whatever the backend
+  /// already holds — see open_result_store() in store/file_backend.h for
+  /// the one-call file-backed form.
+  std::shared_ptr<BlobBackend> backend;
 };
 
 class ResultStore {
  public:
-  /// Creates the store enclave on `platform`.
+  /// Creates the store enclave on `platform`; recovers from
+  /// `config.backend` when it is durable and non-empty.
   ResultStore(sgx::Platform& platform, StoreConfig config = StoreConfig{});
 
   ResultStore(const ResultStore&) = delete;
@@ -106,6 +133,42 @@ class ResultStore {
   Bytes seal_snapshot();
   bool restore_snapshot(ByteView sealed);
 
+  // ------------------------------------------------------------ durability
+
+  /// What the constructor's WAL replay found. All zeros for a non-durable
+  /// or freshly initialized backend.
+  struct RecoveryInfo {
+    std::uint64_t replayed_records = 0;
+    std::uint64_t inserts = 0;
+    std::uint64_t erases = 0;
+    /// Recovered entries dropped because their blob was not actually on
+    /// the backend (e.g. a compaction raced a lost erase record).
+    std::uint64_t dropped_blobs = 0;
+    bool torn_tail = false;  ///< log ended in a torn/unverifiable record
+    double recovery_ms = 0.0;
+  };
+  const RecoveryInfo& recovery_info() const { return recovery_info_; }
+
+  /// True after any backend write failure (disk full, injected crash): the
+  /// store stops accepting PUTs — the log tail may be torn, so appending
+  /// past it would orphan records — but keeps serving GETs. Cleared only by
+  /// constructing a fresh store over the backend.
+  bool degraded() const { return degraded_.load(std::memory_order_relaxed); }
+
+  /// Force every acknowledged PUT onto stable storage (closes the group-
+  /// commit window of FileBackendConfig::fsync_every > 1).
+  void flush_backend();
+
+  /// Reclaim backend storage whose blobs are all dead; returns segments
+  /// reclaimed.
+  std::size_t compact_backend() { return backend_->compact(); }
+
+  BlobBackend& backend() { return *backend_; }
+
+  /// Exact stored-bytes charge currently held against `app` (quota ledger
+  /// introspection; the leak-check tests assert this returns to zero).
+  std::uint64_t quota_used(const serialize::AppId& app) const;
+
   /// Test hook modelling a compromised host: flips one bit of a blob in the
   /// untrusted arena (the trusted dictionary is out of the adversary's
   /// reach). Returns false if the tag has no blob.
@@ -122,6 +185,7 @@ class ResultStore {
     std::uint64_t corrupt_blobs = 0;
     std::uint64_t entries = 0;
     std::uint64_t ciphertext_bytes = 0;
+    std::uint64_t backend_write_errors = 0;
   };
   /// Aggregated over shards from atomic counters — never blocks a GET/PUT.
   Stats stats() const;
@@ -155,29 +219,29 @@ class ResultStore {
   };
 
   /// Trusted dictionary entry: small metadata only; the ciphertext lives in
-  /// the untrusted arena and is pinned by `blob_digest`.
+  /// the untrusted backend, pinned by `blob_digest` and located by `ref`.
   struct MetaEntry {
     Bytes challenge;                   ///< r
     Bytes wrapped_key;                 ///< [k]
     crypto::Sha256Digest blob_digest;  ///< integrity pin of [res]
     std::uint64_t blob_bytes = 0;
+    BlobRef ref;               ///< where the backend keeps [res]
     serialize::AppId owner{};  ///< for quota accounting
     std::uint64_t hits = 0;
     std::list<serialize::Tag>::iterator lru_it;
   };
 
-  /// One lock's worth of store: dictionary + recency list + blob arena +
-  /// eviction state + its slice of the trusted-memory charge. The telemetry
-  /// cells (lock-free relaxed atomics under the hood) feed both the
-  /// lock-free stats() aggregate and the registry's per-shard speed_store_*
-  /// series; everything else is guarded by mu.
+  /// One lock's worth of store: dictionary + recency list + eviction state
+  /// + its slice of the trusted-memory charge. The telemetry cells
+  /// (lock-free relaxed atomics under the hood) feed both the lock-free
+  /// stats() aggregate and the registry's per-shard speed_store_* series;
+  /// everything else is guarded by mu.
   struct Shard {
     explicit Shard(sgx::Enclave& enclave) : trusted_charge(enclave, 0) {}
 
     mutable std::mutex mu;
     std::unordered_map<serialize::Tag, MetaEntry, TagHash> dict;
     std::list<serialize::Tag> lru;  ///< front = most recently used
-    std::unordered_map<serialize::Tag, Bytes, TagHash> blobs;
     /// Incrementally maintained metadata footprint (the old store re-walked
     /// the whole dictionary on every insert/erase to recompute it).
     std::uint64_t trusted_bytes = 0;
@@ -210,12 +274,14 @@ class ResultStore {
     /// Unchecked charge (quota-exempt inserts still account their usage).
     void charge(const serialize::AppId& app, std::uint64_t bytes);
     void release(const serialize::AppId& app, std::uint64_t bytes);
+    std::uint64_t used(const serialize::AppId& app) const;
 
    private:
     struct Stripe {
-      std::mutex mu;
+      mutable std::mutex mu;
       std::unordered_map<serialize::AppId, std::uint64_t, AppIdHash> used;
     };
+    const Stripe& stripe_for(const serialize::AppId& app) const;
     Stripe& stripe_for(const serialize::AppId& app);
 
     std::uint64_t limit_;
@@ -235,20 +301,49 @@ class ResultStore {
                                       const serialize::EntryPayload& entry,
                                       bool enforce_quota);
 
-  void erase_locked(Shard& shard, const serialize::Tag& tag);
+  /// `log_wal` is false only when the erase is *replaying* the log.
+  void erase_locked(Shard& shard, const serialize::Tag& tag,
+                    bool log_wal = true);
   void evict_for_space_locked(Shard& shard, std::uint64_t incoming_bytes);
   void touch_lru_locked(Shard& shard, MetaEntry& entry,
                         const serialize::Tag& tag);
 
+  // --------------------------------------------------------- WAL plumbing
+
+  /// Seal `rec` into the chain and append it; throws BackendWriteError.
+  /// No-op for non-durable backends; must not be called when degraded.
+  void wal_append_record(const WalRecord& rec);
+  void enter_degraded();
+
+  /// Constructor-time replay: rebuild shards/quota/charges from the log,
+  /// truncating at the first record that fails chain verification.
+  void recover_from_backend();
+  void apply_recovered(const WalRecord& rec);
+
   sgx::Platform& platform_;
   std::unique_ptr<sgx::Enclave> enclave_;
   StoreConfig config_;
+  std::shared_ptr<BlobBackend> backend_;
   /// Per-shard slices of the global capacity limits.
   std::uint64_t shard_capacity_bytes_;
   std::size_t shard_max_entries_;
 
   std::vector<std::unique_ptr<Shard>> shards_;
   QuotaLedger quota_;
+
+  /// WAL chain state; the lock nests inside at most one shard lock and
+  /// acquires nothing itself.
+  std::mutex wal_mu_;
+  std::uint64_t wal_seq_ = 0;
+  WalChainTag wal_prev_{};
+
+  std::atomic<bool> degraded_{false};
+  RecoveryInfo recovery_info_;
+  telemetry::Counter backend_write_errors_;
+  telemetry::Counter recovered_entries_;
+  telemetry::Counter wal_torn_tails_;
+  telemetry::Gauge recovery_ms_;
+
   // Declared after shards_: the collector reads their cells, so it must
   // deregister before they are destroyed.
   telemetry::Registry::Handle telemetry_handle_;

@@ -1,0 +1,99 @@
+#include "store/wal_codec.h"
+
+#include <algorithm>
+
+#include "serialize/codec.h"
+
+namespace speed::store {
+
+// Plaintext record layout (little-endian, canonical codec):
+//
+//   u8  version (= kWalFormatVersion)
+//   u8  op      (1 = insert, 2 = erase)
+//   raw tag[32]
+//   -- insert only --
+//   raw owner[32]
+//   var challenge
+//   var wrapped_key
+//   raw blob_digest[32]
+//   u64 blob_bytes
+//   u32 ref.segment
+//   u64 ref.offset
+//   u64 ref.length
+//   u64 hits
+//
+// Erase records stop after the tag. Golden vectors for both shapes live in
+// tests/wal_codec_test.cc; touch this layout and they will tell you.
+
+Bytes encode_wal_record(const WalRecord& rec) {
+  serialize::Encoder enc;
+  enc.u8(kWalFormatVersion);
+  enc.u8(static_cast<std::uint8_t>(rec.op));
+  enc.raw(ByteView(rec.tag.data(), rec.tag.size()));
+  if (rec.op == WalRecord::Op::kInsert) {
+    enc.raw(ByteView(rec.owner.data(), rec.owner.size()));
+    enc.var_bytes(rec.challenge);
+    enc.var_bytes(rec.wrapped_key);
+    enc.raw(ByteView(rec.blob_digest.data(), rec.blob_digest.size()));
+    enc.u64(rec.blob_bytes);
+    enc.u32(rec.ref.segment);
+    enc.u64(rec.ref.offset);
+    enc.u64(rec.ref.length);
+    enc.u64(rec.hits);
+  }
+  return enc.take();
+}
+
+WalRecord decode_wal_record(ByteView data) {
+  serialize::Decoder dec(data);
+  const std::uint8_t version = dec.u8();
+  if (version != kWalFormatVersion) {
+    throw SerializationError(
+        "wal record: unsupported format version " + std::to_string(version) +
+        " (this build reads version " + std::to_string(kWalFormatVersion) +
+        ")");
+  }
+  WalRecord rec;
+  const std::uint8_t op = dec.u8();
+  if (op != static_cast<std::uint8_t>(WalRecord::Op::kInsert) &&
+      op != static_cast<std::uint8_t>(WalRecord::Op::kErase)) {
+    throw SerializationError("wal record: unknown op " + std::to_string(op));
+  }
+  rec.op = static_cast<WalRecord::Op>(op);
+  const ByteView tag = dec.raw(rec.tag.size());
+  std::copy(tag.begin(), tag.end(), rec.tag.begin());
+  if (rec.op == WalRecord::Op::kInsert) {
+    const ByteView owner = dec.raw(rec.owner.size());
+    std::copy(owner.begin(), owner.end(), rec.owner.begin());
+    rec.challenge = dec.var_bytes();
+    rec.wrapped_key = dec.var_bytes();
+    const ByteView digest = dec.raw(rec.blob_digest.size());
+    std::copy(digest.begin(), digest.end(), rec.blob_digest.begin());
+    rec.blob_bytes = dec.u64();
+    rec.ref.segment = dec.u32();
+    rec.ref.offset = dec.u64();
+    rec.ref.length = dec.u64();
+    rec.hits = dec.u64();
+  }
+  dec.expect_done();
+  return rec;
+}
+
+Bytes chain_aad(std::uint64_t seq, const WalChainTag& prev) {
+  serialize::Encoder enc;
+  enc.str(kWalDomain);
+  enc.u8(kWalFormatVersion);
+  enc.u64(seq);
+  enc.raw(ByteView(prev.data(), prev.size()));
+  return enc.take();
+}
+
+WalChainTag chain_tag_of(ByteView sealed) {
+  WalChainTag tag{};
+  const std::size_t n = tag.size();
+  std::copy(sealed.end() - static_cast<std::ptrdiff_t>(n), sealed.end(),
+            tag.begin());
+  return tag;
+}
+
+}  // namespace speed::store

@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "common/rng.h"
+#include "test_seed.h"
 #include "runtime/speed.h"
 
 namespace speed::runtime {
@@ -52,10 +53,12 @@ TEST(ConcurrencyTest, ThreadsShareOneRuntime) {
   constexpr int kCallsPerThread = 50;
   constexpr int kDistinctInputs = 10;
   std::atomic<int> wrong_results{0};
+  const std::uint64_t base_seed = ::speed::testing::resolve_test_seed(0);
+  RecordProperty("speed_test_seed", std::to_string(base_seed));
   std::vector<std::thread> threads;
   for (int t = 0; t < kThreads; ++t) {
     threads.emplace_back([&, t] {
-      Xoshiro256 rng(static_cast<std::uint64_t>(t));
+      Xoshiro256 rng(base_seed + static_cast<std::uint64_t>(t));
       for (int i = 0; i < kCallsPerThread; ++i) {
         const std::uint8_t which =
             static_cast<std::uint8_t>(rng.below(kDistinctInputs));
@@ -134,9 +137,11 @@ TEST(ConcurrencyTest, StoreSurvivesParallelMixedTraffic) {
 
   std::vector<std::thread> threads;
   std::atomic<bool> failed{false};
+  const std::uint64_t base_seed = ::speed::testing::resolve_test_seed(100);
+  RecordProperty("speed_test_seed", std::to_string(base_seed));
   for (int t = 0; t < 4; ++t) {
     threads.emplace_back([&, t] {
-      Xoshiro256 rng(static_cast<std::uint64_t>(100 + t));
+      Xoshiro256 rng(base_seed + static_cast<std::uint64_t>(t));
       try {
         for (int i = 0; i < 300; ++i) {
           serialize::Tag tag{};
@@ -181,10 +186,12 @@ TEST(ConcurrencyTest, ShardedStoreParallelStress) {
   constexpr int kThreads = 8;
   constexpr int kOpsPerThread = 400;
   std::atomic<bool> failed{false};
+  const std::uint64_t base_seed = ::speed::testing::resolve_test_seed(7);
+  RecordProperty("speed_test_seed", std::to_string(base_seed));
   std::vector<std::thread> threads;
   for (int t = 0; t < kThreads; ++t) {
     threads.emplace_back([&, t] {
-      Xoshiro256 rng(static_cast<std::uint64_t>(7 + t));
+      Xoshiro256 rng(base_seed + static_cast<std::uint64_t>(t));
       try {
         for (int i = 0; i < kOpsPerThread; ++i) {
           serialize::Tag tag{};
@@ -238,10 +245,12 @@ TEST(ConcurrencyTest, ThreadsRaceTheLocalCache) {
 
   constexpr int kThreads = 4;
   std::atomic<int> wrong{0};
+  const std::uint64_t base_seed = ::speed::testing::resolve_test_seed(31);
+  RecordProperty("speed_test_seed", std::to_string(base_seed));
   std::vector<std::thread> threads;
   for (int t = 0; t < kThreads; ++t) {
     threads.emplace_back([&, t] {
-      Xoshiro256 rng(static_cast<std::uint64_t>(31 + t));
+      Xoshiro256 rng(base_seed + static_cast<std::uint64_t>(t));
       for (int i = 0; i < 100; ++i) {
         const Bytes input = {static_cast<std::uint8_t>(rng.below(6))};
         if (f(input) != concat(input, as_bytes("#"))) ++wrong;

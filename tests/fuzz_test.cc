@@ -12,6 +12,7 @@
 #include "net/secure_channel.h"
 #include "serialize/wire.h"
 #include "store/result_store.h"
+#include "test_seed.h"
 
 namespace speed {
 namespace {
@@ -25,7 +26,7 @@ sgx::CostModel fast_model() {
 }
 
 TEST(WireFuzzTest, RandomBytesNeverCrash) {
-  Xoshiro256 rng(101);
+  SPEED_SEEDED_RNG(rng, 101);
   int decoded = 0;
   for (int trial = 0; trial < 3000; ++trial) {
     const Bytes junk = rng.bytes(rng.below(200));
@@ -41,7 +42,7 @@ TEST(WireFuzzTest, RandomBytesNeverCrash) {
 }
 
 TEST(WireFuzzTest, MutatedValidMessagesThrowOrParse) {
-  Xoshiro256 rng(103);
+  SPEED_SEEDED_RNG(rng, 103);
   serialize::PutRequest put;
   put.tag.fill(0xaa);
   put.requester.fill(0xbb);
@@ -70,7 +71,7 @@ TEST(WireFuzzTest, MutatedValidMessagesThrowOrParse) {
 }
 
 TEST(StoreFuzzTest, InvariantsUnderRandomOps) {
-  Xoshiro256 rng(107);
+  SPEED_SEEDED_RNG(rng, 107);
   store::StoreConfig cfg;
   cfg.max_ciphertext_bytes = 40'000;
   cfg.per_app_quota_bytes = 25'000;
@@ -148,7 +149,7 @@ TEST(StoreFuzzTest, InvariantsUnderRandomOps) {
 }
 
 TEST(ChannelFuzzTest, MutatedFramesNeverDecryptWrongly) {
-  Xoshiro256 rng(109);
+  SPEED_SEEDED_RNG(rng, 109);
   sgx::Platform platform(fast_model());
   auto a = platform.create_enclave("a");
   auto b = platform.create_enclave("b");
@@ -175,7 +176,7 @@ TEST(ChannelFuzzTest, MutatedFramesNeverDecryptWrongly) {
 }
 
 TEST(RegexFuzzTest, GeneratedPatternsNeverHang) {
-  Xoshiro256 rng(113);
+  SPEED_SEEDED_RNG(rng, 113);
   const char* const atoms[] = {"a",   "b",    ".",  "\\d", "\\w",
                                "[ab]", "[^c]", "x",  "\\x41"};
   const char* const quants[] = {"", "*", "+", "?", "{2}", "{1,3}"};
@@ -210,7 +211,7 @@ TEST(RegexFuzzTest, GeneratedPatternsNeverHang) {
 }
 
 TEST(DeflateFuzzTest, MutatedStreamsThrowCleanly) {
-  Xoshiro256 rng(127);
+  SPEED_SEEDED_RNG(rng, 127);
   const Bytes data = to_bytes(rng.ascii(20000));
   const Bytes valid = deflate::compress(data);
 

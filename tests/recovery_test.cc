@@ -1,0 +1,630 @@
+// Crash-recovery torture tests for the durable ResultStore backend.
+//
+// The central harness runs a randomized workload once against a fault-
+// injecting backend to record every write the store issues (blob payloads
+// and sealed WAL records, in order), then replays the same workload with a
+// simulated crash planted at every interesting byte position of every
+// write: the write is torn at that byte and the store is reopened from
+// whatever made it to "disk". Invariant at every crash point:
+//
+//   * every PUT the store acknowledged before the crash is readable after
+//     recovery, byte-for-byte;
+//   * nothing else is: torn or unacknowledged records are dropped, so the
+//     recovered entry count equals the acknowledged count exactly;
+//   * after the crash (before reopening) the degraded store keeps serving
+//     GETs and rejects PUTs;
+//   * the reopened store accepts new work (the MAC chain extends past the
+//     truncated tail).
+//
+// Alongside the torture runs: file-level tamper/reorder/truncate attacks on
+// the WAL, ENOSPC degrade (including a real disk-full run on a small tmpfs
+// when SPEED_DISKFULL_DIR is set), segment compaction churn, recovery-time
+// eviction under shrunken capacity, and quota/EPC leak checks.
+//
+// All randomized workloads honor SPEED_TEST_SEED (tests/test_seed.h).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "store/fault_backend.h"
+#include "store/file_backend.h"
+#include "store/result_store.h"
+#include "test_seed.h"
+#include "workload/synthetic.h"
+
+namespace speed::store {
+namespace {
+
+using serialize::EntryPayload;
+using serialize::GetRequest;
+using serialize::GetResponse;
+using serialize::PutRequest;
+using serialize::PutStatus;
+using serialize::Tag;
+
+sgx::CostModel fast_model() {
+  sgx::CostModel m;
+  m.ecall_ns = 0;
+  m.ocall_ns = 0;
+  m.epc_page_swap_ns = 0;
+  return m;
+}
+
+Tag make_tag(std::uint64_t n) {
+  Tag t{};
+  for (int i = 0; i < 8; ++i) {
+    t[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(n >> (8 * i));
+  }
+  return t;
+}
+
+serialize::AppId make_app(std::uint8_t fill) {
+  serialize::AppId a;
+  a.fill(fill);
+  return a;
+}
+
+/// Deterministic payload for workload index `idx`: duplicate requests for
+/// the same index must carry identical entries (first write wins).
+EntryPayload entry_for(std::uint64_t idx, std::uint64_t seed) {
+  Xoshiro256 rng(seed ^ (idx * 0x9e3779b97f4a7c15ull) ^ 0xa5a5a5a5ull);
+  EntryPayload e;
+  e.challenge = rng.bytes(32);
+  e.wrapped_key = rng.bytes(48);
+  const std::size_t ct = 64 + static_cast<std::size_t>(rng.below(1985));
+  e.result_ct = rng.bytes(ct);
+  return e;
+}
+
+PutRequest put_for(std::uint64_t idx, std::uint64_t seed) {
+  PutRequest put;
+  put.tag = make_tag(idx + 1);
+  put.requester = make_app(static_cast<std::uint8_t>(1 + idx % 3));
+  put.entry = entry_for(idx, seed);
+  return put;
+}
+
+std::string fresh_dir(const std::string& name) {
+  const std::string path = ::testing::TempDir() + "speed-recovery-" + name;
+  std::filesystem::remove_all(path);
+  std::filesystem::create_directories(path);
+  return path;
+}
+
+StoreConfig torture_config(std::shared_ptr<BlobBackend> backend) {
+  StoreConfig cfg;
+  cfg.backend = std::move(backend);
+  cfg.shards = 2;  // capacity defaults are large: no eviction at this scale
+  return cfg;
+}
+
+struct RunResult {
+  std::map<std::uint64_t, EntryPayload> acked;  // idx -> acknowledged entry
+  bool crashed = false;
+};
+
+/// Drives the zipf request stream of PUTs until done or the first rejection
+/// (which, in a torture run, means the injected crash fired).
+RunResult run_workload(ResultStore& store,
+                       const std::vector<std::size_t>& stream,
+                       std::uint64_t seed) {
+  RunResult r;
+  for (const std::size_t idx : stream) {
+    const PutRequest put = put_for(idx, seed);
+    const PutStatus status = store.put(put).status;
+    if (status == PutStatus::kStored) {
+      r.acked.emplace(idx, put.entry);
+    } else if (status != PutStatus::kAlreadyPresent) {
+      r.crashed = true;
+      break;
+    }
+  }
+  return r;
+}
+
+/// The interesting byte positions: for every write in the recorded
+/// schedule, crash at its start, one byte in, its middle, and its last byte.
+std::set<std::uint64_t> crash_budgets(const std::vector<std::uint64_t>& sizes) {
+  std::set<std::uint64_t> budgets;
+  std::uint64_t total = 0;
+  for (const std::uint64_t s : sizes) {
+    budgets.insert(total);
+    if (s > 1) {
+      budgets.insert(total + 1);
+      budgets.insert(total + s / 2);
+      budgets.insert(total + s - 1);
+    }
+    total += s;
+  }
+  return budgets;
+}
+
+/// Zero acknowledged-result loss, and nothing resurrected beyond it.
+void verify_recovered(ResultStore& store,
+                      const std::map<std::uint64_t, EntryPayload>& acked) {
+  EXPECT_EQ(store.stats().entries, acked.size());
+  for (const auto& [idx, payload] : acked) {
+    GetRequest get;
+    get.tag = make_tag(idx + 1);
+    const GetResponse resp = store.get(get);
+    ASSERT_TRUE(resp.found) << "acknowledged PUT lost: idx " << idx;
+    EXPECT_EQ(resp.entry, payload) << "recovered entry differs: idx " << idx;
+  }
+}
+
+/// Degraded-mode contract checked right after the injected crash: reads
+/// keep working, writes are refused.
+void verify_degraded(ResultStore& store,
+                     const std::map<std::uint64_t, EntryPayload>& acked,
+                     std::uint64_t seed) {
+  EXPECT_TRUE(store.degraded());
+  EXPECT_GE(store.stats().backend_write_errors, 1u);
+  if (!acked.empty()) {
+    const auto& [idx, payload] = *acked.begin();
+    GetRequest get;
+    get.tag = make_tag(idx + 1);
+    const GetResponse resp = store.get(get);
+    ASSERT_TRUE(resp.found);
+    EXPECT_EQ(resp.entry, payload);
+  }
+  EXPECT_EQ(store.put(put_for(777777, seed)).status, PutStatus::kRejected);
+}
+
+// --------------------------------------------------------------- torture
+
+TEST(RecoveryTortureTest, EveryFileCrashPointKeepsAckedResults) {
+  SPEED_SEEDED_RNG(rng, 0xd1ce5eed0001ull);
+  const auto stream = workload::zipf_request_stream(24, 40, 0.9, rng_seed);
+
+  FileBackendConfig fcfg;
+  fcfg.segment_bytes = 16 * 1024;  // force several segments
+  fcfg.fsync_every = 1 << 20;      // crash sim is process-level; skip fsyncs
+
+  // Clean pass: record the store's write schedule and the ground truth.
+  std::vector<std::uint64_t> sizes;
+  std::map<std::uint64_t, EntryPayload> clean_acked;
+  {
+    const std::string dir = fresh_dir("torture-clean");
+    sgx::Platform platform(fast_model(), as_bytes(dir));
+    auto fault = std::make_shared<FaultInjectingBackend>(
+        std::make_shared<FileBackend>(dir, fcfg));
+    ResultStore store(platform, torture_config(fault));
+    const RunResult r = run_workload(store, stream, rng_seed);
+    ASSERT_FALSE(r.crashed);
+    sizes = fault->write_sizes();
+    clean_acked = r.acked;
+  }
+  ASSERT_GE(clean_acked.size(), 10u);
+  ASSERT_GE(sizes.size(), 2 * clean_acked.size());  // blob + WAL per PUT
+
+  for (const std::uint64_t budget : crash_budgets(sizes)) {
+    SCOPED_TRACE("crash after " + std::to_string(budget) + " bytes");
+    const std::string dir = fresh_dir("torture-point");
+    std::map<std::uint64_t, EntryPayload> acked;
+    {
+      sgx::Platform platform(fast_model(), as_bytes(dir));
+      auto fault = std::make_shared<FaultInjectingBackend>(
+          std::make_shared<FileBackend>(dir, fcfg));
+      fault->fail_after_bytes(budget);
+      ResultStore store(platform, torture_config(fault));
+      RunResult r = run_workload(store, stream, rng_seed);
+      ASSERT_TRUE(r.crashed);
+      acked = std::move(r.acked);
+      verify_degraded(store, acked, rng_seed);
+    }
+    // "Restart the process": reopen the directory with a fresh platform
+    // derived from the same stable hardware key.
+    sgx::Platform platform(fast_model(), as_bytes(dir));
+    auto store = open_result_store(platform, dir, torture_config(nullptr),
+                                   fcfg);
+    verify_recovered(*store, acked);
+    // The truncated chain extends: new work is accepted and durable.
+    EXPECT_EQ(store->put(put_for(424242, rng_seed)).status,
+              PutStatus::kStored);
+  }
+}
+
+TEST(RecoveryTortureTest, EveryMemoryCrashPointKeepsAckedResults) {
+  SPEED_SEEDED_RNG(rng, 0xd1ce5eed0002ull);
+  const auto stream = workload::zipf_request_stream(24, 40, 0.9, rng_seed);
+
+  // Pure-logic variant: the recording MemoryBackend survives the death of
+  // the ResultStore object, so crash + reopen never touches a disk.
+  std::vector<std::uint64_t> sizes;
+  std::map<std::uint64_t, EntryPayload> clean_acked;
+  {
+    sgx::Platform platform(fast_model());
+    auto fault = std::make_shared<FaultInjectingBackend>(
+        std::make_shared<MemoryBackend>(/*record_wal=*/true));
+    ResultStore store(platform, torture_config(fault));
+    const RunResult r = run_workload(store, stream, rng_seed);
+    ASSERT_FALSE(r.crashed);
+    sizes = fault->write_sizes();
+    clean_acked = r.acked;
+  }
+  ASSERT_GE(clean_acked.size(), 10u);
+
+  for (const std::uint64_t budget : crash_budgets(sizes)) {
+    SCOPED_TRACE("crash after " + std::to_string(budget) + " bytes");
+    // One platform spans crash and reopen: same machine, same sealing key.
+    sgx::Platform platform(fast_model());
+    auto inner = std::make_shared<MemoryBackend>(/*record_wal=*/true);
+    std::map<std::uint64_t, EntryPayload> acked;
+    {
+      auto fault = std::make_shared<FaultInjectingBackend>(inner);
+      fault->fail_after_bytes(budget);
+      ResultStore store(platform, torture_config(fault));
+      RunResult r = run_workload(store, stream, rng_seed);
+      ASSERT_TRUE(r.crashed);
+      acked = std::move(r.acked);
+      verify_degraded(store, acked, rng_seed);
+    }
+    ResultStore store(platform, torture_config(inner));
+    verify_recovered(store, acked);
+    EXPECT_EQ(store.put(put_for(424242, rng_seed)).status, PutStatus::kStored);
+  }
+}
+
+// ------------------------------------------------- file-level WAL attacks
+
+/// Offsets and sealed lengths of every intact WAL frame in `dir`.
+std::vector<std::pair<std::uint64_t, std::uint64_t>> wal_frames(
+    const std::string& dir) {
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> frames;
+  FileBackend fb(dir);
+  fb.wal_replay([&](ByteView record, std::uint64_t offset) {
+    frames.emplace_back(offset, record.size());
+    return true;
+  });
+  return frames;
+}
+
+void flip_wal_byte(const std::string& dir, std::uint64_t offset) {
+  const std::string path = dir + "/wal.log";
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fseek(f, static_cast<long>(offset), SEEK_SET), 0);
+  const int c = std::fgetc(f);
+  ASSERT_NE(c, EOF);
+  ASSERT_EQ(std::fseek(f, static_cast<long>(offset), SEEK_SET), 0);
+  std::fputc(c ^ 0x01, f);
+  std::fclose(f);
+}
+
+/// Populates `dir` with `count` distinct entries (PUT order = WAL order).
+std::map<std::uint64_t, EntryPayload> populate(const std::string& dir,
+                                               std::size_t count,
+                                               std::uint64_t seed,
+                                               StoreConfig cfg = StoreConfig{},
+                                               FileBackendConfig fcfg =
+                                                   FileBackendConfig{}) {
+  sgx::Platform platform(fast_model(), as_bytes(dir));
+  auto store = open_result_store(platform, dir, std::move(cfg), fcfg);
+  std::map<std::uint64_t, EntryPayload> acked;
+  for (std::size_t i = 0; i < count; ++i) {
+    const PutRequest put = put_for(i, seed);
+    EXPECT_EQ(store->put(put).status, PutStatus::kStored);
+    acked.emplace(i, put.entry);
+  }
+  store->flush_backend();
+  return acked;
+}
+
+TEST(RecoveryTest, TamperedMidLogRecordTruncatesFromThere) {
+  SPEED_SEEDED_RNG(rng, 0xd1ce5eed0003ull);
+  const std::string dir = fresh_dir("tamper");
+  auto acked = populate(dir, 10, rng_seed);
+  const auto frames = wal_frames(dir);
+  ASSERT_EQ(frames.size(), 10u);
+
+  // Flip one bit inside record 4's sealed bytes: the MAC chain breaks there
+  // and records 4..9 are discarded, even though 5..9 are byte-intact.
+  flip_wal_byte(dir, frames[4].first + 4 + frames[4].second / 2);
+
+  sgx::Platform platform(fast_model(), as_bytes(dir));
+  auto store = open_result_store(platform, dir);
+  EXPECT_TRUE(store->recovery_info().torn_tail);
+  EXPECT_EQ(store->recovery_info().replayed_records, 4u);
+  acked.erase(acked.lower_bound(4), acked.end());
+  verify_recovered(*store, acked);
+
+  // The surviving prefix is a valid log: new work extends it durably.
+  const PutRequest put = put_for(100, rng_seed);
+  EXPECT_EQ(store->put(put).status, PutStatus::kStored);
+  store->flush_backend();
+  store.reset();
+  sgx::Platform platform2(fast_model(), as_bytes(dir));
+  auto reopened = open_result_store(platform2, dir);
+  EXPECT_FALSE(reopened->recovery_info().torn_tail);
+  acked.emplace(100, put.entry);
+  verify_recovered(*reopened, acked);
+}
+
+TEST(RecoveryTest, ReorderedRecordsBreakTheChain) {
+  SPEED_SEEDED_RNG(rng, 0xd1ce5eed0004ull);
+  const std::string dir = fresh_dir("reorder");
+  auto acked = populate(dir, 8, rng_seed);
+  const auto frames = wal_frames(dir);
+  ASSERT_EQ(frames.size(), 8u);
+  // Insert records here are equal-sized (fixed challenge/wrapped-key sizes),
+  // so a byte-level swap of records 2 and 3 yields a well-framed log whose
+  // only defect is ordering.
+  ASSERT_EQ(frames[2].second, frames[3].second);
+
+  const std::string path = dir + "/wal.log";
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  const std::size_t frame = 4 + static_cast<std::size_t>(frames[2].second);
+  std::vector<unsigned char> a(frame);
+  std::vector<unsigned char> b(frame);
+  std::fseek(f, static_cast<long>(frames[2].first), SEEK_SET);
+  ASSERT_EQ(std::fread(a.data(), 1, frame, f), frame);
+  std::fseek(f, static_cast<long>(frames[3].first), SEEK_SET);
+  ASSERT_EQ(std::fread(b.data(), 1, frame, f), frame);
+  std::fseek(f, static_cast<long>(frames[2].first), SEEK_SET);
+  ASSERT_EQ(std::fwrite(b.data(), 1, frame, f), frame);
+  std::fseek(f, static_cast<long>(frames[3].first), SEEK_SET);
+  ASSERT_EQ(std::fwrite(a.data(), 1, frame, f), frame);
+  std::fclose(f);
+
+  sgx::Platform platform(fast_model(), as_bytes(dir));
+  auto store = open_result_store(platform, dir);
+  EXPECT_TRUE(store->recovery_info().torn_tail);
+  EXPECT_EQ(store->recovery_info().replayed_records, 2u);
+  acked.erase(acked.lower_bound(2), acked.end());
+  verify_recovered(*store, acked);
+}
+
+TEST(RecoveryTest, TruncatedTailsDropOnlyTornRecords) {
+  SPEED_SEEDED_RNG(rng, 0xd1ce5eed0005ull);
+  const std::string dir = fresh_dir("truncate");
+  const auto acked = populate(dir, 8, rng_seed);
+  const auto frames = wal_frames(dir);
+  ASSERT_EQ(frames.size(), 8u);
+
+  // Descending cuts over one directory: inside record 6's bytes, mid record
+  // 5, then exactly at record 5's frame boundary.
+  const struct {
+    std::uint64_t cut;
+    std::size_t expect_entries;
+  } cases[] = {
+      {frames[6].first + 7, 6},
+      {frames[5].first + 4 + frames[5].second / 2, 5},
+      {frames[5].first, 5},
+  };
+  for (const auto& c : cases) {
+    SCOPED_TRACE("cut at byte " + std::to_string(c.cut));
+    std::filesystem::resize_file(dir + "/wal.log", c.cut);
+    sgx::Platform platform(fast_model(), as_bytes(dir));
+    auto store = open_result_store(platform, dir);
+    std::map<std::uint64_t, EntryPayload> expect(
+        acked.begin(), std::next(acked.begin(),
+                                 static_cast<std::ptrdiff_t>(c.expect_entries)));
+    verify_recovered(*store, expect);
+  }
+}
+
+// ------------------------------------------------------- degrade & ENOSPC
+
+TEST(RecoveryTest, WriteFailureDegradesButKeepsServingReads) {
+  SPEED_SEEDED_RNG(rng, 0xd1ce5eed0006ull);
+  const std::string dir = fresh_dir("degrade");
+  sgx::Platform platform(fast_model(), as_bytes(dir));
+  auto fault = std::make_shared<FaultInjectingBackend>(
+      std::make_shared<FileBackend>(dir));
+  ResultStore store(platform, torture_config(fault));
+
+  std::map<std::uint64_t, EntryPayload> acked;
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    const PutRequest put = put_for(i, rng_seed);
+    ASSERT_EQ(store.put(put).status, PutStatus::kStored);
+    acked.emplace(i, put.entry);
+  }
+  // The very next write fails with nothing forwarded — an ENOSPC analogue.
+  fault->fail_after_bytes(fault->bytes_written());
+  EXPECT_EQ(store.put(put_for(99, rng_seed)).status, PutStatus::kRejected);
+  verify_degraded(store, acked, rng_seed);
+  // Sticky: later PUTs are refused without touching the backend again.
+  EXPECT_EQ(store.put(put_for(98, rng_seed)).status, PutStatus::kRejected);
+  for (const auto& [idx, payload] : acked) {
+    GetRequest get;
+    get.tag = make_tag(idx + 1);
+    ASSERT_TRUE(store.get(get).found);
+  }
+}
+
+TEST(RecoveryTest, DiskFullGracefulDegrade) {
+  const char* base = std::getenv("SPEED_DISKFULL_DIR");
+  if (base == nullptr || *base == '\0') {
+    GTEST_SKIP() << "set SPEED_DISKFULL_DIR to a small tmpfs to run";
+  }
+  SPEED_SEEDED_RNG(rng, 0xd1ce5eed0007ull);
+  const std::string dir = std::string(base) + "/store";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  sgx::Platform platform(fast_model(), as_bytes(dir));
+  FileBackendConfig fcfg;
+  fcfg.segment_bytes = 256 * 1024;
+  fcfg.fsync_every = 8;
+  auto store = open_result_store(platform, dir, StoreConfig{}, fcfg);
+
+  // Fill the tmpfs with ~16 KiB results until the disk pushes back.
+  std::map<std::uint64_t, EntryPayload> acked;
+  bool rejected = false;
+  for (std::uint64_t i = 0; i < 100000 && !rejected; ++i) {
+    PutRequest put = put_for(i, rng_seed);
+    put.entry.result_ct = rng.bytes(16 * 1024);
+    switch (store->put(put).status) {
+      case PutStatus::kStored:
+        acked.emplace(i, put.entry);
+        break;
+      case PutStatus::kRejected:
+        rejected = true;
+        break;
+      default:
+        FAIL() << "unexpected PUT status";
+    }
+  }
+  ASSERT_TRUE(rejected) << "filesystem at SPEED_DISKFULL_DIR never filled up "
+                           "(is it a small tmpfs?)";
+  ASSERT_FALSE(acked.empty());
+  EXPECT_TRUE(store->degraded());
+  EXPECT_GE(store->stats().backend_write_errors, 1u);
+  // GETs keep serving everything acknowledged; PUTs stay rejected.
+  for (const auto& [idx, payload] : acked) {
+    GetRequest get;
+    get.tag = make_tag(idx + 1);
+    const GetResponse resp = store->get(get);
+    ASSERT_TRUE(resp.found) << "idx " << idx;
+    EXPECT_EQ(resp.entry, payload);
+  }
+  EXPECT_EQ(store->put(put_for(999999, rng_seed)).status,
+            PutStatus::kRejected);
+
+  // A reopen on the still-full disk loses nothing.
+  store.reset();
+  sgx::Platform platform2(fast_model(), as_bytes(dir));
+  auto reopened = open_result_store(platform2, dir, StoreConfig{}, fcfg);
+  verify_recovered(*reopened, acked);
+  std::filesystem::remove_all(dir);
+}
+
+// ------------------------------------------------- compaction & recovery
+
+TEST(RecoveryTest, CompactionReclaimsFullyDeadSegments) {
+  SPEED_SEEDED_RNG(rng, 0xd1ce5eed0008ull);
+  const std::string dir = fresh_dir("compact");
+  sgx::Platform platform(fast_model(), as_bytes(dir));
+  FileBackendConfig fcfg;
+  fcfg.segment_bytes = 4 * 1024;
+  StoreConfig cfg;
+  cfg.shards = 1;
+  cfg.max_ciphertext_bytes = 16 * 1024;  // heavy eviction churn
+  auto store = open_result_store(platform, dir, cfg, fcfg);
+
+  for (std::uint64_t i = 0; i < 60; ++i) {
+    PutRequest put = put_for(i, rng_seed);
+    put.entry.result_ct = rng.bytes(1024);
+    ASSERT_EQ(store->put(put).status, PutStatus::kStored);
+  }
+  const auto bstats = store->backend().stats();
+  EXPECT_GT(store->stats().evictions, 0u);
+  EXPECT_GT(bstats.segments_compacted, 0u);
+  EXPECT_LT(bstats.segments_created - bstats.segments_compacted, 20u);
+
+  // Everything live before the close is live after the reopen.
+  const std::size_t live = store->stats().entries;
+  store->flush_backend();
+  store.reset();
+  sgx::Platform platform2(fast_model(), as_bytes(dir));
+  auto reopened = open_result_store(platform2, dir, cfg, fcfg);
+  EXPECT_EQ(reopened->stats().entries, live);
+  // The most recent insert certainly survived the LRU churn.
+  GetRequest get;
+  get.tag = make_tag(60);
+  EXPECT_TRUE(reopened->get(get).found);
+}
+
+TEST(RecoveryTest, RecoveryTimeEvictionReleasesQuota) {
+  SPEED_SEEDED_RNG(rng, 0xd1ce5eed0009ull);
+  const std::string dir = fresh_dir("shrink");
+  const serialize::AppId app = make_app(0x42);
+  {
+    sgx::Platform platform(fast_model(), as_bytes(dir));
+    auto store = open_result_store(platform, dir);
+    for (std::uint64_t i = 0; i < 20; ++i) {
+      PutRequest put = put_for(i, rng_seed);
+      put.requester = app;
+      put.entry.result_ct = rng.bytes(2048);
+      ASSERT_EQ(store->put(put).status, PutStatus::kStored);
+    }
+    EXPECT_EQ(store->quota_used(app), 20u * 2048u);
+    store->flush_backend();
+  }
+
+  // Reopen under a quarter of the footprint: recovery must evict down and
+  // release the evicted entries' quota charges (the leak this test pins).
+  StoreConfig small;
+  small.shards = 1;
+  small.max_ciphertext_bytes = 8 * 1024;
+  sgx::Platform platform(fast_model(), as_bytes(dir));
+  auto store = open_result_store(platform, dir, small);
+  EXPECT_EQ(store->recovery_info().inserts, 20u);
+  const auto s = store->stats();
+  EXPECT_LE(s.ciphertext_bytes, small.max_ciphertext_bytes);
+  EXPECT_GE(s.evictions, 16u);
+  EXPECT_EQ(store->quota_used(app), s.ciphertext_bytes);
+
+  // The recovery-time erase records are themselves durable: a third open
+  // agrees exactly, with no eviction work left to do.
+  store->flush_backend();
+  store.reset();
+  sgx::Platform platform2(fast_model(), as_bytes(dir));
+  auto reopened = open_result_store(platform2, dir, small);
+  EXPECT_EQ(reopened->stats().entries, s.entries);
+  EXPECT_EQ(reopened->stats().evictions, 0u);
+  EXPECT_EQ(reopened->quota_used(app), s.ciphertext_bytes);
+}
+
+// ------------------------------------------------------------ leak checks
+
+TEST(StoreLeakTest, QuotaAndTrustedChargesDrainToZero) {
+  SPEED_SEEDED_RNG(rng, 0xd1ce5eed000aull);
+  sgx::Platform platform(fast_model());
+  StoreConfig cfg;
+  cfg.shards = 1;
+  cfg.max_ciphertext_bytes = 8 * 1024;
+  cfg.per_app_quota_bytes = 1 << 20;
+  ResultStore store(platform, cfg);
+  const std::uint64_t epc_baseline = platform.epc().used_bytes();
+  const serialize::AppId app = make_app(0x07);
+
+  // Churn far past capacity: every eviction must release its quota charge.
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    PutRequest put = put_for(i, rng_seed);
+    put.requester = app;
+    put.entry.result_ct = rng.bytes(1024);
+    ASSERT_EQ(store.put(put).status, PutStatus::kStored);
+  }
+  auto s = store.stats();
+  EXPECT_GE(s.evictions, 190u);
+  EXPECT_EQ(store.quota_used(app), s.ciphertext_bytes);
+
+  // A rejected PUT must leave no residue either (the zero-entry ledger fix).
+  // Scoped: the store's enclave holds a base EPC charge until destruction,
+  // which would otherwise show up in the final EPC balance check.
+  {
+    const serialize::AppId greedy = make_app(0x66);
+    StoreConfig tiny;
+    tiny.per_app_quota_bytes = 16;
+    ResultStore small(platform, tiny);
+    EXPECT_EQ(small.put(put_for(1, rng_seed)).status,
+              PutStatus::kQuotaExceeded);
+    EXPECT_EQ(small.quota_used(make_app(1 % 3 + 1)), 0u);
+    EXPECT_EQ(small.quota_used(greedy), 0u);
+  }
+
+  // Drain the store via the corruption path (every erase route must release
+  // quota and trusted charges) and check all counters return to zero.
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    if (store.corrupt_blob_for_testing(make_tag(i + 1))) {
+      GetRequest get;
+      get.tag = make_tag(i + 1);
+      EXPECT_FALSE(store.get(get).found);
+    }
+  }
+  s = store.stats();
+  EXPECT_EQ(s.entries, 0u);
+  EXPECT_EQ(s.ciphertext_bytes, 0u);
+  EXPECT_EQ(store.quota_used(app), 0u);
+  EXPECT_EQ(platform.epc().used_bytes(), epc_baseline);
+}
+
+}  // namespace
+}  // namespace speed::store

@@ -1,0 +1,50 @@
+// Reproducible randomness for the randomized test suites (fuzz,
+// concurrency, recovery torture).
+//
+// Every randomized test derives its RNG seed through resolve_test_seed():
+// by default that is the test's fixed base seed (deterministic CI), but
+// setting SPEED_TEST_SEED=<decimal> overrides *all* of them — rerun a
+// failing binary with the seed it printed to reproduce the exact workload:
+//
+//   SPEED_TEST_SEED=123456789 ./tests/recovery_test --gtest_filter=...
+//
+// SPEED_SEEDED_RNG additionally attaches the resolved seed to every
+// assertion failure in scope (SCOPED_TRACE) and to the test's XML/JSON
+// record (RecordProperty — SCOPED_TRACE is thread-local, so the property is
+// what survives failures on worker threads).
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+#include "common/rng.h"
+
+namespace speed::testing {
+
+/// The seed a randomized test should use: `base` unless SPEED_TEST_SEED is
+/// set (a decimal uint64), which overrides every base seed in the process.
+inline std::uint64_t resolve_test_seed(std::uint64_t base) {
+  const char* env = std::getenv("SPEED_TEST_SEED");
+  if (env == nullptr || *env == '\0') return base;
+  return std::strtoull(env, nullptr, 10);
+}
+
+inline std::string seed_trace(std::uint64_t seed) {
+  return "SPEED_TEST_SEED=" + std::to_string(seed) +
+         " reproduces this workload";
+}
+
+}  // namespace speed::testing
+
+/// Declares `name` as a seeded Xoshiro256 in the current test scope, with
+/// the resolved seed attached to failures and to the test record.
+#define SPEED_SEEDED_RNG(name, base_seed)                                   \
+  const std::uint64_t name##_seed =                                         \
+      ::speed::testing::resolve_test_seed(base_seed);                       \
+  RecordProperty("speed_test_seed",                                         \
+                 std::to_string(name##_seed));                              \
+  SCOPED_TRACE(::speed::testing::seed_trace(name##_seed));                  \
+  ::speed::Xoshiro256 name(name##_seed)
