@@ -35,3 +35,13 @@ if [ ! -x "$dur_bench" ]; then
 fi
 "$dur_bench" "$repo_root/BENCH_durability.json"
 echo "results:   $repo_root/BENCH_durability.json"
+
+# Replicated cluster: routing/quorum overhead vs node count plus the
+# kill-one-node availability trace (acceptance bar > 99%).
+cluster_bench="$build_dir/bench/bench_cluster"
+if [ ! -x "$cluster_bench" ]; then
+  echo "building $cluster_bench ..."
+  cmake --build "$build_dir" --target bench_cluster -j
+fi
+"$cluster_bench" "$repo_root/BENCH_cluster.json"
+echo "results:   $repo_root/BENCH_cluster.json"

@@ -1,5 +1,6 @@
 #include "capi/speed_c.h"
 
+#include <algorithm>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
@@ -25,8 +26,11 @@ struct speed_deployment {
 
   sgx::Platform platform;
   std::unique_ptr<store::ResultStore> store;
+  std::unique_ptr<store::InprocCluster> cluster;  // cluster deployments only
   std::unique_ptr<sgx::Enclave> enclave;
   std::unique_ptr<store::StoreSession> session;  // server side of the channel
+  std::shared_ptr<net::ClusterTransport> cluster_transport;
+  // Declared after the store/cluster/session it talks to: destroyed first.
   std::unique_ptr<runtime::DedupRuntime> rt;
   std::string last_error;
 };
@@ -103,6 +107,68 @@ int speed_store_degraded(const speed_deployment* dep) {
              : 0;
 }
 
+speed_deployment* speed_deployment_create_cluster(const char* app_identity,
+                                                  size_t nodes,
+                                                  size_t replicas) {
+  if (app_identity == nullptr || nodes == 0) return nullptr;
+  try {
+    auto dep = std::make_unique<speed_deployment>();
+    store::InprocClusterConfig cluster_config;
+    cluster_config.nodes = nodes;
+    cluster_config.cluster.replicas = std::min(replicas, nodes - 1);
+    dep->cluster = std::make_unique<store::InprocCluster>(dep->platform,
+                                                          cluster_config);
+    dep->enclave = dep->platform.create_enclave(app_identity);
+    dep->cluster_transport = dep->cluster->connect(*dep->enclave);
+    dep->rt = std::make_unique<runtime::DedupRuntime>(*dep->enclave,
+                                                      dep->cluster_transport);
+    return dep.release();
+  } catch (const std::exception&) {
+    return nullptr;
+  }
+}
+
+size_t speed_cluster_node_count(const speed_deployment* dep) {
+  return (dep != nullptr && dep->cluster != nullptr)
+             ? dep->cluster->node_count()
+             : 0;
+}
+
+size_t speed_cluster_nodes_up(const speed_deployment* dep) {
+  if (dep == nullptr || dep->cluster == nullptr) return 0;
+  size_t up = 0;
+  for (size_t i = 0; i < dep->cluster->node_count(); ++i) {
+    if (dep->cluster->alive(i)) ++up;
+  }
+  return up;
+}
+
+int speed_cluster_kill(speed_deployment* dep, size_t node) {
+  if (dep == nullptr || dep->cluster == nullptr ||
+      node >= dep->cluster->node_count()) {
+    return fail(dep, SPEED_ERR_INVALID_ARGUMENT, "no such cluster node");
+  }
+  dep->cluster->kill(node);
+  return SPEED_OK;
+}
+
+int speed_cluster_restart(speed_deployment* dep, size_t node) {
+  if (dep == nullptr || dep->cluster == nullptr ||
+      node >= dep->cluster->node_count()) {
+    return fail(dep, SPEED_ERR_INVALID_ARGUMENT, "no such cluster node");
+  }
+  try {
+    if (!dep->cluster->restart(node)) {
+      return fail(dep, SPEED_ERR_INTERNAL,
+                  "restarted node failed re-attestation");
+    }
+    dep->cluster->rejoin(node);
+    return SPEED_OK;
+  } catch (const std::exception& e) {
+    return fail(dep, SPEED_ERR_INTERNAL, e.what());
+  }
+}
+
 void speed_deployment_destroy(speed_deployment* dep) { delete dep; }
 
 int speed_register_library(speed_deployment* dep, const char* family,
@@ -125,7 +191,7 @@ int speed_flush(speed_deployment* dep) {
   if (dep == nullptr) return SPEED_ERR_INVALID_ARGUMENT;
   try {
     dep->rt->flush();
-    dep->store->flush_backend();
+    if (dep->store != nullptr) dep->store->flush_backend();
     return SPEED_OK;
   } catch (const std::exception& e) {
     return fail(dep, SPEED_ERR_INTERNAL, e.what());

@@ -71,6 +71,36 @@ speed_deployment* speed_deployment_create_durable(const char* app_identity,
  */
 int speed_store_degraded(const speed_deployment* dep);
 
+/* ---- replicated cluster deployments ------------------------------------ */
+
+/*
+ * Like speed_deployment_create, but the results live on a replicated
+ * cluster of `nodes` in-process store nodes, each result placed on a
+ * primary plus `replicas` additional nodes by rendezvous-hashing its tag
+ * (replicas is capped at nodes - 1). GETs and PUTs fail over across nodes;
+ * a PUT is acknowledged only once every copy is placed, so killing any
+ * single node loses no acknowledged result. Requires nodes >= 1.
+ */
+speed_deployment* speed_deployment_create_cluster(const char* app_identity,
+                                                  size_t nodes,
+                                                  size_t replicas);
+
+/* Store nodes in the deployment's cluster; 0 for single-store deployments. */
+size_t speed_cluster_node_count(const speed_deployment* dep);
+
+/* Cluster nodes currently accepting traffic. */
+size_t speed_cluster_nodes_up(const speed_deployment* dep);
+
+/*
+ * Chaos hooks. speed_cluster_kill stops node `node` (its unsynchronized
+ * state is lost, as if the machine lost power). speed_cluster_restart
+ * brings it back empty under a new identity: the fresh store enclave
+ * re-attests with a live peer, rejoins, and pulls its share of the
+ * dictionary back from the cluster.
+ */
+int speed_cluster_kill(speed_deployment* dep, size_t node);
+int speed_cluster_restart(speed_deployment* dep, size_t node);
+
 /* Register a trusted library the application owns. */
 int speed_register_library(speed_deployment* dep, const char* family,
                            const char* version, const uint8_t* code,

@@ -1,0 +1,465 @@
+#include "net/cluster.h"
+
+#include <future>
+
+#include "common/clock.h"
+
+namespace speed::net {
+
+using serialize::GetRequest;
+using serialize::GetResponse;
+using serialize::HeartbeatRequest;
+using serialize::HeartbeatResponse;
+using serialize::Message;
+using serialize::PutRequest;
+using serialize::PutResponse;
+using serialize::PutStatus;
+
+namespace {
+
+std::int64_t steady_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+ClusterTransport::ClusterTransport(sgx::Enclave& app_enclave,
+                                   std::vector<ClusterNode> nodes,
+                                   ClusterConfig config)
+    : enclave_(app_enclave), config_(config) {
+  if (nodes.empty()) {
+    throw StoreUnavailableError("ClusterTransport: no member nodes");
+  }
+  members_.reserve(nodes.size());
+  links_.reserve(nodes.size());
+  for (ClusterNode& node : nodes) {
+    members_.push_back(
+        {node.name, serialize::MemberStatus::kUp});
+    auto link = std::make_unique<Link>();
+    link->name = std::move(node.name);
+    link->dial = std::move(node.dial);
+    links_.push_back(std::move(link));
+  }
+  // Eager dial: a node that cannot be reached now starts out down and is
+  // re-dialed by the first walk that probes it.
+  for (const auto& link : links_) {
+    std::lock_guard<std::mutex> lock(link->mu);
+    try {
+      establish_locked(*link);
+    } catch (const Error&) {
+      note_failure(*link);
+      link->health.store(static_cast<std::uint8_t>(NodeHealth::kDown),
+                         std::memory_order_relaxed);
+    }
+  }
+  telemetry_handle_ = telemetry::Registry::global().add_collector(
+      [this](telemetry::SampleSink& sink) {
+        constexpr auto kNode = telemetry::LabelKey::of("node");
+        for (std::size_t i = 0; i < links_.size(); ++i) {
+          const telemetry::LabelSet labels{
+              {kNode, telemetry::LabelValue::index(i)}};
+          sink.gauge("speed_cluster_node_up",
+                     "1 while the node serves requests (0 = suspect/down)",
+                     labels,
+                     node_health(i) == NodeHealth::kUp ? 1 : 0);
+        }
+        sink.counter("speed_cluster_gets_total",
+                     "GET walks routed across the cluster", {}, gets_.value());
+        sink.counter("speed_cluster_puts_total",
+                     "PUT walks routed across the cluster", {}, puts_.value());
+        sink.counter("speed_cluster_failovers_total",
+                     "Node legs that failed and extended a walk", {},
+                     failovers_.value());
+        sink.counter("speed_cluster_hedged_gets_total",
+                     "GETs that opened a hedge leg to a replica", {},
+                     hedged_gets_.value());
+        sink.counter("speed_cluster_read_repairs_total",
+                     "Entries pushed back to an owner that missed", {},
+                     read_repairs_.value());
+        sink.counter("speed_cluster_partial_puts_total",
+                     "PUT walks that ended below quorum (not acked)", {},
+                     partial_puts_.value());
+        sink.counter("speed_cluster_unavailable_total",
+                     "Walks with zero definitive answers", {},
+                     unavailable_.value());
+        sink.counter("speed_cluster_probes_total",
+                     "Heartbeat probes issued", {}, probes_.value());
+        sink.histogram("speed_cluster_walk_ns",
+                       "Whole-walk latency of routed requests", {}, walk_ns_);
+      });
+}
+
+ClusterTransport::NodeHealth ClusterTransport::node_health(
+    std::size_t node) const {
+  return static_cast<NodeHealth>(
+      links_[node]->health.load(std::memory_order_relaxed));
+}
+
+ClusterTransport::Stats ClusterTransport::stats() const {
+  Stats s;
+  s.gets = gets_.value();
+  s.puts = puts_.value();
+  s.failovers = failovers_.value();
+  s.hedged_gets = hedged_gets_.value();
+  s.read_repairs = read_repairs_.value();
+  s.partial_puts = partial_puts_.value();
+  s.unavailable = unavailable_.value();
+  s.probes = probes_.value();
+  return s;
+}
+
+Message ClusterTransport::round_trip_message(const Message& request) {
+  const Stopwatch sw;
+  struct Record {
+    telemetry::Histogram& hist;
+    const Stopwatch& sw;
+    ~Record() { hist.record(sw.elapsed_ns()); }
+  } record{walk_ns_, sw};
+  if (const auto* get_req = std::get_if<GetRequest>(&request)) {
+    return cluster_get(*get_req);
+  }
+  if (const auto* put_req = std::get_if<PutRequest>(&request)) {
+    return cluster_put(*put_req);
+  }
+  throw ProtocolError("ClusterTransport: only GET and PUT are routable");
+}
+
+// ------------------------------------------------------------------- walks
+
+Message ClusterTransport::cluster_get(const GetRequest& req) {
+  gets_.inc();
+  const auto order = serialize::rendezvous_order(members_, req.tag);
+  const std::size_t quorum = std::min(config_.replicas + 1, order.size());
+  const Message request(req);
+
+  std::size_t definitive = 0;
+  std::optional<GetResponse> found;
+  std::optional<std::size_t> first_missing;  ///< earliest definitive miss
+  std::vector<std::size_t> skipped;          ///< down nodes bypassed w/o I/O
+  // Hedge leg: the primary finishing on a helper thread while the walk
+  // continues. Joined before every return (it references `request`).
+  std::optional<std::future<Message>> hedge;
+  std::size_t hedge_node = 0;
+  bool first_attempt = true;
+
+  // Interpret one node's answer; returns true when the walk can stop.
+  const auto process = [&](std::size_t idx, const Message& m) {
+    const auto* gr = std::get_if<GetResponse>(&m);
+    if (gr == nullptr) {
+      failovers_.inc();
+      return false;
+    }
+    if (gr->found) {
+      found = *gr;
+      return true;
+    }
+    ++definitive;
+    if (!first_missing.has_value()) first_missing = idx;
+    return definitive >= quorum;
+  };
+
+  for (const std::size_t idx : order) {
+    Link& link = *links_[idx];
+    if (skip_down(link)) {
+      skipped.push_back(idx);
+      continue;
+    }
+    const bool can_hedge = first_attempt && config_.hedge_delay_ms > 0 &&
+                           idx != order.back() && !hedge.has_value();
+    first_attempt = false;
+    if (can_hedge) {
+      auto leg = std::async(std::launch::async, [this, &link, &request] {
+        return link_round_trip(link, request);
+      });
+      if (leg.wait_for(std::chrono::milliseconds(config_.hedge_delay_ms)) ==
+          std::future_status::ready) {
+        try {
+          if (process(idx, leg.get())) break;
+        } catch (const Error&) {
+          failovers_.inc();
+        }
+        continue;
+      }
+      // Primary is slow: keep its leg running, walk on to a replica.
+      hedged_gets_.inc();
+      hedge = std::move(leg);
+      hedge_node = idx;
+      continue;
+    }
+    try {
+      if (process(idx, link_round_trip_retry(link, request))) break;
+    } catch (const Error&) {
+      failovers_.inc();
+    }
+  }
+
+  if (hedge.has_value()) {
+    // Join the slow primary; its answer still counts (it may even be the
+    // only copy if every replica failed).
+    try {
+      const Message m = hedge->get();
+      if (!found.has_value()) process(hedge_node, m);
+    } catch (const Error&) {
+      failovers_.inc();
+    }
+    hedge.reset();
+  }
+
+  // Last-chance pass: a node the walk skipped as down (its probe window has
+  // not expired) may hold the only live copy — e.g. it just restarted and
+  // rejoined while a different node died. Never report a miss or
+  // unavailability the skipped nodes could contradict; the extra I/O only
+  // happens on walks that would otherwise come back negative.
+  if (!found.has_value()) {
+    for (const std::size_t idx : skipped) {
+      try {
+        if (process(idx, link_round_trip_retry(*links_[idx], request))) break;
+      } catch (const Error&) {
+        failovers_.inc();
+      }
+    }
+  }
+
+  if (found.has_value()) {
+    if (config_.read_repair && first_missing.has_value()) {
+      read_repair(*first_missing, req, *found);
+    }
+    return *found;
+  }
+  if (definitive > 0) return GetResponse{};  // a real miss: degrade to compute
+  unavailable_.inc();
+  throw StoreUnavailableError("ClusterTransport: no node answered GET");
+}
+
+Message ClusterTransport::cluster_put(const PutRequest& req) {
+  puts_.inc();
+  const auto order = serialize::rendezvous_order(members_, req.tag);
+  const std::size_t target = std::min(config_.replicas + 1, order.size());
+  const Message request(req);
+
+  std::size_t successes = 0;
+  std::size_t definitive = 0;
+  bool any_stored = false;
+  bool any_quota = false;
+  std::vector<std::size_t> skipped;
+  const auto attempt = [&](std::size_t idx) {
+    try {
+      const Message m = link_round_trip_retry(*links_[idx], request);
+      const auto* pr = std::get_if<PutResponse>(&m);
+      if (pr == nullptr) {
+        failovers_.inc();
+        return;
+      }
+      ++definitive;
+      switch (pr->status) {
+        case PutStatus::kStored:
+          ++successes;
+          any_stored = true;
+          break;
+        case PutStatus::kAlreadyPresent:
+          ++successes;
+          break;
+        case PutStatus::kQuotaExceeded:
+          any_quota = true;
+          break;
+        case PutStatus::kRejected:
+          break;  // degraded node: definitive, but not a copy
+      }
+    } catch (const Error&) {
+      failovers_.inc();
+    }
+  };
+  // Sloppy quorum: walk past failed owners so the entry still lands on
+  // `target` live nodes; the rendezvous walk on GET finds it there.
+  for (const std::size_t idx : order) {
+    if (successes >= target) break;
+    if (skip_down(*links_[idx])) {
+      skipped.push_back(idx);
+      continue;
+    }
+    attempt(idx);
+  }
+  // Same last-chance pass as cluster_get: a skipped node may be back up and
+  // able to lift this PUT to full quorum — try before refusing to ack.
+  for (const std::size_t idx : skipped) {
+    if (successes >= target) break;
+    attempt(idx);
+  }
+
+  if (successes >= target) {
+    // Full quorum: the ack provably survives any single node loss.
+    return PutResponse{any_stored ? PutStatus::kStored
+                                  : PutStatus::kAlreadyPresent};
+  }
+  if (definitive == 0) {
+    unavailable_.inc();
+    throw StoreUnavailableError("ClusterTransport: no node answered PUT");
+  }
+  // Below quorum: never acknowledge — the caller treats this like any
+  // rejected PUT (the result was computed anyway; only future dedup is lost).
+  partial_puts_.inc();
+  return PutResponse{any_quota ? PutStatus::kQuotaExceeded
+                               : PutStatus::kRejected};
+}
+
+void ClusterTransport::read_repair(std::size_t owner, const GetRequest& req,
+                                   const GetResponse& found) {
+  // Best-effort, quota-charged PUT back to the owner that missed: repairs
+  // go through the application plane, so a client cannot use them to store
+  // bytes its quota never sees.
+  try {
+    PutRequest put;
+    put.tag = req.tag;
+    put.requester = req.requester;
+    put.entry = found.entry;
+    const Message m = link_round_trip(*links_[owner], Message(put));
+    if (const auto* pr = std::get_if<PutResponse>(&m);
+        pr != nullptr && pr->status == PutStatus::kStored) {
+      read_repairs_.inc();
+    }
+  } catch (const Error&) {
+    // The owner is still unhealthy; anti-entropy will converge it later.
+  }
+}
+
+// ------------------------------------------------------------------ probes
+
+std::optional<HeartbeatResponse> ClusterTransport::probe(std::size_t node) {
+  probes_.inc();
+  static std::atomic<std::uint64_t> nonce_source{1};
+  const std::uint64_t nonce =
+      nonce_source.fetch_add(1, std::memory_order_relaxed);
+  try {
+    const Message m =
+        link_round_trip(*links_[node], Message(HeartbeatRequest{nonce}));
+    const auto* hr = std::get_if<HeartbeatResponse>(&m);
+    if (hr == nullptr || hr->nonce != nonce) return std::nullopt;
+    return *hr;
+  } catch (const Error&) {
+    return std::nullopt;
+  }
+}
+
+std::size_t ClusterTransport::probe_all() {
+  std::size_t alive = 0;
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    if (probe(i).has_value()) ++alive;
+  }
+  return alive;
+}
+
+// ------------------------------------------------------------- link plumbing
+
+void ClusterTransport::establish_locked(Link& link) {
+  ResilientTransport::Connection conn =
+      enclave_.ocall([&] { return link.dial(); });
+  if (conn.transport == nullptr) {
+    throw StoreUnavailableError("ClusterTransport: dial failed for node " +
+                                link.name);
+  }
+  auto transport = std::make_unique<ResilientTransport>(
+      std::move(conn.transport), link.dial, config_.resilience);
+  Link* link_ptr = &link;
+  transport->set_rekey_callback([link_ptr](secret::Buffer key) {
+    std::lock_guard<std::mutex> lock(link_ptr->rekey_mu);
+    link_ptr->pending_rekey = std::move(key);
+  });
+  link.transport = std::move(transport);
+  link.channel.emplace(std::move(conn.session_key), /*is_initiator=*/true);
+  link.poisoned = false;
+}
+
+void ClusterTransport::install_rekey_locked(Link& link) {
+  std::lock_guard<std::mutex> lock(link.rekey_mu);
+  if (!link.pending_rekey.has_value()) return;
+  link.channel.emplace(std::move(*link.pending_rekey), /*is_initiator=*/true);
+  link.pending_rekey.reset();
+  link.poisoned = false;
+}
+
+Message ClusterTransport::link_round_trip(Link& link, const Message& request) {
+  std::lock_guard<std::mutex> lock(link.mu);
+  link.last_attempt_ns.store(steady_now_ns(), std::memory_order_relaxed);
+  try {
+    if (link.transport == nullptr) establish_locked(link);
+    install_rekey_locked(link);
+    if (link.poisoned) {
+      // The old key must never wrap another frame (same invariant as
+      // DedupRuntime::secure_round_trip): recover re-dials + re-attests.
+      enclave_.ocall([&] { return link.transport->recover(); });
+      install_rekey_locked(link);
+      if (link.poisoned) {
+        throw StoreUnavailableError("ClusterTransport: node " + link.name +
+                                    " poisoned and cannot rekey");
+      }
+    }
+    const Bytes frame = link.channel->wrap(serialize::encode_message(request));
+    Bytes response_frame;
+    try {
+      response_frame =
+          enclave_.ocall([&] { return link.transport->round_trip(frame); });
+    } catch (...) {
+      // Request possibly consumed, response never seen: sequence numbers on
+      // this link are out of sync for good.
+      link.poisoned = true;
+      throw;
+    }
+    const auto plain = link.channel->unwrap(response_frame);
+    if (!plain.has_value()) {
+      link.poisoned = true;
+      throw ProtocolError("ClusterTransport: node " + link.name +
+                          " response failed channel check");
+    }
+    Message out = serialize::decode_message(*plain);
+    note_success(link);
+    return out;
+  } catch (...) {
+    note_failure(link);
+    throw;
+  }
+}
+
+Message ClusterTransport::link_round_trip_retry(Link& link,
+                                                const Message& request) {
+  try {
+    return link_round_trip(link, request);
+  } catch (const Error&) {
+    // The failure poisoned the link; the retry re-enters link_round_trip,
+    // which sees the poison, recovers (re-dial + re-attest + rekey), and
+    // wraps the frame under the fresh channel key. A genuinely dead node
+    // fails again quickly (bounded reconnect attempts or an open breaker).
+    return link_round_trip(link, request);
+  }
+}
+
+void ClusterTransport::note_success(Link& link) {
+  link.consecutive_failures.store(0, std::memory_order_relaxed);
+  link.health.store(static_cast<std::uint8_t>(NodeHealth::kUp),
+                    std::memory_order_relaxed);
+}
+
+void ClusterTransport::note_failure(Link& link) {
+  const int failures =
+      link.consecutive_failures.fetch_add(1, std::memory_order_relaxed) + 1;
+  link.health.store(static_cast<std::uint8_t>(failures >= config_.down_threshold
+                                                  ? NodeHealth::kDown
+                                                  : NodeHealth::kSuspect),
+                    std::memory_order_relaxed);
+}
+
+bool ClusterTransport::skip_down(Link& link) const {
+  if (static_cast<NodeHealth>(link.health.load(std::memory_order_relaxed)) !=
+      NodeHealth::kDown) {
+    return false;
+  }
+  // One request per probe interval is admitted as the probe; inside the
+  // window the walk skips the node without I/O.
+  const std::int64_t since =
+      steady_now_ns() - link.last_attempt_ns.load(std::memory_order_relaxed);
+  return since <
+         static_cast<std::int64_t>(config_.probe_interval_ms) * 1'000'000;
+}
+
+}  // namespace speed::net

@@ -1,0 +1,197 @@
+// Client-side replicated ResultStore cluster (docs/PROTOCOL.md §8).
+//
+// ClusterTransport routes each GET/PUT across N store nodes by rendezvous-
+// hashing the computation tag (serialize/rendezvous.h): element 0 of the
+// preference order is the tag's primary owner, the next `replicas` elements
+// its replicas. Unlike the single-node Transport it operates on decoded
+// messages, not opaque frames — routing needs the tag, and the tag is
+// inside the frame — so every node link owns its *own* attested
+// SecureChannel (sequence numbers are per-connection) wrapped around its
+// own ResilientTransport (reconnect + breaker, net/resilient.h).
+//
+// Failure semantics, chaos-tested (tests/chaos_cluster_test.cc):
+//
+//   * PUT is a sloppy-quorum walk: the preference order is walked until
+//     min(replicas+1, N) nodes accepted the entry; node failures extend the
+//     walk to the next candidate. The PUT is acknowledged (kStored /
+//     kAlreadyPresent) ONLY at full quorum — anything less returns
+//     kRejected, so an acked result provably survives any single node loss.
+//   * GET walks the same order until an entry is found or a quorum of
+//     *definitive* answers (found / not-found) accumulates; failures extend
+//     the walk, which also finds sloppily-placed entries. Zero definitive
+//     answers means the cluster is unreachable: StoreUnavailableError, the
+//     runtime's degrade-to-compute signal.
+//   * Read-repair: when a replica serves a hit after the tag's owner
+//     definitively missed, the entry is pushed back to the owner as an
+//     ordinary quota-charged PUT (the infra-only PUSH plane is not reachable
+//     from application credentials).
+//   * Health: per-node up/suspect/down states driven by the requests
+//     themselves plus explicit heartbeat probes; a down node is skipped
+//     without I/O until `probe_interval_ms` elapses, when one request is
+//     admitted as the probe.
+//   * Hedged GETs: when the primary is slower than `hedge_delay_ms`, the
+//     walk continues to a replica while the primary leg finishes on a
+//     helper thread; whichever leg finds the entry serves the call.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/resilient.h"
+#include "net/secure_channel.h"
+#include "serialize/rendezvous.h"
+#include "serialize/wire.h"
+#include "sgx/enclave.h"
+#include "telemetry/registry.h"
+
+namespace speed::net {
+
+/// One member endpoint. `dial` establishes a fresh connection: transport
+/// plus the session key from the attested handshake with that node's store
+/// enclave (e.g. a store::connect_tcp_app or connect_app closure). It is
+/// invoked for the initial connection and for every reconnect, so a
+/// restarted node is automatically re-attested.
+struct ClusterNode {
+  std::string name;
+  ResilientTransport::ReconnectFn dial;
+};
+
+struct ClusterConfig {
+  /// Additional copies beyond the primary; effective copy count per tag is
+  /// min(replicas + 1, N).
+  std::size_t replicas = 1;
+  /// Hedge a GET to the next candidate when the primary has not answered
+  /// within this budget. 0 disables hedging.
+  std::uint64_t hedge_delay_ms = 0;
+  /// A down node is skipped without I/O until this much time has passed
+  /// since the last attempt; then one request is admitted as the probe.
+  std::uint64_t probe_interval_ms = 50;
+  /// Consecutive failures that take a node from suspect to down.
+  int down_threshold = 2;
+  /// Push a replica-served entry back to the owner that missed it.
+  bool read_repair = true;
+  /// Per-link reconnect/breaker settings.
+  ResilienceConfig resilience;
+};
+
+class ClusterTransport {
+ public:
+  enum class NodeHealth : std::uint8_t { kUp = 0, kSuspect = 1, kDown = 2 };
+
+  /// Dials every node eagerly; nodes that cannot be reached start out down
+  /// and are re-dialed on demand. Throws if `nodes` is empty.
+  ClusterTransport(sgx::Enclave& app_enclave, std::vector<ClusterNode> nodes,
+                   ClusterConfig config = ClusterConfig{});
+
+  ClusterTransport(const ClusterTransport&) = delete;
+  ClusterTransport& operator=(const ClusterTransport&) = delete;
+
+  /// Route one application request (GET or PUT) across the cluster. Must be
+  /// called from inside the application enclave (it performs its own OCALLs
+  /// per node leg, mirroring DedupRuntime::secure_round_trip). Throws
+  /// StoreUnavailableError when no node can serve — the degrade-to-compute
+  /// signal.
+  serialize::Message round_trip_message(const serialize::Message& request);
+
+  /// Heartbeat one node (by index); updates its health state. Returns the
+  /// response when the node answered.
+  std::optional<serialize::HeartbeatResponse> probe(std::size_t node);
+  /// Heartbeat every node; returns how many answered.
+  std::size_t probe_all();
+
+  NodeHealth node_health(std::size_t node) const;
+  std::size_t node_count() const { return links_.size(); }
+  const std::vector<serialize::MemberInfo>& members() const {
+    return members_;
+  }
+  const ClusterConfig& config() const { return config_; }
+
+  /// Preference order for a tag (test/bench introspection).
+  std::vector<std::size_t> preference_order(const serialize::Tag& tag) const {
+    return serialize::rendezvous_order(members_, tag);
+  }
+
+  struct Stats {
+    std::uint64_t gets = 0;
+    std::uint64_t puts = 0;
+    std::uint64_t failovers = 0;       ///< node legs that failed mid-walk
+    std::uint64_t hedged_gets = 0;     ///< GETs that opened a hedge leg
+    std::uint64_t read_repairs = 0;    ///< entries pushed back to an owner
+    std::uint64_t partial_puts = 0;    ///< PUTs below quorum (not acked)
+    std::uint64_t unavailable = 0;     ///< walks with zero definitive answers
+    std::uint64_t probes = 0;
+  };
+  Stats stats() const;
+
+ private:
+  struct Link {
+    std::string name;
+    ResilientTransport::ReconnectFn dial;
+
+    /// Serializes channel + transport use for this node (sequence numbers
+    /// must match delivery order, exactly like DedupRuntime's channel_mu_).
+    std::mutex mu;
+    std::unique_ptr<ResilientTransport> transport;  ///< null until dialed
+    std::optional<SecureChannel> channel;
+    bool poisoned = false;
+
+    /// Fresh key staged by the transport's rekey callback (own lock: the
+    /// callback fires while mu is held by the recovering thread).
+    std::mutex rekey_mu;
+    std::optional<secret::Buffer> pending_rekey;
+
+    std::atomic<std::uint8_t> health{
+        static_cast<std::uint8_t>(NodeHealth::kUp)};
+    std::atomic<int> consecutive_failures{0};
+    /// steady_clock ns of the last attempt (for down-node probe gating).
+    std::atomic<std::int64_t> last_attempt_ns{0};
+  };
+
+  /// One request/response over `link`'s secure channel; throws on any
+  /// failure after updating health. Established lazily.
+  serialize::Message link_round_trip(Link& link,
+                                     const serialize::Message& request);
+  /// link_round_trip plus one inline retry: the first failure may only mean
+  /// the connection was stale (node restarted under a new incarnation), and
+  /// the retry goes through recover() — re-dial, re-attest, fresh key — so
+  /// a walk right after a node restart succeeds instead of failing over.
+  serialize::Message link_round_trip_retry(Link& link,
+                                           const serialize::Message& request);
+  /// Dial + build transport/channel; caller holds link.mu.
+  void establish_locked(Link& link);
+  void install_rekey_locked(Link& link);
+  void note_success(Link& link);
+  void note_failure(Link& link);
+  /// True when the walk should skip this node without attempting I/O.
+  bool skip_down(Link& link) const;
+
+  serialize::Message cluster_get(const serialize::GetRequest& req);
+  serialize::Message cluster_put(const serialize::PutRequest& req);
+  void read_repair(std::size_t owner, const serialize::GetRequest& req,
+                   const serialize::GetResponse& found);
+
+  sgx::Enclave& enclave_;
+  ClusterConfig config_;
+  std::vector<serialize::MemberInfo> members_;
+  std::vector<std::unique_ptr<Link>> links_;
+
+  telemetry::Counter gets_;
+  telemetry::Counter puts_;
+  telemetry::Counter failovers_;
+  telemetry::Counter hedged_gets_;
+  telemetry::Counter read_repairs_;
+  telemetry::Counter partial_puts_;
+  telemetry::Counter unavailable_;
+  telemetry::Counter probes_;
+  telemetry::Histogram walk_ns_;
+  // Declared after the cells it reads (deregistered first).
+  telemetry::Registry::Handle telemetry_handle_;
+};
+
+}  // namespace speed::net

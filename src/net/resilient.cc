@@ -73,7 +73,13 @@ Bytes ResilientTransport::round_trip(ByteView request) {
   if (!inner_healthy_) {
     // The frame was wrapped for a connection that has since died; a fresh
     // connection carries a fresh key, so this frame can never be delivered.
-    on_failure_locked();
+    // Still spend this admission on a reconnect: a half-open probe that
+    // insta-failed here would re-open the breaker without ever dialing, and
+    // steady round_trip traffic would then burn every probe window and hold
+    // the breaker open forever — even after the store came back. Recovering
+    // now closes the breaker and stages the fresh key for the NEXT frame;
+    // this one still fails (it is bound to the stale channel).
+    if (!try_reconnect_locked()) on_failure_locked();
     throw StoreUnavailableError(
         "ResilientTransport: connection dead, frame bound to stale channel");
   }
@@ -108,7 +114,7 @@ bool ResilientTransport::recover() {
 
 bool ResilientTransport::admit_locked() {
   if (state_ != BreakerState::kOpen) return true;
-  const auto cooldown = std::chrono::milliseconds(config_.breaker_cooldown_ms);
+  const auto cooldown = std::chrono::milliseconds(current_cooldown_ms_);
   if (std::chrono::steady_clock::now() - opened_at_ < cooldown) return false;
   state_ = BreakerState::kHalfOpen;
   return true;
@@ -119,8 +125,8 @@ bool ResilientTransport::try_reconnect_locked() {
   std::uint64_t delay_ms = config_.backoff_initial_ms;
   for (int attempt = 0; attempt < config_.reconnect_attempts; ++attempt) {
     if (attempt > 0) {
-      std::this_thread::sleep_for(
-          std::chrono::milliseconds(jittered_locked(delay_ms)));
+      std::this_thread::sleep_for(std::chrono::milliseconds(
+          jittered_locked(delay_ms, config_.backoff_jitter)));
       delay_ms = std::min(delay_ms * 2, config_.backoff_max_ms);
     }
     try {
@@ -154,17 +160,28 @@ void ResilientTransport::on_failure_locked() {
     if (state_ != BreakerState::kOpen) breaker_opens_.inc();
     state_ = BreakerState::kOpen;
     opened_at_ = std::chrono::steady_clock::now();
+    // Draw a fresh jittered cooldown per open: clients that tripped on the
+    // same store failure half-open at different times instead of
+    // thundering-herd probing the recovering node in lockstep.
+    current_cooldown_ms_ = jittered_locked(config_.breaker_cooldown_ms,
+                                           config_.breaker_cooldown_jitter);
   }
 }
 
-std::uint64_t ResilientTransport::jittered_locked(std::uint64_t ms) {
+std::uint64_t ResilientTransport::current_cooldown_ms() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_cooldown_ms_;
+}
+
+std::uint64_t ResilientTransport::jittered_locked(std::uint64_t ms,
+                                                  double fraction) {
   // xorshift64: deterministic jitter, reproducible across runs.
   jitter_state_ ^= jitter_state_ << 13;
   jitter_state_ ^= jitter_state_ >> 7;
   jitter_state_ ^= jitter_state_ << 17;
-  if (ms == 0 || config_.backoff_jitter <= 0.0) return ms;
-  const auto span = static_cast<std::uint64_t>(
-      static_cast<double>(ms) * config_.backoff_jitter);
+  if (ms == 0 || fraction <= 0.0) return ms;
+  const auto span =
+      static_cast<std::uint64_t>(static_cast<double>(ms) * fraction);
   if (span == 0) return ms;
   // ms +/- span, never below zero.
   const std::uint64_t offset = jitter_state_ % (2 * span + 1);

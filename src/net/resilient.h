@@ -50,6 +50,11 @@ struct ResilienceConfig {
   int breaker_threshold = 5;
   /// How long an open breaker rejects immediately before half-opening.
   std::uint64_t breaker_cooldown_ms = 250;
+  /// Fractional +/- jitter applied to the cooldown each time the breaker
+  /// opens. A fleet of clients that tripped on the same store failure would
+  /// otherwise half-open in lockstep and thundering-herd the recovering
+  /// node; jitter spreads their probes across the window.
+  double breaker_cooldown_jitter = 0.2;
   /// Seed for the deterministic jitter stream (reproducible tests).
   std::uint64_t jitter_seed = 0x5eedu;
 };
@@ -90,6 +95,10 @@ class ResilientTransport : public Transport {
 
   const ResilienceConfig& config() const { return config_; }
 
+  /// The jittered cooldown chosen when the breaker last opened (test hook
+  /// for the anti-thundering-herd behavior). 0 if it never opened.
+  std::uint64_t current_cooldown_ms() const;
+
  private:
   /// True if the breaker admits traffic now (may flip open -> half-open).
   bool admit_locked();
@@ -97,7 +106,7 @@ class ResilientTransport : public Transport {
   /// stages the fresh key, closes the breaker.
   bool try_reconnect_locked();
   void on_failure_locked();
-  std::uint64_t jittered_locked(std::uint64_t ms);
+  std::uint64_t jittered_locked(std::uint64_t ms, double fraction);
 
   mutable std::mutex mu_;
   std::unique_ptr<Transport> inner_;
@@ -108,6 +117,7 @@ class ResilientTransport : public Transport {
   int consecutive_failures_ = 0;
   BreakerState state_ = BreakerState::kClosed;
   std::chrono::steady_clock::time_point opened_at_{};
+  std::uint64_t current_cooldown_ms_ = 0;  ///< jittered, set per open
   std::uint64_t jitter_state_;
 
   telemetry::Counter round_trips_;

@@ -50,15 +50,10 @@ DedupRuntime::DedupRuntime(sgx::Enclave& app_enclave,
     : enclave_(app_enclave),
       transport_(std::move(transport)),
       config_(std::move(config)),
-      channel_(std::move(session_key), /*is_initiator=*/true),
+      channel_(std::in_place, std::move(session_key), /*is_initiator=*/true),
       cache_charge_(app_enclave, 0) {
   if (transport_ == nullptr) {
     throw ProtocolError("DedupRuntime: transport is required");
-  }
-  if (config_.scheme == RuntimeConfig::Scheme::kBasicSingleKey) {
-    // Move the key into the cipher's secret domain; no plain copy stays
-    // behind in the stored config.
-    basic_cipher_.emplace(std::move(config_.system_key));
   }
   // A recovering transport (net/resilient.h) re-runs the attested handshake
   // after a reconnect; stage the fresh key for the next round trip.
@@ -66,6 +61,30 @@ DedupRuntime::DedupRuntime(sgx::Enclave& app_enclave,
     std::lock_guard<std::mutex> lock(rekey_mu_);
     pending_rekey_ = std::move(key);
   });
+  init_common();
+}
+
+DedupRuntime::DedupRuntime(sgx::Enclave& app_enclave,
+                           std::shared_ptr<net::ClusterTransport> cluster,
+                           RuntimeConfig config)
+    : enclave_(app_enclave),
+      cluster_(std::move(cluster)),
+      config_(std::move(config)),
+      cache_charge_(app_enclave, 0) {
+  if (cluster_ == nullptr) {
+    throw ProtocolError("DedupRuntime: cluster transport is required");
+  }
+  // No single-link channel/rekey state: every cluster link carries its own
+  // attested channel and reconnect machinery (net/cluster.h).
+  init_common();
+}
+
+void DedupRuntime::init_common() {
+  if (config_.scheme == RuntimeConfig::Scheme::kBasicSingleKey) {
+    // Move the key into the cipher's secret domain; no plain copy stays
+    // behind in the stored config.
+    basic_cipher_.emplace(std::move(config_.system_key));
+  }
   if (config_.async_put) {
     put_thread_ = std::thread([this] { put_worker(); });
   }
@@ -140,12 +159,21 @@ mle::FunctionIdentity DedupRuntime::resolve(
 void DedupRuntime::install_rekey_locked() {
   std::lock_guard<std::mutex> lock(rekey_mu_);
   if (!pending_rekey_.has_value()) return;
-  channel_ = net::SecureChannel(std::move(*pending_rekey_), /*is_initiator=*/true);
+  channel_.emplace(std::move(*pending_rekey_), /*is_initiator=*/true);
   pending_rekey_.reset();
   channel_poisoned_ = false;
 }
 
 Message DedupRuntime::secure_round_trip(const Message& request) {
+  if (cluster_ != nullptr) {
+    // Cluster mode: routing, per-node channels, failover, and OCALLs all
+    // live in the ClusterTransport; it throws StoreUnavailableError when no
+    // node can serve, which the fail-open GET path degrades to compute.
+    const Stopwatch rtt_sw;
+    Message response = cluster_->round_trip_message(request);
+    metrics_.round_trip_ns.record(rtt_sw.elapsed_ns());
+    return response;
+  }
   std::lock_guard<std::mutex> lock(channel_mu_);
   install_rekey_locked();
   if (channel_poisoned_) {
@@ -161,7 +189,7 @@ Message DedupRuntime::secure_round_trip(const Message& request) {
   }
   // Wrap inside the enclave, cross to the host to hit the transport (the
   // prototype's customized OCALL carrying the request), unwrap back inside.
-  const Bytes frame = channel_.wrap(serialize::encode_message(request));
+  const Bytes frame = channel_->wrap(serialize::encode_message(request));
   Bytes response_frame;
   const Stopwatch rtt_sw;
   try {
@@ -174,7 +202,7 @@ Message DedupRuntime::secure_round_trip(const Message& request) {
     channel_poisoned_ = true;
     throw;
   }
-  const auto plain = channel_.unwrap(response_frame);
+  const auto plain = channel_->unwrap(response_frame);
   if (!plain.has_value()) {
     // Tampered/garbled response (or a response under a stale server
     // session). Either way the channel state is no longer trustworthy.

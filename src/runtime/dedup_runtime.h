@@ -43,6 +43,7 @@
 #include "mle/rce.h"
 #include "mle/tag.h"
 #include "net/channel.h"
+#include "net/cluster.h"
 #include "net/secure_channel.h"
 #include "serialize/function_descriptor.h"
 #include "serialize/wire.h"
@@ -116,6 +117,16 @@ class DedupRuntime {
   DedupRuntime(sgx::Enclave& app_enclave, Bytes session_key,
                std::unique_ptr<net::Transport> transport,
                RuntimeConfig config = RuntimeConfig{});
+
+  /// Cluster mode: GET/PUT route across a replicated store cluster instead
+  /// of one connection. The ClusterTransport owns a per-node attested
+  /// secure channel (plus reconnect/breaker machinery), so the runtime's
+  /// own single-link channel state stays disengaged; shared_ptr because the
+  /// deployment layer (capi, examples) keeps the cluster alive across
+  /// runtimes and probes it for health independently.
+  DedupRuntime(sgx::Enclave& app_enclave,
+               std::shared_ptr<net::ClusterTransport> cluster,
+               RuntimeConfig config = RuntimeConfig{});
   ~DedupRuntime();
 
   DedupRuntime(const DedupRuntime&) = delete;
@@ -162,7 +173,15 @@ class DedupRuntime {
 
   sgx::Enclave& enclave() { return enclave_; }
 
+  /// Cluster mode only; nullptr in single-store mode.
+  const std::shared_ptr<net::ClusterTransport>& cluster() const {
+    return cluster_;
+  }
+
  private:
+  /// Shared tail of every constructor: scheme setup, PUT worker, telemetry.
+  void init_common();
+
   /// One request/response over the secure channel. Must be called from
   /// inside the enclave; takes the channel lock to keep sequence numbers
   /// aligned with delivery order. If the channel is poisoned, first asks
@@ -186,12 +205,15 @@ class DedupRuntime {
 
   sgx::Enclave& enclave_;
   std::unique_ptr<net::Transport> transport_;
+  std::shared_ptr<net::ClusterTransport> cluster_;
   RuntimeConfig config_;
   sgx::TrustedLibraryRegistry libraries_;
   std::optional<mle::BasicResultCipher> basic_cipher_;
 
   std::mutex channel_mu_;
-  net::SecureChannel channel_;
+  /// Single-link secure channel; disengaged in cluster mode (each cluster
+  /// link owns its own channel).
+  std::optional<net::SecureChannel> channel_;
   /// A failed round trip leaves the channel's sequence numbers in an
   /// unknown state; the key must never wrap another frame (guarded by
   /// channel_mu_).

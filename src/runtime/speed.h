@@ -18,6 +18,7 @@
 #include "mle/rce.h"
 #include "mle/tag.h"
 #include "net/channel.h"
+#include "net/cluster.h"
 #include "net/fault.h"
 #include "net/handshake.h"
 #include "net/resilient.h"
@@ -26,10 +27,13 @@
 #include "runtime/dedup_runtime.h"
 #include "runtime/deduplicable.h"
 #include "serialize/function_descriptor.h"
+#include "serialize/rendezvous.h"
 #include "serialize/serde.h"
 #include "sgx/enclave.h"
 #include "sgx/trusted_library.h"
 #include "store/access_control.h"
+#include "store/inproc_cluster.h"
 #include "store/master_sync.h"
+#include "store/replication.h"
 #include "store/result_store.h"
 #include "store/store_session.h"

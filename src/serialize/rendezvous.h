@@ -1,0 +1,79 @@
+// Rendezvous (highest-random-weight) placement of tags onto cluster nodes.
+//
+// Each (node, tag) pair gets a pseudo-random score; the preference order for
+// a tag is the member list sorted by descending score. The property that
+// matters for the cluster (docs/PROTOCOL.md §8): removing a node only
+// reassigns the tags that node owned — every other tag keeps its exact
+// preference prefix, so failover and rebalance churn is minimal.
+//
+// Tags are SHA-256 outputs, so bytes are uniform; the score mixes tag bytes
+// [16, 24) — the dictionary hash consumes [0, 8) and the store's shard
+// selector consumes [8, 16), keeping the three derivations independent.
+// Placement is not secret (an observer of routed traffic learns it anyway);
+// determinism across every node and client is what's required, which is why
+// this lives next to the wire codec rather than behind a keyed hash.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <string_view>
+#include <vector>
+
+#include "serialize/wire.h"
+
+namespace speed::serialize {
+
+namespace detail {
+
+/// FNV-1a over the node name: stable across platforms, good enough as a
+/// per-node salt (the splitmix64 finalizer below supplies the avalanche).
+inline std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+inline std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace detail
+
+/// Score of placing `tag` on the node named `member`. Higher wins.
+inline std::uint64_t rendezvous_score(std::string_view member,
+                                      const Tag& tag) {
+  std::uint64_t t = 0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    t = (t << 8) | tag[16 + i];
+  }
+  return detail::splitmix64(detail::fnv1a(member) ^ t);
+}
+
+/// Indices into `members` sorted by descending score for `tag`: element 0
+/// is the tag's primary owner, elements 1..r its replicas. Ties (only
+/// possible with duplicate names) break toward the lower index, keeping the
+/// order total and identical on every caller.
+inline std::vector<std::size_t> rendezvous_order(
+    const std::vector<MemberInfo>& members, const Tag& tag) {
+  std::vector<std::size_t> order(members.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::vector<std::uint64_t> score(members.size());
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    score[i] = rendezvous_score(members[i].name, tag);
+  }
+  std::sort(order.begin(), order.end(),
+            [&score](std::size_t a, std::size_t b) {
+              if (score[a] != score[b]) return score[a] > score[b];
+              return a < b;
+            });
+  return order;
+}
+
+}  // namespace speed::serialize

@@ -29,6 +29,36 @@ EntryPayload take_entry(Decoder& dec) {
   return e;
 }
 
+// Every SyncEntry occupies at least tag + three length prefixes + hits on
+// the wire; a count beyond that is hostile — reject before allocating.
+constexpr std::size_t kMinSyncEntryWire = 32 + 4 + 4 + 4 + 8;
+
+void put_sync_entries(Encoder& enc, const std::vector<SyncEntry>& entries) {
+  enc.u32(static_cast<std::uint32_t>(entries.size()));
+  for (const SyncEntry& s : entries) {
+    put_array32(enc, s.tag);
+    put_entry(enc, s.entry);
+    enc.u64(s.hits);
+  }
+}
+
+std::vector<SyncEntry> take_sync_entries(Decoder& dec) {
+  const std::uint32_t n = dec.u32();
+  if (n > dec.remaining() / kMinSyncEntryWire) {
+    throw SerializationError("decode_message: implausible sync count");
+  }
+  std::vector<SyncEntry> entries;
+  entries.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    SyncEntry s;
+    s.tag = take_array32(dec);
+    s.entry = take_entry(dec);
+    s.hits = dec.u64();
+    entries.push_back(std::move(s));
+  }
+  return entries;
+}
+
 }  // namespace
 
 Bytes encode_message(const Message& msg) {
@@ -57,12 +87,44 @@ Bytes encode_message(const Message& msg) {
           enc.u32(m.max_entries);
         } else if constexpr (std::is_same_v<T, SyncResponse>) {
           enc.u8(static_cast<std::uint8_t>(MessageType::kSyncResponse));
-          enc.u32(static_cast<std::uint32_t>(m.entries.size()));
-          for (const SyncEntry& s : m.entries) {
-            put_array32(enc, s.tag);
-            put_entry(enc, s.entry);
-            enc.u64(s.hits);
+          put_sync_entries(enc, m.entries);
+        } else if constexpr (std::is_same_v<T, HeartbeatRequest>) {
+          enc.u8(static_cast<std::uint8_t>(MessageType::kHeartbeatRequest));
+          enc.u64(m.nonce);
+        } else if constexpr (std::is_same_v<T, HeartbeatResponse>) {
+          enc.u8(static_cast<std::uint8_t>(MessageType::kHeartbeatResponse));
+          enc.u64(m.nonce);
+          enc.u64(m.entries);
+          enc.u64(m.cluster_epoch);
+          enc.boolean(m.degraded);
+        } else if constexpr (std::is_same_v<T, PullRequest>) {
+          enc.u8(static_cast<std::uint8_t>(MessageType::kPullRequest));
+          put_array32(enc, m.after);
+          enc.u32(m.max_entries);
+          enc.boolean(m.resume);
+        } else if constexpr (std::is_same_v<T, PullResponse>) {
+          enc.u8(static_cast<std::uint8_t>(MessageType::kPullResponse));
+          put_sync_entries(enc, m.entries);
+          put_array32(enc, m.next);
+          enc.boolean(m.done);
+        } else if constexpr (std::is_same_v<T, PushRequest>) {
+          enc.u8(static_cast<std::uint8_t>(MessageType::kPushRequest));
+          put_sync_entries(enc, m.entries);
+        } else if constexpr (std::is_same_v<T, PushResponse>) {
+          enc.u8(static_cast<std::uint8_t>(MessageType::kPushResponse));
+          enc.u32(m.accepted);
+        } else if constexpr (std::is_same_v<T, MembershipUpdate>) {
+          enc.u8(static_cast<std::uint8_t>(MessageType::kMembershipUpdate));
+          enc.u64(m.epoch);
+          enc.u32(static_cast<std::uint32_t>(m.members.size()));
+          for (const MemberInfo& mi : m.members) {
+            enc.str(mi.name);
+            enc.u8(static_cast<std::uint8_t>(mi.status));
           }
+        } else if constexpr (std::is_same_v<T, MembershipAck>) {
+          enc.u8(static_cast<std::uint8_t>(MessageType::kMembershipAck));
+          enc.u64(m.epoch);
+          enc.boolean(m.applied);
         }
       },
       msg);
@@ -114,21 +176,80 @@ Message decode_message(ByteView data) {
     }
     case MessageType::kSyncResponse: {
       SyncResponse m;
+      m.entries = take_sync_entries(dec);
+      out = std::move(m);
+      break;
+    }
+    case MessageType::kHeartbeatRequest: {
+      HeartbeatRequest m;
+      m.nonce = dec.u64();
+      out = m;
+      break;
+    }
+    case MessageType::kHeartbeatResponse: {
+      HeartbeatResponse m;
+      m.nonce = dec.u64();
+      m.entries = dec.u64();
+      m.cluster_epoch = dec.u64();
+      m.degraded = dec.boolean();
+      out = m;
+      break;
+    }
+    case MessageType::kPullRequest: {
+      PullRequest m;
+      m.after = take_array32(dec);
+      m.max_entries = dec.u32();
+      m.resume = dec.boolean();
+      out = m;
+      break;
+    }
+    case MessageType::kPullResponse: {
+      PullResponse m;
+      m.entries = take_sync_entries(dec);
+      m.next = take_array32(dec);
+      m.done = dec.boolean();
+      out = std::move(m);
+      break;
+    }
+    case MessageType::kPushRequest: {
+      PushRequest m;
+      m.entries = take_sync_entries(dec);
+      out = std::move(m);
+      break;
+    }
+    case MessageType::kPushResponse: {
+      PushResponse m;
+      m.accepted = dec.u32();
+      out = m;
+      break;
+    }
+    case MessageType::kMembershipUpdate: {
+      MembershipUpdate m;
+      m.epoch = dec.u64();
       const std::uint32_t n = dec.u32();
-      // Every entry occupies at least tag + three length prefixes + hits on
-      // the wire; a count beyond that is hostile — reject before allocating.
-      constexpr std::size_t kMinEntryWire = 32 + 4 + 4 + 4 + 8;
-      if (n > dec.remaining() / kMinEntryWire) {
-        throw SerializationError("decode_message: implausible sync count");
+      // Each member costs at least a name length prefix + status byte.
+      constexpr std::size_t kMinMemberWire = 4 + 1;
+      if (n > dec.remaining() / kMinMemberWire) {
+        throw SerializationError("decode_message: implausible member count");
       }
-      m.entries.reserve(n);
+      m.members.reserve(n);
       for (std::uint32_t i = 0; i < n; ++i) {
-        SyncEntry s;
-        s.tag = take_array32(dec);
-        s.entry = take_entry(dec);
-        s.hits = dec.u64();
-        m.entries.push_back(std::move(s));
+        MemberInfo mi;
+        mi.name = dec.str();
+        const std::uint8_t status = dec.u8();
+        if (status > static_cast<std::uint8_t>(MemberStatus::kUp)) {
+          throw SerializationError("decode_message: invalid MemberStatus");
+        }
+        mi.status = static_cast<MemberStatus>(status);
+        m.members.push_back(std::move(mi));
       }
+      out = std::move(m);
+      break;
+    }
+    case MessageType::kMembershipAck: {
+      MembershipAck m;
+      m.epoch = dec.u64();
+      m.applied = dec.boolean();
       out = m;
       break;
     }
@@ -142,7 +263,7 @@ Message decode_message(ByteView data) {
 MessageType peek_type(ByteView data) {
   if (data.empty()) throw SerializationError("peek_type: empty message");
   const std::uint8_t t = data[0];
-  if (t < 1 || t > 6) throw SerializationError("peek_type: unknown type");
+  if (t < 1 || t > 14) throw SerializationError("peek_type: unknown type");
   return static_cast<MessageType>(t);
 }
 

@@ -12,6 +12,7 @@
 
 #include <array>
 #include <cstdint>
+#include <string>
 #include <variant>
 #include <vector>
 
@@ -33,6 +34,16 @@ enum class MessageType : std::uint8_t {
   kPutResponse = 4,
   kSyncRequest = 5,
   kSyncResponse = 6,
+  // Cluster plane (docs/PROTOCOL.md §8): health probes, anti-entropy bulk
+  // sync with resumable cursors, hot-entry push, and membership broadcast.
+  kHeartbeatRequest = 7,
+  kHeartbeatResponse = 8,
+  kPullRequest = 9,
+  kPullResponse = 10,
+  kPushRequest = 11,
+  kPushResponse = 12,
+  kMembershipUpdate = 13,
+  kMembershipAck = 14,
 };
 
 /// The stored triple (r, [k], [res]) of Algorithm 1.
@@ -87,8 +98,77 @@ struct SyncResponse {
   std::vector<SyncEntry> entries;
 };
 
-using Message = std::variant<GetRequest, GetResponse, PutRequest, PutResponse,
-                             SyncRequest, SyncResponse>;
+/// Liveness probe. Cheap enough to ride an application's secure channel (the
+/// client-side failover layer probes suspect nodes with it) and informative
+/// enough for the cluster fabric: the reply carries the node's size, its
+/// degraded flag, and the membership epoch it believes in.
+struct HeartbeatRequest {
+  std::uint64_t nonce = 0;
+};
+
+struct HeartbeatResponse {
+  std::uint64_t nonce = 0;          ///< echo of the request nonce
+  std::uint64_t entries = 0;        ///< dictionary entries held
+  std::uint64_t cluster_epoch = 0;  ///< membership view the node has applied
+  bool degraded = false;            ///< backend write failure; PUTs rejected
+};
+
+/// Bulk anti-entropy page (infra plane): entries in ascending tag order,
+/// resumable through the cursor. A rejoining node pulls every entry the ring
+/// assigns it, page by page, surviving interruptions mid-sync.
+struct PullRequest {
+  Tag after{};                    ///< resume cursor (strictly-greater tags)
+  std::uint32_t max_entries = 0;  ///< page size
+  bool resume = false;            ///< false = first page, `after` ignored
+};
+
+struct PullResponse {
+  std::vector<SyncEntry> entries;  ///< ascending tag order
+  Tag next{};                      ///< pass back as `after` to continue
+  bool done = false;               ///< no tags remain beyond `next`
+};
+
+/// Popularity-driven hot-entry push (infra plane): a node offers its hottest
+/// entries to the peers the ring makes responsible for them. Quota-exempt on
+/// the receiver, like every master-sync merge.
+struct PushRequest {
+  std::vector<SyncEntry> entries;
+};
+
+struct PushResponse {
+  std::uint32_t accepted = 0;  ///< entries newly inserted
+};
+
+enum class MemberStatus : std::uint8_t {
+  kDown = 0,
+  kUp = 1,
+};
+
+struct MemberInfo {
+  std::string name;  ///< endpoint label; feeds the rendezvous ring
+  MemberStatus status = MemberStatus::kUp;
+
+  friend bool operator==(const MemberInfo&, const MemberInfo&) = default;
+};
+
+/// Membership broadcast (infra plane): the cluster view at `epoch`. Nodes
+/// apply monotonically — an update with a stale epoch is acknowledged but
+/// ignored, so reordered broadcasts cannot roll the view back.
+struct MembershipUpdate {
+  std::uint64_t epoch = 0;
+  std::vector<MemberInfo> members;
+};
+
+struct MembershipAck {
+  std::uint64_t epoch = 0;  ///< epoch in effect at the node after the update
+  bool applied = false;     ///< false = the update was stale
+};
+
+using Message =
+    std::variant<GetRequest, GetResponse, PutRequest, PutResponse, SyncRequest,
+                 SyncResponse, HeartbeatRequest, HeartbeatResponse, PullRequest,
+                 PullResponse, PushRequest, PushResponse, MembershipUpdate,
+                 MembershipAck>;
 
 /// Encode any protocol message with its type byte.
 Bytes encode_message(const Message& msg);

@@ -11,24 +11,39 @@
 // eligible application regardless of which machine computed it.
 #pragma once
 
+#include "net/channel.h"
 #include "store/result_store.h"
 
 namespace speed::store {
 
 /// Pull up to `max_entries` of `master`'s hottest entries into `replica`
 /// through the wire protocol. Returns how many were newly inserted.
+///
+/// Failures — a malformed or unexpected response, a decode error — surface
+/// as net::StoreUnavailableError, the same fail-open signal every other
+/// store fault produces: sync is an optimization, and a broken master must
+/// degrade quietly (the replica keeps serving and recomputing) rather than
+/// crash the replication driver with a raw protocol error.
 inline std::size_t sync_replica_from_master(ResultStore& replica,
                                             ResultStore& master,
                                             std::uint32_t max_entries) {
-  const Bytes request =
-      serialize::encode_message(serialize::SyncRequest{max_entries});
-  const Bytes response = master.handle(request);
-  const auto decoded = serialize::decode_message(response);
-  const auto* batch = std::get_if<serialize::SyncResponse>(&decoded);
-  if (batch == nullptr) {
-    throw ProtocolError("sync_replica_from_master: unexpected response type");
+  try {
+    const Bytes request =
+        serialize::encode_message(serialize::SyncRequest{max_entries});
+    const Bytes response = master.handle(request);
+    const auto decoded = serialize::decode_message(response);
+    const auto* batch = std::get_if<serialize::SyncResponse>(&decoded);
+    if (batch == nullptr) {
+      throw net::StoreUnavailableError(
+          "sync_replica_from_master: unexpected response type");
+    }
+    return replica.merge_from_master(*batch);
+  } catch (const net::StoreUnavailableError&) {
+    throw;
+  } catch (const Error& e) {
+    throw net::StoreUnavailableError(std::string("sync_replica_from_master: ") +
+                                     e.what());
   }
-  return replica.merge_from_master(*batch);
 }
 
 }  // namespace speed::store

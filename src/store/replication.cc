@@ -1,0 +1,223 @@
+#include "store/replication.h"
+
+#include <algorithm>
+#include <map>
+
+namespace speed::store {
+
+using serialize::MemberInfo;
+using serialize::MemberStatus;
+using serialize::MembershipAck;
+using serialize::MembershipUpdate;
+using serialize::Message;
+using serialize::PullRequest;
+using serialize::PullResponse;
+using serialize::PushRequest;
+using serialize::PushResponse;
+using serialize::SyncEntry;
+using serialize::SyncRequest;
+using serialize::SyncResponse;
+using serialize::Tag;
+
+ClusterReplicator::ClusterReplicator(std::vector<PeerStore> peers,
+                                     ReplicationConfig config)
+    : peers_(std::move(peers)), config_(config) {
+  if (peers_.empty()) {
+    throw net::StoreUnavailableError("ClusterReplicator: no peers");
+  }
+  members_.reserve(peers_.size());
+  for (const PeerStore& p : peers_) {
+    members_.push_back({p.name, MemberStatus::kUp});
+  }
+  telemetry_handle_ = telemetry::Registry::global().add_collector(
+      [this](telemetry::SampleSink& sink) {
+        sink.counter("speed_replication_membership_rounds_total",
+                     "Membership broadcasts driven", {},
+                     membership_rounds_.value());
+        sink.counter("speed_replication_pushed_entries_total",
+                     "Entries accepted by anti-entropy push receivers", {},
+                     pushed_entries_.value());
+        sink.counter("speed_replication_pulled_entries_total",
+                     "Entries merged by bulk pulls", {},
+                     pulled_entries_.value());
+        sink.counter("speed_replication_sync_failures_total",
+                     "Replication round trips that failed", {},
+                     sync_failures_.value());
+        sink.gauge("speed_replication_sync_lag",
+                   "Entries the last push round could not place", {},
+                   sync_lag_.value());
+      });
+}
+
+ClusterReplicator::Stats ClusterReplicator::stats() const {
+  Stats s;
+  s.membership_rounds = membership_rounds_.value();
+  s.pushed_entries = pushed_entries_.value();
+  s.pulled_entries = pulled_entries_.value();
+  s.sync_failures = sync_failures_.value();
+  s.sync_lag = static_cast<std::uint64_t>(sync_lag_.value());
+  return s;
+}
+
+Message ClusterReplicator::call(std::size_t node, const Message& request) {
+  try {
+    const Bytes framed = serialize::encode_message(request);
+    const Bytes response = peers_[node].call(framed);
+    return serialize::decode_message(response);
+  } catch (const net::StoreUnavailableError&) {
+    sync_failures_.inc();
+    throw;
+  } catch (const Error& e) {
+    sync_failures_.inc();
+    throw net::StoreUnavailableError(
+        std::string("ClusterReplicator: node ") + peers_[node].name +
+        " unreachable: " + e.what());
+  }
+}
+
+std::vector<std::size_t> ClusterReplicator::owners_of(const Tag& tag) const {
+  auto order = serialize::rendezvous_order(members_, tag);
+  if (order.size() > config_.copies) order.resize(config_.copies);
+  return order;
+}
+
+std::size_t ClusterReplicator::broadcast_membership(
+    const std::vector<bool>& up) {
+  ++epoch_;
+  membership_rounds_.inc();
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    members_[i].status = (i < up.size() && up[i]) ? MemberStatus::kUp
+                                                  : MemberStatus::kDown;
+  }
+  MembershipUpdate update;
+  update.epoch = epoch_;
+  update.members = members_;
+  std::size_t applied = 0;
+  for (std::size_t i = 0; i < peers_.size(); ++i) {
+    if (members_[i].status != MemberStatus::kUp) continue;
+    try {
+      const Message m = call(i, Message(update));
+      const auto* ack = std::get_if<MembershipAck>(&m);
+      if (ack != nullptr && ack->applied) ++applied;
+    } catch (const net::StoreUnavailableError&) {
+      // Unreachable now; it will learn the view on rejoin.
+    }
+  }
+  return applied;
+}
+
+std::size_t ClusterReplicator::push_hot_entries(std::size_t from) {
+  SyncResponse hot;
+  try {
+    const Message m = call(from, Message(SyncRequest{config_.hot_entries}));
+    const auto* batch = std::get_if<SyncResponse>(&m);
+    if (batch == nullptr) return 0;
+    hot = *batch;
+  } catch (const net::StoreUnavailableError&) {
+    return 0;
+  }
+
+  // Route each hot entry to the ring owners that are not the source, then
+  // push one batch per receiver.
+  std::map<std::size_t, PushRequest> batches;
+  std::size_t placements_wanted = 0;
+  for (SyncEntry& e : hot.entries) {
+    for (const std::size_t owner : owners_of(e.tag)) {
+      if (owner == from || members_[owner].status != MemberStatus::kUp) {
+        continue;
+      }
+      ++placements_wanted;
+      batches[owner].entries.push_back(e);
+    }
+  }
+  std::size_t accepted = 0;
+  std::size_t placed = 0;
+  for (auto& [owner, batch] : batches) {
+    try {
+      const Message m = call(owner, Message(batch));
+      const auto* resp = std::get_if<PushResponse>(&m);
+      if (resp != nullptr) {
+        accepted += resp->accepted;
+        placed += batch.entries.size();
+      }
+    } catch (const net::StoreUnavailableError&) {
+      // Receiver down mid-round; lag accounts for it below.
+    }
+  }
+  pushed_entries_.inc(accepted);
+  sync_lag_.set(static_cast<std::int64_t>(placements_wanted - placed));
+  return accepted;
+}
+
+ClusterReplicator::PullPage ClusterReplicator::pull_page(
+    std::size_t to, std::size_t from, std::optional<Tag> cursor) {
+  PullRequest req;
+  req.max_entries = config_.pull_page;
+  req.resume = cursor.has_value();
+  if (cursor.has_value()) req.after = *cursor;
+
+  const Message m = call(from, Message(req));
+  const auto* page = std::get_if<PullResponse>(&m);
+  if (page == nullptr) {
+    sync_failures_.inc();
+    throw net::StoreUnavailableError(
+        "ClusterReplicator: unexpected PULL response from " +
+        peers_[from].name);
+  }
+
+  // Keep only the tags the ring assigns `to`: a rejoining node pulls its
+  // share, not the whole cluster.
+  PushRequest keep;
+  for (const SyncEntry& e : page->entries) {
+    const auto owners = owners_of(e.tag);
+    if (std::find(owners.begin(), owners.end(), to) != owners.end()) {
+      keep.entries.push_back(e);
+    }
+  }
+
+  PullPage result;
+  if (!keep.entries.empty()) {
+    const Message merged = call(to, Message(keep));
+    if (const auto* resp = std::get_if<PushResponse>(&merged)) {
+      result.merged = resp->accepted;
+      pulled_entries_.inc(resp->accepted);
+    }
+  }
+  if (!page->done) result.cursor = page->next;
+  return result;
+}
+
+std::size_t ClusterReplicator::pull_all(std::size_t to, std::size_t from) {
+  std::size_t merged = 0;
+  std::optional<Tag> cursor;
+  bool first = true;
+  while (first || cursor.has_value()) {
+    first = false;
+    const PullPage page = pull_page(to, from, cursor);
+    merged += page.merged;
+    cursor = page.cursor;
+  }
+  return merged;
+}
+
+std::size_t ClusterReplicator::rejoin(
+    std::size_t node, const std::vector<std::size_t>& still_down) {
+  std::vector<bool> up(peers_.size(), true);
+  for (const std::size_t i : still_down) {
+    if (i < up.size()) up[i] = false;
+  }
+  broadcast_membership(up);
+  std::size_t merged = 0;
+  for (std::size_t from = 0; from < peers_.size(); ++from) {
+    if (from == node || members_[from].status != MemberStatus::kUp) continue;
+    try {
+      merged += pull_all(node, from);
+    } catch (const net::StoreUnavailableError&) {
+      // This peer died mid-pull; the next one (or the next anti-entropy
+      // round) completes convergence.
+    }
+  }
+  return merged;
+}
+
+}  // namespace speed::store

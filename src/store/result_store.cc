@@ -193,6 +193,18 @@ ResultStore::ResultStore(sgx::Platform& platform, StoreConfig config)
         sink.counter("speed_store_wal_torn_tails_total",
                      "WAL tails truncated during recovery", {},
                      wal_torn_tails_.value());
+        sink.counter("speed_store_push_accepted_total",
+                     "Entries accepted from anti-entropy pushes", {},
+                     push_accepted_.value());
+        sink.counter("speed_store_pull_entries_served_total",
+                     "Entries served to anti-entropy pulls", {},
+                     pull_entries_served_.value());
+        sink.counter("speed_store_infra_rejections_total",
+                     "Infra-plane messages rejected on app sessions", {},
+                     infra_rejections_.value());
+        sink.gauge("speed_store_cluster_epoch",
+                   "Membership epoch this node has applied", {},
+                   static_cast<std::int64_t>(cluster_view().epoch));
         sink.gauge("speed_store_recovery_ms",
                    "Wall time of the last constructor-time WAL replay", {},
                    recovery_ms_.value());
@@ -225,17 +237,37 @@ Bytes ResultStore::handle(ByteView request) {
   return serialize::encode_message(resp);
 }
 
-Message ResultStore::dispatch_trusted(const Message& request) {
+Message ResultStore::dispatch_trusted(const Message& request, Peer peer) {
   if (const auto* get_req = std::get_if<GetRequest>(&request)) {
     return get_trusted(*get_req);
   }
   if (const auto* put_req = std::get_if<PutRequest>(&request)) {
     return put_trusted(*put_req);
   }
+  if (const auto* hb_req = std::get_if<serialize::HeartbeatRequest>(&request)) {
+    return heartbeat_trusted(*hb_req);
+  }
+  if (peer == Peer::kApp) {
+    // Applications never speak the infra plane: PUSH/PULL merges are
+    // quota-exempt, so letting an app session reach them would let it store
+    // bytes its quota ledger never sees.
+    infra_rejections_.inc();
+    throw ProtocolError("ResultStore: infra message on application session");
+  }
   if (const auto* sync_req = std::get_if<SyncRequest>(&request)) {
     return sync_trusted(*sync_req);
   }
-  throw ProtocolError("ResultStore: request must be GET, PUT, or SYNC");
+  if (const auto* pull_req = std::get_if<serialize::PullRequest>(&request)) {
+    return pull_trusted(*pull_req);
+  }
+  if (const auto* push_req = std::get_if<serialize::PushRequest>(&request)) {
+    return push_trusted(*push_req);
+  }
+  if (const auto* mem_req =
+          std::get_if<serialize::MembershipUpdate>(&request)) {
+    return membership_trusted(*mem_req);
+  }
+  throw ProtocolError("ResultStore: request type has no server handler");
 }
 
 GetResponse ResultStore::get(const GetRequest& req) {
@@ -424,18 +456,117 @@ SyncResponse ResultStore::sync_trusted(const SyncRequest& req) {
 }
 
 std::size_t ResultStore::merge_from_master(const SyncResponse& batch) {
-  return enclave_->ecall([&] {
-    std::size_t inserted = 0;
-    serialize::AppId master_owner{};
-    master_owner.fill(0xee);  // synthetic owner for replicated entries
-    for (const SyncEntry& e : batch.entries) {
-      if (insert_trusted(e.tag, master_owner, e.entry,
-                         /*enforce_quota=*/false) == PutStatus::kStored) {
-        ++inserted;
-      }
+  return enclave_->ecall([&] { return merge_entries_trusted(batch.entries); });
+}
+
+std::size_t ResultStore::merge_entries_trusted(
+    const std::vector<SyncEntry>& entries) {
+  std::size_t inserted = 0;
+  serialize::AppId master_owner{};
+  master_owner.fill(0xee);  // synthetic owner for replicated entries
+  for (const SyncEntry& e : entries) {
+    if (insert_trusted(e.tag, master_owner, e.entry,
+                       /*enforce_quota=*/false) != PutStatus::kStored) {
+      continue;
     }
-    return inserted;
-  });
+    ++inserted;
+    if (e.hits > 0) {
+      // Carry the sender's popularity so LFU eviction and the next sync's
+      // hit ranking treat a replicated hot entry as hot, not freshly cold.
+      Shard& shard = shard_for(e.tag);
+      std::lock_guard<std::mutex> lock(shard.mu);
+      const auto it = shard.dict.find(e.tag);
+      if (it != shard.dict.end()) it->second.hits = e.hits;
+    }
+  }
+  return inserted;
+}
+
+// ----------------------------------------------------------- cluster plane
+
+serialize::HeartbeatResponse ResultStore::heartbeat_trusted(
+    const serialize::HeartbeatRequest& req) const {
+  serialize::HeartbeatResponse resp;
+  resp.nonce = req.nonce;
+  resp.entries = stats().entries;
+  {
+    std::lock_guard<std::mutex> lock(cluster_mu_);
+    resp.cluster_epoch = cluster_.epoch;
+  }
+  resp.degraded = degraded();
+  return resp;
+}
+
+serialize::PullResponse ResultStore::pull_trusted(
+    const serialize::PullRequest& req) {
+  // Census of tags past the cursor, one shard at a time (same point-in-time
+  // discipline as sync_trusted), then fetch the first max_entries in tag
+  // order. The lexicographic cursor makes the scan resumable: a rejoining
+  // node that crashed mid-pull restarts from its last `next` and never
+  // re-transfers what it already merged.
+  std::vector<Tag> tags;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (const auto& [tag, meta] : shard->dict) {
+      if (!req.resume || tag > req.after) tags.push_back(tag);
+    }
+  }
+  std::sort(tags.begin(), tags.end());
+
+  serialize::PullResponse resp;
+  const std::size_t limit = std::min<std::size_t>(req.max_entries, tags.size());
+  resp.entries.reserve(limit);
+  for (std::size_t i = 0; i < limit; ++i) {
+    const Tag& tag = tags[i];
+    Shard& shard = shard_for(tag);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const auto it = shard.dict.find(tag);
+    if (it == shard.dict.end()) continue;  // evicted between phases
+    const MetaEntry& meta = it->second;
+    std::optional<Bytes> blob = backend_->get_blob(meta.ref);
+    if (!blob.has_value()) continue;
+    SyncEntry e;
+    e.tag = tag;
+    e.entry.challenge = meta.challenge;
+    e.entry.wrapped_key = meta.wrapped_key;
+    e.entry.result_ct = std::move(*blob);
+    e.hits = meta.hits;
+    resp.entries.push_back(std::move(e));
+    resp.next = tag;
+  }
+  resp.done = limit >= tags.size();
+  pull_entries_served_.inc(resp.entries.size());
+  return resp;
+}
+
+serialize::PushResponse ResultStore::push_trusted(
+    const serialize::PushRequest& req) {
+  serialize::PushResponse resp;
+  resp.accepted =
+      static_cast<std::uint32_t>(merge_entries_trusted(req.entries));
+  push_accepted_.inc(resp.accepted);
+  return resp;
+}
+
+serialize::MembershipAck ResultStore::membership_trusted(
+    const serialize::MembershipUpdate& req) {
+  std::lock_guard<std::mutex> lock(cluster_mu_);
+  serialize::MembershipAck ack;
+  // Monotonic application: a reordered or replayed broadcast with a stale
+  // epoch is acknowledged (the sender learns our epoch) but never rolls the
+  // view back.
+  if (req.epoch > cluster_.epoch) {
+    cluster_.epoch = req.epoch;
+    cluster_.members = req.members;
+    ack.applied = true;
+  }
+  ack.epoch = cluster_.epoch;
+  return ack;
+}
+
+ResultStore::ClusterView ResultStore::cluster_view() const {
+  std::lock_guard<std::mutex> lock(cluster_mu_);
+  return cluster_;
 }
 
 void ResultStore::erase_locked(Shard& shard, const Tag& tag, bool log_wal) {

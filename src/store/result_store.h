@@ -98,6 +98,17 @@ struct StoreConfig {
   std::shared_ptr<BlobBackend> backend;
 };
 
+/// Who is on the far end of a dispatched request. Application sessions may
+/// only GET, PUT, and heartbeat; the infra plane (peer stores, the host's
+/// own plaintext path, cluster replication) additionally gets SYNC, the
+/// anti-entropy PULL/PUSH pair, and membership updates. The split is a
+/// quota defence: PUSH merges are quota-exempt, so an application allowed
+/// to send one could store bytes it was never charged for.
+enum class Peer : std::uint8_t {
+  kInfra = 0,  ///< trusted infrastructure (default: preserves old callers)
+  kApp = 1,    ///< attested application session (StoreSession)
+};
+
 class ResultStore {
  public:
   /// Creates the store enclave on `platform`; recovers from
@@ -114,8 +125,10 @@ class ResultStore {
   /// Trusted dispatch: must already execute in the store enclave's context
   /// (used by handle() and by StoreSession's secure-channel ECALL). Takes
   /// only the target shard's lock, so concurrent sessions proceed in
-  /// parallel when their tags hash to different shards.
-  serialize::Message dispatch_trusted(const serialize::Message& request);
+  /// parallel when their tags hash to different shards. Infra-plane
+  /// messages on a Peer::kApp session throw ProtocolError.
+  serialize::Message dispatch_trusted(const serialize::Message& request,
+                                      Peer peer = Peer::kInfra);
 
   // Typed convenience API (each performs its own ECALL).
   serialize::GetResponse get(const serialize::GetRequest& req);
@@ -127,6 +140,17 @@ class ResultStore {
   /// capacity eviction still applies. Returns the number of newly inserted
   /// entries.
   std::size_t merge_from_master(const serialize::SyncResponse& batch);
+
+  // ----------------------------------------------------------- cluster view
+
+  /// Membership this node has applied (docs/PROTOCOL.md §8). Epoch 0 with no
+  /// members means "standalone": the node answers heartbeats and sync but
+  /// holds no cluster state.
+  struct ClusterView {
+    std::uint64_t epoch = 0;
+    std::vector<serialize::MemberInfo> members;
+  };
+  ClusterView cluster_view() const;
 
   /// Persistence: seal the full store state (metadata + blobs) to a blob
   /// only this store enclave (same measurement, same platform) can restore.
@@ -294,6 +318,20 @@ class ResultStore {
   serialize::PutResponse put_trusted(const serialize::PutRequest& req);
   serialize::SyncResponse sync_trusted(const serialize::SyncRequest& req);
 
+  // Cluster plane (docs/PROTOCOL.md §8).
+  serialize::HeartbeatResponse heartbeat_trusted(
+      const serialize::HeartbeatRequest& req) const;
+  serialize::PullResponse pull_trusted(const serialize::PullRequest& req);
+  serialize::PushResponse push_trusted(const serialize::PushRequest& req);
+  serialize::MembershipAck membership_trusted(
+      const serialize::MembershipUpdate& req);
+
+  /// Quota-exempt merge shared by master sync, anti-entropy push, and pull
+  /// replies; preserves the sender's hit counts so popularity ranking
+  /// survives replication. Must already run in the enclave.
+  std::size_t merge_entries_trusted(
+      const std::vector<serialize::SyncEntry>& entries);
+
   /// Insert helper shared by put and merge; takes `shard.mu` itself.
   /// `enforce_quota` distinguishes application PUTs from master-sync merges.
   serialize::PutStatus insert_trusted(const serialize::Tag& tag,
@@ -337,8 +375,17 @@ class ResultStore {
   std::uint64_t wal_seq_ = 0;
   WalChainTag wal_prev_{};
 
+  /// Cluster membership (docs/PROTOCOL.md §8), guarded by its own mutex —
+  /// it is read on the heartbeat path and written only by rare membership
+  /// broadcasts, never while a shard lock is held.
+  mutable std::mutex cluster_mu_;
+  ClusterView cluster_;
+
   std::atomic<bool> degraded_{false};
   RecoveryInfo recovery_info_;
+  telemetry::Counter push_accepted_;
+  telemetry::Counter pull_entries_served_;
+  telemetry::Counter infra_rejections_;
   telemetry::Counter backend_write_errors_;
   telemetry::Counter recovered_entries_;
   telemetry::Counter wal_torn_tails_;

@@ -67,7 +67,9 @@ class StoreSession {
         throw ProtocolError("StoreSession: bad frame (tamper/replay)");
       }
       const auto request = serialize::decode_message(*request_plain);
-      const auto response = store_.dispatch_trusted(request);
+      // Application role: GET/PUT/heartbeat only. Infra-plane messages
+      // (sync, push/pull, membership) are rejected inside dispatch.
+      const auto response = store_.dispatch_trusted(request, Peer::kApp);
       return channel_.wrap(serialize::encode_message(response));
     });
   }

@@ -158,4 +158,66 @@ TEST_F(CapiTest, TwoFunctionsAreDistinctComputations) {
   speed_function_destroy(fb);
 }
 
+TEST(CapiClusterTest, ClusterSurvivesNodeKillAndRestart) {
+  speed_deployment* dep = speed_deployment_create_cluster("capi-cluster", 3, 1);
+  ASSERT_NE(dep, nullptr);
+  ASSERT_EQ(speed_cluster_node_count(dep), 3u);
+  ASSERT_EQ(speed_cluster_nodes_up(dep), 3u);
+
+  const uint8_t code[] = "library code v1";
+  ASSERT_EQ(speed_register_library(dep, "clib", "1.0", code, sizeof(code)),
+            SPEED_OK);
+  int executions = 0;
+  speed_function* f = speed_function_create(
+      dep, "clib", "1.0", "bytes reverse(bytes)", counting_reverse, &executions);
+  ASSERT_NE(f, nullptr);
+
+  const uint8_t input[] = {'c', 'l', 'u', 's'};
+  uint8_t* out = nullptr;
+  size_t len = 0;
+  ASSERT_EQ(speed_call(f, input, sizeof(input), &out, &len), SPEED_OK);
+  EXPECT_EQ(speed_last_was_deduplicated(f), 0);
+  speed_buffer_free(out);
+  ASSERT_EQ(speed_flush(dep), SPEED_OK);
+
+  // The entry is now quorum-acked on 2 of 3 nodes: any single kill must not
+  // lose it, and new work keeps flowing through the degraded cluster.
+  ASSERT_EQ(speed_cluster_kill(dep, 1), SPEED_OK);
+  EXPECT_EQ(speed_cluster_nodes_up(dep), 2u);
+  ASSERT_EQ(speed_call(f, input, sizeof(input), &out, &len), SPEED_OK);
+  EXPECT_EQ(speed_last_was_deduplicated(f), 1);
+  EXPECT_EQ(executions, 1);
+  speed_buffer_free(out);
+
+  const uint8_t input2[] = {'m', 'o', 'r', 'e'};
+  ASSERT_EQ(speed_call(f, input2, sizeof(input2), &out, &len), SPEED_OK);
+  EXPECT_EQ(executions, 2);
+  speed_buffer_free(out);
+  ASSERT_EQ(speed_flush(dep), SPEED_OK);
+
+  // Restart re-attests the fresh node and rejoins it into the ring.
+  ASSERT_EQ(speed_cluster_restart(dep, 1), SPEED_OK);
+  EXPECT_EQ(speed_cluster_nodes_up(dep), 3u);
+  ASSERT_EQ(speed_call(f, input2, sizeof(input2), &out, &len), SPEED_OK);
+  EXPECT_EQ(speed_last_was_deduplicated(f), 1);
+  EXPECT_EQ(executions, 2);
+  speed_buffer_free(out);
+
+  EXPECT_EQ(speed_cluster_kill(dep, 7), SPEED_ERR_INVALID_ARGUMENT);
+  EXPECT_EQ(speed_cluster_restart(dep, 7), SPEED_ERR_INVALID_ARGUMENT);
+  EXPECT_EQ(speed_cluster_kill(nullptr, 0), SPEED_ERR_INVALID_ARGUMENT);
+
+  speed_function_destroy(f);
+  speed_deployment_destroy(dep);
+}
+
+TEST(CapiClusterTest, SingleStoreDeploymentHasNoClusterNodes) {
+  speed_deployment* dep = speed_deployment_create("capi-noncluster");
+  ASSERT_NE(dep, nullptr);
+  EXPECT_EQ(speed_cluster_node_count(dep), 0u);
+  EXPECT_EQ(speed_cluster_nodes_up(dep), 0u);
+  EXPECT_EQ(speed_cluster_kill(dep, 0), SPEED_ERR_INVALID_ARGUMENT);
+  speed_deployment_destroy(dep);
+}
+
 }  // namespace

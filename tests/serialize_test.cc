@@ -6,6 +6,7 @@
 
 #include "serialize/codec.h"
 #include "serialize/function_descriptor.h"
+#include "serialize/rendezvous.h"
 #include "serialize/serde.h"
 #include "serialize/wire.h"
 
@@ -211,6 +212,174 @@ TEST(WireTest, SyncRoundTrip) {
   SyncRequest req{17};
   EXPECT_EQ(std::get<SyncRequest>(decode_message(encode_message(req))).max_entries,
             17u);
+}
+
+TEST(WireTest, HeartbeatRoundTrip) {
+  HeartbeatRequest req{0x1234567890abcdefull};
+  EXPECT_EQ(std::get<HeartbeatRequest>(decode_message(encode_message(req))).nonce,
+            req.nonce);
+
+  HeartbeatResponse resp;
+  resp.nonce = req.nonce;
+  resp.entries = 42;
+  resp.cluster_epoch = 7;
+  resp.degraded = true;
+  const Bytes data = encode_message(resp);
+  EXPECT_EQ(peek_type(data), MessageType::kHeartbeatResponse);
+  const auto decoded = std::get<HeartbeatResponse>(decode_message(data));
+  EXPECT_EQ(decoded.nonce, resp.nonce);
+  EXPECT_EQ(decoded.entries, 42u);
+  EXPECT_EQ(decoded.cluster_epoch, 7u);
+  EXPECT_TRUE(decoded.degraded);
+}
+
+TEST(WireTest, PullRoundTrip) {
+  PullRequest req;
+  req.after = make_tag(0x5a);
+  req.max_entries = 128;
+  req.resume = true;
+  const auto dreq = std::get<PullRequest>(decode_message(encode_message(req)));
+  EXPECT_EQ(dreq.after, req.after);
+  EXPECT_EQ(dreq.max_entries, 128u);
+  EXPECT_TRUE(dreq.resume);
+
+  PullResponse resp;
+  SyncEntry e;
+  e.tag = make_tag(0x01);
+  e.entry = make_entry();
+  e.hits = 9;
+  resp.entries.push_back(e);
+  resp.next = make_tag(0x01);
+  resp.done = false;
+  const auto dresp =
+      std::get<PullResponse>(decode_message(encode_message(resp)));
+  ASSERT_EQ(dresp.entries.size(), 1u);
+  EXPECT_EQ(dresp.entries[0].entry, make_entry());
+  EXPECT_EQ(dresp.next, resp.next);
+  EXPECT_FALSE(dresp.done);
+}
+
+TEST(WireTest, PushRoundTrip) {
+  PushRequest req;
+  for (int i = 0; i < 2; ++i) {
+    SyncEntry e;
+    e.tag = make_tag(static_cast<std::uint8_t>(i));
+    e.entry = make_entry();
+    e.hits = static_cast<std::uint64_t>(i);
+    req.entries.push_back(e);
+  }
+  const auto dreq = std::get<PushRequest>(decode_message(encode_message(req)));
+  EXPECT_EQ(dreq.entries.size(), 2u);
+
+  PushResponse resp{2};
+  EXPECT_EQ(std::get<PushResponse>(decode_message(encode_message(resp))).accepted,
+            2u);
+}
+
+TEST(WireTest, MembershipRoundTrip) {
+  MembershipUpdate up;
+  up.epoch = 11;
+  up.members = {{"node-a", MemberStatus::kUp},
+                {"node-b", MemberStatus::kDown},
+                {"node-c", MemberStatus::kUp}};
+  const Bytes data = encode_message(up);
+  EXPECT_EQ(peek_type(data), MessageType::kMembershipUpdate);
+  const auto decoded = std::get<MembershipUpdate>(decode_message(data));
+  EXPECT_EQ(decoded.epoch, 11u);
+  EXPECT_EQ(decoded.members, up.members);
+
+  MembershipAck ack;
+  ack.epoch = 11;
+  ack.applied = true;
+  const auto dack = std::get<MembershipAck>(decode_message(encode_message(ack)));
+  EXPECT_EQ(dack.epoch, 11u);
+  EXPECT_TRUE(dack.applied);
+}
+
+TEST(WireTest, HostileClusterCountsRejected) {
+  // A PushRequest claiming far more entries than the payload could hold
+  // must be rejected before any allocation happens.
+  Encoder enc;
+  enc.u8(static_cast<std::uint8_t>(MessageType::kPushRequest));
+  enc.u32(0xffffffffu);
+  EXPECT_THROW(decode_message(enc.view()), SerializationError);
+
+  Encoder menc;
+  menc.u8(static_cast<std::uint8_t>(MessageType::kMembershipUpdate));
+  menc.u64(1);
+  menc.u32(0xffffffffu);
+  EXPECT_THROW(decode_message(menc.view()), SerializationError);
+
+  // Invalid MemberStatus byte.
+  MembershipUpdate up;
+  up.epoch = 1;
+  up.members = {{"n", MemberStatus::kUp}};
+  Bytes bad = encode_message(up);
+  bad.back() = 7;
+  EXPECT_THROW(decode_message(bad), SerializationError);
+}
+
+// --------------------------------------------------------- rendezvous ring
+
+TEST(RendezvousTest, OrderIsDeterministicAndTotal) {
+  const std::vector<MemberInfo> members = {
+      {"node-0", MemberStatus::kUp},
+      {"node-1", MemberStatus::kUp},
+      {"node-2", MemberStatus::kUp}};
+  const Tag tag = make_tag(0x7e);
+  const auto a = rendezvous_order(members, tag);
+  const auto b = rendezvous_order(members, tag);
+  EXPECT_EQ(a, b);
+  ASSERT_EQ(a.size(), 3u);
+  std::vector<std::size_t> sorted = a;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(RendezvousTest, RemovingANodeOnlyReassignsItsTags) {
+  const std::vector<MemberInfo> full = {{"node-0", MemberStatus::kUp},
+                                        {"node-1", MemberStatus::kUp},
+                                        {"node-2", MemberStatus::kUp}};
+  // Remove node-1; tags owned by node-0 or node-2 must keep their primary.
+  const std::vector<MemberInfo> reduced = {{"node-0", MemberStatus::kUp},
+                                           {"node-2", MemberStatus::kUp}};
+  int moved = 0, kept = 0;
+  for (int i = 0; i < 256; ++i) {
+    Tag tag{};
+    tag.fill(static_cast<std::uint8_t>(i));
+    tag[16] = static_cast<std::uint8_t>(i * 37);  // vary the scored window
+    const auto before = rendezvous_order(full, tag);
+    const auto after = rendezvous_order(reduced, tag);
+    const std::string& owner_before = full[before[0]].name;
+    const std::string& owner_after = reduced[after[0]].name;
+    if (owner_before == "node-1") {
+      ++moved;  // must be reassigned somewhere
+    } else {
+      EXPECT_EQ(owner_before, owner_after);
+      ++kept;
+    }
+  }
+  // With uniform placement each node owns roughly a third.
+  EXPECT_GT(moved, 0);
+  EXPECT_GT(kept, moved);
+}
+
+TEST(RendezvousTest, PlacementIsRoughlyBalanced) {
+  const std::vector<MemberInfo> members = {{"node-0", MemberStatus::kUp},
+                                           {"node-1", MemberStatus::kUp},
+                                           {"node-2", MemberStatus::kUp}};
+  std::array<int, 3> owned{};
+  for (int i = 0; i < 999; ++i) {
+    Tag tag{};
+    for (std::size_t b = 0; b < tag.size(); ++b) {
+      tag[b] = static_cast<std::uint8_t>((i * 131 + b * 29) & 0xff);
+    }
+    ++owned[rendezvous_order(members, tag)[0]];
+  }
+  for (const int count : owned) {
+    EXPECT_GT(count, 999 / 6) << "placement badly skewed";
+    EXPECT_LT(count, 999 / 2) << "placement badly skewed";
+  }
 }
 
 TEST(WireTest, MalformedInputsThrow) {
