@@ -45,3 +45,16 @@ if [ ! -x "$cluster_bench" ]; then
 fi
 "$cluster_bench" "$repo_root/BENCH_cluster.json"
 echo "results:   $repo_root/BENCH_cluster.json"
+
+# Batched wire protocol + switchless transitions: GET throughput vs client
+# micro-batch size against the epoll server (acceptance bar: >= 2x at
+# batch >= 16 over the v1 per-op protocol; the bench exits 2 below that).
+batch_bench="$build_dir/bench/bench_batch"
+if [ ! -x "$batch_bench" ]; then
+  echo "building $batch_bench ..."
+  cmake --build "$build_dir" --target bench_batch -j
+fi
+# (bench_batch honors SPEED_BENCH_SMOKE=1 for the ~2 s CI variant.)
+"$batch_bench" "$repo_root/BENCH_batch.json"
+echo "results:   $repo_root/BENCH_batch.json"
+echo "telemetry: $repo_root/BENCH_batch.telemetry.json"

@@ -1,6 +1,8 @@
 #include "net/cluster.h"
 
+#include <algorithm>
 #include <future>
+#include <unordered_map>
 
 #include "common/clock.h"
 
@@ -123,7 +125,95 @@ Message ClusterTransport::round_trip_message(const Message& request) {
   if (const auto* put_req = std::get_if<PutRequest>(&request)) {
     return cluster_put(*put_req);
   }
+  if (const auto* batch_req = std::get_if<serialize::BatchRequest>(&request)) {
+    return cluster_batch(*batch_req);
+  }
   throw ProtocolError("ClusterTransport: only GET and PUT are routable");
+}
+
+Message ClusterTransport::cluster_batch(const serialize::BatchRequest& req) {
+  serialize::BatchResponse resp;
+  resp.replies.resize(req.ops.size());
+  const std::size_t quorum = std::min(config_.replicas + 1, members_.size());
+
+  // Group ops by their rendezvous primary: one forwarded BatchRequest per
+  // node keeps the transition-amortization win while every op still lands
+  // on its tag's owner first.
+  std::unordered_map<std::size_t, std::vector<std::size_t>> by_primary;
+  for (std::size_t i = 0; i < req.ops.size(); ++i) {
+    const serialize::Tag& tag = std::visit(
+        [](const auto& op) -> const serialize::Tag& { return op.tag; },
+        req.ops[i]);
+    const auto order = serialize::rendezvous_order(members_, tag);
+    by_primary[order.front()].push_back(i);
+  }
+
+  for (auto& [node, indices] : by_primary) {
+    Link& link = *links_[node];
+    std::optional<serialize::BatchResponse> node_resp;
+    if (!skip_down(link)) {
+      serialize::BatchRequest forward;
+      forward.ops.reserve(indices.size());
+      for (const std::size_t i : indices) forward.ops.push_back(req.ops[i]);
+      try {
+        Message answer = link_round_trip_retry(link, Message(forward));
+        if (auto* batch_resp = std::get_if<serialize::BatchResponse>(&answer);
+            batch_resp != nullptr &&
+            batch_resp->replies.size() == indices.size()) {
+          node_resp = std::move(*batch_resp);
+        }
+      } catch (const Error&) {
+        failovers_.inc();  // the per-op walks below pick up the slack
+      }
+    }
+    for (std::size_t j = 0; j < indices.size(); ++j) {
+      const std::size_t i = indices[j];
+      bool settled = false;
+      if (node_resp.has_value()) {
+        const serialize::BatchReply& reply = node_resp->replies[j];
+        if (const auto* get_resp = std::get_if<GetResponse>(&reply)) {
+          // A hit from the owner is always authoritative; a definitive miss
+          // only is when there are no replicas left to consult.
+          if (get_resp->found || quorum == 1) {
+            gets_.inc();
+            resp.replies[i] = *get_resp;
+            settled = true;
+          }
+        } else if (const auto* put_resp = std::get_if<PutResponse>(&reply)) {
+          // With replicas, an ack requires the full sloppy-quorum walk.
+          if (quorum == 1) {
+            puts_.inc();
+            resp.replies[i] = *put_resp;
+            settled = true;
+          }
+        }
+        // ErrorResponse (or an unexpected kind): fall through to the walk.
+      }
+      if (settled) continue;
+      try {
+        Message walked;
+        if (const auto* get_req = std::get_if<GetRequest>(&req.ops[i])) {
+          walked = cluster_get(*get_req);
+        } else {
+          walked = cluster_put(std::get<PutRequest>(req.ops[i]));
+        }
+        if (auto* get_resp = std::get_if<GetResponse>(&walked)) {
+          resp.replies[i] = std::move(*get_resp);
+        } else if (const auto* put_resp = std::get_if<PutResponse>(&walked)) {
+          resp.replies[i] = *put_resp;
+        } else {
+          resp.replies[i] = serialize::ErrorResponse{
+              serialize::ErrorCode::kBadRequest, "unexpected reply type"};
+        }
+      } catch (const Error& e) {
+        // Only this op degrades; its neighbors keep their answers.
+        resp.replies[i] =
+            serialize::ErrorResponse{serialize::ErrorCode::kUnavailable,
+                                     e.what()};
+      }
+    }
+  }
+  return Message(std::move(resp));
 }
 
 // ------------------------------------------------------------------- walks

@@ -173,6 +173,15 @@ class ClusterTransport {
 
   serialize::Message cluster_get(const serialize::GetRequest& req);
   serialize::Message cluster_put(const serialize::PutRequest& req);
+  /// Batched routing: ops are grouped by rendezvous primary and forwarded as
+  /// one BatchRequest per node. A batched sub-answer is authoritative when a
+  /// single leg settles it (found GETs always; everything when the quorum is
+  /// 1); anything else — quorum PUTs, definitive misses with replicas, node
+  /// failures, per-op errors — falls back to the op's normal quorum walk, so
+  /// batching never weakens the chaos-tested ack/read-repair guarantees. An
+  /// op whose walk also fails yields ErrorResponse{kUnavailable}; the call
+  /// itself always returns a full BatchResponse.
+  serialize::Message cluster_batch(const serialize::BatchRequest& req);
   void read_repair(std::size_t owner, const serialize::GetRequest& req,
                    const serialize::GetResponse& found);
 

@@ -1,6 +1,7 @@
 #include "net/tcp.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
@@ -208,13 +209,45 @@ void TcpListener::close() {
 }
 
 FramedSocket TcpListener::accept() {
+  for (;;) {
+    const int listen_fd = fd_.load();
+    if (listen_fd < 0) throw TcpError("accept: listener closed");
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      // EINTR (a signal) and ECONNABORTED (the dialer hung up while queued)
+      // are per-attempt accidents, not listener failures: retry instead of
+      // surfacing a spurious error to the accept loop.
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      throw TcpError(std::string("accept: ") + std::strerror(errno));
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return FramedSocket(fd);
+  }
+}
+
+std::optional<FramedSocket> TcpListener::try_accept() {
   const int listen_fd = fd_.load();
   if (listen_fd < 0) throw TcpError("accept: listener closed");
   const int fd = ::accept(listen_fd, nullptr, nullptr);
-  if (fd < 0) throw TcpError(std::string("accept: ") + std::strerror(errno));
+  if (fd < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR ||
+        errno == ECONNABORTED) {
+      return std::nullopt;  // retriable: nothing pending right now
+    }
+    if (fd_.load() < 0) throw TcpError("accept: listener closed");
+    throw TcpError(std::string("accept: ") + std::strerror(errno));
+  }
   const int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   return FramedSocket(fd);
+}
+
+void TcpListener::set_nonblocking() {
+  const int listen_fd = fd_.load();
+  if (listen_fd < 0) return;
+  const int flags = ::fcntl(listen_fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(listen_fd, F_SETFL, flags | O_NONBLOCK);
 }
 
 }  // namespace speed::net

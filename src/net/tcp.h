@@ -91,6 +91,18 @@ class FramedSocket {
   bool valid() const { return fd_ >= 0; }
   void close();
 
+  /// Underlying descriptor (-1 when closed). For event-loop servers that
+  /// multiplex many sockets; frame helpers above stay usable alongside.
+  int fd() const { return fd_; }
+
+  /// Give up ownership of the descriptor (the event loop takes over its
+  /// lifecycle); this socket becomes invalid without closing the fd.
+  int release() {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+
   /// Half-close both directions without releasing the fd: unblocks a peer
   /// (or our own other thread) sitting in recv(). Safe to call from a
   /// different thread than the one using the socket.
@@ -122,8 +134,22 @@ class TcpListener {
 
   std::uint16_t port() const { return port_; }
 
-  /// Blocks for the next connection; throws TcpError once closed.
+  /// Blocks for the next connection; throws TcpError once closed. Retries
+  /// EINTR and transient per-connection failures (ECONNABORTED) internally —
+  /// a signal or an aborted dial never kills the accept loop.
   FramedSocket accept();
+
+  /// Nonblocking accept for event-loop servers (call set_nonblocking()
+  /// first): returns nullopt when no connection is pending (EAGAIN) or the
+  /// attempt was retriable (EINTR/ECONNABORTED); throws TcpError only once
+  /// the listener is closed or genuinely broken.
+  std::optional<FramedSocket> try_accept();
+
+  /// Switch the listening socket to O_NONBLOCK (for try_accept + epoll).
+  void set_nonblocking();
+
+  /// Listening descriptor for epoll registration (-1 once closed).
+  int fd() const { return fd_.load(); }
 
   /// Unblocks pending accept() calls. Safe to call from another thread
   /// while accept() is blocked (the usual server-shutdown shape).

@@ -1,6 +1,8 @@
 #include "runtime/dedup_runtime.h"
 
+#include <algorithm>
 #include <chrono>
+#include <vector>
 
 #include "common/error.h"
 
@@ -117,6 +119,12 @@ void DedupRuntime::init_common() {
         sink.histogram("speed_runtime_round_trip_ns",
                        "Secure-channel round trips issued by the runtime", {},
                        metrics_.round_trip_ns);
+        sink.counter("speed_runtime_batches_total",
+                     "Batch frames shipped by the micro-batcher", {},
+                     metrics_.batches.value());
+        sink.histogram("speed_runtime_batch_ops",
+                       "Ops coalesced per shipped batch frame", {},
+                       metrics_.batch_ops);
         {
           std::lock_guard<std::mutex> lock(cache_mu_);
           sink.gauge("speed_runtime_cache_bytes",
@@ -212,6 +220,169 @@ Message DedupRuntime::secure_round_trip(const Message& request) {
   return serialize::decode_message(*plain);
 }
 
+namespace {
+
+/// Lift a batch sub-reply back to a top-level message; a per-op error
+/// becomes StoreUnavailableError so fail-open degrades exactly this call.
+Message reply_to_message(serialize::BatchReply reply) {
+  if (auto* get_resp = std::get_if<GetResponse>(&reply)) {
+    return Message(std::move(*get_resp));
+  }
+  if (const auto* put_resp = std::get_if<PutResponse>(&reply)) {
+    return Message(*put_resp);
+  }
+  const auto& err = std::get<serialize::ErrorResponse>(reply);
+  throw net::StoreUnavailableError("DedupRuntime: batched op refused: " +
+                                   err.detail);
+}
+
+}  // namespace
+
+Message DedupRuntime::batched_round_trip(const Message& request) {
+  if (!config_.batching.enabled) return secure_round_trip(request);
+  serialize::BatchOp op;
+  if (const auto* get = std::get_if<GetRequest>(&request)) {
+    op = *get;
+  } else if (const auto* put = std::get_if<PutRequest>(&request)) {
+    op = *put;
+  } else {
+    return secure_round_trip(request);  // only GET/PUT are batchable
+  }
+  std::vector<serialize::BatchReply> replies = batch_execute({std::move(op)});
+  return reply_to_message(std::move(replies.front()));
+}
+
+std::vector<serialize::BatchReply> DedupRuntime::batch_execute(
+    std::vector<serialize::BatchOp> ops) {
+  // Leader/follower rendezvous: every thread parks its ops in the shared
+  // pending list; the first one in becomes the leader, waits briefly for
+  // followers, then ships everything pending as one frame. Followers just
+  // wait for their slots to complete.
+  std::vector<PendingOp> slots(ops.size());
+  for (std::size_t i = 0; i < ops.size(); ++i) slots[i].op = std::move(ops[i]);
+
+  std::unique_lock<std::mutex> lock(batch_mu_);
+  ++batch_inflight_;
+  for (auto& slot : slots) batch_pending_.push_back(&slot);
+  if (batch_pending_.size() >= config_.batching.max_ops) {
+    batch_fill_cv_.notify_one();
+  }
+  if (batch_leader_active_) {
+    // Follower. The current leader (or a later one) ships our slots.
+    batch_done_cv_.wait(lock, [&] {
+      for (const auto& slot : slots) {
+        if (!slot.done) return false;
+      }
+      return true;
+    });
+  } else {
+    batch_leader_active_ = true;
+    if (batch_pending_.size() < config_.batching.max_ops &&
+        config_.batching.flush_delay_us > 0 && batch_inflight_ > 1) {
+      // Adaptive flush: flush_delay_us caps the total wait, but the leader
+      // ships as soon as arrivals quiesce — a grace interval passing with no
+      // new op. Fewer concurrent threads than max_ops then costs one grace
+      // period, not the full delay, while a steady trickle of arrivals keeps
+      // filling the frame up to the cap.
+      const auto deadline =
+          std::chrono::steady_clock::now() +
+          std::chrono::microseconds(config_.batching.flush_delay_us);
+      const auto grace = std::chrono::microseconds(
+          std::max<std::uint64_t>(config_.batching.flush_delay_us / 4, 1));
+      std::size_t seen = batch_pending_.size();
+      while (batch_pending_.size() < config_.batching.max_ops) {
+        const auto now = std::chrono::steady_clock::now();
+        if (now >= deadline) break;
+        batch_fill_cv_.wait_until(
+            lock, std::min(deadline, now + grace),
+            [&] { return batch_pending_.size() >= config_.batching.max_ops; });
+        if (batch_pending_.size() == seen) break;  // quiesced
+        seen = batch_pending_.size();
+      }
+    }
+    std::vector<PendingOp*> shipping;
+    shipping.swap(batch_pending_);
+    batch_leader_active_ = false;  // late arrivals elect the next leader
+    lock.unlock();
+
+    metrics_.batches.inc();
+    metrics_.batch_ops.record(shipping.size());
+
+    // One op needs no envelope — and stays decodable by a legacy store.
+    std::optional<Message> response;
+    bool transport_failed = false;
+    std::string failure = "store unreachable";
+    try {
+      if (shipping.size() == 1) {
+        response = std::visit(
+            [this](const auto& o) { return secure_round_trip(Message(o)); },
+            shipping.front()->op);
+      } else {
+        serialize::BatchRequest batch;
+        batch.ops.reserve(shipping.size());
+        for (const PendingOp* slot : shipping) batch.ops.push_back(slot->op);
+        response = secure_round_trip(batch);
+      }
+    } catch (const Error& e) {
+      transport_failed = true;
+      failure = e.what();
+    }
+
+    lock.lock();
+    if (!transport_failed && shipping.size() == 1) {
+      // Map the plain reply into the slot; a non-GET/PUT reply (including a
+      // top-level ErrorResponse) is a per-op refusal.
+      if (auto* get_resp = std::get_if<GetResponse>(&*response)) {
+        shipping.front()->reply = std::move(*get_resp);
+      } else if (const auto* put_resp = std::get_if<PutResponse>(&*response)) {
+        shipping.front()->reply = *put_resp;
+      } else if (const auto* err =
+                     std::get_if<serialize::ErrorResponse>(&*response)) {
+        shipping.front()->reply = *err;
+      } else {
+        shipping.front()->reply = serialize::ErrorResponse{
+            serialize::ErrorCode::kBadRequest, "unexpected reply type"};
+      }
+    } else if (!transport_failed) {
+      const auto* batch_resp = std::get_if<serialize::BatchResponse>(&*response);
+      if (batch_resp != nullptr &&
+          batch_resp->replies.size() == shipping.size()) {
+        for (std::size_t i = 0; i < shipping.size(); ++i) {
+          shipping[i]->reply = batch_resp->replies[i];
+        }
+      } else if (const auto* err =
+                     std::get_if<serialize::ErrorResponse>(&*response)) {
+        // Top-level refusal (e.g. kBatchTooLarge) applies to every op.
+        for (PendingOp* slot : shipping) slot->reply = *err;
+      } else {
+        transport_failed = true;
+        failure = "malformed batch response";
+      }
+    }
+    if (transport_failed) {
+      for (PendingOp* slot : shipping) {
+        slot->reply = serialize::ErrorResponse{
+            serialize::ErrorCode::kUnavailable, failure};
+      }
+    }
+    for (PendingOp* slot : shipping) slot->done = true;
+    batch_done_cv_.notify_all();
+    // Our own slots may have been shipped by an earlier leader instead.
+    batch_done_cv_.wait(lock, [&] {
+      for (const auto& slot : slots) {
+        if (!slot.done) return false;
+      }
+      return true;
+    });
+  }
+  --batch_inflight_;  // lock is held again on both paths
+
+  std::vector<serialize::BatchReply> replies;
+  replies.reserve(slots.size());
+  for (auto& slot : slots) replies.push_back(std::move(slot.reply));
+  return replies;
+}
+
 DedupRuntime::Outcome DedupRuntime::execute(
     const mle::FunctionIdentity& fn, ByteView input,
     const std::function<Bytes()>& compute) {
@@ -287,13 +458,13 @@ DedupRuntime::Outcome DedupRuntime::execute(
                                                telemetry::Stage::kStoreGet);
       if (config_.fail_open) {
         try {
-          response = secure_round_trip(get);
+          response = batched_round_trip(get);
           get_resp = std::get_if<GetResponse>(&response);
         } catch (const Error&) {
           get_resp = nullptr;
         }
       } else {
-        response = secure_round_trip(get);
+        response = batched_round_trip(get);
         get_resp = std::get_if<GetResponse>(&response);
         if (get_resp == nullptr) {
           throw ProtocolError("DedupRuntime: expected GET_RESPONSE");
@@ -423,9 +594,35 @@ void DedupRuntime::send_put(const PutRequest& put) {
   }
 }
 
+void DedupRuntime::send_put_batch(const std::vector<PutRequest>& puts) {
+  if (!config_.batching.enabled || puts.size() == 1) {
+    for (const auto& put : puts) send_put(put);
+    return;
+  }
+  // The whole drained run rides the micro-batcher, where it may coalesce
+  // further with concurrent GETs into one frame.
+  std::vector<serialize::BatchOp> ops;
+  ops.reserve(puts.size());
+  for (const auto& put : puts) ops.emplace_back(put);
+  const std::vector<serialize::BatchReply> replies =
+      batch_execute(std::move(ops));
+  for (const auto& reply : replies) {
+    const auto* put_resp = std::get_if<PutResponse>(&reply);
+    if (put_resp == nullptr) {
+      metrics_.puts_rejected.inc();  // per-op error or malformed reply kind
+      continue;
+    }
+    metrics_.puts_sent.inc();
+    if (put_resp->status != PutStatus::kStored &&
+        put_resp->status != PutStatus::kAlreadyPresent) {
+      metrics_.puts_rejected.inc();
+    }
+  }
+}
+
 void DedupRuntime::put_worker() {
   for (;;) {
-    PutRequest put;
+    std::vector<PutRequest> puts;
     {
       std::unique_lock<std::mutex> lock(queue_mu_);
       queue_cv_.wait(lock,
@@ -434,20 +631,31 @@ void DedupRuntime::put_worker() {
         if (shutting_down_) return;
         continue;
       }
-      put = std::move(put_queue_.front());
-      put_queue_.pop_front();
-      ++puts_in_flight_;
+      // Drain a run: with batching on, everything queued (up to max_ops)
+      // ships in one frame under one ECALL; otherwise one PUT per ECALL,
+      // the historical behavior.
+      const std::size_t take =
+          config_.batching.enabled
+              ? std::min(put_queue_.size(),
+                         std::max<std::size_t>(config_.batching.max_ops, 1))
+              : 1;
+      puts.reserve(take);
+      for (std::size_t i = 0; i < take; ++i) {
+        puts.push_back(std::move(put_queue_.front()));
+        put_queue_.pop_front();
+      }
+      puts_in_flight_ += take;
     }
     // The worker enters the enclave for the channel crypto, like any other
     // trusted-thread ECALL.
     try {
-      enclave_.ecall([&] { send_put(put); });
+      enclave_.ecall([&] { send_put_batch(puts); });
     } catch (const Error&) {
       metrics_.puts_rejected.inc();
     }
     {
       std::lock_guard<std::mutex> lock(queue_mu_);
-      --puts_in_flight_;
+      puts_in_flight_ -= puts.size();
     }
     drained_cv_.notify_all();
   }

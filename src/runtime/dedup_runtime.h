@@ -95,6 +95,29 @@ struct RuntimeConfig {
   bool tracing = true;
   /// Ring receiving completed spans; nullptr = the process-global ring.
   telemetry::TraceRing* trace_ring = nullptr;
+
+  /// Client-side micro-batching (wire protocol v2). When enabled, concurrent
+  /// GETs from application threads and drained async PUTs coalesce into
+  /// BatchRequest frames: the first op's thread becomes the batch leader and
+  /// waits up to `flush_delay_us` (or until `max_ops` ops are pending) before
+  /// shipping one frame, paying one channel round trip — and, server-side,
+  /// one enclave transition — for the whole batch. A batch that ends up with
+  /// a single op is sent as a plain v1 message, so enabling batching against
+  /// a legacy store degrades gracefully under low concurrency; only enable
+  /// it when the negotiated version is >= net::kProtocolVersionBatch (see
+  /// TcpAppConnection::protocol_version). Disabled by default: behavior is
+  /// then bit-for-bit the pre-batching one-message-per-round-trip protocol.
+  struct Batching {
+    bool enabled = false;
+    /// Flush as soon as this many ops are pending.
+    std::size_t max_ops = 32;
+    /// Upper bound on the leader's wait for followers. The flush is
+    /// adaptive: the leader ships early once a quarter of this delay passes
+    /// with no new arrival, so the full delay is only ever paid under a
+    /// steady trickle of joiners.
+    std::uint64_t flush_delay_us = 200;
+  };
+  Batching batching;
 };
 
 class DedupRuntime {
@@ -193,9 +216,25 @@ class DedupRuntime {
   /// transport staged one. Caller holds channel_mu_.
   void install_rekey_locked();
 
+  /// Like secure_round_trip, but routes through the micro-batcher when
+  /// batching is enabled: the op may share a BatchRequest frame with other
+  /// threads' ops. A per-op ErrorResponse surfaces as StoreUnavailableError,
+  /// so fail-open degrades only this call.
+  serialize::Message batched_round_trip(const serialize::Message& request);
+
+  /// Submit `ops` to the micro-batcher and wait for their replies (in input
+  /// order). One participating thread becomes the leader and ships every op
+  /// pending at flush time in a single frame. A whole-batch transport
+  /// failure is reported as ErrorResponse{kUnavailable} per op.
+  std::vector<serialize::BatchReply> batch_execute(
+      std::vector<serialize::BatchOp> ops);
+
   void enqueue_put(serialize::PutRequest put);
   void put_worker();
   void send_put(const serialize::PutRequest& put);
+  /// Ship a drained run of queued PUTs — one BatchRequest frame when
+  /// batching is on (and there is more than one), per-op messages otherwise.
+  void send_put_batch(const std::vector<serialize::PutRequest>& puts);
 
   /// Hot-result cache (guarded by cache_mu_; only touched inside ECALLs).
   /// Lookup copies the plaintext out and refreshes recency; insert evicts
@@ -242,8 +281,29 @@ class DedupRuntime {
         call_ns;
     /// Secure-channel round trips issued by this runtime (GET + PUT).
     telemetry::Histogram round_trip_ns;
+    /// Batch frames shipped by the micro-batcher and their op counts.
+    telemetry::Counter batches;
+    telemetry::Histogram batch_ops;
   };
   Metrics metrics_;
+
+  /// Micro-batcher rendezvous (leader/follower; see RuntimeConfig::Batching).
+  struct PendingOp {
+    serialize::BatchOp op;
+    serialize::BatchReply reply;
+    bool done = false;
+  };
+  std::mutex batch_mu_;
+  std::condition_variable batch_fill_cv_;  ///< leader waits for followers
+  std::condition_variable batch_done_cv_;  ///< followers wait for replies
+  std::vector<PendingOp*> batch_pending_;
+  bool batch_leader_active_ = false;
+  /// Threads currently inside batch_execute (submitted, not yet answered).
+  /// A leader that is provably alone — no other submitter in flight — skips
+  /// the follower wait: nothing can arrive to share its frame, so waiting
+  /// would only add latency. A single-threaded caller with batching enabled
+  /// thus runs at unbatched speed. Guarded by batch_mu_.
+  std::size_t batch_inflight_ = 0;
 
   // Hot-result cache state. Tags are SHA-256 outputs, so the first 8 bytes
   // hash them perfectly well.

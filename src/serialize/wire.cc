@@ -59,6 +59,131 @@ std::vector<SyncEntry> take_sync_entries(Decoder& dec) {
   return entries;
 }
 
+void put_error(Encoder& enc, const ErrorResponse& e) {
+  enc.u8(static_cast<std::uint8_t>(e.code));
+  enc.str(e.detail);
+}
+
+ErrorResponse take_error(Decoder& dec) {
+  ErrorResponse e;
+  const std::uint8_t code = dec.u8();
+  if (code > static_cast<std::uint8_t>(ErrorCode::kUnavailable)) {
+    throw SerializationError("decode_message: invalid ErrorCode");
+  }
+  e.code = static_cast<ErrorCode>(code);
+  e.detail = dec.str();
+  return e;
+}
+
+// The smallest batch op is a GetRequest: kind byte + tag + requester. A
+// count implying less than that per entry is hostile — reject before
+// allocating.
+constexpr std::size_t kMinBatchOpWire = 1 + 32 + 32;
+// The smallest reply is a not-found GetResponse or a PutResponse: kind byte
+// + one status/flag byte.
+constexpr std::size_t kMinBatchReplyWire = 1 + 1;
+
+void put_batch_ops(Encoder& enc, const std::vector<BatchOp>& ops) {
+  enc.u32(static_cast<std::uint32_t>(ops.size()));
+  for (const BatchOp& op : ops) {
+    std::visit(
+        [&enc](const auto& o) {
+          using T = std::decay_t<decltype(o)>;
+          if constexpr (std::is_same_v<T, GetRequest>) {
+            enc.u8(static_cast<std::uint8_t>(MessageType::kGetRequest));
+            put_array32(enc, o.tag);
+            put_array32(enc, o.requester);
+          } else {
+            enc.u8(static_cast<std::uint8_t>(MessageType::kPutRequest));
+            put_array32(enc, o.tag);
+            put_array32(enc, o.requester);
+            put_entry(enc, o.entry);
+          }
+        },
+        op);
+  }
+}
+
+std::vector<BatchOp> take_batch_ops(Decoder& dec) {
+  const std::uint32_t n = dec.u32();
+  if (n > dec.remaining() / kMinBatchOpWire) {
+    throw SerializationError("decode_message: implausible batch op count");
+  }
+  std::vector<BatchOp> ops;
+  ops.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const auto kind = static_cast<MessageType>(dec.u8());
+    if (kind == MessageType::kGetRequest) {
+      GetRequest g;
+      g.tag = take_array32(dec);
+      g.requester = take_array32(dec);
+      ops.emplace_back(g);
+    } else if (kind == MessageType::kPutRequest) {
+      PutRequest p;
+      p.tag = take_array32(dec);
+      p.requester = take_array32(dec);
+      p.entry = take_entry(dec);
+      ops.emplace_back(std::move(p));
+    } else {
+      throw SerializationError("decode_message: batch op is not GET/PUT");
+    }
+  }
+  return ops;
+}
+
+void put_batch_replies(Encoder& enc, const std::vector<BatchReply>& replies) {
+  enc.u32(static_cast<std::uint32_t>(replies.size()));
+  for (const BatchReply& reply : replies) {
+    std::visit(
+        [&enc](const auto& r) {
+          using T = std::decay_t<decltype(r)>;
+          if constexpr (std::is_same_v<T, GetResponse>) {
+            enc.u8(static_cast<std::uint8_t>(MessageType::kGetResponse));
+            enc.boolean(r.found);
+            if (r.found) put_entry(enc, r.entry);
+          } else if constexpr (std::is_same_v<T, PutResponse>) {
+            enc.u8(static_cast<std::uint8_t>(MessageType::kPutResponse));
+            enc.u8(static_cast<std::uint8_t>(r.status));
+          } else {
+            enc.u8(static_cast<std::uint8_t>(MessageType::kErrorResponse));
+            put_error(enc, r);
+          }
+        },
+        reply);
+  }
+}
+
+std::vector<BatchReply> take_batch_replies(Decoder& dec) {
+  const std::uint32_t n = dec.u32();
+  if (n > dec.remaining() / kMinBatchReplyWire) {
+    throw SerializationError("decode_message: implausible batch reply count");
+  }
+  std::vector<BatchReply> replies;
+  replies.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const auto kind = static_cast<MessageType>(dec.u8());
+    if (kind == MessageType::kGetResponse) {
+      GetResponse g;
+      g.found = dec.boolean();
+      if (g.found) g.entry = take_entry(dec);
+      replies.emplace_back(std::move(g));
+    } else if (kind == MessageType::kPutResponse) {
+      PutResponse p;
+      const std::uint8_t status = dec.u8();
+      if (status > static_cast<std::uint8_t>(PutStatus::kRejected)) {
+        throw SerializationError("decode_message: invalid PutStatus");
+      }
+      p.status = static_cast<PutStatus>(status);
+      replies.emplace_back(p);
+    } else if (kind == MessageType::kErrorResponse) {
+      replies.emplace_back(take_error(dec));
+    } else {
+      throw SerializationError("decode_message: unknown batch reply kind");
+    }
+  }
+  return replies;
+}
+
 }  // namespace
 
 Bytes encode_message(const Message& msg) {
@@ -125,6 +250,15 @@ Bytes encode_message(const Message& msg) {
           enc.u8(static_cast<std::uint8_t>(MessageType::kMembershipAck));
           enc.u64(m.epoch);
           enc.boolean(m.applied);
+        } else if constexpr (std::is_same_v<T, BatchRequest>) {
+          enc.u8(static_cast<std::uint8_t>(MessageType::kBatchRequest));
+          put_batch_ops(enc, m.ops);
+        } else if constexpr (std::is_same_v<T, BatchResponse>) {
+          enc.u8(static_cast<std::uint8_t>(MessageType::kBatchResponse));
+          put_batch_replies(enc, m.replies);
+        } else if constexpr (std::is_same_v<T, ErrorResponse>) {
+          enc.u8(static_cast<std::uint8_t>(MessageType::kErrorResponse));
+          put_error(enc, m);
         }
       },
       msg);
@@ -253,6 +387,22 @@ Message decode_message(ByteView data) {
       out = m;
       break;
     }
+    case MessageType::kBatchRequest: {
+      BatchRequest m;
+      m.ops = take_batch_ops(dec);
+      out = std::move(m);
+      break;
+    }
+    case MessageType::kBatchResponse: {
+      BatchResponse m;
+      m.replies = take_batch_replies(dec);
+      out = std::move(m);
+      break;
+    }
+    case MessageType::kErrorResponse: {
+      out = take_error(dec);
+      break;
+    }
     default:
       throw SerializationError("decode_message: unknown message type");
   }
@@ -263,7 +413,7 @@ Message decode_message(ByteView data) {
 MessageType peek_type(ByteView data) {
   if (data.empty()) throw SerializationError("peek_type: empty message");
   const std::uint8_t t = data[0];
-  if (t < 1 || t > 14) throw SerializationError("peek_type: unknown type");
+  if (t < 1 || t > 17) throw SerializationError("peek_type: unknown type");
   return static_cast<MessageType>(t);
 }
 

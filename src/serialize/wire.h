@@ -44,6 +44,12 @@ enum class MessageType : std::uint8_t {
   kPushResponse = 12,
   kMembershipUpdate = 13,
   kMembershipAck = 14,
+  // Batched framing (docs/PROTOCOL.md §9): many GET/PUT sub-requests in one
+  // frame, one enclave crossing per batch. Negotiated in the handshake
+  // (net/handshake.h); v1 peers never see these types.
+  kBatchRequest = 15,
+  kBatchResponse = 16,
+  kErrorResponse = 17,
 };
 
 /// The stored triple (r, [k], [res]) of Algorithm 1.
@@ -164,11 +170,46 @@ struct MembershipAck {
   bool applied = false;     ///< false = the update was stale
 };
 
+/// Machine-readable failure for one batch entry (or a whole frame when the
+/// server refuses to process it, e.g. an oversized batch). `detail` is a
+/// short operator-facing string — never tags, keys, or payload bytes.
+enum class ErrorCode : std::uint8_t {
+  kBadRequest = 0,     ///< malformed or non-routable sub-request
+  kFrameTooLarge = 1,  ///< frame exceeded the server's max_frame_bytes
+  kBatchTooLarge = 2,  ///< batch exceeded the server's max_batch_entries
+  kUnavailable = 3,    ///< no store node could serve this entry
+};
+
+struct ErrorResponse {
+  ErrorCode code = ErrorCode::kBadRequest;
+  std::string detail;
+
+  friend bool operator==(const ErrorResponse&, const ErrorResponse&) = default;
+};
+
+/// One sub-request of a batch. Only the application-plane data operations
+/// are batchable — the type system keeps infra messages out by construction.
+using BatchOp = std::variant<GetRequest, PutRequest>;
+
+/// Per-entry reply, index-aligned with the request's ops. A failed entry
+/// carries an ErrorResponse without disturbing its neighbors.
+using BatchReply = std::variant<GetResponse, PutResponse, ErrorResponse>;
+
+/// Envelope carrying many GET/PUT sub-requests; the store executes them in
+/// order inside a single enclave crossing and replies entry-for-entry.
+struct BatchRequest {
+  std::vector<BatchOp> ops;
+};
+
+struct BatchResponse {
+  std::vector<BatchReply> replies;
+};
+
 using Message =
     std::variant<GetRequest, GetResponse, PutRequest, PutResponse, SyncRequest,
                  SyncResponse, HeartbeatRequest, HeartbeatResponse, PullRequest,
                  PullResponse, PushRequest, PushResponse, MembershipUpdate,
-                 MembershipAck>;
+                 MembershipAck, BatchRequest, BatchResponse, ErrorResponse>;
 
 /// Encode any protocol message with its type byte.
 Bytes encode_message(const Message& msg);

@@ -1,0 +1,190 @@
+// Switchless enclave calls: a shared submission ring drained inside one
+// ECALL per burst.
+//
+// The per-call transition tax (two world switches per request, CostModel's
+// ecall_ns/ocall_ns) is the dominant cost for small store operations — the
+// problem HotCalls and "Speeding up enclave transitions for IO-intensive
+// applications" attack by keeping a trusted worker polling a shared ring
+// instead of re-entering the enclave per call. This models that design on
+// the simulated platform: untrusted threads submit closures; a single
+// poller thread swaps the whole queue out and executes the burst inside ONE
+// ecall()/EEXIT pair, so the transition cost is charged once per drain and
+// amortizes across every call in the burst (and across *connections* — the
+// ring is shared by all sessions of a store server).
+//
+// Accounting is honest: Enclave::ecall_count() advances once per drain, and
+// `transitions_saved` counts exactly the crossings a per-call design would
+// have paid on top (burst_size - 1 per drain). The occupancy histogram
+// feeds the speed_switchless_* registry series.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "common/bytes.h"
+#include "sgx/enclave.h"
+#include "telemetry/registry.h"
+
+namespace speed::sgx {
+
+class SwitchlessRing {
+ public:
+  struct Config {
+    /// Submission-slot bound: callers block (backpressure) when this many
+    /// calls are already queued, so a stalled poller cannot grow memory.
+    std::size_t capacity = 1024;
+    /// Largest burst executed inside one enclave crossing. Bounds how long
+    /// one drain holds the enclave context.
+    std::size_t max_burst = 64;
+  };
+
+  explicit SwitchlessRing(Enclave& enclave) : SwitchlessRing(enclave, Config{}) {}
+
+  SwitchlessRing(Enclave& enclave, Config config)
+      : enclave_(enclave), config_(config) {
+    if (config_.capacity == 0) config_.capacity = 1;
+    if (config_.max_burst == 0) config_.max_burst = 1;
+    poller_ = std::thread([this] { poll_loop(); });
+    telemetry_handle_ = telemetry::Registry::global().add_collector(
+        [this](telemetry::SampleSink& sink) {
+          sink.counter("speed_switchless_calls_total",
+                       "Trusted calls executed through the switchless ring",
+                       {}, calls_.value());
+          sink.counter("speed_switchless_drains_total",
+                       "Ring drains (one enclave crossing each)", {},
+                       drains_.value());
+          sink.counter(
+              "speed_switchless_transitions_saved_total",
+              "Enclave crossings avoided vs one-ECALL-per-call dispatch", {},
+              transitions_saved_.value());
+          sink.histogram("speed_switchless_occupancy",
+                         "Calls executed per ring drain", {}, occupancy_);
+        });
+  }
+
+  ~SwitchlessRing() { stop(); }
+
+  SwitchlessRing(const SwitchlessRing&) = delete;
+  SwitchlessRing& operator=(const SwitchlessRing&) = delete;
+
+  /// Execute `fn` inside the store enclave via the ring: blocks until the
+  /// poller has run it, then returns its result (or rethrows its exception).
+  /// `fn` runs in enclave context but must NOT call Enclave::ecall itself —
+  /// the drain already did.
+  Bytes call(std::function<Bytes()> fn) {
+    Slot slot;
+    slot.fn = std::move(fn);
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      space_cv_.wait(lock, [this] {
+        return stopping_ || queue_.size() < config_.capacity;
+      });
+      if (stopping_) throw EnclaveError("SwitchlessRing: stopped");
+      queue_.push_back(&slot);
+    }
+    submit_cv_.notify_one();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      done_cv_.wait(lock, [&slot] { return slot.done; });
+    }
+    if (slot.error != nullptr) std::rethrow_exception(slot.error);
+    return std::move(slot.result);
+  }
+
+  /// Join the poller; in-flight calls finish, later call()s throw. Idempotent.
+  void stop() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_) return;
+      stopping_ = true;
+    }
+    submit_cv_.notify_all();
+    space_cv_.notify_all();
+    if (poller_.joinable()) poller_.join();
+  }
+
+  struct Stats {
+    std::uint64_t calls = 0;
+    std::uint64_t drains = 0;              ///< enclave crossings paid
+    std::uint64_t transitions_saved = 0;   ///< crossings a per-call design pays
+  };
+  Stats stats() const {
+    return Stats{calls_.value(), drains_.value(), transitions_saved_.value()};
+  }
+
+ private:
+  struct Slot {
+    std::function<Bytes()> fn;
+    Bytes result;
+    std::exception_ptr error;
+    bool done = false;
+  };
+
+  void poll_loop() {
+    std::deque<Slot*> burst;
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        submit_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+        if (queue_.empty() && stopping_) return;
+        // Swap out up to max_burst submissions: everything waiting shares
+        // one enclave crossing.
+        const std::size_t take = std::min(queue_.size(), config_.max_burst);
+        for (std::size_t i = 0; i < take; ++i) {
+          burst.push_back(queue_.front());
+          queue_.pop_front();
+        }
+      }
+      space_cv_.notify_all();
+
+      occupancy_.record(burst.size());
+      calls_.inc(burst.size());
+      drains_.inc();
+      transitions_saved_.inc(burst.size() - 1);
+      // ONE transition pair for the whole burst; per-call exceptions stay
+      // confined to their slot (a poisoned session must not fail its
+      // neighbors' calls).
+      enclave_.ecall([&] {
+        for (Slot* slot : burst) {
+          try {
+            slot->result = slot->fn();
+          } catch (...) {
+            slot->error = std::current_exception();
+          }
+        }
+      });
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        for (Slot* slot : burst) slot->done = true;
+      }
+      done_cv_.notify_all();
+      burst.clear();
+    }
+  }
+
+  Enclave& enclave_;
+  Config config_;
+
+  std::mutex mu_;
+  std::condition_variable submit_cv_;  ///< poller waits for work
+  std::condition_variable space_cv_;   ///< callers wait for capacity
+  std::condition_variable done_cv_;    ///< callers wait for completion
+  std::deque<Slot*> queue_;
+  bool stopping_ = false;
+  std::thread poller_;
+
+  telemetry::Counter calls_;
+  telemetry::Counter drains_;
+  telemetry::Counter transitions_saved_;
+  telemetry::Histogram occupancy_;
+  // Declared after the cells it reads (deregistered first).
+  telemetry::Registry::Handle telemetry_handle_;
+};
+
+}  // namespace speed::sgx

@@ -202,6 +202,9 @@ ResultStore::ResultStore(sgx::Platform& platform, StoreConfig config)
         sink.counter("speed_store_infra_rejections_total",
                      "Infra-plane messages rejected on app sessions", {},
                      infra_rejections_.value());
+        sink.histogram("speed_store_batch_ops",
+                       "Sub-requests per dispatched batch frame", {},
+                       batch_ops_);
         sink.gauge("speed_store_cluster_epoch",
                    "Membership epoch this node has applied", {},
                    static_cast<std::int64_t>(cluster_view().epoch));
@@ -247,6 +250,9 @@ Message ResultStore::dispatch_trusted(const Message& request, Peer peer) {
   if (const auto* hb_req = std::get_if<serialize::HeartbeatRequest>(&request)) {
     return heartbeat_trusted(*hb_req);
   }
+  if (const auto* batch_req = std::get_if<serialize::BatchRequest>(&request)) {
+    return batch_trusted(*batch_req, peer);
+  }
   if (peer == Peer::kApp) {
     // Applications never speak the infra plane: PUSH/PULL merges are
     // quota-exempt, so letting an app session reach them would let it store
@@ -268,6 +274,34 @@ Message ResultStore::dispatch_trusted(const Message& request, Peer peer) {
     return membership_trusted(*mem_req);
   }
   throw ProtocolError("ResultStore: request type has no server handler");
+}
+
+serialize::BatchResponse ResultStore::batch_trusted(
+    const serialize::BatchRequest& req, Peer peer) {
+  serialize::BatchResponse resp;
+  resp.replies.reserve(req.ops.size());
+  batch_ops_.record(req.ops.size());
+  for (const serialize::BatchOp& op : req.ops) {
+    // Per-entry containment: a failed sub-request answers with an
+    // ErrorResponse in its slot and never disturbs its neighbors.
+    try {
+      const Message sub = std::visit(
+          [](const auto& o) { return Message(o); }, op);
+      Message reply = dispatch_trusted(sub, peer);
+      if (auto* get_resp = std::get_if<GetResponse>(&reply)) {
+        resp.replies.emplace_back(std::move(*get_resp));
+      } else if (const auto* put_resp = std::get_if<PutResponse>(&reply)) {
+        resp.replies.emplace_back(*put_resp);
+      } else {
+        resp.replies.emplace_back(serialize::ErrorResponse{
+            serialize::ErrorCode::kBadRequest, "unexpected reply type"});
+      }
+    } catch (const Error& e) {
+      resp.replies.emplace_back(serialize::ErrorResponse{
+          serialize::ErrorCode::kBadRequest, e.what()});
+    }
+  }
+  return resp;
 }
 
 GetResponse ResultStore::get(const GetRequest& req) {

@@ -381,8 +381,14 @@ class ResultStore {
   mutable std::mutex cluster_mu_;
   ClusterView cluster_;
 
+  /// Batched dispatch (docs/PROTOCOL.md §9): one BatchRequest executed per
+  /// entry against the shards, replies index-aligned with the ops.
+  serialize::BatchResponse batch_trusted(const serialize::BatchRequest& req,
+                                         Peer peer);
+
   std::atomic<bool> degraded_{false};
   RecoveryInfo recovery_info_;
+  telemetry::Histogram batch_ops_;  ///< ops per dispatched batch
   telemetry::Counter push_accepted_;
   telemetry::Counter pull_entries_served_;
   telemetry::Counter infra_rejections_;

@@ -21,6 +21,7 @@
 #include "net/channel.h"
 #include "net/handshake.h"
 #include "net/secure_channel.h"
+#include "sgx/switchless.h"
 #include "store/result_store.h"
 
 namespace speed::store {
@@ -47,6 +48,8 @@ class StoreSession {
           return net::SecureChannel(std::move(*key), /*is_initiator=*/false);
         })) {
     client_hello_ = client_hello;
+    peer_version_ = net::negotiate_version(net::kProtocolVersionCurrent,
+                                           net::handshake_version(client_hello));
   }
 
   /// The store's half of the handshake (attested-handshake mode only).
@@ -57,21 +60,43 @@ class StoreSession {
     return key_exchange_->hello(client_hello_.report.source_measurement);
   }
 
+  /// Protocol version negotiated with this client (min of both hellos);
+  /// kProtocolVersionLegacy in pre-provisioned mode.
+  std::uint8_t peer_version() const { return peer_version_; }
+
+  /// Route this session's trusted work through a shared switchless ring
+  /// instead of a private ECALL per frame (sgx/switchless.h). The ring must
+  /// belong to the same store enclave and outlive the session.
+  void set_switchless(sgx::SwitchlessRing* ring) { switchless_ = ring; }
+
+  /// Cap on ops per batch frame; an oversized batch gets a clean wire
+  /// ErrorResponse instead of service. 0 = unlimited.
+  void set_max_batch_entries(std::size_t n) { max_batch_entries_ = n; }
+
+  /// Wrap a top-level error produced outside normal dispatch — e.g. the host
+  /// refused a frame by its length prefix (over max_frame_bytes) without ever
+  /// buffering it. Advances the send sequence like any response; the caller
+  /// is expected to close the connection once it is flushed.
+  Bytes wrap_error(serialize::ErrorCode code, const std::string& detail) {
+    std::lock_guard<std::mutex> lock(mu_);
+    const serialize::Message err = serialize::ErrorResponse{code, detail};
+    const Bytes plain = serialize::encode_message(err);
+    if (switchless_ != nullptr) {
+      return switchless_->call([this, &plain] { return channel_.wrap(plain); });
+    }
+    return store_.enclave().ecall([&] { return channel_.wrap(plain); });
+  }
+
   /// Handle one secure frame; throws ProtocolError on channel violations
   /// (tampering/replay), which a real server would treat as a dead peer.
   Bytes handle_frame(ByteView frame) {
     std::lock_guard<std::mutex> lock(mu_);
-    return store_.enclave().ecall([&] {
-      const auto request_plain = channel_.unwrap(frame);
-      if (!request_plain.has_value()) {
-        throw ProtocolError("StoreSession: bad frame (tamper/replay)");
-      }
-      const auto request = serialize::decode_message(*request_plain);
-      // Application role: GET/PUT/heartbeat only. Infra-plane messages
-      // (sync, push/pull, membership) are rejected inside dispatch.
-      const auto response = store_.dispatch_trusted(request, Peer::kApp);
-      return channel_.wrap(serialize::encode_message(response));
-    });
+    if (switchless_ != nullptr) {
+      // The caller blocks inside call(), so `frame` stays alive for the
+      // poller; the transition cost is charged once per ring drain.
+      return switchless_->call([this, frame] { return handle_frame_trusted(frame); });
+    }
+    return store_.enclave().ecall([&] { return handle_frame_trusted(frame); });
   }
 
   /// Transport a client can hand to its DedupRuntime; optional one-way
@@ -82,10 +107,37 @@ class StoreSession {
   }
 
  private:
+  /// Body of one frame; must already run in the store enclave's context
+  /// (under handle_frame's own ECALL or a switchless ring drain).
+  Bytes handle_frame_trusted(ByteView frame) {
+    const auto request_plain = channel_.unwrap(frame);
+    if (!request_plain.has_value()) {
+      throw ProtocolError("StoreSession: bad frame (tamper/replay)");
+    }
+    const auto request = serialize::decode_message(*request_plain);
+    // An oversized batch is a protocol-clean refusal, not a dead session:
+    // the client gets a typed error it can split the batch on.
+    if (const auto* batch = std::get_if<serialize::BatchRequest>(&request);
+        batch != nullptr && max_batch_entries_ > 0 &&
+        batch->ops.size() > max_batch_entries_) {
+      const serialize::Message err = serialize::ErrorResponse{
+          serialize::ErrorCode::kBatchTooLarge,
+          "batch exceeds server max_batch_entries"};
+      return channel_.wrap(serialize::encode_message(err));
+    }
+    // Application role: GET/PUT/heartbeat/batch only. Infra-plane messages
+    // (sync, push/pull, membership) are rejected inside dispatch.
+    const auto response = store_.dispatch_trusted(request, Peer::kApp);
+    return channel_.wrap(serialize::encode_message(response));
+  }
+
   ResultStore& store_;
   std::optional<net::ChannelKeyExchange> key_exchange_;
   net::HandshakeMessage client_hello_;
   net::SecureChannel channel_;
+  std::uint8_t peer_version_ = net::kProtocolVersionLegacy;
+  sgx::SwitchlessRing* switchless_ = nullptr;
+  std::size_t max_batch_entries_ = 0;
   std::mutex mu_;
 };
 
