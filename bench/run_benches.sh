@@ -58,3 +58,17 @@ fi
 "$batch_bench" "$repo_root/BENCH_batch.json"
 echo "results:   $repo_root/BENCH_batch.json"
 echo "telemetry: $repo_root/BENCH_batch.telemetry.json"
+
+# Streaming chunked dedup: dedup ratio + throughput of StreamSession vs
+# whole-call dedup on an edited/shifted version-chain workload (acceptance
+# bar: >= 5x dedup-ratio improvement, single-chunk puts within 5% of the
+# per-call path; the bench exits 2 below the bar). Honors --smoke /
+# SPEED_BENCH_SMOKE=1 for the reduced CI variant.
+stream_bench="$build_dir/bench/bench_stream"
+if [ ! -x "$stream_bench" ]; then
+  echo "building $stream_bench ..."
+  cmake --build "$build_dir" --target bench_stream -j
+fi
+"$stream_bench" "$repo_root/BENCH_stream.json"
+echo "results:   $repo_root/BENCH_stream.json"
+echo "telemetry: $repo_root/BENCH_stream.telemetry.json"

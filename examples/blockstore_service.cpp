@@ -1,0 +1,70 @@
+// Encrypted block store with chunk-level dedup — the fifth case study.
+//
+// A storage service keeps client blobs encrypted end-to-end in the
+// ResultStore, yet a re-upload of an *edited* blob only transfers the
+// chunks the edit touched: content-defined chunking resynchronizes around
+// insertions, so the per-call dedup cliff ("one byte changed, everything
+// re-uploaded") disappears. This example stores a document, inserts a
+// paragraph near the front — the worst case for fixed-size chunking — and
+// stores it again, then prints how many bytes actually moved.
+//
+//   $ ./blockstore_service
+#include <cstdio>
+#include <string>
+
+#include "apps/blockstore/blockstore.h"
+#include "runtime/speed.h"
+#include "workload/synthetic.h"
+
+using namespace speed;
+
+int main() {
+  // --- deployment: one machine, one store, one application enclave -------
+  sgx::Platform platform;
+  store::ResultStore result_store(platform);
+  auto enclave = platform.create_enclave("blockstore-app");
+  auto connection = store::connect_app(result_store, *enclave);
+  runtime::DedupRuntime rt(*enclave, std::move(connection.session_key),
+                           std::move(connection.transport));
+
+  // --- the service: a named-object facade over one StreamSession ---------
+  blockstore::BlockStore blobs(rt);
+
+  const std::string v1 = workload::synth_text(512 * 1024, /*seed=*/42);
+  std::string v2 = v1;
+  v2.insert(1000, workload::synth_text(2048, /*seed=*/43));  // early edit
+
+  blobs.put("report-v1", as_bytes(v1));
+  const auto after_v1 = rt.stats();
+  blobs.put("report-v2", as_bytes(v2));
+  const auto after_v2 = rt.stats();
+
+  const auto fresh_chunks =
+      (after_v2.stream_chunks - after_v1.stream_chunks) -
+      (after_v2.stream_chunk_hits - after_v1.stream_chunk_hits);
+  std::printf("v1: %zu KiB stored as %llu chunks\n", v1.size() / 1024,
+              static_cast<unsigned long long>(after_v1.stream_chunks));
+  std::printf("v2: %zu KiB stored, %llu of %llu chunks were new\n",
+              v2.size() / 1024, static_cast<unsigned long long>(fresh_chunks),
+              static_cast<unsigned long long>(after_v2.stream_chunks -
+                                              after_v1.stream_chunks));
+  std::printf("bytes deduplicated on the v2 upload: %llu\n",
+              static_cast<unsigned long long>(after_v2.stream_bytes_deduped -
+                                              after_v1.stream_bytes_deduped));
+
+  // Reads need only the name (the service holds the capability). A handle
+  // exported with export_object() would let another client read the blob
+  // without the service in the loop.
+  const auto round_trip = blobs.get("report-v2");
+  std::printf("get(report-v2) returned exact bytes: %s\n",
+              round_trip.has_value() && *round_trip == to_bytes(v2)
+                  ? "yes"
+                  : "NO (bug!)");
+
+  const auto sstats = result_store.stats();
+  std::printf("store holds %llu entries (%llu ciphertext bytes) for %zu KiB\n",
+              static_cast<unsigned long long>(sstats.entries),
+              static_cast<unsigned long long>(sstats.ciphertext_bytes),
+              (v1.size() + v2.size()) / 1024);
+  return 0;
+}

@@ -1,0 +1,79 @@
+#include "apps/blockstore/blockstore.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace speed::blockstore {
+
+mle::FunctionIdentity register_blockstore(runtime::DedupRuntime& rt) {
+  rt.libraries().register_library(kLibraryFamily, kLibraryVersion,
+                                  as_bytes("speed-blockstore stream codec v1"));
+  return rt.resolve({kLibraryFamily, kLibraryVersion, kStreamSignature});
+}
+
+BlockStore::BlockStore(runtime::DedupRuntime& rt, runtime::StreamConfig config)
+    : session_(rt, register_blockstore(rt), config) {}
+
+void BlockStore::put(const std::string& name, ByteView data) {
+  // The store round trips run outside the lock: puts of different objects
+  // proceed concurrently and only the index update is serialized.
+  runtime::StreamHandle handle = session_.put(data);
+  std::lock_guard lock(mu_);
+  objects_.insert_or_assign(name, std::move(handle));
+}
+
+std::optional<Bytes> BlockStore::get(const std::string& name) {
+  runtime::StreamHandle handle;
+  {
+    std::lock_guard lock(mu_);
+    const auto it = objects_.find(name);
+    if (it == objects_.end()) return std::nullopt;
+    // Re-parse the serialized capability instead of holding the lock (or a
+    // dangling reference) across the store round trips of session_.get():
+    // a concurrent overwrite of `name` must not invalidate this read.
+    handle = runtime::StreamHandle::deserialize(it->second.serialize());
+  }
+  return session_.get(handle);
+}
+
+bool BlockStore::erase(const std::string& name) {
+  std::lock_guard lock(mu_);
+  return objects_.erase(name) > 0;
+}
+
+std::optional<ObjectInfo> BlockStore::stat(const std::string& name) const {
+  std::lock_guard lock(mu_);
+  const auto it = objects_.find(name);
+  if (it == objects_.end()) return std::nullopt;
+  return ObjectInfo{it->second.total_bytes, it->second.kind};
+}
+
+std::vector<std::string> BlockStore::list() const {
+  std::lock_guard lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(objects_.size());
+  for (const auto& [name, handle] : objects_) names.push_back(name);
+  return names;
+}
+
+std::size_t BlockStore::size() const {
+  std::lock_guard lock(mu_);
+  return objects_.size();
+}
+
+Bytes BlockStore::export_object(const std::string& name) const {
+  std::lock_guard lock(mu_);
+  const auto it = objects_.find(name);
+  if (it == objects_.end()) {
+    throw std::out_of_range("blockstore: unknown object: " + name);
+  }
+  return it->second.serialize();
+}
+
+void BlockStore::import_object(const std::string& name, ByteView handle) {
+  runtime::StreamHandle parsed = runtime::StreamHandle::deserialize(handle);
+  std::lock_guard lock(mu_);
+  objects_.insert_or_assign(name, std::move(parsed));
+}
+
+}  // namespace speed::blockstore

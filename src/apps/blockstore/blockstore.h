@@ -1,0 +1,85 @@
+// The fifth case study: an encrypt-then-dedup block store.
+//
+// The first four case studies deduplicate *computations* (deflate, SIFT,
+// pcre, map-reduce). This one turns the same machinery on the classic
+// encrypted-storage problem: a service that stores client blobs encrypted
+// end-to-end, yet still deduplicates across versions and across clients.
+// Each put() runs through runtime::StreamSession — content-defined
+// chunking, one RCE-protected store entry per chunk, a sealed manifest
+// tying the chunk list together — so editing a few bytes of a stored blob
+// and putting it again only uploads the chunks the edit actually touched.
+//
+// BlockStore adds the storage-service surface on top of the session: a
+// name -> StreamHandle index (the handle is the capability; the index is
+// what a real service would persist per tenant), export/import of
+// serialized handles for capability transfer, and per-object stat().
+//
+// The C API mirror (speed_stream_* in capi/speed_c.h) and the runnable
+// example (examples/blockstore_service.cpp) build on this class.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "runtime/dedup_runtime.h"
+#include "runtime/stream_session.h"
+
+namespace speed::blockstore {
+
+inline constexpr const char* kLibraryFamily = "speed-blockstore";
+inline constexpr const char* kLibraryVersion = "1.0";
+inline constexpr const char* kStreamSignature = "bytes put_stream(bytes)";
+
+/// Register the blockstore trusted library on `rt` (idempotent) and resolve
+/// the stream identity every chunk tag binds to. Deployments that share
+/// this identity — same library code measurement — dedup against each
+/// other; anything else never will (§IV-B).
+mle::FunctionIdentity register_blockstore(runtime::DedupRuntime& rt);
+
+struct ObjectInfo {
+  std::uint64_t bytes = 0;  ///< plaintext size of the stored object
+  runtime::StreamHandle::Kind kind = runtime::StreamHandle::Kind::kWholeCall;
+};
+
+/// A named-object facade over one StreamSession. Thread-safe: the index is
+/// mutex-guarded and StreamSession::put/get are safe to call concurrently.
+class BlockStore {
+ public:
+  explicit BlockStore(runtime::DedupRuntime& rt,
+                      runtime::StreamConfig config = {});
+
+  /// Store (or overwrite) `name`. Chunk-level dedup happens here: bytes
+  /// already held by the store — under any name, from any client sharing
+  /// the blockstore identity — are referenced, not re-uploaded.
+  void put(const std::string& name, ByteView data);
+
+  /// Exact bytes previously put under `name`; nullopt if unknown.
+  std::optional<Bytes> get(const std::string& name);
+
+  /// Forget `name` (the capability; store entries are shared and stay).
+  bool erase(const std::string& name);
+
+  std::optional<ObjectInfo> stat(const std::string& name) const;
+  std::vector<std::string> list() const;
+  std::size_t size() const;
+
+  /// Serialized StreamHandle for `name` — the transferable capability
+  /// (throws std::out_of_range if unknown). Another BlockStore on the same
+  /// deployment can import_object() it and read the data without ever
+  /// seeing the original put.
+  Bytes export_object(const std::string& name) const;
+  void import_object(const std::string& name, ByteView handle);
+
+  const runtime::StreamConfig& config() const { return session_.config(); }
+
+ private:
+  runtime::StreamSession session_;
+  mutable std::mutex mu_;
+  std::map<std::string, runtime::StreamHandle> objects_;
+};
+
+}  // namespace speed::blockstore

@@ -43,11 +43,29 @@ struct speed_function {
   bool last_deduplicated = false;
 };
 
+struct speed_stream {
+  speed_deployment* dep;
+  runtime::StreamSession session;
+};
+
 namespace {
 
 int fail(speed_deployment* dep, int code, const std::string& what) {
   if (dep != nullptr) dep->last_error = what;
   return code;
+}
+
+/// malloc-copy `data` into (*out, *out_len); empty data still allocates one
+/// byte so callers always get a freeable pointer.
+int copy_out(speed_deployment* dep, ByteView data, uint8_t** out,
+             size_t* out_len) {
+  uint8_t* buffer =
+      static_cast<uint8_t*>(std::malloc(data.empty() ? 1 : data.size()));
+  if (buffer == nullptr) return fail(dep, SPEED_ERR_INTERNAL, "out of memory");
+  if (!data.empty()) std::memcpy(buffer, data.data(), data.size());
+  *out = buffer;
+  *out_len = data.size();
+  return SPEED_OK;
 }
 
 /// Shared tail of both deployment constructors: application enclave,
@@ -248,18 +266,7 @@ int speed_call(speed_function* f, const uint8_t* input, size_t input_len,
       return result;
     });
     f->last_deduplicated = outcome.deduplicated;
-
-    uint8_t* buffer = static_cast<uint8_t*>(std::malloc(
-        outcome.result.empty() ? 1 : outcome.result.size()));
-    if (buffer == nullptr) {
-      return fail(f->dep, SPEED_ERR_INTERNAL, "out of memory");
-    }
-    if (!outcome.result.empty()) {
-      std::memcpy(buffer, outcome.result.data(), outcome.result.size());
-    }
-    *output = buffer;
-    *output_len = outcome.result.size();
-    return SPEED_OK;
+    return copy_out(f->dep, outcome.result, output, output_len);
   } catch (const std::exception& e) {
     const bool compute_failed =
         std::string(e.what()).find("compute callback failed") != std::string::npos;
@@ -274,6 +281,86 @@ int speed_last_was_deduplicated(const speed_function* f) {
 }
 
 void speed_buffer_free(uint8_t* buffer) { std::free(buffer); }
+
+speed_stream* speed_stream_create(speed_deployment* dep, const char* family,
+                                  const char* version, const char* signature,
+                                  size_t min_chunk, size_t avg_chunk,
+                                  size_t max_chunk) {
+  if (dep == nullptr || family == nullptr || version == nullptr ||
+      signature == nullptr) {
+    if (dep != nullptr) dep->last_error = "null argument";
+    return nullptr;
+  }
+  try {
+    runtime::StreamConfig config;
+    if (min_chunk != 0) config.chunker.min_size = min_chunk;
+    if (avg_chunk != 0) config.chunker.avg_size = avg_chunk;
+    if (max_chunk != 0) config.chunker.max_size = max_chunk;
+    mle::FunctionIdentity identity =
+        dep->rt->resolve({family, version, signature});
+    // speed_stream is an aggregate: the session is constructed in place.
+    return new speed_stream{
+        dep, runtime::StreamSession(*dep->rt, std::move(identity), config)};
+  } catch (const std::exception& e) {
+    dep->last_error = e.what();
+    return nullptr;
+  }
+}
+
+void speed_stream_destroy(speed_stream* s) { delete s; }
+
+int speed_put_stream(speed_stream* s, const uint8_t* data, size_t data_len,
+                     uint8_t** handle, size_t* handle_len) {
+  if (s == nullptr || handle == nullptr || handle_len == nullptr ||
+      (data == nullptr && data_len > 0)) {
+    return fail(s != nullptr ? s->dep : nullptr, SPEED_ERR_INVALID_ARGUMENT,
+                "null argument");
+  }
+  try {
+    const runtime::StreamHandle h = s->session.put(ByteView(data, data_len));
+    return copy_out(s->dep, h.serialize(), handle, handle_len);
+  } catch (const std::exception& e) {
+    return fail(s->dep, SPEED_ERR_INTERNAL, e.what());
+  }
+}
+
+int speed_get_stream(speed_stream* s, const uint8_t* handle,
+                     size_t handle_len, uint8_t** data, size_t* data_len) {
+  if (s == nullptr || data == nullptr || data_len == nullptr ||
+      handle == nullptr) {
+    return fail(s != nullptr ? s->dep : nullptr, SPEED_ERR_INVALID_ARGUMENT,
+                "null argument");
+  }
+  runtime::StreamHandle parsed;
+  try {
+    parsed = runtime::StreamHandle::deserialize(ByteView(handle, handle_len));
+  } catch (const std::exception& e) {
+    return fail(s->dep, SPEED_ERR_INVALID_ARGUMENT, e.what());
+  }
+  try {
+    const Bytes plain = s->session.get(parsed);
+    return copy_out(s->dep, plain, data, data_len);
+  } catch (const std::exception& e) {
+    return fail(s->dep, SPEED_ERR_INTERNAL, e.what());
+  }
+}
+
+int speed_stream_stats_read(const speed_deployment* dep,
+                            speed_stream_stats* out) {
+  if (dep == nullptr || out == nullptr || dep->rt == nullptr) {
+    return SPEED_ERR_INVALID_ARGUMENT;
+  }
+  const auto stats = dep->rt->stats();
+  out->puts = stats.stream_puts;
+  out->gets = stats.stream_gets;
+  out->whole_hits = stats.stream_whole_hits;
+  out->chunks = stats.stream_chunks;
+  out->chunk_hits = stats.stream_chunk_hits;
+  out->bytes_deduped = stats.stream_bytes_deduped;
+  out->inline_chunks = stats.stream_inline_chunks;
+  out->degraded = stats.stream_degraded;
+  return SPEED_OK;
+}
 
 char* speed_metrics_snapshot(void) {
   try {

@@ -24,6 +24,7 @@ extern "C" {
 
 typedef struct speed_deployment speed_deployment;
 typedef struct speed_function speed_function;
+typedef struct speed_stream speed_stream;
 
 enum {
   SPEED_OK = 0,
@@ -136,6 +137,58 @@ int speed_call(speed_function* f, const uint8_t* input, size_t input_len,
 int speed_last_was_deduplicated(const speed_function* f);
 
 void speed_buffer_free(uint8_t* buffer);
+
+/* ---- streaming put/get (chunk-level dedup) ------------------------------ */
+
+/*
+ * A stream session stores opaque byte streams with chunk-level
+ * deduplication: inputs are split by a content-defined chunker, each chunk
+ * becomes its own encrypted store entry, and an edited re-upload only
+ * transfers the chunks the edit touched. (family, version) must have been
+ * registered (the identity namespaces the chunk tags — distinct services
+ * never cross-dedup). Chunk sizes of 0 select the defaults (2 KiB min /
+ * 8 KiB avg / 64 KiB max); avg must be a power of two with
+ * min <= avg <= max. Returns NULL on error (see speed_last_error).
+ */
+speed_stream* speed_stream_create(speed_deployment* dep, const char* family,
+                                  const char* version, const char* signature,
+                                  size_t min_chunk, size_t avg_chunk,
+                                  size_t max_chunk);
+void speed_stream_destroy(speed_stream* s);
+
+/*
+ * Store a stream. On success *handle is a malloc'd serialized capability
+ * (free with speed_buffer_free) and *handle_len its size. The handle IS the
+ * data: any session on the same deployment can speed_get_stream() with it,
+ * and losing the handle bytes loses access. Inputs below the minimum chunk
+ * size take the exact per-call dedup path (no streaming overhead).
+ */
+int speed_put_stream(speed_stream* s, const uint8_t* data, size_t data_len,
+                     uint8_t** handle, size_t* handle_len);
+
+/*
+ * Retrieve the exact bytes behind a handle. On success *data is a malloc'd
+ * buffer (free with speed_buffer_free) and *data_len its size. Fails with
+ * SPEED_ERR_INVALID_ARGUMENT on a malformed handle and SPEED_ERR_INTERNAL
+ * if a referenced store entry is missing or fails authentication.
+ */
+int speed_get_stream(speed_stream* s, const uint8_t* handle,
+                     size_t handle_len, uint8_t** data, size_t* data_len);
+
+/* Deployment-wide streaming counters (all sessions, monotonic). */
+typedef struct {
+  uint64_t puts;          /* speed_put_stream calls */
+  uint64_t gets;          /* speed_get_stream calls */
+  uint64_t whole_hits;    /* puts satisfied by one whole-stream hit */
+  uint64_t chunks;        /* chunks planned across all puts */
+  uint64_t chunk_hits;    /* chunks served by referencing existing entries */
+  uint64_t bytes_deduped; /* plaintext bytes that were not re-uploaded */
+  uint64_t inline_chunks; /* chunks carried inside manifests (degraded) */
+  uint64_t degraded;      /* puts that hit any degradation path */
+} speed_stream_stats;
+
+int speed_stream_stats_read(const speed_deployment* dep,
+                            speed_stream_stats* out);
 
 /* ---- telemetry --------------------------------------------------------- */
 

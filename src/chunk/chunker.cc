@@ -1,0 +1,79 @@
+#include "chunk/chunker.h"
+
+#include <array>
+#include <bit>
+#include <stdexcept>
+
+namespace speed::chunk {
+
+namespace {
+
+/// splitmix64 — the standard 64-bit mixer. Used only to derive the gear
+/// table below; the table must be the same everywhere or chunk boundaries
+/// (and with them chunk tags) would differ between peers.
+constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+constexpr std::array<std::uint64_t, 256> make_gear_table() {
+  std::array<std::uint64_t, 256> g{};
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    g[i] = splitmix64(static_cast<std::uint64_t>(i));
+  }
+  return g;
+}
+
+constexpr std::array<std::uint64_t, 256> kGear = make_gear_table();
+
+}  // namespace
+
+void ChunkerConfig::validate() const {
+  if (min_size == 0 || min_size > avg_size || avg_size > max_size) {
+    throw std::invalid_argument(
+        "ChunkerConfig: need 0 < min_size <= avg_size <= max_size");
+  }
+  if ((avg_size & (avg_size - 1)) != 0) {
+    throw std::invalid_argument("ChunkerConfig: avg_size must be a power of 2");
+  }
+}
+
+Chunker::Chunker(ChunkerConfig config) : config_(config) {
+  config_.validate();
+  // Judge the top log2(avg) bits (FastCDC-style): the low bits of a Gear
+  // hash depend on only the last ~13 bytes and cut erratically on
+  // low-entropy input, while every byte of the 64-byte window reaches the
+  // high bits through the shift.
+  const int bits = std::countr_zero(static_cast<std::uint64_t>(config_.avg_size));
+  cut_mask_ = bits == 0 ? 0 : ~(~std::uint64_t{0} >> bits);
+}
+
+std::vector<ChunkRef> Chunker::split(ByteView data) const {
+  std::vector<ChunkRef> chunks;
+  std::size_t start = 0;
+  while (start < data.size()) {
+    const std::size_t limit = std::min(data.size() - start, config_.max_size);
+    std::size_t cut = limit;  // forced cut at max (or the end of the input)
+    if (limit > config_.min_size) {
+      // The hash restarts at zero for each chunk; the shift in the update
+      // ages a byte out after 64 steps, so the boundary decision at position
+      // i depends only on bytes (i-64, i] — identical content windows cut
+      // identically no matter what came before.
+      std::uint64_t h = 0;
+      for (std::size_t i = 0; i < limit; ++i) {
+        h = (h << 1) + kGear[data[start + i]];
+        if (i + 1 >= config_.min_size && (h & cut_mask_) == 0) {
+          cut = i + 1;
+          break;
+        }
+      }
+    }
+    chunks.push_back(ChunkRef{start, cut});
+    start += cut;
+  }
+  return chunks;
+}
+
+}  // namespace speed::chunk

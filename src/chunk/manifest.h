@@ -1,0 +1,59 @@
+// Stream manifest — the sealed entry tying a chunk list to its stream tag.
+//
+// A chunked put stores each chunk as its own RCE-protected entry, then
+// stores one manifest entry under the whole-stream tag. The manifest
+// plaintext lists, per chunk, either
+//
+//   * a *ref*: (chunk tag, size, per-chunk key k_i) — the chunk's result
+//     ciphertext lives under its own tag and k_i decrypts it; or
+//   * an *inline* copy of the chunk bytes — the fallback when a chunk's PUT
+//     was rejected or its stored entry is unrecoverable (a store keeps the
+//     first write for a tag, so a poisoned entry cannot be replaced; inlining
+//     keeps get() correct without it).
+//
+// The manifest plaintext contains every per-chunk key, so it is itself
+// protected with RCE under the *stream-domain* context over the raw input
+// before leaving the enclave: recovering it requires either performing the
+// same computation on the same whole input (put-side dedup) or holding the
+// stream handle's manifest key (get-side). Binding it to the raw input —
+// not to the chunk-tag list — matters: the store observes chunk tags and
+// function identities are public, so a tag-list-derived key would let a
+// malicious store unwrap the manifest and with it every chunk key.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/secret.h"
+#include "serialize/wire.h"
+
+namespace speed::chunk {
+
+struct ManifestEntry {
+  bool inlined = false;
+
+  // Ref kind: the chunk entry lives in the store under `tag`.
+  serialize::Tag tag{};
+  std::uint32_t size = 0;   ///< plaintext chunk size
+  secret::Buffer key;       ///< k_i decrypting the chunk's result ciphertext
+
+  // Inline kind: the chunk rides inside the manifest itself.
+  Bytes inline_bytes;
+};
+
+struct Manifest {
+  std::uint64_t total_bytes = 0;
+  std::vector<ManifestEntry> entries;
+};
+
+/// Serialize the manifest plaintext (chunk keys are revealed into it — the
+/// audited "stream_manifest_build" escape; the caller must RCE-protect the
+/// returned bytes before they leave the enclave).
+Bytes encode_manifest(const Manifest& manifest);
+
+/// Parse a recovered manifest plaintext; chunk keys land back in the secret
+/// domain. Throws SerializationError on malformed input.
+Manifest decode_manifest(ByteView plaintext);
+
+}  // namespace speed::chunk

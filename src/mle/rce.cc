@@ -62,6 +62,26 @@ secret::Buffer ResultCipher::recover_key(const FunctionIdentity& fn,
   return unwrap_key(wrapped_key, h);                  // k = [k] ⊕ h
 }
 
+ResultCipher::WrappedKey ResultCipher::generate_key(
+    const ComputationContext& ctx, crypto::Drbg& drbg) {
+  WrappedKey out;
+  out.key = drbg.secret_bytes(kResultKeySize);        // k <- KeyGen(1^λ)
+  out.challenge = drbg.secret_bytes(kChallengeSize);  // r <-R- {0,1}*
+  const auto h = ctx.secondary_key(challenge_view(out.challenge));
+  out.wrapped_key = wrap_key(out.key, h);             // [k] = k ⊕ h
+  return out;
+}
+
+secret::Buffer ResultCipher::recover_key(const ComputationContext& ctx,
+                                         ByteView challenge,
+                                         ByteView wrapped_key) {
+  if (wrapped_key.size() != kResultKeySize) {
+    throw CryptoError("recover_key: wrapped key must be 16 bytes");
+  }
+  const auto h = ctx.secondary_key(challenge);
+  return unwrap_key(wrapped_key, h);                  // k = [k] ⊕ h
+}
+
 Bytes ResultCipher::encrypt_result(const Tag& tag, const secret::Buffer& key,
                                    ByteView result, crypto::Drbg& drbg) {
   return crypto::gcm_encrypt(key, tag_aad(tag), result, drbg);

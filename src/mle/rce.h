@@ -73,6 +73,13 @@ class ResultCipher {
                                  crypto::Drbg& drbg);
   static secret::Buffer recover_key(const FunctionIdentity& fn, ByteView input,
                                     ByteView challenge, ByteView wrapped_key);
+  // Midstate variants for the streaming path: a ChunkPlan derives tag and h
+  // for every chunk from one forked midstate, so per-chunk key wrap/unwrap
+  // must not re-hash the chunk (mirrors the ctx protect/recover overloads).
+  static WrappedKey generate_key(const ComputationContext& ctx,
+                                 crypto::Drbg& drbg);
+  static secret::Buffer recover_key(const ComputationContext& ctx,
+                                    ByteView challenge, ByteView wrapped_key);
   // Result encryption is AEAD-bound to the computation tag (already derived
   // on the runtime's hot path — Algorithm 1/2 line 1 — so it is passed in
   // rather than re-derived from the full input).

@@ -18,6 +18,7 @@
 // and again for h.
 #pragma once
 
+#include <cstdint>
 #include <string_view>
 
 #include "common/bytes.h"
@@ -30,6 +31,18 @@
 namespace speed::mle {
 
 using serialize::Tag;
+
+/// Hash-domain of a computation context. Whole-call tags, per-chunk tags and
+/// whole-stream tags live in disjoint domains: a chunk whose bytes happen to
+/// equal some whole input must not collide with that input's call tag, or the
+/// store would serve one's result for the other. The domain picks the raw
+/// label absorbed first into the midstate (the labels diverge within their
+/// first eight bytes, so the raw encoding stays injective).
+enum class Domain : std::uint8_t {
+  kCall,    ///< "speed-comp-v2"   — one tag per function call (the default)
+  kChunk,   ///< "speed-chunk-v1"  — one tag per content-defined chunk
+  kStream,  ///< "speed-stream-v1" — one tag per whole chunked stream
+};
 
 struct FunctionIdentity {
   serialize::FunctionDescriptor descriptor;
@@ -55,7 +68,8 @@ struct FunctionIdentity {
 /// alone (which the store learns) does not determine it.
 class ComputationContext {
  public:
-  ComputationContext(const FunctionIdentity& fn, ByteView input);
+  ComputationContext(const FunctionIdentity& fn, ByteView input,
+                     Domain domain = Domain::kCall);
 
   /// t <- Hash(func, m). Algorithm 1/2, line 1.
   Tag tag() const;
@@ -67,7 +81,54 @@ class ComputationContext {
       ByteView challenge) const;
 
  private:
+  friend class ChunkTagger;
+  friend class ContextBuilder;
+  struct FromMidstate {};
+  ComputationContext(FromMidstate, const crypto::Sha256& midstate)
+      : midstate_(midstate) {}
+
   crypto::Sha256 midstate_;  ///< absorbed: label ‖ len(uv) ‖ uv ‖ len(m) ‖ m
+};
+
+/// Derives many same-function contexts cheaply: the (domain-label, func)
+/// prefix is absorbed once at construction, then each chunk forks that
+/// midstate and absorbs only its own bytes. For a plan of N chunks this
+/// saves N-1 hashes of the function identity — and keeps every chunk tag in
+/// the chunk domain, disjoint from whole-call tags by construction.
+class ChunkTagger {
+ public:
+  explicit ChunkTagger(const FunctionIdentity& fn,
+                       Domain domain = Domain::kChunk);
+
+  /// Context for one chunk: fork the (label, func) midstate, absorb the
+  /// chunk bytes. Equivalent to ComputationContext(fn, chunk, domain) but
+  /// without re-hashing the function identity.
+  ComputationContext context(ByteView chunk) const;
+
+ private:
+  crypto::Sha256 prefix_;  ///< absorbed: label ‖ len(uv) ‖ uv
+};
+
+/// Builds a ComputationContext over an input that arrives in parts, without
+/// concatenating it: the streaming data path walks the chunked input once,
+/// feeding each chunk both to its own per-chunk context (via ChunkTagger)
+/// and to the whole-stream context accumulating here. The finished context
+/// is byte-for-byte the one ComputationContext(fn, whole_input, domain)
+/// would produce, so stream tags are independent of how the walk was split.
+class ContextBuilder {
+ public:
+  ContextBuilder(const FunctionIdentity& fn, std::uint64_t total_bytes,
+                 Domain domain);
+
+  void update(ByteView part);
+
+  /// Consumes the builder. Throws if the absorbed bytes don't sum to the
+  /// declared total (the length prefix was already committed to the hash).
+  ComputationContext finish() &&;
+
+ private:
+  crypto::Sha256 midstate_;
+  std::uint64_t remaining_;
 };
 
 /// t <- Hash(func, m). Algorithm 1/2, line 1.

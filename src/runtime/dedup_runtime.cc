@@ -125,6 +125,33 @@ void DedupRuntime::init_common() {
         sink.histogram("speed_runtime_batch_ops",
                        "Ops coalesced per shipped batch frame", {},
                        metrics_.batch_ops);
+        sink.counter("speed_runtime_stream_puts_total",
+                     "Streams stored via StreamSession::put", {},
+                     metrics_.stream_puts.value());
+        sink.counter("speed_runtime_stream_gets_total",
+                     "Streams retrieved via StreamSession::get", {},
+                     metrics_.stream_gets.value());
+        sink.counter("speed_runtime_stream_whole_hits_total",
+                     "Stream puts deduplicated whole by the stream tag", {},
+                     metrics_.stream_whole_hits.value());
+        sink.counter("speed_runtime_stream_chunks_total",
+                     "Chunks examined on the stream put path", {},
+                     metrics_.stream_chunks.value());
+        sink.counter("speed_runtime_stream_chunk_hits_total",
+                     "Chunks served by existing store entries", {},
+                     metrics_.stream_chunk_hits.value());
+        sink.counter("speed_runtime_stream_bytes_deduped_total",
+                     "Plaintext bytes not re-stored thanks to chunk dedup", {},
+                     metrics_.stream_bytes_deduped.value());
+        sink.counter("speed_runtime_stream_inline_chunks_total",
+                     "Chunks inlined into manifests (PUT refused/poisoned)", {},
+                     metrics_.stream_inline_chunks.value());
+        sink.counter("speed_runtime_stream_degraded_total",
+                     "Stream puts degraded by store failures", {},
+                     metrics_.stream_degraded.value());
+        sink.histogram("speed_runtime_stream_manifest_bytes",
+                       "Manifest plaintext size per stored stream", {},
+                       metrics_.stream_manifest_bytes);
         {
           std::lock_guard<std::mutex> lock(cache_mu_);
           sink.gauge("speed_runtime_cache_bytes",
@@ -726,7 +753,47 @@ DedupRuntime::Stats DedupRuntime::stats() const {
   s.puts_sent = metrics_.puts_sent.value();
   s.puts_rejected = metrics_.puts_rejected.value();
   s.puts_dropped = metrics_.puts_dropped.value();
+  s.stream_puts = metrics_.stream_puts.value();
+  s.stream_gets = metrics_.stream_gets.value();
+  s.stream_whole_hits = metrics_.stream_whole_hits.value();
+  s.stream_chunks = metrics_.stream_chunks.value();
+  s.stream_chunk_hits = metrics_.stream_chunk_hits.value();
+  s.stream_bytes_deduped = metrics_.stream_bytes_deduped.value();
+  s.stream_inline_chunks = metrics_.stream_inline_chunks.value();
+  s.stream_degraded = metrics_.stream_degraded.value();
   return s;
+}
+
+std::vector<serialize::BatchReply> DedupRuntime::stream_ops(
+    std::vector<serialize::BatchOp> ops) {
+  if (ops.empty()) return {};
+  if (config_.batching.enabled) return batch_execute(std::move(ops));
+  // Unbatched (or v1-only peer): one plain round trip per op, failures
+  // mapped to per-op error replies so the caller's degrade logic is
+  // identical on both paths.
+  std::vector<serialize::BatchReply> replies;
+  replies.reserve(ops.size());
+  for (const serialize::BatchOp& op : ops) {
+    try {
+      Message response = std::visit(
+          [this](const auto& o) { return secure_round_trip(Message(o)); }, op);
+      if (auto* get_resp = std::get_if<GetResponse>(&response)) {
+        replies.emplace_back(std::move(*get_resp));
+      } else if (const auto* put_resp = std::get_if<PutResponse>(&response)) {
+        replies.emplace_back(*put_resp);
+      } else if (const auto* err =
+                     std::get_if<serialize::ErrorResponse>(&response)) {
+        replies.emplace_back(*err);
+      } else {
+        replies.emplace_back(serialize::ErrorResponse{
+            serialize::ErrorCode::kBadRequest, "unexpected reply type"});
+      }
+    } catch (const Error& e) {
+      replies.emplace_back(serialize::ErrorResponse{
+          serialize::ErrorCode::kUnavailable, e.what()});
+    }
+  }
+  return replies;
 }
 
 }  // namespace speed::runtime

@@ -191,6 +191,16 @@ class DedupRuntime {
     std::uint64_t puts_sent = 0;
     std::uint64_t puts_rejected = 0;
     std::uint64_t puts_dropped = 0;     ///< evicted from a full PUT queue
+
+    // Streaming data path (runtime/stream_session.h).
+    std::uint64_t stream_puts = 0;        ///< StreamSession::put calls
+    std::uint64_t stream_gets = 0;        ///< StreamSession::get calls
+    std::uint64_t stream_whole_hits = 0;  ///< whole stream deduped in one GET
+    std::uint64_t stream_chunks = 0;      ///< chunks examined on the put path
+    std::uint64_t stream_chunk_hits = 0;  ///< chunks served by existing entries
+    std::uint64_t stream_bytes_deduped = 0;  ///< plaintext bytes not re-stored
+    std::uint64_t stream_inline_chunks = 0;  ///< chunks inlined into manifests
+    std::uint64_t stream_degraded = 0;    ///< puts degraded by store failures
   };
   Stats stats() const;
 
@@ -202,8 +212,21 @@ class DedupRuntime {
   }
 
  private:
+  /// The streaming data path issues its chunk GET/PUT windows and bumps the
+  /// stream metric cells through the runtime's private machinery.
+  friend class StreamSession;
+
   /// Shared tail of every constructor: scheme setup, PUT worker, telemetry.
   void init_common();
+
+  /// Ship a window of chunk ops and return their replies in input order.
+  /// With batching enabled the window rides the micro-batcher as one frame
+  /// (splitting per node in cluster mode); otherwise each op is a plain v1
+  /// round trip. Transport failures surface as per-op
+  /// ErrorResponse{kUnavailable} — never as exceptions — so the streaming
+  /// path can degrade chunk-by-chunk.
+  std::vector<serialize::BatchReply> stream_ops(
+      std::vector<serialize::BatchOp> ops);
 
   /// One request/response over the secure channel. Must be called from
   /// inside the enclave; takes the channel lock to keep sequence numbers
@@ -284,6 +307,17 @@ class DedupRuntime {
     /// Batch frames shipped by the micro-batcher and their op counts.
     telemetry::Counter batches;
     telemetry::Histogram batch_ops;
+    /// Streaming data path (see Stats for semantics).
+    telemetry::Counter stream_puts;
+    telemetry::Counter stream_gets;
+    telemetry::Counter stream_whole_hits;
+    telemetry::Counter stream_chunks;
+    telemetry::Counter stream_chunk_hits;
+    telemetry::Counter stream_bytes_deduped;
+    telemetry::Counter stream_inline_chunks;
+    telemetry::Counter stream_degraded;
+    /// Manifest plaintext size per stored stream.
+    telemetry::Histogram stream_manifest_bytes;
   };
   Metrics metrics_;
 

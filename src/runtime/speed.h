@@ -15,6 +15,9 @@
 //   Out out = fast_f(in);                            // line 2 — use as normal
 #pragma once
 
+#include "chunk/chunk_plan.h"
+#include "chunk/chunker.h"
+#include "chunk/manifest.h"
 #include "mle/rce.h"
 #include "mle/tag.h"
 #include "net/channel.h"
@@ -26,6 +29,7 @@
 #include "runtime/adaptive.h"
 #include "runtime/dedup_runtime.h"
 #include "runtime/deduplicable.h"
+#include "runtime/stream_session.h"
 #include "serialize/function_descriptor.h"
 #include "serialize/rendezvous.h"
 #include "serialize/serde.h"

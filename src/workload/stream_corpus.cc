@@ -1,0 +1,94 @@
+#include "workload/stream_corpus.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace speed::workload {
+
+namespace {
+
+/// Content of building block `rank` under `seed` — a function of the two
+/// alone, so every blob drawing rank r gets byte-identical content.
+Bytes building_block(std::uint64_t seed, std::size_t rank,
+                     std::size_t block_bytes) {
+  Xoshiro256 rng(seed ^ (0x9e3779b97f4a7c15ULL * (rank + 1)));
+  return rng.bytes(block_bytes);
+}
+
+}  // namespace
+
+Bytes synth_stream_blob(const StreamCorpusConfig& config, std::uint64_t seed,
+                        std::uint64_t salt) {
+  const std::size_t block = std::max<std::size_t>(1, config.block_bytes);
+  const std::size_t universe = std::max<std::size_t>(1, config.universe);
+  Xoshiro256 rng(seed ^ (salt * 0xbf58476d1ce4e5b9ULL));
+  const ZipfSampler zipf(universe, config.skew);
+  Bytes blob;
+  blob.reserve(config.blob_bytes);
+  while (blob.size() < config.blob_bytes) {
+    const Bytes piece = building_block(seed, zipf(rng), block);
+    const std::size_t take =
+        std::min(piece.size(), config.blob_bytes - blob.size());
+    blob.insert(blob.end(), piece.begin(), piece.begin() + take);
+  }
+  return blob;
+}
+
+Bytes edit_stream_blob(ByteView base, std::size_t count,
+                       std::size_t edit_bytes, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  Bytes blob(base.begin(), base.end());
+  for (std::size_t i = 0; i < count; ++i) {
+    // +-50% size jitter so edits do not all land on the same granularity.
+    const std::size_t span = std::max<std::size_t>(
+        1, edit_bytes / 2 + rng.below(std::max<std::size_t>(1, edit_bytes)));
+    const std::size_t offset = blob.empty() ? 0 : rng.below(blob.size() + 1);
+    switch (rng.below(3)) {
+      case 0: {  // insert fresh bytes
+        const Bytes fresh = rng.bytes(span);
+        blob.insert(blob.begin() + offset, fresh.begin(), fresh.end());
+        break;
+      }
+      case 1: {  // delete
+        const std::size_t n = std::min(span, blob.size() - offset);
+        blob.erase(blob.begin() + offset, blob.begin() + offset + n);
+        break;
+      }
+      default: {  // replace in place
+        const std::size_t n = std::min(span, blob.size() - offset);
+        const Bytes fresh = rng.bytes(n);
+        std::copy(fresh.begin(), fresh.end(), blob.begin() + offset);
+        break;
+      }
+    }
+  }
+  return blob;
+}
+
+Bytes shift_stream_blob(ByteView base, std::size_t shift_bytes,
+                        std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  Bytes blob = rng.bytes(shift_bytes);
+  blob.insert(blob.end(), base.begin(), base.end());
+  return blob;
+}
+
+std::vector<Bytes> stream_version_chain(const StreamCorpusConfig& config,
+                                        std::size_t versions,
+                                        std::size_t edits_per_version,
+                                        std::size_t edit_bytes,
+                                        std::uint64_t seed) {
+  std::vector<Bytes> chain;
+  chain.reserve(versions);
+  if (versions == 0) return chain;
+  chain.push_back(synth_stream_blob(config, seed));
+  for (std::size_t v = 1; v < versions; ++v) {
+    chain.push_back(
+        edit_stream_blob(chain.back(), edits_per_version, edit_bytes,
+                         seed + 0x51ed5eedULL * v));
+  }
+  return chain;
+}
+
+}  // namespace speed::workload

@@ -1,0 +1,64 @@
+// Streaming corpora for the chunk-dedup experiments (block-store case
+// study and bench_stream).
+//
+// Real storage workloads that benefit from content-defined chunking share
+// two traits: blobs are assembled from a skewed pool of recurring pieces
+// (VM images, backups, container layers), and successive versions of a
+// blob differ by small localized edits. These generators reproduce both
+// knobs deterministically:
+//
+//   * synth_stream_blob   — Zipf-sampled building blocks; hot blocks recur
+//                           within and across blobs, so corpora have a
+//                           controllable intrinsic dedup ratio.
+//   * edit_stream_blob    — random insert/delete/replace edits, the
+//                           version-to-version delta of a mutating volume.
+//   * shift_stream_blob   — prepend fresh bytes, shifting every offset:
+//                           the classic fixed-chunking (and whole-call
+//                           dedup) killer that CDC is built to survive.
+//   * stream_version_chain— base blob plus a chain of edited snapshots.
+//
+// All functions are pure in their seed. Randomized tests derive the seed
+// through tests/test_seed.h, so SPEED_TEST_SEED reproduces any workload.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace speed::workload {
+
+struct StreamCorpusConfig {
+  std::size_t blob_bytes = 256 * 1024;  ///< size of each generated blob
+  std::size_t block_bytes = 4 * 1024;   ///< building-block granularity
+  std::size_t universe = 64;            ///< distinct building blocks
+  double skew = 1.0;                    ///< Zipf skew over the block pool
+};
+
+/// One blob of `config.blob_bytes`, assembled from Zipf-sampled building
+/// blocks. Blocks are derived from `seed` alone (not the blob index), so
+/// blobs generated with the same seed share their block pool and
+/// deduplicate against each other; `salt` varies the sampling sequence.
+Bytes synth_stream_blob(const StreamCorpusConfig& config, std::uint64_t seed,
+                        std::uint64_t salt = 0);
+
+/// `count` random edits applied to `base`: each inserts, deletes, or
+/// replaces roughly `edit_bytes` at a random offset. Models the delta
+/// between two snapshots of the same volume.
+Bytes edit_stream_blob(ByteView base, std::size_t count,
+                       std::size_t edit_bytes, std::uint64_t seed);
+
+/// `base` with `shift_bytes` of fresh data prepended — every byte offset
+/// moves, no content changes.
+Bytes shift_stream_blob(ByteView base, std::size_t shift_bytes,
+                        std::uint64_t seed);
+
+/// Version 0 is a fresh blob; each later version is edit_stream_blob of its
+/// predecessor. The shape bench_stream replays against put().
+std::vector<Bytes> stream_version_chain(const StreamCorpusConfig& config,
+                                        std::size_t versions,
+                                        std::size_t edits_per_version,
+                                        std::size_t edit_bytes,
+                                        std::uint64_t seed);
+
+}  // namespace speed::workload

@@ -4,6 +4,7 @@
 
 #include <cstdlib>
 #include <cstring>
+#include <vector>
 
 #include "capi/speed_c.h"
 
@@ -218,6 +219,111 @@ TEST(CapiClusterTest, SingleStoreDeploymentHasNoClusterNodes) {
   EXPECT_EQ(speed_cluster_nodes_up(dep), 0u);
   EXPECT_EQ(speed_cluster_kill(dep, 0), SPEED_ERR_INVALID_ARGUMENT);
   speed_deployment_destroy(dep);
+}
+
+class CapiStreamTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dep_ = speed_deployment_create("capi-stream-app");
+    ASSERT_NE(dep_, nullptr);
+    const uint8_t code[] = {'s', 't', 'r', 'e', 'a', 'm'};
+    ASSERT_EQ(speed_register_library(dep_, "blob", "1.0", code, sizeof(code)),
+              SPEED_OK);
+    stream_ = speed_stream_create(dep_, "blob", "1.0",
+                                  "bytes put_stream(bytes)", 0, 0, 0);
+    ASSERT_NE(stream_, nullptr);
+  }
+  void TearDown() override {
+    speed_stream_destroy(stream_);
+    speed_deployment_destroy(dep_);
+  }
+
+  speed_deployment* dep_ = nullptr;
+  speed_stream* stream_ = nullptr;
+};
+
+TEST_F(CapiStreamTest, PutGetRoundTrips) {
+  std::vector<uint8_t> blob(300 * 1024);
+  for (size_t i = 0; i < blob.size(); ++i) {
+    blob[i] = static_cast<uint8_t>(i * 2654435761u >> 13);
+  }
+  uint8_t* handle = nullptr;
+  size_t handle_len = 0;
+  ASSERT_EQ(speed_put_stream(stream_, blob.data(), blob.size(), &handle,
+                             &handle_len),
+            SPEED_OK);
+  ASSERT_NE(handle, nullptr);
+  EXPECT_GT(handle_len, 0u);
+
+  uint8_t* data = nullptr;
+  size_t data_len = 0;
+  ASSERT_EQ(speed_get_stream(stream_, handle, handle_len, &data, &data_len),
+            SPEED_OK);
+  ASSERT_EQ(data_len, blob.size());
+  EXPECT_EQ(std::memcmp(data, blob.data(), blob.size()), 0);
+  speed_buffer_free(data);
+
+  // An identical re-put is one whole-stream hit, visible in the stats.
+  uint8_t* handle2 = nullptr;
+  size_t handle2_len = 0;
+  ASSERT_EQ(speed_put_stream(stream_, blob.data(), blob.size(), &handle2,
+                             &handle2_len),
+            SPEED_OK);
+  speed_stream_stats stats{};
+  ASSERT_EQ(speed_stream_stats_read(dep_, &stats), SPEED_OK);
+  EXPECT_EQ(stats.puts, 2u);
+  EXPECT_EQ(stats.whole_hits, 1u);
+  EXPECT_EQ(stats.bytes_deduped, blob.size());
+  EXPECT_GT(stats.chunks, 1u);
+  speed_buffer_free(handle);
+  speed_buffer_free(handle2);
+}
+
+TEST_F(CapiStreamTest, EmptyStreamRoundTrips) {
+  uint8_t* handle = nullptr;
+  size_t handle_len = 0;
+  ASSERT_EQ(speed_put_stream(stream_, nullptr, 0, &handle, &handle_len),
+            SPEED_OK);
+  uint8_t* data = nullptr;
+  size_t data_len = 1;
+  ASSERT_EQ(speed_get_stream(stream_, handle, handle_len, &data, &data_len),
+            SPEED_OK);
+  EXPECT_EQ(data_len, 0u);
+  speed_buffer_free(data);
+  speed_buffer_free(handle);
+}
+
+TEST_F(CapiStreamTest, RejectsBadArguments) {
+  // Unregistered library.
+  EXPECT_EQ(speed_stream_create(dep_, "nope", "1.0", "sig", 0, 0, 0), nullptr);
+  EXPECT_NE(std::strlen(speed_last_error(dep_)), 0u);
+  // Invalid chunking config (avg not a power of two).
+  EXPECT_EQ(
+      speed_stream_create(dep_, "blob", "1.0", "sig", 1024, 3000, 8192),
+      nullptr);
+  // Null argument sweeps.
+  EXPECT_EQ(speed_stream_create(nullptr, "blob", "1.0", "sig", 0, 0, 0),
+            nullptr);
+  uint8_t byte = 0;
+  uint8_t* out = nullptr;
+  size_t out_len = 0;
+  EXPECT_EQ(speed_put_stream(nullptr, &byte, 1, &out, &out_len),
+            SPEED_ERR_INVALID_ARGUMENT);
+  EXPECT_EQ(speed_put_stream(stream_, nullptr, 1, &out, &out_len),
+            SPEED_ERR_INVALID_ARGUMENT);
+  EXPECT_EQ(speed_put_stream(stream_, &byte, 1, nullptr, &out_len),
+            SPEED_ERR_INVALID_ARGUMENT);
+  EXPECT_EQ(speed_get_stream(stream_, nullptr, 0, &out, &out_len),
+            SPEED_ERR_INVALID_ARGUMENT);
+  // A garbage handle must fail cleanly, not crash.
+  const uint8_t garbage[] = {9, 9, 9, 9};
+  EXPECT_EQ(speed_get_stream(stream_, garbage, sizeof(garbage), &out, &out_len),
+            SPEED_ERR_INVALID_ARGUMENT);
+  speed_stream_stats stats{};
+  EXPECT_EQ(speed_stream_stats_read(nullptr, &stats),
+            SPEED_ERR_INVALID_ARGUMENT);
+  EXPECT_EQ(speed_stream_stats_read(dep_, nullptr),
+            SPEED_ERR_INVALID_ARGUMENT);
 }
 
 }  // namespace

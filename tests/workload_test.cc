@@ -6,6 +6,7 @@
 #include <set>
 
 #include "apps/deflate/deflate.h"
+#include "workload/stream_corpus.h"
 #include "workload/synthetic.h"
 
 namespace speed::workload {
@@ -89,6 +90,64 @@ TEST(WorkloadTest, ZipfStreamIsSkewed) {
       static_cast<std::size_t>(std::count_if(counts.begin(), counts.end(),
                                              [](std::size_t c) { return c > 0; }));
   EXPECT_GT(stream.size() - distinct, stream.size() * 9 / 10);
+}
+
+TEST(StreamCorpusTest, BlobsAreDeterministicPerSeed) {
+  const StreamCorpusConfig config;
+  EXPECT_EQ(synth_stream_blob(config, 11), synth_stream_blob(config, 11));
+  EXPECT_NE(synth_stream_blob(config, 11), synth_stream_blob(config, 12));
+  EXPECT_NE(synth_stream_blob(config, 11, 0), synth_stream_blob(config, 11, 1));
+  EXPECT_EQ(synth_stream_blob(config, 11).size(), config.blob_bytes);
+}
+
+TEST(StreamCorpusTest, SameSeedBlobsShareBuildingBlocks) {
+  // Two blobs from the same seed draw from one Zipf block pool, so large
+  // runs of bytes recur across them — the cross-blob dedup opportunity.
+  StreamCorpusConfig config;
+  config.universe = 8;  // small pool: overlap is near-certain
+  const Bytes a = synth_stream_blob(config, 21, 0);
+  const Bytes b = synth_stream_blob(config, 21, 1);
+  std::set<Bytes> blocks_a;
+  for (std::size_t off = 0; off + config.block_bytes <= a.size();
+       off += config.block_bytes) {
+    blocks_a.insert(Bytes(a.begin() + off, a.begin() + off + config.block_bytes));
+  }
+  std::size_t shared = 0;
+  for (std::size_t off = 0; off + config.block_bytes <= b.size();
+       off += config.block_bytes) {
+    shared += blocks_a.count(
+        Bytes(b.begin() + off, b.begin() + off + config.block_bytes));
+  }
+  EXPECT_GT(shared, 0u);
+}
+
+TEST(StreamCorpusTest, EditsPerturbSizeOnlySlightly) {
+  const Bytes base = synth_stream_blob({}, 31);
+  const Bytes edited = edit_stream_blob(base, 4, 64, 5);
+  EXPECT_EQ(edit_stream_blob(base, 4, 64, 5), edited);  // seed-deterministic
+  EXPECT_NE(edited, base);
+  const auto diff = edited.size() > base.size() ? edited.size() - base.size()
+                                                : base.size() - edited.size();
+  EXPECT_LT(diff, 4 * 2 * 64);  // bounded by edit count * jittered span
+}
+
+TEST(StreamCorpusTest, ShiftPrependsExactly) {
+  const Bytes base = synth_stream_blob({}, 41);
+  const Bytes shifted = shift_stream_blob(base, 100, 6);
+  ASSERT_EQ(shifted.size(), base.size() + 100);
+  EXPECT_TRUE(std::equal(base.begin(), base.end(), shifted.begin() + 100));
+}
+
+TEST(StreamCorpusTest, VersionChainsEvolveGradually) {
+  StreamCorpusConfig config;
+  config.blob_bytes = 64 * 1024;
+  const auto chain = stream_version_chain(config, 5, 2, 64, 51);
+  ASSERT_EQ(chain.size(), 5u);
+  EXPECT_EQ(chain[0], synth_stream_blob(config, 51));
+  for (std::size_t v = 1; v < chain.size(); ++v) {
+    EXPECT_NE(chain[v], chain[v - 1]);
+  }
+  EXPECT_TRUE(stream_version_chain(config, 0, 2, 64, 51).empty());
 }
 
 }  // namespace

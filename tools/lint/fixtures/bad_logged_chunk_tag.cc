@@ -1,0 +1,26 @@
+// lint-as: src/telemetry/stream_exporter.cc
+// Fixture: chunk/stream tags are content hashes of client plaintext and the
+// manifest plaintext lists them — either one on a telemetry surface or a log
+// line fingerprints user data (SF004). Derived scalars must be copied to a
+// neutral local before they touch a sink.
+#include <cstdio>
+#include <string>
+
+namespace speed::telemetry {
+
+struct StreamExporter {
+  std::string chunk_tag;  // EXPECT: SF004
+
+  void dump(const std::string& stream_tag,  // EXPECT: SF004
+            const std::string& manifest_plain) {  // EXPECT: SF004
+    std::printf("tag=%s\n", stream_tag.c_str());  // EXPECT: SF004
+    std::printf("bytes=%zu\n", manifest_plain.size());  // EXPECT: SF004
+  }
+};
+
+// Neutral scalars are what telemetry is for: no finding.
+inline void record(std::size_t manifest_bytes, std::size_t chunk_count) {
+  std::printf("manifest_bytes=%zu chunks=%zu\n", manifest_bytes, chunk_count);
+}
+
+}  // namespace speed::telemetry

@@ -9,7 +9,9 @@ manifest):
   SF002  operator==/!= on tag/MAC/digest byte ranges (use speed::ct_equal)
   SF003  secret types or raw escapes in untrusted-boundary surfaces
          (src/capi/*, the sgx Report struct)
-  SF004  secret types or reveals in telemetry/exposition or on logging lines
+  SF004  secret types or reveals in telemetry/exposition or on logging lines;
+         also chunk/stream tags and manifest plaintext (content hashes of
+         client data) in telemetry or on logging lines
   SF005  libc rand()/srand() (use crypto::Drbg)
   SF006  reveal_for/release_for without a literal Purpose::of, or with a
          (file, purpose) pair missing from docs/SECRET_AUDIT.md; also stale
@@ -45,6 +47,18 @@ SOURCE_SUFFIXES = {".h", ".cc", ".cpp", ".hpp"}
 
 # Identifier fragments that mark a byte range as authenticator/key material.
 SECRETISH = r"(?:mac|auth_tag|digest|session_key|seal_key|private_key|wrapped_key|secret|hmac)"
+
+# Streaming-dedup identifiers: chunk/stream tags are content hashes of client
+# plaintext and the manifest plaintext lists them. Not key material — equality
+# compares are fine — but their values fingerprint user data, so they must
+# never be exported through telemetry or logging sinks (SF004). Derived
+# scalars (sizes, counts) must be copied to a neutral local before logging.
+DEDUPISH = r"(?:chunk_tag|stream_tag|chunk_hash|manifest_plain)"
+
+# Logging/stream sink syntax shared by the SF004 checks.
+LOG_SINK_RE = re.compile(
+    r"<<|\bprintf\s*\(|\bfprintf\s*\(|\bsnprintf\s*\(|\bLOG\b|std::format\s*\("
+)
 
 ALLOW_RE = re.compile(r"//\s*secretflow-allow:\s*(SF\d{3})")
 EXPECT_RE = re.compile(r"//\s*EXPECT:\s*(SF\d{3})")
@@ -208,11 +222,22 @@ def lint_file(pretend_path: str, text: str, manifest: set[tuple[str, str]],
             add(idx, "SF004",
                 "telemetry/exposition must never see secret types or "
                 "revealed bytes")
-        if re.search(r"reveal_for|release_for", code) and re.search(
-                r"<<|\bprintf\s*\(|\bfprintf\s*\(|\bsnprintf\s*\(|\bLOG\b|std::format\s*\(",
+        if re.search(r"reveal_for|release_for", code) and LOG_SINK_RE.search(
                 code):
             add(idx, "SF004",
                 "revealed secret bytes on a logging/stream line")
+
+        # SF004 (streaming): chunk hashes and manifest plaintext fingerprint
+        # client data; they must never reach telemetry labels or log lines.
+        if re.search(rf"(?:\.|\b){DEDUPISH}\b", code):
+            if is_telemetry:
+                add(idx, "SF004",
+                    "telemetry must never see chunk/stream tags or manifest "
+                    "plaintext — they fingerprint client data")
+            elif LOG_SINK_RE.search(code):
+                add(idx, "SF004",
+                    "chunk/stream tag or manifest plaintext on a "
+                    "logging/stream line fingerprints client data")
 
         # SF005: libc RNG.
         if re.search(r"(?<![\w.>])s?rand\s*\(", code):
