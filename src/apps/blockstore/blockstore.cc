@@ -18,14 +18,14 @@ void BlockStore::put(const std::string& name, ByteView data) {
   // The store round trips run outside the lock: puts of different objects
   // proceed concurrently and only the index update is serialized.
   runtime::StreamHandle handle = session_.put(data);
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   objects_.insert_or_assign(name, std::move(handle));
 }
 
 std::optional<Bytes> BlockStore::get(const std::string& name) {
   runtime::StreamHandle handle;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     const auto it = objects_.find(name);
     if (it == objects_.end()) return std::nullopt;
     // Re-parse the serialized capability instead of holding the lock (or a
@@ -37,19 +37,19 @@ std::optional<Bytes> BlockStore::get(const std::string& name) {
 }
 
 bool BlockStore::erase(const std::string& name) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return objects_.erase(name) > 0;
 }
 
 std::optional<ObjectInfo> BlockStore::stat(const std::string& name) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   const auto it = objects_.find(name);
   if (it == objects_.end()) return std::nullopt;
   return ObjectInfo{it->second.total_bytes, it->second.kind};
 }
 
 std::vector<std::string> BlockStore::list() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::string> names;
   names.reserve(objects_.size());
   for (const auto& [name, handle] : objects_) names.push_back(name);
@@ -57,12 +57,12 @@ std::vector<std::string> BlockStore::list() const {
 }
 
 std::size_t BlockStore::size() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return objects_.size();
 }
 
 Bytes BlockStore::export_object(const std::string& name) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   const auto it = objects_.find(name);
   if (it == objects_.end()) {
     throw std::out_of_range("blockstore: unknown object: " + name);
@@ -72,7 +72,7 @@ Bytes BlockStore::export_object(const std::string& name) const {
 
 void BlockStore::import_object(const std::string& name, ByteView handle) {
   runtime::StreamHandle parsed = runtime::StreamHandle::deserialize(handle);
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   objects_.insert_or_assign(name, std::move(parsed));
 }
 

@@ -20,11 +20,11 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "common/annotated_lock.h"
 #include "runtime/dedup_runtime.h"
 #include "runtime/stream_session.h"
 
@@ -78,8 +78,8 @@ class BlockStore {
 
  private:
   runtime::StreamSession session_;
-  mutable std::mutex mu_;
-  std::map<std::string, runtime::StreamHandle> objects_;
+  mutable Mutex mu_{LockRank::kApp};  // outermost: never held across store I/O
+  std::map<std::string, runtime::StreamHandle> objects_ GUARDED_BY(mu_);
 };
 
 }  // namespace speed::blockstore

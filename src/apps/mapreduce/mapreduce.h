@@ -10,10 +10,10 @@
 
 #include <functional>
 #include <map>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/annotated_lock.h"
 #include "common/error.h"
 
 namespace speed::mapreduce {
@@ -79,7 +79,9 @@ std::map<K, OutV> run_job(
 
   // ---- reduce phase: partitions in parallel, merged into an ordered map.
   std::map<K, OutV> result;
-  std::mutex result_mu;
+  // Held only around the merge of an already-reduced partition — the
+  // reducer itself runs on the worker's private `local` map.
+  Mutex result_mu{LockRank::kApp};
   {
     std::vector<std::thread> threads;
     threads.reserve(workers);
@@ -90,7 +92,7 @@ std::map<K, OutV> run_job(
           for (const auto& [key, values] : grouped[p]) {
             local.emplace(key, reducer(key, values));
           }
-          std::lock_guard<std::mutex> lock(result_mu);
+          MutexLock lock(result_mu);
           result.merge(local);
         }
       });

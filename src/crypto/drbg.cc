@@ -1,9 +1,9 @@
 #include "crypto/drbg.h"
 
 #include <cstring>
-#include <mutex>
 #include <random>
 
+#include "common/annotated_lock.h"
 #include "crypto/sha256.h"
 
 namespace speed::crypto {
@@ -107,10 +107,15 @@ secret::Buffer Drbg::secret_bytes(std::size_t n) {
 }
 
 Bytes Drbg::system_bytes(std::size_t n) {
-  static std::mutex mu;
+  static Mutex mu{LockRank::kCryptoDrbg};
   static Drbg instance;
-  std::lock_guard<std::mutex> lock(mu);
-  return instance.bytes(n);
+  // Allocate outside the lock; only the keystream fill needs serialization.
+  Bytes out(n);
+  {
+    MutexLock lock(mu);
+    instance.fill(out);
+  }
+  return out;
 }
 
 }  // namespace speed::crypto

@@ -12,8 +12,8 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 
+#include "common/annotated_lock.h"
 #include "common/bytes.h"
 #include "common/clock.h"
 #include "common/error.h"
@@ -60,9 +60,12 @@ class LoopbackTransport : public Transport {
   explicit LoopbackTransport(Handler handler, std::uint64_t one_way_ns = 0)
       : handler_(std::move(handler)), one_way_ns_(one_way_ns) {}
 
+  // The handler call runs under mu_ on purpose: one frame in flight at a
+  // time, exactly like a single connection.
+  // lockdiscipline-allow: LD004 the lock IS the wire serialization
   Bytes round_trip(ByteView request) override {
     round_trips_.fetch_add(1, std::memory_order_relaxed);
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (one_way_ns_ > 0) busy_wait_ns(one_way_ns_);
     Bytes response = handler_(request);
     if (one_way_ns_ > 0) busy_wait_ns(one_way_ns_);
@@ -76,9 +79,9 @@ class LoopbackTransport : public Transport {
   }
 
  private:
-  Handler handler_;
+  Handler handler_ GUARDED_BY(mu_);
   std::uint64_t one_way_ns_;
-  std::mutex mu_;
+  Mutex mu_{LockRank::kTransportLink};  // ranks with TcpTransport (510)
   std::atomic<std::uint64_t> round_trips_{0};
 };
 

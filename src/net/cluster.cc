@@ -47,7 +47,7 @@ ClusterTransport::ClusterTransport(sgx::Enclave& app_enclave,
   // Eager dial: a node that cannot be reached now starts out down and is
   // re-dialed by the first walk that probes it.
   for (const auto& link : links_) {
-    std::lock_guard<std::mutex> lock(link->mu);
+    MutexLock lock(link->mu);
     try {
       establish_locked(*link);
     } catch (const Error&) {
@@ -453,7 +453,7 @@ void ClusterTransport::establish_locked(Link& link) {
       std::move(conn.transport), link.dial, config_.resilience);
   Link* link_ptr = &link;
   transport->set_rekey_callback([link_ptr](secret::Buffer key) {
-    std::lock_guard<std::mutex> lock(link_ptr->rekey_mu);
+    MutexLock lock(link_ptr->rekey_mu);
     link_ptr->pending_rekey = std::move(key);
   });
   link.transport = std::move(transport);
@@ -462,15 +462,18 @@ void ClusterTransport::establish_locked(Link& link) {
 }
 
 void ClusterTransport::install_rekey_locked(Link& link) {
-  std::lock_guard<std::mutex> lock(link.rekey_mu);
+  MutexLock lock(link.rekey_mu);
   if (!link.pending_rekey.has_value()) return;
   link.channel.emplace(std::move(*link.pending_rekey), /*is_initiator=*/true);
   link.pending_rekey.reset();
   link.poisoned = false;
 }
 
+// link.mu is the per-node strand: the attested channel's sequence numbers
+// require strictly ordered frames, so the lock spans the whole leg.
+// lockdiscipline-allow: LD004 per-link strand orders channel sequence numbers
 Message ClusterTransport::link_round_trip(Link& link, const Message& request) {
-  std::lock_guard<std::mutex> lock(link.mu);
+  MutexLock lock(link.mu);
   link.last_attempt_ns.store(steady_now_ns(), std::memory_order_relaxed);
   try {
     if (link.transport == nullptr) establish_locked(link);

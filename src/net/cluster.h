@@ -38,11 +38,11 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "common/annotated_lock.h"
 #include "net/resilient.h"
 #include "net/secure_channel.h"
 #include "serialize/rendezvous.h"
@@ -136,15 +136,18 @@ class ClusterTransport {
 
     /// Serializes channel + transport use for this node (sequence numbers
     /// must match delivery order, exactly like DedupRuntime's channel_mu_).
-    std::mutex mu;
-    std::unique_ptr<ResilientTransport> transport;  ///< null until dialed
-    std::optional<SecureChannel> channel;
-    bool poisoned = false;
+    /// Rank 400: held across the leg's round trip AND across transport
+    /// (re)construction, which registers/removes telemetry collectors — the
+    /// reason kTelemetryRegistry ranks above it (docs/LOCK_ORDER.md).
+    Mutex mu{LockRank::kClusterLink};
+    std::unique_ptr<ResilientTransport> transport GUARDED_BY(mu);  ///< null until dialed
+    std::optional<SecureChannel> channel GUARDED_BY(mu);
+    bool poisoned GUARDED_BY(mu) = false;
 
     /// Fresh key staged by the transport's rekey callback (own lock: the
     /// callback fires while mu is held by the recovering thread).
-    std::mutex rekey_mu;
-    std::optional<secret::Buffer> pending_rekey;
+    Mutex rekey_mu{LockRank::kRekeyStaging};
+    std::optional<secret::Buffer> pending_rekey GUARDED_BY(rekey_mu);
 
     std::atomic<std::uint8_t> health{
         static_cast<std::uint8_t>(NodeHealth::kUp)};
@@ -164,8 +167,8 @@ class ClusterTransport {
   serialize::Message link_round_trip_retry(Link& link,
                                            const serialize::Message& request);
   /// Dial + build transport/channel; caller holds link.mu.
-  void establish_locked(Link& link);
-  void install_rekey_locked(Link& link);
+  void establish_locked(Link& link) REQUIRES(link.mu);
+  void install_rekey_locked(Link& link) REQUIRES(link.mu);
   void note_success(Link& link);
   void note_failure(Link& link);
   /// True when the walk should skip this node without attempting I/O.

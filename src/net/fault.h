@@ -20,8 +20,8 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 
+#include "common/annotated_lock.h"
 #include "common/bytes.h"
 #include "net/channel.h"
 #include "net/tcp.h"
@@ -53,14 +53,16 @@ class FaultInjectingTransport : public Transport {
 
   /// Replace the schedule mid-test (e.g. to clear a fault).
   void set_schedule(Schedule schedule) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     schedule_ = std::move(schedule);
   }
 
   Bytes round_trip(ByteView request) override {
+    // The schedule decision is taken under mu_; the lock is released before
+    // forwarding to the inner transport.
     Fault fault = Fault::kNone;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       const std::uint64_t index = calls_++;
       if (schedule_) fault = schedule_(index);
       if (fault != Fault::kNone) ++injected_;
@@ -95,8 +97,9 @@ class FaultInjectingTransport : public Transport {
 
  private:
   std::unique_ptr<Transport> inner_;
-  std::mutex mu_;
-  Schedule schedule_;
+  // 505: stacked between ResilientTransport (500) and the wire (510).
+  Mutex mu_{LockRank::kTransportInject};
+  Schedule schedule_ GUARDED_BY(mu_);
   std::atomic<std::uint64_t> calls_{0};
   std::atomic<std::uint64_t> injected_{0};
 };

@@ -44,12 +44,12 @@ ResilientTransport::ResilientTransport(std::unique_ptr<Transport> initial,
 }
 
 void ResilientTransport::set_rekey_callback(RekeyCallback cb) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   rekey_ = std::move(cb);
 }
 
 ResilientTransport::BreakerState ResilientTransport::breaker_state() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return state_;
 }
 
@@ -64,8 +64,14 @@ ResilientTransport::Stats ResilientTransport::stats() const {
   return s;
 }
 
+// mu_ is deliberately held across the inner round trip and the reconnect
+// cycle: breaker state transitions must be atomic with the attempt outcome.
+// lockdiscipline-allow: LD004 breaker state must be atomic with the attempt
 Bytes ResilientTransport::round_trip(ByteView request) {
-  std::lock_guard<std::mutex> lock(mu_);
+  // Declared before the lock: a transport displaced by reconnection is
+  // destroyed only after mu_ is released (see try_reconnect_locked).
+  std::unique_ptr<Transport> retired;
+  MutexLock lock(mu_);
   if (!admit_locked()) {
     short_circuits_.inc();
     throw StoreUnavailableError("ResilientTransport: circuit breaker open");
@@ -79,7 +85,7 @@ Bytes ResilientTransport::round_trip(ByteView request) {
     // the breaker open forever — even after the store came back. Recovering
     // now closes the breaker and stages the fresh key for the NEXT frame;
     // this one still fails (it is bound to the stale channel).
-    if (!try_reconnect_locked()) on_failure_locked();
+    if (!try_reconnect_locked(retired)) on_failure_locked();
     throw StoreUnavailableError(
         "ResilientTransport: connection dead, frame bound to stale channel");
   }
@@ -99,7 +105,8 @@ Bytes ResilientTransport::round_trip(ByteView request) {
 }
 
 bool ResilientTransport::recover() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Transport> retired;  // destroyed after mu_ is released
+  MutexLock lock(mu_);
   if (!admit_locked()) {
     short_circuits_.inc();
     return false;
@@ -107,7 +114,7 @@ bool ResilientTransport::recover() {
   // The caller's channel is unusable even if the socket still looks alive
   // (e.g. the store answered garbage): only a re-handshake restores service.
   inner_healthy_ = false;
-  if (try_reconnect_locked()) return true;
+  if (try_reconnect_locked(retired)) return true;
   on_failure_locked();
   return false;
 }
@@ -120,7 +127,12 @@ bool ResilientTransport::admit_locked() {
   return true;
 }
 
-bool ResilientTransport::try_reconnect_locked() {
+// Backoff sleeps and the dial both run under mu_: reconnection is part of
+// the guarded breaker state machine, and concurrent callers must observe
+// either the dead transport or the fully swapped-in fresh one.
+// lockdiscipline-allow: LD004 reconnect is part of the breaker state machine
+bool ResilientTransport::try_reconnect_locked(
+    std::unique_ptr<Transport>& retired) {
   if (!reconnect_) return false;
   std::uint64_t delay_ms = config_.backoff_initial_ms;
   for (int attempt = 0; attempt < config_.reconnect_attempts; ++attempt) {
@@ -135,6 +147,7 @@ bool ResilientTransport::try_reconnect_locked() {
         reconnect_failures_.inc();
         continue;
       }
+      retired = std::move(inner_);  // destroyed by the caller, outside mu_
       inner_ = std::move(fresh.transport);
       inner_healthy_ = true;
       consecutive_failures_ = 0;
@@ -169,7 +182,7 @@ void ResilientTransport::on_failure_locked() {
 }
 
 std::uint64_t ResilientTransport::current_cooldown_ms() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return current_cooldown_ms_;
 }
 

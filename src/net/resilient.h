@@ -30,8 +30,8 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 
+#include "common/annotated_lock.h"
 #include "common/bytes.h"
 #include "net/channel.h"
 #include "telemetry/registry.h"
@@ -101,24 +101,33 @@ class ResilientTransport : public Transport {
 
  private:
   /// True if the breaker admits traffic now (may flip open -> half-open).
-  bool admit_locked();
+  bool admit_locked() REQUIRES(mu_);
   /// One bounded reconnect cycle; on success swaps in the new transport,
-  /// stages the fresh key, closes the breaker.
-  bool try_reconnect_locked();
-  void on_failure_locked();
-  std::uint64_t jittered_locked(std::uint64_t ms, double fraction);
+  /// stages the fresh key, closes the breaker. The displaced transport is
+  /// moved into `retired`, NOT destroyed here: its teardown can deregister
+  /// telemetry collectors (Registry::mu_, rank 450 — below this lock), and a
+  /// concurrent scrape holding the registry lock may be calling our breaker
+  /// collector, which needs mu_ — destroying under mu_ would deadlock.
+  /// Callers declare `retired` before their MutexLock so it dies after
+  /// mu_ is released.
+  bool try_reconnect_locked(std::unique_ptr<Transport>& retired) REQUIRES(mu_);
+  void on_failure_locked() REQUIRES(mu_);
+  std::uint64_t jittered_locked(std::uint64_t ms, double fraction) REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::unique_ptr<Transport> inner_;
-  bool inner_healthy_ = true;
+  // 500: held across the inner transport's round trip (that serialization
+  // makes breaker accounting exact) and across reconnect backoff — the
+  // documented LD004 exception (docs/LOCK_ORDER.md).
+  mutable Mutex mu_{LockRank::kTransport};
+  std::unique_ptr<Transport> inner_ GUARDED_BY(mu_);
+  bool inner_healthy_ GUARDED_BY(mu_) = true;
   ReconnectFn reconnect_;
-  RekeyCallback rekey_;
+  RekeyCallback rekey_ GUARDED_BY(mu_);
   ResilienceConfig config_;
-  int consecutive_failures_ = 0;
-  BreakerState state_ = BreakerState::kClosed;
-  std::chrono::steady_clock::time_point opened_at_{};
-  std::uint64_t current_cooldown_ms_ = 0;  ///< jittered, set per open
-  std::uint64_t jitter_state_;
+  int consecutive_failures_ GUARDED_BY(mu_) = 0;
+  BreakerState state_ GUARDED_BY(mu_) = BreakerState::kClosed;
+  std::chrono::steady_clock::time_point opened_at_ GUARDED_BY(mu_){};
+  std::uint64_t current_cooldown_ms_ GUARDED_BY(mu_) = 0;  ///< jittered, set per open
+  std::uint64_t jitter_state_ GUARDED_BY(mu_);
 
   telemetry::Counter round_trips_;
   telemetry::Counter failures_;

@@ -64,6 +64,12 @@ Bytes make_nonce(bool initiator_to_responder, std::uint64_t seq) {
   return nonce;
 }
 
+// Register the collector during static initialization, before any thread
+// can hold a lock: first-use registration could otherwise take the registry
+// lock under a transport lock — a rank inversion (docs/LOCK_ORDER.md) and a
+// potential deadlock against an in-flight scrape.
+[[maybe_unused]] const ChannelMetrics& kEagerChannelMetrics = channel_metrics();
+
 }  // namespace
 
 secret::Buffer derive_channel_key(sgx::Enclave& self,

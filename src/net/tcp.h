@@ -13,9 +13,9 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
-#include <mutex>
 #include <string>
 
+#include "common/annotated_lock.h"
 #include "common/bytes.h"
 #include "common/error.h"
 #include "net/channel.h"
@@ -174,12 +174,16 @@ class TcpTransport : public Transport {
       : socket_(std::move(socket)), deadline_ms_(deadline_ms) {}
 
   void set_deadline_ms(std::int64_t ms) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     deadline_ms_ = ms;
   }
 
+  // Holding mu_ across the socket I/O is the point: one in-flight round
+  // trip per connection, so a second caller queues rather than interleaving
+  // frames.
+  // lockdiscipline-allow: LD004 the lock IS the wire serialization
   Bytes round_trip(ByteView request) override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (deadline_ms_ < 0) {
       socket_.send_frame(request);
       return socket_.recv_frame();
@@ -190,12 +194,15 @@ class TcpTransport : public Transport {
     return socket_.recv_frame(deadline);
   }
 
+  /// Raw socket escape hatch for tests that corrupt the byte stream
+  /// deliberately. Bypasses mu_ — never use it while round trips are in
+  /// flight on another thread.
   FramedSocket& socket() { return socket_; }
 
  private:
-  FramedSocket socket_;
-  std::int64_t deadline_ms_;
-  std::mutex mu_;
+  FramedSocket socket_;  // serialized by mu_ on the round-trip path
+  std::int64_t deadline_ms_ GUARDED_BY(mu_);
+  Mutex mu_{LockRank::kTransportLink};  // innermost transport (510)
 };
 
 }  // namespace speed::net

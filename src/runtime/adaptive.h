@@ -23,8 +23,8 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 
+#include "common/annotated_lock.h"
 #include "common/clock.h"
 #include "runtime/deduplicable.h"
 
@@ -43,14 +43,14 @@ class AdaptiveProfile {
   explicit AdaptiveProfile(AdaptiveConfig config = {}) : config_(config) {}
 
   void record_hit(std::uint64_t total_ns) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++samples_;
     update(overhead_ns_, static_cast<double>(total_ns));
     update(hit_rate_, 1.0);
   }
 
   void record_miss(std::uint64_t total_ns, std::uint64_t compute_ns) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++samples_;
     update(compute_ns_, static_cast<double>(compute_ns));
     const double overhead = total_ns > compute_ns
@@ -61,21 +61,21 @@ class AdaptiveProfile {
   }
 
   void record_bypass(std::uint64_t compute_ns) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     update(compute_ns_, static_cast<double>(compute_ns));
   }
 
   /// Policy decision for the next call: true = skip the store entirely
   /// (unless this call is a probe, see next_is_probe()).
   bool should_bypass() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (samples_ < config_.min_samples) return false;
     return overhead_ns_ > config_.hysteresis * hit_rate_ * compute_ns_;
   }
 
   /// Call once per bypassed invocation; true on probe turns.
   bool next_is_probe() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return ++bypass_counter_ % config_.probe_interval == 0;
   }
 
@@ -86,22 +86,22 @@ class AdaptiveProfile {
     std::size_t samples = 0;
   };
   Snapshot snapshot() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return {compute_ns_, overhead_ns_, hit_rate_, samples_};
   }
 
  private:
-  void update(double& ema, double value) const {
+  void update(double& ema, double value) const REQUIRES(mu_) {
     ema = ema == 0 ? value : (1 - config_.ema_alpha) * ema + config_.ema_alpha * value;
   }
 
   AdaptiveConfig config_;
-  mutable std::mutex mu_;
-  double compute_ns_ = 0;
-  double overhead_ns_ = 0;
-  double hit_rate_ = 0;
-  std::size_t samples_ = 0;
-  std::size_t bypass_counter_ = 0;
+  mutable Mutex mu_{LockRank::kRuntimeAdaptive};  // standalone EMA state
+  double compute_ns_ GUARDED_BY(mu_) = 0;
+  double overhead_ns_ GUARDED_BY(mu_) = 0;
+  double hit_rate_ GUARDED_BY(mu_) = 0;
+  std::size_t samples_ GUARDED_BY(mu_) = 0;
+  std::size_t bypass_counter_ GUARDED_BY(mu_) = 0;
 };
 
 template <typename Signature>

@@ -60,7 +60,7 @@ DedupRuntime::DedupRuntime(sgx::Enclave& app_enclave,
   // A recovering transport (net/resilient.h) re-runs the attested handshake
   // after a reconnect; stage the fresh key for the next round trip.
   transport_->set_rekey_callback([this](secret::Buffer key) {
-    std::lock_guard<std::mutex> lock(rekey_mu_);
+    MutexLock lock(rekey_mu_);
     pending_rekey_ = std::move(key);
   });
   init_common();
@@ -153,7 +153,7 @@ void DedupRuntime::init_common() {
                        "Manifest plaintext size per stored stream", {},
                        metrics_.stream_manifest_bytes);
         {
-          std::lock_guard<std::mutex> lock(cache_mu_);
+          MutexLock lock(cache_mu_);
           sink.gauge("speed_runtime_cache_bytes",
                      "In-enclave hot-result cache footprint", {},
                      static_cast<std::int64_t>(cache_bytes_));
@@ -162,7 +162,7 @@ void DedupRuntime::init_common() {
                      static_cast<std::int64_t>(cache_.size()));
         }
         {
-          std::lock_guard<std::mutex> lock(queue_mu_);
+          MutexLock lock(queue_mu_);
           sink.gauge("speed_runtime_put_queue_depth",
                      "Asynchronous PUTs waiting to ship", {},
                      static_cast<std::int64_t>(put_queue_.size()));
@@ -173,7 +173,7 @@ void DedupRuntime::init_common() {
 DedupRuntime::~DedupRuntime() {
   if (put_thread_.joinable()) {
     {
-      std::lock_guard<std::mutex> lock(queue_mu_);
+      MutexLock lock(queue_mu_);
       shutting_down_ = true;
     }
     queue_cv_.notify_all();
@@ -192,13 +192,17 @@ mle::FunctionIdentity DedupRuntime::resolve(
 }
 
 void DedupRuntime::install_rekey_locked() {
-  std::lock_guard<std::mutex> lock(rekey_mu_);
+  MutexLock lock(rekey_mu_);
   if (!pending_rekey_.has_value()) return;
   channel_.emplace(std::move(*pending_rekey_), /*is_initiator=*/true);
   pending_rekey_.reset();
   channel_poisoned_ = false;
 }
 
+// channel_mu_ is held across the transport recover/round-trip OCALLs: the
+// secure channel is a strict single-link strand (sequence numbers admit no
+// interleaving), so wrap -> ship -> unwrap must be one critical section.
+// lockdiscipline-allow: LD004 channel sequence numbers admit no interleaving
 Message DedupRuntime::secure_round_trip(const Message& request) {
   if (cluster_ != nullptr) {
     // Cluster mode: routing, per-node channels, failover, and OCALLs all
@@ -209,7 +213,7 @@ Message DedupRuntime::secure_round_trip(const Message& request) {
     metrics_.round_trip_ns.record(rtt_sw.elapsed_ns());
     return response;
   }
-  std::lock_guard<std::mutex> lock(channel_mu_);
+  MutexLock lock(channel_mu_);
   install_rekey_locked();
   if (channel_poisoned_) {
     // The old key must never wrap another frame. Ask the transport for a
@@ -288,7 +292,17 @@ std::vector<serialize::BatchReply> DedupRuntime::batch_execute(
   std::vector<PendingOp> slots(ops.size());
   for (std::size_t i = 0; i < ops.size(); ++i) slots[i].op = std::move(ops[i]);
 
-  std::unique_lock<std::mutex> lock(batch_mu_);
+  // Slots are guarded by batch_mu_ by convention: they are stack-local, but
+  // their addresses are shared through batch_pending_ and mutated by
+  // whichever thread ends up shipping them.
+  const auto slots_done = [&slots]() {
+    for (const auto& slot : slots) {
+      if (!slot.done) return false;
+    }
+    return true;
+  };
+
+  ScopedLock lock(batch_mu_);
   ++batch_inflight_;
   for (auto& slot : slots) batch_pending_.push_back(&slot);
   if (batch_pending_.size() >= config_.batching.max_ops) {
@@ -296,12 +310,7 @@ std::vector<serialize::BatchReply> DedupRuntime::batch_execute(
   }
   if (batch_leader_active_) {
     // Follower. The current leader (or a later one) ships our slots.
-    batch_done_cv_.wait(lock, [&] {
-      for (const auto& slot : slots) {
-        if (!slot.done) return false;
-      }
-      return true;
-    });
+    while (!slots_done()) batch_done_cv_.wait(batch_mu_);
   } else {
     batch_leader_active_ = true;
     if (batch_pending_.size() < config_.batching.max_ops &&
@@ -320,9 +329,11 @@ std::vector<serialize::BatchReply> DedupRuntime::batch_execute(
       while (batch_pending_.size() < config_.batching.max_ops) {
         const auto now = std::chrono::steady_clock::now();
         if (now >= deadline) break;
-        batch_fill_cv_.wait_until(
-            lock, std::min(deadline, now + grace),
-            [&] { return batch_pending_.size() >= config_.batching.max_ops; });
+        const auto slice = std::min(deadline, now + grace);
+        while (batch_pending_.size() < config_.batching.max_ops &&
+               batch_fill_cv_.wait_until(batch_mu_, slice) !=
+                   std::cv_status::timeout) {
+        }
         if (batch_pending_.size() == seen) break;  // quiesced
         seen = batch_pending_.size();
       }
@@ -395,12 +406,7 @@ std::vector<serialize::BatchReply> DedupRuntime::batch_execute(
     for (PendingOp* slot : shipping) slot->done = true;
     batch_done_cv_.notify_all();
     // Our own slots may have been shipped by an earlier leader instead.
-    batch_done_cv_.wait(lock, [&] {
-      for (const auto& slot : slots) {
-        if (!slot.done) return false;
-      }
-      return true;
-    });
+    while (!slots_done()) batch_done_cv_.wait(batch_mu_);
   }
   --batch_inflight_;  // lock is held again on both paths
 
@@ -585,7 +591,7 @@ void DedupRuntime::enqueue_put(PutRequest put) {
   if (config_.async_put) {
     bool dropped = false;
     {
-      std::lock_guard<std::mutex> lock(queue_mu_);
+      MutexLock lock(queue_mu_);
       if (config_.put_queue_capacity > 0 &&
           put_queue_.size() >= config_.put_queue_capacity) {
         // Drop-oldest: newer results are likelier to be re-requested soon,
@@ -651,9 +657,10 @@ void DedupRuntime::put_worker() {
   for (;;) {
     std::vector<PutRequest> puts;
     {
-      std::unique_lock<std::mutex> lock(queue_mu_);
-      queue_cv_.wait(lock,
-                     [this] { return shutting_down_ || !put_queue_.empty(); });
+      MutexLock lock(queue_mu_);
+      while (!shutting_down_ && put_queue_.empty()) {
+        queue_cv_.wait(queue_mu_);
+      }
       if (put_queue_.empty()) {
         if (shutting_down_) return;
         continue;
@@ -681,7 +688,7 @@ void DedupRuntime::put_worker() {
       metrics_.puts_rejected.inc();
     }
     {
-      std::lock_guard<std::mutex> lock(queue_mu_);
+      MutexLock lock(queue_mu_);
       puts_in_flight_ -= puts.size();
     }
     drained_cv_.notify_all();
@@ -690,16 +697,22 @@ void DedupRuntime::put_worker() {
 
 bool DedupRuntime::flush(std::int64_t timeout_ms) {
   if (!config_.async_put) return true;
-  std::unique_lock<std::mutex> lock(queue_mu_);
-  const auto drained = [this] {
-    return put_queue_.empty() && puts_in_flight_ == 0;
-  };
+  MutexLock lock(queue_mu_);
   if (timeout_ms < 0) {
-    drained_cv_.wait(lock, drained);
+    while (!put_queue_.empty() || puts_in_flight_ != 0) {
+      drained_cv_.wait(queue_mu_);
+    }
     return true;
   }
-  return drained_cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
-                              drained);
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (!put_queue_.empty() || puts_in_flight_ != 0) {
+    if (drained_cv_.wait_until(queue_mu_, deadline) ==
+        std::cv_status::timeout) {
+      return put_queue_.empty() && puts_in_flight_ == 0;
+    }
+  }
+  return true;
 }
 
 namespace {
@@ -711,7 +724,7 @@ std::size_t cache_entry_footprint(std::size_t result_bytes) {
 }  // namespace
 
 std::optional<Bytes> DedupRuntime::cache_lookup(const mle::Tag& tag) {
-  std::lock_guard<std::mutex> lock(cache_mu_);
+  MutexLock lock(cache_mu_);
   auto it = cache_.find(tag);
   if (it == cache_.end()) return std::nullopt;
   cache_lru_.splice(cache_lru_.begin(), cache_lru_, it->second.lru_it);
@@ -721,7 +734,7 @@ std::optional<Bytes> DedupRuntime::cache_lookup(const mle::Tag& tag) {
 void DedupRuntime::cache_insert(const mle::Tag& tag, const Bytes& result) {
   const std::size_t footprint = cache_entry_footprint(result.size());
   if (footprint > config_.local_cache_bytes) return;  // never cacheable
-  std::lock_guard<std::mutex> lock(cache_mu_);
+  MutexLock lock(cache_mu_);
   auto it = cache_.find(tag);
   if (it != cache_.end()) {
     // Raced insert of the same tag: keep the existing copy, refresh recency.

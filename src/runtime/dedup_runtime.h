@@ -30,16 +30,15 @@
 #pragma once
 
 #include <array>
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <thread>
 #include <unordered_map>
 
+#include "common/annotated_lock.h"
 #include "mle/rce.h"
 #include "mle/tag.h"
 #include "net/channel.h"
@@ -237,7 +236,7 @@ class DedupRuntime {
 
   /// Swap in a SecureChannel under a freshly negotiated key, if the
   /// transport staged one. Caller holds channel_mu_.
-  void install_rekey_locked();
+  void install_rekey_locked() REQUIRES(channel_mu_);
 
   /// Like secure_round_trip, but routes through the micro-batcher when
   /// batching is enabled: the op may share a BatchRequest frame with other
@@ -272,19 +271,18 @@ class DedupRuntime {
   sgx::TrustedLibraryRegistry libraries_;
   std::optional<mle::BasicResultCipher> basic_cipher_;
 
-  std::mutex channel_mu_;
+  Mutex channel_mu_{LockRank::kRuntimeChannel};
   /// Single-link secure channel; disengaged in cluster mode (each cluster
   /// link owns its own channel).
-  std::optional<net::SecureChannel> channel_;
+  std::optional<net::SecureChannel> channel_ GUARDED_BY(channel_mu_);
   /// A failed round trip leaves the channel's sequence numbers in an
-  /// unknown state; the key must never wrap another frame (guarded by
-  /// channel_mu_).
-  bool channel_poisoned_ = false;
+  /// unknown state; the key must never wrap another frame.
+  bool channel_poisoned_ GUARDED_BY(channel_mu_) = false;
   /// Fresh session key staged by the transport's rekey callback, installed
   /// at the next secure_round_trip (own lock: the callback runs while
   /// channel_mu_ is already held by this thread).
-  std::mutex rekey_mu_;
-  std::optional<secret::Buffer> pending_rekey_;
+  Mutex rekey_mu_{LockRank::kRekeyStaging};
+  std::optional<secret::Buffer> pending_rekey_ GUARDED_BY(rekey_mu_);
 
   /// Lock-free metric cells; execute()'s hot path bumps these instead of
   /// taking a stats mutex.
@@ -327,17 +325,17 @@ class DedupRuntime {
     serialize::BatchReply reply;
     bool done = false;
   };
-  std::mutex batch_mu_;
-  std::condition_variable batch_fill_cv_;  ///< leader waits for followers
-  std::condition_variable batch_done_cv_;  ///< followers wait for replies
-  std::vector<PendingOp*> batch_pending_;
-  bool batch_leader_active_ = false;
+  Mutex batch_mu_{LockRank::kBatch};
+  CondVar batch_fill_cv_;  ///< leader waits for followers
+  CondVar batch_done_cv_;  ///< followers wait for replies
+  std::vector<PendingOp*> batch_pending_ GUARDED_BY(batch_mu_);
+  bool batch_leader_active_ GUARDED_BY(batch_mu_) = false;
   /// Threads currently inside batch_execute (submitted, not yet answered).
   /// A leader that is provably alone — no other submitter in flight — skips
   /// the follower wait: nothing can arrive to share its frame, so waiting
   /// would only add latency. A single-threaded caller with batching enabled
-  /// thus runs at unbatched speed. Guarded by batch_mu_.
-  std::size_t batch_inflight_ = 0;
+  /// thus runs at unbatched speed.
+  std::size_t batch_inflight_ GUARDED_BY(batch_mu_) = 0;
 
   // Hot-result cache state. Tags are SHA-256 outputs, so the first 8 bytes
   // hash them perfectly well.
@@ -353,19 +351,19 @@ class DedupRuntime {
     Bytes result;
     std::list<mle::Tag>::iterator lru_it;
   };
-  std::mutex cache_mu_;
-  std::unordered_map<mle::Tag, CacheEntry, TagHash> cache_;
-  std::list<mle::Tag> cache_lru_;  ///< front = most recently used
-  std::size_t cache_bytes_ = 0;    ///< plaintext + bookkeeping footprint
+  Mutex cache_mu_{LockRank::kRuntimeCache};
+  std::unordered_map<mle::Tag, CacheEntry, TagHash> cache_ GUARDED_BY(cache_mu_);
+  std::list<mle::Tag> cache_lru_ GUARDED_BY(cache_mu_);  ///< front = MRU
+  std::size_t cache_bytes_ GUARDED_BY(cache_mu_) = 0;  ///< plaintext + bookkeeping
   sgx::TrustedCharge cache_charge_;
 
   // Asynchronous PUT pipeline.
-  std::mutex queue_mu_;
-  std::condition_variable queue_cv_;
-  std::condition_variable drained_cv_;
-  std::deque<serialize::PutRequest> put_queue_;
-  std::size_t puts_in_flight_ = 0;
-  bool shutting_down_ = false;
+  Mutex queue_mu_{LockRank::kRuntimeQueue};
+  CondVar queue_cv_;
+  CondVar drained_cv_;
+  std::deque<serialize::PutRequest> put_queue_ GUARDED_BY(queue_mu_);
+  std::size_t puts_in_flight_ GUARDED_BY(queue_mu_) = 0;
+  bool shutting_down_ GUARDED_BY(queue_mu_) = false;
   std::thread put_thread_;
 
   // Declared last: the collector reads metrics_, cache, and queue state, so

@@ -40,6 +40,12 @@ TransitionMetrics& transition_metrics() {
   return *m;
 }
 
+// Registered during static initialization: the first ECALL can happen under
+// a transport lock, and taking the registry lock there would invert the
+// lock-rank order (docs/LOCK_ORDER.md).
+[[maybe_unused]] const TransitionMetrics& kEagerTransitionMetrics =
+    transition_metrics();
+
 }  // namespace
 
 Platform::Platform(CostModel model)
@@ -124,7 +130,7 @@ void Enclave::end_ocall() {
 }
 
 Bytes Enclave::seal(ByteView aad, ByteView plaintext) {
-  std::lock_guard<std::mutex> lock(drbg_mu_);
+  MutexLock lock(drbg_mu_);
   return crypto::gcm_encrypt(seal_key_, aad, plaintext, drbg_);
 }
 
@@ -163,7 +169,7 @@ bool Enclave::verify_report(const Report& report) const {
 }
 
 Bytes Enclave::random_bytes(std::size_t n) {
-  std::lock_guard<std::mutex> lock(drbg_mu_);
+  MutexLock lock(drbg_mu_);
   return drbg_.bytes(n);
 }
 

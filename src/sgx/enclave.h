@@ -21,11 +21,11 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
 
+#include "common/annotated_lock.h"
 #include "common/bytes.h"
 #include "common/clock.h"
 #include "common/error.h"
@@ -170,8 +170,8 @@ class Enclave {
   std::atomic<std::uint64_t> ecalls_{0};
   std::atomic<std::uint64_t> ocalls_{0};
 
-  std::mutex drbg_mu_;
-  crypto::Drbg drbg_;
+  Mutex drbg_mu_{LockRank::kCryptoDrbg};  // leaf: drawn from any context
+  crypto::Drbg drbg_ GUARDED_BY(drbg_mu_);
 };
 
 /// RAII trusted-memory charge for containers living in enclave memory.

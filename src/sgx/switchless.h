@@ -18,15 +18,14 @@
 // feeds the speed_switchless_* registry series.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <utility>
 
+#include "common/annotated_lock.h"
 #include "common/bytes.h"
 #include "sgx/enclave.h"
 #include "telemetry/registry.h"
@@ -77,21 +76,23 @@ class SwitchlessRing {
   /// poller has run it, then returns its result (or rethrows its exception).
   /// `fn` runs in enclave context but must NOT call Enclave::ecall itself —
   /// the drain already did.
+  // mu_ is only held for queue bookkeeping; the waits release it, so this
+  // blocks without holding anything — not an LD004 case.
   Bytes call(std::function<Bytes()> fn) {
     Slot slot;
     slot.fn = std::move(fn);
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      space_cv_.wait(lock, [this] {
-        return stopping_ || queue_.size() < config_.capacity;
-      });
+      MutexLock lock(mu_);
+      while (!stopping_ && queue_.size() >= config_.capacity) {
+        space_cv_.wait(mu_);
+      }
       if (stopping_) throw EnclaveError("SwitchlessRing: stopped");
       queue_.push_back(&slot);
     }
     submit_cv_.notify_one();
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      done_cv_.wait(lock, [&slot] { return slot.done; });
+      MutexLock lock(mu_);
+      while (!slot.done) done_cv_.wait(mu_);
     }
     if (slot.error != nullptr) std::rethrow_exception(slot.error);
     return std::move(slot.result);
@@ -100,7 +101,7 @@ class SwitchlessRing {
   /// Join the poller; in-flight calls finish, later call()s throw. Idempotent.
   void stop() {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (stopping_) return;
       stopping_ = true;
     }
@@ -130,8 +131,8 @@ class SwitchlessRing {
     std::deque<Slot*> burst;
     for (;;) {
       {
-        std::unique_lock<std::mutex> lock(mu_);
-        submit_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+        MutexLock lock(mu_);
+        while (!stopping_ && queue_.empty()) submit_cv_.wait(mu_);
         if (queue_.empty() && stopping_) return;
         // Swap out up to max_burst submissions: everything waiting shares
         // one enclave crossing.
@@ -160,7 +161,7 @@ class SwitchlessRing {
         }
       });
       {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         for (Slot* slot : burst) slot->done = true;
       }
       done_cv_.notify_all();
@@ -171,12 +172,13 @@ class SwitchlessRing {
   Enclave& enclave_;
   Config config_;
 
-  std::mutex mu_;
-  std::condition_variable submit_cv_;  ///< poller waits for work
-  std::condition_variable space_cv_;   ///< callers wait for capacity
-  std::condition_variable done_cv_;    ///< callers wait for completion
-  std::deque<Slot*> queue_;
-  bool stopping_ = false;
+  // 580: submitters may already hold a session lock (560) when they call().
+  Mutex mu_{LockRank::kSwitchless};
+  CondVar submit_cv_;  ///< poller waits for work
+  CondVar space_cv_;   ///< callers wait for capacity
+  CondVar done_cv_;    ///< callers wait for completion
+  std::deque<Slot*> queue_ GUARDED_BY(mu_);
+  bool stopping_ GUARDED_BY(mu_) = false;
   std::thread poller_;
 
   telemetry::Counter calls_;

@@ -15,7 +15,7 @@ serialize::Message GatedResultStore::dispatch_trusted(
 
   if (requester != nullptr) {
     if (!policy_.permits(*requester)) {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       ++stats_.denied;
       if (std::holds_alternative<serialize::GetRequest>(request)) {
         return serialize::GetResponse{};  // miss
@@ -23,7 +23,7 @@ serialize::Message GatedResultStore::dispatch_trusted(
       return serialize::PutResponse{serialize::PutStatus::kQuotaExceeded};
     }
     if (limiter_ != nullptr && !limiter_->admit(*requester, now_ns)) {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       ++stats_.throttled;
       if (std::holds_alternative<serialize::GetRequest>(request)) {
         return serialize::GetResponse{};

@@ -18,10 +18,10 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <set>
 #include <unordered_map>
 
+#include "common/annotated_lock.h"
 #include "serialize/wire.h"
 #include "store/result_store.h"
 
@@ -38,30 +38,32 @@ class AccessPolicy {
   AccessPolicy() = default;
 
   void set_mode(Mode mode) {
-    std::lock_guard<std::mutex> lock(mu_);
+    WriterLock lock(mu_);
     mode_ = mode;
   }
 
   void allow(const serialize::AppId& app) {
-    std::lock_guard<std::mutex> lock(mu_);
+    WriterLock lock(mu_);
     allowed_.insert(app);
   }
 
   void revoke(const serialize::AppId& app) {
-    std::lock_guard<std::mutex> lock(mu_);
+    WriterLock lock(mu_);
     allowed_.erase(app);
   }
 
+  /// Hot path (checked per request): shared lock so concurrent dispatch
+  /// threads never serialize on a read-mostly policy.
   bool permits(const serialize::AppId& app) const {
-    std::lock_guard<std::mutex> lock(mu_);
+    ReaderLock lock(mu_);
     if (mode_ == Mode::kOpen) return true;
     return allowed_.contains(app);
   }
 
  private:
-  mutable std::mutex mu_;
-  Mode mode_ = Mode::kOpen;
-  std::set<serialize::AppId> allowed_;
+  mutable SharedMutex mu_{LockRank::kAccess};  // 590: checked before shards
+  Mode mode_ GUARDED_BY(mu_) = Mode::kOpen;
+  std::set<serialize::AppId> allowed_ GUARDED_BY(mu_);
 };
 
 /// Per-identity token bucket, `rate` tokens/second up to `burst`.
@@ -73,7 +75,7 @@ class RateLimiter {
 
   /// Consume one token for `app` at time `now_ns`; false = rate exceeded.
   bool admit(const serialize::AppId& app, std::uint64_t now_ns) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     Bucket& b = buckets_[app];
     if (!b.initialized) {
       b.tokens = burst_;
@@ -103,10 +105,11 @@ class RateLimiter {
     }
   };
 
-  std::mutex mu_;
+  Mutex mu_{LockRank::kAccess};  // 590: checked before shard locks
   double rate_;
   double burst_;
-  std::unordered_map<serialize::AppId, Bucket, AppIdHash> buckets_;
+  std::unordered_map<serialize::AppId, Bucket, AppIdHash> buckets_
+      GUARDED_BY(mu_);
 };
 
 /// ResultStore front that enforces the policy and the limiter before
@@ -127,7 +130,7 @@ class GatedResultStore {
     std::uint64_t throttled = 0;
   };
   Stats stats() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return stats_;
   }
 
@@ -135,8 +138,8 @@ class GatedResultStore {
   ResultStore& store_;
   AccessPolicy& policy_;
   RateLimiter* limiter_;
-  mutable std::mutex mu_;
-  Stats stats_;
+  mutable Mutex mu_{LockRank::kAccess};
+  Stats stats_ GUARDED_BY(mu_);
 };
 
 }  // namespace speed::store

@@ -9,7 +9,7 @@ BlobRef MemoryBackend::put_blob(ByteView blob) {
   ref.length = blob.size();
   Stripe& s = stripe_for(ref);
   {
-    std::lock_guard<std::mutex> lock(s.mu);
+    MutexLock lock(s.mu);
     s.blobs.emplace(ref.offset, Bytes(blob.begin(), blob.end()));
   }
   live_bytes_.fetch_add(blob.size(), std::memory_order_relaxed);
@@ -18,7 +18,7 @@ BlobRef MemoryBackend::put_blob(ByteView blob) {
 
 std::optional<Bytes> MemoryBackend::get_blob(const BlobRef& ref) const {
   Stripe& s = stripe_for(ref);
-  std::lock_guard<std::mutex> lock(s.mu);
+  MutexLock lock(s.mu);
   const auto it = s.blobs.find(ref.offset);
   if (it == s.blobs.end()) return std::nullopt;
   return it->second;
@@ -26,7 +26,7 @@ std::optional<Bytes> MemoryBackend::get_blob(const BlobRef& ref) const {
 
 void MemoryBackend::delete_blob(const BlobRef& ref) {
   Stripe& s = stripe_for(ref);
-  std::lock_guard<std::mutex> lock(s.mu);
+  MutexLock lock(s.mu);
   const auto it = s.blobs.find(ref.offset);
   if (it == s.blobs.end()) return;
   live_bytes_.fetch_sub(it->second.size(), std::memory_order_relaxed);
@@ -36,14 +36,14 @@ void MemoryBackend::delete_blob(const BlobRef& ref) {
 
 bool MemoryBackend::note_blob(const BlobRef& ref) {
   Stripe& s = stripe_for(ref);
-  std::lock_guard<std::mutex> lock(s.mu);
+  MutexLock lock(s.mu);
   const auto it = s.blobs.find(ref.offset);
   return it != s.blobs.end() && it->second.size() == ref.length;
 }
 
 bool MemoryBackend::corrupt_blob(const BlobRef& ref) {
   Stripe& s = stripe_for(ref);
-  std::lock_guard<std::mutex> lock(s.mu);
+  MutexLock lock(s.mu);
   const auto it = s.blobs.find(ref.offset);
   if (it == s.blobs.end() || it->second.empty()) return false;
   it->second[it->second.size() / 2] ^= 0x01;
@@ -52,7 +52,7 @@ bool MemoryBackend::corrupt_blob(const BlobRef& ref) {
 
 void MemoryBackend::wal_append(ByteView record) {
   if (!record_wal_) return;
-  std::lock_guard<std::mutex> lock(wal_mu_);
+  MutexLock lock(wal_mu_);
   wal_.emplace_back(record.begin(), record.end());
   ++wal_appends_;
   wal_bytes_ += record.size();
@@ -60,7 +60,7 @@ void MemoryBackend::wal_append(ByteView record) {
 
 void MemoryBackend::wal_sync() {
   if (!record_wal_) return;
-  std::lock_guard<std::mutex> lock(wal_mu_);
+  MutexLock lock(wal_mu_);
   ++wal_syncs_;  // RAM is "stable" for this backend; only the count matters.
 }
 
@@ -68,7 +68,7 @@ void MemoryBackend::wal_replay(
     const std::function<bool(ByteView, std::uint64_t)>& fn) {
   std::vector<Bytes> records;
   {
-    std::lock_guard<std::mutex> lock(wal_mu_);
+    MutexLock lock(wal_mu_);
     records = wal_;
   }
   for (std::size_t i = 0; i < records.size(); ++i) {
@@ -77,7 +77,7 @@ void MemoryBackend::wal_replay(
 }
 
 void MemoryBackend::wal_truncate(std::uint64_t offset) {
-  std::lock_guard<std::mutex> lock(wal_mu_);
+  MutexLock lock(wal_mu_);
   if (offset < wal_.size()) {
     wal_.resize(static_cast<std::size_t>(offset));
   }
@@ -87,7 +87,7 @@ BackendStats MemoryBackend::stats() const {
   BackendStats s;
   s.live_blob_bytes = live_bytes_.load(std::memory_order_relaxed);
   s.dead_blob_bytes = dead_bytes_.load(std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(wal_mu_);
+  MutexLock lock(wal_mu_);
   s.wal_appends = wal_appends_;
   s.wal_fsyncs = wal_syncs_;
   s.wal_bytes = wal_bytes_;

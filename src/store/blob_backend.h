@@ -24,11 +24,11 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <vector>
 
+#include "common/annotated_lock.h"
 #include "common/bytes.h"
 #include "common/error.h"
 
@@ -158,8 +158,10 @@ class MemoryBackend : public BlobBackend {
   static constexpr std::size_t kStripes = 16;
 
   struct Stripe {
-    mutable std::mutex mu;
-    std::unordered_map<std::uint64_t, Bytes> blobs;
+    // 760: backend I/O leaf, same tier as FileBackend's lock; at most one
+    // stripe is ever held at a time (BlobRefs address a single stripe).
+    mutable Mutex mu{LockRank::kBackend};
+    std::unordered_map<std::uint64_t, Bytes> blobs GUARDED_BY(mu);
   };
   Stripe& stripe_for(const BlobRef& ref) const {
     return stripes_[ref.offset % kStripes];
@@ -171,11 +173,13 @@ class MemoryBackend : public BlobBackend {
   std::atomic<std::uint64_t> dead_bytes_{0};
 
   const bool record_wal_;
-  mutable std::mutex wal_mu_;
-  std::vector<Bytes> wal_;
-  std::uint64_t wal_appends_ = 0;
-  std::uint64_t wal_syncs_ = 0;
-  std::uint64_t wal_bytes_ = 0;
+  // 780: never held with a stripe lock; ranked above so a future nesting
+  // (append while a blob write is in flight) stays ordered.
+  mutable Mutex wal_mu_{LockRank::kBackendWal};
+  std::vector<Bytes> wal_ GUARDED_BY(wal_mu_);
+  std::uint64_t wal_appends_ GUARDED_BY(wal_mu_) = 0;
+  std::uint64_t wal_syncs_ GUARDED_BY(wal_mu_) = 0;
+  std::uint64_t wal_bytes_ GUARDED_BY(wal_mu_) = 0;
 };
 
 }  // namespace speed::store

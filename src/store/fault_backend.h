@@ -16,9 +16,9 @@
 #include <cstdint>
 #include <limits>
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "common/annotated_lock.h"
 #include "store/blob_backend.h"
 
 namespace speed::store {
@@ -33,19 +33,19 @@ class FaultInjectingBackend : public BlobBackend {
 
   /// Total bytes of writes (blobs + WAL records) allowed before the crash.
   void fail_after_bytes(std::uint64_t budget) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     budget_ = budget;
   }
 
   /// Size of every write attempted so far, in order (recorded even when a
   /// write was allowed through) — the crash-point schedule for a torture run.
   std::vector<std::uint64_t> write_sizes() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return write_sizes_;
   }
 
   std::uint64_t bytes_written() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return written_;
   }
 
@@ -100,7 +100,7 @@ class FaultInjectingBackend : public BlobBackend {
  private:
   /// Records the write and returns how many of `size` bytes may proceed.
   std::uint64_t admit(std::uint64_t size) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     write_sizes_.push_back(size);
     const std::uint64_t remaining =
         budget_ == kNoLimit ? size
@@ -111,10 +111,11 @@ class FaultInjectingBackend : public BlobBackend {
   }
 
   std::shared_ptr<BlobBackend> inner_;
-  mutable std::mutex mu_;
-  std::uint64_t budget_ = kNoLimit;
-  std::uint64_t written_ = 0;
-  std::vector<std::uint64_t> write_sizes_;
+  // 750: released before forwarding to the inner backend (760).
+  mutable Mutex mu_{LockRank::kBackendInject};
+  std::uint64_t budget_ GUARDED_BY(mu_) = kNoLimit;
+  std::uint64_t written_ GUARDED_BY(mu_) = 0;
+  std::vector<std::uint64_t> write_sizes_ GUARDED_BY(mu_);
 };
 
 }  // namespace speed::store

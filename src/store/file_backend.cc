@@ -192,7 +192,7 @@ void FileBackend::roll_segment_locked() {
 }
 
 BlobRef FileBackend::put_blob(ByteView blob) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (active_segment_ == 0 ||
       segments_.at(active_segment_)->size + blob.size() >
           config_.segment_bytes + kHeaderBytes) {
@@ -220,7 +220,7 @@ BlobRef FileBackend::put_blob(ByteView blob) {
 std::optional<Bytes> FileBackend::get_blob(const BlobRef& ref) const {
   std::shared_ptr<Segment> seg;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     seg = segment_for_locked(ref.segment);
   }
   if (seg == nullptr || ref.offset + ref.length > seg->size) {
@@ -232,7 +232,7 @@ std::optional<Bytes> FileBackend::get_blob(const BlobRef& ref) const {
 }
 
 void FileBackend::delete_blob(const BlobRef& ref) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const auto seg = segment_for_locked(ref.segment);
   if (seg == nullptr) return;
   if (seg->live_blobs > 0) --seg->live_blobs;
@@ -244,7 +244,7 @@ void FileBackend::delete_blob(const BlobRef& ref) {
 }
 
 bool FileBackend::note_blob(const BlobRef& ref) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const auto seg = segment_for_locked(ref.segment);
   if (seg == nullptr || ref.offset + ref.length > seg->size) return false;
   ++seg->live_blobs;
@@ -266,7 +266,7 @@ bool FileBackend::try_compact_locked(std::uint32_t id) {
 }
 
 std::size_t FileBackend::compact() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::size_t reclaimed = 0;
   std::vector<std::uint32_t> ids;
   ids.reserve(segments_.size());
@@ -280,7 +280,7 @@ std::size_t FileBackend::compact() {
 bool FileBackend::corrupt_blob(const BlobRef& ref) {
   std::shared_ptr<Segment> seg;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     seg = segment_for_locked(ref.segment);
   }
   if (seg == nullptr || ref.length == 0 ||
@@ -295,7 +295,7 @@ bool FileBackend::corrupt_blob(const BlobRef& ref) {
 }
 
 void FileBackend::wal_append(ByteView record) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (record.size() > kMaxWalRecordBytes) {
     ++stats_.write_errors;
     throw BackendWriteError("FileBackend: wal record exceeds frame cap");
@@ -337,7 +337,7 @@ void FileBackend::sync_locked() {
 }
 
 void FileBackend::wal_sync() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   sync_locked();
 }
 
@@ -346,7 +346,7 @@ void FileBackend::wal_replay(
   Bytes log;
   std::uint64_t size = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     size = wal_size_;
     const auto data = read_exact(wal_fd_, 0, size);
     if (!data.has_value()) {
@@ -371,7 +371,7 @@ void FileBackend::wal_replay(
 }
 
 void FileBackend::wal_truncate(std::uint64_t offset) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (offset >= wal_size_) return;
   if (::ftruncate(wal_fd_, static_cast<off_t>(offset)) != 0) {
     throw Error("FileBackend: ftruncate wal.log: " +
@@ -381,7 +381,7 @@ void FileBackend::wal_truncate(std::uint64_t offset) {
 }
 
 BackendStats FileBackend::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return stats_;
 }
 

@@ -30,6 +30,7 @@
 #include <memory>
 #include <string>
 
+#include "common/annotated_lock.h"
 #include "store/blob_backend.h"
 #include "store/result_store.h"
 
@@ -91,28 +92,32 @@ class FileBackend : public BlobBackend {
   };
 
   std::string segment_path(std::uint32_t id) const;
-  std::shared_ptr<Segment> segment_for_locked(std::uint32_t id) const;
+  std::shared_ptr<Segment> segment_for_locked(std::uint32_t id) const
+      REQUIRES(mu_);
   /// Opens a fresh active segment (header written) under mu_.
-  void roll_segment_locked();
+  void roll_segment_locked() REQUIRES(mu_);
   /// fsyncs dirty segments then the WAL; resets the batch counter.
-  void sync_locked();
+  void sync_locked() REQUIRES(mu_);
   /// Unlinks `id` if sealed and fully dead; true when reclaimed.
-  bool try_compact_locked(std::uint32_t id);
+  bool try_compact_locked(std::uint32_t id) REQUIRES(mu_);
 
   const std::string dir_;
   const FileBackendConfig config_;
 
-  mutable std::mutex mu_;
-  std::map<std::uint32_t, std::shared_ptr<Segment>> segments_;
-  std::uint32_t active_segment_ = 0;  ///< 0 = none yet
-  std::uint32_t next_segment_id_ = 1;
+  // 760: a leaf on the I/O side — backend calls acquire nothing further.
+  // Held across pwrite/fsync by design (the on-disk segment/WAL state must
+  // mutate atomically with the in-memory accounting).
+  mutable Mutex mu_{LockRank::kBackend};
+  std::map<std::uint32_t, std::shared_ptr<Segment>> segments_ GUARDED_BY(mu_);
+  std::uint32_t active_segment_ GUARDED_BY(mu_) = 0;  ///< 0 = none yet
+  std::uint32_t next_segment_id_ GUARDED_BY(mu_) = 1;
 
-  int wal_fd_ = -1;
-  std::uint64_t wal_size_ = 0;      ///< valid bytes (append position)
-  std::size_t appends_since_sync_ = 0;
+  int wal_fd_ GUARDED_BY(mu_) = -1;
+  std::uint64_t wal_size_ GUARDED_BY(mu_) = 0;  ///< valid bytes (append pos)
+  std::size_t appends_since_sync_ GUARDED_BY(mu_) = 0;
 
   // Accounting (guarded by mu_; stats() snapshots under the lock).
-  BackendStats stats_;
+  BackendStats stats_ GUARDED_BY(mu_);
 };
 
 /// One-call file-backed store: equivalent to setting

@@ -25,11 +25,11 @@
 #include <atomic>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "common/annotated_lock.h"
 #include "net/cluster.h"
 #include "store/replication.h"
 #include "store/store_session.h"
@@ -64,7 +64,13 @@ class InprocCluster {
     for (std::size_t i = 0; i < config_.nodes; ++i) {
       auto node = std::make_unique<Node>();
       node->name = "store-" + std::to_string(i);
-      node->store = std::make_shared<ResultStore>(platform_, config_.store);
+      // Built BEFORE taking node->mu: the store constructor registers
+      // telemetry collectors (rank 450), which must not nest under 530.
+      auto store = std::make_shared<ResultStore>(platform_, config_.store);
+      {
+        MutexLock lock(node->mu);  // uncontended; satisfies the analysis
+        node->store = std::move(store);
+      }
       nodes_.push_back(std::move(node));
       peers.push_back({nodes_.back()->name, infra_call(i)});
     }
@@ -82,7 +88,7 @@ class InprocCluster {
   /// The node's live store; throws StoreUnavailableError when killed.
   ResultStore& store(std::size_t i) {
     Node& node = *nodes_[i];
-    std::lock_guard<std::mutex> lock(node.mu);
+    MutexLock lock(node.mu);
     if (!node.alive.load(std::memory_order_acquire)) {
       throw net::StoreUnavailableError("InprocCluster: node " + node.name +
                                        " is down");
@@ -109,17 +115,24 @@ class InprocCluster {
     auto fresh = std::make_shared<ResultStore>(platform_, config_.store);
     for (std::size_t j = 0; j < nodes_.size(); ++j) {
       if (j == i || !alive(j)) continue;
-      std::lock_guard<std::mutex> lock(nodes_[j]->mu);
+      MutexLock lock(nodes_[j]->mu);
       if (!attest_peers(fresh->enclave(), nodes_[j]->store->enclave())) {
         return false;
       }
       break;  // one live witness suffices
     }
-    std::lock_guard<std::mutex> lock(node.mu);
-    node.store = std::move(fresh);
-    node.incarnation.fetch_add(1, std::memory_order_acq_rel);
-    node.partitioned.store(false, std::memory_order_release);
-    node.alive.store(true, std::memory_order_release);
+    // Displaced BEFORE the lock declaration so the dead store (whose
+    // destructor deregisters telemetry collectors, rank 450) is destroyed
+    // only after node.mu (530) is released.
+    std::shared_ptr<ResultStore> retired;
+    {
+      MutexLock lock(node.mu);
+      retired = std::move(node.store);
+      node.store = std::move(fresh);
+      node.incarnation.fetch_add(1, std::memory_order_acq_rel);
+      node.partitioned.store(false, std::memory_order_release);
+      node.alive.store(true, std::memory_order_release);
+    }
     return true;
   }
 
@@ -170,9 +183,10 @@ class InprocCluster {
   struct Node {
     std::string name;
     /// Guards store swaps; shared_ptr keeps a killed store alive for
-    /// requests that raced the kill.
-    std::mutex mu;
-    std::shared_ptr<ResultStore> store;
+    /// requests that raced the kill. 530: dialed under a ClusterTransport
+    /// link (510) and a ResilientTransport breaker (500), above both.
+    Mutex mu{LockRank::kClusterNode};
+    std::shared_ptr<ResultStore> store GUARDED_BY(mu);
     std::atomic<std::uint64_t> incarnation{1};
     std::atomic<bool> alive{true};
     std::atomic<bool> partitioned{false};
@@ -215,7 +229,7 @@ class InprocCluster {
       std::shared_ptr<ResultStore> store;
       std::uint64_t incarnation;
       {
-        std::lock_guard<std::mutex> lock(node.mu);
+        MutexLock lock(node.mu);
         if (!node.alive.load(std::memory_order_acquire) ||
             node.partitioned.load(std::memory_order_acquire)) {
           throw net::StoreUnavailableError("InprocCluster: node " +
@@ -239,7 +253,7 @@ class InprocCluster {
       Node& node = *nodes_[i];
       std::shared_ptr<ResultStore> store;
       {
-        std::lock_guard<std::mutex> lock(node.mu);
+        MutexLock lock(node.mu);
         if (!node.alive.load(std::memory_order_acquire) ||
             node.partitioned.load(std::memory_order_acquire)) {
           throw net::StoreUnavailableError("InprocCluster: node " +

@@ -66,7 +66,7 @@ ResultStore::QuotaLedger::Stripe& ResultStore::QuotaLedger::stripe_for(
 bool ResultStore::QuotaLedger::try_charge(const serialize::AppId& app,
                                           std::uint64_t bytes) {
   Stripe& s = stripe_for(app);
-  std::lock_guard<std::mutex> lock(s.mu);
+  MutexLock lock(s.mu);
   std::uint64_t& used = s.used[app];
   if (used + bytes > limit_) {
     if (used == 0) s.used.erase(app);
@@ -79,14 +79,14 @@ bool ResultStore::QuotaLedger::try_charge(const serialize::AppId& app,
 void ResultStore::QuotaLedger::charge(const serialize::AppId& app,
                                       std::uint64_t bytes) {
   Stripe& s = stripe_for(app);
-  std::lock_guard<std::mutex> lock(s.mu);
+  MutexLock lock(s.mu);
   s.used[app] += bytes;
 }
 
 void ResultStore::QuotaLedger::release(const serialize::AppId& app,
                                        std::uint64_t bytes) {
   Stripe& s = stripe_for(app);
-  std::lock_guard<std::mutex> lock(s.mu);
+  MutexLock lock(s.mu);
   const auto it = s.used.find(app);
   if (it == s.used.end()) return;
   it->second -= std::min(it->second, bytes);
@@ -99,7 +99,7 @@ void ResultStore::QuotaLedger::release(const serialize::AppId& app,
 std::uint64_t ResultStore::QuotaLedger::used(
     const serialize::AppId& app) const {
   const Stripe& s = stripe_for(app);
-  std::lock_guard<std::mutex> lock(s.mu);
+  MutexLock lock(s.mu);
   const auto it = s.used.find(app);
   return it == s.used.end() ? 0 : it->second;
 }
@@ -321,7 +321,7 @@ GetResponse ResultStore::get_trusted(const GetRequest& req) {
   shard.get_requests.inc();
   const LatencyScope timer(shard.get_ns);
   GetResponse resp;
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   // Simulated in-enclave service time (marshalling + verification under
   // load); 0 outside throughput benches. Deliberately inside the critical
   // section — that is the work the lock protects.
@@ -371,7 +371,7 @@ PutStatus ResultStore::insert_trusted(const Tag& tag,
                                       bool enforce_quota) {
   Shard& shard = shard_for(tag);
   const LatencyScope timer(shard.put_ns);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   sgx::charge_wait(platform_.cost_model(),
                    platform_.cost_model().store_service_ns);
   if (shard.dict.contains(tag)) {
@@ -456,7 +456,7 @@ SyncResponse ResultStore::sync_trusted(const SyncRequest& req) {
   // are simply skipped, like entries whose blob vanished.
   std::vector<std::pair<std::uint64_t, Tag>> ranked;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     ranked.reserve(ranked.size() + shard->dict.size());
     for (const auto& [tag, meta] : shard->dict) {
       ranked.emplace_back(meta.hits, tag);
@@ -472,7 +472,7 @@ SyncResponse ResultStore::sync_trusted(const SyncRequest& req) {
   for (std::size_t i = 0; i < limit; ++i) {
     const Tag& tag = ranked[i].second;
     Shard& shard = shard_for(tag);
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     const auto it = shard.dict.find(tag);
     if (it == shard.dict.end()) continue;
     const MetaEntry& meta = it->second;
@@ -508,7 +508,7 @@ std::size_t ResultStore::merge_entries_trusted(
       // Carry the sender's popularity so LFU eviction and the next sync's
       // hit ranking treat a replicated hot entry as hot, not freshly cold.
       Shard& shard = shard_for(e.tag);
-      std::lock_guard<std::mutex> lock(shard.mu);
+      MutexLock lock(shard.mu);
       const auto it = shard.dict.find(e.tag);
       if (it != shard.dict.end()) it->second.hits = e.hits;
     }
@@ -524,7 +524,7 @@ serialize::HeartbeatResponse ResultStore::heartbeat_trusted(
   resp.nonce = req.nonce;
   resp.entries = stats().entries;
   {
-    std::lock_guard<std::mutex> lock(cluster_mu_);
+    MutexLock lock(cluster_mu_);
     resp.cluster_epoch = cluster_.epoch;
   }
   resp.degraded = degraded();
@@ -540,7 +540,7 @@ serialize::PullResponse ResultStore::pull_trusted(
   // re-transfers what it already merged.
   std::vector<Tag> tags;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     for (const auto& [tag, meta] : shard->dict) {
       if (!req.resume || tag > req.after) tags.push_back(tag);
     }
@@ -553,7 +553,7 @@ serialize::PullResponse ResultStore::pull_trusted(
   for (std::size_t i = 0; i < limit; ++i) {
     const Tag& tag = tags[i];
     Shard& shard = shard_for(tag);
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     const auto it = shard.dict.find(tag);
     if (it == shard.dict.end()) continue;  // evicted between phases
     const MetaEntry& meta = it->second;
@@ -584,7 +584,7 @@ serialize::PushResponse ResultStore::push_trusted(
 
 serialize::MembershipAck ResultStore::membership_trusted(
     const serialize::MembershipUpdate& req) {
-  std::lock_guard<std::mutex> lock(cluster_mu_);
+  MutexLock lock(cluster_mu_);
   serialize::MembershipAck ack;
   // Monotonic application: a reordered or replayed broadcast with a stale
   // epoch is acknowledged (the sender learns our epoch) but never rolls the
@@ -599,7 +599,7 @@ serialize::MembershipAck ResultStore::membership_trusted(
 }
 
 ResultStore::ClusterView ResultStore::cluster_view() const {
-  std::lock_guard<std::mutex> lock(cluster_mu_);
+  MutexLock lock(cluster_mu_);
   return cluster_;
 }
 
@@ -666,7 +666,7 @@ void ResultStore::touch_lru_locked(Shard& shard, MetaEntry& entry,
 
 void ResultStore::wal_append_record(const WalRecord& rec) {
   const Bytes plain = encode_wal_record(rec);
-  std::lock_guard<std::mutex> lock(wal_mu_);
+  MutexLock lock(wal_mu_);
   const Bytes aad = chain_aad(wal_seq_, wal_prev_);
   const Bytes sealed = enclave_->seal(aad, plain);
   backend_->wal_append(sealed);  // may throw BackendWriteError
@@ -716,7 +716,7 @@ void ResultStore::recover_from_backend() {
   // extending the (possibly truncated) chain.
   enclave_->ecall([&] {
     for (const auto& shard : shards_) {
-      std::lock_guard<std::mutex> lock(shard->mu);
+      MutexLock lock(shard->mu);
       evict_for_space_locked(*shard, 0);
       while (shard->dict.size() > shard_max_entries_ && !shard->lru.empty()) {
         erase_locked(*shard, shard->lru.back());
@@ -732,7 +732,7 @@ void ResultStore::recover_from_backend() {
 
 void ResultStore::apply_recovered(const WalRecord& rec) {
   Shard& shard = shard_for(rec.tag);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   if (rec.op == WalRecord::Op::kErase) {
     erase_locked(shard, rec.tag, /*log_wal=*/false);
     ++recovery_info_.erases;
@@ -780,7 +780,7 @@ std::uint64_t ResultStore::quota_used(const serialize::AppId& app) const {
 
 bool ResultStore::corrupt_blob_for_testing(const serialize::Tag& tag) {
   Shard& shard = shard_for(tag);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   const auto it = shard.dict.find(tag);
   if (it == shard.dict.end()) return false;
   return backend_->corrupt_blob(it->second.ref);
@@ -809,11 +809,14 @@ ResultStore::Stats ResultStore::stats() const {
 
 Bytes ResultStore::seal_snapshot() {
   return enclave_->ecall([&] {
-    // All shard locks, in index order (the only multi-lock path besides
-    // restore; single-tag operations only ever hold one).
-    std::vector<std::unique_lock<std::mutex>> locks;
-    locks.reserve(shards_.size());
-    for (const auto& shard : shards_) locks.emplace_back(shard->mu);
+    // All shard locks, in index order (the only multi-lock path; single-tag
+    // operations only ever hold one). Equal ranks admit no ordering rule, so
+    // this is the one sanctioned MutexLockAll site for shard locks.
+    const auto get_shard_mu = [&](std::size_t i) -> Mutex& {
+      return shards_[i]->mu;
+    };
+    MutexLockAll<decltype(get_shard_mu)> locks(shards_.size(), get_shard_mu);
+    for (const auto& shard : shards_) shard->mu.assert_held();
 
     serialize::Encoder enc;
     std::size_t total = 0;
@@ -857,7 +860,7 @@ bool ResultStore::restore_snapshot(ByteView sealed) {
         if (insert_trusted(tag, owner, entry, /*enforce_quota=*/false) ==
             PutStatus::kStored) {
           Shard& shard = shard_for(tag);
-          std::lock_guard<std::mutex> lock(shard.mu);
+          MutexLock lock(shard.mu);
           shard.dict.at(tag).hits = hits;
         }
       }

@@ -51,10 +51,10 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "common/annotated_lock.h"
 #include "common/bytes.h"
 #include "crypto/sha256.h"
 #include "serialize/wire.h"
@@ -263,13 +263,16 @@ class ResultStore {
   struct Shard {
     explicit Shard(sgx::Enclave& enclave) : trusted_charge(enclave, 0) {}
 
-    mutable std::mutex mu;
-    std::unordered_map<serialize::Tag, MetaEntry, TagHash> dict;
-    std::list<serialize::Tag> lru;  ///< front = most recently used
+    // 600: one shard lock per request path; quota stripes (650) and the
+    // WAL (700) nest inside it. seal_snapshot holds all shards at once via
+    // MutexLockAll (the sanctioned equal-rank exception).
+    mutable Mutex mu{LockRank::kStoreShard};
+    std::unordered_map<serialize::Tag, MetaEntry, TagHash> dict GUARDED_BY(mu);
+    std::list<serialize::Tag> lru GUARDED_BY(mu);  ///< front = most recently used
     /// Incrementally maintained metadata footprint (the old store re-walked
     /// the whole dictionary on every insert/erase to recompute it).
-    std::uint64_t trusted_bytes = 0;
-    sgx::TrustedCharge trusted_charge;
+    std::uint64_t trusted_bytes GUARDED_BY(mu) = 0;
+    sgx::TrustedCharge trusted_charge GUARDED_BY(mu);
 
     telemetry::Counter get_requests;
     telemetry::Counter hits;
@@ -302,8 +305,9 @@ class ResultStore {
 
    private:
     struct Stripe {
-      mutable std::mutex mu;
-      std::unordered_map<serialize::AppId, std::uint64_t, AppIdHash> used;
+      mutable Mutex mu{LockRank::kQuota};  // nests inside shard locks only
+      std::unordered_map<serialize::AppId, std::uint64_t, AppIdHash> used
+          GUARDED_BY(mu);
     };
     const Stripe& stripe_for(const serialize::AppId& app) const;
     Stripe& stripe_for(const serialize::AppId& app);
@@ -341,10 +345,11 @@ class ResultStore {
 
   /// `log_wal` is false only when the erase is *replaying* the log.
   void erase_locked(Shard& shard, const serialize::Tag& tag,
-                    bool log_wal = true);
-  void evict_for_space_locked(Shard& shard, std::uint64_t incoming_bytes);
+                    bool log_wal = true) REQUIRES(shard.mu);
+  void evict_for_space_locked(Shard& shard, std::uint64_t incoming_bytes)
+      REQUIRES(shard.mu);
   void touch_lru_locked(Shard& shard, MetaEntry& entry,
-                        const serialize::Tag& tag);
+                        const serialize::Tag& tag) REQUIRES(shard.mu);
 
   // --------------------------------------------------------- WAL plumbing
 
@@ -369,17 +374,17 @@ class ResultStore {
   std::vector<std::unique_ptr<Shard>> shards_;
   QuotaLedger quota_;
 
-  /// WAL chain state; the lock nests inside at most one shard lock and
-  /// acquires nothing itself.
-  std::mutex wal_mu_;
-  std::uint64_t wal_seq_ = 0;
-  WalChainTag wal_prev_{};
+  /// WAL chain state; the lock (700) nests inside at most one shard lock
+  /// and acquires nothing itself.
+  Mutex wal_mu_{LockRank::kStoreWal};
+  std::uint64_t wal_seq_ GUARDED_BY(wal_mu_) = 0;
+  WalChainTag wal_prev_ GUARDED_BY(wal_mu_){};
 
-  /// Cluster membership (docs/PROTOCOL.md §8), guarded by its own mutex —
-  /// it is read on the heartbeat path and written only by rare membership
-  /// broadcasts, never while a shard lock is held.
-  mutable std::mutex cluster_mu_;
-  ClusterView cluster_;
+  /// Cluster membership (docs/PROTOCOL.md §8), guarded by its own mutex
+  /// (620) — it is read on the heartbeat path and written only by rare
+  /// membership broadcasts, never while a shard lock is held.
+  mutable Mutex cluster_mu_{LockRank::kStoreCluster};
+  ClusterView cluster_ GUARDED_BY(cluster_mu_);
 
   /// Batched dispatch (docs/PROTOCOL.md §9): one BatchRequest executed per
   /// entry against the shards, replies index-aligned with the ops.

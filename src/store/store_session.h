@@ -16,8 +16,8 @@
 #pragma once
 
 #include <memory>
-#include <mutex>
 
+#include "common/annotated_lock.h"
 #include "net/channel.h"
 #include "net/handshake.h"
 #include "net/secure_channel.h"
@@ -77,20 +77,30 @@ class StoreSession {
   /// refused a frame by its length prefix (over max_frame_bytes) without ever
   /// buffering it. Advances the send sequence like any response; the caller
   /// is expected to close the connection once it is flushed.
+  // lockdiscipline-allow: LD004 send sequence must advance atomically
   Bytes wrap_error(serialize::ErrorCode code, const std::string& detail) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     const serialize::Message err = serialize::ErrorResponse{code, detail};
     const Bytes plain = serialize::encode_message(err);
     if (switchless_ != nullptr) {
-      return switchless_->call([this, &plain] { return channel_.wrap(plain); });
+      return switchless_->call([this, &plain] {
+        mu_.assert_held();  // caller blocks in call() with mu_ held
+        return channel_.wrap(plain);
+      });
     }
-    return store_.enclave().ecall([&] { return channel_.wrap(plain); });
+    return store_.enclave().ecall([&] {
+      mu_.assert_held();
+      return channel_.wrap(plain);
+    });
   }
 
   /// Handle one secure frame; throws ProtocolError on channel violations
   /// (tampering/replay), which a real server would treat as a dead peer.
+  // mu_ is held across the ECALL / switchless submission: the session is a
+  // strand — channel sequence numbers require frames to be served in order.
+  // lockdiscipline-allow: LD004 session strand orders channel sequence numbers
   Bytes handle_frame(ByteView frame) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (switchless_ != nullptr) {
       // The caller blocks inside call(), so `frame` stays alive for the
       // poller; the transition cost is charged once per ring drain.
@@ -108,8 +118,13 @@ class StoreSession {
 
  private:
   /// Body of one frame; must already run in the store enclave's context
-  /// (under handle_frame's own ECALL or a switchless ring drain).
+  /// (under handle_frame's own ECALL or a switchless ring drain). The
+  /// caller blocks inside handle_frame with mu_ held, so channel_ access
+  /// here is covered even when a ring poller thread runs the closure —
+  /// asserted (not REQUIRES) because the analysis cannot see through the
+  /// ECALL/ring submission lambda.
   Bytes handle_frame_trusted(ByteView frame) {
+    mu_.assert_held();
     const auto request_plain = channel_.unwrap(frame);
     if (!request_plain.has_value()) {
       throw ProtocolError("StoreSession: bad frame (tamper/replay)");
@@ -134,11 +149,13 @@ class StoreSession {
   ResultStore& store_;
   std::optional<net::ChannelKeyExchange> key_exchange_;
   net::HandshakeMessage client_hello_;
-  net::SecureChannel channel_;
+  net::SecureChannel channel_ GUARDED_BY(mu_);
   std::uint8_t peer_version_ = net::kProtocolVersionLegacy;
   sgx::SwitchlessRing* switchless_ = nullptr;
   std::size_t max_batch_entries_ = 0;
-  std::mutex mu_;
+  // 560: held across the dispatch into the store (shard 600+) and across
+  // switchless submission (580) — both nest above it.
+  mutable Mutex mu_{LockRank::kSession};
 };
 
 /// In-process connection bundle: performs the attested handshake between an

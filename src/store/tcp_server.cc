@@ -111,7 +111,7 @@ void StoreTcpServer::stop() {
   // Workers first: they may be blocked on the ring, whose poller keeps
   // draining until ring stop — so join order is workers, ring, loop.
   {
-    std::lock_guard<std::mutex> lock(ready_mu_);
+    MutexLock lock(ready_mu_);
   }
   ready_cv_.notify_all();
   for (auto& w : workers_) {
@@ -166,7 +166,7 @@ void StoreTcpServer::loop() {
         }
         std::vector<std::shared_ptr<Conn>> done;
         {
-          std::lock_guard<std::mutex> lock(completed_mu_);
+          MutexLock lock(completed_mu_);
           done.swap(completed_);
         }
         for (const auto& conn : done) {
@@ -246,7 +246,7 @@ void StoreTcpServer::handle_readable(const std::shared_ptr<Conn>& conn) {
 
   conn->read_closed = true;
   const bool mid_frame = (conn->rbuf.size() - conn->roff) > 0 || read_error;
-  std::lock_guard<std::mutex> lock(conn->mu);
+  MutexLock lock(conn->mu);
   conn->close_after_flush = true;
   if (!conn->handshaken) {
     // Disconnect before the handshake completed. If a hello frame is already
@@ -297,14 +297,14 @@ void StoreTcpServer::parse_frames(const std::shared_ptr<Conn>& conn) {
     conn->read_closed = true;  // refuse the rest of the stream
   }
   if (frames.empty() && !oversize) return;
-  std::lock_guard<std::mutex> lock(conn->mu);
+  MutexLock lock(conn->mu);
   for (auto& f : frames) conn->inbox.push_back(std::move(f));
   if (oversize) conn->oversized = true;
 }
 
 void StoreTcpServer::flush_conn(const std::shared_ptr<Conn>& conn) {
   if (conn->closed) return;
-  std::lock_guard<std::mutex> lock(conn->mu);
+  MutexLock lock(conn->mu);
   bool write_failed = false;
   while (conn->woff < conn->wbuf.size()) {
     const ssize_t n = ::send(conn->fd, conn->wbuf.data() + conn->woff,
@@ -348,7 +348,7 @@ void StoreTcpServer::update_interest(const std::shared_ptr<Conn>& conn) {
   if (conn->closed) return;
   bool residual;
   {
-    std::lock_guard<std::mutex> lock(conn->mu);
+    MutexLock lock(conn->mu);
     residual = conn->woff < conn->wbuf.size();
   }
   conn->want_write = residual;
@@ -367,14 +367,14 @@ void StoreTcpServer::reevaluate(const std::shared_ptr<Conn>& conn) {
   if (conn->closed) return;
   bool close_now = false;
   {
-    std::lock_guard<std::mutex> lock(conn->mu);
+    MutexLock lock(conn->mu);
     const bool pending =
         !conn->abort && (!conn->inbox.empty() ||
                          (conn->oversized && !conn->oversized_handled));
     if (pending && !conn->processing) {
       conn->processing = true;
       {
-        std::lock_guard<std::mutex> ready_lock(ready_mu_);
+        MutexLock ready_lock(ready_mu_);
         ready_.push_back(conn);
       }
       ready_cv_.notify_one();
@@ -402,8 +402,8 @@ void StoreTcpServer::worker_loop() {
   for (;;) {
     std::shared_ptr<Conn> conn;
     {
-      std::unique_lock<std::mutex> lock(ready_mu_);
-      ready_cv_.wait(lock, [this] { return stopping_.load() || !ready_.empty(); });
+      MutexLock lock(ready_mu_);
+      while (!stopping_.load() && ready_.empty()) ready_cv_.wait(ready_mu_);
       if (stopping_.load()) return;
       conn = std::move(ready_.front());
       ready_.pop_front();
@@ -421,7 +421,7 @@ void StoreTcpServer::process_conn(const std::shared_ptr<Conn>& conn) {
     bool have_frame = false;
     bool do_oversize = false;
     {
-      std::lock_guard<std::mutex> lock(conn->mu);
+      MutexLock lock(conn->mu);
       if (conn->abort) conn->inbox.clear();
       if (!conn->abort && !conn->inbox.empty()) {
         frame = std::move(conn->inbox.front());
@@ -441,7 +441,7 @@ void StoreTcpServer::process_conn(const std::shared_ptr<Conn>& conn) {
       handle_oversize_on_worker(conn);
     }
     if (stopping_.load()) {
-      std::lock_guard<std::mutex> lock(conn->mu);
+      MutexLock lock(conn->mu);
       conn->processing = false;
       break;
     }
@@ -453,7 +453,7 @@ void StoreTcpServer::handle_frame_on_worker(const std::shared_ptr<Conn>& conn,
                                             Bytes frame) {
   bool first;
   {
-    std::lock_guard<std::mutex> lock(conn->mu);
+    MutexLock lock(conn->mu);
     first = !conn->handshaken;
   }
   if (first) {
@@ -464,7 +464,7 @@ void StoreTcpServer::handle_frame_on_worker(const std::shared_ptr<Conn>& conn,
       conn->session.emplace(store_, client_hello);  // throws on bad attestation
     } catch (const Error&) {
       ++rejected_;
-      std::lock_guard<std::mutex> lock(conn->mu);
+      MutexLock lock(conn->mu);
       conn->abort = true;
       conn->close_after_flush = true;
       conn->error_counted = true;
@@ -476,7 +476,7 @@ void StoreTcpServer::handle_frame_on_worker(const std::shared_ptr<Conn>& conn,
     conn->session->set_max_batch_entries(config_.max_batch_entries);
     const Bytes reply = net::encode_handshake(conn->session->server_hello());
     ++accepted_;
-    std::lock_guard<std::mutex> lock(conn->mu);
+    MutexLock lock(conn->mu);
     conn->handshaken = true;
     append_frame(conn->wbuf, reply);
     return;
@@ -488,7 +488,7 @@ void StoreTcpServer::handle_frame_on_worker(const std::shared_ptr<Conn>& conn,
   } catch (const Error&) {
     // Channel violation (tamper/replay) or a poisoned session: drop the
     // connection, costing only itself.
-    std::lock_guard<std::mutex> lock(conn->mu);
+    MutexLock lock(conn->mu);
     if (!conn->error_counted) {
       ++session_errors_;
       conn->error_counted = true;
@@ -497,7 +497,7 @@ void StoreTcpServer::handle_frame_on_worker(const std::shared_ptr<Conn>& conn,
     conn->close_after_flush = true;
     return;
   }
-  std::lock_guard<std::mutex> lock(conn->mu);
+  MutexLock lock(conn->mu);
   append_frame(conn->wbuf, response);
 }
 
@@ -505,13 +505,13 @@ void StoreTcpServer::handle_oversize_on_worker(
     const std::shared_ptr<Conn>& conn) {
   bool handshaken;
   {
-    std::lock_guard<std::mutex> lock(conn->mu);
+    MutexLock lock(conn->mu);
     handshaken = conn->handshaken;
   }
   if (!handshaken) {
     // A giant pre-handshake frame is just a malformed hello.
     ++rejected_;
-    std::lock_guard<std::mutex> lock(conn->mu);
+    MutexLock lock(conn->mu);
     conn->abort = true;
     conn->close_after_flush = true;
     conn->error_counted = true;
@@ -521,11 +521,11 @@ void StoreTcpServer::handle_oversize_on_worker(
     const Bytes err = conn->session->wrap_error(
         serialize::ErrorCode::kFrameTooLarge,
         "frame exceeds server max_frame_bytes");
-    std::lock_guard<std::mutex> lock(conn->mu);
+    MutexLock lock(conn->mu);
     append_frame(conn->wbuf, err);
     conn->close_after_flush = true;
   } catch (const Error&) {
-    std::lock_guard<std::mutex> lock(conn->mu);
+    MutexLock lock(conn->mu);
     if (!conn->error_counted) {
       ++session_errors_;
       conn->error_counted = true;
@@ -537,7 +537,7 @@ void StoreTcpServer::handle_oversize_on_worker(
 
 void StoreTcpServer::notify_loop(const std::shared_ptr<Conn>& conn) {
   {
-    std::lock_guard<std::mutex> lock(completed_mu_);
+    MutexLock lock(completed_mu_);
     completed_.push_back(conn);
   }
   const std::uint64_t one = 1;

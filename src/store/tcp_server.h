@@ -27,13 +27,13 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
+#include "common/annotated_lock.h"
 #include "net/resilient.h"
 #include "net/tcp.h"
 #include "sgx/switchless.h"
@@ -115,18 +115,21 @@ class StoreTcpServer {
     std::uint32_t interest = 0;  ///< epoll mask currently registered
 
     // ---- shared (guarded by mu) ----
-    std::mutex mu;
-    std::deque<Bytes> inbox;   ///< parsed frames awaiting the strand
-    Bytes wbuf;                ///< encoded responses awaiting the socket
-    std::size_t woff = 0;      ///< send cursor into wbuf
-    bool processing = false;   ///< a worker owns the strand right now
-    bool handshaken = false;
-    bool oversized = false;        ///< frame over the limit arrived
-    bool oversized_handled = false;
-    bool abort = false;            ///< stop processing; drop remaining inbox
-    bool close_after_flush = false;
-    bool error_counted = false;    ///< session_errors_ bumped once per conn
-    std::optional<StoreSession> session;
+    // 840: the strand lock. The pool rendezvous locks (850) may be taken
+    // while a conn lock is held (reevaluate enqueues under conn->mu), so
+    // conn ranks strictly below them; no path holds two conn locks at once.
+    Mutex mu{LockRank::kServerConn};
+    std::deque<Bytes> inbox GUARDED_BY(mu);  ///< parsed frames awaiting the strand
+    Bytes wbuf GUARDED_BY(mu);            ///< encoded responses awaiting the socket
+    std::size_t woff GUARDED_BY(mu) = 0;  ///< send cursor into wbuf
+    bool processing GUARDED_BY(mu) = false;  ///< a worker owns the strand now
+    bool handshaken GUARDED_BY(mu) = false;
+    bool oversized GUARDED_BY(mu) = false;  ///< frame over the limit arrived
+    bool oversized_handled GUARDED_BY(mu) = false;
+    bool abort GUARDED_BY(mu) = false;  ///< stop processing; drop remaining inbox
+    bool close_after_flush GUARDED_BY(mu) = false;
+    bool error_counted GUARDED_BY(mu) = false;  ///< session_errors_ bumped once
+    std::optional<StoreSession> session GUARDED_BY(mu);
   };
 
   void loop();
@@ -165,14 +168,14 @@ class StoreTcpServer {
   /// All live connections, keyed by fd (loop thread only).
   std::unordered_map<int, std::shared_ptr<Conn>> conns_;
 
-  /// Worker pool rendezvous.
-  std::mutex ready_mu_;
-  std::condition_variable ready_cv_;
-  std::deque<std::shared_ptr<Conn>> ready_;
+  /// Worker pool rendezvous (850: above every conn lock).
+  Mutex ready_mu_{LockRank::kServerPool};
+  CondVar ready_cv_;
+  std::deque<std::shared_ptr<Conn>> ready_ GUARDED_BY(ready_mu_);
 
   /// Conns the workers finished touching, drained by the loop on eventfd.
-  std::mutex completed_mu_;
-  std::vector<std::shared_ptr<Conn>> completed_;
+  Mutex completed_mu_{LockRank::kServerPool};
+  std::vector<std::shared_ptr<Conn>> completed_ GUARDED_BY(completed_mu_);
 
   std::thread loop_thread_;
   std::vector<std::thread> workers_;

@@ -92,19 +92,19 @@ void Registry::Handle::reset() {
 }
 
 Registry::Handle Registry::add_collector(Collector collector) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const std::uint64_t id = next_id_++;
   collectors_.emplace(id, std::move(collector));
   return Handle(this, id);
 }
 
 void Registry::remove_collector(std::uint64_t id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   collectors_.erase(id);
 }
 
 std::vector<Family> Registry::collect() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   SampleSink sink;
   for (const auto& [id, collector] : collectors_) collector(sink);
   return sink.take_families();

@@ -18,10 +18,10 @@
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/annotated_lock.h"
 #include "telemetry/label.h"
 #include "telemetry/metrics.h"
 
@@ -101,9 +101,12 @@ class Registry {
   friend class Handle;
   void remove_collector(std::uint64_t id);
 
-  mutable std::mutex mu_;
-  std::uint64_t next_id_ = 1;
-  std::map<std::uint64_t, Collector> collectors_;
+  // Rank 450: acquired under ClusterTransport::Link::mu (ResilientTransport
+  // construction registers its breaker collector) and held across collector
+  // callbacks that take the runtime cache/queue locks — see docs/LOCK_ORDER.md.
+  mutable Mutex mu_{LockRank::kTelemetryRegistry};
+  std::uint64_t next_id_ GUARDED_BY(mu_) = 1;
+  std::map<std::uint64_t, Collector> collectors_ GUARDED_BY(mu_);
 };
 
 }  // namespace speed::telemetry

@@ -38,7 +38,7 @@ TraceRing& TraceRing::global() {
 }
 
 void TraceRing::push(TraceRecord record) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const std::uint64_t n = pushed_.load(std::memory_order_relaxed);
   record.id = n;
   if (ring_.size() < capacity_) {
@@ -50,7 +50,7 @@ void TraceRing::push(TraceRecord record) {
 }
 
 std::vector<TraceRecord> TraceRing::snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<TraceRecord> out;
   out.reserve(ring_.size());
   const std::uint64_t n = pushed_.load(std::memory_order_relaxed);

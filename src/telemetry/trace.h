@@ -16,9 +16,9 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <vector>
 
+#include "common/annotated_lock.h"
 #include "common/clock.h"
 
 namespace speed::telemetry {
@@ -74,8 +74,11 @@ class TraceRing {
 
  private:
   const std::size_t capacity_;
-  mutable std::mutex mu_;
-  std::vector<TraceRecord> ring_;  ///< ring_[pushed_ % capacity_] = next slot
+  // Rank 900 (leaf-1): spans are pushed from arbitrary contexts, including
+  // under shard/WAL/server locks, so nothing below kCryptoDrbg nests inside.
+  mutable Mutex mu_{LockRank::kTrace};
+  /// ring_[pushed_ % capacity_] = next slot
+  std::vector<TraceRecord> ring_ GUARDED_BY(mu_);
   std::atomic<std::uint64_t> pushed_{0};
 };
 

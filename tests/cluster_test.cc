@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <memory>
 #include <optional>
@@ -115,6 +116,27 @@ class ClusterTest : public ::testing::Test {
   std::unique_ptr<sgx::Enclave> app_;
   std::shared_ptr<ClusterTransport> transport_;
 };
+
+std::atomic<int> g_rank_violations{0};
+void count_rank_violation(LockRank, LockRank) { g_rank_violations.fetch_add(1); }
+
+// Regression: constructing or retiring a node's ResultStore registers and
+// deregisters telemetry collectors (Registry::mu_, rank 450); doing either
+// under Node::mu (rank 530) inverted the lock order. The cluster ctor now
+// builds stores before taking the node lock, and restart() displaces the
+// dead store into a local retired before releasing it.
+TEST_F(ClusterTest, NodeLifecycleKeepsLockOrder) {
+  if (!lock_rank_check_enabled()) {
+    GTEST_SKIP() << "built without SPEED_LOCK_RANK_CHECK";
+  }
+  g_rank_violations.store(0);
+  RankViolationHandler prev = set_rank_violation_handler(&count_rank_violation);
+  build(3, 1);
+  cluster_->kill(0);
+  EXPECT_TRUE(cluster_->restart(0));
+  set_rank_violation_handler(prev);
+  EXPECT_EQ(g_rank_violations.load(), 0);
+}
 
 TEST_F(ClusterTest, PutPlacesReplicaOnEveryRingOwner) {
   build(3, 1);

@@ -1,0 +1,43 @@
+// Control case for the thread-safety compile-fail suite: correct use of the
+// annotated lock wrappers must keep compiling under
+// -Wthread-safety -Wthread-safety-beta -Werror, proving the negative cases
+// below fail for the right reason and not because of a broken include path
+// or an over-eager warning set.
+#include <cstdint>
+
+#include "common/annotated_lock.h"
+
+namespace {
+
+class Account {
+ public:
+  void deposit(std::uint64_t amount) {
+    speed::MutexLock lock(mu_);
+    balance_ += amount;
+  }
+
+  std::uint64_t balance() const {
+    speed::MutexLock lock(mu_);
+    return balance_;
+  }
+
+  void audited_add(std::uint64_t amount) REQUIRES(mu_) { balance_ += amount; }
+
+  void add_through_requires(std::uint64_t amount) {
+    speed::MutexLock lock(mu_);
+    audited_add(amount);
+  }
+
+ private:
+  mutable speed::Mutex mu_{speed::LockRank::kApp};
+  std::uint64_t balance_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  account.deposit(3);
+  account.add_through_requires(4);
+  return static_cast<int>(account.balance() - 7);
+}

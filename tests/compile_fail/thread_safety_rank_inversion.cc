@@ -1,0 +1,30 @@
+// MUST NOT COMPILE under -Wthread-safety-beta -Werror (clang): the
+// ACQUIRED_AFTER edge declares the same total order docs/LOCK_ORDER.md
+// records for these ranks, and locking against the declared order is the
+// compile-time face of the run-time rank-check abort
+// (tests/annotated_lock_test.cc proves the same inversion fires at run
+// time). Clang-gated in CMake like thread_safety_unlocked_access.cc.
+#include "common/annotated_lock.h"
+
+namespace {
+
+class TwoLocks {
+ public:
+  void inverted() {
+    speed::MutexLock shard(shard_mu_);
+    speed::MutexLock channel(channel_mu_);  // error: channel_mu_ must come first
+  }
+
+ private:
+  speed::Mutex channel_mu_{speed::LockRank::kRuntimeChannel};
+  speed::Mutex shard_mu_ ACQUIRED_AFTER(channel_mu_){
+      speed::LockRank::kStoreShard};
+};
+
+}  // namespace
+
+int main() {
+  TwoLocks locks;
+  locks.inverted();
+  return 0;
+}

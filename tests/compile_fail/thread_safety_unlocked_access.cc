@@ -1,0 +1,35 @@
+// MUST NOT COMPILE under -Wthread-safety -Werror (clang): writes a
+// GUARDED_BY field without holding its mutex, and calls a REQUIRES method
+// without the capability. Registered WILL_FAIL on clang toolchains; GCC
+// expands the annotations to nothing, so the case is clang-gated in CMake.
+#include <cstdint>
+
+#include "common/annotated_lock.h"
+
+namespace {
+
+class Account {
+ public:
+  void unguarded_deposit(std::uint64_t amount) {
+    balance_ += amount;  // error: writing balance_ requires holding mu_
+  }
+
+  void audited_add(std::uint64_t amount) REQUIRES(mu_) { balance_ += amount; }
+
+  void call_without_capability() {
+    audited_add(1);  // error: calling audited_add requires holding mu_
+  }
+
+ private:
+  mutable speed::Mutex mu_{speed::LockRank::kApp};
+  std::uint64_t balance_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  account.unguarded_deposit(3);
+  account.call_without_capability();
+  return 0;
+}

@@ -1,0 +1,22 @@
+// lint-as: src/fixture/bad_missing_annotations.cc
+// LD002: a Mutex that never places itself in the global order, and a field
+// whose comment admits it is guarded while the declaration stays bare.
+#include "common/annotated_lock.h"
+
+namespace speed {
+
+class Unranked {
+ public:
+  void bump() {
+    MutexLock lock(mu_);
+    ++value_;
+  }
+
+ private:
+  Mutex mu_;  // EXPECT: LD002
+  mutable SharedMutex smu_;  // EXPECT: LD002
+  std::uint64_t value_;  // guarded by mu_  // EXPECT: LD002
+  std::uint64_t annotated_ GUARDED_BY(mu_) = 0;  // guarded by mu_, and says so
+};
+
+}  // namespace speed

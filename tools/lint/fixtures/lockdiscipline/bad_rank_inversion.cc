@@ -1,0 +1,31 @@
+// lint-as: src/fixture/bad_rank_inversion.cc
+// LD003: lexically nested acquisition that does not strictly increase in
+// rank — the shape the run-time checker aborts on, caught without running.
+#include "common/annotated_lock.h"
+
+namespace speed {
+
+class Inverted {
+ public:
+  void descend() {
+    MutexLock outer(store_mu_);
+    MutexLock inner(channel_mu_);  // EXPECT: LD003
+  }
+
+  void same_rank_twice() {
+    MutexLock first(store_mu_);
+    MutexLock second(peer_mu_);  // EXPECT: LD003
+  }
+
+  void fine() {
+    MutexLock outer(channel_mu_);
+    MutexLock inner(store_mu_);
+  }
+
+ private:
+  Mutex channel_mu_{LockRank::kRuntimeChannel};
+  Mutex store_mu_{LockRank::kStoreShard};
+  Mutex peer_mu_{LockRank::kStoreShard};
+};
+
+}  // namespace speed

@@ -1,0 +1,27 @@
+// lint-as: src/fixture/bad_raw_primitives.cc
+// LD001: raw standard-library lock primitives bypass the capability
+// annotations AND the rank checker; only annotated_lock.h may name them.
+#include <condition_variable>
+#include <mutex>
+
+namespace speed {
+
+class RawLocker {
+ public:
+  void bump() {
+    std::lock_guard<std::mutex> lock(m_);  // EXPECT: LD001
+    ++value_;
+  }
+
+  void wait_nonzero() {
+    std::unique_lock<std::mutex> lock(m_);  // EXPECT: LD001
+    cv_.wait(lock, [this] { return value_ != 0; });
+  }
+
+ private:
+  std::mutex m_;               // EXPECT: LD001
+  std::condition_variable cv_;  // EXPECT: LD001
+  std::uint64_t value_ = 0;
+};
+
+}  // namespace speed
