@@ -72,3 +72,16 @@ fi
 "$stream_bench" "$repo_root/BENCH_stream.json"
 echo "results:   $repo_root/BENCH_stream.json"
 echo "telemetry: $repo_root/BENCH_stream.telemetry.json"
+
+# Two-tier metadata footprint: entries per MB of EPC charge with the full
+# record spilled to the sealed tier, fault-in latency, and the Fig. 6
+# 8-thread/8-shard parity cell (acceptance bar: >= 4x density vs the legacy
+# map-of-nodes layout; the bench exits 2 below that). Pass --smoke for the
+# reduced CI variant.
+meta_bench="$build_dir/bench/bench_metadata"
+if [ ! -x "$meta_bench" ]; then
+  echo "building $meta_bench ..."
+  cmake --build "$build_dir" --target bench_metadata -j
+fi
+"$meta_bench" "$repo_root/BENCH_metadata.json"
+echo "results:   $repo_root/BENCH_metadata.json"

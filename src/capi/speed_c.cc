@@ -362,6 +362,20 @@ int speed_stream_stats_read(const speed_deployment* dep,
   return SPEED_OK;
 }
 
+int speed_meta_stats_read(const speed_deployment* dep, speed_meta_stats* out) {
+  if (dep == nullptr || out == nullptr || dep->store == nullptr) {
+    return SPEED_ERR_INVALID_ARGUMENT;
+  }
+  const auto stats = dep->store->stats();
+  out->entries = stats.entries;
+  out->spills = stats.meta_spills;
+  out->fault_ins = stats.meta_fault_ins;
+  out->resident_bytes = stats.meta_resident_bytes;
+  out->index_bytes = stats.meta_index_bytes;
+  out->pinned_records = stats.meta_pinned_records;
+  return SPEED_OK;
+}
+
 char* speed_metrics_snapshot(void) {
   try {
     const std::string json = telemetry::snapshot_json();

@@ -190,6 +190,30 @@ typedef struct {
 int speed_stream_stats_read(const speed_deployment* dep,
                             speed_stream_stats* out);
 
+/* ---- store metadata paging --------------------------------------------- */
+
+/*
+ * Two-tier metadata counters of the deployment's local store: the dictionary
+ * keeps a 32-byte slot per entry resident in enclave memory and pages the
+ * full record to a sealed cold tier (PROTOCOL.md section 11). Operators
+ * watch spills/fault_ins to size the resident cache and resident_bytes to
+ * size the EPC budget.
+ */
+typedef struct {
+  uint64_t entries;        /* live dictionary entries */
+  uint64_t spills;         /* sealed records written to the cold tier */
+  uint64_t fault_ins;      /* cold records decoded back in on access */
+  uint64_t resident_bytes; /* trusted bytes charged for metadata */
+  uint64_t index_bytes;    /* slot-table share of resident_bytes */
+  uint64_t pinned_records; /* records pinned resident (spill write failed) */
+} speed_meta_stats;
+
+/*
+ * Fails with SPEED_ERR_INVALID_ARGUMENT on cluster deployments, which have
+ * no single local store (scrape each node's metrics instead).
+ */
+int speed_meta_stats_read(const speed_deployment* dep, speed_meta_stats* out);
+
 /* ---- telemetry --------------------------------------------------------- */
 
 /*

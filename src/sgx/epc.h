@@ -26,8 +26,11 @@ class EpcAllocator {
   /// cost when the allocation pushes usage past the usable EPC.
   void allocate(std::uint64_t bytes) {
     const std::uint64_t before = used_.fetch_add(bytes);
-    if (!model_.enabled) return;
     const std::uint64_t after = before + bytes;
+    std::uint64_t peak = peak_.load();
+    while (after > peak && !peak_.compare_exchange_weak(peak, after)) {
+    }
+    if (!model_.enabled) return;
     if (after > model_.epc_usable_bytes) {
       const std::uint64_t overflow_begin =
           before > model_.epc_usable_bytes ? before : model_.epc_usable_bytes;
@@ -50,12 +53,17 @@ class EpcAllocator {
   }
 
   std::uint64_t used_bytes() const { return used_.load(); }
+  /// High-water mark of used_bytes() over the allocator's lifetime (the
+  /// metadata-footprint bench reports peak charge, not the instantaneous
+  /// value a release could shrink).
+  std::uint64_t peak_bytes() const { return peak_.load(); }
   std::uint64_t swapped_pages() const { return swapped_pages_.load(); }
   std::uint64_t usable_bytes() const { return model_.epc_usable_bytes; }
 
  private:
   const CostModel& model_;
   std::atomic<std::uint64_t> used_{0};
+  std::atomic<std::uint64_t> peak_{0};
   std::atomic<std::uint64_t> swapped_pages_{0};
 };
 

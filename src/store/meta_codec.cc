@@ -1,0 +1,126 @@
+#include "store/meta_codec.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "serialize/codec.h"
+
+namespace speed::store {
+namespace {
+
+// Plaintext record layout (little-endian, canonical codec):
+//
+//   u8  version (= kMetaFormatVersion)
+//   raw tag[32]
+//   raw owner[32]
+//   u16 challenge_len   (<= kMaxMetaVarBytes)
+//   raw challenge
+//   u16 wrapped_key_len (<= kMaxMetaVarBytes)
+//   raw wrapped_key
+//   raw blob_digest[32]
+//   u64 blob_bytes
+//   u32 blob.segment
+//   u64 blob.offset
+//   u64 blob.length
+//
+// Golden vectors for this layout live in tests/meta_codec_test.cc; touch it
+// and they will tell you. The u16 prefixes (vs the WAL's u32) are the point:
+// the decoder can bound every allocation at kMaxMetaVarBytes no matter what
+// a corrupted or hostile length byte says.
+
+void put_capped(serialize::Encoder& enc, ByteView data, const char* field) {
+  if (data.size() > kMaxMetaVarBytes) {
+    throw ProtocolError(std::string("meta record: ") + field + " exceeds " +
+                        std::to_string(kMaxMetaVarBytes) + " bytes");
+  }
+  enc.u16(static_cast<std::uint16_t>(data.size()));
+  enc.raw(data);
+}
+
+Bytes take_capped(serialize::Decoder& dec, const char* field) {
+  const std::uint16_t len = dec.u16();
+  if (len > kMaxMetaVarBytes) {
+    throw SerializationError(std::string("meta record: ") + field +
+                             " length " + std::to_string(len) +
+                             " exceeds cap");
+  }
+  // Bounds-checked take() before the copy: a truncated record throws here
+  // without allocating.
+  const ByteView b = dec.raw(len);
+  return Bytes(b.begin(), b.end());
+}
+
+constexpr std::uint64_t kLocOffsetBits = 44;
+constexpr std::uint64_t kLocOffsetMask = (std::uint64_t{1} << kLocOffsetBits) - 1;
+// Segment is 19 bits, not 20: bit 63 of the packed locator is reserved for
+// kPinnedLocBit (store/meta_index.h), so a valid spill locator must never
+// set it.
+constexpr std::uint32_t kLocMaxSegment = (std::uint32_t{1} << 19) - 1;
+
+}  // namespace
+
+Bytes encode_meta_record(const MetaRecord& rec) {
+  serialize::Encoder enc;
+  enc.u8(kMetaFormatVersion);
+  enc.raw(ByteView(rec.tag.data(), rec.tag.size()));
+  enc.raw(ByteView(rec.owner.data(), rec.owner.size()));
+  put_capped(enc, rec.challenge, "challenge");
+  put_capped(enc, rec.wrapped_key, "wrapped_key");
+  enc.raw(ByteView(rec.blob_digest.data(), rec.blob_digest.size()));
+  enc.u64(rec.blob_bytes);
+  enc.u32(rec.blob.segment);
+  enc.u64(rec.blob.offset);
+  enc.u64(rec.blob.length);
+  return enc.take();
+}
+
+MetaRecord decode_meta_record(ByteView data) {
+  serialize::Decoder dec(data);
+  const std::uint8_t version = dec.u8();
+  if (version != kMetaFormatVersion) {
+    throw SerializationError(
+        "meta record: unsupported format version " + std::to_string(version) +
+        " (this build reads version " + std::to_string(kMetaFormatVersion) +
+        ")");
+  }
+  MetaRecord rec;
+  const ByteView tag = dec.raw(rec.tag.size());
+  std::copy(tag.begin(), tag.end(), rec.tag.begin());
+  const ByteView owner = dec.raw(rec.owner.size());
+  std::copy(owner.begin(), owner.end(), rec.owner.begin());
+  rec.challenge = take_capped(dec, "challenge");
+  rec.wrapped_key = take_capped(dec, "wrapped_key");
+  const ByteView digest = dec.raw(rec.blob_digest.size());
+  std::copy(digest.begin(), digest.end(), rec.blob_digest.begin());
+  rec.blob_bytes = dec.u64();
+  rec.blob.segment = dec.u32();
+  rec.blob.offset = dec.u64();
+  rec.blob.length = dec.u64();
+  dec.expect_done();
+  return rec;
+}
+
+Bytes meta_seal_aad() {
+  serialize::Encoder enc;
+  enc.str(kMetaDomain);
+  enc.u8(kMetaFormatVersion);
+  return enc.take();
+}
+
+std::optional<std::uint64_t> pack_loc(const BlobRef& ref) {
+  if (ref.segment > kLocMaxSegment || ref.offset > kLocOffsetMask) {
+    return std::nullopt;
+  }
+  return (static_cast<std::uint64_t>(ref.segment) << kLocOffsetBits) |
+         ref.offset;
+}
+
+BlobRef unpack_loc(std::uint64_t loc, std::uint64_t length) {
+  BlobRef ref;
+  ref.segment = static_cast<std::uint32_t>(loc >> kLocOffsetBits);
+  ref.offset = loc & kLocOffsetMask;
+  ref.length = length;
+  return ref;
+}
+
+}  // namespace speed::store

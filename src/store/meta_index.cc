@@ -1,0 +1,203 @@
+#include "store/meta_index.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace speed::store {
+namespace {
+
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t cap = 8;
+  while (cap < n) cap <<= 1;
+  return cap;
+}
+
+}  // namespace
+
+MetaIndex::MetaIndex(std::size_t initial_capacity)
+    : table_(round_up_pow2(std::max<std::size_t>(initial_capacity, 8))) {}
+
+std::uint64_t MetaIndex::fingerprint(const serialize::Tag& tag) {
+  std::uint64_t fp = 0;
+  for (int i = 7; i >= 0; --i) {
+    fp = (fp << 8) | tag[static_cast<std::size_t>(i)];
+  }
+  return fp == 0 ? 1 : fp;
+}
+
+std::uint64_t MetaIndex::mix(std::uint64_t x) {
+  // splitmix64 finalizer: tag bytes are uniform already, but the index must
+  // stay well-behaved for the adversarial fingerprints the differential
+  // harness feeds it.
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+std::size_t MetaIndex::probe_distance(const std::vector<MetaSlot>& t,
+                                      std::size_t idx) {
+  const std::size_t mask = t.size() - 1;
+  return (idx - home(t[idx].fp, t.size())) & mask;
+}
+
+MetaSlot* MetaIndex::find_loc(std::uint64_t fp, std::uint64_t loc) {
+  return find(fp, [loc](const MetaSlot& s) { return s.loc == loc; });
+}
+
+void MetaIndex::insert_into(std::vector<MetaSlot>& t, MetaSlot slot) {
+  const std::size_t mask = t.size() - 1;
+  std::size_t idx = home(slot.fp, t.size());
+  std::size_t dist = 0;
+  while (true) {
+    MetaSlot& s = t[idx];
+    if (s.fp == 0) {
+      s = slot;
+      return;
+    }
+    // Robin-hood displacement: the richer entry (shorter probe) yields its
+    // slot, bounding probe-length variance.
+    const std::size_t cur = probe_distance(t, idx);
+    if (cur < dist) {
+      std::swap(slot, s);
+      dist = cur;
+    }
+    idx = (idx + 1) & mask;
+    ++dist;
+  }
+}
+
+bool MetaIndex::erase_from(std::vector<MetaSlot>& t, std::uint64_t fp,
+                           std::uint64_t loc) {
+  if (t.empty()) return false;
+  const std::size_t mask = t.size() - 1;
+  std::size_t idx = home(fp, t.size());
+  for (std::size_t dist = 0; dist < t.size(); ++dist) {
+    MetaSlot& s = t[idx];
+    if (s.fp == 0) return false;
+    if (probe_distance(t, idx) < dist) return false;
+    if (s.fp == fp && s.loc == loc) {
+      // Backward-shift deletion keeps probe sequences tombstone-free.
+      std::size_t hole = idx;
+      while (true) {
+        const std::size_t next = (hole + 1) & mask;
+        if (t[next].fp == 0 || probe_distance(t, next) == 0) break;
+        t[hole] = t[next];
+        hole = next;
+      }
+      t[hole].fp = 0;
+      return true;
+    }
+    idx = (idx + 1) & mask;
+  }
+  return false;
+}
+
+void MetaIndex::insert(const MetaSlot& slot) {
+  step_migration(kMigrateBatch);
+  maybe_grow();
+  insert_into(table_, slot);
+  ++size_;
+}
+
+bool MetaIndex::erase_loc(std::uint64_t fp, std::uint64_t loc) {
+  step_migration(kMigrateBatch);
+  if (erase_from(table_, fp, loc) || erase_from(old_, fp, loc)) {
+    --size_;
+    return true;
+  }
+  return false;
+}
+
+void MetaIndex::step_migration(std::size_t n) {
+  while (n > 0 && !old_.empty()) {
+    // Skip slots already drained (cheap; amortized once per migration).
+    while (old_cursor_ < old_.size() && old_[old_cursor_].fp == 0) {
+      ++old_cursor_;
+    }
+    if (old_cursor_ >= old_.size()) break;
+    // Extract via backward-shift deletion, NOT by zeroing in place: zeroing
+    // would punch a hole mid-probe-chain and make entries that probe through
+    // this slot unreachable until they migrate. erase_from repairs the chain,
+    // so lookups and erases against the draining table stay correct at every
+    // intermediate state (the shift may refill this very slot — the cursor
+    // deliberately does not advance, it re-extracts until the slot stays
+    // empty, meaning no remaining chain needs it).
+    const MetaSlot copy = old_[old_cursor_];
+    erase_from(old_, copy.fp, copy.loc);
+    insert_into(table_, copy);
+    --n;
+  }
+  if (!old_.empty() && old_cursor_ >= old_.size()) {
+    std::vector<MetaSlot>().swap(old_);  // release the drained table
+    old_cursor_ = 0;
+  }
+}
+
+void MetaIndex::drain_all() {
+  while (!old_.empty()) step_migration(old_.size() + 1);
+}
+
+void MetaIndex::maybe_grow() {
+  if ((size_ + 1) * kMaxLoadDen <= table_.size() * kMaxLoadNum) return;
+  // Finish any in-flight migration before moving the current table aside.
+  drain_all();
+  std::size_t cap = table_.size();
+  while ((size_ + 1) * kMaxLoadDen > cap * kMaxLoadNum) cap <<= 1;
+  old_ = std::move(table_);
+  old_cursor_ = 0;
+  table_.assign(cap, MetaSlot{});
+}
+
+std::size_t MetaIndex::max_probe_length() const {
+  std::size_t worst = 0;
+  for (const std::vector<MetaSlot>* t : {&table_, &old_}) {
+    for (std::size_t i = 0; i < t->size(); ++i) {
+      if ((*t)[i].fp != 0) worst = std::max(worst, probe_distance(*t, i));
+    }
+  }
+  return worst;
+}
+
+std::string MetaIndex::check_invariants() const {
+  std::size_t live = 0;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> keys;
+  for (const std::vector<MetaSlot>* t : {&table_, &old_}) {
+    for (std::size_t i = 0; i < t->size(); ++i) {
+      const MetaSlot& s = (*t)[i];
+      if (s.fp == 0) continue;
+      ++live;
+      keys.emplace_back(s.fp, s.loc);
+      // Reachability: walking from the entry's home bucket must arrive at
+      // slot i without crossing an empty slot or a robin-hood early exit.
+      const std::size_t mask = t->size() - 1;
+      std::size_t idx = home(s.fp, t->size());
+      for (std::size_t dist = 0;; ++dist) {
+        if (dist >= t->size()) return "entry unreachable (probe exhausted)";
+        if (idx == i) break;
+        if ((*t)[idx].fp == 0) return "entry unreachable (empty slot)";
+        if (probe_distance(*t, idx) < dist) {
+          return "entry unreachable (robin-hood order violated)";
+        }
+        idx = (idx + 1) & mask;
+      }
+    }
+  }
+  if (live != size_) return "size() disagrees with live slot count";
+  std::sort(keys.begin(), keys.end());
+  if (std::adjacent_find(keys.begin(), keys.end()) != keys.end()) {
+    return "duplicate (fp, loc) identity";
+  }
+  if (size_ >= table_.size() + (old_.empty() ? 0 : old_.size())) {
+    return "table saturated (insert would not terminate)";
+  }
+  if (old_.empty() &&
+      size_ * kMaxLoadDen > table_.size() * kMaxLoadNum + kMaxLoadDen) {
+    return "load factor above bound outside migration";
+  }
+  return {};
+}
+
+}  // namespace speed::store

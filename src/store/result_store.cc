@@ -1,6 +1,8 @@
 #include "store/result_store.h"
 
 #include <algorithm>
+#include <limits>
+#include <utility>
 
 #include "common/error.h"
 #include "serialize/codec.h"
@@ -21,12 +23,14 @@ using serialize::Tag;
 
 namespace {
 
-/// Approximate trusted bytes per dictionary entry: challenge + wrapped key +
-/// digest + bookkeeping. Used for EPC accounting.
-std::uint64_t meta_bytes(const Bytes& challenge, const Bytes& wrapped_key) {
-  return challenge.size() + wrapped_key.size() + /*digest*/ 32 +
-         /*tag key + bookkeeping*/ 96;
-}
+/// Resident-memory cost model of one *decoded* record held in the cache or
+/// pinned tier: tag + owner + digest + locator + container overhead, plus
+/// the variable fields. Deliberately on the generous side — the EPC charge
+/// must never undercount real trusted memory.
+constexpr std::uint64_t kMetaRecordOverheadBytes = 128;
+
+/// Cost of one interned owner slot (id + refcount + lookup entry).
+constexpr std::uint64_t kOwnerSlotBytes = 80;
 
 std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) {
   return (a + b - 1) / b;
@@ -122,9 +126,20 @@ ResultStore::ResultStore(sgx::Platform& platform, StoreConfig config)
                                           config_.shards));
   shard_max_entries_ = static_cast<std::size_t>(
       std::max<std::uint64_t>(1, ceil_div(config_.max_entries, config_.shards)));
+  const std::uint64_t cache_budget =
+      config_.resident_meta_bytes == 0
+          ? 0
+          : std::max<std::uint64_t>(
+                1, ceil_div(config_.resident_meta_bytes, config_.shards));
   shards_.reserve(config_.shards);
   for (std::size_t i = 0; i < config_.shards; ++i) {
-    shards_.push_back(std::make_unique<Shard>(*enclave_));
+    shards_.push_back(std::make_unique<Shard>(*enclave_, cache_budget));
+  }
+  // Charge the initial index tables before anything is inserted, so the
+  // leak-check baseline (EPC after construction) already includes them.
+  for (const auto& shard : shards_) {
+    MutexLock lock(shard->mu);
+    sync_trusted_charge_locked(*shard);
   }
   recover_from_backend();
   telemetry_handle_ = telemetry::Registry::global().add_collector(
@@ -157,11 +172,26 @@ ResultStore::ResultStore(sgx::Platform& platform, StoreConfig config)
           sink.counter("speed_store_corrupt_blobs_total",
                        "Host-side blob corruption detected on GET", labels,
                        s.corrupt_blobs.value());
+          sink.counter("speed_store_meta_spills_total",
+                       "Sealed metadata records written to the spill tier",
+                       labels, s.meta_spills.value());
+          sink.counter("speed_store_meta_fault_ins_total",
+                       "Cold metadata records faulted back into the enclave",
+                       labels, s.meta_fault_ins.value());
           sink.gauge("speed_store_entries", "Live dictionary entries", labels,
                      s.entries.value());
           sink.gauge("speed_store_ciphertext_bytes",
                      "Untrusted arena bytes in use", labels,
                      s.ciphertext_bytes.value());
+          sink.gauge("speed_store_meta_resident_bytes",
+                     "Trusted bytes charged for metadata (index+cache+pins)",
+                     labels, s.meta_resident_bytes.value());
+          sink.gauge("speed_store_meta_index_bytes",
+                     "Slot-table share of the resident metadata charge",
+                     labels, s.meta_index_bytes.value());
+          sink.gauge("speed_store_meta_pinned_records",
+                     "Entries pinned resident (spill write failed)", labels,
+                     s.meta_pinned_records.value());
           sink.histogram("speed_store_get_ns",
                          "In-enclave GET service latency", labels, s.get_ns);
           sink.histogram("speed_store_put_ns",
@@ -224,9 +254,9 @@ ResultStore::ResultStore(sgx::Platform& platform, StoreConfig config)
 }
 
 ResultStore::Shard& ResultStore::shard_for(const Tag& tag) {
-  // Bytes [8, 16) of the tag — disjoint from the bytes TagHash feeds the
-  // per-shard dictionaries — so shard choice and bucket choice stay
-  // independent. Tags are SHA-256 outputs, hence uniform.
+  // Bytes [8, 16) of the tag — disjoint from the bytes MetaIndex fingerprints
+  // ([0, 8)) — so shard choice and bucket choice stay independent. Tags are
+  // SHA-256 outputs, hence uniform.
   std::uint64_t v;
   __builtin_memcpy(&v, tag.data() + 8, sizeof(v));
   return *shards_[v % shards_.size()];
@@ -316,6 +346,307 @@ SyncResponse ResultStore::sync(const SyncRequest& req) {
   return enclave_->ecall([&] { return sync_trusted(req); });
 }
 
+// --------------------------------------------------- metadata two-tier core
+
+std::uint64_t ResultStore::record_bytes(const MetaRecord& rec) {
+  return kMetaRecordOverheadBytes + rec.challenge.size() +
+         rec.wrapped_key.size();
+}
+
+std::uint32_t ResultStore::next_clock_locked(Shard& shard) {
+  if (shard.clock == std::numeric_limits<std::uint32_t>::max()) {
+    // Rank-compress every live stamp so relative recency survives the wrap
+    // (reached once per 2^32 touches per shard; O(n log n) then).
+    std::vector<std::uint32_t> stamps;
+    stamps.reserve(shard.index.size());
+    shard.index.for_each(
+        [&](const MetaSlot& s) { stamps.push_back(s.clock); });
+    std::sort(stamps.begin(), stamps.end());
+    stamps.erase(std::unique(stamps.begin(), stamps.end()), stamps.end());
+    shard.index.for_each([&](MetaSlot& s) {
+      s.clock = static_cast<std::uint32_t>(
+          std::lower_bound(stamps.begin(), stamps.end(), s.clock) -
+          stamps.begin());
+    });
+    shard.clock = static_cast<std::uint32_t>(stamps.size());
+  }
+  return ++shard.clock;
+}
+
+std::uint32_t ResultStore::owner_intern_locked(Shard& shard,
+                                               const serialize::AppId& app) {
+  const auto it = shard.owner_lookup.find(app);
+  if (it != shard.owner_lookup.end()) {
+    ++shard.owners[it->second].refs;
+    return it->second;
+  }
+  std::uint32_t ref;
+  if (!shard.owner_free.empty()) {
+    ref = shard.owner_free.back();
+    shard.owner_free.pop_back();
+  } else {
+    ref = static_cast<std::uint32_t>(shard.owners.size());
+    shard.owners.emplace_back();
+  }
+  shard.owners[ref].id = app;
+  shard.owners[ref].refs = 1;
+  shard.owner_lookup.emplace(app, ref);
+  return ref;
+}
+
+void ResultStore::owner_release_locked(Shard& shard, std::uint32_t ref) {
+  OwnerSlot& slot = shard.owners[ref];
+  if (--slot.refs == 0) {
+    shard.owner_lookup.erase(slot.id);
+    shard.owner_free.push_back(ref);
+  }
+}
+
+void ResultStore::cache_put_locked(Shard& shard, std::uint64_t loc,
+                                   MetaRecord rec) {
+  if (shard.cache_budget == 0) return;
+  const auto it = shard.cache.find(loc);
+  if (it != shard.cache.end()) {
+    shard.cache_lru.splice(shard.cache_lru.begin(), shard.cache_lru,
+                           it->second.lru_it);
+    return;
+  }
+  shard.cache_bytes += record_bytes(rec);
+  shard.cache_lru.push_front(loc);
+  shard.cache.emplace(loc, CachedMeta{std::move(rec), shard.cache_lru.begin()});
+  // Evict cold decoded records down to budget, always keeping the newest
+  // (its caller is about to use it).
+  while (shard.cache_bytes > shard.cache_budget && shard.cache.size() > 1) {
+    const std::uint64_t victim = shard.cache_lru.back();
+    const auto vit = shard.cache.find(victim);
+    shard.cache_bytes -= record_bytes(vit->second.rec);
+    shard.cache_lru.pop_back();
+    shard.cache.erase(vit);
+  }
+}
+
+const MetaRecord* ResultStore::cache_get_locked(Shard& shard,
+                                                std::uint64_t loc) {
+  const auto it = shard.cache.find(loc);
+  if (it == shard.cache.end()) return nullptr;
+  shard.cache_lru.splice(shard.cache_lru.begin(), shard.cache_lru,
+                         it->second.lru_it);
+  return &it->second.rec;
+}
+
+void ResultStore::cache_erase_locked(Shard& shard, std::uint64_t loc) {
+  const auto it = shard.cache.find(loc);
+  if (it == shard.cache.end()) return;
+  shard.cache_bytes -= record_bytes(it->second.rec);
+  shard.cache_lru.erase(it->second.lru_it);
+  shard.cache.erase(it);
+}
+
+std::optional<MetaRecord> ResultStore::load_record_locked(
+    Shard& shard, const MetaSlot& slot) {
+  if (slot.loc & kPinnedLocBit) {
+    const auto it = shard.pinned.find(slot.loc);
+    if (it == shard.pinned.end()) return std::nullopt;
+    return it->second;
+  }
+  if (const MetaRecord* cached = cache_get_locked(shard, slot.loc)) {
+    return *cached;
+  }
+  // Fault-in: read the sealed record back, unseal under the metadata AAD,
+  // decode. Any failure (host deleted/corrupted/swapped the spill blob)
+  // reports "unreadable" — never a forged record.
+  const auto sealed = backend_->get_blob(unpack_loc(slot.loc, slot.spill_len));
+  if (!sealed.has_value()) return std::nullopt;
+  const auto plain = enclave_->unseal(meta_seal_aad(), *sealed);
+  if (!plain.has_value()) return std::nullopt;
+  MetaRecord rec;
+  try {
+    rec = decode_meta_record(*plain);
+  } catch (const SerializationError&) {
+    return std::nullopt;
+  }
+  shard.meta_fault_ins.inc();
+  std::optional<MetaRecord> out = rec;
+  cache_put_locked(shard, slot.loc, std::move(rec));
+  sync_trusted_charge_locked(shard);
+  return out;
+}
+
+std::optional<ResultStore::Found> ResultStore::find_entry_locked(
+    Shard& shard, const Tag& tag) {
+  const std::uint64_t fp = MetaIndex::fingerprint(tag);
+  // The probe can pass over entries whose spill record the host destroyed;
+  // those are dropped and the probe restarted (a drop invalidates slot
+  // pointers). Each retry removes at least one entry, so this terminates.
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> unreadable;
+    MetaRecord rec;
+    MetaSlot* slot = shard.index.find(fp, [&](const MetaSlot& s) {
+      shard.mu.assert_held();
+      auto loaded = load_record_locked(shard, s);
+      if (!loaded.has_value()) {
+        unreadable.emplace_back(s.fp, s.loc);
+        return false;
+      }
+      if (loaded->tag != tag) return false;  // fingerprint collision
+      rec = std::move(*loaded);
+      return true;
+    });
+    if (unreadable.empty()) {
+      if (slot == nullptr) return std::nullopt;
+      return Found{slot, std::move(rec)};
+    }
+    for (const auto& [ufp, uloc] : unreadable) {
+      drop_unreadable_locked(shard, ufp, uloc);
+    }
+  }
+  return std::nullopt;
+}
+
+void ResultStore::drop_unreadable_locked(Shard& shard, std::uint64_t fp,
+                                         std::uint64_t loc) {
+  MetaSlot* slot = shard.index.find_loc(fp, loc);
+  if (slot == nullptr) return;
+  // The record (and with it the result blob's ref) is gone, so accounting is
+  // released from resident slot fields alone; the orphaned result blob waits
+  // for compaction. A durable store's WAL still holds the insert — recovery
+  // resurrects the entry with a fresh spill record.
+  shard.corrupt_blobs.inc();
+  quota_.release(shard.owners[slot->owner_ref].id, slot->blob_bytes);
+  owner_release_locked(shard, slot->owner_ref);
+  shard.ciphertext_bytes.sub(static_cast<std::int64_t>(slot->blob_bytes));
+  shard.entries.sub(1);
+  if (loc & kPinnedLocBit) {
+    const auto it = shard.pinned.find(loc);
+    if (it != shard.pinned.end()) {
+      shard.pinned_bytes -= record_bytes(it->second);
+      shard.pinned.erase(it);
+    }
+  } else {
+    cache_erase_locked(shard, loc);
+  }
+  shard.index.erase_loc(fp, loc);
+  sync_trusted_charge_locked(shard);
+}
+
+void ResultStore::erase_entry_locked(Shard& shard, const MetaSlot& slot,
+                                     const MetaRecord& rec, bool log_wal) {
+  if (log_wal && backend_->durable() &&
+      !degraded_.load(std::memory_order_relaxed)) {
+    try {
+      WalRecord wal;
+      wal.op = WalRecord::Op::kErase;
+      wal.tag = rec.tag;
+      wal_append_record(wal);
+    } catch (const BackendWriteError&) {
+      // The in-memory erase still proceeds. A recovered store may resurrect
+      // the entry; if its blob is gone by then, note_blob() drops it.
+      enter_degraded();
+    }
+  }
+  backend_->delete_blob(rec.blob);
+  if (slot.loc & kPinnedLocBit) {
+    const auto it = shard.pinned.find(slot.loc);
+    if (it != shard.pinned.end()) {
+      shard.pinned_bytes -= record_bytes(it->second);
+      shard.pinned.erase(it);
+    }
+  } else {
+    backend_->delete_blob(unpack_loc(slot.loc, slot.spill_len));
+    cache_erase_locked(shard, slot.loc);
+  }
+  shard.ciphertext_bytes.sub(static_cast<std::int64_t>(rec.blob_bytes));
+  quota_.release(rec.owner, rec.blob_bytes);
+  owner_release_locked(shard, slot.owner_ref);
+  shard.index.erase_loc(slot.fp, slot.loc);
+  shard.entries.sub(1);
+  sync_trusted_charge_locked(shard);
+}
+
+bool ResultStore::evict_one_locked(Shard& shard) {
+  while (shard.index.size() > 0) {
+    const bool lfu = config_.eviction == StoreConfig::Eviction::kLfu;
+    bool found = false;
+    std::uint64_t best_key = 0;
+    std::uint64_t fp = 0;
+    std::uint64_t loc = 0;
+    // kLru: oldest recency stamp. kLfu: fewest hits, ties toward oldest
+    // stamp — lexicographic (hits, clock), packed into one u64 key.
+    shard.index.for_each([&](const MetaSlot& s) {
+      const std::uint64_t key =
+          lfu ? (static_cast<std::uint64_t>(s.hits) << 32) | s.clock
+              : static_cast<std::uint64_t>(s.clock);
+      if (!found || key < best_key) {
+        found = true;
+        best_key = key;
+        fp = s.fp;
+        loc = s.loc;
+      }
+    });
+    if (!found) return false;
+    MetaSlot* slot = shard.index.find_loc(fp, loc);
+    if (slot == nullptr) return false;
+    const MetaSlot victim = *slot;
+    const auto rec = load_record_locked(shard, victim);
+    if (!rec.has_value()) {
+      // Unreadable victim: drop it (which frees space too) and rescan.
+      drop_unreadable_locked(shard, fp, loc);
+      continue;
+    }
+    erase_entry_locked(shard, victim, *rec, /*log_wal=*/true);
+    shard.evictions.inc();
+    return true;
+  }
+  return false;
+}
+
+void ResultStore::evict_for_space_locked(Shard& shard,
+                                         std::uint64_t incoming_bytes) {
+  while (shard.index.size() > 0 &&
+         static_cast<std::uint64_t>(shard.ciphertext_bytes.value()) +
+                 incoming_bytes >
+             shard_capacity_bytes_) {
+    if (!evict_one_locked(shard)) break;
+  }
+}
+
+std::pair<std::uint64_t, std::uint16_t> ResultStore::spill_record(
+    const MetaRecord& rec) {
+  const Bytes sealed = enclave_->seal(meta_seal_aad(), encode_meta_record(rec));
+  const BlobRef ref = backend_->put_blob(sealed);  // may throw
+  const auto packed = pack_loc(ref);
+  if (!packed.has_value() ||
+      sealed.size() > std::numeric_limits<std::uint16_t>::max()) {
+    // Locator outside the packable range (not produced by in-tree backends):
+    // treat like a failed write so the caller pins or rejects.
+    backend_->delete_blob(ref);
+    throw BackendWriteError("meta spill locator unrepresentable");
+  }
+  return {*packed, static_cast<std::uint16_t>(sealed.size())};
+}
+
+std::uint64_t ResultStore::pin_record_locked(Shard& shard, MetaRecord rec) {
+  const std::uint64_t loc = kPinnedLocBit | shard.next_pin++;
+  shard.pinned_bytes += record_bytes(rec);
+  shard.pinned.emplace(loc, std::move(rec));
+  return loc;
+}
+
+void ResultStore::sync_trusted_charge_locked(Shard& shard) {
+  const std::uint64_t owner_bytes =
+      (shard.owners.size() - shard.owner_free.size()) * kOwnerSlotBytes;
+  shard.trusted_bytes = shard.index.capacity_bytes() + shard.cache_bytes +
+                        shard.pinned_bytes + owner_bytes;
+  shard.trusted_charge.resize(shard.trusted_bytes);
+  shard.meta_resident_bytes.set(
+      static_cast<std::int64_t>(shard.trusted_bytes));
+  shard.meta_index_bytes.set(
+      static_cast<std::int64_t>(shard.index.capacity_bytes()));
+  shard.meta_pinned_records.set(static_cast<std::int64_t>(shard.pinned.size()));
+}
+
+// ----------------------------------------------------------- request paths
+
 GetResponse ResultStore::get_trusted(const GetRequest& req) {
   Shard& shard = shard_for(req.tag);
   shard.get_requests.inc();
@@ -327,34 +658,36 @@ GetResponse ResultStore::get_trusted(const GetRequest& req) {
   // section — that is the work the lock protects.
   sgx::charge_wait(platform_.cost_model(),
                    platform_.cost_model().store_service_ns);
-  const auto it = shard.dict.find(req.tag);
-  if (it == shard.dict.end()) return resp;
+  auto found = find_entry_locked(shard, req.tag);
+  if (!found.has_value()) return resp;
 
-  MetaEntry& meta = it->second;
-  std::optional<Bytes> blob = backend_->get_blob(meta.ref);
+  std::optional<Bytes> blob = backend_->get_blob(found->rec.blob);
   if (!blob.has_value()) {
     // Host deleted the ciphertext from under us: degrade to a miss and drop
     // the orphaned metadata.
     shard.corrupt_blobs.inc();
-    erase_locked(shard, req.tag);
+    erase_entry_locked(shard, *found->slot, found->rec, /*log_wal=*/true);
     return resp;
   }
   // Verify the untrusted blob against the trusted digest before serving it
   // (the "authentication MAC" kept in the dictionary entry, §IV-B).
   const auto digest = crypto::Sha256::digest(*blob);
   if (!ct_equal(ByteView(digest.data(), digest.size()),
-                ByteView(meta.blob_digest.data(), meta.blob_digest.size()))) {
+                ByteView(found->rec.blob_digest.data(),
+                         found->rec.blob_digest.size()))) {
     shard.corrupt_blobs.inc();
-    erase_locked(shard, req.tag);
+    erase_entry_locked(shard, *found->slot, found->rec, /*log_wal=*/true);
     return resp;
   }
 
   shard.hits.inc();
-  ++meta.hits;
-  touch_lru_locked(shard, meta, req.tag);
+  if (found->slot->hits < std::numeric_limits<std::uint16_t>::max()) {
+    ++found->slot->hits;
+  }
+  found->slot->clock = next_clock_locked(shard);
   resp.found = true;
-  resp.entry.challenge = meta.challenge;
-  resp.entry.wrapped_key = meta.wrapped_key;
+  resp.entry.challenge = std::move(found->rec.challenge);
+  resp.entry.wrapped_key = std::move(found->rec.wrapped_key);
   resp.entry.result_ct = std::move(*blob);
   return resp;
 }
@@ -374,7 +707,7 @@ PutStatus ResultStore::insert_trusted(const Tag& tag,
   MutexLock lock(shard.mu);
   sgx::charge_wait(platform_.cost_model(),
                    platform_.cost_model().store_service_ns);
-  if (shard.dict.contains(tag)) {
+  if (find_entry_locked(shard, tag).has_value()) {
     // Concurrent initial computations of the same tag: first write wins; the
     // stored ciphertext is decryptable by every eligible application anyway
     // (§IV-B Remark).
@@ -383,7 +716,10 @@ PutStatus ResultStore::insert_trusted(const Tag& tag,
   }
   const std::uint64_t blob_bytes = entry.result_ct.size();
   if (blob_bytes > shard_capacity_bytes_ ||
-      shard.dict.size() >= shard_max_entries_ ||
+      blob_bytes > std::numeric_limits<std::uint32_t>::max() ||
+      entry.challenge.size() > kMaxMetaVarBytes ||
+      entry.wrapped_key.size() > kMaxMetaVarBytes ||
+      shard.index.size() >= shard_max_entries_ ||
       degraded_.load(std::memory_order_relaxed)) {
     return PutStatus::kRejected;
   }
@@ -403,48 +739,62 @@ PutStatus ResultStore::insert_trusted(const Tag& tag,
     return PutStatus::kRejected;
   }
 
-  MetaEntry meta;
-  meta.challenge = entry.challenge;
-  meta.wrapped_key = entry.wrapped_key;
-  meta.blob_digest = crypto::Sha256::digest(entry.result_ct);
-  meta.blob_bytes = blob_bytes;
-  meta.owner = owner;
+  MetaRecord rec;
+  rec.tag = tag;
+  rec.owner = owner;
+  rec.challenge = entry.challenge;
+  rec.wrapped_key = entry.wrapped_key;
+  rec.blob_digest = crypto::Sha256::digest(entry.result_ct);
+  rec.blob_bytes = blob_bytes;
 
-  // Blob first, WAL record second: a crash between the two leaves an
-  // unreferenced blob (reclaimed by compaction), never a record whose blob
-  // is missing. The backend syncs segments before the log for the same
-  // reason (file_backend.cc).
+  // Result blob first, spill record second, WAL record last: a crash between
+  // any two leaves unreferenced blobs (reclaimed by compaction), never an
+  // acknowledged record whose data is missing. The backend syncs segments
+  // before the log for the same reason (file_backend.cc).
   bool blob_placed = false;
+  bool spill_placed = false;
+  std::uint64_t loc = 0;
+  std::uint16_t spill_len = 0;
   try {
-    meta.ref = backend_->put_blob(entry.result_ct);
+    rec.blob = backend_->put_blob(entry.result_ct);
     blob_placed = true;
+    std::tie(loc, spill_len) = spill_record(rec);
+    spill_placed = true;
     if (backend_->durable()) {
-      WalRecord rec;
-      rec.op = WalRecord::Op::kInsert;
-      rec.tag = tag;
-      rec.owner = owner;
-      rec.challenge = meta.challenge;
-      rec.wrapped_key = meta.wrapped_key;
-      rec.blob_digest = meta.blob_digest;
-      rec.blob_bytes = blob_bytes;
-      rec.ref = meta.ref;
-      wal_append_record(rec);
+      WalRecord wal;
+      wal.op = WalRecord::Op::kInsert;
+      wal.tag = tag;
+      wal.owner = owner;
+      wal.challenge = rec.challenge;
+      wal.wrapped_key = rec.wrapped_key;
+      wal.blob_digest = rec.blob_digest;
+      wal.blob_bytes = blob_bytes;
+      wal.ref = rec.blob;
+      wal_append_record(wal);
     }
   } catch (const BackendWriteError&) {
     enter_degraded();
-    if (blob_placed) backend_->delete_blob(meta.ref);
+    if (spill_placed) backend_->delete_blob(unpack_loc(loc, spill_len));
+    if (blob_placed) backend_->delete_blob(rec.blob);
     quota_.release(owner, blob_bytes);
     return PutStatus::kRejected;
   }
 
-  shard.lru.push_front(tag);
-  meta.lru_it = shard.lru.begin();
-  shard.trusted_bytes += meta_bytes(meta.challenge, meta.wrapped_key);
-  shard.dict.emplace(tag, std::move(meta));
+  MetaSlot slot;
+  slot.fp = MetaIndex::fingerprint(tag);
+  slot.loc = loc;
+  slot.clock = next_clock_locked(shard);
+  slot.blob_bytes = static_cast<std::uint32_t>(blob_bytes);
+  slot.owner_ref = owner_intern_locked(shard, owner);
+  slot.spill_len = spill_len;
+  slot.hits = 0;
+  shard.index.insert(slot);
+  shard.meta_spills.inc();
+  cache_put_locked(shard, loc, std::move(rec));
   shard.stored.inc();
   shard.entries.add(1);
   shard.ciphertext_bytes.add(static_cast<std::int64_t>(blob_bytes));
-  shard.trusted_charge.resize(shard.trusted_bytes);
+  sync_trusted_charge_locked(shard);
   return PutStatus::kStored;
 }
 
@@ -453,14 +803,17 @@ SyncResponse ResultStore::sync_trusted(const SyncRequest& req) {
   // max_entries; this is what a master store replicates to peers. Two-phase
   // across shards: rank a point-in-time (hits, tag) census taken one shard
   // at a time, then re-fetch the winners — entries evicted between phases
-  // are simply skipped, like entries whose blob vanished.
+  // are simply skipped, like entries whose blob vanished. The census is
+  // spill-aware: cold entries are faulted in for their tag, never skipped.
   std::vector<std::pair<std::uint64_t, Tag>> ranked;
   for (const auto& shard : shards_) {
     MutexLock lock(shard->mu);
-    ranked.reserve(ranked.size() + shard->dict.size());
-    for (const auto& [tag, meta] : shard->dict) {
-      ranked.emplace_back(meta.hits, tag);
-    }
+    ranked.reserve(ranked.size() + shard->index.size());
+    shard->index.for_each([&](const MetaSlot& s) {
+      shard->mu.assert_held();
+      const auto rec = load_record_locked(*shard, s);
+      if (rec.has_value()) ranked.emplace_back(s.hits, rec->tag);
+    });
   }
   std::sort(ranked.begin(), ranked.end(),
             [](const auto& a, const auto& b) { return a.first > b.first; });
@@ -473,17 +826,16 @@ SyncResponse ResultStore::sync_trusted(const SyncRequest& req) {
     const Tag& tag = ranked[i].second;
     Shard& shard = shard_for(tag);
     MutexLock lock(shard.mu);
-    const auto it = shard.dict.find(tag);
-    if (it == shard.dict.end()) continue;
-    const MetaEntry& meta = it->second;
-    std::optional<Bytes> blob = backend_->get_blob(meta.ref);
+    const auto found = find_entry_locked(shard, tag);
+    if (!found.has_value()) continue;
+    std::optional<Bytes> blob = backend_->get_blob(found->rec.blob);
     if (!blob.has_value()) continue;
     SyncEntry e;
     e.tag = tag;
-    e.entry.challenge = meta.challenge;
-    e.entry.wrapped_key = meta.wrapped_key;
+    e.entry.challenge = found->rec.challenge;
+    e.entry.wrapped_key = found->rec.wrapped_key;
     e.entry.result_ct = std::move(*blob);
-    e.hits = meta.hits;
+    e.hits = found->slot->hits;
     resp.entries.push_back(std::move(e));
   }
   return resp;
@@ -507,13 +859,19 @@ std::size_t ResultStore::merge_entries_trusted(
     if (e.hits > 0) {
       // Carry the sender's popularity so LFU eviction and the next sync's
       // hit ranking treat a replicated hot entry as hot, not freshly cold.
-      Shard& shard = shard_for(e.tag);
-      MutexLock lock(shard.mu);
-      const auto it = shard.dict.find(e.tag);
-      if (it != shard.dict.end()) it->second.hits = e.hits;
+      set_hits_trusted(e.tag, e.hits);
     }
   }
   return inserted;
+}
+
+void ResultStore::set_hits_trusted(const Tag& tag, std::uint64_t hits) {
+  Shard& shard = shard_for(tag);
+  MutexLock lock(shard.mu);
+  const auto found = find_entry_locked(shard, tag);
+  if (!found.has_value()) return;
+  found->slot->hits = static_cast<std::uint16_t>(std::min<std::uint64_t>(
+      hits, std::numeric_limits<std::uint16_t>::max()));
 }
 
 // ----------------------------------------------------------- cluster plane
@@ -537,13 +895,19 @@ serialize::PullResponse ResultStore::pull_trusted(
   // discipline as sync_trusted), then fetch the first max_entries in tag
   // order. The lexicographic cursor makes the scan resumable: a rejoining
   // node that crashed mid-pull restarts from its last `next` and never
-  // re-transfers what it already merged.
+  // re-transfers what it already merged. Spill-aware: the census faults in
+  // cold entries for their tags, so anti-entropy never silently skips an
+  // entry just because it went cold.
   std::vector<Tag> tags;
   for (const auto& shard : shards_) {
     MutexLock lock(shard->mu);
-    for (const auto& [tag, meta] : shard->dict) {
-      if (!req.resume || tag > req.after) tags.push_back(tag);
-    }
+    shard->index.for_each([&](const MetaSlot& s) {
+      shard->mu.assert_held();
+      const auto rec = load_record_locked(*shard, s);
+      if (rec.has_value() && (!req.resume || rec->tag > req.after)) {
+        tags.push_back(rec->tag);
+      }
+    });
   }
   std::sort(tags.begin(), tags.end());
 
@@ -554,17 +918,16 @@ serialize::PullResponse ResultStore::pull_trusted(
     const Tag& tag = tags[i];
     Shard& shard = shard_for(tag);
     MutexLock lock(shard.mu);
-    const auto it = shard.dict.find(tag);
-    if (it == shard.dict.end()) continue;  // evicted between phases
-    const MetaEntry& meta = it->second;
-    std::optional<Bytes> blob = backend_->get_blob(meta.ref);
+    const auto found = find_entry_locked(shard, tag);
+    if (!found.has_value()) continue;  // evicted between phases
+    std::optional<Bytes> blob = backend_->get_blob(found->rec.blob);
     if (!blob.has_value()) continue;
     SyncEntry e;
     e.tag = tag;
-    e.entry.challenge = meta.challenge;
-    e.entry.wrapped_key = meta.wrapped_key;
+    e.entry.challenge = found->rec.challenge;
+    e.entry.wrapped_key = found->rec.wrapped_key;
     e.entry.result_ct = std::move(*blob);
-    e.hits = meta.hits;
+    e.hits = found->slot->hits;
     resp.entries.push_back(std::move(e));
     resp.next = tag;
   }
@@ -601,65 +964,6 @@ serialize::MembershipAck ResultStore::membership_trusted(
 ResultStore::ClusterView ResultStore::cluster_view() const {
   MutexLock lock(cluster_mu_);
   return cluster_;
-}
-
-void ResultStore::erase_locked(Shard& shard, const Tag& tag, bool log_wal) {
-  const auto it = shard.dict.find(tag);
-  if (it == shard.dict.end()) return;
-  MetaEntry& meta = it->second;
-  if (log_wal && backend_->durable() &&
-      !degraded_.load(std::memory_order_relaxed)) {
-    try {
-      WalRecord rec;
-      rec.op = WalRecord::Op::kErase;
-      rec.tag = tag;
-      wal_append_record(rec);
-    } catch (const BackendWriteError&) {
-      // The in-memory erase still proceeds. A recovered store may resurrect
-      // the entry; if its blob is gone by then, note_blob() drops it.
-      enter_degraded();
-    }
-  }
-  backend_->delete_blob(meta.ref);
-  shard.ciphertext_bytes.sub(static_cast<std::int64_t>(meta.blob_bytes));
-  quota_.release(meta.owner, meta.blob_bytes);
-  shard.trusted_bytes -= meta_bytes(meta.challenge, meta.wrapped_key);
-  shard.lru.erase(meta.lru_it);
-  shard.dict.erase(it);
-  shard.entries.sub(1);
-  shard.trusted_charge.resize(shard.trusted_bytes);
-}
-
-void ResultStore::evict_for_space_locked(Shard& shard,
-                                         std::uint64_t incoming_bytes) {
-  while (!shard.lru.empty() &&
-         static_cast<std::uint64_t>(shard.ciphertext_bytes.value()) +
-                 incoming_bytes >
-             shard_capacity_bytes_) {
-    Tag victim = shard.lru.back();
-    if (config_.eviction == StoreConfig::Eviction::kLfu) {
-      // Least frequently used, ties broken toward least recently used
-      // (scan backward from the cold end of the recency list).
-      std::uint64_t best_hits = ~0ull;
-      for (auto it = shard.lru.rbegin(); it != shard.lru.rend(); ++it) {
-        const std::uint64_t hits = shard.dict.at(*it).hits;
-        if (hits < best_hits) {
-          best_hits = hits;
-          victim = *it;
-          if (hits == 0) break;  // cannot do better
-        }
-      }
-    }
-    erase_locked(shard, victim);
-    shard.evictions.inc();
-  }
-}
-
-void ResultStore::touch_lru_locked(Shard& shard, MetaEntry& entry,
-                                   const Tag& tag) {
-  shard.lru.erase(entry.lru_it);
-  shard.lru.push_front(tag);
-  entry.lru_it = shard.lru.begin();
 }
 
 // -------------------------------------------------------------- durability
@@ -718,9 +1022,8 @@ void ResultStore::recover_from_backend() {
     for (const auto& shard : shards_) {
       MutexLock lock(shard->mu);
       evict_for_space_locked(*shard, 0);
-      while (shard->dict.size() > shard_max_entries_ && !shard->lru.empty()) {
-        erase_locked(*shard, shard->lru.back());
-        shard->evictions.inc();
+      while (shard->index.size() > shard_max_entries_) {
+        if (!evict_one_locked(*shard)) break;
       }
     }
   });
@@ -734,33 +1037,57 @@ void ResultStore::apply_recovered(const WalRecord& rec) {
   Shard& shard = shard_for(rec.tag);
   MutexLock lock(shard.mu);
   if (rec.op == WalRecord::Op::kErase) {
-    erase_locked(shard, rec.tag, /*log_wal=*/false);
+    if (const auto found = find_entry_locked(shard, rec.tag)) {
+      erase_entry_locked(shard, *found->slot, found->rec, /*log_wal=*/false);
+    }
     ++recovery_info_.erases;
     return;
   }
-  if (shard.dict.contains(rec.tag)) return;  // first write wins, as live
+  if (find_entry_locked(shard, rec.tag).has_value()) {
+    return;  // first write wins, as live
+  }
   if (!backend_->note_blob(rec.ref)) {
     // The record survived but its blob did not (compaction raced a lost
     // erase record): drop the entry rather than recover a guaranteed miss.
     ++recovery_info_.dropped_blobs;
     return;
   }
-  MetaEntry meta;
-  meta.challenge = rec.challenge;
-  meta.wrapped_key = rec.wrapped_key;
-  meta.blob_digest = rec.blob_digest;
-  meta.blob_bytes = rec.blob_bytes;
-  meta.ref = rec.ref;
-  meta.owner = rec.owner;
-  meta.hits = rec.hits;
-  shard.lru.push_front(rec.tag);
-  meta.lru_it = shard.lru.begin();
+  MetaRecord mr;
+  mr.tag = rec.tag;
+  mr.owner = rec.owner;
+  mr.challenge = rec.challenge;
+  mr.wrapped_key = rec.wrapped_key;
+  mr.blob_digest = rec.blob_digest;
+  mr.blob_bytes = rec.blob_bytes;
+  mr.blob = rec.ref;
+
+  MetaSlot slot;
+  slot.fp = MetaIndex::fingerprint(rec.tag);
+  slot.clock = next_clock_locked(shard);
+  slot.blob_bytes = static_cast<std::uint32_t>(rec.blob_bytes);
+  slot.owner_ref = owner_intern_locked(shard, rec.owner);
+  slot.hits = static_cast<std::uint16_t>(std::min<std::uint64_t>(
+      rec.hits, std::numeric_limits<std::uint16_t>::max()));
+  bool is_pinned = false;
+  try {
+    std::tie(slot.loc, slot.spill_len) = spill_record(mr);
+    shard.meta_spills.inc();
+  } catch (const BackendWriteError&) {
+    // Disk already full at recovery time: pin the record resident instead of
+    // losing an acknowledged entry. Recovery itself stays non-degraded — the
+    // rebuilt state is consistent; the next failing *runtime* write will
+    // degrade the store as usual.
+    slot.loc = pin_record_locked(shard, mr);
+    slot.spill_len = 0;
+    is_pinned = true;
+    ++recovery_info_.pinned_records;
+  }
+  shard.index.insert(slot);
+  if (!is_pinned) cache_put_locked(shard, slot.loc, std::move(mr));
   quota_.charge(rec.owner, rec.blob_bytes);
-  shard.trusted_bytes += meta_bytes(meta.challenge, meta.wrapped_key);
   shard.ciphertext_bytes.add(static_cast<std::int64_t>(rec.blob_bytes));
-  shard.dict.emplace(rec.tag, std::move(meta));
   shard.entries.add(1);
-  shard.trusted_charge.resize(shard.trusted_bytes);
+  sync_trusted_charge_locked(shard);
   recovered_entries_.inc();
   ++recovery_info_.inserts;
 }
@@ -781,9 +1108,9 @@ std::uint64_t ResultStore::quota_used(const serialize::AppId& app) const {
 bool ResultStore::corrupt_blob_for_testing(const serialize::Tag& tag) {
   Shard& shard = shard_for(tag);
   MutexLock lock(shard.mu);
-  const auto it = shard.dict.find(tag);
-  if (it == shard.dict.end()) return false;
-  return backend_->corrupt_blob(it->second.ref);
+  const auto found = find_entry_locked(shard, tag);
+  if (!found.has_value()) return false;
+  return backend_->corrupt_blob(found->rec.blob);
 }
 
 ResultStore::Stats ResultStore::stats() const {
@@ -800,6 +1127,14 @@ ResultStore::Stats ResultStore::stats() const {
     s.entries += static_cast<std::uint64_t>(shard->entries.value());
     s.ciphertext_bytes +=
         static_cast<std::uint64_t>(shard->ciphertext_bytes.value());
+    s.meta_spills += shard->meta_spills.value();
+    s.meta_fault_ins += shard->meta_fault_ins.value();
+    s.meta_resident_bytes +=
+        static_cast<std::uint64_t>(shard->meta_resident_bytes.value());
+    s.meta_index_bytes +=
+        static_cast<std::uint64_t>(shard->meta_index_bytes.value());
+    s.meta_pinned_records +=
+        static_cast<std::uint64_t>(shard->meta_pinned_records.value());
   }
   s.backend_write_errors = backend_write_errors_.value();
   return s;
@@ -818,20 +1153,28 @@ Bytes ResultStore::seal_snapshot() {
     MutexLockAll<decltype(get_shard_mu)> locks(shards_.size(), get_shard_mu);
     for (const auto& shard : shards_) shard->mu.assert_held();
 
-    serialize::Encoder enc;
-    std::size_t total = 0;
-    for (const auto& shard : shards_) total += shard->dict.size();
-    enc.u32(static_cast<std::uint32_t>(total));
+    // Spill-aware sweep: fault in every cold record so a snapshot never
+    // silently drops an entry that merely aged out of the resident cache.
+    std::vector<std::pair<MetaRecord, std::uint64_t>> entries;
     for (const auto& shard : shards_) {
-      for (const auto& [tag, meta] : shard->dict) {
-        enc.raw(ByteView(tag.data(), tag.size()));
-        enc.var_bytes(meta.challenge);
-        enc.var_bytes(meta.wrapped_key);
-        enc.raw(ByteView(meta.owner.data(), meta.owner.size()));
-        enc.u64(meta.hits);
-        const auto blob = backend_->get_blob(meta.ref);
-        enc.var_bytes(blob.has_value() ? *blob : Bytes{});
-      }
+      shard->index.for_each([&](const MetaSlot& s) {
+        shard->mu.assert_held();
+        auto rec = load_record_locked(*shard, s);
+        if (rec.has_value()) {
+          entries.emplace_back(std::move(*rec), s.hits);
+        }
+      });
+    }
+    serialize::Encoder enc;
+    enc.u32(static_cast<std::uint32_t>(entries.size()));
+    for (const auto& [rec, hits] : entries) {
+      enc.raw(ByteView(rec.tag.data(), rec.tag.size()));
+      enc.var_bytes(rec.challenge);
+      enc.var_bytes(rec.wrapped_key);
+      enc.raw(ByteView(rec.owner.data(), rec.owner.size()));
+      enc.u64(hits);
+      const auto blob = backend_->get_blob(rec.blob);
+      enc.var_bytes(blob.has_value() ? *blob : Bytes{});
     }
     return enclave_->seal(as_bytes("result-store-snapshot-v1"), enc.view());
   });
@@ -858,10 +1201,9 @@ bool ResultStore::restore_snapshot(ByteView sealed) {
         const std::uint64_t hits = dec.u64();
         entry.result_ct = dec.var_bytes();
         if (insert_trusted(tag, owner, entry, /*enforce_quota=*/false) ==
-            PutStatus::kStored) {
-          Shard& shard = shard_for(tag);
-          MutexLock lock(shard.mu);
-          shard.dict.at(tag).hits = hits;
+                PutStatus::kStored &&
+            hits > 0) {
+          set_hits_trusted(tag, hits);
         }
       }
       dec.expect_done();

@@ -12,32 +12,49 @@
 //     the store cannot read; their digest in the trusted entry lets the
 //     store detect host-side corruption on GET and degrade to a miss.
 //
+// EPC-scale metadata (PR 10): the dictionary itself is two-tiered. The
+// resident tier is a robin-hood open-addressed MetaIndex of fixed 32-byte
+// slots (store/meta_index.h) — fingerprint, packed spill locator, recency
+// clock, hit counter, quota bookkeeping. The full record (tag, owner,
+// challenge, wrapped key, digest, result locator) is sealed with the store
+// enclave's key (store/meta_codec.h) and written to the blob backend at
+// insert time; a bounded per-shard cache (StoreConfig::resident_meta_bytes)
+// keeps hot records decoded, and cold records are *faulted in* — read back,
+// unsealed, verified against the full tag — on demand. The host can destroy
+// a sealed spill record (that entry degrades to a miss, like a corrupted
+// blob) but can never read or forge one. Resident cost per entry is one
+// slot plus a share of the cache instead of hundreds of bytes of node-based
+// map; bench/bench_metadata.cc measures entries per MB of EPC charge.
+//
 // Persistence: the untrusted half lives behind a BlobBackend
 // (store/blob_backend.h). The default is the original in-RAM arena; a
 // durable backend (store/file_backend.h) additionally receives, for every
 // accepted mutation, a metadata WAL record the enclave has sealed and
 // MAC-chained under its sealing key (store/wal_codec.h). A new ResultStore
 // constructed over the same backend replays that log — verifying the chain,
-// truncating any torn tail, and rebuilding the per-shard dictionaries, the
-// QuotaLedger, and the EPC charges — so deduplicated computations survive a
-// store restart without weakening the trust argument: the host only ever
-// holds ciphertext blobs (already AEAD envelopes) and sealed metadata.
-// After the first failed backend write the store goes *degraded*: GETs keep
-// serving, PUTs are rejected (the on-disk log tail can no longer be
-// extended safely), and speed_store_backend_write_errors_total increments.
+// truncating any torn tail, and rebuilding the per-shard index, spill
+// records, the QuotaLedger, and the EPC charges — so deduplicated
+// computations survive a store restart without weakening the trust
+// argument: the host only ever holds ciphertext blobs (already AEAD
+// envelopes) and sealed metadata. After the first failed backend write the
+// store goes *degraded*: GETs keep serving, PUTs are rejected (the on-disk
+// log tail can no longer be extended safely), and
+// speed_store_backend_write_errors_total increments. If a recovery-time
+// spill rewrite fails (disk already full), the record is *pinned* resident
+// instead — recovery never loses an acknowledged entry to ENOSPC.
 //
-// Concurrency: the dictionary, recency/frequency lists, blob arena, and
-// capacity accounting are partitioned into `StoreConfig::shards`
-// tag-addressed shards, memcached-style. A tag maps to exactly one shard
-// (an entry is never split), each shard has its own mutex and eviction
-// state, and GET/PUT for different shards proceed in parallel — which is
-// what lets the per-connection worker threads of StoreTcpServer scale.
-// Per-application quotas stay globally exact through a lock-striped ledger
-// keyed by AppId, and stats() aggregates per-shard atomic counters without
-// taking any shard lock. `shards = 1` (the default) reproduces the original
-// single-mutex store bit-for-bit, and is the baseline the Fig. 6 throughput
-// bench compares against. WAL appends serialize on their own mutex (nested
-// inside at most one shard lock) because the chain orders them anyway.
+// Concurrency: the index, caches, blob arena, and capacity accounting are
+// partitioned into `StoreConfig::shards` tag-addressed shards,
+// memcached-style. A tag maps to exactly one shard (an entry is never
+// split), each shard has its own mutex and eviction state, and GET/PUT for
+// different shards proceed in parallel — which is what lets the
+// per-connection worker threads of StoreTcpServer scale. Per-application
+// quotas stay globally exact through a lock-striped ledger keyed by AppId,
+// and stats() aggregates per-shard atomic counters without taking any shard
+// lock. `shards = 1` (the default) reproduces the original single-mutex
+// store bit-for-bit, and is the baseline the Fig. 6 throughput bench
+// compares against. WAL appends serialize on their own mutex (nested inside
+// at most one shard lock) because the chain orders them anyway.
 //
 // The host-side body parses each framed request and dispatches one ECALL
 // (GET or PUT) that marshals data at the boundary and touches the trusted
@@ -51,6 +68,7 @@
 #include <cstdint>
 #include <list>
 #include <memory>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -60,6 +78,8 @@
 #include "serialize/wire.h"
 #include "sgx/enclave.h"
 #include "store/blob_backend.h"
+#include "store/meta_codec.h"
+#include "store/meta_index.h"
 #include "store/wal_codec.h"
 #include "telemetry/registry.h"
 
@@ -76,6 +96,13 @@ struct StoreConfig {
   /// shards like the arena capacity.
   std::size_t max_entries = 1u << 20;
 
+  /// Trusted-memory budget for the decoded-metadata cache, split across
+  /// shards. Cold entries keep only their 32-byte index slot resident; their
+  /// full record is faulted in from the sealed spill tier on access. 0
+  /// disables the cache entirely (every access faults in — the spill-aware
+  /// replication regression tests run in this mode).
+  std::uint64_t resident_meta_bytes = 8ull * 1024 * 1024;
+
   /// Which entry to sacrifice when the arena is full. kLru suits shifting
   /// working sets; kLfu protects long-lived hot computations (the "popular
   /// results" the §IV-B master store replicates) from scan-like churn.
@@ -85,16 +112,18 @@ struct StoreConfig {
   /// Lock-striping factor. 1 (the default) is the original single-mutex
   /// store; concurrent deployments (StoreTcpServer) want a small power of
   /// two, e.g. 8. Real tags are SHA-256 outputs, so shard assignment (taken
-  /// from tag bytes disjoint from the dictionary's hash bytes) is uniform.
+  /// from tag bytes disjoint from the index's fingerprint bytes) is uniform.
   std::size_t shards = 1;
 
   /// Persistence backend for the untrusted half. Null (the default) gives
   /// the store a private, non-durable in-memory arena — the original
-  /// behavior, with zero WAL/sealing work on the PUT path. A durable
-  /// backend (FileBackend, or MemoryBackend(record_wal=true) for tests)
-  /// turns on WAL logging, and the constructor replays whatever the backend
-  /// already holds — see open_result_store() in store/file_backend.h for
-  /// the one-call file-backed form.
+  /// behavior, with zero WAL work on the PUT path (spill records are still
+  /// written: the memory arena never fails and the paging tier is what
+  /// keeps the EPC footprint flat). A durable backend (FileBackend, or
+  /// MemoryBackend(record_wal=true) for tests) turns on WAL logging, and
+  /// the constructor replays whatever the backend already holds — see
+  /// open_result_store() in store/file_backend.h for the one-call
+  /// file-backed form.
   std::shared_ptr<BlobBackend> backend;
 };
 
@@ -154,6 +183,7 @@ class ResultStore {
 
   /// Persistence: seal the full store state (metadata + blobs) to a blob
   /// only this store enclave (same measurement, same platform) can restore.
+  /// Spill-aware: cold entries are faulted in, never skipped.
   Bytes seal_snapshot();
   bool restore_snapshot(ByteView sealed);
 
@@ -168,6 +198,9 @@ class ResultStore {
     /// Recovered entries dropped because their blob was not actually on
     /// the backend (e.g. a compaction raced a lost erase record).
     std::uint64_t dropped_blobs = 0;
+    /// Recovered entries pinned resident because their spill rewrite failed
+    /// (disk full at recovery time). Nothing acknowledged is lost.
+    std::uint64_t pinned_records = 0;
     bool torn_tail = false;  ///< log ended in a torn/unverifiable record
     double recovery_ms = 0.0;
   };
@@ -210,6 +243,12 @@ class ResultStore {
     std::uint64_t entries = 0;
     std::uint64_t ciphertext_bytes = 0;
     std::uint64_t backend_write_errors = 0;
+    // Metadata paging tier (PR 10).
+    std::uint64_t meta_spills = 0;     ///< sealed records written out
+    std::uint64_t meta_fault_ins = 0;  ///< cold records read back in
+    std::uint64_t meta_resident_bytes = 0;  ///< trusted bytes charged
+    std::uint64_t meta_index_bytes = 0;     ///< slot-table share of the above
+    std::uint64_t meta_pinned_records = 0;  ///< entries pinned (spill failed)
   };
   /// Aggregated over shards from atomic counters — never blocks a GET/PUT.
   Stats stats() const;
@@ -219,18 +258,10 @@ class ResultStore {
   std::size_t shard_count() const { return shards_.size(); }
 
  private:
-  struct TagHash {
-    std::size_t operator()(const serialize::Tag& t) const {
-      std::size_t h;
-      static_assert(sizeof(h) <= 32);
-      __builtin_memcpy(&h, t.data(), sizeof(h));
-      return h;
-    }
-  };
-
   /// AppIds are enclave measurements, not SHA tags; they get their own
-  /// hasher (FNV-1a over the full 32 bytes) instead of borrowing TagHash
-  /// through the layout coincidence that both are 32-byte arrays.
+  /// hasher (FNV-1a over the full 32 bytes) instead of borrowing the tag
+  /// fingerprint through the layout coincidence that both are 32-byte
+  /// arrays.
   struct AppIdHash {
     std::size_t operator()(const serialize::AppId& a) const {
       std::uint64_t h = 14695981039346656037ull;
@@ -242,35 +273,51 @@ class ResultStore {
     }
   };
 
-  /// Trusted dictionary entry: small metadata only; the ciphertext lives in
-  /// the untrusted backend, pinned by `blob_digest` and located by `ref`.
-  struct MetaEntry {
-    Bytes challenge;                   ///< r
-    Bytes wrapped_key;                 ///< [k]
-    crypto::Sha256Digest blob_digest;  ///< integrity pin of [res]
-    std::uint64_t blob_bytes = 0;
-    BlobRef ref;               ///< where the backend keeps [res]
-    serialize::AppId owner{};  ///< for quota accounting
-    std::uint64_t hits = 0;
-    std::list<serialize::Tag>::iterator lru_it;
+  /// A decoded metadata record held in the bounded per-shard cache, keyed
+  /// by the entry's spill locator.
+  struct CachedMeta {
+    MetaRecord rec;
+    std::list<std::uint64_t>::iterator lru_it;
   };
 
-  /// One lock's worth of store: dictionary + recency list + eviction state
-  /// + its slice of the trusted-memory charge. The telemetry cells
-  /// (lock-free relaxed atomics under the hood) feed both the lock-free
-  /// stats() aggregate and the registry's per-shard speed_store_* series;
-  /// everything else is guarded by mu.
+  /// Interned AppId (quota release must never need a fault-in, so owners
+  /// stay resident, refcounted across the shard's entries).
+  struct OwnerSlot {
+    serialize::AppId id{};
+    std::uint32_t refs = 0;
+  };
+
+  /// One lock's worth of store: resident slot index + decoded-record cache
+  /// + pinned overflow + eviction state + its slice of the trusted-memory
+  /// charge. The telemetry cells (lock-free relaxed atomics under the hood)
+  /// feed both the lock-free stats() aggregate and the registry's per-shard
+  /// speed_store_* series; everything else is guarded by mu.
   struct Shard {
-    explicit Shard(sgx::Enclave& enclave) : trusted_charge(enclave, 0) {}
+    Shard(sgx::Enclave& enclave, std::uint64_t cache_budget_bytes)
+        : cache_budget(cache_budget_bytes), trusted_charge(enclave, 0) {}
 
     // 600: one shard lock per request path; quota stripes (650) and the
     // WAL (700) nest inside it. seal_snapshot holds all shards at once via
     // MutexLockAll (the sanctioned equal-rank exception).
     mutable Mutex mu{LockRank::kStoreShard};
-    std::unordered_map<serialize::Tag, MetaEntry, TagHash> dict GUARDED_BY(mu);
-    std::list<serialize::Tag> lru GUARDED_BY(mu);  ///< front = most recently used
-    /// Incrementally maintained metadata footprint (the old store re-walked
-    /// the whole dictionary on every insert/erase to recompute it).
+    MetaIndex index GUARDED_BY(mu);
+    std::unordered_map<std::uint64_t, CachedMeta> cache GUARDED_BY(mu);
+    std::list<std::uint64_t> cache_lru GUARDED_BY(mu);  ///< front = hottest
+    std::uint64_t cache_bytes GUARDED_BY(mu) = 0;
+    const std::uint64_t cache_budget;  ///< immutable after construction
+    /// Entries whose spill write failed (kPinnedLocBit locators): the full
+    /// record stays resident so nothing acknowledged is ever lost to ENOSPC.
+    std::unordered_map<std::uint64_t, MetaRecord> pinned GUARDED_BY(mu);
+    std::uint64_t pinned_bytes GUARDED_BY(mu) = 0;
+    std::uint64_t next_pin GUARDED_BY(mu) = 0;
+    std::vector<OwnerSlot> owners GUARDED_BY(mu);
+    std::unordered_map<serialize::AppId, std::uint32_t, AppIdHash> owner_lookup
+        GUARDED_BY(mu);
+    std::vector<std::uint32_t> owner_free GUARDED_BY(mu);
+    /// Recency stamp handed to slots on insert/touch; exact LRU order.
+    std::uint32_t clock GUARDED_BY(mu) = 0;
+    /// Incrementally maintained trusted footprint: index capacity + cache +
+    /// pinned records + interned owners.
     std::uint64_t trusted_bytes GUARDED_BY(mu) = 0;
     sgx::TrustedCharge trusted_charge GUARDED_BY(mu);
 
@@ -282,8 +329,13 @@ class ResultStore {
     telemetry::Counter quota_rejections;
     telemetry::Counter evictions;
     telemetry::Counter corrupt_blobs;
+    telemetry::Counter meta_spills;
+    telemetry::Counter meta_fault_ins;
     telemetry::Gauge entries;
     telemetry::Gauge ciphertext_bytes;
+    telemetry::Gauge meta_resident_bytes;  ///< mirrors trusted_bytes
+    telemetry::Gauge meta_index_bytes;
+    telemetry::Gauge meta_pinned_records;
     telemetry::Histogram get_ns;  ///< in-enclave GET service latency
     telemetry::Histogram put_ns;  ///< in-enclave PUT/insert service latency
   };
@@ -343,13 +395,78 @@ class ResultStore {
                                       const serialize::EntryPayload& entry,
                                       bool enforce_quota);
 
+  /// Overwrites the stored hit count (replication carries popularity).
+  void set_hits_trusted(const serialize::Tag& tag, std::uint64_t hits);
+
+  // ----------------------------------------------- metadata two-tier paging
+
+  /// Resident-memory cost model of one decoded record (cache/pinned tiers).
+  static std::uint64_t record_bytes(const MetaRecord& rec);
+
+  std::uint32_t next_clock_locked(Shard& shard) REQUIRES(shard.mu);
+
+  std::uint32_t owner_intern_locked(Shard& shard,
+                                    const serialize::AppId& app)
+      REQUIRES(shard.mu);
+  void owner_release_locked(Shard& shard, std::uint32_t ref)
+      REQUIRES(shard.mu);
+
+  void cache_put_locked(Shard& shard, std::uint64_t loc, MetaRecord rec)
+      REQUIRES(shard.mu);
+  const MetaRecord* cache_get_locked(Shard& shard, std::uint64_t loc)
+      REQUIRES(shard.mu);
+  void cache_erase_locked(Shard& shard, std::uint64_t loc) REQUIRES(shard.mu);
+
+  /// Loads the full record behind a slot: pinned map, then cache, then
+  /// fault-in from the sealed spill tier (verifying the seal). nullopt when
+  /// the host destroyed or corrupted the spill record.
+  std::optional<MetaRecord> load_record_locked(Shard& shard,
+                                               const MetaSlot& slot)
+      REQUIRES(shard.mu);
+
+  struct Found {
+    MetaSlot* slot;  ///< valid until the next index mutation
+    MetaRecord rec;
+  };
+  /// Full-tag lookup: probes the index by fingerprint, confirming each
+  /// candidate against its loaded record. Entries whose spill record is
+  /// unreadable are dropped (accounting released) along the way.
+  std::optional<Found> find_entry_locked(Shard& shard,
+                                         const serialize::Tag& tag)
+      REQUIRES(shard.mu);
+
+  /// Drops an entry whose spill record cannot be read: releases quota and
+  /// accounting from resident slot fields alone. The result blob's ref is
+  /// inside the unreadable record, so the blob is left for compaction; a
+  /// durable store's WAL still holds the insert, so recovery resurrects the
+  /// entry with a fresh spill record.
+  void drop_unreadable_locked(Shard& shard, std::uint64_t fp,
+                              std::uint64_t loc) REQUIRES(shard.mu);
+
+  /// Full erase with the record in hand (eviction, corruption, replay).
   /// `log_wal` is false only when the erase is *replaying* the log.
-  void erase_locked(Shard& shard, const serialize::Tag& tag,
-                    bool log_wal = true) REQUIRES(shard.mu);
+  void erase_entry_locked(Shard& shard, const MetaSlot& slot,
+                          const MetaRecord& rec, bool log_wal)
+      REQUIRES(shard.mu);
+
+  /// Evicts the coldest entry (kLru: oldest clock; kLfu: fewest hits, ties
+  /// toward oldest clock). False when the shard is empty.
+  bool evict_one_locked(Shard& shard) REQUIRES(shard.mu);
   void evict_for_space_locked(Shard& shard, std::uint64_t incoming_bytes)
       REQUIRES(shard.mu);
-  void touch_lru_locked(Shard& shard, MetaEntry& entry,
-                        const serialize::Tag& tag) REQUIRES(shard.mu);
+
+  /// Seals `rec` and writes it to the spill tier; returns (packed locator,
+  /// sealed length). Throws BackendWriteError on write failure or an
+  /// unrepresentable locator (the written blob is deleted first).
+  std::pair<std::uint64_t, std::uint16_t> spill_record(const MetaRecord& rec);
+
+  /// Pins `rec` resident under a synthetic locator (spill tier refused it).
+  std::uint64_t pin_record_locked(Shard& shard, MetaRecord rec)
+      REQUIRES(shard.mu);
+
+  /// Recomputes trusted_bytes from the tier sizes and resizes the EPC
+  /// charge + gauges.
+  void sync_trusted_charge_locked(Shard& shard) REQUIRES(shard.mu);
 
   // --------------------------------------------------------- WAL plumbing
 

@@ -80,6 +80,35 @@ TEST_F(CapiTest, EmptyInputAndOutput) {
   speed_function_destroy(f);
 }
 
+TEST_F(CapiTest, MetaStatsTrackSpilledEntries) {
+  int executions = 0;
+  speed_function* f = speed_function_create(
+      dep_, "clib", "1.0", "bytes reverse(bytes)", counting_reverse,
+      &executions);
+  ASSERT_NE(f, nullptr);
+  const uint8_t input[] = {'m', 'e', 't', 'a'};
+  uint8_t* out = nullptr;
+  size_t len = 0;
+  ASSERT_EQ(speed_call(f, input, sizeof(input), &out, &len), SPEED_OK);
+  speed_buffer_free(out);
+  ASSERT_EQ(speed_flush(dep_), SPEED_OK);
+
+  // Every stored entry writes a sealed spill record; the resident charge
+  // covers the slot index (plus the decoded-record cache).
+  speed_meta_stats stats{};
+  ASSERT_EQ(speed_meta_stats_read(dep_, &stats), SPEED_OK);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.spills, 1u);
+  EXPECT_EQ(stats.pinned_records, 0u);
+  EXPECT_GT(stats.index_bytes, 0u);
+  EXPECT_GE(stats.resident_bytes, stats.index_bytes);
+
+  EXPECT_EQ(speed_meta_stats_read(nullptr, &stats),
+            SPEED_ERR_INVALID_ARGUMENT);
+  EXPECT_EQ(speed_meta_stats_read(dep_, nullptr), SPEED_ERR_INVALID_ARGUMENT);
+  speed_function_destroy(f);
+}
+
 TEST_F(CapiTest, UnknownLibraryFailsCreation) {
   speed_function* f = speed_function_create(dep_, "not-registered", "9.9",
                                             "sig", counting_reverse, nullptr);

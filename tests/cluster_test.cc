@@ -55,9 +55,11 @@ class ClusterTest : public ::testing::Test {
 
   void build(std::size_t nodes, std::size_t replicas,
              net::ClusterConfig net_config = net::ClusterConfig{},
-             store::ReplicationConfig repl = store::ReplicationConfig{}) {
+             store::ReplicationConfig repl = store::ReplicationConfig{},
+             store::StoreConfig store_config = store::StoreConfig{}) {
     store::InprocClusterConfig cc;
     cc.nodes = nodes;
+    cc.store = std::move(store_config);
     cc.cluster = net_config;
     cc.cluster.replicas = replicas;
     cc.cluster.resilience = fast_resilience();
@@ -427,6 +429,58 @@ TEST_F(ClusterTest, HedgedGetServesFromReplicaWhilePrimaryIsSlow) {
   }
   ASSERT_GT(primary_on_0, 0u);
   EXPECT_EQ(client->stats().hedged_gets, primary_on_0);
+}
+
+// Regression for the two-tier metadata refactor (PROTOCOL.md §11): with
+// resident_meta_bytes = 0 every entry's full record is cold — only the
+// 32-byte slot stays in EPC — so bulk pulls, anti-entropy pushes, and GETs
+// must all fault records back in from the sealed spill tier. A cursor walk
+// that only visited decoded-resident records would silently under-replicate.
+TEST_F(ClusterTest, ColdSpilledMetadataReplicatesThroughPullAndPush) {
+  store::ReplicationConfig repl;
+  repl.pull_page = 7;  // several resumable pages over 40 entries
+  store::StoreConfig sc;
+  sc.resident_meta_bytes = 0;  // no decoded-record cache: everything is cold
+  build(3, 1, net::ClusterConfig{}, repl, sc);
+  SPEED_SEEDED_RNG(rng, 0xC01DCA7ull);
+  std::vector<Tag> tags;
+  for (int i = 0; i < 40; ++i) {
+    tags.push_back(random_tag(rng));
+    ASSERT_EQ(put(tags.back()), PutStatus::kStored);
+    get_found(tags.back());  // heat entries for the anti-entropy ranking
+  }
+  // Prove the entries really are cold: every PUT spilled its record and the
+  // GETs above had to fault them back in.
+  std::uint64_t spills = 0;
+  std::uint64_t fault_ins = 0;
+  for (std::size_t n = 0; n < 3; ++n) {
+    spills += cluster_->store(n).stats().meta_spills;
+    fault_ins += cluster_->store(n).stats().meta_fault_ins;
+  }
+  EXPECT_EQ(spills, 2u * tags.size());  // r=1: two replicas per tag
+  EXPECT_GT(fault_ins, 0u);
+
+  // Bulk pull: a wiped node's rejoin must recover its exact ring share even
+  // though the donors hold every record spilled.
+  std::size_t node2_share = 0;
+  for (const Tag& t : tags) {
+    const auto o = owners(t);
+    if (std::find(o.begin(), o.end(), std::size_t{2}) != o.end()) ++node2_share;
+  }
+  ASSERT_GT(node2_share, 0u);
+  cluster_->kill(2);
+  ASSERT_TRUE(cluster_->restart(2));
+  EXPECT_EQ(cluster_->rejoin(2), node2_share);
+  EXPECT_EQ(cluster_->store(2).stats().entries, node2_share);
+
+  // Anti-entropy push: cold entries still rank and replicate.
+  cluster_->kill(1);
+  ASSERT_TRUE(cluster_->restart(1));
+  cluster_->anti_entropy_round();
+  EXPECT_GT(cluster_->replicator().stats().pushed_entries, 0u);
+  for (const Tag& t : tags) {
+    EXPECT_TRUE(get_found(t)) << "cold entry lost through replication";
+  }
 }
 
 TEST_F(ClusterTest, RuntimeUsesClusterForDedup) {

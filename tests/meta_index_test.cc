@@ -1,0 +1,286 @@
+// Differential model checking for the robin-hood MetaIndex.
+//
+// The index is the resident half of the store's two-tier metadata dictionary
+// (store/meta_index.h); a probe-sequence bug here silently loses or
+// duplicates store entries. The harness drives the index and a trivially
+// correct model (std::unordered_map keyed by the (fp, loc) identity) through
+// the same seedable operation stream — insert, lookup, erase, LRU-style
+// eviction scans, spill/fault-in style repinning, bookkeeping mutation —
+// with migration parked at adversarial mid-resize states, and demands
+// bit-identical observable state plus structural invariants throughout.
+//
+// SPEED_TEST_SEED overrides the op stream (tests/test_seed.h).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "store/meta_index.h"
+#include "test_seed.h"
+
+namespace speed::store {
+namespace {
+
+serialize::Tag tag_of(std::uint64_t n) {
+  serialize::Tag t{};
+  for (int i = 0; i < 8; ++i) {
+    t[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(n >> (8 * i));
+  }
+  t[31] = 0x5a;
+  return t;
+}
+
+bool slot_equal(const MetaSlot& a, const MetaSlot& b) {
+  return a.fp == b.fp && a.loc == b.loc && a.clock == b.clock &&
+         a.blob_bytes == b.blob_bytes && a.owner_ref == b.owner_ref &&
+         a.spill_len == b.spill_len && a.hits == b.hits;
+}
+
+/// Reference model: the (fp, loc) pair is the entry identity, exactly as the
+/// store uses the index.
+using Model = std::map<std::pair<std::uint64_t, std::uint64_t>, MetaSlot>;
+
+/// Full observable-state comparison: every model entry findable with
+/// bit-identical fields, and for_each visits exactly the model's entries.
+void expect_bit_identical(MetaIndex& index, const Model& model) {
+  ASSERT_EQ(index.size(), model.size());
+  for (const auto& [key, slot] : model) {
+    MetaSlot* found = index.find_loc(key.first, key.second);
+    ASSERT_NE(found, nullptr)
+        << "model entry missing: fp=" << key.first << " loc=" << key.second;
+    EXPECT_TRUE(slot_equal(*found, slot))
+        << "fields diverged: fp=" << key.first << " loc=" << key.second;
+  }
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> visited;
+  static_cast<const MetaIndex&>(index).for_each(
+      [&](const MetaSlot& s) { visited.emplace_back(s.fp, s.loc); });
+  ASSERT_EQ(visited.size(), model.size());
+  std::sort(visited.begin(), visited.end());
+  auto it = model.begin();
+  for (const auto& key : visited) {
+    EXPECT_EQ(key, it->first);
+    ++it;
+  }
+}
+
+TEST(MetaIndexTest, FingerprintIsLittleEndianLowBytesNeverZero) {
+  serialize::Tag t{};
+  t[0] = 0x11;
+  t[1] = 0x22;
+  t[7] = 0x88;
+  t[8] = 0xff;  // byte 8 is outside the fingerprint range
+  EXPECT_EQ(MetaIndex::fingerprint(t), 0x8800000000002211ull);
+  // An all-zero fingerprint range maps to the sentinel-avoiding value 1.
+  serialize::Tag zero{};
+  zero[30] = 0xcc;
+  EXPECT_EQ(MetaIndex::fingerprint(zero), 1ull);
+}
+
+TEST(MetaIndexTest, DifferentialModelCheckOneMillionOps) {
+  SPEED_SEEDED_RNG(rng, 0x3e7a1d8f0001ull);
+  MetaIndex index;
+  Model model;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> live;  // insert order
+  std::uint64_t next_loc = 1;
+  std::uint32_t clock = 0;
+  std::uint64_t pinned_seq = 0;
+
+  // A deliberately small fingerprint universe (~4k values over runs that
+  // reach ~8k live entries) forces constant fingerprint collisions, the
+  // regime where probe-sequence bugs live.
+  const auto gen_fp = [&]() -> std::uint64_t {
+    const std::uint64_t fp = 1 + rng.below(4096);
+    return fp;
+  };
+  const auto pick_live = [&]() -> std::size_t {
+    return static_cast<std::size_t>(rng.below(live.size()));
+  };
+
+  constexpr std::uint64_t kOps = 1'000'000;
+  for (std::uint64_t op = 0; op < kOps; ++op) {
+    const std::uint64_t dice = rng.below(100);
+    if (dice < 40 || live.empty()) {
+      // insert
+      MetaSlot s;
+      s.fp = gen_fp();
+      s.loc = next_loc++;
+      s.clock = ++clock;
+      s.blob_bytes = static_cast<std::uint32_t>(rng.below(1 << 20));
+      s.owner_ref = static_cast<std::uint32_t>(rng.below(64));
+      s.spill_len = static_cast<std::uint16_t>(rng.below(4096));
+      s.hits = 0;
+      index.insert(s);
+      model.emplace(std::make_pair(s.fp, s.loc), s);
+      live.emplace_back(s.fp, s.loc);
+    } else if (dice < 60) {
+      // lookup present (fault-in / GET path): bit-identical fields
+      const auto key = live[pick_live()];
+      MetaSlot* found = index.find_loc(key.first, key.second);
+      ASSERT_NE(found, nullptr) << "op " << op;
+      ASSERT_TRUE(slot_equal(*found, model.at(key))) << "op " << op;
+    } else if (dice < 68) {
+      // lookup absent: same fp universe, never-issued loc
+      EXPECT_EQ(index.find_loc(gen_fp(), next_loc + 1 + rng.below(1000)),
+                nullptr);
+    } else if (dice < 80) {
+      // erase (store erase / drop-unreadable path)
+      const std::size_t i = pick_live();
+      const auto key = live[i];
+      ASSERT_TRUE(index.erase_loc(key.first, key.second)) << "op " << op;
+      model.erase(key);
+      live[i] = live.back();
+      live.pop_back();
+      // double-erase must report absence
+      EXPECT_FALSE(index.erase_loc(key.first, key.second));
+    } else if (dice < 86) {
+      // touch (GET hit): mutate bookkeeping fields in place, both sides
+      const auto key = live[pick_live()];
+      MetaSlot* found = index.find_loc(key.first, key.second);
+      ASSERT_NE(found, nullptr);
+      found->clock = ++clock;
+      if (found->hits < 0xffff) ++found->hits;
+      model.at(key) = *found;
+    } else if (dice < 92) {
+      // eviction scan: find the min-clock entry via for_each, erase it —
+      // exactly the store's LRU victim walk.
+      std::uint64_t best_fp = 0;
+      std::uint64_t best_loc = 0;
+      std::uint32_t best_clock = 0;
+      bool found = false;
+      index.for_each([&](const MetaSlot& s) {
+        if (!found || s.clock < best_clock) {
+          found = true;
+          best_clock = s.clock;
+          best_fp = s.fp;
+          best_loc = s.loc;
+        }
+      });
+      ASSERT_TRUE(found);
+      ASSERT_TRUE(index.erase_loc(best_fp, best_loc));
+      model.erase({best_fp, best_loc});
+      live.erase(std::find(live.begin(), live.end(),
+                           std::make_pair(best_fp, best_loc)));
+    } else if (dice < 96) {
+      // repin (spill-failure fallback): the entry's locator flips from a
+      // packed spill ref to a kPinnedLocBit handle — erase + reinsert under
+      // the same fingerprint, the store's pin path.
+      const std::size_t i = pick_live();
+      const auto key = live[i];
+      MetaSlot s = model.at(key);
+      ASSERT_TRUE(index.erase_loc(key.first, key.second));
+      model.erase(key);
+      s.loc = kPinnedLocBit | pinned_seq++;
+      s.spill_len = 0;
+      index.insert(s);
+      model.emplace(std::make_pair(s.fp, s.loc), s);
+      live[i] = {s.fp, s.loc};
+    } else {
+      // adversarial resize control: park the migration at a random point
+      index.step_migration(rng.below(4));
+    }
+
+    if (op % 10'000 == 0) {
+      const std::string violation = index.check_invariants();
+      ASSERT_TRUE(violation.empty()) << "op " << op << ": " << violation;
+      if (!index.migrating()) {
+        EXPECT_LE(index.load_factor(),
+                  static_cast<double>(MetaIndex::kMaxLoadNum) /
+                      MetaIndex::kMaxLoadDen +
+                      0.01);
+      }
+    }
+    if (op % 50'000 == 0) {
+      expect_bit_identical(index, model);
+    }
+  }
+  expect_bit_identical(index, model);
+  const std::string violation = index.check_invariants();
+  EXPECT_TRUE(violation.empty()) << violation;
+}
+
+TEST(MetaIndexTest, IncrementalResizeServesLookupsMidMigration) {
+  MetaIndex index;
+  std::vector<MetaSlot> inserted;
+  bool saw_migration = false;
+  for (std::uint64_t i = 0; i < 4096; ++i) {
+    MetaSlot s;
+    s.fp = MetaIndex::fingerprint(tag_of(i + 1));
+    s.loc = i + 1;
+    s.clock = static_cast<std::uint32_t>(i);
+    index.insert(s);
+    inserted.push_back(s);
+    if (index.migrating()) {
+      saw_migration = true;
+      // Mid-resize, every previously inserted entry is still findable with
+      // intact fields, across both tables.
+      const MetaSlot& probe = inserted[inserted.size() / 2];
+      MetaSlot* found = index.find_loc(probe.fp, probe.loc);
+      ASSERT_NE(found, nullptr) << "i=" << i;
+      EXPECT_TRUE(slot_equal(*found, probe));
+    }
+  }
+  EXPECT_TRUE(saw_migration) << "growth never went through a migration";
+  EXPECT_EQ(index.size(), 4096u);
+  for (const MetaSlot& s : inserted) {
+    ASSERT_NE(index.find_loc(s.fp, s.loc), nullptr);
+  }
+  EXPECT_TRUE(index.check_invariants().empty());
+}
+
+TEST(MetaIndexTest, RobinHoodKeepsProbeLengthsBounded) {
+  SPEED_SEEDED_RNG(rng, 0x3e7a1d8f0002ull);
+  MetaIndex index;
+  for (std::uint64_t i = 0; i < 1 << 16; ++i) {
+    MetaSlot s;
+    s.fp = 1 + rng();
+    s.loc = i + 1;
+    index.insert(s);
+  }
+  // Drain any in-flight migration so the bound reflects a settled table at
+  // the configured load factor.
+  index.step_migration(~std::size_t{0});
+  EXPECT_FALSE(index.migrating());
+  // Robin-hood hashing at 7/8 load keeps worst-case probe length tiny
+  // compared to plain linear probing (expected O(log n) vs O(n) tail).
+  EXPECT_LE(index.max_probe_length(), 64u);
+  EXPECT_TRUE(index.check_invariants().empty());
+}
+
+TEST(MetaIndexTest, BackwardShiftEraseKeepsCollidersReachable) {
+  MetaIndex index;
+  // Ten entries sharing one fingerprint: a worst-case collision cluster.
+  const std::uint64_t fp = MetaIndex::fingerprint(tag_of(7));
+  for (std::uint64_t loc = 1; loc <= 10; ++loc) {
+    MetaSlot s;
+    s.fp = fp;
+    s.loc = loc;
+    s.hits = static_cast<std::uint16_t>(loc);
+    index.insert(s);
+  }
+  // Erase from the middle out; the survivors must stay reachable after every
+  // step (backward-shift deletion, no tombstones).
+  std::vector<std::uint64_t> gone;
+  for (const std::uint64_t victim : {5ull, 1ull, 10ull, 7ull, 2ull}) {
+    ASSERT_TRUE(index.erase_loc(fp, victim));
+    gone.push_back(victim);
+    ASSERT_TRUE(index.check_invariants().empty());
+    for (std::uint64_t loc = 1; loc <= 10; ++loc) {
+      const bool erased =
+          std::find(gone.begin(), gone.end(), loc) != gone.end();
+      MetaSlot* found = index.find_loc(fp, loc);
+      ASSERT_EQ(found == nullptr, erased) << "loc " << loc;
+    }
+  }
+  EXPECT_EQ(index.size(), 5u);
+  for (const std::uint64_t loc : {3ull, 4ull, 6ull, 8ull, 9ull}) {
+    MetaSlot* found = index.find_loc(fp, loc);
+    ASSERT_NE(found, nullptr) << "loc " << loc;
+    EXPECT_EQ(found->hits, loc);
+  }
+}
+
+}  // namespace
+}  // namespace speed::store

@@ -495,6 +495,145 @@ TEST(RecoveryTest, DiskFullGracefulDegrade) {
   std::filesystem::remove_all(dir);
 }
 
+// ------------------------------------- metadata spill tier under crashes
+
+TEST(RecoveryTortureTest, EveryCrashPointWithColdSpilledMetadata) {
+  SPEED_SEEDED_RNG(rng, 0xd1ce5eed000bull);
+  const auto stream = workload::zipf_request_stream(16, 24, 0.9, rng_seed);
+
+  // Zero resident-record cache: every entry's full record lives only in the
+  // sealed spill tier, so each acked PUT issues three writes (result blob,
+  // spill record, WAL record) and every post-recovery GET must fault in.
+  StoreConfig cold_cfg = torture_config(nullptr);
+  cold_cfg.resident_meta_bytes = 0;
+
+  std::vector<std::uint64_t> sizes;
+  std::map<std::uint64_t, EntryPayload> clean_acked;
+  {
+    sgx::Platform platform(fast_model());
+    auto fault = std::make_shared<FaultInjectingBackend>(
+        std::make_shared<MemoryBackend>(/*record_wal=*/true));
+    StoreConfig cfg = cold_cfg;
+    cfg.backend = fault;
+    ResultStore store(platform, cfg);
+    const RunResult r = run_workload(store, stream, rng_seed);
+    ASSERT_FALSE(r.crashed);
+    sizes = fault->write_sizes();
+    clean_acked = r.acked;
+  }
+  ASSERT_GE(clean_acked.size(), 8u);
+  // blob + spill + WAL per acked PUT
+  ASSERT_GE(sizes.size(), 3 * clean_acked.size());
+
+  for (const std::uint64_t budget : crash_budgets(sizes)) {
+    SCOPED_TRACE("crash after " + std::to_string(budget) + " bytes");
+    sgx::Platform platform(fast_model());
+    auto inner = std::make_shared<MemoryBackend>(/*record_wal=*/true);
+    std::map<std::uint64_t, EntryPayload> acked;
+    {
+      auto fault = std::make_shared<FaultInjectingBackend>(inner);
+      fault->fail_after_bytes(budget);
+      StoreConfig cfg = cold_cfg;
+      cfg.backend = fault;
+      ResultStore store(platform, cfg);
+      RunResult r = run_workload(store, stream, rng_seed);
+      ASSERT_TRUE(r.crashed);
+      acked = std::move(r.acked);
+      verify_degraded(store, acked, rng_seed);
+    }
+    StoreConfig cfg = cold_cfg;
+    cfg.backend = inner;
+    ResultStore store(platform, cfg);
+    verify_recovered(store, acked);
+    EXPECT_EQ(store.put(put_for(424242, rng_seed)).status, PutStatus::kStored);
+
+    // No quota leak with cold records at the crash point: per-app charges
+    // after recovery equal exactly the acknowledged bytes (plus the probe
+    // PUT just stored).
+    std::map<std::uint8_t, std::uint64_t> expect_quota;
+    for (const auto& [idx, payload] : acked) {
+      expect_quota[static_cast<std::uint8_t>(1 + idx % 3)] +=
+          payload.result_ct.size();
+    }
+    expect_quota[static_cast<std::uint8_t>(1 + 424242 % 3)] +=
+        put_for(424242, rng_seed).entry.result_ct.size();
+    for (std::uint8_t app = 1; app <= 3; ++app) {
+      EXPECT_EQ(store.quota_used(make_app(app)), expect_quota[app])
+          << "app " << int(app);
+    }
+
+    // No TrustedCharge leak either: drain everything through the corruption
+    // path and the resident metadata charge must collapse to the bare slot
+    // tables (no cached records, pins, or interned owners left behind).
+    for (const auto& [idx, payload] : acked) {
+      if (store.corrupt_blob_for_testing(make_tag(idx + 1))) {
+        GetRequest get;
+        get.tag = make_tag(idx + 1);
+        EXPECT_FALSE(store.get(get).found);
+      }
+    }
+    ASSERT_TRUE(store.corrupt_blob_for_testing(make_tag(424243)));
+    GetRequest get;
+    get.tag = make_tag(424243);
+    EXPECT_FALSE(store.get(get).found);
+    const auto s = store.stats();
+    EXPECT_EQ(s.entries, 0u);
+    EXPECT_EQ(s.meta_resident_bytes, s.meta_index_bytes);
+    for (std::uint8_t app = 1; app <= 3; ++app) {
+      EXPECT_EQ(store.quota_used(make_app(app)), 0u);
+    }
+  }
+}
+
+TEST(RecoveryTest, ColdEntriesSurviveReopenWithZeroCache) {
+  SPEED_SEEDED_RNG(rng, 0xd1ce5eed000cull);
+  const std::string dir = fresh_dir("cold-reopen");
+  const auto acked = populate(dir, 12, rng_seed);
+
+  StoreConfig cold;
+  cold.resident_meta_bytes = 0;
+  sgx::Platform platform(fast_model(), as_bytes(dir));
+  auto store = open_result_store(platform, dir, cold);
+  verify_recovered(*store, acked);
+  // Every one of those GETs had to read a sealed record back in.
+  EXPECT_GE(store->stats().meta_fault_ins, acked.size());
+  EXPECT_EQ(store->stats().meta_spills, acked.size());
+}
+
+TEST(RecoveryTest, SpillFailureAtRecoveryPinsInsteadOfLosing) {
+  SPEED_SEEDED_RNG(rng, 0xd1ce5eed000dull);
+  sgx::Platform platform(fast_model());
+  auto inner = std::make_shared<MemoryBackend>(/*record_wal=*/true);
+
+  std::map<std::uint64_t, EntryPayload> acked;
+  {
+    StoreConfig cfg = torture_config(inner);
+    ResultStore store(platform, cfg);
+    for (std::uint64_t i = 0; i < 10; ++i) {
+      const PutRequest put = put_for(i, rng_seed);
+      ASSERT_EQ(store.put(put).status, PutStatus::kStored);
+      acked.emplace(i, put.entry);
+    }
+  }
+
+  // Reopen over a backend whose write budget is already exhausted (the
+  // ENOSPC-at-recovery analogue): every spill rewrite fails, so every
+  // recovered record must be pinned resident — zero acknowledged loss.
+  auto fault = std::make_shared<FaultInjectingBackend>(inner);
+  fault->fail_after_bytes(0);
+  ResultStore store(platform, torture_config(fault));
+  EXPECT_EQ(store.recovery_info().inserts, acked.size());
+  EXPECT_EQ(store.recovery_info().pinned_records, acked.size());
+  EXPECT_EQ(store.stats().meta_pinned_records, acked.size());
+  verify_recovered(store, acked);
+
+  // The pinned store serves reads indefinitely; the first runtime write
+  // failure degrades it exactly like any other full-disk store.
+  EXPECT_EQ(store.put(put_for(777, rng_seed)).status, PutStatus::kRejected);
+  EXPECT_TRUE(store.degraded());
+  verify_degraded(store, acked, rng_seed);
+}
+
 // ------------------------------------------------- compaction & recovery
 
 TEST(RecoveryTest, CompactionReclaimsFullyDeadSegments) {
